@@ -1,0 +1,115 @@
+// Ablation (DESIGN.md): the edge-decision step of the core-cell graph G is
+// the only difference between the exact algorithm of Theorem 2 and the
+// ρ-approximate algorithm of Theorem 4. This bench isolates that choice by
+// running the identical pipeline with three edge tests:
+//   bcp      — exact BCP decision (OurExact),
+//   counter  — Lemma 5 approximate counting (OurApprox),
+//   allpairs — naive exhaustive pair scan between the two cells (what a
+//              straightforward implementation would do).
+// Expected: counter < bcp << allpairs as density grows, which is exactly
+// the paper's claim that "the efficiency improvement of our approximate
+// algorithm owes to settling for an imprecise BCP solution".
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bcp/bcp.h"
+#include "bench_common.h"
+#include "core/grid_pipeline.h"
+#include "geom/point.h"
+#include "io/table.h"
+#include "rangecount/approx_range_counter.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+using namespace adbscan;
+using adbscan::bench::MakeBenchDataset;
+
+namespace {
+
+Clustering RunWithEdgeTest(const Dataset& data, const DbscanParams& params,
+                           const std::string& mode, double rho) {
+  const CoreCellIndex* cells = nullptr;
+  std::vector<ApproxRangeCounter> counters;
+  GridPipelineHooks hooks;
+  hooks.prepare_cells = [&](const Grid&, const CoreCellIndex& cci) {
+    cells = &cci;
+    if (mode == "counter") {
+      counters.reserve(cci.size());
+      for (size_t c = 0; c < cci.size(); ++c) {
+        counters.emplace_back(data, cci.core_points[c], params.eps, rho);
+      }
+    }
+  };
+  const double eps2 = params.eps * params.eps;
+  hooks.edge_test = [&](uint32_t c1, uint32_t c2) {
+    if (mode == "bcp") {
+      return ExistsPairWithin(data, cells->core_points[c1],
+                              cells->core_points[c2], params.eps);
+    }
+    if (mode == "counter") {
+      for (uint32_t p : cells->core_points[c1]) {
+        if (counters[c2].QueryNonzero(data.point(p))) return true;
+      }
+      return false;
+    }
+    // allpairs: exhaustive, no early structure, the naive O(|c1||c2|) scan
+    // (still with the trivial early exit on the first witness).
+    for (uint32_t p : cells->core_points[c1]) {
+      for (uint32_t q : cells->core_points[c2]) {
+        if (SquaredDistance(data.point(p), data.point(q), data.dim()) <=
+            eps2) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  return RunGridPipeline(data, params, hooks);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("n", 100000, "dataset cardinality")
+      .DefineDouble("eps", bench::kDefaultEps, "radius")
+      .DefineDouble("rho", bench::kDefaultRho, "approximation ratio")
+      .DefineInt("min_pts", bench::kDefaultMinPts, "MinPts")
+      .DefineString("datasets", "ss3d,ss5d,ss7d", "datasets")
+      .DefineInt("seed", 2025, "generator seed");
+  flags.Parse(argc, argv);
+
+  const DbscanParams params{flags.GetDouble("eps"),
+                            static_cast<int>(flags.GetInt("min_pts"))};
+  const double rho = flags.GetDouble("rho");
+  const size_t n = static_cast<size_t>(flags.GetInt("n"));
+
+  std::printf(
+      "Ablation: edge-test strategy for graph G (n=%zu, eps=%.0f, "
+      "MinPts=%d, rho=%.3g)\n\n",
+      n, params.eps, params.min_pts, rho);
+  Table t({"dataset", "allpairs", "bcp (OurExact)", "counter (OurApprox)",
+           "clusters (bcp)"});
+  for (const std::string& name :
+       bench::SplitNames(flags.GetString("datasets"))) {
+    const Dataset data = MakeBenchDataset(name, n, flags.GetInt("seed"));
+    std::vector<std::string> row{name};
+    int clusters = 0;
+    for (const char* mode_cstr : {"allpairs", "bcp", "counter"}) {
+      const std::string mode = mode_cstr;
+      Timer timer;
+      const Clustering c = RunWithEdgeTest(data, params, mode, rho);
+      row.push_back(Table::Seconds(timer.ElapsedSeconds()));
+      if (mode == "bcp") clusters = c.num_clusters;
+    }
+    row.push_back(std::to_string(clusters));
+    t.AddRow(row);
+  }
+  t.Print();
+  std::printf(
+      "\nNote: allpairs and bcp produce identical (exact) clusterings; the\n"
+      "counter column is the rho-approximate edge rule.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+#ifndef ADBSCAN_BENCH_BENCH_COMMON_H_
+#define ADBSCAN_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the figure-reproduction harnesses (bench/fig*.cc,
+// bench/table1*.cc): dataset factories matching Section 5.1, the four
+// compared algorithms of Section 5.3, and a per-algorithm time-budget
+// tracker that mirrors the paper's 12-hour cutoff convention (a skipped run
+// prints "skipped", like the missing KDD96/CIT08 points in Figures 11-12).
+
+#include <cstdio>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/adbscan.h"
+#include "gen/realdata_sim.h"
+#include "gen/seed_spreader.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace adbscan {
+namespace bench {
+
+// The paper's default MinPts (Section 5.1) and recommended rho (5.2).
+inline constexpr int kDefaultMinPts = 100;
+inline constexpr double kDefaultRho = 0.001;
+inline constexpr double kDefaultEps = 5000.0;
+
+// Named dataset factory. Names: ss2d, ss3d, ss5d, ss7d (seed spreader at
+// that dimensionality), pamap2, farm, household (real-data stand-ins, see
+// DESIGN.md). Deterministic per (name, n, seed).
+inline Dataset MakeBenchDataset(const std::string& name, size_t n,
+                                uint64_t seed) {
+  auto spreader = [&](int dim) {
+    SeedSpreaderParams p;
+    p.dim = dim;
+    p.n = n;
+    return GenerateSeedSpreader(p, seed);
+  };
+  if (name == "ss2d") return spreader(2);
+  if (name == "ss3d") return spreader(3);
+  if (name == "ss5d") return spreader(5);
+  if (name == "ss7d") return spreader(7);
+  if (name == "pamap2") return Pamap2Like(n, seed);
+  if (name == "farm") return FarmLike(n, seed);
+  if (name == "household") return HouseholdLike(n, seed);
+  ADB_CHECK_MSG(false, ("unknown dataset: " + name).c_str());
+  return Dataset(1);
+}
+
+// Splits a comma-separated list flag ("ss3d,farm") into names.
+inline std::vector<std::string> SplitNames(const std::string& text) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    out.push_back(text.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+using AlgoFn = std::function<Clustering(const Dataset&, const DbscanParams&)>;
+
+// The four algorithms of Section 5.3, in the paper's naming.
+inline std::vector<std::pair<std::string, AlgoFn>> StandardAlgos(double rho) {
+  return {
+      {"KDD96",
+       [](const Dataset& d, const DbscanParams& p) {
+         return Kdd96Dbscan(d, p);
+       }},
+      {"CIT08",
+       [](const Dataset& d, const DbscanParams& p) {
+         return GridbscanDbscan(d, p);
+       }},
+      {"OurExact",
+       [](const Dataset& d, const DbscanParams& p) {
+         return ExactGridDbscan(d, p);
+       }},
+      {"OurApprox",
+       [rho](const Dataset& d, const DbscanParams& p) {
+         return ApproxDbscan(d, p, rho);
+       }},
+  };
+}
+
+// Tracks which (algorithm, dataset) pairs have blown their budget so the
+// sweep skips strictly harder configurations, exactly once over.
+class BudgetTracker {
+ public:
+  explicit BudgetTracker(double budget_sec) : budget_sec_(budget_sec) {}
+
+  bool ShouldRun(const std::string& key) const {
+    return exhausted_.find(key) == exhausted_.end();
+  }
+
+  // Returns elapsed seconds, or a negative value if the run was skipped.
+  double Run(const std::string& key, const std::function<void()>& fn) {
+    if (!ShouldRun(key)) return -1.0;
+    Timer timer;
+    fn();
+    const double elapsed = timer.ElapsedSeconds();
+    if (elapsed > budget_sec_) exhausted_.insert(key);
+    return elapsed;
+  }
+
+  double budget_sec() const { return budget_sec_; }
+
+ private:
+  double budget_sec_;
+  std::set<std::string> exhausted_;
+};
+
+}  // namespace bench
+}  // namespace adbscan
+
+#endif  // ADBSCAN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,98 @@
+// Figure 9 (panels a-l): exact DBSCAN vs ρ-approximate DBSCAN on the 2D
+// seed-spreader dataset, at three radii and three approximation ratios
+// (MinPts = 20).
+//
+// The paper's panels show cluster colorings; this harness prints, per
+// panel, the number of clusters found and whether the approximate result is
+// identical to exact DBSCAN, and (optionally) writes each panel's labeled
+// CSV. The paper's qualitative findings to reproduce:
+//   - eps = 5000 (stable): all rho values return exactly the exact clusters;
+//   - eps = 11300: rho = 0.001 / 0.01 match exact; rho = 0.1 merges two
+//     clusters;
+//   - eps = 12200 (unstable, near the 2->1 collapse): only rho = 0.001
+//     still matches.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/approx_dbscan.h"
+#include "core/exact_grid.h"
+#include "eval/collapse.h"
+#include "eval/compare.h"
+#include "gen/seed_spreader.h"
+#include "io/dataset_io.h"
+#include "io/table.h"
+#include "util/flags.h"
+
+using namespace adbscan;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("n", 1000, "dataset cardinality")
+      .DefineInt("seed", 1201, "generator seed")
+      .DefineInt("min_pts", 20, "MinPts")
+      .DefineString("eps", "", "comma list of radii (default: paper values)")
+      .DefineBool("write_csv", false, "write one labeled CSV per panel");
+  flags.Parse(argc, argv);
+
+  SeedSpreaderParams p;
+  p.dim = 2;
+  p.n = static_cast<size_t>(flags.GetInt("n"));
+  p.forced_restart_every = p.n / 4;
+  p.noise_fraction = 0.0;
+  const Dataset data = GenerateSeedSpreader(p, flags.GetInt("seed"));
+  const int min_pts = static_cast<int>(flags.GetInt("min_pts"));
+
+  // The paper uses 5000 / 11300 / 12200 on its instance: one stable radius
+  // plus two radii just below that instance's final merge boundary (12203
+  // there). Those boundaries are instance-specific, so by default locate
+  // this instance's single-cluster collapse radius B and test at 0.4·B
+  // (stable), 0.95·B (inside the 10% band: rho=0.1 may deviate), and
+  // 0.9995·B (inside the 1% band: rho=0.01 may deviate too) — the same
+  // construction the paper's values follow.
+  std::vector<double> eps_values = flags.GetDoubleList("eps");
+  if (flags.GetString("eps").empty()) {
+    CollapseOptions copts;
+    copts.eps_lo = 500.0;
+    copts.use_approx = false;
+    copts.iterations = 32;
+    const double collapse = FindCollapsingRadius(data, min_pts, copts);
+    std::printf("(collapse to one cluster at eps ~ %.0f)\n", collapse);
+    eps_values = {0.4 * collapse, 0.95 * collapse, 0.9995 * collapse};
+  }
+  const double rhos[] = {0.001, 0.01, 0.1};
+
+  std::printf("Figure 9: exact vs rho-approximate clusters (MinPts=%d)\n",
+              min_pts);
+  Table t({"eps", "algorithm", "clusters", "same as exact"});
+  char panel = 'a';
+  for (double eps : eps_values) {
+    const DbscanParams params{eps, min_pts};
+    const Clustering exact = ExactGridDbscan(data, params);
+    t.AddRow({Table::Num(eps, 6), "exact DBSCAN",
+              std::to_string(exact.num_clusters), "-"});
+    if (flags.GetBool("write_csv")) {
+      WriteLabeledCsv(data, exact,
+                      std::string("fig09_") + panel + "_exact.csv");
+    }
+    ++panel;
+    for (double rho : rhos) {
+      const Clustering approx = ApproxDbscan(data, params, rho);
+      const bool same = SameClusters(exact, approx);
+      t.AddRow({Table::Num(eps, 6), "rho=" + Table::Num(rho),
+                std::to_string(approx.num_clusters), same ? "yes" : "NO"});
+      if (flags.GetBool("write_csv")) {
+        WriteLabeledCsv(data, approx,
+                        std::string("fig09_") + panel + "_approx.csv");
+      }
+      ++panel;
+    }
+  }
+  t.Print();
+  std::printf(
+      "\nExpected shape (paper, Fig. 9): at the stable radius every rho\n"
+      "matches exact; near merge boundaries large rho (0.1, then 0.01)\n"
+      "deviates while rho=0.001 keeps matching.\n");
+  return 0;
+}

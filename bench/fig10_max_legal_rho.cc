@@ -1,0 +1,82 @@
+// Figure 10 (a-f): the "maximum legal ρ" as a function of ε for the three
+// seed-spreader dimensionalities and the three real-dataset stand-ins.
+//
+// For each ε between 5000 and the dataset's collapsing radius, compute the
+// largest ρ at which ρ-approximate DBSCAN returns exactly the exact DBSCAN
+// clusters. The paper reports a sawtooth: much larger than 0.1 at most ε
+// (plotted as the cap here), dipping only in tiny unstable ε ranges — which
+// is the argument for recommending ρ = 0.001.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/exact_grid.h"
+#include "eval/collapse.h"
+#include "eval/compare.h"
+#include "io/table.h"
+#include "util/flags.h"
+
+using namespace adbscan;
+using adbscan::bench::MakeBenchDataset;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("n", 20000, "points per dataset (paper: 2m-3.9m)")
+      .DefineInt("steps", 8, "number of eps values per dataset")
+      .DefineInt("min_pts", bench::kDefaultMinPts, "MinPts")
+      .DefineDouble("rho_cap", 0.2, "upper bound of the rho search")
+      .DefineString("datasets", "ss3d,ss5d,ss7d,pamap2,farm,household",
+                    "comma list of datasets")
+      .DefineInt("seed", 2025, "generator seed")
+      .DefineBool("full", false, "paper-scale n (2m); very slow");
+  flags.Parse(argc, argv);
+
+  const size_t n = flags.GetBool("full")
+                       ? 2000000
+                       : static_cast<size_t>(flags.GetInt("n"));
+  const int min_pts = static_cast<int>(flags.GetInt("min_pts"));
+  const int steps = static_cast<int>(flags.GetInt("steps"));
+
+  std::printf("Figure 10: maximum legal rho vs eps (n=%zu, MinPts=%d)\n", n,
+              min_pts);
+  std::printf("(values at the cap %.3g mean 'well above 0.1', as in the "
+              "paper's off-chart points)\n\n",
+              flags.GetDouble("rho_cap"));
+
+  const std::vector<std::string> datasets =
+      bench::SplitNames(flags.GetString("datasets"));
+
+  for (const std::string& name : datasets) {
+    const Dataset data = MakeBenchDataset(name, n, flags.GetInt("seed"));
+    CollapseOptions copts;
+    copts.eps_lo = 1000.0;
+    const double collapse = FindCollapsingRadius(data, min_pts, copts);
+    const double eps_lo = std::min(5000.0, collapse * 0.5);
+
+    std::printf("--- %s (d=%d, collapsing radius ~ %.0f) ---\n",
+                name.c_str(), data.dim(), collapse);
+    Table t({"eps", "max legal rho", "exact clusters"});
+    for (int s = 0; s < steps; ++s) {
+      const double eps =
+          eps_lo + (collapse - eps_lo) * static_cast<double>(s) /
+                       std::max(1, steps - 1);
+      const DbscanParams params{eps, min_pts};
+      const Clustering exact = ExactGridDbscan(data, params);
+      MaxLegalRhoOptions mopts;
+      mopts.rho_hi = flags.GetDouble("rho_cap");
+      const double max_rho = MaxLegalRho(data, params, exact, mopts);
+      t.AddRow({Table::Num(eps, 6), Table::Num(max_rho, 4),
+                std::to_string(exact.num_clusters)});
+    }
+    t.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper, Fig. 10): sawtooth — max legal rho far above\n"
+      "0.1 for most eps, dipping near cluster-merge boundaries; rho=0.001\n"
+      "legal almost everywhere.\n");
+  return 0;
+}

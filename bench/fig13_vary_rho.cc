@@ -1,0 +1,65 @@
+// Figure 13 (a-b): running time of OurApprox as a function of the
+// approximation ratio ρ, on the SS 3D/5D/7D datasets and the three
+// real-dataset stand-ins (eps = 5000).
+//
+// Expected shape: cost decreases as ρ grows (fewer hierarchy levels and
+// earlier query termination in the Lemma 5 structures).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/approx_dbscan.h"
+#include "io/table.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+using namespace adbscan;
+using adbscan::bench::MakeBenchDataset;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("n", 50000, "points per dataset (paper: 2m+)")
+      .DefineDouble("eps", bench::kDefaultEps, "radius")
+      .DefineInt("min_pts", bench::kDefaultMinPts, "MinPts")
+      .DefineString("rhos", "0.001,0.01,0.02,0.04,0.06,0.08,0.1",
+                    "comma list of rho values")
+      .DefineString("datasets", "ss3d,ss5d,ss7d,pamap2,farm,household",
+                    "datasets to sweep")
+      .DefineInt("seed", 2025, "generator seed")
+      .DefineBool("full", false, "paper-scale n (2m)");
+  flags.Parse(argc, argv);
+
+  const size_t n = flags.GetBool("full")
+                       ? 2000000
+                       : static_cast<size_t>(flags.GetInt("n"));
+  const DbscanParams params{flags.GetDouble("eps"),
+                            static_cast<int>(flags.GetInt("min_pts"))};
+  const std::vector<double> rhos = flags.GetDoubleList("rhos");
+
+  std::printf(
+      "Figure 13: OurApprox running time vs rho (n=%zu, eps=%.0f, "
+      "MinPts=%d)\n\n",
+      n, params.eps, params.min_pts);
+
+  std::vector<std::string> header{"dataset"};
+  for (double rho : rhos) header.push_back("rho=" + Table::Num(rho));
+  Table t(header);
+  for (const std::string& name :
+       bench::SplitNames(flags.GetString("datasets"))) {
+    const Dataset data = MakeBenchDataset(name, n, flags.GetInt("seed"));
+    std::vector<std::string> row{name};
+    for (double rho : rhos) {
+      Timer timer;
+      (void)ApproxDbscan(data, params, rho);
+      row.push_back(Table::Seconds(timer.ElapsedSeconds()));
+    }
+    t.AddRow(row);
+  }
+  t.Print();
+  std::printf(
+      "\nExpected shape (paper, Fig. 13): running time decreases as rho\n"
+      "increases (less precision demanded).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Microbenchmarks: the BCP decision procedure (Section 3.2's edge test) —
+// brute force vs kd-tree pruning, and the effect of the answer (pair
+// within ε or not) on early exit.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bcp/bcp.h"
+#include "bench_common.h"
+#include "gen/uniform.h"
+
+namespace adbscan {
+namespace {
+
+// Two point groups at a controllable gap (in units of eps).
+struct TwoGroups {
+  Dataset data{3};
+  std::vector<uint32_t> a, b;
+};
+
+TwoGroups MakeGroups(size_t per_side, double gap_in_eps) {
+  TwoGroups g;
+  const double eps = 100.0;
+  const double center_a[] = {0.0, 0.0, 0.0};
+  const double center_b[] = {gap_in_eps * eps + 100.0, 0.0, 0.0};
+  const Dataset da = GenerateUniformBall(3, per_side, center_a, 50.0, 1);
+  const Dataset db = GenerateUniformBall(3, per_side, center_b, 50.0, 2);
+  for (size_t i = 0; i < da.size(); ++i) g.a.push_back(g.data.Add(da.point(i)));
+  for (size_t i = 0; i < db.size(); ++i) g.b.push_back(g.data.Add(db.point(i)));
+  return g;
+}
+
+void BM_BcpDecisionClosePair(benchmark::State& state) {
+  // Groups overlap: a witness pair exists and early exit fires fast.
+  const TwoGroups g = MakeGroups(static_cast<size_t>(state.range(0)), -1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExistsPairWithin(g.data, g.a, g.b, 100.0));
+  }
+}
+BENCHMARK(BM_BcpDecisionClosePair)->Arg(32)->Arg(1000)->Arg(10000);
+
+void BM_BcpDecisionFarPair(benchmark::State& state) {
+  // Groups far apart: the decision must prove absence (worst case).
+  const TwoGroups g = MakeGroups(static_cast<size_t>(state.range(0)), 5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExistsPairWithin(g.data, g.a, g.b, 100.0));
+  }
+}
+BENCHMARK(BM_BcpDecisionFarPair)->Arg(32)->Arg(1000)->Arg(10000);
+
+void BM_BcpExactPair(benchmark::State& state) {
+  const TwoGroups g = MakeGroups(static_cast<size_t>(state.range(0)), 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BichromaticClosestPair(g.data, g.a, g.b));
+  }
+}
+BENCHMARK(BM_BcpExactPair)->Arg(32)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace adbscan
+
+BENCHMARK_MAIN();

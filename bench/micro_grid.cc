@@ -1,0 +1,61 @@
+// Microbenchmarks: grid construction and ε-neighbor enumeration — the
+// substrate every grid-based algorithm (Sections 2.2/3.2/4.4) stands on.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "grid/grid.h"
+
+namespace adbscan {
+namespace {
+
+void BM_GridBuild(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  const Dataset data =
+      bench::MakeBenchDataset("ss" + std::to_string(dim) + "d", n, 1);
+  const double side = Grid::SideFor(bench::kDefaultEps, dim);
+  for (auto _ : state) {
+    Grid grid(data, side);
+    benchmark::DoNotOptimize(grid.NumCells());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GridBuild)
+    ->Args({3, 10000})
+    ->Args({3, 100000})
+    ->Args({5, 100000})
+    ->Args({7, 100000});
+
+void BM_GridEpsNeighbors(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const Dataset data =
+      bench::MakeBenchDataset("ss" + std::to_string(dim) + "d", 100000, 1);
+  const Grid grid(data, Grid::SideFor(bench::kDefaultEps, dim));
+  uint32_t ci = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        grid.EpsNeighbors(ci, bench::kDefaultEps).size());
+    ci = (ci + 1) % static_cast<uint32_t>(grid.NumCells());
+  }
+}
+BENCHMARK(BM_GridEpsNeighbors)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_GridCellsTouchingBall(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const Dataset data =
+      bench::MakeBenchDataset("ss" + std::to_string(dim) + "d", 100000, 1);
+  const Grid grid(data, Grid::SideFor(bench::kDefaultEps, dim));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        grid.CellsTouchingBall(data.point(i), bench::kDefaultEps).size());
+    i = (i + 997) % data.size();
+  }
+}
+BENCHMARK(BM_GridCellsTouchingBall)->Arg(3)->Arg(7);
+
+}  // namespace
+}  // namespace adbscan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Microbenchmarks: spatial-index build and ε range queries — the cost
+// center of the KDD'96 baseline (one query per point).
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "bench_common.h"
+#include "geom/delaunay2d.h"
+#include "index/brute_force.h"
+#include "index/kdtree.h"
+#include "index/rtree.h"
+
+namespace adbscan {
+namespace {
+
+template <typename IndexT>
+void BM_IndexBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset data = bench::MakeBenchDataset("ss3d", n, 1);
+  for (auto _ : state) {
+    IndexT index(data);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK_TEMPLATE(BM_IndexBuild, KdTree)->Arg(10000)->Arg(100000);
+BENCHMARK_TEMPLATE(BM_IndexBuild, RTree)->Arg(10000)->Arg(100000);
+
+template <typename IndexT>
+void BM_IndexRangeQuery(benchmark::State& state) {
+  const Dataset data = bench::MakeBenchDataset("ss3d", 100000, 1);
+  const IndexT index(data);
+  const double radius = static_cast<double>(state.range(0));
+  size_t i = 0;
+  size_t reported = 0;
+  for (auto _ : state) {
+    reported += index.RangeQuery(data.point(i), radius).size();
+    i = (i + 997) % data.size();
+  }
+  benchmark::DoNotOptimize(reported);
+  state.counters["avg_result"] =
+      static_cast<double>(reported) / state.iterations();
+}
+BENCHMARK_TEMPLATE(BM_IndexRangeQuery, KdTree)->Arg(500)->Arg(5000)->Arg(20000);
+BENCHMARK_TEMPLATE(BM_IndexRangeQuery, RTree)->Arg(500)->Arg(5000)->Arg(20000);
+BENCHMARK_TEMPLATE(BM_IndexRangeQuery, BruteForceIndex)->Arg(5000);
+
+void BM_DelaunayNearest2d(benchmark::State& state) {
+  // The Voronoi-dual NN structure of Gunawan's algorithm vs the kd-tree
+  // default (BM_KdTreeNearest below is 5D; this is the 2D comparison).
+  const Dataset data = bench::MakeBenchDataset("ss2d", 20000, 1);
+  std::vector<uint32_t> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  const Delaunay2d dt(data, ids);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt.Nearest(data.point(i)).squared_dist);
+    i = (i + 997) % data.size();
+  }
+}
+BENCHMARK(BM_DelaunayNearest2d);
+
+void BM_KdTreeNearest2d(benchmark::State& state) {
+  const Dataset data = bench::MakeBenchDataset("ss2d", 20000, 1);
+  const KdTree index(data);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Nearest(data.point(i)));
+    i = (i + 997) % data.size();
+  }
+}
+BENCHMARK(BM_KdTreeNearest2d);
+
+void BM_KdTreeNearest(benchmark::State& state) {
+  const Dataset data = bench::MakeBenchDataset("ss5d", 100000, 1);
+  const KdTree index(data);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Nearest(data.point(i)));
+    i = (i + 997) % data.size();
+  }
+}
+BENCHMARK(BM_KdTreeNearest);
+
+void BM_CountInBallEarlyStop(benchmark::State& state) {
+  // The MinPts core test: early termination at 100 vs full counting.
+  const Dataset data = bench::MakeBenchDataset("ss3d", 100000, 1);
+  const KdTree index(data);
+  const size_t stop_at = static_cast<size_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.CountInBall(data.point(i), bench::kDefaultEps, stop_at));
+    i = (i + 997) % data.size();
+  }
+}
+BENCHMARK(BM_CountInBallEarlyStop)->Arg(100)->Arg(1 << 30);
+
+}  // namespace
+}  // namespace adbscan
+
+BENCHMARK_MAIN();

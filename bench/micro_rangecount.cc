@@ -1,0 +1,87 @@
+// Microbenchmarks: the Lemma 5 approximate range counting structure —
+// build and query cost vs exact counting, and the (1/ρ)^{d-1}
+// boundary-cell effect on query time.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "bench_common.h"
+#include "index/kdtree.h"
+#include "rangecount/approx_range_counter.h"
+
+namespace adbscan {
+namespace {
+
+std::vector<uint32_t> AllIds(const Dataset& data) {
+  std::vector<uint32_t> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  return ids;
+}
+
+void BM_RangeCountBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const double rho = 1.0 / static_cast<double>(state.range(1));
+  const Dataset data = bench::MakeBenchDataset("ss3d", n, 1);
+  const std::vector<uint32_t> ids = AllIds(data);
+  for (auto _ : state) {
+    ApproxRangeCounter counter(data, ids, bench::kDefaultEps, rho);
+    benchmark::DoNotOptimize(counter.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RangeCountBuild)
+    ->Args({10000, 1000})   // rho = 0.001
+    ->Args({100000, 1000})
+    ->Args({100000, 10});   // rho = 0.1: far fewer levels
+
+void BM_RangeCountQuery(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const double rho = 1.0 / static_cast<double>(state.range(1));
+  const Dataset data =
+      bench::MakeBenchDataset("ss" + std::to_string(dim) + "d", 100000, 1);
+  const ApproxRangeCounter counter(data, AllIds(data), bench::kDefaultEps,
+                                   rho);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.Query(data.point(i)));
+    i = (i + 997) % data.size();
+  }
+}
+BENCHMARK(BM_RangeCountQuery)
+    ->Args({3, 1000})
+    ->Args({3, 10})
+    ->Args({7, 1000})
+    ->Args({7, 10});
+
+void BM_RangeCountQueryNonzero(benchmark::State& state) {
+  // The edge-test workload of the ρ-approximate algorithm: existence only.
+  const Dataset data = bench::MakeBenchDataset("ss3d", 100000, 1);
+  const ApproxRangeCounter counter(data, AllIds(data), bench::kDefaultEps,
+                                   0.001);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.QueryNonzero(data.point(i)));
+    i = (i + 997) % data.size();
+  }
+}
+BENCHMARK(BM_RangeCountQueryNonzero);
+
+void BM_ExactCountViaKdTree(benchmark::State& state) {
+  // Baseline the approximate counter competes with.
+  const Dataset data = bench::MakeBenchDataset("ss3d", 100000, 1);
+  const KdTree tree(data);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.CountInBall(data.point(i), bench::kDefaultEps, SIZE_MAX));
+    i = (i + 997) % data.size();
+  }
+}
+BENCHMARK(BM_ExactCountViaKdTree);
+
+}  // namespace
+}  // namespace adbscan
+
+BENCHMARK_MAIN();

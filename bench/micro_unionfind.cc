@@ -1,0 +1,58 @@
+// Microbenchmarks: union-find throughput (the connected-components step of
+// the core-cell graph G).
+
+#include <benchmark/benchmark.h>
+
+#include "ds/union_find.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace {
+
+void BM_UnionFindRandomUnions(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    UnionFind uf(n);
+    Rng rng(7);
+    for (uint32_t i = 0; i < n; ++i) {
+      uf.Union(static_cast<uint32_t>(rng.NextBounded(n)),
+               static_cast<uint32_t>(rng.NextBounded(n)));
+    }
+    benchmark::DoNotOptimize(uf.NumSets());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UnionFindRandomUnions)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_UnionFindChainThenFind(benchmark::State& state) {
+  // Worst-ish case: long chains, then path-compressed finds.
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    UnionFind uf(n);
+    for (uint32_t i = 1; i < n; ++i) uf.Union(i - 1, i);
+    uint64_t acc = 0;
+    for (uint32_t i = 0; i < n; ++i) acc += uf.Find(i);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UnionFindChainThenFind)->Arg(100000);
+
+void BM_UnionFindComponentIds(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  UnionFind uf(n);
+  Rng rng(11);
+  for (uint32_t i = 0; i < n / 2; ++i) {
+    uf.Union(static_cast<uint32_t>(rng.NextBounded(n)),
+             static_cast<uint32_t>(rng.NextBounded(n)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uf.ComponentIds().size());
+  }
+}
+BENCHMARK(BM_UnionFindComponentIds)->Arg(100000);
+
+}  // namespace
+}  // namespace adbscan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,163 @@
+// Color segmentation of a (synthetic) satellite image with VZ-feature
+// clustering — the workload behind the paper's Farm dataset (Section 5.1),
+// where 5-dimensional VZ-features of a Saudi-Arabian farm image are
+// clustered with DBSCAN.
+//
+//   ./image_segmentation [--width 256] [--height 256]
+//
+// Pipeline:
+//   1. render a synthetic "terrain" image: smooth regions (fields, desert,
+//      water) with texture noise;
+//   2. extract a 5D VZ-style feature per pixel (local intensity statistics
+//      over a 3x3 neighborhood, scaled to the paper's [0, 1e5] domain);
+//   3. cluster the features with ρ-approximate DBSCAN;
+//   4. score the recovered segments against the ground-truth terrain
+//      classes with the adjusted Rand index.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/adbscan.h"
+#include "eval/compare.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace adbscan;
+
+namespace {
+
+struct SyntheticImage {
+  int width;
+  int height;
+  std::vector<double> intensity;   // width*height grayscale
+  std::vector<int> terrain_class;  // ground truth per pixel
+};
+
+// Terrain: smooth class field from a few seeded regions (Voronoi-ish),
+// intensity = class base level + per-pixel texture.
+SyntheticImage RenderImage(int width, int height, uint64_t seed) {
+  constexpr int kClasses = 4;
+  const double base_level[kClasses] = {0.15, 0.4, 0.65, 0.9};
+  const double texture[kClasses] = {0.01, 0.03, 0.015, 0.02};
+  Rng rng(seed);
+  // Region seeds.
+  std::vector<double> sx(kClasses * 3), sy(kClasses * 3);
+  std::vector<int> sc(kClasses * 3);
+  for (size_t s = 0; s < sx.size(); ++s) {
+    sx[s] = rng.NextDouble(0, width);
+    sy[s] = rng.NextDouble(0, height);
+    sc[s] = static_cast<int>(s % kClasses);
+  }
+  SyntheticImage img{width, height, {}, {}};
+  img.intensity.resize(static_cast<size_t>(width) * height);
+  img.terrain_class.resize(img.intensity.size());
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      double best = 1e30;
+      int cls = 0;
+      for (size_t s = 0; s < sx.size(); ++s) {
+        const double d =
+            (x - sx[s]) * (x - sx[s]) + (y - sy[s]) * (y - sy[s]);
+        if (d < best) {
+          best = d;
+          cls = sc[s];
+        }
+      }
+      const size_t i = static_cast<size_t>(y) * width + x;
+      img.terrain_class[i] = cls;
+      img.intensity[i] =
+          base_level[cls] + rng.NextGaussian() * texture[cls];
+    }
+  }
+  return img;
+}
+
+// 5D VZ-style features: local mean, local std, gradient magnitude, and the
+// two directional responses — the classic "are filter banks necessary?"
+// answer of Varma & Zisserman is that raw local patches suffice.
+Dataset ExtractFeatures(const SyntheticImage& img) {
+  Dataset features(5);
+  features.Reserve(img.intensity.size());
+  auto at = [&](int x, int y) {
+    x = std::min(std::max(x, 0), img.width - 1);
+    y = std::min(std::max(y, 0), img.height - 1);
+    return img.intensity[static_cast<size_t>(y) * img.width + x];
+  };
+  for (int y = 0; y < img.height; ++y) {
+    for (int x = 0; x < img.width; ++x) {
+      double sum = 0.0, sum2 = 0.0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const double v = at(x + dx, y + dy);
+          sum += v;
+          sum2 += v * v;
+        }
+      }
+      const double mean = sum / 9.0;
+      const double var = std::max(0.0, sum2 / 9.0 - mean * mean);
+      const double gx = at(x + 1, y) - at(x - 1, y);
+      const double gy = at(x, y + 1) - at(x, y - 1);
+      // Scale into the paper's normalized [0, 1e5] domain.
+      features.Add({mean * 1e5, std::sqrt(var) * 1e5 * 4.0,
+                    std::sqrt(gx * gx + gy * gy) * 1e5,
+                    (gx + 1.0) * 5e4, (gy + 1.0) * 5e4});
+    }
+  }
+  return features;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("width", 256, "image width")
+      .DefineInt("height", 256, "image height")
+      .DefineDouble("eps", 5000.0, "DBSCAN radius in feature space")
+      .DefineInt("min_pts", 100, "MinPts")
+      .DefineDouble("rho", 0.001, "approximation ratio")
+      .DefineInt("seed", 31, "image seed");
+  flags.Parse(argc, argv);
+
+  const SyntheticImage img =
+      RenderImage(static_cast<int>(flags.GetInt("width")),
+                  static_cast<int>(flags.GetInt("height")),
+                  flags.GetInt("seed"));
+  std::printf("rendered %dx%d synthetic farm image (4 terrain classes)\n",
+              img.width, img.height);
+
+  const Dataset features = ExtractFeatures(img);
+  std::printf("extracted %zu VZ-style 5D features\n", features.size());
+
+  Timer timer;
+  const DbscanParams params{flags.GetDouble("eps"),
+                            static_cast<int>(flags.GetInt("min_pts"))};
+  const Clustering segments =
+      ApproxDbscan(features, params, flags.GetDouble("rho"));
+  std::printf("rho-approximate DBSCAN: %d segments, %zu noise pixels in "
+              "%.3fs\n",
+              segments.num_clusters, segments.NumNoisePoints(),
+              timer.ElapsedSeconds());
+
+  for (const auto& set : segments.ClusterSets()) {
+    // Majority terrain class of the segment.
+    int votes[8] = {0};
+    for (uint32_t id : set) ++votes[img.terrain_class[id] & 7];
+    int best = 0;
+    for (int c = 1; c < 8; ++c) {
+      if (votes[c] > votes[best]) best = c;
+    }
+    std::printf("  segment: %zu pixels, %d%% terrain class %d\n", set.size(),
+                static_cast<int>(100.0 * votes[best] / set.size()), best);
+  }
+
+  // Ground-truth comparison (noise pixels count as singletons).
+  Clustering truth;
+  truth.num_clusters = 4;
+  truth.label.assign(img.terrain_class.begin(), img.terrain_class.end());
+  truth.is_core.assign(truth.label.size(), 1);
+  std::printf("adjusted Rand index vs ground-truth terrain: %.3f\n",
+              AdjustedRandIndex(segments, truth));
+  return 0;
+}

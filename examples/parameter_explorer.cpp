@@ -1,0 +1,72 @@
+// Parameter exploration — the Figure 6 intuition, executable: how the
+// cluster structure changes with ε, which ε values are stable, and how much
+// approximation each ε tolerates (the maximum legal ρ of Section 5.2).
+//
+//   ./parameter_explorer [--n 20000] [--dim 3]
+//
+// For each ε on a sweep from a small radius to the dataset's collapsing
+// radius, prints the exact cluster count, noise share, the maximum legal ρ,
+// and whether the paper's recommended ρ = 0.001 is safe there.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/adbscan.h"
+#include "eval/collapse.h"
+#include "eval/compare.h"
+#include "gen/seed_spreader.h"
+#include "io/table.h"
+#include "util/flags.h"
+
+using namespace adbscan;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("n", 20000, "dataset cardinality")
+      .DefineInt("dim", 3, "dimensionality")
+      .DefineInt("min_pts", 100, "MinPts")
+      .DefineInt("steps", 10, "number of eps values to explore")
+      .DefineInt("seed", 4242, "generator seed");
+  flags.Parse(argc, argv);
+
+  SeedSpreaderParams p;
+  p.dim = static_cast<int>(flags.GetInt("dim"));
+  p.n = static_cast<size_t>(flags.GetInt("n"));
+  const Dataset data = GenerateSeedSpreader(p, flags.GetInt("seed"));
+  const int min_pts = static_cast<int>(flags.GetInt("min_pts"));
+  std::printf("dataset: seed spreader, n=%zu, d=%d, MinPts=%d\n",
+              data.size(), data.dim(), min_pts);
+
+  CollapseOptions copts;
+  copts.eps_lo = 500.0;
+  const double collapse = FindCollapsingRadius(data, min_pts, copts);
+  std::printf("collapsing radius (single cluster from here up): %.0f\n\n",
+              collapse);
+
+  const int steps = static_cast<int>(flags.GetInt("steps"));
+  const double eps_lo = collapse / 10.0;
+  Table t({"eps", "clusters", "noise %", "max legal rho",
+           "rho=0.001 safe"});
+  for (int s = 0; s < steps; ++s) {
+    const double eps = eps_lo + (collapse * 1.05 - eps_lo) *
+                                    static_cast<double>(s) /
+                                    std::max(1, steps - 1);
+    const DbscanParams params{eps, min_pts};
+    const Clustering exact = ExactGridDbscan(data, params);
+    const double max_rho = MaxLegalRho(data, params, exact);
+    const double noise_pct =
+        100.0 * static_cast<double>(exact.NumNoisePoints()) /
+        static_cast<double>(data.size());
+    t.AddRow({Table::Num(eps, 5), std::to_string(exact.num_clusters),
+              Table::Num(noise_pct, 3), Table::Num(max_rho, 3),
+              max_rho >= 0.001 ? "yes" : "NO (unstable eps)"});
+  }
+  t.Print();
+  std::printf(
+      "\nReading the table (paper, Sec. 4.2 and Fig. 6): stable eps values\n"
+      "tolerate large rho; a tiny max legal rho flags an eps sitting right\n"
+      "at a merge boundary — a poor parameter choice regardless of\n"
+      "approximation.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// The hardness story of Section 3, executable: solving unit-spherical
+// emptiness checking (USEC) through DBSCAN (Lemma 4).
+//
+//   ./usec_reduction [--n 20000] [--balls 10000] [--dim 3]
+//
+// Any T(n)-time DBSCAN algorithm yields a T(n)+O(n) USEC algorithm — so a
+// o(n^{4/3}) DBSCAN algorithm in 3D would crack a long-open computational
+// geometry problem (Theorem 1). The demo runs the reduction with both the
+// exact grid algorithm and ρ-approximate DBSCAN and checks against brute
+// force.
+
+#include <cstdio>
+
+#include "core/adbscan.h"
+#include "gen/usec_gen.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+using namespace adbscan;
+
+namespace {
+
+void Solve(const char* label, const UsecInstance& instance, bool expected) {
+  std::printf("%s (|S_pt|=%zu, |S_ball|=%zu, r=%.0f, expected %s)\n", label,
+              instance.points.size(), instance.ball_centers.size(),
+              instance.radius, expected ? "YES" : "NO");
+
+  Timer t0;
+  const bool brute = SolveUsecBruteForce(instance);
+  std::printf("  brute force:        %-3s  in %7.3fs\n",
+              brute ? "YES" : "NO", t0.ElapsedSeconds());
+
+  Timer t1;
+  const bool via_exact = SolveUsecViaDbscan(
+      instance, [](const Dataset& d, const DbscanParams& p) {
+        return ExactGridDbscan(d, p);
+      });
+  std::printf("  via exact DBSCAN:   %-3s  in %7.3fs\n",
+              via_exact ? "YES" : "NO", t1.ElapsedSeconds());
+
+  Timer t2;
+  const bool via_approx = SolveUsecViaDbscan(
+      instance, [](const Dataset& d, const DbscanParams& p) {
+        return ApproxDbscan(d, p, 1e-6);
+      });
+  std::printf("  via approx DBSCAN:  %-3s  in %7.3fs\n",
+              via_approx ? "YES" : "NO", t2.ElapsedSeconds());
+
+  if (brute != expected || via_exact != expected || via_approx != expected) {
+    std::printf("  MISMATCH!\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("n", 20000, "number of points")
+      .DefineInt("balls", 10000, "number of balls")
+      .DefineInt("dim", 3, "dimensionality")
+      .DefineDouble("radius", 1500.0, "ball radius")
+      .DefineInt("seed", 99, "instance seed");
+  flags.Parse(argc, argv);
+
+  const int dim = static_cast<int>(flags.GetInt("dim"));
+  const size_t n = static_cast<size_t>(flags.GetInt("n"));
+  const size_t balls = static_cast<size_t>(flags.GetInt("balls"));
+  const double radius = flags.GetDouble("radius");
+
+  std::printf("USEC via the Lemma 4 reduction (P = S_pt + centers, eps = r, "
+              "MinPts = 1)\n\n");
+  Solve("planted-YES instance",
+        GenerateUsecYes(dim, n, balls, radius, flags.GetInt("seed")), true);
+  Solve("planted-NO instance",
+        GenerateUsecNo(dim, n, balls, radius, flags.GetInt("seed") + 1),
+        false);
+
+  std::printf(
+      "Note the asymmetry the paper proves fundamental: the reduction\n"
+      "inherits whatever running time DBSCAN has, and DBSCAN (d>=3) cannot\n"
+      "beat the Omega(n^{4/3}) USEC barrier — while the approximate\n"
+      "variant sidesteps it at the price of a (1+rho) radius slack.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "baselines/gf_dbscan.h"
+
+#include <deque>
+#include <vector>
+
+#include "geom/point.h"
+#include "grid/grid.h"
+#include "util/check.h"
+
+namespace adbscan {
+namespace {
+
+constexpr int32_t kUnclassified = -2;
+
+// The approximate neighborhood described in the header: own cell taken
+// wholesale, adjacent cells distance-checked.
+std::vector<uint32_t> ApproxNeighborhood(const Dataset& data,
+                                         const Grid& grid, uint32_t id,
+                                         double eps) {
+  const uint32_t ci = grid.CellOfPoint(id);
+  std::vector<uint32_t> out = grid.cell(ci).points;  // no distance check
+  const double eps2 = eps * eps;
+  const double* p = data.point(id);
+  for (uint32_t cj : grid.EpsNeighbors(ci, eps)) {
+    for (uint32_t other : grid.cell(cj).points) {
+      if (SquaredDistance(p, data.point(other), data.dim()) <= eps2) {
+        out.push_back(other);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Clustering GfStyleDbscan(const Dataset& data, const DbscanParams& params) {
+  ADB_CHECK(params.eps > 0.0);
+  ADB_CHECK(params.min_pts >= 1);
+  const size_t n = data.size();
+  const size_t min_pts = static_cast<size_t>(params.min_pts);
+  Clustering out;
+  out.label.assign(n, kUnclassified);
+  out.is_core.assign(n, 0);
+  if (n == 0) return out;
+
+  // Cell side ε: the 3^d block around a cell covers every true neighbor,
+  // and EpsNeighbors with this side returns exactly the adjacent non-empty
+  // cells.
+  const Grid grid(data, params.eps);
+
+  int32_t next_cluster = 0;
+  std::deque<uint32_t> seeds;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (out.label[i] != kUnclassified) continue;
+    std::vector<uint32_t> neighbors =
+        ApproxNeighborhood(data, grid, i, params.eps);
+    if (neighbors.size() < min_pts) {
+      out.label[i] = kNoise;
+      continue;
+    }
+    const int32_t cluster = next_cluster++;
+    out.is_core[i] = 1;
+    out.label[i] = cluster;
+    seeds.clear();
+    for (uint32_t r : neighbors) {
+      if (r == i) continue;
+      if (out.label[r] == kUnclassified) seeds.push_back(r);
+      if (out.label[r] == kUnclassified || out.label[r] == kNoise) {
+        out.label[r] = cluster;
+      }
+    }
+    while (!seeds.empty()) {
+      const uint32_t q = seeds.front();
+      seeds.pop_front();
+      std::vector<uint32_t> result =
+          ApproxNeighborhood(data, grid, q, params.eps);
+      if (result.size() < min_pts) continue;
+      out.is_core[q] = 1;
+      for (uint32_t r : result) {
+        if (out.label[r] == kUnclassified) {
+          seeds.push_back(r);
+          out.label[r] = cluster;
+        } else if (out.label[r] == kNoise) {
+          out.label[r] = cluster;
+        }
+      }
+    }
+  }
+  out.num_clusters = next_cluster;
+  return out;
+}
+
+}  // namespace adbscan

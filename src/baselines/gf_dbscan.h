@@ -1,0 +1,29 @@
+#ifndef ADBSCAN_BASELINES_GF_DBSCAN_H_
+#define ADBSCAN_BASELINES_GF_DBSCAN_H_
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// A grid-shortcut DBSCAN in the style of GF-DBSCAN (Tsai and Wu 2009,
+// reference [26] of the paper) — one of the "improved versions of the
+// original DBSCAN algorithm" that, as Gunawan [11] showed and Section 1.1
+// recounts, do NOT compute the precise DBSCAN result.
+//
+// The characteristic shortcut: the grid uses cell side ε (not ε/√d), and a
+// point's ε-neighborhood is approximated as
+//   - every point of its own cell, with NO distance check (same-cell pairs
+//     can in truth be up to ε·√d apart), plus
+//   - distance-checked points from the 3^d − 1 adjacent cells.
+// No neighbor is missed (everything within ε lies in the 3^d block), but
+// the same-cell overcount can promote non-core points to core and thereby
+// merge or inflate clusters. tests/test_baselines.cc constructs a concrete
+// counterexample, substantiating the paper's mis-claim discussion.
+//
+// Runs in the same seed-expansion loop as KDD96 over the grid.
+Clustering GfStyleDbscan(const Dataset& data, const DbscanParams& params);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_BASELINES_GF_DBSCAN_H_

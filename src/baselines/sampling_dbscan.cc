@@ -1,0 +1,101 @@
+#include "baselines/sampling_dbscan.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "geom/point.h"
+#include "index/kdtree.h"
+#include "util/check.h"
+
+namespace adbscan {
+namespace {
+
+constexpr int32_t kUnclassified = -2;
+
+// Picks up to max_seeds expansion representatives from the unclassified
+// neighbors: the farthest neighbors from q first (IDBSCAN's "border point
+// sampling" idea — far samples best extend the cluster frontier).
+std::vector<uint32_t> SampleSeeds(const Dataset& data, const double* q,
+                                  std::vector<uint32_t> candidates,
+                                  uint32_t max_seeds) {
+  if (candidates.size() <= max_seeds) return candidates;
+  std::partial_sort(
+      candidates.begin(), candidates.begin() + max_seeds, candidates.end(),
+      [&](uint32_t a, uint32_t b) {
+        return SquaredDistance(q, data.point(a), data.dim()) >
+               SquaredDistance(q, data.point(b), data.dim());
+      });
+  candidates.resize(max_seeds);
+  return candidates;
+}
+
+}  // namespace
+
+Clustering SamplingDbscan(const Dataset& data, const DbscanParams& params,
+                          const SamplingDbscanOptions& options) {
+  ADB_CHECK(params.eps > 0.0);
+  ADB_CHECK(params.min_pts >= 1);
+  ADB_CHECK(options.max_seeds_per_point >= 1);
+  const size_t n = data.size();
+  const size_t min_pts = static_cast<size_t>(params.min_pts);
+  Clustering out;
+  out.label.assign(n, kUnclassified);
+  out.is_core.assign(n, 0);
+  if (n == 0) return out;
+  const KdTree index(data);
+
+  int32_t next_cluster = 0;
+  std::deque<uint32_t> seeds;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (out.label[i] != kUnclassified) continue;
+    std::vector<uint32_t> neighbors =
+        index.RangeQuery(data.point(i), params.eps);
+    if (neighbors.size() < min_pts) {
+      out.label[i] = kNoise;
+      continue;
+    }
+    const int32_t cluster = next_cluster++;
+    out.is_core[i] = 1;
+    out.label[i] = cluster;
+    seeds.clear();
+    std::vector<uint32_t> fresh;
+    for (uint32_t r : neighbors) {
+      if (r == i) continue;
+      if (out.label[r] == kUnclassified) fresh.push_back(r);
+      if (out.label[r] == kUnclassified || out.label[r] == kNoise) {
+        out.label[r] = cluster;
+      }
+    }
+    for (uint32_t r : SampleSeeds(data, data.point(i), std::move(fresh),
+                                  options.max_seeds_per_point)) {
+      seeds.push_back(r);
+    }
+    while (!seeds.empty()) {
+      const uint32_t q = seeds.front();
+      seeds.pop_front();
+      std::vector<uint32_t> result =
+          index.RangeQuery(data.point(q), params.eps);
+      if (result.size() < min_pts) continue;
+      out.is_core[q] = 1;
+      std::vector<uint32_t> expandable;
+      for (uint32_t r : result) {
+        if (out.label[r] == kUnclassified) {
+          expandable.push_back(r);
+          out.label[r] = cluster;
+        } else if (out.label[r] == kNoise) {
+          out.label[r] = cluster;
+        }
+      }
+      for (uint32_t r :
+           SampleSeeds(data, data.point(q), std::move(expandable),
+                       options.max_seeds_per_point)) {
+        seeds.push_back(r);
+      }
+    }
+  }
+  out.num_clusters = next_cluster;
+  return out;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,33 @@
+#ifndef ADBSCAN_BASELINES_SAMPLING_DBSCAN_H_
+#define ADBSCAN_BASELINES_SAMPLING_DBSCAN_H_
+
+#include <cstdint>
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// A sampling-based DBSCAN in the style of IDBSCAN (Borah and Bhattacharyya
+// 2004, reference [6] of the paper) — the other family of "improved" DBSCAN
+// variants that Section 1.1 notes do NOT compute the precise result.
+//
+// The speedup idea: when a core point's neighborhood is retrieved, only a
+// bounded number of *seed samples* (IDBSCAN picks points near the boundary
+// of the ε-ball, approximated here by the most distant neighbors plus the
+// query point's axis extremes) are enqueued for further expansion; the
+// remaining neighbors are labeled but never expanded. This saves region
+// queries — and can split a genuinely connected cluster when every sampled
+// seed misses the bridge to its next segment, or leave core points
+// undiscovered. tests/test_baselines.cc constructs such a counterexample.
+struct SamplingDbscanOptions {
+  // Maximum neighbors enqueued per expanded core point.
+  uint32_t max_seeds_per_point = 8;
+};
+
+Clustering SamplingDbscan(const Dataset& data, const DbscanParams& params,
+                          const SamplingDbscanOptions& options = {});
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_BASELINES_SAMPLING_DBSCAN_H_

@@ -1,0 +1,78 @@
+#include "bcp/bcp.h"
+
+#include <limits>
+
+#include "geom/point.h"
+#include "index/kdtree.h"
+
+namespace adbscan {
+namespace {
+
+// Below this |A|·|B| product a doubly-nested scan beats building a tree.
+constexpr size_t kBruteForceThreshold = 2048;
+
+std::optional<BcpPair> BruteForcePair(const Dataset& data,
+                                      const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return std::nullopt;
+  BcpPair best{a[0], b[0], std::numeric_limits<double>::infinity()};
+  const int dim = data.dim();
+  for (uint32_t pa : a) {
+    const double* p = data.point(pa);
+    for (uint32_t pb : b) {
+      const double d2 = SquaredDistance(p, data.point(pb), dim);
+      if (d2 < best.squared_dist) best = {pa, pb, d2};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<BcpPair> BichromaticClosestPair(const Dataset& data,
+                                              const std::vector<uint32_t>& a,
+                                              const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return std::nullopt;
+  if (a.size() * b.size() <= kBruteForceThreshold) {
+    return BruteForcePair(data, a, b);
+  }
+  // Index the larger set; probe with the smaller. The shrinking bound makes
+  // later probes cheaper.
+  const bool a_smaller = a.size() <= b.size();
+  const std::vector<uint32_t>& probe = a_smaller ? a : b;
+  const std::vector<uint32_t>& indexed = a_smaller ? b : a;
+  KdTree tree(data, indexed);
+  BcpPair best{probe[0], indexed[0],
+               std::numeric_limits<double>::infinity()};
+  for (uint32_t pid : probe) {
+    const auto nn = tree.Nearest(data.point(pid), best.squared_dist);
+    if (nn.has_value()) best = {pid, nn->id, nn->squared_dist};
+  }
+  if (!a_smaller) std::swap(best.a, best.b);
+  return best;
+}
+
+bool ExistsPairWithin(const Dataset& data, const std::vector<uint32_t>& a,
+                      const std::vector<uint32_t>& b, double eps) {
+  if (a.empty() || b.empty()) return false;
+  const double eps2 = eps * eps;
+  const int dim = data.dim();
+  if (a.size() * b.size() <= kBruteForceThreshold) {
+    for (uint32_t pa : a) {
+      const double* p = data.point(pa);
+      for (uint32_t pb : b) {
+        if (SquaredDistance(p, data.point(pb), dim) <= eps2) return true;
+      }
+    }
+    return false;
+  }
+  const std::vector<uint32_t>& probe = a.size() <= b.size() ? a : b;
+  const std::vector<uint32_t>& indexed = a.size() <= b.size() ? b : a;
+  KdTree tree(data, indexed);
+  for (uint32_t pid : probe) {
+    if (tree.AnyWithin(data.point(pid), eps)) return true;
+  }
+  return false;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,42 @@
+#ifndef ADBSCAN_BCP_BCP_H_
+#define ADBSCAN_BCP_BCP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// Bichromatic closest pair (Section 2.3) between two subsets of a dataset.
+//
+// The paper invokes the algorithm of Agarwal et al. (Lemma 2) purely for its
+// asymptotic bound; what the exact DBSCAN algorithm of Theorem 2 needs at
+// runtime is a correct BCP *decision* ("is there a pair within ε?") between
+// the core points of two ε-neighbor cells. This module provides both the
+// exact pair and the decision procedure:
+//  - small inputs (|A|·|B| below a threshold): brute force with early exit;
+//  - large inputs: kd-tree on the larger set, nearest-neighbor query with a
+//    shrinking distance bound for each point of the smaller set.
+// See DESIGN.md's substitution table.
+
+struct BcpPair {
+  uint32_t a = 0;           // id from the first set
+  uint32_t b = 0;           // id from the second set
+  double squared_dist = 0;  // squared Euclidean distance
+};
+
+// Exact closest pair between sets A and B. nullopt iff either set is empty.
+std::optional<BcpPair> BichromaticClosestPair(const Dataset& data,
+                                              const std::vector<uint32_t>& a,
+                                              const std::vector<uint32_t>& b);
+
+// Decision version: true iff min-dist(A, B) <= eps. Early-exits on the first
+// witness pair.
+bool ExistsPairWithin(const Dataset& data, const std::vector<uint32_t>& a,
+                      const std::vector<uint32_t>& b, double eps);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_BCP_BCP_H_

@@ -1,0 +1,32 @@
+#ifndef ADBSCAN_CORE_ADBSCAN_H_
+#define ADBSCAN_CORE_ADBSCAN_H_
+
+// Umbrella header: the public clustering API of the library.
+//
+//   Dataset data(3);
+//   data.Add({x, y, z});
+//   ...
+//   // The paper's recommendation for large data (Theorem 4):
+//   Clustering c = ApproxDbscan(data, {.eps = 5000, .min_pts = 100},
+//                               /*rho=*/0.001);
+//   // Exact alternatives:
+//   Clustering e = ExactGridDbscan(data, {5000, 100});       // Theorem 2
+//   Clustering k = Kdd96Dbscan(data, {5000, 100});           // KDD'96
+//   Clustering g = GridbscanDbscan(data, {5000, 100});       // CIT'08
+//   Clustering g2 = Gunawan2dDbscan(data2d, {5000, 100});    // 2D only
+//
+// All algorithms return the same Clustering shape; the exact ones produce
+// the unique DBSCAN clustering of Problem 1, ApproxDbscan a legal
+// ρ-approximate clustering of Problem 2 (sandwiched per Theorem 3).
+
+#include "core/approx_dbscan.h"
+#include "core/brute_reference.h"
+#include "core/dbscan_types.h"
+#include "core/exact_grid.h"
+#include "core/gridbscan.h"
+#include "core/gunawan2d.h"
+#include "core/kdd96.h"
+#include "core/usec.h"
+#include "geom/dataset.h"
+
+#endif  // ADBSCAN_CORE_ADBSCAN_H_

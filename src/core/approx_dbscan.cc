@@ -1,0 +1,64 @@
+#include "core/approx_dbscan.h"
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/grid_pipeline.h"
+#include "rangecount/approx_range_counter.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace adbscan {
+
+Clustering ApproxDbscan(const Dataset& data, const DbscanParams& params,
+                        double rho, const ApproxDbscanOptions& options) {
+  ADB_CHECK(rho > 0.0);
+  const CoreCellIndex* cells = nullptr;
+  // One Lemma 5 structure per core cell, over that cell's core points.
+  std::vector<std::unique_ptr<ApproxRangeCounter>> counters;
+
+  GridPipelineHooks hooks;
+  hooks.prepare_cells = [&](const Grid&, const CoreCellIndex& cci) {
+    cells = &cci;
+    counters.resize(cci.size());
+    ParallelFor(cci.size(), params.num_threads,
+                [&](size_t begin, size_t end) {
+                  for (size_t c = begin; c < end; ++c) {
+                    counters[c] = std::make_unique<ApproxRangeCounter>(
+                        data, cci.core_points[c], params.eps, rho);
+                  }
+                });
+  };
+  hooks.edge_test = [&](uint32_t c1, uint32_t c2) {
+    // Probe c2's structure with every core point of c1; the first non-zero
+    // answer certifies a pair within ε(1+ρ) and adds the edge.
+    const ApproxRangeCounter& counter = *counters[c2];
+    for (uint32_t p : cells->core_points[c1]) {
+      if (counter.QueryNonzero(data.point(p))) return true;
+    }
+    return false;
+  };
+  hooks.edge_test_thread_safe = true;  // counter queries are const & pure
+  if (options.approximate_core_counting) {
+    // Journal-version labeling: one whole-dataset counter answers the
+    // MinPts test with the Lemma 5 guarantee, so a reported core point has
+    // at least MinPts neighbors within ε(1+ρ) and every exact-ε core point
+    // is reported core.
+    hooks.label_core = [&](const Dataset& d, const Grid&,
+                           const DbscanParams& p) {
+      std::vector<uint32_t> all(d.size());
+      std::iota(all.begin(), all.end(), 0u);
+      const ApproxRangeCounter whole(d, all, p.eps, rho);
+      std::vector<char> is_core(d.size(), 0);
+      const size_t min_pts = static_cast<size_t>(p.min_pts);
+      for (size_t i = 0; i < d.size(); ++i) {
+        if (whole.QueryAtLeast(d.point(i), min_pts)) is_core[i] = 1;
+      }
+      return is_core;
+    };
+  }
+  return RunGridPipeline(data, params, hooks);
+}
+
+}  // namespace adbscan

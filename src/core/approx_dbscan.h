@@ -1,0 +1,41 @@
+#ifndef ADBSCAN_CORE_APPROX_DBSCAN_H_
+#define ADBSCAN_CORE_APPROX_DBSCAN_H_
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// "OurApprox" (Section 4, Theorem 4): ρ-approximate DBSCAN in O(n) expected
+// time for any fixed d, ε and constant ρ — the paper's primary contribution.
+//
+// Identical to ExactGridDbscan except for the edge rule of the core-cell
+// graph G (Section 4.4):
+//   - an edge (c1, c2) IS added when some core point of c1 has a non-zero
+//     approximate range count against the core points of c2 (Lemma 5
+//     structure, radius ε, slack ρ);
+//   - consequently an edge is guaranteed present when the true closest pair
+//     is within ε, guaranteed absent when it exceeds ε(1+ρ), and may go
+//     either way in between ("don't care").
+//
+// The result is a legal ρ-approximate clustering (Problem 2) obeying the
+// sandwich guarantee of Theorem 3: it contains every DBSCAN(ε) cluster and
+// is contained in a DBSCAN(ε(1+ρ)) cluster. Core/non-core status is exact
+// by default (Definition 1 is unchanged in the conference paper).
+struct ApproxDbscanOptions {
+  // When true, the MinPts core test itself uses a Lemma 5 counter over the
+  // whole dataset instead of exact counting — the relaxation adopted by the
+  // journal version of the paper. Every exact-ε core point stays core and
+  // no point that is non-core even at ε(1+ρ) becomes core, so the Theorem 3
+  // sandwich still holds; core flags may differ from exact DBSCAN only for
+  // points whose ε-count crosses MinPts within the (ε, ε(1+ρ)] band. Keeps
+  // the labeling step O(n) even under adversarial cell occupancy.
+  bool approximate_core_counting = false;
+};
+
+Clustering ApproxDbscan(const Dataset& data, const DbscanParams& params,
+                        double rho, const ApproxDbscanOptions& options = {});
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_CORE_APPROX_DBSCAN_H_

@@ -1,0 +1,103 @@
+#include "core/border.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "geom/box.h"
+#include "geom/point.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace adbscan {
+
+void AssignBorderPoints(const Dataset& data, const Grid& grid,
+                        const CoreCellIndex& cci,
+                        const std::vector<char>& is_core,
+                        const std::vector<int32_t>& core_label, double eps,
+                        Clustering* out, int num_threads) {
+  const double eps2 = eps * eps;
+  const int dim = data.dim();
+  if (num_threads > 1) grid.WarmNeighborCache(eps, num_threads);
+  std::mutex extras_mutex;
+
+  // All core points of one cell belong to one cluster (Lemma 1: the cell is
+  // a vertex of G, its core points follow its connected component). So for
+  // a candidate core cell, a border point needs only the answer to "is any
+  // core point of this cell within ε?" — which allows both an early exit on
+  // the first hit and whole-cell box shortcuts.
+  std::vector<int32_t> cell_cluster(cci.size());
+  for (uint32_t cc = 0; cc < cci.size(); ++cc) {
+    cell_cluster[cc] = core_label[cci.core_points[cc].front()];
+    ADB_DCHECK(cell_cluster[cc] != kNoise);
+  }
+
+  // Process cell by cell so each neighbor list is computed once; cells are
+  // independent apart from the extras list.
+  ParallelFor(grid.NumCells(), num_threads, [&](size_t begin, size_t end) {
+  std::vector<int32_t> memberships;  // clusters found for the current point
+  std::vector<std::pair<uint32_t, int32_t>> local_extras;
+  for (uint32_t ci = static_cast<uint32_t>(begin); ci < end; ++ci) {
+    const Grid::Cell& cell = grid.cell(ci);
+    bool has_non_core = false;
+    for (uint32_t id : cell.points) {
+      if (!is_core[id]) {
+        has_non_core = true;
+        break;
+      }
+    }
+    if (!has_non_core) continue;
+
+    // Candidate core cells: the cell itself plus its ε-neighbors.
+    std::vector<uint32_t> candidate_cells = grid.EpsNeighbors(ci, eps);
+    candidate_cells.push_back(ci);
+    std::vector<uint32_t> core_cells;
+    std::vector<Box> core_boxes;
+    for (uint32_t cj : candidate_cells) {
+      const uint32_t cc = cci.core_cell_of_grid_cell[cj];
+      if (cc == CoreCellIndex::kNone) continue;
+      core_cells.push_back(cc);
+      core_boxes.push_back(grid.CellBoxOf(cj));
+    }
+
+    for (uint32_t id : cell.points) {
+      if (is_core[id]) continue;
+      const double* q = data.point(id);
+      memberships.clear();
+      for (size_t k = 0; k < core_cells.size(); ++k) {
+        const uint32_t cc = core_cells[k];
+        const int32_t cluster = cell_cluster[cc];
+        // A cluster already collected needs no second witness.
+        if (std::find(memberships.begin(), memberships.end(), cluster) !=
+            memberships.end()) {
+          continue;
+        }
+        if (core_boxes[k].MinSquaredDistToPoint(q) > eps2) continue;
+        bool hit = core_boxes[k].MaxSquaredDistToPoint(q) <= eps2;
+        if (!hit) {
+          for (uint32_t core_id : cci.core_points[cc]) {
+            if (SquaredDistance(q, data.point(core_id), dim) <= eps2) {
+              hit = true;
+              break;
+            }
+          }
+        }
+        if (hit) memberships.push_back(cluster);
+      }
+      if (memberships.empty()) continue;  // noise
+      std::sort(memberships.begin(), memberships.end());
+      out->label[id] = memberships.front();
+      for (size_t k = 1; k < memberships.size(); ++k) {
+        local_extras.emplace_back(id, memberships[k]);
+      }
+    }
+  }
+  if (!local_extras.empty()) {
+    const std::lock_guard<std::mutex> lock(extras_mutex);
+    out->extra_memberships.insert(out->extra_memberships.end(),
+                                  local_extras.begin(), local_extras.end());
+  }
+  });
+  std::sort(out->extra_memberships.begin(), out->extra_memberships.end());
+}
+
+}  // namespace adbscan

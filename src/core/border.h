@@ -1,0 +1,33 @@
+#ifndef ADBSCAN_CORE_BORDER_H_
+#define ADBSCAN_CORE_BORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/core_labeling.h"
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+#include "grid/grid.h"
+
+namespace adbscan {
+
+// Assigns every non-core point q to the cluster of every core point within
+// distance ε of q ("Assigning Border Points", Section 2.2): q's primary
+// label becomes the smallest such cluster id, the remaining ones are
+// recorded as extra memberships, and points with no core point in range stay
+// noise.
+//
+// `core_label[p]` must hold the cluster id of every core point p;
+// `out->label` must already carry those core labels. Non-core entries of
+// `core_label` are ignored.
+// num_threads > 1 parallelizes over cells (labels are written disjointly;
+// extra memberships are collected under a mutex and canonically sorted).
+void AssignBorderPoints(const Dataset& data, const Grid& grid,
+                        const CoreCellIndex& cci,
+                        const std::vector<char>& is_core,
+                        const std::vector<int32_t>& core_label, double eps,
+                        Clustering* out, int num_threads = 1);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_CORE_BORDER_H_

@@ -1,0 +1,79 @@
+#include "core/brute_reference.h"
+
+#include <algorithm>
+
+#include "ds/union_find.h"
+#include "geom/point.h"
+#include "util/check.h"
+
+namespace adbscan {
+
+Clustering BruteForceDbscan(const Dataset& data, const DbscanParams& params) {
+  ADB_CHECK(params.eps > 0.0);
+  ADB_CHECK(params.min_pts >= 1);
+  const size_t n = data.size();
+  const double eps2 = params.eps * params.eps;
+  const int dim = data.dim();
+  Clustering out;
+  out.label.assign(n, kNoise);
+  out.is_core.assign(n, 0);
+  if (n == 0) return out;
+
+  // Core points by exhaustive counting.
+  for (uint32_t i = 0; i < n; ++i) {
+    size_t count = 0;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (SquaredDistance(data.point(i), data.point(j), dim) <= eps2) {
+        ++count;
+      }
+    }
+    if (count >= static_cast<size_t>(params.min_pts)) out.is_core[i] = 1;
+  }
+
+  // Connected components of the core-core ε-graph.
+  UnionFind uf(static_cast<uint32_t>(n));
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!out.is_core[i]) continue;
+    for (uint32_t j = i + 1; j < n; ++j) {
+      if (!out.is_core[j]) continue;
+      if (SquaredDistance(data.point(i), data.point(j), dim) <= eps2) {
+        uf.Union(i, j);
+      }
+    }
+  }
+  std::vector<int32_t> core_label(n, kNoise);
+  std::vector<int32_t> root_cluster(n, kNoise);
+  int32_t next_cluster = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!out.is_core[i]) continue;
+    const uint32_t root = uf.Find(i);
+    if (root_cluster[root] == kNoise) root_cluster[root] = next_cluster++;
+    core_label[i] = root_cluster[root];
+    out.label[i] = core_label[i];
+  }
+  out.num_clusters = next_cluster;
+
+  // Border points join every cluster owning a core point within ε.
+  std::vector<int32_t> found;
+  for (uint32_t q = 0; q < n; ++q) {
+    if (out.is_core[q]) continue;
+    found.clear();
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!out.is_core[i]) continue;
+      if (SquaredDistance(data.point(q), data.point(i), dim) <= eps2) {
+        found.push_back(core_label[i]);
+      }
+    }
+    if (found.empty()) continue;
+    std::sort(found.begin(), found.end());
+    found.erase(std::unique(found.begin(), found.end()), found.end());
+    out.label[q] = found.front();
+    for (size_t k = 1; k < found.size(); ++k) {
+      out.extra_memberships.emplace_back(q, found[k]);
+    }
+  }
+  std::sort(out.extra_memberships.begin(), out.extra_memberships.end());
+  return out;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,20 @@
+#ifndef ADBSCAN_CORE_BRUTE_REFERENCE_H_
+#define ADBSCAN_CORE_BRUTE_REFERENCE_H_
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// Trusted O(n²) reference DBSCAN, implemented directly from Definitions 1-3
+// with no indexing or grid shortcuts:
+//   - core points by exhaustive ε-ball counting,
+//   - clusters as connected components of the core-core ε-graph,
+//   - every non-core point joined to the cluster of every core point within
+//     ε of it.
+// Used by the test suite as the ground truth all fast algorithms must match.
+Clustering BruteForceDbscan(const Dataset& data, const DbscanParams& params);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_CORE_BRUTE_REFERENCE_H_

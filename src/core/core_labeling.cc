@@ -1,0 +1,90 @@
+#include "core/core_labeling.h"
+
+#include "geom/box.h"
+#include "geom/point.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace adbscan {
+
+std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
+                                  const DbscanParams& params) {
+  ADB_CHECK(params.min_pts >= 1);
+  const size_t n = data.size();
+  std::vector<char> is_core(n, 0);
+  const size_t min_pts = static_cast<size_t>(params.min_pts);
+  const double eps2 = params.eps * params.eps;
+  const int dim = data.dim();
+
+  // Cells are independent (each writes only its own points' flags), so the
+  // loop parallelizes directly once the shared neighbor cache is warm.
+  if (params.num_threads > 1) {
+    grid.WarmNeighborCache(params.eps, params.num_threads);
+  }
+  ParallelFor(grid.NumCells(), params.num_threads, [&](size_t begin,
+                                                       size_t end) {
+  for (uint32_t ci = static_cast<uint32_t>(begin); ci < end; ++ci) {
+    const Grid::Cell& cell = grid.cell(ci);
+    if (cell.points.size() >= min_pts) {
+      // Dense cell: everything inside is core.
+      for (uint32_t id : cell.points) is_core[id] = 1;
+      continue;
+    }
+    // Sparse cell: count each point's ε-neighborhood over the neighbor
+    // cells, with early exit at MinPts. The neighbor list is shared by all
+    // points of the cell. Cell-box tests keep the scan near O(MinPts) even
+    // when neighbor cells hold many points: a box fully inside B(p, ε)
+    // contributes its whole count, a box outside contributes nothing, and
+    // only the boundary shell needs per-point distances.
+    const std::vector<uint32_t>& neighbors =
+        grid.EpsNeighbors(ci, params.eps);
+    std::vector<Box> neighbor_boxes;
+    neighbor_boxes.reserve(neighbors.size());
+    for (uint32_t cj : neighbors) neighbor_boxes.push_back(grid.CellBoxOf(cj));
+    for (uint32_t id : cell.points) {
+      const double* p = data.point(id);
+      size_t count = cell.points.size();  // own cell: all within ε
+      if (count < min_pts) {
+        for (size_t k = 0; k < neighbors.size(); ++k) {
+          const Box& box = neighbor_boxes[k];
+          if (box.MinSquaredDistToPoint(p) > eps2) continue;
+          const std::vector<uint32_t>& others =
+              grid.cell(neighbors[k]).points;
+          if (box.MaxSquaredDistToPoint(p) <= eps2) {
+            count += others.size();
+          } else {
+            for (uint32_t other : others) {
+              if (SquaredDistance(p, data.point(other), dim) <= eps2) {
+                if (++count >= min_pts) break;
+              }
+            }
+          }
+          if (count >= min_pts) break;
+        }
+      }
+      if (count >= min_pts) is_core[id] = 1;
+    }
+  }
+  });
+  return is_core;
+}
+
+CoreCellIndex BuildCoreCellIndex(const Grid& grid,
+                                 const std::vector<char>& is_core) {
+  CoreCellIndex index;
+  index.core_cell_of_grid_cell.assign(grid.NumCells(), CoreCellIndex::kNone);
+  for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+    std::vector<uint32_t> core_pts;
+    for (uint32_t id : grid.cell(ci).points) {
+      if (is_core[id]) core_pts.push_back(id);
+    }
+    if (core_pts.empty()) continue;
+    index.core_cell_of_grid_cell[ci] =
+        static_cast<uint32_t>(index.grid_cell.size());
+    index.grid_cell.push_back(ci);
+    index.core_points.push_back(std::move(core_pts));
+  }
+  return index;
+}
+
+}  // namespace adbscan

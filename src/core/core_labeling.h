@@ -1,0 +1,46 @@
+#ifndef ADBSCAN_CORE_CORE_LABELING_H_
+#define ADBSCAN_CORE_CORE_LABELING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+#include "grid/grid.h"
+
+namespace adbscan {
+
+// The labeling process of Section 2.2, generalized to any dimensionality:
+// decides for every point whether it is a core point (Definition 1).
+//
+// For a cell with at least MinPts points, every point in it is core (any two
+// points of a cell are within ε because the side is ε/√d). For sparser
+// cells, each point's ε-ball count is accumulated over the cell itself and
+// its ε-neighbor cells, stopping as soon as MinPts is reached.
+//
+// `grid` must have been built over `data` with side ε/√d. Expected time
+// O(MinPts · n) for constant d.
+std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
+                                  const DbscanParams& params);
+
+// The core cells of a grid (cells covering at least one core point) and
+// their core-point lists — the vertex set of the graph G in Sections
+// 2.2/3.2/4.4.
+struct CoreCellIndex {
+  // Grid cell index of each core cell.
+  std::vector<uint32_t> grid_cell;
+  // Core point ids per core cell (parallel to grid_cell).
+  std::vector<std::vector<uint32_t>> core_points;
+  // Maps grid cell index -> core cell index, or kNone.
+  std::vector<uint32_t> core_cell_of_grid_cell;
+
+  static constexpr uint32_t kNone = 0xffffffffu;
+  size_t size() const { return grid_cell.size(); }
+};
+
+CoreCellIndex BuildCoreCellIndex(const Grid& grid,
+                                 const std::vector<char>& is_core);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_CORE_CORE_LABELING_H_

@@ -1,0 +1,80 @@
+#ifndef ADBSCAN_CORE_DBSCAN_TYPES_H_
+#define ADBSCAN_CORE_DBSCAN_TYPES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace adbscan {
+
+// Cluster label of points that belong to no cluster (Definition 3 remark).
+inline constexpr int32_t kNoise = -1;
+
+// The two DBSCAN parameters of Definition 1, plus an execution knob.
+struct DbscanParams {
+  double eps = 0.0;  // ε: radius of the density ball
+  int min_pts = 1;   // MinPts: density threshold (includes the point itself)
+
+  // Worker threads used by the grid-pipeline algorithms (ExactGridDbscan,
+  // ApproxDbscan, Gunawan2dDbscan) for neighbor enumeration, labeling,
+  // structure construction, edge tests, and border assignment. The output
+  // is identical for every value (the parallel edge phase evaluates the
+  // same deterministic tests; extra tests a serial run would have skipped
+  // as already-connected cannot change connectivity). KDD96 and GriDBSCAN
+  // remain single-threaded, faithful to their originals.
+  int num_threads = 1;
+};
+
+// Output of every clustering algorithm in this library.
+//
+// DBSCAN clusters are not disjoint: a border point belongs to the cluster of
+// *every* core point within ε of it (Lemma 2 of [10]: only border points can
+// be shared). The result therefore carries a primary label per point plus an
+// explicit list of additional memberships, and comparisons between
+// algorithms go through ClusterSets(), which is label- and order-invariant.
+struct Clustering {
+  int32_t num_clusters = 0;
+
+  // Primary cluster of each point in [0, num_clusters), or kNoise.
+  std::vector<int32_t> label;
+
+  // Whether each point is a core point (Definition 1).
+  std::vector<char> is_core;
+
+  // Additional (point, cluster) memberships of border points beyond their
+  // primary label. Sorted lexicographically, no duplicates.
+  std::vector<std::pair<uint32_t, int32_t>> extra_memberships;
+
+  // The clusters as canonical point-id sets: cluster -> sorted ids,
+  // including extra memberships.
+  std::vector<std::vector<uint32_t>> ClusterSets() const {
+    std::vector<std::vector<uint32_t>> sets(num_clusters);
+    for (uint32_t i = 0; i < label.size(); ++i) {
+      if (label[i] != kNoise) sets[label[i]].push_back(i);
+    }
+    for (const auto& [point, cluster] : extra_memberships) {
+      sets[cluster].push_back(point);
+    }
+    for (auto& s : sets) {
+      std::sort(s.begin(), s.end());
+    }
+    return sets;
+  }
+
+  size_t NumNoisePoints() const {
+    size_t n = 0;
+    for (int32_t l : label) n += (l == kNoise);
+    return n;
+  }
+
+  size_t NumCorePoints() const {
+    size_t n = 0;
+    for (char c : is_core) n += (c != 0);
+    return n;
+  }
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_CORE_DBSCAN_TYPES_H_

@@ -1,0 +1,22 @@
+#include "core/exact_grid.h"
+
+#include "bcp/bcp.h"
+#include "core/grid_pipeline.h"
+
+namespace adbscan {
+
+Clustering ExactGridDbscan(const Dataset& data, const DbscanParams& params) {
+  const CoreCellIndex* cells = nullptr;
+  GridPipelineHooks hooks;
+  hooks.prepare_cells = [&](const Grid&, const CoreCellIndex& cci) {
+    cells = &cci;
+  };
+  hooks.edge_test = [&](uint32_t c1, uint32_t c2) {
+    return ExistsPairWithin(data, cells->core_points[c1],
+                            cells->core_points[c2], params.eps);
+  };
+  hooks.edge_test_thread_safe = true;  // BCP is a pure function of the pair
+  return RunGridPipeline(data, params, hooks);
+}
+
+}  // namespace adbscan

@@ -1,0 +1,22 @@
+#ifndef ADBSCAN_CORE_EXACT_GRID_H_
+#define ADBSCAN_CORE_EXACT_GRID_H_
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// "OurExact" (Section 3.2, Theorem 2): the exact DBSCAN algorithm for any
+// fixed dimensionality d. Extends Gunawan's grid framework with a
+// d-dimensional grid of cell side ε/√d and decides each edge of the
+// core-cell graph G with a bichromatic-closest-pair test between the core
+// points of the two cells.
+//
+// Expected time O(n^{2 - 2/(⌈d/2⌉+1) + δ}) for d ≥ 4 and O((n log n)^{4/3})
+// for d = 3 with the Lemma 2 BCP algorithm; this implementation substitutes
+// a kd-tree-pruned BCP decision (see DESIGN.md) with identical output.
+Clustering ExactGridDbscan(const Dataset& data, const DbscanParams& params);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_CORE_EXACT_GRID_H_

@@ -1,0 +1,49 @@
+#ifndef ADBSCAN_CORE_GRID_PIPELINE_H_
+#define ADBSCAN_CORE_GRID_PIPELINE_H_
+
+#include <functional>
+
+#include "core/core_labeling.h"
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+#include "grid/grid.h"
+
+namespace adbscan {
+
+// The skeleton shared by Gunawan's 2D algorithm, the exact d ≥ 3 algorithm
+// (Theorem 2), and the ρ-approximate algorithm (Theorem 4); the three differ
+// only in how an edge of the core-cell graph G is decided:
+//   1. build the grid with cell side ε/√d;
+//   2. label core points (exact, Definition 1);
+//   3. build the core-cell index (vertices of G);
+//   4. for every unordered pair of ε-neighbor core cells not yet connected,
+//      run the algorithm-specific edge test and union the cells on success;
+//   5. number the connected components (clusters of core points, Lemma 1);
+//   6. assign border points.
+//
+// `PrepareCells` (optional) is called once with the core-cell index before
+// edge generation — the ρ-approximate algorithm uses it to build its
+// per-cell counting structures. `EdgeTest(c1, c2)` receives core-cell
+// indices with c1 < c2.
+struct GridPipelineHooks {
+  std::function<void(const Grid&, const CoreCellIndex&)> prepare_cells;
+  std::function<bool(uint32_t c1, uint32_t c2)> edge_test;
+  // Optional override of step 2; defaults to the exact LabelCorePoints.
+  // Used by the journal-version approximate-core-counting mode.
+  std::function<std::vector<char>(const Dataset&, const Grid&,
+                                  const DbscanParams&)>
+      label_core;
+  // When true AND params.num_threads > 1, candidate cell pairs are
+  // evaluated concurrently (the tests must be pure functions of the pair).
+  // The result is identical to the serial path: the extra tests a serial
+  // union-find would have skipped as already-connected cannot change the
+  // connected components.
+  bool edge_test_thread_safe = false;
+};
+
+Clustering RunGridPipeline(const Dataset& data, const DbscanParams& params,
+                           const GridPipelineHooks& hooks);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_CORE_GRID_PIPELINE_H_

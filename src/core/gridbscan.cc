@@ -1,0 +1,271 @@
+#include "core/gridbscan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "ds/union_find.h"
+#include "geom/box.h"
+#include "geom/point.h"
+#include "index/kdtree.h"
+#include "util/check.h"
+
+namespace adbscan {
+namespace {
+
+constexpr int32_t kLocalUnclassified = -2;
+
+// Partitioning scheme: k_i slabs per axis, slab width >= 2ε where k_i > 1.
+struct PartitionGrid {
+  Box bounds;
+  std::array<uint32_t, kMaxDim> counts{};   // slabs per axis
+  std::array<double, kMaxDim> widths{};     // slab width per axis
+  int dim = 0;
+
+  uint32_t NumPartitions() const {
+    uint32_t p = 1;
+    for (int i = 0; i < dim; ++i) p *= counts[i];
+    return p;
+  }
+
+  uint32_t SlabOf(double x, int axis) const {
+    if (widths[axis] <= 0.0) return 0;
+    const double rel = (x - bounds.lo[axis]) / widths[axis];
+    const int64_t idx = static_cast<int64_t>(std::floor(rel));
+    return static_cast<uint32_t>(
+        std::clamp<int64_t>(idx, 0, counts[axis] - 1));
+  }
+
+  uint32_t PartitionOf(const double* p) const {
+    uint32_t id = 0;
+    for (int i = 0; i < dim; ++i) id = id * counts[i] + SlabOf(p[i], i);
+    return id;
+  }
+
+  Box PartitionBox(uint32_t id) const {
+    std::array<uint32_t, kMaxDim> idx{};
+    for (int i = dim - 1; i >= 0; --i) {
+      idx[i] = id % counts[i];
+      id /= counts[i];
+    }
+    Box b = Box::Empty(dim);
+    for (int i = 0; i < dim; ++i) {
+      b.lo[i] = bounds.lo[i] + idx[i] * widths[i];
+      b.hi[i] = (idx[i] + 1 == counts[i]) ? bounds.hi[i]
+                                          : bounds.lo[i] + (idx[i] + 1) * widths[i];
+    }
+    return b;
+  }
+};
+
+PartitionGrid ChoosePartitions(const Dataset& data, double eps,
+                               const GridbscanOptions& options) {
+  PartitionGrid grid;
+  grid.dim = data.dim();
+  grid.bounds = data.BoundingBox();
+  for (int i = 0; i < grid.dim; ++i) {
+    grid.counts[i] = 1;
+    grid.widths[i] = grid.bounds.hi[i] - grid.bounds.lo[i];
+  }
+  const uint32_t target = std::max<uint32_t>(
+      1, static_cast<uint32_t>(data.size() / std::max<uint32_t>(
+                                   1, options.target_partition_size)));
+  // Greedily add a slab along the axis with the widest current slab, as long
+  // as the result keeps slabs at least 2ε wide.
+  while (grid.NumPartitions() < std::min(target, options.max_partitions)) {
+    int best_axis = -1;
+    double best_width = 0.0;
+    for (int i = 0; i < grid.dim; ++i) {
+      const double extent = grid.bounds.hi[i] - grid.bounds.lo[i];
+      const double next_width = extent / (grid.counts[i] + 1);
+      if (next_width >= 2.0 * eps && grid.widths[i] > best_width) {
+        best_width = grid.widths[i];
+        best_axis = i;
+      }
+    }
+    if (best_axis < 0) break;  // no axis can be split further
+    grid.counts[best_axis] += 1;
+    const double extent =
+        grid.bounds.hi[best_axis] - grid.bounds.lo[best_axis];
+    grid.widths[best_axis] = extent / grid.counts[best_axis];
+  }
+  return grid;
+}
+
+}  // namespace
+
+Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
+                           const GridbscanOptions& options) {
+  ADB_CHECK(params.eps > 0.0);
+  ADB_CHECK(params.min_pts >= 1);
+  const size_t n = data.size();
+  const size_t min_pts = static_cast<size_t>(params.min_pts);
+  Clustering out;
+  out.label.assign(n, kNoise);
+  out.is_core.assign(n, 0);
+  if (n == 0) return out;
+
+  const PartitionGrid pgrid = ChoosePartitions(data, params.eps, options);
+  const uint32_t num_partitions = pgrid.NumPartitions();
+
+  // Membership lists: inner partition per point, plus halo replicas.
+  std::vector<std::vector<uint32_t>> members(num_partitions);  // global ids
+  std::vector<uint32_t> inner_partition(n);
+  std::vector<Box> part_box(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    part_box[p] = pgrid.PartitionBox(p);
+  }
+  {
+    // Per-axis candidate slabs for halo replication: with slab width >= 2ε,
+    // a point can touch at most two slabs per axis.
+    std::array<std::vector<uint32_t>, kMaxDim> axis_slabs;
+    const double eps2 = params.eps * params.eps;
+    for (uint32_t id = 0; id < n; ++id) {
+      const double* pt = data.point(id);
+      const uint32_t inner = pgrid.PartitionOf(pt);
+      inner_partition[id] = inner;
+      members[inner].push_back(id);
+      // Enumerate partitions whose box is within ε of the point.
+      uint32_t combos = 1;
+      for (int i = 0; i < pgrid.dim; ++i) {
+        axis_slabs[i].clear();
+        const uint32_t s_lo = pgrid.SlabOf(pt[i] - params.eps, i);
+        const uint32_t s_hi = pgrid.SlabOf(pt[i] + params.eps, i);
+        for (uint32_t s = s_lo; s <= s_hi; ++s) axis_slabs[i].push_back(s);
+        combos *= static_cast<uint32_t>(axis_slabs[i].size());
+      }
+      if (combos == 1) continue;  // only the inner partition
+      std::array<uint32_t, kMaxDim> pick{};
+      for (uint32_t combo = 0; combo < combos; ++combo) {
+        uint32_t rest = combo;
+        uint32_t part = 0;
+        for (int i = 0; i < pgrid.dim; ++i) {
+          const uint32_t k = rest % axis_slabs[i].size();
+          rest /= static_cast<uint32_t>(axis_slabs[i].size());
+          pick[i] = axis_slabs[i][k];
+          part = part * pgrid.counts[i] + pick[i];
+        }
+        if (part == inner) continue;
+        if (part_box[part].MinSquaredDistToPoint(pt) <= eps2) {
+          members[part].push_back(id);  // halo replica
+        }
+      }
+    }
+  }
+
+  // Local DBSCAN per partition. Local cluster ids are globally unique
+  // ("cluster uid"); memberships feed the merge phase.
+  std::vector<int32_t> local_label(n, kLocalUnclassified);  // reset per part
+  std::vector<std::pair<uint32_t, uint32_t>> memberships;   // (point, uid)
+  uint32_t next_uid = 0;
+  std::vector<std::unique_ptr<KdTree>> trees(num_partitions);
+
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    if (members[p].empty()) continue;
+    trees[p] = std::make_unique<KdTree>(data, members[p]);
+    const KdTree& tree = *trees[p];
+    // Reset local state for this partition's members.
+    for (uint32_t id : members[p]) local_label[id] = kLocalUnclassified;
+
+    std::deque<uint32_t> seeds;
+    for (uint32_t id : members[p]) {
+      if (local_label[id] != kLocalUnclassified) continue;
+      std::vector<uint32_t> neighbors =
+          tree.RangeQuery(data.point(id), params.eps);
+      if (neighbors.size() < min_pts) {
+        local_label[id] = kNoise;
+        continue;
+      }
+      const int32_t uid = static_cast<int32_t>(next_uid++);
+      // A locally-core point is globally core: local neighborhoods are
+      // subsets of global ones, and complete for inner points.
+      out.is_core[id] = 1;
+      memberships.emplace_back(id, uid);
+      local_label[id] = uid;
+      seeds.clear();
+      for (uint32_t r : neighbors) {
+        if (r == id) continue;
+        if (local_label[r] == kLocalUnclassified) seeds.push_back(r);
+        if (local_label[r] == kLocalUnclassified ||
+            local_label[r] == kNoise) {
+          local_label[r] = uid;
+          memberships.emplace_back(r, uid);
+        }
+      }
+      while (!seeds.empty()) {
+        const uint32_t q = seeds.front();
+        seeds.pop_front();
+        std::vector<uint32_t> result =
+            tree.RangeQuery(data.point(q), params.eps);
+        if (result.size() < min_pts) continue;
+        out.is_core[q] = 1;
+        for (uint32_t r : result) {
+          if (local_label[r] == kLocalUnclassified) {
+            seeds.push_back(r);
+            local_label[r] = uid;
+            memberships.emplace_back(r, uid);
+          } else if (local_label[r] == kNoise) {
+            local_label[r] = uid;
+            memberships.emplace_back(r, uid);
+          }
+        }
+      }
+    }
+  }
+
+  // Merge: local clusters sharing a globally-core point are one cluster.
+  UnionFind uf(next_uid);
+  std::sort(memberships.begin(), memberships.end());
+  for (size_t i = 1; i < memberships.size(); ++i) {
+    if (memberships[i].first == memberships[i - 1].first &&
+        out.is_core[memberships[i].first]) {
+      uf.Union(memberships[i].second, memberships[i - 1].second);
+    }
+  }
+
+  // Core labels: any membership of a core point names its merged component.
+  std::vector<uint32_t> point_uid(n, 0xffffffffu);
+  for (const auto& [id, uid] : memberships) {
+    if (out.is_core[id] && point_uid[id] == 0xffffffffu) point_uid[id] = uid;
+  }
+  std::vector<int32_t> component_cluster(next_uid, kNoise);
+  int32_t next_cluster = 0;
+  std::vector<int32_t> core_label(n, kNoise);
+  for (uint32_t id = 0; id < n; ++id) {
+    if (!out.is_core[id]) continue;
+    const uint32_t comp = uf.Find(point_uid[id]);
+    if (component_cluster[comp] == kNoise) {
+      component_cluster[comp] = next_cluster++;
+    }
+    core_label[id] = component_cluster[comp];
+    out.label[id] = core_label[id];
+  }
+  out.num_clusters = next_cluster;
+
+  // Border points: resolved in the point's inner partition, whose halo
+  // guarantees the complete ε-neighborhood.
+  const double eps2 = params.eps * params.eps;
+  (void)eps2;
+  std::vector<int32_t> found;
+  for (uint32_t id = 0; id < n; ++id) {
+    if (out.is_core[id]) continue;
+    const KdTree& tree = *trees[inner_partition[id]];
+    found.clear();
+    for (uint32_t r : tree.RangeQuery(data.point(id), params.eps)) {
+      if (out.is_core[r]) found.push_back(core_label[r]);
+    }
+    if (found.empty()) continue;  // noise
+    std::sort(found.begin(), found.end());
+    found.erase(std::unique(found.begin(), found.end()), found.end());
+    out.label[id] = found.front();
+    for (size_t k = 1; k < found.size(); ++k) {
+      out.extra_memberships.emplace_back(id, found[k]);
+    }
+  }
+  std::sort(out.extra_memberships.begin(), out.extra_memberships.end());
+  return out;
+}
+
+}  // namespace adbscan

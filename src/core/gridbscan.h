@@ -1,0 +1,37 @@
+#ifndef ADBSCAN_CORE_GRIDBSCAN_H_
+#define ADBSCAN_CORE_GRIDBSCAN_H_
+
+#include <cstdint>
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// "CIT08": GriDBSCAN, Mahran and Mahar, "Using grid for accelerating
+// density-based clustering" (CIT 2008) — reference [17] of the paper and its
+// strongest exact baseline.
+//
+// The data space is split into coarse partitions (each at least 2ε wide per
+// partitioned axis). Every point is *inner* to exactly one partition and is
+// replicated as *halo* into any other partition whose box lies within ε of
+// it, so each partition sees the complete ε-neighborhood of its inner
+// points. Exact DBSCAN (seed expansion over a per-partition kd-tree) runs
+// locally, after which local clusters that share a globally-core point are
+// merged with union-find. The output is exactly the unique DBSCAN clustering
+// (Problem 1); like KDD96, the approach still degenerates to O(n²) when a
+// partition's points are mutually close.
+struct GridbscanOptions {
+  // Desired number of inner points per partition; the partition grid is
+  // coarsened until slabs would drop below 2ε.
+  uint32_t target_partition_size = 20000;
+  // Hard cap on the number of partitions.
+  uint32_t max_partitions = 4096;
+};
+
+Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
+                           const GridbscanOptions& options = {});
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_CORE_GRIDBSCAN_H_

@@ -1,0 +1,65 @@
+#include "core/gunawan2d.h"
+
+#include <memory>
+#include <vector>
+
+#include "core/grid_pipeline.h"
+#include "geom/delaunay2d.h"
+#include "index/kdtree.h"
+#include "util/check.h"
+
+namespace adbscan {
+
+Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
+                           const Gunawan2dOptions& options) {
+  ADB_CHECK_MSG(data.dim() == 2, "Gunawan's algorithm is 2D-only");
+  const CoreCellIndex* cells = nullptr;
+  // Nearest-neighbor structure over each core cell's core points: either
+  // a kd-tree or the Delaunay (Voronoi-dual) structure of [11].
+  std::vector<std::unique_ptr<KdTree>> kd;
+  std::vector<std::unique_ptr<Delaunay2d>> voronoi;
+  const bool use_delaunay =
+      options.backend == Gunawan2dOptions::NnBackend::kDelaunay;
+
+  GridPipelineHooks hooks;
+  hooks.prepare_cells = [&](const Grid&, const CoreCellIndex& cci) {
+    cells = &cci;
+    if (use_delaunay) {
+      voronoi.reserve(cci.size());
+      for (size_t c = 0; c < cci.size(); ++c) {
+        voronoi.push_back(
+            std::make_unique<Delaunay2d>(data, cci.core_points[c]));
+      }
+    } else {
+      kd.reserve(cci.size());
+      for (size_t c = 0; c < cci.size(); ++c) {
+        kd.push_back(std::make_unique<KdTree>(data, cci.core_points[c]));
+      }
+    }
+  };
+  const double eps2 = params.eps * params.eps;
+  hooks.edge_test = [&](uint32_t c1, uint32_t c2) {
+    // For each core point p in c1, find the nearest core point of c2; an
+    // edge exists iff some such nearest distance is within ε.
+    for (uint32_t p : cells->core_points[c1]) {
+      if (use_delaunay) {
+        if (voronoi[c2]->Nearest(data.point(p)).squared_dist <= eps2) {
+          return true;
+        }
+      } else {
+        const auto nearest =
+            kd[c2]->Nearest(data.point(p), eps2 * (1.0 + 1e-12));
+        if (nearest.has_value() && nearest->squared_dist <= eps2) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  // The kd-tree backend's queries are const and pure; the Delaunay walk
+  // caches its start vertex, so it must stay serial.
+  hooks.edge_test_thread_safe = !use_delaunay;
+  return RunGridPipeline(data, params, hooks);
+}
+
+}  // namespace adbscan

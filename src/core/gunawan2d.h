@@ -1,0 +1,33 @@
+#ifndef ADBSCAN_CORE_GUNAWAN2D_H_
+#define ADBSCAN_CORE_GUNAWAN2D_H_
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// Gunawan's 2D algorithm (Section 2.2, [11]): the first genuinely
+// O(n log n) exact DBSCAN algorithm. Requires data.dim() == 2.
+//
+// Grid of ε/√2 cells (at most 21 ε-neighbors per cell), exact labeling,
+// and edges of G decided by nearest-core-neighbor queries: for each core
+// point p of c1, find p's nearest core point in c2 and compare with ε.
+//
+// [11] answers these queries with a Voronoi diagram per cell. Both that
+// structure (as its Delaunay dual with greedy walks, geom/delaunay2d.h) and
+// a kd-tree with the same O(log n)-per-query behaviour are available; the
+// kd-tree is the default (see DESIGN.md's substitution table).
+struct Gunawan2dOptions {
+  enum class NnBackend {
+    kKdTree,    // default
+    kDelaunay,  // the Voronoi-dual structure of [11]
+  };
+  NnBackend backend = NnBackend::kKdTree;
+};
+
+Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
+                           const Gunawan2dOptions& options = {});
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_CORE_GUNAWAN2D_H_

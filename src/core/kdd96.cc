@@ -1,0 +1,119 @@
+#include "core/kdd96.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "index/brute_force.h"
+#include "index/kdtree.h"
+#include "index/rtree.h"
+#include "util/check.h"
+
+namespace adbscan {
+namespace {
+
+constexpr int32_t kUnclassified = -2;
+
+std::unique_ptr<SpatialIndex> MakeIndex(const Dataset& data,
+                                        Kdd96Options::IndexKind kind) {
+  switch (kind) {
+    case Kdd96Options::IndexKind::kRTree:
+      return std::make_unique<RTree>(data);
+    case Kdd96Options::IndexKind::kKdTree:
+      return std::make_unique<KdTree>(data);
+    case Kdd96Options::IndexKind::kBruteForce:
+      return std::make_unique<BruteForceIndex>(data);
+  }
+  ADB_CHECK_MSG(false, "unknown index kind");
+  return nullptr;
+}
+
+}  // namespace
+
+Clustering Kdd96Dbscan(const Dataset& data, const DbscanParams& params,
+                       const Kdd96Options& options) {
+  ADB_CHECK(params.eps > 0.0);
+  ADB_CHECK(params.min_pts >= 1);
+  const size_t n = data.size();
+  const size_t min_pts = static_cast<size_t>(params.min_pts);
+
+  Clustering out;
+  out.label.assign(n, kUnclassified);
+  out.is_core.assign(n, 0);
+  if (n == 0) {
+    return out;
+  }
+  const std::unique_ptr<SpatialIndex> index = MakeIndex(data, options.index);
+
+  int32_t next_cluster = 0;
+  std::deque<uint32_t> seeds;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (out.label[i] != kUnclassified) continue;
+    std::vector<uint32_t> neighbors =
+        index->RangeQuery(data.point(i), params.eps);
+    if (neighbors.size() < min_pts) {
+      out.label[i] = kNoise;
+      continue;
+    }
+    // i starts a new cluster; every neighbor joins, unexpanded ones seed.
+    const int32_t cluster = next_cluster++;
+    out.is_core[i] = 1;
+    seeds.clear();
+    for (uint32_t r : neighbors) {
+      if (r == i) {
+        out.label[r] = cluster;
+        continue;
+      }
+      if (out.label[r] == kUnclassified) seeds.push_back(r);
+      if (out.label[r] == kUnclassified || out.label[r] == kNoise) {
+        out.label[r] = cluster;
+      }
+    }
+    while (!seeds.empty()) {
+      const uint32_t q = seeds.front();
+      seeds.pop_front();
+      std::vector<uint32_t> result =
+          index->RangeQuery(data.point(q), params.eps);
+      if (result.size() < min_pts) continue;  // q is a border point
+      out.is_core[q] = 1;
+      for (uint32_t r : result) {
+        if (out.label[r] == kUnclassified) {
+          seeds.push_back(r);
+          out.label[r] = cluster;
+        } else if (out.label[r] == kNoise) {
+          out.label[r] = cluster;  // noise becomes border; not expanded
+        }
+      }
+    }
+  }
+  out.num_clusters = next_cluster;
+
+  if (options.assign_border_to_all) {
+    // The expansion above hands each border point to the first cluster that
+    // reaches it; re-derive the full membership list (and the smallest id as
+    // primary) per Definition 3, matching the grid-based algorithms.
+    const double eps2 = params.eps * params.eps;
+    (void)eps2;
+    std::vector<int32_t> memberships;
+    for (uint32_t q = 0; q < n; ++q) {
+      if (out.is_core[q] || out.label[q] == kNoise) continue;
+      memberships.clear();
+      for (uint32_t r : index->RangeQuery(data.point(q), params.eps)) {
+        if (out.is_core[r]) memberships.push_back(out.label[r]);
+      }
+      ADB_DCHECK(!memberships.empty());
+      std::sort(memberships.begin(), memberships.end());
+      memberships.erase(
+          std::unique(memberships.begin(), memberships.end()),
+          memberships.end());
+      out.label[q] = memberships.front();
+      for (size_t k = 1; k < memberships.size(); ++k) {
+        out.extra_memberships.emplace_back(q, memberships[k]);
+      }
+    }
+    std::sort(out.extra_memberships.begin(), out.extra_memberships.end());
+  }
+  return out;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,37 @@
+#ifndef ADBSCAN_CORE_KDD96_H_
+#define ADBSCAN_CORE_KDD96_H_
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// The original DBSCAN algorithm of Ester, Kriegel, Sander and Xu (KDD'96),
+// reference [10] of the paper: seed-list cluster expansion driven by one
+// ε range query per point against a spatial index.
+//
+// This is the algorithm whose claimed O(n log n) bound the paper refutes:
+// it runs in O(n²) worst-case time regardless of ε and MinPts (footnote 1 —
+// when all points are within ε of each other, the n range queries alone
+// produce Θ(n²) output).
+struct Kdd96Options {
+  enum class IndexKind {
+    kRTree,      // default; stands in for the R*-tree of [10]
+    kKdTree,
+    kBruteForce,
+  };
+  IndexKind index = IndexKind::kRTree;
+
+  // When true (default), border points reachable from several clusters are
+  // reported in all of them (definition-faithful, comparable across
+  // algorithms); when false, they keep only the first cluster that reached
+  // them, as the classic implementation did.
+  bool assign_border_to_all = true;
+};
+
+Clustering Kdd96Dbscan(const Dataset& data, const DbscanParams& params,
+                       const Kdd96Options& options = {});
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_CORE_KDD96_H_

@@ -1,0 +1,135 @@
+#include "core/optics.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "geom/point.h"
+#include "index/kdtree.h"
+#include "util/check.h"
+
+namespace adbscan {
+namespace {
+
+constexpr double kUndefined = OpticsResult::kUndefined;
+
+// Lazy-deletion min-heap entry for the OPTICS seed list.
+struct Seed {
+  double reachability;
+  uint32_t id;
+  bool operator>(const Seed& other) const {
+    return reachability > other.reachability ||
+           (reachability == other.reachability && id > other.id);
+  }
+};
+
+// Distance to the MinPts-th nearest point among `neighbors` (which include
+// the query itself), or kUndefined if there are fewer than MinPts.
+double CoreDistance(const Dataset& data, const double* p,
+                    const std::vector<uint32_t>& neighbors, size_t min_pts) {
+  if (neighbors.size() < min_pts) return kUndefined;
+  std::vector<double> dists;
+  dists.reserve(neighbors.size());
+  for (uint32_t r : neighbors) {
+    dists.push_back(SquaredDistance(p, data.point(r), data.dim()));
+  }
+  std::nth_element(dists.begin(), dists.begin() + (min_pts - 1),
+                   dists.end());
+  return std::sqrt(dists[min_pts - 1]);
+}
+
+}  // namespace
+
+OpticsResult RunOptics(const Dataset& data, const DbscanParams& params) {
+  ADB_CHECK(params.eps > 0.0);
+  ADB_CHECK(params.min_pts >= 1);
+  const size_t n = data.size();
+  const size_t min_pts = static_cast<size_t>(params.min_pts);
+  OpticsResult result;
+  result.reachability.assign(n, kUndefined);
+  result.core_distance.assign(n, kUndefined);
+  result.order.reserve(n);
+  if (n == 0) return result;
+
+  const KdTree index(data);
+  std::vector<char> processed(n, 0);
+  std::priority_queue<Seed, std::vector<Seed>, std::greater<Seed>> heap;
+
+  auto process = [&](uint32_t p) {
+    processed[p] = 1;
+    result.order.push_back(p);
+    const std::vector<uint32_t> neighbors =
+        index.RangeQuery(data.point(p), params.eps);
+    const double core_dist =
+        CoreDistance(data, data.point(p), neighbors, min_pts);
+    result.core_distance[p] = core_dist;
+    if (core_dist == kUndefined) return;
+    // Update reachability of unprocessed neighbors.
+    for (uint32_t r : neighbors) {
+      if (processed[r]) continue;
+      const double reach = std::max(
+          core_dist, Distance(data.point(p), data.point(r), data.dim()));
+      if (result.reachability[r] == kUndefined ||
+          reach < result.reachability[r]) {
+        result.reachability[r] = reach;
+        heap.push(Seed{reach, r});  // lazy: stale entries skipped on pop
+      }
+    }
+  };
+
+  for (uint32_t start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+    process(start);
+    while (!heap.empty()) {
+      const Seed seed = heap.top();
+      heap.pop();
+      if (processed[seed.id] ||
+          seed.reachability != result.reachability[seed.id]) {
+        continue;  // stale entry
+      }
+      process(seed.id);
+    }
+  }
+  ADB_CHECK(result.order.size() == n);
+  return result;
+}
+
+Clustering ExtractDbscanClustering(const Dataset& data,
+                                   const OpticsResult& optics,
+                                   const DbscanParams& params,
+                                   double eps_prime) {
+  ADB_CHECK(eps_prime > 0.0 && eps_prime <= params.eps);
+  const size_t n = data.size();
+  Clustering out;
+  out.label.assign(n, kNoise);
+  out.is_core.assign(n, 0);
+  if (n == 0) return out;
+
+  // The ExtractDBSCAN-Clustering scan of [2]: walk the ordering; a point
+  // whose reachability exceeds eps' starts a new cluster if it is core at
+  // eps', else it is noise; otherwise it continues the current cluster.
+  int32_t current = kNoise;
+  int32_t next_cluster = 0;
+  for (uint32_t p : optics.order) {
+    const bool reach_ok = optics.reachability[p] != OpticsResult::kUndefined &&
+                          optics.reachability[p] <= eps_prime;
+    const bool core_ok = optics.core_distance[p] != OpticsResult::kUndefined &&
+                         optics.core_distance[p] <= eps_prime;
+    if (!reach_ok) {
+      if (core_ok) {
+        current = next_cluster++;
+        out.label[p] = current;
+      } else {
+        current = kNoise;
+        out.label[p] = kNoise;
+      }
+    } else {
+      out.label[p] = current;
+    }
+    if (core_ok) out.is_core[p] = 1;
+  }
+  out.num_clusters = next_cluster;
+  return out;
+}
+
+}  // namespace adbscan

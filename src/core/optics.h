@@ -1,0 +1,49 @@
+#ifndef ADBSCAN_CORE_OPTICS_H_
+#define ADBSCAN_CORE_OPTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// OPTICS (Ankerst, Breunig, Kriegel, Sander 1999) — reference [2] of the
+// paper, which Section 4.2 leans on for the insight that "different ε
+// values allow us to view the dataset from various granularities". OPTICS
+// computes a single ordering of the points whose reachability plot encodes
+// the DBSCAN clustering for EVERY ε' ≤ ε at once, which makes it the
+// natural companion tool for choosing a stable ε (Figure 6).
+//
+// Standard definitions: the core distance of p is the distance to its
+// MinPts-th nearest neighbor (undefined if > ε); the reachability distance
+// of q from p is max(core-dist(p), dist(p, q)). The algorithm expands a
+// priority queue ordered by current reachability.
+struct OpticsResult {
+  // Permutation of [0, n): the OPTICS ordering.
+  std::vector<uint32_t> order;
+  // reachability[i] = reachability distance of point i (kUndefined if the
+  // point starts a new component).
+  std::vector<double> reachability;
+  // core_distance[i] (kUndefined if point i is not a core point at ε).
+  std::vector<double> core_distance;
+
+  static constexpr double kUndefined = -1.0;
+};
+
+OpticsResult RunOptics(const Dataset& data, const DbscanParams& params);
+
+// Extracts the DBSCAN-style clustering at radius eps_prime <= params.eps
+// from an OPTICS result (the classic ExtractDBSCAN-Clustering procedure of
+// [2]). Core points receive exactly the DBSCAN(eps', MinPts) clusters;
+// border points are attached to the cluster that precedes them in the
+// ordering (single membership — OPTICS cannot recover multi-membership).
+Clustering ExtractDbscanClustering(const Dataset& data,
+                                   const OpticsResult& optics,
+                                   const DbscanParams& params,
+                                   double eps_prime);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_CORE_OPTICS_H_

@@ -1,0 +1,57 @@
+#include "core/usec.h"
+
+#include <vector>
+
+#include "geom/point.h"
+#include "util/check.h"
+
+namespace adbscan {
+
+bool SolveUsecBruteForce(const UsecInstance& instance) {
+  const int dim = instance.points.dim();
+  const double r2 = instance.radius * instance.radius;
+  for (size_t i = 0; i < instance.points.size(); ++i) {
+    const double* p = instance.points.point(i);
+    for (size_t j = 0; j < instance.ball_centers.size(); ++j) {
+      if (SquaredDistance(p, instance.ball_centers.point(j), dim) <= r2) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool SolveUsecViaDbscan(const UsecInstance& instance,
+                        const DbscanSolver& solver) {
+  ADB_CHECK(instance.points.dim() == instance.ball_centers.dim());
+  ADB_CHECK(instance.radius > 0.0);
+  const size_t num_points = instance.points.size();
+  const size_t num_balls = instance.ball_centers.size();
+  if (num_points == 0 || num_balls == 0) return false;
+
+  // Step 1-2: P = S_pt ∪ ball centers, ε = radius.
+  Dataset p(instance.points.dim());
+  p.Reserve(num_points + num_balls);
+  for (size_t i = 0; i < num_points; ++i) p.Add(instance.points.point(i));
+  for (size_t j = 0; j < num_balls; ++j) p.Add(instance.ball_centers.point(j));
+
+  // Step 3: MinPts = 1 makes every point a core point.
+  const Clustering clustering = solver(p, DbscanParams{instance.radius, 1});
+
+  // Step 4: yes iff a point and a center share a cluster. With MinPts = 1
+  // clusters partition P, so primary labels suffice.
+  std::vector<char> cluster_has_point(
+      static_cast<size_t>(clustering.num_clusters), 0);
+  for (size_t i = 0; i < num_points; ++i) {
+    ADB_CHECK(clustering.label[i] != kNoise);  // MinPts=1: no noise
+    cluster_has_point[clustering.label[i]] = 1;
+  }
+  for (size_t j = 0; j < num_balls; ++j) {
+    const int32_t label = clustering.label[num_points + j];
+    ADB_CHECK(label != kNoise);
+    if (cluster_has_point[label]) return true;
+  }
+  return false;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,42 @@
+#ifndef ADBSCAN_CORE_USEC_H_
+#define ADBSCAN_CORE_USEC_H_
+
+#include <functional>
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// The unit-spherical emptiness checking (USEC) problem of Section 2.3: given
+// points S_pt and equal-radius balls S_ball (represented by their centers),
+// decide whether any point is covered by any ball.
+//
+// USEC is the source of the paper's hardness result: solving it in o(n^{4/3})
+// time in 3D is a long-standing open problem, and Lemma 4 shows that any
+// T(n)-time DBSCAN algorithm yields a T(n) + O(n) USEC algorithm — hence
+// DBSCAN requires Ω(n^{4/3}) for d ≥ 3 under that assumption (Theorem 1).
+struct UsecInstance {
+  Dataset points;        // S_pt
+  Dataset ball_centers;  // centers of S_ball
+  double radius = 0.0;   // shared ball radius
+
+  UsecInstance(int dim) : points(dim), ball_centers(dim) {}
+};
+
+// O(|S_pt| · |S_ball|) reference answer.
+bool SolveUsecBruteForce(const UsecInstance& instance);
+
+// Any DBSCAN solver, e.g. a lambda wrapping ExactGridDbscan.
+using DbscanSolver =
+    std::function<Clustering(const Dataset&, const DbscanParams&)>;
+
+// The Lemma 4 reduction: P := S_pt ∪ centers(S_ball), ε := radius,
+// MinPts := 1; answer yes iff some point of S_pt shares a cluster with some
+// ball center.
+bool SolveUsecViaDbscan(const UsecInstance& instance,
+                        const DbscanSolver& solver);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_CORE_USEC_H_

@@ -1,0 +1,53 @@
+#include "ds/union_find.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace adbscan {
+
+UnionFind::UnionFind(uint32_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  ADB_DCHECK(x < parent_.size());
+  uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[x] != root) {
+    const uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+uint32_t UnionFind::SetSize(uint32_t x) { return size_[Find(x)]; }
+
+std::vector<uint32_t> UnionFind::ComponentIds() {
+  constexpr uint32_t kUnassigned = 0xffffffffu;
+  std::vector<uint32_t> root_to_id(parent_.size(), kUnassigned);
+  std::vector<uint32_t> ids(parent_.size());
+  uint32_t next_id = 0;
+  for (uint32_t i = 0; i < parent_.size(); ++i) {
+    const uint32_t r = Find(i);
+    if (root_to_id[r] == kUnassigned) root_to_id[r] = next_id++;
+    ids[i] = root_to_id[r];
+  }
+  return ids;
+}
+
+}  // namespace adbscan

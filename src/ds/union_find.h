@@ -1,0 +1,46 @@
+#ifndef ADBSCAN_DS_UNION_FIND_H_
+#define ADBSCAN_DS_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adbscan {
+
+// Disjoint-set forest with union by size and path compression.
+//
+// Used to compute the connected components of the core-cell graph G
+// (Section 2.2 / 3.2 / 4.4 of the paper) and for the GriDBSCAN cluster
+// merge step. Amortized near-O(1) per operation.
+class UnionFind {
+ public:
+  explicit UnionFind(uint32_t n);
+
+  uint32_t size() const { return static_cast<uint32_t>(parent_.size()); }
+
+  // Representative of x's set.
+  uint32_t Find(uint32_t x);
+
+  // Merges the sets of a and b; returns true iff they were distinct.
+  bool Union(uint32_t a, uint32_t b);
+
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  // Number of elements in x's set.
+  uint32_t SetSize(uint32_t x);
+
+  // Number of disjoint sets remaining.
+  uint32_t NumSets() const { return num_sets_; }
+
+  // Maps each element to a dense component id in [0, NumComponents), numbered
+  // in order of first appearance by element index.
+  std::vector<uint32_t> ComponentIds();
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  uint32_t num_sets_;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_DS_UNION_FIND_H_

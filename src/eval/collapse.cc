@@ -1,0 +1,79 @@
+#include "eval/collapse.h"
+
+#include <cmath>
+
+#include "core/approx_dbscan.h"
+#include "core/exact_grid.h"
+#include "eval/compare.h"
+#include "util/check.h"
+
+namespace adbscan {
+
+double FindCollapsingRadius(const Dataset& data, int min_pts,
+                            const CollapseOptions& options) {
+  ADB_CHECK(!data.empty());
+  double hi = options.eps_hi;
+  if (hi <= 0.0) {
+    const Box b = data.BoundingBox();
+    double diag2 = 0.0;
+    for (int i = 0; i < b.dim; ++i) {
+      diag2 += (b.hi[i] - b.lo[i]) * (b.hi[i] - b.lo[i]);
+    }
+    hi = std::sqrt(diag2);
+    if (hi <= 0.0) hi = 1.0;  // all points coincide
+  }
+  double lo = options.eps_lo;
+  ADB_CHECK(lo > 0.0);
+  // Datasets smaller than the bracket (diagonal < eps_lo) leave nothing to
+  // search; keep a valid bracket so the lo-probe below decides.
+  if (hi <= lo) hi = 2.0 * lo;
+
+  auto single_cluster = [&](double eps) {
+    const DbscanParams params{eps, min_pts};
+    const Clustering c = options.use_approx
+                             ? ApproxDbscan(data, params, options.rho)
+                             : ExactGridDbscan(data, params);
+    // "Collapsed": one cluster and nothing left out as a separate group.
+    return c.num_clusters == 1;
+  };
+
+  if (single_cluster(lo)) return lo;  // already collapsed at the bracket
+  // The diagonal always collapses everything with MinPts <= n.
+  for (int it = 0; it < options.iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (single_cluster(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double MaxLegalRho(const Dataset& data, const DbscanParams& params,
+                   const MaxLegalRhoOptions& options) {
+  const Clustering exact = ExactGridDbscan(data, params);
+  return MaxLegalRho(data, params, exact, options);
+}
+
+double MaxLegalRho(const Dataset& data, const DbscanParams& params,
+                   const Clustering& exact,
+                   const MaxLegalRhoOptions& options) {
+  auto legal = [&](double rho) {
+    return SameClusters(exact, ApproxDbscan(data, params, rho));
+  };
+  if (!legal(options.rho_lo)) return 0.0;
+  if (legal(options.rho_hi)) return options.rho_hi;
+  double lo = options.rho_lo, hi = options.rho_hi;
+  for (int it = 0; it < options.iterations; ++it) {
+    const double mid = std::sqrt(lo * hi);  // geometric: ρ spans decades
+    if (legal(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,51 @@
+#ifndef ADBSCAN_EVAL_COLLAPSE_H_
+#define ADBSCAN_EVAL_COLLAPSE_H_
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// Section 5.1 tooling around the ε spectrum of a dataset.
+
+struct CollapseOptions {
+  double eps_lo = 100.0;     // search bracket
+  double eps_hi = -1.0;      // < 0: diagonal of the bounding box
+  int iterations = 24;       // bisection steps
+  // When true (default) the single-cluster test runs ρ-approximate DBSCAN
+  // with rho (fast, what the figure sweeps need); when false, exact
+  // (ExactGridDbscan).
+  bool use_approx = true;
+  double rho = 0.001;
+};
+
+// The collapsing radius of Section 5.1: the smallest ε at which DBSCAN
+// (MinPts fixed) returns a single cluster. Located by bisection on the
+// "number of clusters == 1" predicate, which is monotone for all but
+// pathological inputs.
+double FindCollapsingRadius(const Dataset& data, int min_pts,
+                            const CollapseOptions& options = {});
+
+struct MaxLegalRhoOptions {
+  double rho_lo = 1e-4;
+  double rho_hi = 0.2;   // figure 10 caps the plot at 0.1
+  int iterations = 12;   // bisection steps
+};
+
+// The "maximum legal ρ" of Section 5.2: the largest ρ at which
+// ρ-approximate DBSCAN returns exactly the same clusters as exact DBSCAN at
+// (eps, min_pts). Computes the exact result once, then bisects ρ on the
+// SameClusters predicate. Returns 0.0 when even rho_lo is not legal, and
+// rho_hi when every tested ρ is legal.
+double MaxLegalRho(const Dataset& data, const DbscanParams& params,
+                   const MaxLegalRhoOptions& options = {});
+
+// Same, but reuses a precomputed exact clustering (the Figure 10 sweep calls
+// this once per ε value).
+double MaxLegalRho(const Dataset& data, const DbscanParams& params,
+                   const Clustering& exact,
+                   const MaxLegalRhoOptions& options = {});
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_EVAL_COLLAPSE_H_

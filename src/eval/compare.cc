@@ -1,0 +1,97 @@
+#include "eval/compare.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace adbscan {
+namespace {
+
+// Canonical form: clusters as sorted point-id sets, sorted among themselves.
+std::vector<std::vector<uint32_t>> Canonical(const Clustering& c) {
+  std::vector<std::vector<uint32_t>> sets = c.ClusterSets();
+  std::sort(sets.begin(), sets.end());
+  return sets;
+}
+
+// True iff every cluster of `inner` is a subset of some cluster of `outer`.
+bool EachContainedInSome(const std::vector<std::vector<uint32_t>>& inner,
+                         const std::vector<std::vector<uint32_t>>& outer) {
+  for (const auto& in : inner) {
+    bool contained = false;
+    for (const auto& out : outer) {
+      if (in.size() > out.size()) continue;
+      if (std::includes(out.begin(), out.end(), in.begin(), in.end())) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SameClusters(const Clustering& a, const Clustering& b) {
+  if (a.label.size() != b.label.size()) return false;
+  if (a.num_clusters != b.num_clusters) return false;
+  return Canonical(a) == Canonical(b);
+}
+
+bool SameCoreFlags(const Clustering& a, const Clustering& b) {
+  return a.is_core == b.is_core;
+}
+
+bool SatisfiesSandwich(const Clustering& exact_eps, const Clustering& approx,
+                       const Clustering& exact_eps_scaled) {
+  const auto c1 = Canonical(exact_eps);
+  const auto c = Canonical(approx);
+  const auto c2 = Canonical(exact_eps_scaled);
+  return EachContainedInSome(c1, c) && EachContainedInSome(c, c2);
+}
+
+double AdjustedRandIndex(const Clustering& a, const Clustering& b) {
+  ADB_CHECK(a.label.size() == b.label.size());
+  const size_t n = a.label.size();
+  if (n == 0) return 1.0;
+
+  // Primary labels with noise points mapped to unique singleton ids.
+  auto effective = [&](const Clustering& c, size_t i, int32_t* next_noise) {
+    if (c.label[i] == kNoise) return (*next_noise)++;
+    return c.label[i];
+  };
+  std::vector<int32_t> la(n), lb(n);
+  int32_t noise_a = a.num_clusters, noise_b = b.num_clusters;
+  for (size_t i = 0; i < n; ++i) {
+    la[i] = effective(a, i, &noise_a);
+    lb[i] = effective(b, i, &noise_b);
+  }
+
+  // Contingency counts.
+  std::map<std::pair<int32_t, int32_t>, uint64_t> joint;
+  std::map<int32_t, uint64_t> count_a, count_b;
+  for (size_t i = 0; i < n; ++i) {
+    ++joint[{la[i], lb[i]}];
+    ++count_a[la[i]];
+    ++count_b[lb[i]];
+  }
+  auto choose2 = [](uint64_t m) {
+    return static_cast<double>(m) * static_cast<double>(m - 1) / 2.0;
+  };
+  double sum_joint = 0.0, sum_a = 0.0, sum_b = 0.0;
+  for (const auto& [key, m] : joint) sum_joint += choose2(m);
+  for (const auto& [key, m] : count_a) sum_a += choose2(m);
+  for (const auto& [key, m] : count_b) sum_b += choose2(m);
+  const double total = choose2(n);
+  const double expected = sum_a * sum_b / total;
+  const double max_index = 0.5 * (sum_a + sum_b);
+  if (max_index == expected) return 1.0;  // both trivial partitions
+  return (sum_joint - expected) / (max_index - expected);
+}
+
+}  // namespace adbscan

@@ -1,0 +1,34 @@
+#ifndef ADBSCAN_EVAL_COMPARE_H_
+#define ADBSCAN_EVAL_COMPARE_H_
+
+#include "core/dbscan_types.h"
+
+namespace adbscan {
+
+// Exact clustering equality in the sense of the paper's Figure 10
+// experiment: the two results contain the same set of clusters, where each
+// cluster is its set of member points (border multi-memberships included).
+// Label numbering and cluster order are irrelevant.
+bool SameClusters(const Clustering& a, const Clustering& b);
+
+// True iff both results agree on which points are core points.
+bool SameCoreFlags(const Clustering& a, const Clustering& b);
+
+// Verifies the sandwich guarantee of Theorem 3 between exact results at ε
+// and ε(1+ρ) and an approximate result at (ε, ρ):
+//   (1) every cluster of `exact_eps` is contained in some cluster of
+//       `approx`;
+//   (2) every cluster of `approx` is contained in some cluster of
+//       `exact_eps_scaled`.
+// Returns true iff both statements hold.
+bool SatisfiesSandwich(const Clustering& exact_eps, const Clustering& approx,
+                       const Clustering& exact_eps_scaled);
+
+// Adjusted Rand Index between the primary labelings. Noise points are
+// treated as singleton clusters. Returns 1.0 for identical partitions,
+// ~0 for independent ones.
+double AdjustedRandIndex(const Clustering& a, const Clustering& b);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_EVAL_COMPARE_H_

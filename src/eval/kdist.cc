@@ -1,0 +1,45 @@
+#include "eval/kdist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "geom/point.h"
+#include "index/kdtree.h"
+#include "util/check.h"
+
+namespace adbscan {
+
+std::vector<double> KDistances(const Dataset& data, int k) {
+  ADB_CHECK(k >= 1);
+  const size_t n = data.size();
+  std::vector<double> out;
+  out.reserve(n);
+  if (n == 0) return out;
+  const KdTree tree(data);
+
+  // k-th nearest neighbor; the point itself counts, matching |B(p, ε)| of
+  // Definition 1.
+  ADB_CHECK_MSG(static_cast<size_t>(k) <= n,
+                "fewer than k points in the dataset");
+  for (size_t i = 0; i < n; ++i) {
+    const auto knn = tree.KNearest(data.point(i), static_cast<size_t>(k));
+    out.push_back(std::sqrt(knn.back().squared_dist));
+  }
+  std::sort(out.begin(), out.end(), std::greater<double>());
+  return out;
+}
+
+double SuggestEps(const Dataset& data, int min_pts, double quantile) {
+  ADB_CHECK(quantile > 0.0 && quantile <= 1.0);
+  const std::vector<double> kdist = KDistances(data, min_pts);
+  ADB_CHECK(!kdist.empty());
+  // kdist is sorted descending; the quantile-th fraction of points should
+  // have k-distance <= the suggestion.
+  const size_t idx = static_cast<size_t>(
+      std::min<double>(static_cast<double>(kdist.size()) - 1.0,
+                       (1.0 - quantile) * static_cast<double>(kdist.size())));
+  return kdist[idx];
+}
+
+}  // namespace adbscan

@@ -1,0 +1,26 @@
+#ifndef ADBSCAN_EVAL_KDIST_H_
+#define ADBSCAN_EVAL_KDIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// The sorted k-distance plot of the original KDD'96 paper: the distance of
+// each point to its k-th nearest neighbor (k = MinPts), sorted descending.
+// Its "valley" (first pronounced drop) is the classic heuristic for picking
+// ε; the ρ-approximate story of Section 4.2 complements it by telling how
+// much slack a chosen ε tolerates.
+//
+// Computed with one kd-tree k-NN pass, O(n log n) on benign data.
+std::vector<double> KDistances(const Dataset& data, int k);
+
+// Suggests ε as the k-distance at the given quantile of the sorted plot
+// (e.g. 0.95 ≈ "clusters cover 95% of the data, the rest is noise").
+double SuggestEps(const Dataset& data, int min_pts, double quantile = 0.95);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_EVAL_KDIST_H_

@@ -1,0 +1,88 @@
+#include "eval/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "geom/point.h"
+#include "util/check.h"
+
+namespace adbscan {
+
+ClusteringStats ComputeStats(const Dataset& data, const Clustering& c) {
+  ADB_CHECK(c.label.size() == data.size());
+  const int dim = data.dim();
+  ClusteringStats stats;
+  stats.clusters.resize(c.num_clusters);
+  for (int32_t k = 0; k < c.num_clusters; ++k) {
+    ClusterStats& cs = stats.clusters[k];
+    cs.cluster = k;
+    cs.bounding_box = Box::Empty(dim);
+    cs.centroid.assign(dim, 0.0);
+  }
+
+  const std::vector<std::vector<uint32_t>> sets = c.ClusterSets();
+  for (int32_t k = 0; k < c.num_clusters; ++k) {
+    ClusterStats& cs = stats.clusters[k];
+    cs.size = sets[k].size();
+    for (uint32_t id : sets[k]) {
+      const double* p = data.point(id);
+      cs.bounding_box.ExpandToPoint(p);
+      for (int j = 0; j < dim; ++j) cs.centroid[j] += p[j];
+      cs.core_points += (c.is_core[id] != 0);
+    }
+    if (cs.size > 0) {
+      for (int j = 0; j < dim; ++j) {
+        cs.centroid[j] /= static_cast<double>(cs.size);
+      }
+      double total = 0.0;
+      for (uint32_t id : sets[k]) {
+        total += Distance(data.point(id), cs.centroid.data(), dim);
+      }
+      cs.mean_centroid_dist = total / static_cast<double>(cs.size);
+    }
+  }
+
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (c.label[i] == kNoise) {
+      ++stats.noise_points;
+    } else if (c.is_core[i]) {
+      ++stats.core_points;
+    } else {
+      ++stats.border_points;
+    }
+  }
+  stats.noise_fraction =
+      data.empty() ? 0.0
+                   : static_cast<double>(stats.noise_points) /
+                         static_cast<double>(data.size());
+  return stats;
+}
+
+void PrintStats(const ClusteringStats& stats, int max_rows) {
+  std::vector<const ClusterStats*> by_size;
+  by_size.reserve(stats.clusters.size());
+  for (const ClusterStats& cs : stats.clusters) by_size.push_back(&cs);
+  std::sort(by_size.begin(), by_size.end(),
+            [](const ClusterStats* a, const ClusterStats* b) {
+              return a->size > b->size;
+            });
+  std::printf("%zu clusters | %zu core, %zu border, %zu noise (%.2f%%)\n",
+              stats.clusters.size(), stats.core_points, stats.border_points,
+              stats.noise_points, 100.0 * stats.noise_fraction);
+  std::printf("%8s  %10s  %10s  %14s  %12s\n", "cluster", "size", "core",
+              "spread", "max extent");
+  int rows = 0;
+  for (const ClusterStats* cs : by_size) {
+    if (rows++ >= max_rows) {
+      std::printf("  ... (%zu more)\n", by_size.size() - max_rows);
+      break;
+    }
+    std::printf("%8d  %10zu  %10zu  %14.2f  %12.2f\n", cs->cluster, cs->size,
+                cs->core_points, cs->mean_centroid_dist,
+                cs->size ? cs->bounding_box.MaxExtent() : 0.0);
+  }
+}
+
+}  // namespace adbscan

@@ -1,0 +1,41 @@
+#ifndef ADBSCAN_EVAL_STATS_H_
+#define ADBSCAN_EVAL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dbscan_types.h"
+#include "geom/box.h"
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// Descriptive statistics of one cluster.
+struct ClusterStats {
+  int32_t cluster = 0;
+  size_t size = 0;         // members including border multi-memberships
+  size_t core_points = 0;
+  Box bounding_box;
+  std::vector<double> centroid;
+  // Mean distance of members to the centroid (a spread measure).
+  double mean_centroid_dist = 0.0;
+};
+
+// Whole-result summary.
+struct ClusteringStats {
+  std::vector<ClusterStats> clusters;  // indexed by cluster id
+  size_t noise_points = 0;
+  size_t core_points = 0;
+  size_t border_points = 0;
+  double noise_fraction = 0.0;
+};
+
+// Computes per-cluster and global statistics in one pass over the result.
+ClusteringStats ComputeStats(const Dataset& data, const Clustering& c);
+
+// Prints a fixed-width per-cluster summary (largest clusters first).
+void PrintStats(const ClusteringStats& stats, int max_rows = 20);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_EVAL_STATS_H_

@@ -1,0 +1,162 @@
+#include "gen/realdata_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/point.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace {
+
+constexpr double kLo = 0.0;
+constexpr double kHi = 1e5;
+
+void UniformPoint(Rng* rng, int dim, double* out) {
+  for (int i = 0; i < dim; ++i) out[i] = rng->NextDouble(kLo, kHi);
+}
+
+void Clamp(int dim, double* p) {
+  for (int i = 0; i < dim; ++i) p[i] = std::clamp(p[i], kLo, kHi);
+}
+
+}  // namespace
+
+Dataset Pamap2Like(size_t n, uint64_t seed) {
+  constexpr int kDim = 4;
+  constexpr int kModes = 14;  // distinct activity regimes
+  Rng rng(seed);
+  Dataset data(kDim);
+  data.Reserve(n);
+
+  // Per-mode anchor, per-axis spread (anisotropic: first components move
+  // more, like leading principal components), and drift velocity.
+  double anchor[kModes][kDim];
+  double spread[kModes][kDim];
+  for (int m = 0; m < kModes; ++m) {
+    UniformPoint(&rng, kDim, anchor[m]);
+    for (int i = 0; i < kDim; ++i) {
+      const double base = rng.NextDouble(40.0, 220.0);
+      spread[m][i] = base * (i == 0 ? 3.0 : (i == 1 ? 1.5 : 1.0));
+    }
+  }
+
+  const size_t noise_points = n / 50;  // ~2% transition noise
+  const size_t cluster_points = n - noise_points;
+  double location[kDim];
+  double p[kDim];
+  int mode = 0;
+  size_t run_left = 0;
+  for (size_t k = 0; k < cluster_points; ++k) {
+    if (run_left == 0) {
+      mode = static_cast<int>(rng.NextBounded(kModes));
+      run_left = 200 + rng.NextBounded(800);  // activity bout length
+      for (int i = 0; i < kDim; ++i) location[i] = anchor[mode][i];
+    }
+    // Slow drift within the mode plus per-sample sensor jitter.
+    for (int i = 0; i < kDim; ++i) {
+      location[i] += rng.NextGaussian() * spread[mode][i] * 0.05;
+      p[i] = location[i] + rng.NextGaussian() * spread[mode][i];
+    }
+    Clamp(kDim, p);
+    data.Add(p);
+    --run_left;
+  }
+  for (size_t k = 0; k < noise_points; ++k) {
+    UniformPoint(&rng, kDim, p);
+    data.Add(p);
+  }
+  return data;
+}
+
+Dataset FarmLike(size_t n, uint64_t seed) {
+  constexpr int kDim = 5;
+  constexpr int kBlobs = 6;  // terrain classes of the image
+  Rng rng(seed);
+  Dataset data(kDim);
+  data.Reserve(n);
+
+  double center[kBlobs][kDim];
+  double sigma[kBlobs];
+  double weight[kBlobs];
+  double total_weight = 0.0;
+  for (int b = 0; b < kBlobs; ++b) {
+    UniformPoint(&rng, kDim, center[b]);
+    sigma[b] = rng.NextDouble(400.0, 1600.0);
+    weight[b] = rng.NextDouble(0.5, 2.0);
+    total_weight += weight[b];
+  }
+
+  const size_t noise_points = n / 200;  // 0.5%: VZ features are mostly clean
+  const size_t cluster_points = n - noise_points;
+  double p[kDim];
+  for (size_t k = 0; k < cluster_points; ++k) {
+    double pick = rng.NextDouble() * total_weight;
+    int b = 0;
+    while (b + 1 < kBlobs && pick > weight[b]) {
+      pick -= weight[b];
+      ++b;
+    }
+    // Gradual falloff: mix of a tight core and a wide tail.
+    const double s = rng.NextBernoulli(0.7) ? sigma[b] : 3.0 * sigma[b];
+    for (int i = 0; i < kDim; ++i) {
+      p[i] = center[b][i] + rng.NextGaussian() * s;
+    }
+    Clamp(kDim, p);
+    data.Add(p);
+  }
+  for (size_t k = 0; k < noise_points; ++k) {
+    UniformPoint(&rng, kDim, p);
+    data.Add(p);
+  }
+  return data;
+}
+
+Dataset HouseholdLike(size_t n, uint64_t seed) {
+  constexpr int kDim = 7;
+  constexpr int kRegimes = 10;  // appliance usage regimes
+  Rng rng(seed);
+  Dataset data(kDim);
+  data.Reserve(n);
+
+  // Each regime: an offset plus a direction; points slide along the
+  // direction with a regime-specific intensity (axis-correlated bands).
+  double offset[kRegimes][kDim];
+  double direction[kRegimes][kDim];
+  double thickness[kRegimes];
+  for (int r = 0; r < kRegimes; ++r) {
+    UniformPoint(&rng, kDim, offset[r]);
+    double norm2 = 0.0;
+    for (int i = 0; i < kDim; ++i) {
+      direction[r][i] = rng.NextGaussian();
+      norm2 += direction[r][i] * direction[r][i];
+    }
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (int i = 0; i < kDim; ++i) direction[r][i] *= inv;
+    thickness[r] = rng.NextDouble(60.0, 300.0);
+  }
+
+  const size_t noise_points = n / 40;  // 2.5% irregular usage
+  const size_t cluster_points = n - noise_points;
+  double p[kDim];
+  for (size_t k = 0; k < cluster_points; ++k) {
+    const int r = static_cast<int>(rng.NextBounded(kRegimes));
+    // Intensity concentrates near a few recurring set-points (dense modes
+    // along the band).
+    const double mode_center = 4000.0 * rng.NextBounded(5);
+    const double t = mode_center + rng.NextGaussian() * 1500.0;
+    for (int i = 0; i < kDim; ++i) {
+      p[i] = offset[r][i] + direction[r][i] * t +
+             rng.NextGaussian() * thickness[r];
+    }
+    Clamp(kDim, p);
+    data.Add(p);
+  }
+  for (size_t k = 0; k < noise_points; ++k) {
+    UniformPoint(&rng, kDim, p);
+    data.Add(p);
+  }
+  return data;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,112 @@
+#include "gen/seed_spreader.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace {
+
+// Uniform point in the ball B(center, radius), clamped to the domain box:
+// direction from a spherical gaussian, length r·U^{1/d}.
+void EmitInBall(Rng* rng, const double* center, double radius, int dim,
+                double lo, double hi, double* out) {
+  double dir[kMaxDim];
+  double norm2 = 0.0;
+  do {
+    norm2 = 0.0;
+    for (int i = 0; i < dim; ++i) {
+      dir[i] = rng->NextGaussian();
+      norm2 += dir[i] * dir[i];
+    }
+  } while (norm2 == 0.0);
+  const double scale =
+      radius * std::pow(rng->NextDouble(), 1.0 / dim) / std::sqrt(norm2);
+  for (int i = 0; i < dim; ++i) {
+    out[i] = std::clamp(center[i] + dir[i] * scale, lo, hi);
+  }
+}
+
+void RandomDirection(Rng* rng, int dim, double* out) {
+  double norm2 = 0.0;
+  do {
+    norm2 = 0.0;
+    for (int i = 0; i < dim; ++i) {
+      out[i] = rng->NextGaussian();
+      norm2 += out[i] * out[i];
+    }
+  } while (norm2 == 0.0);
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (int i = 0; i < dim; ++i) out[i] *= inv;
+}
+
+}  // namespace
+
+Dataset GenerateSeedSpreader(const SeedSpreaderParams& params, uint64_t seed,
+                             size_t* num_restarts) {
+  ADB_CHECK(params.dim >= 1 && params.dim <= kMaxDim);
+  ADB_CHECK(params.noise_fraction >= 0.0 && params.noise_fraction < 1.0);
+  ADB_CHECK(params.domain_hi > params.domain_lo);
+  const int dim = params.dim;
+  const size_t cluster_steps = static_cast<size_t>(
+      static_cast<double>(params.n) * (1.0 - params.noise_fraction));
+  const size_t noise_points = params.n - cluster_steps;
+  const double restart_prob =
+      params.restart_prob >= 0.0
+          ? params.restart_prob
+          : (cluster_steps > 0 ? 10.0 / static_cast<double>(cluster_steps)
+                               : 0.0);
+  const double shift =
+      params.shift_distance >= 0.0 ? params.shift_distance : 50.0 * dim;
+
+  Rng rng(seed);
+  Dataset data(dim);
+  data.Reserve(params.n);
+
+  double location[kMaxDim];
+  double buffer[kMaxDim];
+  int counter = 0;
+  size_t restarts = 0;
+
+  for (size_t step = 0; step < cluster_steps; ++step) {
+    const bool forced =
+        step == 0 || (params.forced_restart_every > 0 &&
+                      step % params.forced_restart_every == 0);
+    const bool random_restart =
+        params.forced_restart_every == 0 && step > 0 &&
+        rng.NextBernoulli(restart_prob);
+    if (forced || random_restart) {
+      for (int i = 0; i < dim; ++i) {
+        location[i] = rng.NextDouble(params.domain_lo, params.domain_hi);
+      }
+      counter = params.counter_reset;
+      ++restarts;
+    }
+    if (counter == 0) {
+      RandomDirection(&rng, dim, buffer);
+      for (int i = 0; i < dim; ++i) {
+        location[i] = std::clamp(location[i] + shift * buffer[i],
+                                 params.domain_lo, params.domain_hi);
+      }
+      counter = params.counter_reset;
+    }
+    EmitInBall(&rng, location, params.point_radius, dim, params.domain_lo,
+               params.domain_hi, buffer);
+    data.Add(buffer);
+    --counter;
+  }
+
+  for (size_t k = 0; k < noise_points; ++k) {
+    for (int i = 0; i < dim; ++i) {
+      buffer[i] = rng.NextDouble(params.domain_lo, params.domain_hi);
+    }
+    data.Add(buffer);
+  }
+
+  if (num_restarts != nullptr) *num_restarts = restarts;
+  return data;
+}
+
+}  // namespace adbscan

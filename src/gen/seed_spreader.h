@@ -1,0 +1,48 @@
+#ifndef ADBSCAN_GEN_SEED_SPREADER_H_
+#define ADBSCAN_GEN_SEED_SPREADER_H_
+
+#include <cstdint>
+
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// The seed-spreader synthetic generator of Section 5.1: a "random walk with
+// restart" that emits points around a moving spreader, producing
+// snake-shaped dense clusters plus uniform background noise.
+//
+// Per step: (i) with probability restart_prob the spreader jumps to a
+// uniformly random location and resets its counter to counter_reset;
+// (ii) it emits one point uniformly at random in the ball of radius
+// point_radius around its location and decrements the counter; when the
+// counter hits 0 the spreader shifts shift_distance in a random direction
+// and the counter resets. The first step forces a restart. n·(1−noise)
+// steps emit cluster points; n·noise uniform noise points follow.
+//
+// Paper defaults (Table 1 context): counter_reset = 100,
+// shift_distance = 50·d, restart_prob = 10/(n(1−noise)), noise = 1e-4,
+// point_radius = 100, domain [0, 1e5]^d.
+struct SeedSpreaderParams {
+  int dim = 3;
+  size_t n = 100000;
+  double restart_prob = -1.0;       // < 0: use 10 / (n (1 - noise_fraction))
+  double noise_fraction = 1e-4;
+  int counter_reset = 100;          // c_reset
+  double shift_distance = -1.0;     // < 0: use 50 * dim (r_shift)
+  double point_radius = 100.0;
+  double domain_lo = 0.0;
+  double domain_hi = 1e5;
+  // When > 0, restarts happen deterministically every this many steps
+  // instead of randomly — used to regenerate the Figure 8 dataset (n = 1000,
+  // exactly 4 restarts with forced_restart_every = 250).
+  size_t forced_restart_every = 0;
+};
+
+// Deterministic for a fixed (params, seed). If num_restarts is non-null it
+// receives the number of restarts (= number of generated clusters).
+Dataset GenerateSeedSpreader(const SeedSpreaderParams& params, uint64_t seed,
+                             size_t* num_restarts = nullptr);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_GEN_SEED_SPREADER_H_

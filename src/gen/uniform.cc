@@ -1,0 +1,49 @@
+#include "gen/uniform.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adbscan {
+
+Dataset GenerateUniform(int dim, size_t n, double lo, double hi,
+                        uint64_t seed) {
+  ADB_CHECK(hi > lo);
+  Rng rng(seed);
+  Dataset data(dim);
+  data.Reserve(n);
+  double buffer[kMaxDim];
+  for (size_t k = 0; k < n; ++k) {
+    for (int i = 0; i < dim; ++i) buffer[i] = rng.NextDouble(lo, hi);
+    data.Add(buffer);
+  }
+  return data;
+}
+
+Dataset GenerateUniformBall(int dim, size_t n, const double* center,
+                            double radius, uint64_t seed) {
+  ADB_CHECK(radius > 0.0);
+  Rng rng(seed);
+  Dataset data(dim);
+  data.Reserve(n);
+  double dir[kMaxDim];
+  double buffer[kMaxDim];
+  for (size_t k = 0; k < n; ++k) {
+    double norm2 = 0.0;
+    do {
+      norm2 = 0.0;
+      for (int i = 0; i < dim; ++i) {
+        dir[i] = rng.NextGaussian();
+        norm2 += dir[i] * dir[i];
+      }
+    } while (norm2 == 0.0);
+    const double scale =
+        radius * std::pow(rng.NextDouble(), 1.0 / dim) / std::sqrt(norm2);
+    for (int i = 0; i < dim; ++i) buffer[i] = center[i] + dir[i] * scale;
+    data.Add(buffer);
+  }
+  return data;
+}
+
+}  // namespace adbscan

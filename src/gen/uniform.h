@@ -1,0 +1,23 @@
+#ifndef ADBSCAN_GEN_UNIFORM_H_
+#define ADBSCAN_GEN_UNIFORM_H_
+
+#include <cstdint>
+
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// n points uniformly distributed in [lo, hi]^dim. Used for noise-only
+// stress tests and for the footnote-1 adversarial workloads.
+Dataset GenerateUniform(int dim, size_t n, double lo, double hi,
+                        uint64_t seed);
+
+// n points uniformly distributed in the ball B(center, radius) — the
+// degenerate "everything within ε of everything" input that makes KDD96
+// quadratic (footnote 1). center must hold dim coordinates.
+Dataset GenerateUniformBall(int dim, size_t n, const double* center,
+                            double radius, uint64_t seed);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_GEN_UNIFORM_H_

@@ -1,0 +1,81 @@
+#include "gen/usec_gen.h"
+
+#include "geom/point.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace {
+
+constexpr double kLo = 0.0;
+constexpr double kHi = 1e5;
+
+void FillUniform(Rng* rng, int dim, double* out) {
+  for (int i = 0; i < dim; ++i) out[i] = rng->NextDouble(kLo, kHi);
+}
+
+UsecInstance GenerateBase(int dim, size_t num_balls, double radius,
+                          Rng* rng) {
+  UsecInstance instance(dim);
+  instance.radius = radius;
+  instance.ball_centers.Reserve(num_balls);
+  double p[kMaxDim];
+  for (size_t j = 0; j < num_balls; ++j) {
+    FillUniform(rng, dim, p);
+    instance.ball_centers.Add(p);
+  }
+  return instance;
+}
+
+bool CoveredByAnyBall(const UsecInstance& instance, const double* p) {
+  const double r2 = instance.radius * instance.radius;
+  for (size_t j = 0; j < instance.ball_centers.size(); ++j) {
+    if (SquaredDistance(p, instance.ball_centers.point(j),
+                        instance.points.dim()) <= r2) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+UsecInstance GenerateUsecYes(int dim, size_t num_points, size_t num_balls,
+                             double radius, uint64_t seed) {
+  ADB_CHECK(num_points >= 1 && num_balls >= 1);
+  Rng rng(seed);
+  UsecInstance instance = GenerateBase(dim, num_balls, radius, &rng);
+  instance.points.Reserve(num_points);
+  double p[kMaxDim];
+  for (size_t i = 0; i + 1 < num_points; ++i) {
+    FillUniform(&rng, dim, p);
+    instance.points.Add(p);
+  }
+  // Plant a witness: a point just inside a random ball.
+  const size_t target = rng.NextBounded(num_balls);
+  const double* center = instance.ball_centers.point(target);
+  for (int i = 0; i < dim; ++i) p[i] = center[i];
+  p[0] += 0.5 * radius;
+  instance.points.Add(p);
+  return instance;
+}
+
+UsecInstance GenerateUsecNo(int dim, size_t num_points, size_t num_balls,
+                            double radius, uint64_t seed) {
+  Rng rng(seed);
+  UsecInstance instance = GenerateBase(dim, num_balls, radius, &rng);
+  instance.points.Reserve(num_points);
+  double p[kMaxDim];
+  for (size_t i = 0; i < num_points; ++i) {
+    size_t attempts = 0;
+    do {
+      FillUniform(&rng, dim, p);
+      ADB_CHECK_MSG(++attempts < 100000,
+                    "balls cover the domain; cannot plant a NO instance");
+    } while (CoveredByAnyBall(instance, p));
+    instance.points.Add(p);
+  }
+  return instance;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,24 @@
+#ifndef ADBSCAN_GEN_USEC_GEN_H_
+#define ADBSCAN_GEN_USEC_GEN_H_
+
+#include <cstdint>
+
+#include "core/usec.h"
+
+namespace adbscan {
+
+// Random USEC instances (Section 2.3) with a planted answer, for testing
+// and demonstrating the Lemma 4 reduction.
+
+// Instance whose answer is YES: at least one point is placed inside a ball.
+UsecInstance GenerateUsecYes(int dim, size_t num_points, size_t num_balls,
+                             double radius, uint64_t seed);
+
+// Instance whose answer is NO: points are rejection-sampled outside every
+// ball. Requires the balls to cover well under the whole domain.
+UsecInstance GenerateUsecNo(int dim, size_t num_points, size_t num_balls,
+                            double radius, uint64_t seed);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_GEN_USEC_GEN_H_

@@ -1,0 +1,119 @@
+#include "geom/box.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace adbscan {
+
+Box Box::Empty(int dim) {
+  ADB_CHECK(dim >= 1 && dim <= kMaxDim);
+  Box b;
+  b.dim = dim;
+  for (int i = 0; i < dim; ++i) {
+    b.lo[i] = std::numeric_limits<double>::infinity();
+    b.hi[i] = -std::numeric_limits<double>::infinity();
+  }
+  return b;
+}
+
+void Box::ExpandToPoint(const double* p) {
+  for (int i = 0; i < dim; ++i) {
+    lo[i] = std::min(lo[i], p[i]);
+    hi[i] = std::max(hi[i], p[i]);
+  }
+}
+
+void Box::ExpandToBox(const Box& other) {
+  ADB_DCHECK(dim == other.dim);
+  for (int i = 0; i < dim; ++i) {
+    lo[i] = std::min(lo[i], other.lo[i]);
+    hi[i] = std::max(hi[i], other.hi[i]);
+  }
+}
+
+bool Box::ContainsPoint(const double* p) const {
+  for (int i = 0; i < dim; ++i) {
+    if (p[i] < lo[i] || p[i] > hi[i]) return false;
+  }
+  return true;
+}
+
+double Box::MinSquaredDistToPoint(const double* q) const {
+  double s = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    double diff = 0.0;
+    if (q[i] < lo[i]) {
+      diff = lo[i] - q[i];
+    } else if (q[i] > hi[i]) {
+      diff = q[i] - hi[i];
+    }
+    s += diff * diff;
+  }
+  return s;
+}
+
+double Box::MaxSquaredDistToPoint(const double* q) const {
+  double s = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    const double diff = std::max(std::abs(q[i] - lo[i]), std::abs(q[i] - hi[i]));
+    s += diff * diff;
+  }
+  return s;
+}
+
+double Box::MinSquaredDistToBox(const Box& other) const {
+  ADB_DCHECK(dim == other.dim);
+  double s = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    double diff = 0.0;
+    if (other.hi[i] < lo[i]) {
+      diff = lo[i] - other.hi[i];
+    } else if (other.lo[i] > hi[i]) {
+      diff = other.lo[i] - hi[i];
+    }
+    s += diff * diff;
+  }
+  return s;
+}
+
+bool Box::IntersectsBall(const double* center, double radius) const {
+  return MinSquaredDistToPoint(center) <= radius * radius;
+}
+
+bool Box::InsideBall(const double* center, double radius) const {
+  return MaxSquaredDistToPoint(center) <= radius * radius;
+}
+
+double Box::MaxExtent() const {
+  double m = 0.0;
+  for (int i = 0; i < dim; ++i) m = std::max(m, hi[i] - lo[i]);
+  return m;
+}
+
+double Box::Margin() const {
+  double m = 0.0;
+  for (int i = 0; i < dim; ++i) m += hi[i] - lo[i];
+  return m;
+}
+
+double Box::Volume() const {
+  double v = 1.0;
+  for (int i = 0; i < dim; ++i) v *= std::max(0.0, hi[i] - lo[i]);
+  return v;
+}
+
+double Box::OverlapVolume(const Box& other) const {
+  ADB_DCHECK(dim == other.dim);
+  double v = 1.0;
+  for (int i = 0; i < dim; ++i) {
+    const double side =
+        std::min(hi[i], other.hi[i]) - std::max(lo[i], other.lo[i]);
+    if (side <= 0.0) return 0.0;
+    v *= side;
+  }
+  return v;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,59 @@
+#ifndef ADBSCAN_GEOM_BOX_H_
+#define ADBSCAN_GEOM_BOX_H_
+
+#include <array>
+
+#include "geom/point.h"
+
+namespace adbscan {
+
+// Axis-aligned box in up to kMaxDim dimensions with inline storage.
+// Used by the spatial indexes, the grid (cell extents), and the approximate
+// range counting structure (Lemma 5 cell/ball classification).
+struct Box {
+  std::array<double, kMaxDim> lo;
+  std::array<double, kMaxDim> hi;
+  int dim = 0;
+
+  Box() = default;
+
+  // Creates an "empty" box (inverted bounds) ready for ExpandToPoint.
+  static Box Empty(int dim);
+
+  // Smallest box containing both operands / the given point.
+  void ExpandToPoint(const double* p);
+  void ExpandToBox(const Box& other);
+
+  bool ContainsPoint(const double* p) const;
+
+  // Minimum squared distance from q to any point of the box (0 if inside).
+  double MinSquaredDistToPoint(const double* q) const;
+
+  // Maximum squared distance from q to any point of the box.
+  double MaxSquaredDistToPoint(const double* q) const;
+
+  // Minimum squared distance between the two boxes (0 if they intersect).
+  double MinSquaredDistToBox(const Box& other) const;
+
+  // True iff the box intersects the closed ball B(center, radius).
+  bool IntersectsBall(const double* center, double radius) const;
+
+  // True iff the box lies entirely inside the closed ball B(center, radius).
+  bool InsideBall(const double* center, double radius) const;
+
+  // Longest side length.
+  double MaxExtent() const;
+
+  // Half-perimeter (sum of side lengths); used by the R-tree split heuristic.
+  double Margin() const;
+
+  // d-dimensional volume.
+  double Volume() const;
+
+  // Volume of the intersection with another box (0 if disjoint).
+  double OverlapVolume(const Box& other) const;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_GEOM_BOX_H_

@@ -1,0 +1,40 @@
+#include "geom/dataset.h"
+
+#include "util/check.h"
+
+namespace adbscan {
+
+Dataset::Dataset(int dim) : dim_(dim) {
+  ADB_CHECK(dim >= 1 && dim <= kMaxDim);
+}
+
+Dataset::Dataset(int dim, std::vector<double> coords)
+    : dim_(dim), coords_(std::move(coords)) {
+  ADB_CHECK(dim >= 1 && dim <= kMaxDim);
+  ADB_CHECK(coords_.size() % dim_ == 0);
+}
+
+uint32_t Dataset::Add(const double* p) {
+  const uint32_t id = static_cast<uint32_t>(size());
+  coords_.insert(coords_.end(), p, p + dim_);
+  return id;
+}
+
+uint32_t Dataset::Add(std::initializer_list<double> p) {
+  ADB_CHECK(static_cast<int>(p.size()) == dim_);
+  return Add(p.begin());
+}
+
+uint32_t Dataset::Add(const std::vector<double>& p) {
+  ADB_CHECK(static_cast<int>(p.size()) == dim_);
+  return Add(p.data());
+}
+
+Box Dataset::BoundingBox() const {
+  ADB_CHECK(!empty());
+  Box b = Box::Empty(dim_);
+  for (size_t i = 0; i < size(); ++i) b.ExpandToPoint(point(i));
+  return b;
+}
+
+}  // namespace adbscan

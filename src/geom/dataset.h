@@ -1,0 +1,58 @@
+#ifndef ADBSCAN_GEOM_DATASET_H_
+#define ADBSCAN_GEOM_DATASET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/point.h"
+
+namespace adbscan {
+
+// An immutable-after-construction set of n points in d-dimensional space,
+// stored as one contiguous row-major coordinate array. This is the input type
+// of every clustering algorithm in the library.
+//
+// Point ids are dense indices [0, size()). All algorithms report clusters in
+// terms of these ids.
+class Dataset {
+ public:
+  // An empty dataset of the given dimensionality; fill with Add().
+  explicit Dataset(int dim);
+
+  // Takes ownership of a flat row-major coordinate array whose length must be
+  // a multiple of dim.
+  Dataset(int dim, std::vector<double> coords);
+
+  Dataset(const Dataset&) = default;
+  Dataset& operator=(const Dataset&) = default;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  int dim() const { return dim_; }
+  size_t size() const { return coords_.size() / dim_; }
+  bool empty() const { return coords_.empty(); }
+
+  // Coordinates of point i.
+  const double* point(size_t i) const { return coords_.data() + i * dim_; }
+  const std::vector<double>& coords() const { return coords_; }
+
+  void Reserve(size_t n) { coords_.reserve(n * dim_); }
+
+  // Appends a point; p must hold dim() coordinates. Returns its id.
+  uint32_t Add(const double* p);
+  uint32_t Add(std::initializer_list<double> p);
+  uint32_t Add(const std::vector<double>& p);
+
+  // Bounding box of all points; must not be called on an empty dataset.
+  Box BoundingBox() const;
+
+ private:
+  int dim_;
+  std::vector<double> coords_;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_GEOM_DATASET_H_

@@ -1,0 +1,232 @@
+#include "geom/delaunay2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "geom/point.h"
+#include "util/check.h"
+
+namespace adbscan {
+namespace {
+
+struct Pt {
+  double x, y;
+};
+
+// Strictly positive iff d lies inside the circumcircle of the
+// counterclockwise triangle (a, b, c). Evaluated in long double after
+// translation to d's frame (the standard conditioning trick).
+long double InCircle(const Pt& a, const Pt& b, const Pt& c, const Pt& d) {
+  const long double ax = static_cast<long double>(a.x) - d.x;
+  const long double ay = static_cast<long double>(a.y) - d.y;
+  const long double bx = static_cast<long double>(b.x) - d.x;
+  const long double by = static_cast<long double>(b.y) - d.y;
+  const long double cx = static_cast<long double>(c.x) - d.x;
+  const long double cy = static_cast<long double>(c.y) - d.y;
+  const long double a2 = ax * ax + ay * ay;
+  const long double b2 = bx * bx + by * by;
+  const long double c2 = cx * cx + cy * cy;
+  return ax * (by * c2 - b2 * cy) - ay * (bx * c2 - b2 * cx) +
+         a2 * (bx * cy - by * cx);
+}
+
+// Twice the signed area of (a, b, c); positive iff counterclockwise.
+long double Orient(const Pt& a, const Pt& b, const Pt& c) {
+  return (static_cast<long double>(b.x) - a.x) *
+             (static_cast<long double>(c.y) - a.y) -
+         (static_cast<long double>(b.y) - a.y) *
+             (static_cast<long double>(c.x) - a.x);
+}
+
+struct Triangle {
+  uint32_t v[3];
+  bool alive = true;
+};
+
+}  // namespace
+
+Delaunay2d::Delaunay2d(const Dataset& data, const std::vector<uint32_t>& ids)
+    : data_(&data) {
+  ADB_CHECK_MSG(data.dim() == 2, "Delaunay2d requires 2D data");
+  // Deduplicate exact duplicates (they carry no extra Voronoi structure and
+  // break the triangulation).
+  std::set<std::pair<double, double>> seen;
+  sites_.reserve(ids.size());
+  for (uint32_t id : ids) {
+    const double* p = data.point(id);
+    if (seen.insert({p[0], p[1]}).second) sites_.push_back(id);
+  }
+  Build();
+}
+
+void Delaunay2d::Build() {
+  const size_t m = sites_.size();
+  adjacency_.assign(m, {});
+  if (m < 3) {
+    degenerate_ = m >= 1;
+    return;
+  }
+
+  // Local, centroid-translated coordinates; three synthetic super-triangle
+  // vertices appended at indices m..m+2.
+  std::vector<Pt> pts(m + 3);
+  double cx = 0.0, cy = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    cx += data_->point(sites_[i])[0];
+    cy += data_->point(sites_[i])[1];
+  }
+  cx /= static_cast<double>(m);
+  cy /= static_cast<double>(m);
+  double radius = 1.0;
+  for (size_t i = 0; i < m; ++i) {
+    pts[i] = {data_->point(sites_[i])[0] - cx,
+              data_->point(sites_[i])[1] - cy};
+    radius = std::max(radius, std::abs(pts[i].x));
+    radius = std::max(radius, std::abs(pts[i].y));
+  }
+  const double big = 64.0 * radius;
+  pts[m] = {-big, -big};
+  pts[m + 1] = {big, -big};
+  pts[m + 2] = {0.0, big};
+
+  std::vector<Triangle> triangles;
+  triangles.push_back(
+      {{static_cast<uint32_t>(m), static_cast<uint32_t>(m + 1),
+        static_cast<uint32_t>(m + 2)},
+       true});
+
+  // Bowyer–Watson, simple O(m²) variant: per insertion scan all live
+  // triangles for circumcircle violations. Per-cell point sets are small,
+  // so the quadratic bound is irrelevant in this library's usage.
+  std::map<std::pair<uint32_t, uint32_t>, int> edge_count;
+  for (uint32_t i = 0; i < m; ++i) {
+    edge_count.clear();
+    bool found_cavity = false;
+    for (Triangle& t : triangles) {
+      if (!t.alive) continue;
+      if (InCircle(pts[t.v[0]], pts[t.v[1]], pts[t.v[2]], pts[i]) > 0.0L) {
+        t.alive = false;
+        found_cavity = true;
+        for (int e = 0; e < 3; ++e) {
+          uint32_t u = t.v[e], w = t.v[(e + 1) % 3];
+          if (u > w) std::swap(u, w);
+          ++edge_count[{u, w}];
+        }
+      }
+    }
+    if (!found_cavity) {
+      // The point duplicates an existing site numerically or lies exactly
+      // on a shared edge with zero incircle value; attach it to the closest
+      // triangle by forcing the nearest triangle's cavity.
+      double best = std::numeric_limits<double>::infinity();
+      Triangle* nearest = nullptr;
+      for (Triangle& t : triangles) {
+        if (!t.alive) continue;
+        for (int v = 0; v < 3; ++v) {
+          const double dx = pts[t.v[v]].x - pts[i].x;
+          const double dy = pts[t.v[v]].y - pts[i].y;
+          const double d2 = dx * dx + dy * dy;
+          if (d2 < best) {
+            best = d2;
+            nearest = &t;
+          }
+        }
+      }
+      ADB_CHECK(nearest != nullptr);
+      nearest->alive = false;
+      for (int e = 0; e < 3; ++e) {
+        uint32_t u = nearest->v[e], w = nearest->v[(e + 1) % 3];
+        if (u > w) std::swap(u, w);
+        ++edge_count[{u, w}];
+      }
+    }
+    // Boundary edges (seen once) fan out to the new point.
+    for (const auto& [edge, count] : edge_count) {
+      if (count != 1) continue;
+      Triangle t;
+      t.v[0] = edge.first;
+      t.v[1] = edge.second;
+      t.v[2] = i;
+      if (Orient(pts[t.v[0]], pts[t.v[1]], pts[t.v[2]]) < 0.0L) {
+        std::swap(t.v[0], t.v[1]);
+      }
+      triangles.push_back(t);
+    }
+    // Periodic compaction keeps the scan proportional to live triangles.
+    if (triangles.size() > 16 * (i + 2)) {
+      std::vector<Triangle> live;
+      live.reserve(triangles.size());
+      for (const Triangle& t : triangles) {
+        if (t.alive) live.push_back(t);
+      }
+      triangles.swap(live);
+    }
+  }
+
+  // Real Delaunay edges: edges between two real sites in live triangles.
+  std::set<std::pair<uint32_t, uint32_t>> edges;
+  for (const Triangle& t : triangles) {
+    if (!t.alive) continue;
+    bool touches_super = false;
+    for (int v = 0; v < 3; ++v) touches_super |= t.v[v] >= m;
+    if (!touches_super) ++triangle_count_;
+    for (int e = 0; e < 3; ++e) {
+      uint32_t u = t.v[e], w = t.v[(e + 1) % 3];
+      if (u >= m || w >= m) continue;
+      if (u > w) std::swap(u, w);
+      edges.insert({u, w});
+    }
+  }
+  for (const auto& [u, w] : edges) {
+    adjacency_[u].push_back(w);
+    adjacency_[w].push_back(u);
+  }
+  if (triangle_count_ == 0) {
+    // Fully collinear input: the Voronoi structure is 1-dimensional; use
+    // linear scans for queries.
+    degenerate_ = true;
+  }
+}
+
+Delaunay2d::Neighbor Delaunay2d::Nearest(const double* q) const {
+  ADB_CHECK(!sites_.empty());
+  auto dist2 = [&](uint32_t site_idx) {
+    return SquaredDistance(q, data_->point(sites_[site_idx]), 2);
+  };
+  if (degenerate_) {
+    uint32_t best = 0;
+    double best_d2 = dist2(0);
+    for (uint32_t s = 1; s < sites_.size(); ++s) {
+      const double d2 = dist2(s);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = s;
+      }
+    }
+    return {sites_[best], best_d2};
+  }
+  // Greedy walk on the Delaunay graph from the previous answer.
+  uint32_t cur = walk_start_ < sites_.size() ? walk_start_ : 0;
+  double cur_d2 = dist2(cur);
+  for (;;) {
+    uint32_t next = cur;
+    double next_d2 = cur_d2;
+    for (uint32_t nb : adjacency_[cur]) {
+      const double d2 = dist2(nb);
+      if (d2 < next_d2) {
+        next_d2 = d2;
+        next = nb;
+      }
+    }
+    if (next == cur) break;
+    cur = next;
+    cur_d2 = next_d2;
+  }
+  walk_start_ = cur;
+  return {sites_[cur], cur_d2};
+}
+
+}  // namespace adbscan

@@ -1,0 +1,63 @@
+#ifndef ADBSCAN_GEOM_DELAUNAY2D_H_
+#define ADBSCAN_GEOM_DELAUNAY2D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// 2D Delaunay triangulation (Bowyer–Watson) over a subset of a Dataset —
+// the dual of the Voronoi diagram that Gunawan's 2D algorithm [11] builds
+// per core cell to answer nearest-core-neighbor queries (Section 2.2
+// "Computation of G").
+//
+// Nearest-neighbor queries walk the Delaunay graph greedily: from the last
+// answer, repeatedly step to any neighbor closer to the query; the walk
+// ends at the site whose Voronoi cell contains the query, i.e. the nearest
+// neighbor (greedy routing on Delaunay triangulations always reaches the
+// closest site). Expected O(√m)-ish steps per query on benign data.
+//
+// Degenerate inputs are handled pragmatically: exact duplicates are
+// collapsed onto one site, and fully collinear inputs (no triangles) fall
+// back to linear-scan queries.
+class Delaunay2d {
+ public:
+  struct Neighbor {
+    uint32_t id;           // dataset point id
+    double squared_dist;
+  };
+
+  // Builds over the subset `ids` of `data` (which must be 2-dimensional and
+  // outlive the structure).
+  Delaunay2d(const Dataset& data, const std::vector<uint32_t>& ids);
+
+  // Nearest site to q (nullopt iff the structure is empty).
+  // Not thread-safe: reuses the previous answer as the walk start.
+  Neighbor Nearest(const double* q) const;
+
+  bool empty() const { return sites_.empty(); }
+  size_t num_sites() const { return sites_.size(); }
+  size_t num_triangles() const { return triangle_count_; }
+
+  // Test hook: the Delaunay adjacency of site s (indices into sites()).
+  const std::vector<std::vector<uint32_t>>& adjacency() const {
+    return adjacency_;
+  }
+  const std::vector<uint32_t>& sites() const { return sites_; }
+
+ private:
+  void Build();
+
+  const Dataset* data_;
+  std::vector<uint32_t> sites_;                 // deduplicated point ids
+  std::vector<std::vector<uint32_t>> adjacency_;  // Delaunay graph
+  size_t triangle_count_ = 0;
+  bool degenerate_ = false;  // collinear input: fall back to linear scan
+  mutable uint32_t walk_start_ = 0;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_GEOM_DELAUNAY2D_H_

@@ -1,0 +1,39 @@
+#ifndef ADBSCAN_GEOM_POINT_H_
+#define ADBSCAN_GEOM_POINT_H_
+
+#include <cmath>
+
+namespace adbscan {
+
+// Maximum dimensionality supported by the library. The paper evaluates
+// d ∈ [2, 7]; 16 leaves generous headroom while letting cell coordinates and
+// boxes live in fixed-size inline arrays (no per-object heap allocation on
+// hot paths).
+inline constexpr int kMaxDim = 16;
+
+// Points are stored as rows of a flat coordinate array (see geom/dataset.h);
+// these free functions operate on raw coordinate pointers so that every
+// subsystem shares one distance implementation.
+
+inline double SquaredDistance(const double* a, const double* b, int dim) {
+  double s = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    const double diff = a[i] - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+inline double Distance(const double* a, const double* b, int dim) {
+  return std::sqrt(SquaredDistance(a, b, dim));
+}
+
+// True iff dist(a, b) <= eps. Uses squared comparison; no sqrt.
+inline bool WithinDistance(const double* a, const double* b, int dim,
+                           double eps) {
+  return SquaredDistance(a, b, dim) <= eps * eps;
+}
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_GEOM_POINT_H_

@@ -1,0 +1,45 @@
+#include "grid/cell.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace adbscan {
+
+CellCoord CellCoord::Of(const double* p, int dim, double side) {
+  ADB_DCHECK(side > 0.0);
+  CellCoord cc;
+  cc.dim = dim;
+  for (int i = 0; i < dim; ++i) {
+    cc.c[i] = static_cast<int64_t>(std::floor(p[i] / side));
+  }
+  return cc;
+}
+
+Box CellCoord::ToBox(double side) const {
+  Box b = Box::Empty(dim);
+  for (int i = 0; i < dim; ++i) {
+    b.lo[i] = static_cast<double>(c[i]) * side;
+    b.hi[i] = static_cast<double>(c[i] + 1) * side;
+  }
+  return b;
+}
+
+void CellCoord::Center(double side, double* out) const {
+  for (int i = 0; i < dim; ++i) {
+    out[i] = (static_cast<double>(c[i]) + 0.5) * side;
+  }
+}
+
+size_t CellCoordHash::operator()(const CellCoord& cc) const {
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ static_cast<uint64_t>(cc.dim);
+  for (int i = 0; i < cc.dim; ++i) {
+    uint64_t z = h + static_cast<uint64_t>(cc.c[i]) + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    h = z ^ (z >> 31);
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace adbscan

@@ -1,0 +1,45 @@
+#ifndef ADBSCAN_GRID_CELL_H_
+#define ADBSCAN_GRID_CELL_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "geom/box.h"
+#include "geom/point.h"
+
+namespace adbscan {
+
+// Integer coordinates of a grid cell: cell (k_1, ..., k_d) covers the
+// hyper-square [k_i * side, (k_i + 1) * side) on every axis.
+struct CellCoord {
+  std::array<int64_t, kMaxDim> c{};
+  int dim = 0;
+
+  // Cell containing point p in a grid with the given side length.
+  static CellCoord Of(const double* p, int dim, double side);
+
+  // Geometric extent of the cell.
+  Box ToBox(double side) const;
+
+  // Center of the cell, written into out[0..dim).
+  void Center(double side, double* out) const;
+
+  friend bool operator==(const CellCoord& a, const CellCoord& b) {
+    if (a.dim != b.dim) return false;
+    for (int i = 0; i < a.dim; ++i) {
+      if (a.c[i] != b.c[i]) return false;
+    }
+    return true;
+  }
+};
+
+// Mixing hash over the used coordinates (SplitMix64-style finalizer per
+// lane), suitable for unordered_map keys.
+struct CellCoordHash {
+  size_t operator()(const CellCoord& cc) const;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_GRID_CELL_H_

@@ -1,0 +1,119 @@
+#include "grid/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace adbscan {
+
+double Grid::SideFor(double eps, int dim) {
+  ADB_CHECK(eps > 0.0);
+  return eps / std::sqrt(static_cast<double>(dim));
+}
+
+Grid::Grid(const Dataset& data, double side) : data_(&data), side_(side) {
+  ADB_CHECK(side > 0.0);
+  const size_t n = data.size();
+  point_cell_.resize(n);
+  coord_to_cell_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const CellCoord cc = CellCoord::Of(data.point(i), data.dim(), side_);
+    auto [it, inserted] =
+        coord_to_cell_.try_emplace(cc, static_cast<uint32_t>(cells_.size()));
+    if (inserted) {
+      cells_.push_back(Cell{cc, {}});
+    }
+    cells_[it->second].points.push_back(static_cast<uint32_t>(i));
+    point_cell_[i] = it->second;
+  }
+
+  // Cell-center kd-tree for ε-neighbor enumeration.
+  centers_ = std::make_unique<Dataset>(data.dim());
+  centers_->Reserve(cells_.size());
+  double center[kMaxDim];
+  for (const Cell& c : cells_) {
+    c.coord.Center(side_, center);
+    centers_->Add(center);
+  }
+  if (!cells_.empty()) {
+    center_tree_ = std::make_unique<KdTree>(*centers_);
+  }
+}
+
+uint32_t Grid::FindCell(const CellCoord& cc) const {
+  const auto it = coord_to_cell_.find(cc);
+  return it == coord_to_cell_.end() ? kNoCell : it->second;
+}
+
+void Grid::ComputeNeighborsInto(uint32_t ci, double eps,
+                                std::vector<uint32_t>* out) const {
+  // Centers of ε-neighbor cells lie within eps + √d·side of ci's center
+  // (eps between the boxes plus half a cell diameter on each side).
+  const double diam = side_ * std::sqrt(static_cast<double>(dim()));
+  const double radius = eps + diam + 1e-9 * side_;
+  std::vector<uint32_t> candidates =
+      center_tree_->RangeQuery(centers_->point(ci), radius);
+  const Box my_box = CellBoxOf(ci);
+  std::vector<std::pair<double, uint32_t>> by_dist;
+  by_dist.reserve(candidates.size());
+  const double eps2 = eps * eps;
+  for (uint32_t cj : candidates) {
+    if (cj == ci) continue;
+    const double d2 = my_box.MinSquaredDistToBox(CellBoxOf(cj));
+    if (d2 <= eps2) by_dist.emplace_back(d2, cj);
+  }
+  std::sort(by_dist.begin(), by_dist.end());
+  out->clear();
+  out->reserve(by_dist.size());
+  for (const auto& [d2, cj] : by_dist) out->push_back(cj);
+}
+
+void Grid::ResetCacheFor(double eps) const {
+  if (cache_eps_ != eps) {
+    cache_eps_ = eps;
+    cache_valid_.assign(cells_.size(), 0);
+    neighbor_cache_.assign(cells_.size(), {});
+  }
+}
+
+const std::vector<uint32_t>& Grid::EpsNeighbors(uint32_t ci,
+                                                double eps) const {
+  ADB_DCHECK(ci < cells_.size());
+  ResetCacheFor(eps);
+  if (!cache_valid_[ci]) {
+    ComputeNeighborsInto(ci, eps, &neighbor_cache_[ci]);
+    cache_valid_[ci] = 1;
+  }
+  return neighbor_cache_[ci];
+}
+
+void Grid::WarmNeighborCache(double eps, int num_threads) const {
+  ResetCacheFor(eps);
+  ParallelFor(cells_.size(), num_threads, [&](size_t begin, size_t end) {
+    for (size_t ci = begin; ci < end; ++ci) {
+      if (cache_valid_[ci]) continue;
+      ComputeNeighborsInto(static_cast<uint32_t>(ci), eps,
+                           &neighbor_cache_[ci]);
+      cache_valid_[ci] = 1;
+    }
+  });
+}
+
+std::vector<uint32_t> Grid::CellsTouchingBall(const double* q,
+                                              double eps) const {
+  std::vector<uint32_t> out;
+  if (cells_.empty()) return out;
+  const double diam = side_ * std::sqrt(static_cast<double>(dim()));
+  const double radius = eps + 0.5 * diam + 1e-9 * side_;
+  std::vector<uint32_t> candidates = center_tree_->RangeQuery(q, radius);
+  out.reserve(candidates.size());
+  const double eps2 = eps * eps;
+  for (uint32_t cj : candidates) {
+    if (CellBoxOf(cj).MinSquaredDistToPoint(q) <= eps2) out.push_back(cj);
+  }
+  return out;
+}
+
+}  // namespace adbscan

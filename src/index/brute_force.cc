@@ -1,0 +1,45 @@
+#include "index/brute_force.h"
+
+#include <numeric>
+
+#include "geom/point.h"
+
+namespace adbscan {
+
+BruteForceIndex::BruteForceIndex(const Dataset& data) : data_(&data) {
+  ids_.resize(data.size());
+  std::iota(ids_.begin(), ids_.end(), 0u);
+}
+
+BruteForceIndex::BruteForceIndex(const Dataset& data, std::vector<uint32_t> ids)
+    : data_(&data), ids_(std::move(ids)) {}
+
+std::vector<uint32_t> BruteForceIndex::RangeQuery(const double* q,
+                                                  double radius) const {
+  std::vector<uint32_t> out;
+  const double r2 = radius * radius;
+  for (uint32_t id : ids_) {
+    if (SquaredDistance(q, data_->point(id), data_->dim()) <= r2) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+size_t BruteForceIndex::CountInBall(const double* q, double radius,
+                                    size_t stop_at) const {
+  size_t count = 0;
+  const double r2 = radius * radius;
+  for (uint32_t id : ids_) {
+    if (SquaredDistance(q, data_->point(id), data_->dim()) <= r2) {
+      if (++count >= stop_at) return count;
+    }
+  }
+  return count;
+}
+
+bool BruteForceIndex::AnyWithin(const double* q, double radius) const {
+  return CountInBall(q, radius, 1) > 0;
+}
+
+}  // namespace adbscan

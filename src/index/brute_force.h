@@ -1,0 +1,35 @@
+#ifndef ADBSCAN_INDEX_BRUTE_FORCE_H_
+#define ADBSCAN_INDEX_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "geom/dataset.h"
+#include "index/spatial_index.h"
+
+namespace adbscan {
+
+// O(n)-per-query linear scan. Reference implementation for index tests and
+// the trusted substrate of the brute-force reference DBSCAN.
+class BruteForceIndex : public SpatialIndex {
+ public:
+  // Indexes all points of `data`; the dataset must outlive the index.
+  explicit BruteForceIndex(const Dataset& data);
+
+  // Indexes the subset `ids` of `data`.
+  BruteForceIndex(const Dataset& data, std::vector<uint32_t> ids);
+
+  std::vector<uint32_t> RangeQuery(const double* q,
+                                   double radius) const override;
+  size_t CountInBall(const double* q, double radius,
+                     size_t stop_at) const override;
+  bool AnyWithin(const double* q, double radius) const override;
+  size_t size() const override { return ids_.size(); }
+
+ private:
+  const Dataset* data_;
+  std::vector<uint32_t> ids_;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_INDEX_BRUTE_FORCE_H_

@@ -1,0 +1,245 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geom/point.h"
+#include "util/check.h"
+
+namespace adbscan {
+
+KdTree::KdTree(const Dataset& data) : data_(&data) {
+  ids_.resize(data.size());
+  std::iota(ids_.begin(), ids_.end(), 0u);
+  if (!ids_.empty()) {
+    nodes_.reserve(2 * ids_.size() / kLeafSize + 2);
+    root_ = Build(0, static_cast<uint32_t>(ids_.size()));
+  }
+}
+
+KdTree::KdTree(const Dataset& data, std::vector<uint32_t> ids)
+    : data_(&data), ids_(std::move(ids)) {
+  if (!ids_.empty()) {
+    nodes_.reserve(2 * ids_.size() / kLeafSize + 2);
+    root_ = Build(0, static_cast<uint32_t>(ids_.size()));
+  }
+}
+
+Box KdTree::ComputeBox(uint32_t begin, uint32_t end) const {
+  Box box = Box::Empty(data_->dim());
+  for (uint32_t i = begin; i < end; ++i) box.ExpandToPoint(data_->point(ids_[i]));
+  return box;
+}
+
+uint32_t KdTree::Build(uint32_t begin, uint32_t end) {
+  ADB_DCHECK(begin < end);
+  const uint32_t node_idx = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  Box box = ComputeBox(begin, end);
+  if (end - begin <= kLeafSize || box.MaxExtent() == 0.0) {
+    Node& leaf = nodes_[node_idx];
+    leaf.box = box;
+    leaf.left = kLeafMarker;
+    leaf.begin = begin;
+    leaf.end = end;
+    return node_idx;
+  }
+  // Split on the widest dimension at the median.
+  int axis = 0;
+  double best = -1.0;
+  for (int d = 0; d < box.dim; ++d) {
+    const double extent = box.hi[d] - box.lo[d];
+    if (extent > best) {
+      best = extent;
+      axis = d;
+    }
+  }
+  const uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids_.begin() + begin, ids_.begin() + mid,
+                   ids_.begin() + end, [&](uint32_t a, uint32_t b) {
+                     return data_->point(a)[axis] < data_->point(b)[axis];
+                   });
+  const uint32_t left = Build(begin, mid);
+  const uint32_t right = Build(mid, end);
+  Node& node = nodes_[node_idx];
+  node.box = box;
+  node.left = left;
+  node.right = right;
+  // Internal nodes keep their subtree's contiguous id range as well, so
+  // inside-ball subtrees can be counted/collected in O(1)/O(k).
+  node.begin = begin;
+  node.end = end;
+  return node_idx;
+}
+
+void KdTree::CollectSubtree(uint32_t node_idx,
+                            std::vector<uint32_t>* out) const {
+  const Node& node = nodes_[node_idx];
+  out->insert(out->end(), ids_.begin() + node.begin, ids_.begin() + node.end);
+}
+
+std::vector<uint32_t> KdTree::RangeQuery(const double* q,
+                                         double radius) const {
+  std::vector<uint32_t> out;
+  if (empty()) return out;
+  const double r2 = radius * radius;
+  // Iterative DFS with an explicit stack; prune by node box distance and
+  // short-circuit whole subtrees that lie inside the ball.
+  std::vector<uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const uint32_t node_idx = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_idx];
+    if (node.box.MinSquaredDistToPoint(q) > r2) continue;
+    if (node.box.MaxSquaredDistToPoint(q) <= r2) {
+      CollectSubtree(node_idx, &out);
+      continue;
+    }
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (SquaredDistance(q, data_->point(ids_[i]), data_->dim()) <= r2) {
+          out.push_back(ids_[i]);
+        }
+      }
+      continue;
+    }
+    stack.push_back(node.left);
+    stack.push_back(node.right);
+  }
+  return out;
+}
+
+size_t KdTree::CountInBall(const double* q, double radius,
+                           size_t stop_at) const {
+  if (empty()) return 0;
+  const double r2 = radius * radius;
+  size_t count = 0;
+  std::vector<uint32_t> stack{root_};
+  while (!stack.empty() && count < stop_at) {
+    const uint32_t node_idx = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_idx];
+    if (node.box.MinSquaredDistToPoint(q) > r2) continue;
+    if (node.box.MaxSquaredDistToPoint(q) <= r2) {
+      count += node.end - node.begin;
+      continue;
+    }
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end && count < stop_at; ++i) {
+        if (SquaredDistance(q, data_->point(ids_[i]), data_->dim()) <= r2) {
+          ++count;
+        }
+      }
+      continue;
+    }
+    stack.push_back(node.left);
+    stack.push_back(node.right);
+  }
+  return count;
+}
+
+bool KdTree::AnyWithin(const double* q, double radius) const {
+  return CountInBall(q, radius, 1) > 0;
+}
+
+std::optional<KdTree::Neighbor> KdTree::Nearest(const double* q,
+                                                double bound_sq) const {
+  if (empty()) return std::nullopt;
+  Neighbor best{0, bound_sq};
+  bool found = false;
+  // Best-first would be optimal; a depth-first walk that descends into the
+  // nearer child first is simpler and nearly as effective for the short-range
+  // queries (bounded by eps²) this library issues.
+  struct Frame {
+    uint32_t node;
+    double min_dist_sq;
+  };
+  std::vector<Frame> stack{{root_, nodes_[root_].box.MinSquaredDistToPoint(q)}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.min_dist_sq >= best.squared_dist) continue;
+    const Node& node = nodes_[frame.node];
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        const double d2 =
+            SquaredDistance(q, data_->point(ids_[i]), data_->dim());
+        if (d2 < best.squared_dist) {
+          best = {ids_[i], d2};
+          found = true;
+        }
+      }
+      continue;
+    }
+    const double dl = nodes_[node.left].box.MinSquaredDistToPoint(q);
+    const double dr = nodes_[node.right].box.MinSquaredDistToPoint(q);
+    // Push the farther child first so the nearer one is explored next.
+    if (dl <= dr) {
+      if (dr < best.squared_dist) stack.push_back({node.right, dr});
+      if (dl < best.squared_dist) stack.push_back({node.left, dl});
+    } else {
+      if (dl < best.squared_dist) stack.push_back({node.left, dl});
+      if (dr < best.squared_dist) stack.push_back({node.right, dr});
+    }
+  }
+  if (!found) return std::nullopt;
+  return best;
+}
+
+std::vector<KdTree::Neighbor> KdTree::KNearest(const double* q,
+                                               size_t k) const {
+  std::vector<Neighbor> heap;  // max-heap on squared_dist, size <= k
+  if (empty() || k == 0) return heap;
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.squared_dist < b.squared_dist;
+  };
+  auto bound = [&] {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.front().squared_dist;
+  };
+  struct Frame {
+    uint32_t node;
+    double min_dist_sq;
+  };
+  std::vector<Frame> stack{{root_, nodes_[root_].box.MinSquaredDistToPoint(q)}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.min_dist_sq > bound()) continue;
+    const Node& node = nodes_[frame.node];
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        const double d2 =
+            SquaredDistance(q, data_->point(ids_[i]), data_->dim());
+        if (d2 <= bound()) {
+          if (heap.size() == k) {
+            std::pop_heap(heap.begin(), heap.end(), cmp);
+            heap.back() = {ids_[i], d2};
+          } else {
+            heap.push_back({ids_[i], d2});
+          }
+          std::push_heap(heap.begin(), heap.end(), cmp);
+        }
+      }
+      continue;
+    }
+    const double dl = nodes_[node.left].box.MinSquaredDistToPoint(q);
+    const double dr = nodes_[node.right].box.MinSquaredDistToPoint(q);
+    if (dl <= dr) {
+      stack.push_back({node.right, dr});
+      stack.push_back({node.left, dl});
+    } else {
+      stack.push_back({node.left, dl});
+      stack.push_back({node.right, dr});
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
+}
+
+const Box& KdTree::bounds() const {
+  ADB_CHECK(!empty());
+  return nodes_[root_].box;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,90 @@
+#ifndef ADBSCAN_INDEX_KDTREE_H_
+#define ADBSCAN_INDEX_KDTREE_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/dataset.h"
+#include "index/spatial_index.h"
+
+namespace adbscan {
+
+// kd-tree over a (subset of a) Dataset.
+//
+// Build: recursive median split (std::nth_element) on the widest dimension
+// of each node's bounding box, O(n log n). Leaves hold up to kLeafSize point
+// ids. Every node stores its exact bounding box, which makes ball pruning
+// (MinSquaredDistToPoint / InsideBall) tight.
+//
+// Roles in this repository:
+//  - region-query substrate for the KDD'96 baseline (kd-tree option),
+//  - nearest-core-neighbor queries of Gunawan's 2D algorithm (our stand-in
+//    for the per-cell Voronoi diagrams of [11]),
+//  - the pruning engine of the BCP decision procedure (Section 3.2).
+class KdTree : public SpatialIndex {
+ public:
+  struct Neighbor {
+    uint32_t id;
+    double squared_dist;
+  };
+
+  // Indexes all points of `data`; the dataset must outlive the tree.
+  explicit KdTree(const Dataset& data);
+
+  // Indexes the subset `ids` of `data`.
+  KdTree(const Dataset& data, std::vector<uint32_t> ids);
+
+  std::vector<uint32_t> RangeQuery(const double* q,
+                                   double radius) const override;
+  size_t CountInBall(const double* q, double radius,
+                     size_t stop_at) const override;
+  bool AnyWithin(const double* q, double radius) const override;
+  size_t size() const override { return ids_.size(); }
+
+  // Nearest indexed point to q with squared distance < bound_sq, if any.
+  // Pass a finite bound to prune aggressively (e.g. eps² when only
+  // pairs within eps matter).
+  std::optional<Neighbor> Nearest(
+      const double* q,
+      double bound_sq = std::numeric_limits<double>::infinity()) const;
+
+  // The k nearest indexed points to q, ascending by distance (fewer if the
+  // index holds fewer than k points). Used by the k-distance plot tooling.
+  std::vector<Neighbor> KNearest(const double* q, size_t k) const;
+
+  // Bounding box of the indexed points (undefined if empty()).
+  const Box& bounds() const;
+
+  bool empty() const { return ids_.empty(); }
+
+ private:
+  struct Node {
+    Box box;
+    // Internal nodes: children indices; leaves: left == kLeaf and the range
+    // [begin, end) into ids_.
+    uint32_t left = 0;
+    uint32_t right = 0;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    bool IsLeaf() const { return left == kLeafMarker; }
+  };
+  static constexpr uint32_t kLeafMarker = 0xffffffffu;
+  static constexpr uint32_t kLeafSize = 16;
+
+  uint32_t Build(uint32_t begin, uint32_t end);
+  Box ComputeBox(uint32_t begin, uint32_t end) const;
+
+  void CollectSubtree(uint32_t node, std::vector<uint32_t>* out) const;
+
+  const Dataset* data_;
+  std::vector<uint32_t> ids_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = kLeafMarker;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_INDEX_KDTREE_H_

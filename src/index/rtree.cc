@@ -1,0 +1,553 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "geom/point.h"
+#include "util/check.h"
+
+namespace adbscan {
+
+RTree::RTree(const Dataset& data) : data_(&data) {
+  std::vector<uint32_t> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  BulkLoad(std::move(ids));
+}
+
+RTree::RTree(const Dataset& data, std::vector<uint32_t> ids) : data_(&data) {
+  BulkLoad(std::move(ids));
+}
+
+RTree RTree::CreateEmpty(const Dataset& data, RTreeOptions options) {
+  RTree t(data, std::vector<uint32_t>{});
+  t.options_ = options;
+  return t;
+}
+
+Box RTree::PointBox(uint32_t id) const {
+  Box b = Box::Empty(data_->dim());
+  b.ExpandToPoint(PointOf(id));
+  return b;
+}
+
+Box RTree::NodeEntryBox(const Node& node, uint32_t i) const {
+  return node.leaf ? PointBox(node.entries[i]) : nodes_[node.entries[i]].box;
+}
+
+void RTree::BulkLoad(std::vector<uint32_t> ids) {
+  num_points_ = ids.size();
+  if (ids.empty()) return;
+  std::vector<uint32_t> level = PackLevel(std::move(ids), /*leaf=*/true);
+  while (level.size() > 1) {
+    level = PackLevel(std::move(level), /*leaf=*/false);
+  }
+  root_ = level.front();
+}
+
+std::vector<uint32_t> RTree::PackLevel(std::vector<uint32_t> items,
+                                       bool leaf) {
+  // Sort-Tile-Recursive: recursively slice the item list into slabs along
+  // successive dimensions so that each final run holds <= kMaxEntries items.
+  const int dim = data_->dim();
+  auto center = [&](uint32_t item, int axis) {
+    if (leaf) return PointOf(item)[axis];
+    const Box& b = nodes_[item].box;
+    return 0.5 * (b.lo[axis] + b.hi[axis]);
+  };
+
+  const size_t num_nodes =
+      (items.size() + kMaxEntries - 1) / kMaxEntries;
+
+  // slice(begin, end, axis): sorts and partitions items[begin:end).
+  std::vector<uint32_t> out;
+  out.reserve(num_nodes);
+  auto emit = [&](size_t begin, size_t end) {
+    Node node;
+    node.leaf = leaf;
+    node.box = Box::Empty(dim);
+    node.entries.assign(items.begin() + begin, items.begin() + end);
+    for (uint32_t e : node.entries) {
+      if (leaf) {
+        node.box.ExpandToPoint(PointOf(e));
+      } else {
+        node.box.ExpandToBox(nodes_[e].box);
+      }
+    }
+    nodes_.push_back(std::move(node));
+    out.push_back(static_cast<uint32_t>(nodes_.size() - 1));
+  };
+
+  // Iterative slicing: maintain ranges to split along the current axis.
+  struct Range {
+    size_t begin, end;
+    int axis;
+  };
+  std::vector<Range> work{{0, items.size(), 0}};
+  while (!work.empty()) {
+    const Range r = work.back();
+    work.pop_back();
+    const size_t count = r.end - r.begin;
+    if (count <= kMaxEntries) {
+      emit(r.begin, r.end);
+      continue;
+    }
+    const size_t leaves_here = (count + kMaxEntries - 1) / kMaxEntries;
+    const int remaining_axes = dim - r.axis;
+    size_t num_slabs;
+    if (remaining_axes <= 1) {
+      num_slabs = leaves_here;
+    } else {
+      num_slabs = static_cast<size_t>(std::ceil(
+          std::pow(static_cast<double>(leaves_here),
+                   1.0 / static_cast<double>(remaining_axes))));
+    }
+    num_slabs = std::max<size_t>(1, std::min(num_slabs, leaves_here));
+    std::sort(items.begin() + r.begin, items.begin() + r.end,
+              [&](uint32_t a, uint32_t b) {
+                return center(a, r.axis) < center(b, r.axis);
+              });
+    const size_t slab_size = (count + num_slabs - 1) / num_slabs;
+    for (size_t s = r.begin; s < r.end; s += slab_size) {
+      const size_t slab_end = std::min(s + slab_size, r.end);
+      if (slab_end - s <= kMaxEntries) {
+        emit(s, slab_end);
+      } else {
+        work.push_back({s, slab_end, std::min(r.axis + 1, dim - 1)});
+      }
+    }
+  }
+  return out;
+}
+
+uint32_t RTree::ChooseLeaf(const Box& b, std::vector<uint32_t>* path) {
+  uint32_t node_idx = root_;
+  for (;;) {
+    path->push_back(node_idx);
+    Node& node = nodes_[node_idx];
+    if (node.leaf) return node_idx;
+    // Least enlargement. Point data produces degenerate (zero-volume) boxes,
+    // so compare (volume delta, margin delta, volume) lexicographically —
+    // the margin term keeps insertion-built trees balanced when volumes tie
+    // at zero.
+    uint32_t best_child = node.entries[0];
+    double best_vd = std::numeric_limits<double>::infinity();
+    double best_md = std::numeric_limits<double>::infinity();
+    double best_volume = std::numeric_limits<double>::infinity();
+    for (uint32_t child : node.entries) {
+      Box merged = nodes_[child].box;
+      merged.ExpandToBox(b);
+      const double volume = nodes_[child].box.Volume();
+      const double vd = merged.Volume() - volume;
+      const double md = merged.Margin() - nodes_[child].box.Margin();
+      if (vd < best_vd || (vd == best_vd && md < best_md) ||
+          (vd == best_vd && md == best_md && volume < best_volume)) {
+        best_vd = vd;
+        best_md = md;
+        best_volume = volume;
+        best_child = child;
+      }
+    }
+    node_idx = best_child;
+  }
+}
+
+void RTree::RecomputeBox(uint32_t node_idx) {
+  Node& node = nodes_[node_idx];
+  node.box = Box::Empty(data_->dim());
+  for (uint32_t i = 0; i < node.entries.size(); ++i) {
+    const Box b = NodeEntryBox(node, i);
+    node.box.ExpandToBox(b);
+  }
+}
+
+uint32_t RTree::SplitNode(uint32_t node_idx) {
+  return options_.split == RTreeOptions::Split::kRStar
+             ? SplitNodeRStar(node_idx)
+             : SplitNodeQuadratic(node_idx);
+}
+
+uint32_t RTree::SplitNodeRStar(uint32_t node_idx) {
+  // The R* topological split (Beckmann et al. 1990): pick the split axis
+  // minimizing the margin sum over all legal distributions of the
+  // lower-bound ordering, then the distribution minimizing group overlap
+  // (ties: total volume).
+  std::vector<uint32_t> entries = std::move(nodes_[node_idx].entries);
+  const bool leaf = nodes_[node_idx].leaf;
+  const size_t n = entries.size();
+  ADB_DCHECK(n > kMaxEntries);
+  const int dim = data_->dim();
+
+  std::vector<Box> boxes(n);
+  auto load_boxes = [&] {
+    for (size_t i = 0; i < n; ++i) {
+      boxes[i] = leaf ? PointBox(entries[i]) : nodes_[entries[i]].box;
+    }
+  };
+
+  const size_t k_min = kMinEntries;          // smallest legal group size
+  const size_t k_max = n - kMinEntries;      // largest first-group size
+
+  int best_axis = 0;
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+  for (int axis = 0; axis < dim; ++axis) {
+    std::sort(entries.begin(), entries.end(), [&](uint32_t a, uint32_t b) {
+      const Box ba = leaf ? PointBox(a) : nodes_[a].box;
+      const Box bb = leaf ? PointBox(b) : nodes_[b].box;
+      return ba.lo[axis] < bb.lo[axis] ||
+             (ba.lo[axis] == bb.lo[axis] && ba.hi[axis] < bb.hi[axis]);
+    });
+    load_boxes();
+    // Prefix/suffix bounding boxes.
+    std::vector<Box> prefix(n), suffix(n);
+    prefix[0] = boxes[0];
+    for (size_t i = 1; i < n; ++i) {
+      prefix[i] = prefix[i - 1];
+      prefix[i].ExpandToBox(boxes[i]);
+    }
+    suffix[n - 1] = boxes[n - 1];
+    for (size_t i = n - 1; i-- > 0;) {
+      suffix[i] = suffix[i + 1];
+      suffix[i].ExpandToBox(boxes[i]);
+    }
+    double margin_sum = 0.0;
+    for (size_t k = k_min; k <= k_max; ++k) {
+      margin_sum += prefix[k - 1].Margin() + suffix[k].Margin();
+    }
+    if (margin_sum < best_margin_sum) {
+      best_margin_sum = margin_sum;
+      best_axis = axis;
+    }
+  }
+
+  // Re-sort along the chosen axis and pick the distribution.
+  std::sort(entries.begin(), entries.end(), [&](uint32_t a, uint32_t b) {
+    const Box ba = leaf ? PointBox(a) : nodes_[a].box;
+    const Box bb = leaf ? PointBox(b) : nodes_[b].box;
+    return ba.lo[best_axis] < bb.lo[best_axis] ||
+           (ba.lo[best_axis] == bb.lo[best_axis] &&
+            ba.hi[best_axis] < bb.hi[best_axis]);
+  });
+  load_boxes();
+  std::vector<Box> prefix(n), suffix(n);
+  prefix[0] = boxes[0];
+  for (size_t i = 1; i < n; ++i) {
+    prefix[i] = prefix[i - 1];
+    prefix[i].ExpandToBox(boxes[i]);
+  }
+  suffix[n - 1] = boxes[n - 1];
+  for (size_t i = n - 1; i-- > 0;) {
+    suffix[i] = suffix[i + 1];
+    suffix[i].ExpandToBox(boxes[i]);
+  }
+  size_t best_k = k_min;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_volume = std::numeric_limits<double>::infinity();
+  for (size_t k = k_min; k <= k_max; ++k) {
+    const double overlap = prefix[k - 1].OverlapVolume(suffix[k]);
+    const double volume = prefix[k - 1].Volume() + suffix[k].Volume();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && volume < best_volume)) {
+      best_overlap = overlap;
+      best_volume = volume;
+      best_k = k;
+    }
+  }
+
+  nodes_[node_idx].entries.assign(entries.begin(), entries.begin() + best_k);
+  nodes_[node_idx].box = prefix[best_k - 1];
+  Node sibling;
+  sibling.leaf = leaf;
+  sibling.entries.assign(entries.begin() + best_k, entries.end());
+  sibling.box = suffix[best_k];
+  nodes_.push_back(std::move(sibling));
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+uint32_t RTree::SplitNodeQuadratic(uint32_t node_idx) {
+  // Guttman's quadratic split: pick the pair of entries whose combined box
+  // wastes the most volume as seeds, then assign remaining entries to the
+  // group whose box grows least.
+  std::vector<uint32_t> entries = std::move(nodes_[node_idx].entries);
+  const bool leaf = nodes_[node_idx].leaf;
+  const size_t n = entries.size();
+  ADB_DCHECK(n > kMaxEntries);
+
+  std::vector<Box> boxes(n);
+  for (size_t i = 0; i < n; ++i) {
+    boxes[i] = leaf ? PointBox(entries[i]) : nodes_[entries[i]].box;
+  }
+
+  // Seed pair: most wasteful combination. Margin is the tie-breaker for the
+  // degenerate zero-volume boxes point data produces.
+  size_t seed_a = 0, seed_b = 1;
+  double worst_vol = -std::numeric_limits<double>::infinity();
+  double worst_margin = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      Box merged = boxes[i];
+      merged.ExpandToBox(boxes[j]);
+      const double vol_waste =
+          merged.Volume() - boxes[i].Volume() - boxes[j].Volume();
+      const double margin_waste =
+          merged.Margin() - boxes[i].Margin() - boxes[j].Margin();
+      if (vol_waste > worst_vol ||
+          (vol_waste == worst_vol && margin_waste > worst_margin)) {
+        worst_vol = vol_waste;
+        worst_margin = margin_waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<uint32_t> group_a{entries[seed_a]};
+  std::vector<uint32_t> group_b{entries[seed_b]};
+  Box box_a = boxes[seed_a];
+  Box box_b = boxes[seed_b];
+  std::vector<bool> assigned(n, false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    // If one group must absorb everything left to reach kMinEntries, do so.
+    if (group_a.size() + remaining == kMinEntries) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          group_a.push_back(entries[i]);
+          box_a.ExpandToBox(boxes[i]);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (group_b.size() + remaining == kMinEntries) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          group_b.push_back(entries[i]);
+          box_b.ExpandToBox(boxes[i]);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    // PickNext: entry with max preference difference between the groups.
+    // Growth is measured by volume delta plus margin delta so that point
+    // data (all volumes zero) still produces meaningful preferences.
+    size_t pick = 0;
+    double best_diff = -1.0;
+    double pick_da = 0.0, pick_db = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      Box ma = box_a;
+      ma.ExpandToBox(boxes[i]);
+      Box mb = box_b;
+      mb.ExpandToBox(boxes[i]);
+      const double da = (ma.Volume() - box_a.Volume()) +
+                        (ma.Margin() - box_a.Margin());
+      const double db = (mb.Volume() - box_b.Volume()) +
+                        (mb.Margin() - box_b.Margin());
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        pick_da = da;
+        pick_db = db;
+      }
+    }
+    const bool to_a =
+        pick_da < pick_db ||
+        (pick_da == pick_db && group_a.size() <= group_b.size());
+    if (to_a) {
+      group_a.push_back(entries[pick]);
+      box_a.ExpandToBox(boxes[pick]);
+    } else {
+      group_b.push_back(entries[pick]);
+      box_b.ExpandToBox(boxes[pick]);
+    }
+    assigned[pick] = true;
+    --remaining;
+  }
+
+  nodes_[node_idx].entries = std::move(group_a);
+  nodes_[node_idx].box = box_a;
+  Node sibling;
+  sibling.leaf = leaf;
+  sibling.entries = std::move(group_b);
+  sibling.box = box_b;
+  nodes_.push_back(std::move(sibling));
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void RTree::Insert(uint32_t id) {
+  ++num_points_;
+  InsertImpl(id, options_.split == RTreeOptions::Split::kRStar &&
+                     options_.reinsert_fraction > 0.0);
+}
+
+std::vector<uint32_t> RTree::EvictForReinsert(uint32_t leaf_idx) {
+  Node& leaf = nodes_[leaf_idx];
+  ADB_DCHECK(leaf.leaf);
+  const int dim = data_->dim();
+  double center[kMaxDim];
+  for (int i = 0; i < dim; ++i) {
+    center[i] = 0.5 * (leaf.box.lo[i] + leaf.box.hi[i]);
+  }
+  // Farthest-from-center entries first (the R* reinsertion candidates).
+  std::sort(leaf.entries.begin(), leaf.entries.end(),
+            [&](uint32_t a, uint32_t b) {
+              return SquaredDistance(center, PointOf(a), dim) >
+                     SquaredDistance(center, PointOf(b), dim);
+            });
+  size_t evict = static_cast<size_t>(
+      options_.reinsert_fraction * static_cast<double>(leaf.entries.size()));
+  evict = std::max<size_t>(1, std::min(evict, leaf.entries.size() - 1));
+  std::vector<uint32_t> evicted(leaf.entries.begin(),
+                                leaf.entries.begin() + evict);
+  leaf.entries.erase(leaf.entries.begin(), leaf.entries.begin() + evict);
+  RecomputeBox(leaf_idx);
+  return evicted;
+}
+
+void RTree::InsertImpl(uint32_t id, bool allow_reinsert) {
+  const Box b = PointBox(id);
+  if (root_ == kInvalid) {
+    Node leaf;
+    leaf.leaf = true;
+    leaf.box = b;
+    leaf.entries.push_back(id);
+    nodes_.push_back(std::move(leaf));
+    root_ = static_cast<uint32_t>(nodes_.size() - 1);
+    return;
+  }
+  std::vector<uint32_t> path;
+  const uint32_t leaf_idx = ChooseLeaf(b, &path);
+  nodes_[leaf_idx].entries.push_back(id);
+  nodes_[leaf_idx].box.ExpandToBox(b);
+
+  // Walk back up: handle overflow (forced reinsertion once at the leaf in
+  // R* mode, split otherwise), refresh ancestor boxes.
+  std::vector<uint32_t> pending_reinserts;
+  uint32_t overflow_sibling = kInvalid;
+  for (size_t level = path.size(); level-- > 0;) {
+    const uint32_t node_idx = path[level];
+    if (overflow_sibling != kInvalid) {
+      nodes_[node_idx].entries.push_back(overflow_sibling);
+      overflow_sibling = kInvalid;
+    }
+    if (nodes_[node_idx].entries.size() > kMaxEntries) {
+      if (allow_reinsert && nodes_[node_idx].leaf && node_idx != root_) {
+        pending_reinserts = EvictForReinsert(node_idx);
+        allow_reinsert = false;
+      } else {
+        overflow_sibling = SplitNode(node_idx);
+      }
+    } else {
+      RecomputeBox(node_idx);
+    }
+  }
+  if (overflow_sibling != kInvalid) {
+    // Root split: grow the tree by one level.
+    Node new_root;
+    new_root.leaf = false;
+    new_root.entries = {root_, overflow_sibling};
+    nodes_.push_back(std::move(new_root));
+    root_ = static_cast<uint32_t>(nodes_.size() - 1);
+    RecomputeBox(root_);
+  }
+  for (uint32_t evicted : pending_reinserts) {
+    InsertImpl(evicted, /*allow_reinsert=*/false);
+  }
+}
+
+std::vector<uint32_t> RTree::RangeQuery(const double* q,
+                                        double radius) const {
+  std::vector<uint32_t> out;
+  if (root_ == kInvalid) return out;
+  const double r2 = radius * radius;
+  std::vector<uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.box.MinSquaredDistToPoint(q) > r2) continue;
+    if (node.leaf) {
+      for (uint32_t id : node.entries) {
+        if (SquaredDistance(q, PointOf(id), data_->dim()) <= r2) {
+          out.push_back(id);
+        }
+      }
+    } else {
+      for (uint32_t child : node.entries) stack.push_back(child);
+    }
+  }
+  return out;
+}
+
+size_t RTree::CountInBall(const double* q, double radius,
+                          size_t stop_at) const {
+  if (root_ == kInvalid) return 0;
+  const double r2 = radius * radius;
+  size_t count = 0;
+  std::vector<uint32_t> stack{root_};
+  while (!stack.empty() && count < stop_at) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.box.MinSquaredDistToPoint(q) > r2) continue;
+    if (node.leaf) {
+      for (uint32_t id : node.entries) {
+        if (SquaredDistance(q, PointOf(id), data_->dim()) <= r2) {
+          if (++count >= stop_at) break;
+        }
+      }
+    } else {
+      for (uint32_t child : node.entries) stack.push_back(child);
+    }
+  }
+  return count;
+}
+
+bool RTree::AnyWithin(const double* q, double radius) const {
+  return CountInBall(q, radius, 1) > 0;
+}
+
+int RTree::Height() const {
+  if (root_ == kInvalid) return 0;
+  int h = 1;
+  uint32_t node_idx = root_;
+  while (!nodes_[node_idx].leaf) {
+    node_idx = nodes_[node_idx].entries.front();
+    ++h;
+  }
+  return h;
+}
+
+void RTree::CheckInvariants() const {
+  if (root_ == kInvalid) {
+    ADB_CHECK(num_points_ == 0);
+    return;
+  }
+  size_t points_seen = 0;
+  std::vector<uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const uint32_t node_idx = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_idx];
+    ADB_CHECK(!node.entries.empty());
+    ADB_CHECK(node.entries.size() <= kMaxEntries);
+    for (uint32_t i = 0; i < node.entries.size(); ++i) {
+      const Box b = NodeEntryBox(node, i);
+      for (int d = 0; d < b.dim; ++d) {
+        ADB_CHECK(b.lo[d] >= node.box.lo[d]);
+        ADB_CHECK(b.hi[d] <= node.box.hi[d]);
+      }
+      if (!node.leaf) stack.push_back(node.entries[i]);
+    }
+    if (node.leaf) points_seen += node.entries.size();
+  }
+  ADB_CHECK(points_seen == num_points_);
+}
+
+}  // namespace adbscan

@@ -1,0 +1,109 @@
+#ifndef ADBSCAN_INDEX_RTREE_H_
+#define ADBSCAN_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/dataset.h"
+#include "index/spatial_index.h"
+
+namespace adbscan {
+
+// R-tree over a Dataset, standing in for the R*-tree the original KDD'96
+// DBSCAN implementation used as its region-query substrate (see DESIGN.md,
+// substitution table).
+//
+// Construction paths:
+//  - bulk load (default): Sort-Tile-Recursive packing, which yields tight,
+//    non-overlapping leaves for static data, O(n log n);
+//  - incremental Insert(): ChooseLeaf by least enlargement; on overflow,
+//    either Guttman's quadratic split or the R* treatment (Beckmann et al.
+//    1990): one round of forced reinsertion of the 30% entries farthest
+//    from the leaf center, then the R* topological split (axis by minimum
+//    margin sum, distribution by minimum overlap).
+//
+// Queries are closed Euclidean balls, matching the ε range queries DBSCAN
+// issues.
+struct RTreeOptions {
+  enum class Split { kQuadratic, kRStar };
+  Split split = Split::kRStar;
+  // R*: reinsert this fraction of a leaf once per insertion before
+  // resorting to a split (0 disables; applied at leaf level).
+  double reinsert_fraction = 0.3;
+};
+
+class RTree : public SpatialIndex {
+ public:
+  static constexpr uint32_t kMaxEntries = 32;
+  static constexpr uint32_t kMinEntries = 12;  // ~40% of kMaxEntries
+
+  // Bulk loads all points of `data` (STR). The dataset must outlive the tree.
+  explicit RTree(const Dataset& data);
+
+  // Bulk loads the subset `ids` of `data`.
+  RTree(const Dataset& data, std::vector<uint32_t> ids);
+
+  // Creates an empty tree for incremental Insert().
+  static RTree CreateEmpty(const Dataset& data, RTreeOptions options = {});
+
+  // Inserts point `id` of the dataset.
+  void Insert(uint32_t id);
+
+  std::vector<uint32_t> RangeQuery(const double* q,
+                                   double radius) const override;
+  size_t CountInBall(const double* q, double radius,
+                     size_t stop_at) const override;
+  bool AnyWithin(const double* q, double radius) const override;
+  size_t size() const override { return num_points_; }
+
+  // Tree height (0 for an empty tree, 1 for a single leaf root).
+  int Height() const;
+
+  // Validates structural invariants (boxes contain children, fan-out bounds);
+  // test-only helper, aborts on violation.
+  void CheckInvariants() const;
+
+ private:
+  struct Node {
+    Box box;
+    bool leaf = true;
+    // Leaf: point ids; internal: child node indices.
+    std::vector<uint32_t> entries;
+  };
+
+  const double* PointOf(uint32_t id) const { return data_->point(id); }
+  Box PointBox(uint32_t id) const;
+  Box NodeEntryBox(const Node& node, uint32_t i) const;
+
+  void BulkLoad(std::vector<uint32_t> ids);
+  // Packs `items` (point ids if `leaf`, else node indices) into nodes of
+  // fan-out <= kMaxEntries using STR; returns the new node indices.
+  std::vector<uint32_t> PackLevel(std::vector<uint32_t> items, bool leaf);
+
+  // Returns the leaf chosen for inserting box b, recording the root-to-leaf
+  // path in *path.
+  uint32_t ChooseLeaf(const Box& b, std::vector<uint32_t>* path);
+  // Splits nodes_[node_idx] (which has > kMaxEntries entries) in place;
+  // returns the index of the newly created sibling.
+  uint32_t SplitNode(uint32_t node_idx);
+  uint32_t SplitNodeQuadratic(uint32_t node_idx);
+  uint32_t SplitNodeRStar(uint32_t node_idx);
+  // R* forced reinsertion from an overflowing leaf; returns the evicted
+  // point ids (reinserted by the caller after the tree is consistent).
+  std::vector<uint32_t> EvictForReinsert(uint32_t leaf_idx);
+  void RecomputeBox(uint32_t node_idx);
+  void InsertImpl(uint32_t id, bool allow_reinsert);
+
+  const Dataset* data_;
+  RTreeOptions options_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = kInvalid;
+  size_t num_points_ = 0;
+
+  static constexpr uint32_t kInvalid = 0xffffffffu;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_INDEX_RTREE_H_

@@ -1,0 +1,35 @@
+#ifndef ADBSCAN_INDEX_SPATIAL_INDEX_H_
+#define ADBSCAN_INDEX_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adbscan {
+
+// Common interface of the spatial indexes used for ε range queries.
+//
+// The KDD'96 baseline issues one RangeQuery per point, which is where its
+// O(n²) worst case comes from (footnote 1 of the paper): the queries' total
+// output size is unbounded by anything smaller than n per query.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  // Ids of all indexed points within closed distance `radius` of q.
+  virtual std::vector<uint32_t> RangeQuery(const double* q,
+                                           double radius) const = 0;
+
+  // Number of indexed points within `radius` of q; stops counting early once
+  // `stop_at` is reached (used for MinPts core tests).
+  virtual size_t CountInBall(const double* q, double radius,
+                             size_t stop_at) const = 0;
+
+  // True iff some indexed point lies within `radius` of q.
+  virtual bool AnyWithin(const double* q, double radius) const = 0;
+
+  virtual size_t size() const = 0;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_INDEX_SPATIAL_INDEX_H_

@@ -1,0 +1,157 @@
+#include "io/dataset_io.h"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+
+namespace adbscan {
+namespace {
+
+constexpr uint32_t kMagic = 0x41444253;       // "ADBS"
+constexpr uint32_t kClusteringMagic = 0x41444243;  // "ADBC"
+
+FILE* OpenOrDie(const std::string& path, const char* mode) {
+  FILE* f = std::fopen(path.c_str(), mode);
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s' (mode %s)\n", path.c_str(), mode);
+    std::abort();
+  }
+  return f;
+}
+
+}  // namespace
+
+void WriteCsv(const Dataset& data, const std::string& path) {
+  FILE* f = OpenOrDie(path, "w");
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double* p = data.point(i);
+    for (int j = 0; j < data.dim(); ++j) {
+      std::fprintf(f, j == 0 ? "%.10g" : ",%.10g", p[j]);
+    }
+    std::fputc('\n', f);
+  }
+  std::fclose(f);
+}
+
+void WriteLabeledCsv(const Dataset& data, const Clustering& clustering,
+                     const std::string& path) {
+  ADB_CHECK(clustering.label.size() == data.size());
+  FILE* f = OpenOrDie(path, "w");
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double* p = data.point(i);
+    for (int j = 0; j < data.dim(); ++j) {
+      std::fprintf(f, j == 0 ? "%.10g" : ",%.10g", p[j]);
+    }
+    std::fprintf(f, ",%d\n", clustering.label[i]);
+  }
+  std::fclose(f);
+}
+
+Dataset ReadCsv(const std::string& path, int dim) {
+  FILE* f = OpenOrDie(path, "r");
+  Dataset data(dim);
+  std::vector<double> row(dim);
+  char line[4096];
+  size_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    char* cursor = line;
+    for (int j = 0; j < dim; ++j) {
+      char* end = nullptr;
+      row[j] = std::strtod(cursor, &end);
+      if (end == cursor) {
+        std::fprintf(stderr, "%s:%zu: expected %d numbers\n", path.c_str(),
+                     line_no, dim);
+        std::abort();
+      }
+      cursor = end;
+      if (*cursor == ',') ++cursor;
+    }
+    data.Add(row);
+  }
+  std::fclose(f);
+  return data;
+}
+
+void WriteBinary(const Dataset& data, const std::string& path) {
+  FILE* f = OpenOrDie(path, "wb");
+  const uint32_t dim = static_cast<uint32_t>(data.dim());
+  const uint64_t n = data.size();
+  ADB_CHECK(std::fwrite(&kMagic, sizeof(kMagic), 1, f) == 1);
+  ADB_CHECK(std::fwrite(&dim, sizeof(dim), 1, f) == 1);
+  ADB_CHECK(std::fwrite(&n, sizeof(n), 1, f) == 1);
+  if (n > 0) {
+    ADB_CHECK(std::fwrite(data.coords().data(), sizeof(double),
+                          data.coords().size(), f) == data.coords().size());
+  }
+  std::fclose(f);
+}
+
+Dataset ReadBinary(const std::string& path) {
+  FILE* f = OpenOrDie(path, "rb");
+  uint32_t magic = 0, dim = 0;
+  uint64_t n = 0;
+  ADB_CHECK(std::fread(&magic, sizeof(magic), 1, f) == 1);
+  ADB_CHECK_MSG(magic == kMagic, path.c_str());
+  ADB_CHECK(std::fread(&dim, sizeof(dim), 1, f) == 1);
+  ADB_CHECK(std::fread(&n, sizeof(n), 1, f) == 1);
+  std::vector<double> coords(static_cast<size_t>(n) * dim);
+  if (n > 0) {
+    ADB_CHECK(std::fread(coords.data(), sizeof(double), coords.size(), f) ==
+              coords.size());
+  }
+  std::fclose(f);
+  return Dataset(static_cast<int>(dim), std::move(coords));
+}
+
+void WriteClustering(const Clustering& c, const std::string& path) {
+  FILE* f = OpenOrDie(path, "wb");
+  const uint64_t n = c.label.size();
+  const uint64_t extras = c.extra_memberships.size();
+  ADB_CHECK(std::fwrite(&kClusteringMagic, sizeof(kClusteringMagic), 1, f) ==
+            1);
+  ADB_CHECK(std::fwrite(&c.num_clusters, sizeof(c.num_clusters), 1, f) == 1);
+  ADB_CHECK(std::fwrite(&n, sizeof(n), 1, f) == 1);
+  ADB_CHECK(std::fwrite(&extras, sizeof(extras), 1, f) == 1);
+  if (n > 0) {
+    ADB_CHECK(std::fwrite(c.label.data(), sizeof(int32_t), n, f) == n);
+    ADB_CHECK(std::fwrite(c.is_core.data(), sizeof(char), n, f) == n);
+  }
+  for (const auto& [point, cluster] : c.extra_memberships) {
+    ADB_CHECK(std::fwrite(&point, sizeof(point), 1, f) == 1);
+    ADB_CHECK(std::fwrite(&cluster, sizeof(cluster), 1, f) == 1);
+  }
+  std::fclose(f);
+}
+
+Clustering ReadClustering(const std::string& path) {
+  FILE* f = OpenOrDie(path, "rb");
+  uint32_t magic = 0;
+  uint64_t n = 0, extras = 0;
+  Clustering c;
+  ADB_CHECK(std::fread(&magic, sizeof(magic), 1, f) == 1);
+  ADB_CHECK_MSG(magic == kClusteringMagic, path.c_str());
+  ADB_CHECK(std::fread(&c.num_clusters, sizeof(c.num_clusters), 1, f) == 1);
+  ADB_CHECK(std::fread(&n, sizeof(n), 1, f) == 1);
+  ADB_CHECK(std::fread(&extras, sizeof(extras), 1, f) == 1);
+  c.label.resize(n);
+  c.is_core.resize(n);
+  if (n > 0) {
+    ADB_CHECK(std::fread(c.label.data(), sizeof(int32_t), n, f) == n);
+    ADB_CHECK(std::fread(c.is_core.data(), sizeof(char), n, f) == n);
+  }
+  c.extra_memberships.resize(extras);
+  for (auto& [point, cluster] : c.extra_memberships) {
+    ADB_CHECK(std::fread(&point, sizeof(point), 1, f) == 1);
+    ADB_CHECK(std::fread(&cluster, sizeof(cluster), 1, f) == 1);
+  }
+  std::fclose(f);
+  return c;
+}
+
+}  // namespace adbscan

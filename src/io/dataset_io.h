@@ -1,0 +1,37 @@
+#ifndef ADBSCAN_IO_DATASET_IO_H_
+#define ADBSCAN_IO_DATASET_IO_H_
+
+#include <string>
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// Simple dataset persistence. Two formats:
+//  - CSV: one point per line, comma-separated coordinates; optionally a
+//    trailing label column (used to export Figure 8/9 panels for plotting);
+//  - binary: little-endian [magic u32][dim u32][n u64][n*dim f64], fast
+//    round-trips for large generated datasets.
+// All functions abort on I/O errors with a message naming the path.
+
+void WriteCsv(const Dataset& data, const std::string& path);
+
+// CSV with a final integer label column (cluster id, -1 for noise).
+void WriteLabeledCsv(const Dataset& data, const Clustering& clustering,
+                     const std::string& path);
+
+// Reads a CSV of pure coordinates (no header, no label column).
+Dataset ReadCsv(const std::string& path, int dim);
+
+void WriteBinary(const Dataset& data, const std::string& path);
+Dataset ReadBinary(const std::string& path);
+
+// Clustering persistence (binary): num_clusters, labels, core flags, extra
+// memberships. Round-trips exactly.
+void WriteClustering(const Clustering& c, const std::string& path);
+Clustering ReadClustering(const std::string& path);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_IO_DATASET_IO_H_

@@ -1,0 +1,52 @@
+#include "io/table.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace adbscan {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  ADB_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(FILE* out) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                   static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::fputc('\n', out);
+  };
+  print_row(header_);
+  size_t total = header_.size() - 1;
+  for (size_t w : width) total += w + 1;
+  for (size_t i = 0; i < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+std::string Table::Seconds(double s) {
+  if (s < 0.0) return "skipped";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  return buf;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,30 @@
+#ifndef ADBSCAN_IO_TABLE_H_
+#define ADBSCAN_IO_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace adbscan {
+
+// Fixed-width text table used by the benchmark harnesses to print the same
+// rows/series the paper's figures report.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(FILE* out = stdout) const;
+
+  // Formatting helpers shared by the harnesses.
+  static std::string Num(double v, int precision = 3);
+  static std::string Seconds(double s);  // "12.345s" / "skipped" for <0
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_IO_TABLE_H_

@@ -1,0 +1,180 @@
+#include "rangecount/approx_range_counter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "geom/point.h"
+#include "util/check.h"
+
+namespace adbscan {
+namespace {
+
+// Above this many level-0 cells, root lookup goes through a kd-tree.
+constexpr size_t kRootScanThreshold = 32;
+
+int LevelsFor(double rho) {
+  ADB_CHECK(rho > 0.0);
+  if (rho >= 1.0) return 1;
+  return 1 + static_cast<int>(std::ceil(std::log2(1.0 / rho)));
+}
+
+}  // namespace
+
+ApproxRangeCounter::ApproxRangeCounter(const Dataset& data,
+                                       const std::vector<uint32_t>& ids,
+                                       double eps, double rho)
+    : data_(&data),
+      eps_(eps),
+      rho_(rho),
+      level0_side_(eps / std::sqrt(static_cast<double>(data.dim()))),
+      num_levels_(LevelsFor(rho)),
+      num_points_(ids.size()),
+      scratch_(ids) {
+  ADB_CHECK(eps > 0.0);
+  if (scratch_.empty()) return;
+
+  // Group points by level-0 cell, then build each root subtree over its
+  // contiguous scratch range.
+  std::unordered_map<CellCoord, std::vector<uint32_t>, CellCoordHash> groups;
+  groups.reserve(scratch_.size());
+  for (uint32_t id : scratch_) {
+    groups[CellCoord::Of(data.point(id), data.dim(), level0_side_)]
+        .push_back(id);
+  }
+  scratch_.clear();
+  nodes_.reserve(2 * ids.size());
+  for (auto& [coord, members] : groups) {
+    const uint32_t begin = static_cast<uint32_t>(scratch_.size());
+    scratch_.insert(scratch_.end(), members.begin(), members.end());
+    const uint32_t end = static_cast<uint32_t>(scratch_.size());
+    roots_.push_back(BuildNode(0, coord, begin, end));
+  }
+
+  if (roots_.size() > kRootScanThreshold) {
+    root_centers_ = std::make_unique<Dataset>(data.dim());
+    root_centers_->Reserve(roots_.size());
+    double center[kMaxDim];
+    for (uint32_t r : roots_) {
+      nodes_[r].coord.Center(level0_side_, center);
+      root_centers_->Add(center);
+    }
+    root_tree_ = std::make_unique<KdTree>(*root_centers_);
+  }
+}
+
+uint32_t ApproxRangeCounter::BuildNode(int level, const CellCoord& coord,
+                                       uint32_t begin, uint32_t end) {
+  ADB_DCHECK(begin < end);
+  const uint32_t node_idx = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_[node_idx];
+    node.coord = coord;
+    node.level = static_cast<int16_t>(level);
+    node.count = end - begin;
+  }
+  if (level + 1 >= num_levels_) return node_idx;  // leaf
+
+  // Partition scratch_[begin, end) by child cell (2^d possible children).
+  const double child_side = SideAtLevel(level + 1);
+  std::unordered_map<CellCoord, std::vector<uint32_t>, CellCoordHash> buckets;
+  for (uint32_t i = begin; i < end; ++i) {
+    const uint32_t id = scratch_[i];
+    buckets[CellCoord::Of(data_->point(id), data_->dim(), child_side)]
+        .push_back(id);
+  }
+  uint32_t cursor = begin;
+  std::vector<std::pair<CellCoord, std::pair<uint32_t, uint32_t>>> ranges;
+  ranges.reserve(buckets.size());
+  for (auto& [child_coord, members] : buckets) {
+    const uint32_t b = cursor;
+    for (uint32_t id : members) scratch_[cursor++] = id;
+    ranges.emplace_back(child_coord, std::make_pair(b, cursor));
+  }
+  ADB_DCHECK(cursor == end);
+
+  // Children are built depth-first, so their node indices are not
+  // contiguous; collect them and append to the shared child_pool_.
+  std::vector<uint32_t> child_indices;
+  child_indices.reserve(ranges.size());
+  for (const auto& [child_coord, range] : ranges) {
+    child_indices.push_back(
+        BuildNode(level + 1, child_coord, range.first, range.second));
+  }
+  // Append the child index list into the shared child_index_ pool.
+  const uint32_t pool_begin = static_cast<uint32_t>(child_pool_.size());
+  child_pool_.insert(child_pool_.end(), child_indices.begin(),
+                     child_indices.end());
+  Node& node = nodes_[node_idx];
+  node.child_begin = pool_begin;
+  node.child_end = static_cast<uint32_t>(child_pool_.size());
+  return node_idx;
+}
+
+void ApproxRangeCounter::QueryNode(uint32_t node_idx, const double* q,
+                                   size_t* ans, size_t stop_at) const {
+  const Node& node = nodes_[node_idx];
+  const Box box = node.coord.ToBox(SideAtLevel(node.level));
+  const double d_min2 = box.MinSquaredDistToPoint(q);
+  if (d_min2 > eps_ * eps_) return;  // disjoint from B(q, ε): ignore
+  const double outer = eps_ * (1.0 + rho_);
+  if (box.MaxSquaredDistToPoint(q) <= outer * outer) {
+    *ans += node.count;  // fully inside B(q, ε(1+ρ)): take the count
+    return;
+  }
+  if (node.IsLeaf()) {
+    // Intersects B(q, ε) (d_min2 ≤ ε² checked above) and has diameter ≤ ερ,
+    // so it lies inside B(q, ε(1+ρ)): counting it is sound.
+    *ans += node.count;
+    return;
+  }
+  for (uint32_t i = node.child_begin; i < node.child_end; ++i) {
+    QueryNode(child_pool_[i], q, ans, stop_at);
+    if (*ans >= stop_at) return;
+  }
+}
+
+size_t ApproxRangeCounter::Query(const double* q) const {
+  size_t ans = 0;
+  if (roots_.empty()) return ans;
+  if (root_tree_ == nullptr) {
+    for (uint32_t r : roots_) QueryNode(r, q, &ans, SIZE_MAX);
+    return ans;
+  }
+  const double diam =
+      level0_side_ * std::sqrt(static_cast<double>(data_->dim()));
+  const double radius = eps_ + 0.5 * diam + 1e-9 * level0_side_;
+  for (uint32_t root_pos : root_tree_->RangeQuery(q, radius)) {
+    QueryNode(roots_[root_pos], q, &ans, SIZE_MAX);
+  }
+  return ans;
+}
+
+bool ApproxRangeCounter::QueryAtLeast(const double* q,
+                                      size_t threshold) const {
+  if (threshold == 0) return true;
+  size_t ans = 0;
+  if (roots_.empty()) return false;
+  if (root_tree_ == nullptr) {
+    for (uint32_t r : roots_) {
+      QueryNode(r, q, &ans, threshold);
+      if (ans >= threshold) return true;
+    }
+    return false;
+  }
+  const double diam =
+      level0_side_ * std::sqrt(static_cast<double>(data_->dim()));
+  const double radius = eps_ + 0.5 * diam + 1e-9 * level0_side_;
+  for (uint32_t root_pos : root_tree_->RangeQuery(q, radius)) {
+    QueryNode(roots_[root_pos], q, &ans, threshold);
+    if (ans >= threshold) return true;
+  }
+  return false;
+}
+
+bool ApproxRangeCounter::QueryNonzero(const double* q) const {
+  return QueryAtLeast(q, 1);
+}
+
+}  // namespace adbscan

@@ -1,0 +1,101 @@
+#ifndef ADBSCAN_RANGECOUNT_APPROX_RANGE_COUNTER_H_
+#define ADBSCAN_RANGECOUNT_APPROX_RANGE_COUNTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geom/dataset.h"
+#include "grid/cell.h"
+#include "index/kdtree.h"
+
+namespace adbscan {
+
+// The approximate range counting structure of Lemma 5 (Section 4.3): a
+// quadtree-like hierarchical grid over a point set P, fixed for one (ε, ρ)
+// pair.
+//
+// Level-i cells have side length ε/(2^i·√d); non-empty cells are subdivided
+// into 2^d children until the side is at most ε·ρ/√d, i.e. the hierarchy has
+// h = max(1, 1 + ⌈log2(1/ρ)⌉) levels. Each materialized (non-empty) cell
+// stores the number of points of P it covers.
+//
+// Query(q) returns an integer guaranteed to lie in
+//     [ |B(q, ε) ∩ P| ,  |B(q, ε(1+ρ)) ∩ P| ].
+// The traversal ignores cells disjoint from B(q, ε), takes whole counts of
+// cells fully inside B(q, ε(1+ρ)), recurses otherwise, and at leaf level
+// counts the cell iff it intersects B(q, ε) — sound because a leaf has
+// diameter ≤ ε·ρ.
+//
+// Expected O(n) construction (hashing), O(1 + (1/ρ)^(d-1)) query for fixed
+// ε, ρ, d. When the structure has many level-0 cells, the roots intersecting
+// B(q, ε) are located through a kd-tree over root cell centers instead of
+// probing integer offsets (see grid/grid.h for the same trick).
+class ApproxRangeCounter {
+ public:
+  // Builds over the subset `ids` of `data` (pass all ids for the whole set).
+  // `data` must outlive the structure.
+  ApproxRangeCounter(const Dataset& data, const std::vector<uint32_t>& ids,
+                     double eps, double rho);
+
+  // The count described above. Never less than the exact ε-count, never more
+  // than the exact ε(1+ρ)-count.
+  size_t Query(const double* q) const;
+
+  // True iff Query(q) > 0, with early exit on the first counted cell.
+  // This is the only operation the ρ-approximate DBSCAN edge test needs.
+  bool QueryNonzero(const double* q) const;
+
+  // True iff Query(q) >= threshold, stopping the traversal as soon as the
+  // running total reaches it — the MinPts core test of the journal-version
+  // approximate labeling.
+  bool QueryAtLeast(const double* q, size_t threshold) const;
+
+  double eps() const { return eps_; }
+  double rho() const { return rho_; }
+  int num_levels() const { return num_levels_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_points() const { return num_points_; }
+
+ private:
+  struct Node {
+    CellCoord coord;       // at this node's level resolution
+    uint32_t count = 0;    // points of P covered
+    int16_t level = 0;
+    // Child node indices occupy child_pool_[child_begin, child_end);
+    // an empty range marks a leaf.
+    uint32_t child_begin = 0;
+    uint32_t child_end = 0;
+    bool IsLeaf() const { return child_begin == child_end; }
+  };
+
+  double SideAtLevel(int level) const { return level0_side_ / (1u << level); }
+
+  // Recursively materializes the node for (level, coord) covering
+  // scratch[begin, end); returns its index in nodes_.
+  uint32_t BuildNode(int level, const CellCoord& coord, uint32_t begin,
+                     uint32_t end);
+
+  // Walks one root subtree, accumulating into *ans; stops descending once
+  // *ans reaches stop_at (pass SIZE_MAX for a full count).
+  void QueryNode(uint32_t node_idx, const double* q, size_t* ans,
+                 size_t stop_at) const;
+
+  const Dataset* data_;
+  double eps_;
+  double rho_;
+  double level0_side_;
+  int num_levels_;
+  size_t num_points_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> child_pool_;     // flattened child index lists
+  std::vector<uint32_t> roots_;          // level-0 node indices
+  std::vector<uint32_t> scratch_;        // point ids, permuted during build
+  // Root lookup: linear scan for few roots, kd-tree over centers otherwise.
+  std::unique_ptr<Dataset> root_centers_;
+  std::unique_ptr<KdTree> root_tree_;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_RANGECOUNT_APPROX_RANGE_COUNTER_H_

@@ -1,0 +1,40 @@
+#ifndef ADBSCAN_UTIL_CHECK_H_
+#define ADBSCAN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight runtime assertions that stay on in release builds.
+//
+// ADB_CHECK(cond) aborts with file/line when cond is false. Use it for
+// preconditions on public APIs and for invariants whose violation would
+// silently corrupt clustering output. ADB_DCHECK compiles out with NDEBUG
+// and is for hot-loop invariants.
+
+#define ADB_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ADB_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define ADB_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ADB_CHECK failed at %s:%d: %s (%s)\n", __FILE__,\
+                   __LINE__, #cond, msg);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define ADB_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define ADB_DCHECK(cond) ADB_CHECK(cond)
+#endif
+
+#endif  // ADBSCAN_UTIL_CHECK_H_

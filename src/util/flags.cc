@@ -1,0 +1,134 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace adbscan {
+namespace {
+
+bool ParseBoolValue(const std::string& text) {
+  return text == "1" || text == "true" || text == "yes" || text == "on";
+}
+
+}  // namespace
+
+Flags& Flags::DefineInt(const std::string& name, int64_t default_value,
+                        const std::string& help) {
+  flags_[name] = Flag{Type::kInt, std::to_string(default_value), help};
+  return *this;
+}
+
+Flags& Flags::DefineDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, std::to_string(default_value), help};
+  return *this;
+}
+
+Flags& Flags::DefineBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{Type::kBool, default_value ? "true" : "false", help};
+  return *this;
+}
+
+Flags& Flags::DefineString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{Type::kString, default_value, help};
+  return *this;
+}
+
+void Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n",
+                   arg.c_str());
+      PrintUsage(argv[0]);
+      std::exit(2);
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag '--%s'\n", name.c_str());
+      PrintUsage(argv[0]);
+      std::exit(2);
+    }
+    if (!has_value) {
+      if (it->second.type == Type::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag '--%s' expects a value\n", name.c_str());
+        std::exit(2);
+      }
+    }
+    it->second.value = value;
+  }
+}
+
+const Flags::Flag& Flags::Lookup(const std::string& name, Type type) const {
+  auto it = flags_.find(name);
+  ADB_CHECK_MSG(it != flags_.end(), name.c_str());
+  ADB_CHECK_MSG(it->second.type == type, name.c_str());
+  return it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name) const {
+  return std::strtoll(Lookup(name, Type::kInt).value.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  return std::strtod(Lookup(name, Type::kDouble).value.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  return ParseBoolValue(Lookup(name, Type::kBool).value);
+}
+
+const std::string& Flags::GetString(const std::string& name) const {
+  return Lookup(name, Type::kString).value;
+}
+
+std::vector<double> Flags::GetDoubleList(const std::string& name) const {
+  const std::string& text = Lookup(name, Type::kString).value;
+  std::vector<double> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    out.push_back(std::strtod(text.substr(pos, comma - pos).c_str(), nullptr));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<int64_t> Flags::GetIntList(const std::string& name) const {
+  std::vector<int64_t> out;
+  for (double v : GetDoubleList(name)) out.push_back(static_cast<int64_t>(v));
+  return out;
+}
+
+void Flags::PrintUsage(const char* argv0) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", argv0);
+  for (const auto& [name, flag] : flags_) {
+    std::fprintf(stderr, "  --%-20s %s (default: %s)\n", name.c_str(),
+                 flag.help.c_str(), flag.value.c_str());
+  }
+}
+
+}  // namespace adbscan

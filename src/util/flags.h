@@ -1,0 +1,58 @@
+#ifndef ADBSCAN_UTIL_FLAGS_H_
+#define ADBSCAN_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace adbscan {
+
+// Minimal command-line flag parser for the bench/example binaries.
+//
+// Accepted syntaxes: --name=value, --name value, and bare --name for
+// booleans. Unknown flags abort with a usage message listing the registered
+// flags, so a typo never silently runs the default experiment.
+class Flags {
+ public:
+  Flags() = default;
+
+  // Registration: each returns *this to allow chaining before Parse().
+  Flags& DefineInt(const std::string& name, int64_t default_value,
+                   const std::string& help);
+  Flags& DefineDouble(const std::string& name, double default_value,
+                      const std::string& help);
+  Flags& DefineBool(const std::string& name, bool default_value,
+                    const std::string& help);
+  Flags& DefineString(const std::string& name, const std::string& default_value,
+                      const std::string& help);
+
+  // Parses argv; aborts with usage on malformed or unknown flags.
+  void Parse(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  // Parses a comma-separated list flag, e.g. --eps=5000,10000,15000.
+  std::vector<double> GetDoubleList(const std::string& name) const;
+  std::vector<int64_t> GetIntList(const std::string& name) const;
+
+  void PrintUsage(const char* argv0) const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    std::string value;  // textual representation
+    std::string help;
+  };
+  const Flag& Lookup(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_UTIL_FLAGS_H_

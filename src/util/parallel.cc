@@ -1,0 +1,35 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace adbscan {
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t, size_t)>& chunk_fn) {
+  if (n == 0) return;
+  const size_t threads = std::min<size_t>(
+      std::max(num_threads, 1), std::min<size_t>(n, 256));
+  if (threads <= 1) {
+    chunk_fn(0, n);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const size_t chunk = (n + threads - 1) / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&chunk_fn, begin, end] { chunk_fn(begin, end); });
+  }
+  for (std::thread& th : pool) th.join();
+}
+
+}  // namespace adbscan

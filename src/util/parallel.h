@@ -1,0 +1,20 @@
+#ifndef ADBSCAN_UTIL_PARALLEL_H_
+#define ADBSCAN_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace adbscan {
+
+// Number of hardware threads (>= 1).
+int HardwareThreads();
+
+// Runs chunk_fn(begin, end) over a static partition of [0, n) on up to
+// num_threads std::threads (num_threads <= 1 or n small: runs inline).
+// chunk_fn must only perform writes that are disjoint across chunks.
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t, size_t)>& chunk_fn);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_UTIL_PARALLEL_H_

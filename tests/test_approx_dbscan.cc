@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "core/approx_dbscan.h"
+#include "core/brute_reference.h"
+#include "core/exact_grid.h"
+#include "eval/compare.h"
+#include "gen/seed_spreader.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::MakeDataset;
+using testing_helpers::RandomDataset;
+
+TEST(ApproxDbscan, TinyRhoMatchesExactOnWellSeparatedClusters) {
+  // Clusters separated by much more than ε(1+ρ): the approximation cannot
+  // merge anything, so the result must equal exact DBSCAN.
+  Dataset data(2);
+  Rng rng(301);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 100; ++i) {
+      data.Add({c * 1000.0 + rng.NextDouble(0, 20),
+                c * 1000.0 + rng.NextDouble(0, 20)});
+    }
+  }
+  const DbscanParams params{5.0, 4};
+  const Clustering exact = ExactGridDbscan(data, params);
+  EXPECT_EQ(exact.num_clusters, 3);
+  for (double rho : {0.001, 0.01, 0.1, 1.0}) {
+    EXPECT_TRUE(SameClusters(exact, ApproxDbscan(data, params, rho)))
+        << "rho " << rho;
+  }
+}
+
+TEST(ApproxDbscan, ProducesLegalRhoApproximateResult) {
+  // Problem 2 requirements: every core point in exactly one cluster; every
+  // cluster non-empty and owning a core point.
+  const Dataset data = ClusteredDataset(3, 500, 4, 100.0, 5.0, 307);
+  const DbscanParams params{8.0, 5};
+  const Clustering c = ApproxDbscan(data, params, 0.05);
+  std::vector<int> core_cluster_count(c.num_clusters, 0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (c.is_core[i]) {
+      ASSERT_NE(c.label[i], kNoise) << "core point marked noise";
+      ++core_cluster_count[c.label[i]];
+    }
+  }
+  for (int cl = 0; cl < c.num_clusters; ++cl) {
+    EXPECT_GT(core_cluster_count[cl], 0) << "cluster without core points";
+  }
+  // Core points never appear in extra memberships (only borders may).
+  for (const auto& [point, cluster] : c.extra_memberships) {
+    EXPECT_FALSE(c.is_core[point]);
+  }
+}
+
+TEST(ApproxDbscan, MergesOnlyWithinInflatedRadius) {
+  // Two 2-point groups at gap g. With MinPts=2 both groups are core-only
+  // clusters. For eps < g <= eps(1+rho) the approximation MAY merge; for
+  // g > eps(1+rho) it must NOT.
+  const double eps = 10.0;
+  auto run = [&](double gap, double rho) {
+    const Dataset data = MakeDataset(
+        {{0.0, 0.0}, {1.0, 0.0}, {1.0 + gap, 0.0}, {2.0 + gap, 0.0}});
+    return ApproxDbscan(data, DbscanParams{eps, 2}, rho).num_clusters;
+  };
+  // gap far beyond eps(1+rho): must stay 2 clusters.
+  EXPECT_EQ(run(eps * 1.5, 0.1), 2);
+  // gap within eps: must be 1 cluster.
+  EXPECT_EQ(run(eps * 0.8, 0.1), 1);
+  // gap in the don't-care band (eps, eps(1+rho)]: either 1 or 2 is legal.
+  const int in_band = run(eps * 1.05, 0.1);
+  EXPECT_TRUE(in_band == 1 || in_band == 2);
+}
+
+TEST(ApproxDbscan, BorderPointsFollowCoreAssignment) {
+  // A border point adjacent to one cluster only must land in it.
+  const Dataset data = MakeDataset({
+      {0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0},  // dense core block
+      {2.5, 0.5},                                       // border
+      {100.0, 100.0},                                   // noise
+  });
+  const DbscanParams params{2.0, 4};
+  const Clustering c = ApproxDbscan(data, params, 0.001);
+  EXPECT_EQ(c.num_clusters, 1);
+  EXPECT_FALSE(c.is_core[4]);
+  EXPECT_EQ(c.label[4], c.label[0]);
+  EXPECT_EQ(c.label[5], kNoise);
+}
+
+TEST(ApproxDbscan, AgreesWithBruteForceOnRandomStableInstances) {
+  // On random data, rho = tiny only disagrees with exact DBSCAN when some
+  // inter-point distance falls inside (ε, ε(1+ρ)] — essentially never for
+  // random reals. Verify exact agreement across seeds.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const Dataset data = RandomDataset(3, 150, 0.0, 60.0, 400 + seed);
+    const DbscanParams params{9.0, 4};
+    EXPECT_TRUE(SameClusters(BruteForceDbscan(data, params),
+                             ApproxDbscan(data, params, 1e-9)))
+        << "seed " << seed;
+  }
+}
+
+TEST(ApproxDbscan, EmptyAndSingleton) {
+  Dataset empty(2);
+  const Clustering c0 = ApproxDbscan(empty, DbscanParams{1.0, 1}, 0.01);
+  EXPECT_EQ(c0.num_clusters, 0);
+
+  Dataset one(2);
+  one.Add({5.0, 5.0});
+  const Clustering c1 = ApproxDbscan(one, DbscanParams{1.0, 1}, 0.01);
+  EXPECT_EQ(c1.num_clusters, 1);
+  EXPECT_EQ(c1.label[0], 0);
+
+  const Clustering c2 = ApproxDbscan(one, DbscanParams{1.0, 2}, 0.01);
+  EXPECT_EQ(c2.num_clusters, 0);
+  EXPECT_EQ(c2.label[0], kNoise);
+}
+
+TEST(ApproxDbscanCoreCounting, CoreFlagsAreSandwiched) {
+  // Journal-version mode: a point core at ε must stay core; a point
+  // non-core even at ε(1+ρ) must stay non-core.
+  const Dataset data = ClusteredDataset(3, 500, 4, 100.0, 5.0, 311);
+  const DbscanParams params{8.0, 5};
+  const double rho = 0.05;
+  ApproxDbscanOptions opts;
+  opts.approximate_core_counting = true;
+  const Clustering approx = ApproxDbscan(data, params, rho, opts);
+  const Clustering exact_lo = ExactGridDbscan(data, params);
+  const Clustering exact_hi =
+      ExactGridDbscan(data, {params.eps * (1.0 + rho), params.min_pts});
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (exact_lo.is_core[i]) {
+      EXPECT_TRUE(approx.is_core[i]) << "lost an exact core point";
+    }
+    if (!exact_hi.is_core[i]) {
+      EXPECT_FALSE(approx.is_core[i]) << "fabricated a core point";
+    }
+  }
+}
+
+TEST(ApproxDbscanCoreCounting, StillSandwichedAsClustering) {
+  // With approximate cores the result is still between DBSCAN(ε) and
+  // DBSCAN(ε(1+ρ)) in the Theorem 3 sense.
+  const Dataset data = ClusteredDataset(2, 400, 4, 90.0, 4.0, 313);
+  const DbscanParams params{6.0, 5};
+  const double rho = 0.1;
+  ApproxDbscanOptions opts;
+  opts.approximate_core_counting = true;
+  const Clustering approx = ApproxDbscan(data, params, rho, opts);
+  const Clustering lo = ExactGridDbscan(data, params);
+  const Clustering hi =
+      ExactGridDbscan(data, {params.eps * (1.0 + rho), params.min_pts});
+  EXPECT_TRUE(SatisfiesSandwich(lo, approx, hi));
+}
+
+TEST(ApproxDbscanCoreCounting, TinyRhoMatchesExactMode) {
+  const Dataset data = ClusteredDataset(3, 300, 3, 80.0, 4.0, 317);
+  const DbscanParams params{7.0, 4};
+  ApproxDbscanOptions opts;
+  opts.approximate_core_counting = true;
+  EXPECT_TRUE(SameClusters(ApproxDbscan(data, params, 1e-9),
+                           ApproxDbscan(data, params, 1e-9, opts)));
+}
+
+TEST(ApproxDbscanDeath, RejectsNonPositiveRho) {
+  Dataset data(2);
+  data.Add({0.0, 0.0});
+  EXPECT_DEATH(ApproxDbscan(data, DbscanParams{1.0, 1}, 0.0), "");
+  EXPECT_DEATH(ApproxDbscan(data, DbscanParams{1.0, 1}, -0.5), "");
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,150 @@
+// Tests for the related-work baselines of Section 1.1/2: they are fast but
+// do NOT compute the exact DBSCAN result — these tests both validate their
+// behaviour on easy inputs and construct the counterexamples that
+// substantiate the paper's (and Gunawan's) inexactness claim.
+
+#include <gtest/gtest.h>
+
+#include "baselines/gf_dbscan.h"
+#include "baselines/sampling_dbscan.h"
+#include "core/brute_reference.h"
+#include "eval/compare.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::MakeDataset;
+using testing_helpers::RandomDataset;
+
+// On widely separated dense blobs every sane variant agrees with DBSCAN.
+TEST(GfStyleDbscan, MatchesExactOnWellSeparatedBlobs) {
+  Dataset data(2);
+  Rng rng(1301);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 80; ++i) {
+      data.Add({c * 1000.0 + rng.NextGaussian() * 2.0,
+                rng.NextGaussian() * 2.0});
+    }
+  }
+  const DbscanParams params{8.0, 5};
+  EXPECT_TRUE(SameClusters(BruteForceDbscan(data, params),
+                           GfStyleDbscan(data, params)));
+}
+
+TEST(GfStyleDbscan, OvercountsSameCellPairs) {
+  // Three points in one ε-side cell: two of them are 1.27ε apart, so exact
+  // DBSCAN (MinPts=3) sees no core point at all — but the same-cell
+  // shortcut counts all three as mutual neighbors and fabricates a cluster.
+  const Dataset data = MakeDataset({
+      {0.05, 0.05},
+      {0.95, 0.95},  // > eps from the first point, same cell
+      {0.05, 0.10},
+  });
+  const DbscanParams params{1.0, 3};
+  const Clustering exact = BruteForceDbscan(data, params);
+  EXPECT_EQ(exact.num_clusters, 0);  // everything is noise, truly
+
+  const Clustering gf = GfStyleDbscan(data, params);
+  EXPECT_EQ(gf.num_clusters, 1);  // the shortcut invents a cluster
+  EXPECT_FALSE(SameClusters(exact, gf));
+}
+
+TEST(GfStyleDbscan, NeverMissesTrueNeighbors) {
+  // The shortcut only ever overcounts: every exact core point must still be
+  // core under GF, and exact clusters can only merge/grow, never split.
+  const Dataset data = RandomDataset(3, 400, 0.0, 50.0, 1303);
+  const DbscanParams params{6.0, 5};
+  const Clustering exact = BruteForceDbscan(data, params);
+  const Clustering gf = GfStyleDbscan(data, params);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (exact.is_core[i]) {
+      EXPECT_TRUE(gf.is_core[i]) << "point " << i << " lost core status";
+    }
+    if (exact.label[i] != kNoise) {
+      EXPECT_NE(gf.label[i], kNoise) << "point " << i << " became noise";
+    }
+  }
+}
+
+TEST(SamplingDbscan, MatchesExactOnWellSeparatedBlobs) {
+  Dataset data(2);
+  Rng rng(1307);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 80; ++i) {
+      data.Add({c * 1000.0 + rng.NextGaussian() * 2.0,
+                rng.NextGaussian() * 2.0});
+    }
+  }
+  const DbscanParams params{8.0, 5};
+  // Generous seed budget: blobs are compact, nothing is missed.
+  SamplingDbscanOptions opts;
+  opts.max_seeds_per_point = 64;
+  EXPECT_TRUE(SameClusters(BruteForceDbscan(data, params),
+                           SamplingDbscan(data, params, opts)));
+}
+
+TEST(SamplingDbscan, SplitsBranchedClusterWithTightSeedBudget) {
+  // A T-shaped chain: the junction (2,0) has branches right and up. With a
+  // seed budget of 1, only one branch is expanded from the junction; the
+  // other branch's far points are discovered later as a *separate* cluster.
+  // Exact DBSCAN: one cluster.
+  const Dataset data = MakeDataset({
+      {0.0, 0.0},
+      {1.0, 0.0},
+      {2.0, 0.0},  // junction
+      {3.0, 0.0},
+      {4.0, 0.0},
+      {2.0, 1.0},
+      {2.0, 2.0},
+      {2.0, 3.0},
+  });
+  const DbscanParams params{1.1, 2};
+  const Clustering exact = BruteForceDbscan(data, params);
+  ASSERT_EQ(exact.num_clusters, 1);
+
+  SamplingDbscanOptions tight;
+  tight.max_seeds_per_point = 1;
+  const Clustering sampled = SamplingDbscan(data, params, tight);
+  EXPECT_GE(sampled.num_clusters, 2)
+      << "tight seed sampling should split the T";
+  EXPECT_FALSE(SameClusters(exact, sampled));
+}
+
+TEST(SamplingDbscan, LargeSeedBudgetRecoversExactResult) {
+  // With the budget at n, sampling degenerates to classic KDD96 and becomes
+  // exact (for primary structure; multi-membership borders excluded by
+  // comparing core flags and cluster count).
+  const Dataset data = RandomDataset(2, 300, 0.0, 60.0, 1309);
+  const DbscanParams params{6.0, 4};
+  SamplingDbscanOptions all;
+  all.max_seeds_per_point = 300;
+  const Clustering exact = BruteForceDbscan(data, params);
+  const Clustering sampled = SamplingDbscan(data, params, all);
+  EXPECT_TRUE(SameCoreFlags(exact, sampled));
+  EXPECT_EQ(exact.num_clusters, sampled.num_clusters);
+}
+
+TEST(SamplingDbscan, CoreFlagsNeverFabricated) {
+  // Sampling can miss core points (never expanded) but a point it marks
+  // core has a genuine full neighborhood (the region query is exact).
+  const Dataset data = RandomDataset(2, 300, 0.0, 40.0, 1311);
+  const DbscanParams params{5.0, 5};
+  const Clustering exact = BruteForceDbscan(data, params);
+  SamplingDbscanOptions tight;
+  tight.max_seeds_per_point = 2;
+  const Clustering sampled = SamplingDbscan(data, params, tight);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (sampled.is_core[i]) EXPECT_TRUE(exact.is_core[i]);
+  }
+}
+
+TEST(Baselines, EmptyInput) {
+  Dataset data(2);
+  const DbscanParams params{1.0, 2};
+  EXPECT_EQ(GfStyleDbscan(data, params).num_clusters, 0);
+  EXPECT_EQ(SamplingDbscan(data, params).num_clusters, 0);
+}
+
+}  // namespace
+}  // namespace adbscan

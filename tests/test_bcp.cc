@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "bcp/bcp.h"
+#include "geom/point.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::RandomDataset;
+
+// Reference: exhaustive closest pair.
+double BruteMinSquaredDist(const Dataset& data,
+                           const std::vector<uint32_t>& a,
+                           const std::vector<uint32_t>& b) {
+  double best = std::numeric_limits<double>::infinity();
+  for (uint32_t pa : a) {
+    for (uint32_t pb : b) {
+      best = std::min(best, SquaredDistance(data.point(pa), data.point(pb),
+                                            data.dim()));
+    }
+  }
+  return best;
+}
+
+struct BcpCase {
+  int dim;
+  size_t size_a;
+  size_t size_b;
+};
+
+class BcpTest : public ::testing::TestWithParam<BcpCase> {};
+
+TEST_P(BcpTest, PairMatchesBruteForce) {
+  const BcpCase c = GetParam();
+  const Dataset data =
+      RandomDataset(c.dim, c.size_a + c.size_b, 0.0, 100.0, 97 + c.dim);
+  std::vector<uint32_t> a, b;
+  for (uint32_t i = 0; i < c.size_a; ++i) a.push_back(i);
+  for (uint32_t i = 0; i < c.size_b; ++i) {
+    b.push_back(static_cast<uint32_t>(c.size_a + i));
+  }
+  const auto pair = BichromaticClosestPair(data, a, b);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_DOUBLE_EQ(pair->squared_dist, BruteMinSquaredDist(data, a, b));
+  // The reported pair must realize the reported distance and come from the
+  // right sides.
+  EXPECT_DOUBLE_EQ(
+      SquaredDistance(data.point(pair->a), data.point(pair->b), c.dim),
+      pair->squared_dist);
+  EXPECT_LT(pair->a, c.size_a);
+  EXPECT_GE(pair->b, c.size_a);
+}
+
+TEST_P(BcpTest, DecisionConsistentWithExactPair) {
+  const BcpCase c = GetParam();
+  const Dataset data =
+      RandomDataset(c.dim, c.size_a + c.size_b, 0.0, 100.0, 101 + c.dim);
+  std::vector<uint32_t> a, b;
+  for (uint32_t i = 0; i < c.size_a; ++i) a.push_back(i);
+  for (uint32_t i = 0; i < c.size_b; ++i) {
+    b.push_back(static_cast<uint32_t>(c.size_a + i));
+  }
+  const double min_dist =
+      std::sqrt(BruteMinSquaredDist(data, a, b));
+  EXPECT_TRUE(ExistsPairWithin(data, a, b, min_dist * 1.0000001));
+  EXPECT_FALSE(ExistsPairWithin(data, a, b, min_dist * 0.9999999));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BcpTest,
+    ::testing::Values(BcpCase{2, 5, 5},       // brute-force path
+                      BcpCase{2, 200, 300},   // kd-tree path
+                      BcpCase{3, 40, 50},     // boundary-ish product
+                      BcpCase{3, 500, 100},   // asymmetric, tree on A
+                      BcpCase{5, 100, 500},   // asymmetric, tree on B
+                      BcpCase{7, 300, 300})); // higher dimension
+
+TEST(Bcp, EmptySetsYieldNoPair) {
+  const Dataset data = RandomDataset(2, 10, 0.0, 10.0, 103);
+  std::vector<uint32_t> a{0, 1, 2}, empty;
+  EXPECT_FALSE(BichromaticClosestPair(data, a, empty).has_value());
+  EXPECT_FALSE(BichromaticClosestPair(data, empty, a).has_value());
+  EXPECT_FALSE(ExistsPairWithin(data, a, empty, 100.0));
+}
+
+TEST(Bcp, IdenticalPointsAcrossSets) {
+  Dataset data(2);
+  data.Add({1.0, 1.0});
+  data.Add({1.0, 1.0});
+  const auto pair = BichromaticClosestPair(data, {0}, {1});
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_DOUBLE_EQ(pair->squared_dist, 0.0);
+  EXPECT_TRUE(ExistsPairWithin(data, {0}, {1}, 0.0));
+}
+
+TEST(Bcp, OverlappingIdSetsAllowed) {
+  // The same point id in both sets means distance zero is reachable.
+  const Dataset data = RandomDataset(3, 20, 0.0, 100.0, 107);
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 20; ++i) ids.push_back(i);
+  const auto pair = BichromaticClosestPair(data, ids, ids);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_DOUBLE_EQ(pair->squared_dist, 0.0);
+}
+
+TEST(Bcp, LargeSetsEarlyExitDecision) {
+  // Two far-apart groups plus one planted close pair; the decision must
+  // find it.
+  Dataset data(2);
+  Rng rng(109);
+  std::vector<uint32_t> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(data.Add({rng.NextDouble(0, 10), rng.NextDouble(0, 10)}));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    b.push_back(data.Add({rng.NextDouble(100, 110), rng.NextDouble(0, 10)}));
+  }
+  EXPECT_FALSE(ExistsPairWithin(data, a, b, 50.0));
+  b.push_back(data.Add({10.5, 5.0}));  // within 50 of group a
+  EXPECT_TRUE(ExistsPairWithin(data, a, b, 50.0));
+}
+
+}  // namespace
+}  // namespace adbscan

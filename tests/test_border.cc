@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/border.h"
+#include "core/core_labeling.h"
+#include "core/exact_grid.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::MakeDataset;
+
+// Border semantics are exercised end-to-end through ExactGridDbscan, which
+// wires AssignBorderPoints into the grid pipeline.
+
+TEST(Border, SharedBorderPointJoinsBothClusters) {
+  // Two clusters radiating away from a shared border point at the origin,
+  // which touches exactly one core point of each (2 + itself = 3 < MinPts).
+  const Dataset data = MakeDataset({
+      {0.9, 0.0}, {1.2, 0.0}, {1.2, 0.3}, {1.5, 0.0},       // cluster 0
+      {0.0, 0.0},                                            // shared border
+      {-0.9, 0.0}, {-1.2, 0.0}, {-1.2, 0.3}, {-1.5, 0.0},   // cluster 1
+  });
+  const DbscanParams params{1.0, 4};
+  const Clustering c = ExactGridDbscan(data, params);
+  ASSERT_EQ(c.num_clusters, 2);
+  EXPECT_FALSE(c.is_core[4]);
+  // Primary label is the smaller cluster id; the other is an extra.
+  EXPECT_EQ(c.label[4], 0);
+  ASSERT_EQ(c.extra_memberships.size(), 1u);
+  EXPECT_EQ(c.extra_memberships[0],
+            (std::pair<uint32_t, int32_t>{4u, 1}));
+}
+
+TEST(Border, BorderExactlyAtEps) {
+  const Dataset data = MakeDataset({
+      {0.0, 0.0}, {-0.1, 0.0}, {0.0, -0.1}, {-0.1, -0.1},
+      {3.0, 0.0},  // exactly eps from (0,0), farther from the rest
+  });
+  const Clustering c = ExactGridDbscan(data, DbscanParams{3.0, 4});
+  EXPECT_EQ(c.num_clusters, 1);
+  EXPECT_EQ(c.label[4], 0);
+  EXPECT_FALSE(c.is_core[4]);
+}
+
+TEST(Border, JustBeyondEpsIsNoise) {
+  const Dataset data = MakeDataset({
+      {0.0, 0.0}, {0.1, 0.0}, {0.0, 0.1}, {0.1, 0.1},
+      {3.2, 0.0},
+  });
+  const Clustering c = ExactGridDbscan(data, DbscanParams{3.0, 4});
+  EXPECT_EQ(c.label[4], kNoise);
+}
+
+TEST(Border, BorderNearNonCorePointOnlyIsNoise) {
+  // Chain: dense block - border b1 - faraway b2. b2 is within eps of b1
+  // only; since b1 is not core, b2 stays noise.
+  const Dataset data = MakeDataset({
+      {0.0, 0.0}, {0.2, 0.0}, {0.0, 0.2}, {0.2, 0.2}, {0.1, 0.1},  // block
+      {1.15, 0.0},  // b1: 2 block cores + b2 + self = 4 < MinPts = 5
+      {2.1, 0.0},   // b2: within eps of b1 only
+  });
+  const Clustering c = ExactGridDbscan(data, DbscanParams{1.0, 5});
+  EXPECT_FALSE(c.is_core[5]);
+  EXPECT_EQ(c.label[5], 0);
+  EXPECT_EQ(c.label[6], kNoise);
+}
+
+TEST(Border, ExtrasAreSortedAndUnique) {
+  // Three clusters radiating away from a central border point. The center
+  // touches exactly one core point per cluster (3 neighbors + itself = 4 <
+  // MinPts = 5), so it is a border point of all three clusters.
+  const Dataset data = MakeDataset({
+      // Cluster A: extends to the right; nearest point (0.9, 0).
+      {0.9, 0.0}, {1.2, 0.0}, {1.2, 0.3}, {1.5, 0.0}, {1.5, 0.3},
+      // Cluster B: mirrored to the left.
+      {-0.9, 0.0}, {-1.2, 0.0}, {-1.2, 0.3}, {-1.5, 0.0}, {-1.5, 0.3},
+      // Cluster C: extends upward.
+      {0.0, 0.9}, {0.0, 1.2}, {0.3, 1.2}, {0.0, 1.5}, {0.3, 1.5},
+      // Central border point.
+      {0.0, 0.0},
+  });
+  const Clustering c = ExactGridDbscan(data, DbscanParams{1.0, 5});
+  ASSERT_EQ(c.num_clusters, 3);
+  EXPECT_FALSE(c.is_core[15]);
+  EXPECT_EQ(c.label[15], 0);
+  ASSERT_EQ(c.extra_memberships.size(), 2u);
+  EXPECT_EQ(c.extra_memberships[0],
+            (std::pair<uint32_t, int32_t>{15u, 1}));
+  EXPECT_EQ(c.extra_memberships[1],
+            (std::pair<uint32_t, int32_t>{15u, 2}));
+}
+
+}  // namespace
+}  // namespace adbscan

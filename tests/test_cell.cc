@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "grid/cell.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace {
+
+TEST(CellCoord, OfComputesFloorIndices) {
+  const double p[] = {2.5, -0.1};
+  const CellCoord cc = CellCoord::Of(p, 2, 1.0);
+  EXPECT_EQ(cc.c[0], 2);
+  EXPECT_EQ(cc.c[1], -1);
+}
+
+TEST(CellCoord, PointOnBoundaryBelongsToUpperCell) {
+  const double p[] = {3.0};
+  const CellCoord cc = CellCoord::Of(p, 1, 1.0);
+  EXPECT_EQ(cc.c[0], 3);
+}
+
+TEST(CellCoord, ToBoxRoundTripContainsPoint) {
+  Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    double p[3];
+    for (int i = 0; i < 3; ++i) p[i] = rng.NextDouble(-1000.0, 1000.0);
+    const double side = rng.NextDouble(0.1, 50.0);
+    const CellCoord cc = CellCoord::Of(p, 3, side);
+    const Box box = cc.ToBox(side);
+    // Half-open cells: lo <= p < hi (ContainsPoint uses closed bounds, which
+    // is fine for the lower inclusion).
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GE(p[i], box.lo[i] - 1e-9);
+      EXPECT_LT(p[i], box.hi[i] + 1e-9);
+    }
+  }
+}
+
+TEST(CellCoord, CellDiameterBoundsPointPairs) {
+  // Two points in the same cell of side eps/sqrt(d) are within eps.
+  Rng rng(6);
+  const int dim = 5;
+  const double eps = 10.0;
+  const double side = eps / std::sqrt(static_cast<double>(dim));
+  for (int trial = 0; trial < 200; ++trial) {
+    double a[kMaxDim], b[kMaxDim];
+    for (int i = 0; i < dim; ++i) a[i] = rng.NextDouble(-100, 100);
+    const CellCoord ca = CellCoord::Of(a, dim, side);
+    const Box box = ca.ToBox(side);
+    for (int i = 0; i < dim; ++i) {
+      b[i] = rng.NextDouble(box.lo[i], box.hi[i]);
+    }
+    EXPECT_LE(SquaredDistance(a, b, dim), eps * eps * (1 + 1e-12));
+  }
+}
+
+TEST(CellCoord, EqualityComparesAllUsedLanes) {
+  CellCoord a, b;
+  a.dim = b.dim = 3;
+  a.c = {1, 2, 3};
+  b.c = {1, 2, 3};
+  EXPECT_TRUE(a == b);
+  b.c[2] = 4;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CellCoord, CenterIsMidpoint) {
+  CellCoord cc;
+  cc.dim = 2;
+  cc.c = {2, -3};
+  double center[2];
+  cc.Center(10.0, center);
+  EXPECT_DOUBLE_EQ(center[0], 25.0);
+  EXPECT_DOUBLE_EQ(center[1], -25.0);
+}
+
+TEST(CellCoordHash, FewCollisionsOnDenseLattice) {
+  CellCoordHash hash;
+  std::unordered_set<size_t> hashes;
+  int count = 0;
+  for (int x = -10; x < 10; ++x) {
+    for (int y = -10; y < 10; ++y) {
+      for (int z = -10; z < 10; ++z) {
+        CellCoord cc;
+        cc.dim = 3;
+        cc.c = {x, y, z};
+        hashes.insert(hash(cc));
+        ++count;
+      }
+    }
+  }
+  // All-distinct is not guaranteed, but collisions should be very rare.
+  EXPECT_GT(static_cast<int>(hashes.size()), count - 5);
+}
+
+TEST(CellCoordHash, DimensionAffectsHash) {
+  CellCoordHash hash;
+  CellCoord a, b;
+  a.dim = 2;
+  b.dim = 3;
+  a.c = {1, 2, 0};
+  b.c = {1, 2, 0};
+  EXPECT_NE(hash(a), hash(b));
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_reference.h"
+#include "eval/compare.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+
+Clustering MakeClustering(int num_clusters, std::vector<int32_t> labels,
+                          std::vector<std::pair<uint32_t, int32_t>> extras = {}) {
+  Clustering c;
+  c.num_clusters = num_clusters;
+  c.label = std::move(labels);
+  c.is_core.assign(c.label.size(), 1);
+  c.extra_memberships = std::move(extras);
+  return c;
+}
+
+TEST(SameClusters, IdenticalResultsMatch) {
+  const Clustering a = MakeClustering(2, {0, 0, 1, 1, kNoise});
+  EXPECT_TRUE(SameClusters(a, a));
+}
+
+TEST(SameClusters, LabelPermutationIsIrrelevant) {
+  const Clustering a = MakeClustering(2, {0, 0, 1, 1});
+  const Clustering b = MakeClustering(2, {1, 1, 0, 0});
+  EXPECT_TRUE(SameClusters(a, b));
+}
+
+TEST(SameClusters, DifferentMembershipDetected) {
+  const Clustering a = MakeClustering(2, {0, 0, 1, 1});
+  const Clustering b = MakeClustering(2, {0, 1, 1, 0});
+  EXPECT_FALSE(SameClusters(a, b));
+}
+
+TEST(SameClusters, NoiseVsClusteredDetected) {
+  const Clustering a = MakeClustering(1, {0, 0, kNoise});
+  const Clustering b = MakeClustering(1, {0, 0, 0});
+  EXPECT_FALSE(SameClusters(a, b));
+}
+
+TEST(SameClusters, ExtraMembershipsCount) {
+  // Point 2 in both clusters vs only one: different cluster sets.
+  const Clustering a = MakeClustering(2, {0, 1, 0}, {{2u, 1}});
+  const Clustering b = MakeClustering(2, {0, 1, 0});
+  EXPECT_FALSE(SameClusters(a, b));
+  const Clustering c = MakeClustering(2, {0, 1, 1}, {{2u, 0}});
+  EXPECT_TRUE(SameClusters(a, c));  // same sets, different primaries
+}
+
+TEST(SameClusters, DifferentSizesNeverMatch) {
+  const Clustering a = MakeClustering(1, {0, 0});
+  const Clustering b = MakeClustering(1, {0, 0, 0});
+  EXPECT_FALSE(SameClusters(a, b));
+}
+
+TEST(SameCoreFlags, DetectsFlip) {
+  Clustering a = MakeClustering(1, {0, 0});
+  Clustering b = a;
+  EXPECT_TRUE(SameCoreFlags(a, b));
+  b.is_core[1] = 0;
+  EXPECT_FALSE(SameCoreFlags(a, b));
+}
+
+TEST(Sandwich, HoldsForNestedClusterings) {
+  // c1: {0,1} {2,3}; approx: {0,1,2,3}; c2: {0,1,2,3,4}.
+  const Clustering c1 = MakeClustering(2, {0, 0, 1, 1, kNoise});
+  const Clustering mid = MakeClustering(1, {0, 0, 0, 0, kNoise});
+  const Clustering c2 = MakeClustering(1, {0, 0, 0, 0, 0});
+  EXPECT_TRUE(SatisfiesSandwich(c1, mid, c2));
+  // Reversed roles must fail: c2's cluster is not inside any c1 cluster.
+  EXPECT_FALSE(SatisfiesSandwich(c2, mid, c1));
+}
+
+TEST(Sandwich, ViolationDetected) {
+  // approx splits a c1 cluster: statement 1 violated.
+  const Clustering c1 = MakeClustering(1, {0, 0, 0});
+  const Clustering approx = MakeClustering(2, {0, 0, 1});
+  const Clustering c2 = MakeClustering(1, {0, 0, 0});
+  EXPECT_FALSE(SatisfiesSandwich(c1, approx, c2));
+}
+
+TEST(AdjustedRandIndex, PerfectAgreementIsOne) {
+  const Clustering a = MakeClustering(2, {0, 0, 1, 1, kNoise});
+  const Clustering b = MakeClustering(2, {1, 1, 0, 0, kNoise});
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), 1.0);
+}
+
+TEST(AdjustedRandIndex, SymmetricAndBounded) {
+  const Clustering a = MakeClustering(2, {0, 0, 1, 1, 0, 1});
+  const Clustering b = MakeClustering(3, {0, 1, 1, 2, 2, 0});
+  const double ab = AdjustedRandIndex(a, b);
+  const double ba = AdjustedRandIndex(b, a);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_LE(ab, 1.0);
+  EXPECT_GE(ab, -1.0);
+  EXPECT_LT(ab, 0.99);  // clearly not identical
+}
+
+TEST(AdjustedRandIndex, RealClusteringsAgree) {
+  const Dataset data = ClusteredDataset(2, 300, 4, 100.0, 4.0, 1001);
+  const DbscanParams params{6.0, 5};
+  const Clustering c = BruteForceDbscan(data, params);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(c, c), 1.0);
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/core_labeling.h"
+#include "geom/point.h"
+#include "grid/grid.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::MakeDataset;
+using testing_helpers::RandomDataset;
+
+std::vector<char> BruteCoreFlags(const Dataset& data,
+                                 const DbscanParams& params) {
+  std::vector<char> is_core(data.size(), 0);
+  const double eps2 = params.eps * params.eps;
+  for (size_t i = 0; i < data.size(); ++i) {
+    size_t count = 0;
+    for (size_t j = 0; j < data.size(); ++j) {
+      count += SquaredDistance(data.point(i), data.point(j), data.dim()) <=
+               eps2;
+    }
+    if (count >= static_cast<size_t>(params.min_pts)) is_core[i] = 1;
+  }
+  return is_core;
+}
+
+struct LabelCase {
+  int dim;
+  double eps;
+  int min_pts;
+};
+
+class CoreLabelingTest : public ::testing::TestWithParam<LabelCase> {};
+
+TEST_P(CoreLabelingTest, MatchesBruteForceOnClusteredData) {
+  const auto [dim, eps, min_pts] = GetParam();
+  const DbscanParams params{eps, min_pts};
+  const Dataset data =
+      ClusteredDataset(dim, 600, 4, 100.0, 4.0, 179 + dim + min_pts);
+  const Grid grid(data, Grid::SideFor(eps, dim));
+  EXPECT_EQ(LabelCorePoints(data, grid, params), BruteCoreFlags(data, params));
+}
+
+TEST_P(CoreLabelingTest, MatchesBruteForceOnUniformData) {
+  const auto [dim, eps, min_pts] = GetParam();
+  const DbscanParams params{eps, min_pts};
+  const Dataset data = RandomDataset(dim, 400, 0.0, 80.0, 191 + dim);
+  const Grid grid(data, Grid::SideFor(eps, dim));
+  EXPECT_EQ(LabelCorePoints(data, grid, params), BruteCoreFlags(data, params));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CoreLabelingTest,
+    ::testing::Values(LabelCase{2, 8.0, 5}, LabelCase{2, 3.0, 2},
+                      LabelCase{3, 10.0, 10}, LabelCase{3, 25.0, 50},
+                      LabelCase{5, 20.0, 4}, LabelCase{7, 40.0, 8},
+                      LabelCase{2, 8.0, 1}));
+
+TEST(CoreLabeling, MinPtsOneMakesEverythingCore) {
+  const Dataset data = RandomDataset(3, 100, 0.0, 100.0, 193);
+  const DbscanParams params{5.0, 1};
+  const Grid grid(data, Grid::SideFor(params.eps, 3));
+  const std::vector<char> flags = LabelCorePoints(data, grid, params);
+  for (char f : flags) EXPECT_EQ(f, 1);
+}
+
+TEST(CoreLabeling, IsolatedPointIsNonCore) {
+  const Dataset data = MakeDataset({{0.0, 0.0}, {100.0, 100.0}});
+  const DbscanParams params{5.0, 2};
+  const Grid grid(data, Grid::SideFor(params.eps, 2));
+  const std::vector<char> flags = LabelCorePoints(data, grid, params);
+  EXPECT_EQ(flags[0], 0);
+  EXPECT_EQ(flags[1], 0);
+}
+
+TEST(CoreLabeling, DenseCellShortcut) {
+  // 50 coincident points with MinPts=50: the dense-cell path must fire.
+  Dataset data(2);
+  for (int i = 0; i < 50; ++i) data.Add({1.0, 1.0});
+  const DbscanParams params{2.0, 50};
+  const Grid grid(data, Grid::SideFor(params.eps, 2));
+  for (char f : LabelCorePoints(data, grid, params)) EXPECT_EQ(f, 1);
+}
+
+TEST(CoreLabeling, CrossCellNeighborhoodCounts) {
+  // Points straddling a cell boundary: each alone in its cell, core only
+  // thanks to the neighbor cell's points.
+  const double eps = 2.0;
+  const Dataset data = MakeDataset({{0.9, 0.0}, {1.1, 0.0}, {1.3, 0.0}});
+  const DbscanParams params{eps, 3};
+  const Grid grid(data, Grid::SideFor(eps, 2));
+  for (char f : LabelCorePoints(data, grid, params)) EXPECT_EQ(f, 1);
+}
+
+TEST(CoreCellIndex, IndexesExactlyCoreOwningCells) {
+  const Dataset data =
+      MakeDataset({{0.0, 0.0}, {0.5, 0.0}, {0.6, 0.0}, {50.0, 50.0}});
+  const DbscanParams params{1.0, 3};
+  const Grid grid(data, Grid::SideFor(params.eps, 2));
+  const std::vector<char> is_core = LabelCorePoints(data, grid, params);
+  const CoreCellIndex cci = BuildCoreCellIndex(grid, is_core);
+  size_t core_points_total = 0;
+  for (const auto& pts : cci.core_points) {
+    EXPECT_FALSE(pts.empty());
+    for (uint32_t id : pts) EXPECT_TRUE(is_core[id]);
+    core_points_total += pts.size();
+  }
+  size_t expected = 0;
+  for (char f : is_core) expected += (f != 0);
+  EXPECT_EQ(core_points_total, expected);
+  // Reverse mapping is consistent.
+  for (uint32_t cc = 0; cc < cci.size(); ++cc) {
+    EXPECT_EQ(cci.core_cell_of_grid_cell[cci.grid_cell[cc]], cc);
+  }
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "geom/dataset.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::MakeDataset;
+
+TEST(Dataset, StartsEmpty) {
+  Dataset data(3);
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(data.size(), 0u);
+  EXPECT_EQ(data.dim(), 3);
+}
+
+TEST(Dataset, AddReturnsSequentialIds) {
+  Dataset data(2);
+  EXPECT_EQ(data.Add({1.0, 2.0}), 0u);
+  EXPECT_EQ(data.Add({3.0, 4.0}), 1u);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.point(1)[0], 3.0);
+  EXPECT_DOUBLE_EQ(data.point(1)[1], 4.0);
+}
+
+TEST(Dataset, FlatConstructor) {
+  Dataset data(2, {0.0, 1.0, 2.0, 3.0, 4.0, 5.0});
+  ASSERT_EQ(data.size(), 3u);
+  EXPECT_DOUBLE_EQ(data.point(2)[0], 4.0);
+  EXPECT_DOUBLE_EQ(data.point(2)[1], 5.0);
+}
+
+TEST(Dataset, BoundingBoxCoversAllPoints) {
+  const Dataset data = MakeDataset({{1.0, 5.0}, {-2.0, 3.0}, {4.0, -1.0}});
+  const Box b = data.BoundingBox();
+  EXPECT_DOUBLE_EQ(b.lo[0], -2.0);
+  EXPECT_DOUBLE_EQ(b.hi[0], 4.0);
+  EXPECT_DOUBLE_EQ(b.lo[1], -1.0);
+  EXPECT_DOUBLE_EQ(b.hi[1], 5.0);
+}
+
+TEST(Dataset, BoundingBoxOfSinglePointIsDegenerate) {
+  const Dataset data = MakeDataset({{7.0, 8.0, 9.0}});
+  const Box b = data.BoundingBox();
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(b.lo[i], b.hi[i]);
+}
+
+TEST(Dataset, CopyIsIndependent) {
+  Dataset a(1);
+  a.Add({1.0});
+  Dataset b = a;
+  b.Add({2.0});
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(DatasetDeath, RejectsInvalidDimension) {
+  EXPECT_DEATH(Dataset(0), "");
+  EXPECT_DEATH(Dataset(kMaxDim + 1), "");
+}
+
+TEST(DatasetDeath, RejectsMisalignedFlatArray) {
+  EXPECT_DEATH(Dataset(3, {1.0, 2.0}), "");
+}
+
+TEST(DatasetDeath, RejectsWrongArityAdd) {
+  Dataset data(2);
+  EXPECT_DEATH(data.Add({1.0, 2.0, 3.0}), "");
+}
+
+}  // namespace
+}  // namespace adbscan

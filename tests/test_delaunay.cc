@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/brute_reference.h"
+#include "core/gunawan2d.h"
+#include "eval/compare.h"
+#include "gen/seed_spreader.h"
+#include "geom/delaunay2d.h"
+#include "geom/point.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::MakeDataset;
+using testing_helpers::RandomDataset;
+
+std::vector<uint32_t> AllIds(const Dataset& data) {
+  std::vector<uint32_t> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  return ids;
+}
+
+double BruteNearestSq(const Dataset& data, const double* q) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < data.size(); ++i) {
+    best = std::min(best, SquaredDistance(q, data.point(i), 2));
+  }
+  return best;
+}
+
+TEST(Delaunay2d, TriangleCountMatchesEulerBound) {
+  // For n sites with h on the convex hull: triangles = 2n - 2 - h.
+  const Dataset data = MakeDataset({
+      {0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}, {10.0, 10.0}, {5.0, 5.0},
+  });
+  const Delaunay2d dt(data, AllIds(data));
+  // 5 sites, 4 on the hull: 2*5 - 2 - 4 = 4 triangles.
+  EXPECT_EQ(dt.num_triangles(), 4u);
+  EXPECT_EQ(dt.num_sites(), 5u);
+  // The center connects to all four corners.
+  EXPECT_EQ(dt.adjacency()[4].size(), 4u);
+}
+
+TEST(Delaunay2d, EmptyCircumcircleProperty) {
+  // No site may lie strictly inside the circumcircle of any triangle;
+  // verified indirectly: each site's Delaunay neighbors must include its
+  // nearest other site (a classic Delaunay consequence).
+  const Dataset data = RandomDataset(2, 150, 0.0, 100.0, 1701);
+  const Delaunay2d dt(data, AllIds(data));
+  for (uint32_t s = 0; s < data.size(); ++s) {
+    double best = std::numeric_limits<double>::infinity();
+    uint32_t nearest = s;
+    for (uint32_t t = 0; t < data.size(); ++t) {
+      if (t == s) continue;
+      const double d2 = SquaredDistance(data.point(s), data.point(t), 2);
+      if (d2 < best) {
+        best = d2;
+        nearest = t;
+      }
+    }
+    const auto& nbs = dt.adjacency()[s];
+    EXPECT_NE(std::find(nbs.begin(), nbs.end(), nearest), nbs.end())
+        << "site " << s << " misses its nearest neighbor in the graph";
+  }
+}
+
+TEST(Delaunay2d, GreedyNearestMatchesBruteForce) {
+  const Dataset data = RandomDataset(2, 300, 0.0, 100.0, 1703);
+  const Delaunay2d dt(data, AllIds(data));
+  Rng rng(1705);
+  for (int trial = 0; trial < 200; ++trial) {
+    double q[2] = {rng.NextDouble(-20, 120), rng.NextDouble(-20, 120)};
+    EXPECT_DOUBLE_EQ(dt.Nearest(q).squared_dist, BruteNearestSq(data, q))
+        << "trial " << trial;
+  }
+}
+
+TEST(Delaunay2d, NearestOnClusteredData) {
+  const Dataset data = ClusteredDataset(2, 250, 4, 100.0, 3.0, 1707);
+  const Delaunay2d dt(data, AllIds(data));
+  Rng rng(1709);
+  for (int trial = 0; trial < 200; ++trial) {
+    double q[2] = {rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    EXPECT_DOUBLE_EQ(dt.Nearest(q).squared_dist, BruteNearestSq(data, q));
+  }
+}
+
+TEST(Delaunay2d, QueriesAtSitesReturnZero) {
+  const Dataset data = RandomDataset(2, 100, 0.0, 50.0, 1711);
+  const Delaunay2d dt(data, AllIds(data));
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto nn = dt.Nearest(data.point(i));
+    EXPECT_DOUBLE_EQ(nn.squared_dist, 0.0);
+  }
+}
+
+TEST(Delaunay2d, HandlesDuplicatesAndTinySets) {
+  Dataset data(2);
+  data.Add({1.0, 1.0});
+  data.Add({1.0, 1.0});
+  data.Add({2.0, 2.0});
+  const Delaunay2d dt(data, AllIds(data));
+  EXPECT_EQ(dt.num_sites(), 2u);  // duplicates collapsed
+  const double q[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(dt.Nearest(q).squared_dist, 2.0);
+
+  Dataset one(2);
+  one.Add({5.0, 5.0});
+  const Delaunay2d single(one, {0});
+  EXPECT_DOUBLE_EQ(single.Nearest(q).squared_dist, 50.0);
+}
+
+TEST(Delaunay2d, CollinearInputFallsBackCorrectly) {
+  Dataset data(2);
+  for (int i = 0; i < 20; ++i) data.Add({i * 1.0, 3.0});
+  const Delaunay2d dt(data, AllIds(data));
+  EXPECT_EQ(dt.num_triangles(), 0u);
+  Rng rng(1713);
+  for (int trial = 0; trial < 50; ++trial) {
+    double q[2] = {rng.NextDouble(-5, 25), rng.NextDouble(-5, 10)};
+    EXPECT_DOUBLE_EQ(dt.Nearest(q).squared_dist, BruteNearestSq(data, q));
+  }
+}
+
+TEST(Delaunay2d, GridAlignedPointsAreRobust) {
+  // Cocircular degeneracies everywhere: a perfect lattice.
+  Dataset data(2);
+  for (int x = 0; x < 12; ++x) {
+    for (int y = 0; y < 12; ++y) data.Add({x * 1.0, y * 1.0});
+  }
+  const Delaunay2d dt(data, AllIds(data));
+  Rng rng(1715);
+  for (int trial = 0; trial < 100; ++trial) {
+    double q[2] = {rng.NextDouble(-2, 14), rng.NextDouble(-2, 14)};
+    EXPECT_DOUBLE_EQ(dt.Nearest(q).squared_dist, BruteNearestSq(data, q))
+        << "trial " << trial;
+  }
+}
+
+TEST(Gunawan2dDelaunay, MatchesKdTreeBackendAndReference) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const Dataset data = ClusteredDataset(2, 300, 4, 100.0, 4.0, 1800 + seed);
+    const DbscanParams params{6.0, 5};
+    const Clustering ref = BruteForceDbscan(data, params);
+    Gunawan2dOptions delaunay;
+    delaunay.backend = Gunawan2dOptions::NnBackend::kDelaunay;
+    EXPECT_TRUE(SameClusters(ref, Gunawan2dDbscan(data, params, delaunay)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Gunawan2dDelaunay, SpreaderWorkload) {
+  SeedSpreaderParams p;
+  p.dim = 2;
+  p.n = 800;
+  p.domain_hi = 2000.0;
+  p.point_radius = 15.0;
+  p.shift_distance = 10.0;
+  p.counter_reset = 30;
+  p.noise_fraction = 0.05;
+  const Dataset data = GenerateSeedSpreader(p, 1807);
+  const DbscanParams params{30.0, 8};
+  Gunawan2dOptions delaunay;
+  delaunay.backend = Gunawan2dOptions::NnBackend::kDelaunay;
+  EXPECT_TRUE(SameClusters(BruteForceDbscan(data, params),
+                           Gunawan2dDbscan(data, params, delaunay)));
+}
+
+}  // namespace
+}  // namespace adbscan

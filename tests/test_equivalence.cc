@@ -1,0 +1,211 @@
+// Cross-algorithm equivalence: every exact algorithm must produce the unique
+// DBSCAN clustering of Problem 1, verified against the trusted O(n²)
+// reference over a parameterized sweep of dimensionalities, distributions,
+// and parameters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/adbscan.h"
+#include "eval/compare.h"
+#include "gen/seed_spreader.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::MakeDataset;
+using testing_helpers::RandomDataset;
+
+struct EqCase {
+  std::string name;
+  int dim;
+  size_t n;
+  double eps;
+  int min_pts;
+  int distribution;  // 0 clustered, 1 uniform, 2 seed spreader, 3 coincident
+};
+
+Dataset MakeData(const EqCase& c, uint64_t seed) {
+  switch (c.distribution) {
+    case 0:
+      return ClusteredDataset(c.dim, c.n, 4, 100.0, 4.0, seed);
+    case 1:
+      return RandomDataset(c.dim, c.n, 0.0, 100.0, seed);
+    case 2: {
+      SeedSpreaderParams p;
+      p.dim = c.dim;
+      p.n = c.n;
+      p.domain_hi = 1000.0;
+      p.point_radius = 10.0;
+      p.shift_distance = 5.0 * c.dim;
+      p.counter_reset = 20;
+      p.noise_fraction = 0.05;
+      return GenerateSeedSpreader(p, seed);
+    }
+    case 3: {
+      // Everything coincident: the footnote-1 degenerate input.
+      Dataset data(c.dim);
+      std::vector<double> p(c.dim, 42.0);
+      for (size_t i = 0; i < c.n; ++i) data.Add(p);
+      return data;
+    }
+    case 4: {
+      // Integer lattice: every distance is degenerate (ties everywhere,
+      // points exactly on cell boundaries).
+      Dataset data(c.dim);
+      std::vector<double> p(c.dim, 0.0);
+      const size_t side = static_cast<size_t>(
+          std::ceil(std::pow(static_cast<double>(c.n),
+                             1.0 / static_cast<double>(c.dim))));
+      size_t emitted = 0;
+      std::vector<size_t> idx(c.dim, 0);
+      while (emitted < c.n) {
+        for (int j = 0; j < c.dim; ++j) p[j] = static_cast<double>(idx[j]);
+        data.Add(p);
+        ++emitted;
+        for (int j = 0; j < c.dim; ++j) {
+          if (++idx[j] < side) break;
+          idx[j] = 0;
+        }
+      }
+      return data;
+    }
+    default: {
+      // Collinear points along a diagonal (zero-volume boxes, degenerate
+      // trees and grids).
+      Dataset data(c.dim);
+      std::vector<double> p(c.dim);
+      for (size_t i = 0; i < c.n; ++i) {
+        for (int j = 0; j < c.dim; ++j) p[j] = 0.37 * static_cast<double>(i);
+        data.Add(p);
+      }
+      return data;
+    }
+  }
+}
+
+class ExactEquivalenceTest : public ::testing::TestWithParam<EqCase> {};
+
+TEST_P(ExactEquivalenceTest, AllExactAlgorithmsMatchReference) {
+  const EqCase c = GetParam();
+  const Dataset data = MakeData(c, 211 + c.dim * 7 + c.min_pts);
+  const DbscanParams params{c.eps, c.min_pts};
+  const Clustering reference = BruteForceDbscan(data, params);
+
+  const Clustering kdd96 = Kdd96Dbscan(data, params);
+  EXPECT_TRUE(SameClusters(reference, kdd96)) << "KDD96 clusters differ";
+  EXPECT_TRUE(SameCoreFlags(reference, kdd96)) << "KDD96 core flags differ";
+
+  Kdd96Options kd_opts;
+  kd_opts.index = Kdd96Options::IndexKind::kKdTree;
+  const Clustering kdd96_kd = Kdd96Dbscan(data, params, kd_opts);
+  EXPECT_TRUE(SameClusters(reference, kdd96_kd))
+      << "KDD96/kd-tree clusters differ";
+
+  const Clustering cit08 = GridbscanDbscan(data, params);
+  EXPECT_TRUE(SameClusters(reference, cit08)) << "CIT08 clusters differ";
+  EXPECT_TRUE(SameCoreFlags(reference, cit08)) << "CIT08 core flags differ";
+
+  // Small partitions force heavy halo replication and merging.
+  GridbscanOptions small_parts;
+  small_parts.target_partition_size = 50;
+  const Clustering cit08_fine = GridbscanDbscan(data, params, small_parts);
+  EXPECT_TRUE(SameClusters(reference, cit08_fine))
+      << "CIT08 (fine partitions) clusters differ";
+
+  const Clustering ours = ExactGridDbscan(data, params);
+  EXPECT_TRUE(SameClusters(reference, ours)) << "OurExact clusters differ";
+  EXPECT_TRUE(SameCoreFlags(reference, ours)) << "OurExact core flags differ";
+
+  if (c.dim == 2) {
+    const Clustering gunawan = Gunawan2dDbscan(data, params);
+    EXPECT_TRUE(SameClusters(reference, gunawan))
+        << "Gunawan2D clusters differ";
+    EXPECT_TRUE(SameCoreFlags(reference, gunawan))
+        << "Gunawan2D core flags differ";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactEquivalenceTest,
+    ::testing::Values(
+        EqCase{"clustered2d", 2, 400, 6.0, 5, 0},
+        EqCase{"clustered2d_tight", 2, 400, 2.0, 3, 0},
+        EqCase{"clustered3d", 3, 400, 8.0, 5, 0},
+        EqCase{"clustered5d", 5, 300, 15.0, 4, 0},
+        EqCase{"clustered7d", 7, 250, 25.0, 4, 0},
+        EqCase{"uniform2d", 2, 300, 7.0, 4, 1},
+        EqCase{"uniform3d", 3, 300, 12.0, 4, 1},
+        EqCase{"uniform5d_sparse", 5, 200, 10.0, 3, 1},
+        EqCase{"spreader2d", 2, 500, 15.0, 5, 2},
+        EqCase{"spreader3d", 3, 500, 20.0, 8, 2},
+        EqCase{"spreader5d", 5, 400, 40.0, 6, 2},
+        EqCase{"coincident2d", 2, 60, 1.0, 10, 3},
+        EqCase{"coincident5d", 5, 60, 1.0, 61, 3},  // MinPts > n: all noise
+        EqCase{"minpts1_2d", 2, 200, 5.0, 1, 1},
+        EqCase{"big_eps_2d", 2, 200, 500.0, 5, 0},
+        EqCase{"tiny_eps_3d", 3, 200, 0.01, 2, 0},
+        EqCase{"lattice2d", 2, 400, 1.0, 5, 4},
+        EqCase{"lattice3d", 3, 350, 1.5, 6, 4},
+        EqCase{"lattice5d_exact_eps", 5, 300, 1.0, 4, 4},
+        EqCase{"collinear2d", 2, 300, 1.0, 4, 5},
+        EqCase{"collinear7d", 7, 200, 2.0, 3, 5}),
+    [](const ::testing::TestParamInfo<EqCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ExactEquivalence, PaperFigure2StyleExample) {
+  // Two clusters bridged by a border point, MinPts = 4 (the shape of
+  // Figure 2: o10 belongs to both clusters).
+  const Dataset data = MakeDataset({
+      // Cluster 1: extends right; only its tip (0.9, 0) touches the bridge.
+      {0.9, 0.0},
+      {1.2, 0.0},
+      {1.2, 0.3},
+      {1.5, 0.0},
+      // Bridge (border point): 2 core neighbors + itself = 3 < MinPts.
+      {0.0, 0.0},
+      // Cluster 2: mirrored to the left.
+      {-0.9, 0.0},
+      {-1.2, 0.0},
+      {-1.2, 0.3},
+      {-1.5, 0.0},
+      // Noise: far away.
+      {100.0, 100.0},
+  });
+  const DbscanParams params{1.0, 4};
+  const Clustering ref = BruteForceDbscan(data, params);
+  EXPECT_EQ(ref.num_clusters, 2);
+  EXPECT_EQ(ref.label[9], kNoise);
+  EXPECT_FALSE(ref.is_core[4]);  // the bridge is a border point
+  // The bridge belongs to both clusters.
+  const auto sets = ref.ClusterSets();
+  int memberships = 0;
+  for (const auto& s : sets) {
+    for (uint32_t id : s) memberships += (id == 4);
+  }
+  EXPECT_EQ(memberships, 2);
+  // And all algorithms agree on this structure.
+  EXPECT_TRUE(SameClusters(ref, Kdd96Dbscan(data, params)));
+  EXPECT_TRUE(SameClusters(ref, GridbscanDbscan(data, params)));
+  EXPECT_TRUE(SameClusters(ref, ExactGridDbscan(data, params)));
+  EXPECT_TRUE(SameClusters(ref, Gunawan2dDbscan(data, params)));
+}
+
+TEST(ExactEquivalence, EmptyDataset) {
+  Dataset data(3);
+  const DbscanParams params{1.0, 3};
+  for (const Clustering& c :
+       {Kdd96Dbscan(data, params), GridbscanDbscan(data, params),
+        ExactGridDbscan(data, params), BruteForceDbscan(data, params)}) {
+    EXPECT_EQ(c.num_clusters, 0);
+    EXPECT_TRUE(c.label.empty());
+  }
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_reference.h"
+#include "core/exact_grid.h"
+#include "eval/compare.h"
+#include "gen/realdata_sim.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::MakeDataset;
+using testing_helpers::RandomDataset;
+
+TEST(ExactGrid, MatchesReferenceAcrossDimsAndEps) {
+  for (int dim : {2, 3, 4, 5, 6, 7}) {
+    const Dataset data = ClusteredDataset(dim, 300, 3, 100.0, 5.0, 800 + dim);
+    for (double eps : {5.0, 12.0, 30.0}) {
+      const DbscanParams params{eps, 4};
+      EXPECT_TRUE(SameClusters(BruteForceDbscan(data, params),
+                               ExactGridDbscan(data, params)))
+          << "dim " << dim << " eps " << eps;
+    }
+  }
+}
+
+TEST(ExactGrid, EdgeExactlyAtEps) {
+  // Core points at distance exactly eps must be joined (closed ball).
+  const Dataset data = MakeDataset({
+      {0.0, 0.0}, {0.1, 0.0}, {0.0, 0.1},   // block A
+      {5.0, 0.0}, {5.1, 0.0}, {5.0, 0.1},   // block B
+  });
+  // dist((0.1,0), (5.0,0)) = 4.9: choose eps = 4.9 exactly.
+  const Clustering joined = ExactGridDbscan(data, DbscanParams{4.9, 3});
+  EXPECT_EQ(joined.num_clusters, 1);
+  const Clustering split = ExactGridDbscan(data, DbscanParams{4.89, 3});
+  EXPECT_EQ(split.num_clusters, 2);
+}
+
+TEST(ExactGrid, NonNeighborCellsNeverJoined) {
+  // Distance just above eps between two dense blocks.
+  const Dataset data = MakeDataset({
+      {0.0, 0.0}, {0.1, 0.0}, {0.0, 0.1},
+      {10.001, 0.0}, {10.1, 0.0}, {10.0, 0.1},
+  });
+  const Clustering c = ExactGridDbscan(data, DbscanParams{9.9, 3});
+  EXPECT_EQ(c.num_clusters, 2);
+}
+
+TEST(ExactGrid, NoisePercentageOnUniformSparseData) {
+  // Very sparse uniform data: nearly everything should be noise.
+  const Dataset data = RandomDataset(5, 300, 0.0, 1000.0, 801);
+  const Clustering c = ExactGridDbscan(data, DbscanParams{5.0, 4});
+  EXPECT_EQ(c.num_clusters, 0);
+  EXPECT_EQ(c.NumNoisePoints(), 300u);
+}
+
+TEST(ExactGrid, RealDataStandInsSmall) {
+  // Small instances of the PAMAP2/Farm/Household stand-ins against the
+  // reference (the real experiments use millions; correctness shown here).
+  const DbscanParams params{4000.0, 10};
+  for (const Dataset& data :
+       {Pamap2Like(400, 803), FarmLike(400, 804), HouseholdLike(400, 805)}) {
+    EXPECT_TRUE(SameClusters(BruteForceDbscan(data, params),
+                             ExactGridDbscan(data, params)))
+        << "dim " << data.dim();
+  }
+}
+
+TEST(ExactGrid, AllPointsIdentical) {
+  Dataset data(3);
+  for (int i = 0; i < 100; ++i) data.Add({7.0, 7.0, 7.0});
+  const Clustering c = ExactGridDbscan(data, DbscanParams{1.0, 100});
+  EXPECT_EQ(c.num_clusters, 1);
+  EXPECT_EQ(c.NumCorePoints(), 100u);
+}
+
+TEST(ExactGrid, ClusterCountMonotoneReasonableInEps) {
+  // Larger eps never creates noise out of clustered points.
+  const Dataset data = ClusteredDataset(3, 400, 5, 100.0, 4.0, 807);
+  size_t prev_noise = data.size();
+  for (double eps : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const Clustering c = ExactGridDbscan(data, DbscanParams{eps, 5});
+    EXPECT_LE(c.NumNoisePoints(), prev_noise) << "eps " << eps;
+    prev_noise = c.NumNoisePoints();
+  }
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/box.h"
+#include "geom/point.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace {
+
+TEST(Point, DistanceMatchesHandComputation) {
+  const double a[] = {0.0, 0.0, 0.0};
+  const double b[] = {1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b, 3), 9.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b, 3), 3.0);
+}
+
+TEST(Point, DistanceToSelfIsZero) {
+  const double a[] = {3.5, -2.0, 7.0, 1.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, a, 4), 0.0);
+}
+
+TEST(Point, WithinDistanceBoundaryIsClosed) {
+  const double a[] = {0.0, 0.0};
+  const double b[] = {3.0, 4.0};
+  EXPECT_TRUE(WithinDistance(a, b, 2, 5.0));
+  EXPECT_FALSE(WithinDistance(a, b, 2, 4.999999));
+}
+
+TEST(Point, SymmetricDistance) {
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    double a[5], b[5];
+    for (int i = 0; i < 5; ++i) {
+      a[i] = rng.NextDouble(-100, 100);
+      b[i] = rng.NextDouble(-100, 100);
+    }
+    EXPECT_DOUBLE_EQ(SquaredDistance(a, b, 5), SquaredDistance(b, a, 5));
+  }
+}
+
+Box MakeBox2D(double x0, double y0, double x1, double y1) {
+  Box b = Box::Empty(2);
+  const double lo[] = {x0, y0};
+  const double hi[] = {x1, y1};
+  b.ExpandToPoint(lo);
+  b.ExpandToPoint(hi);
+  return b;
+}
+
+TEST(Box, EmptyContainsNothing) {
+  const Box b = Box::Empty(2);
+  const double p[] = {0.0, 0.0};
+  EXPECT_FALSE(b.ContainsPoint(p));
+}
+
+TEST(Box, ExpandToPointGrowsBounds) {
+  Box b = Box::Empty(2);
+  const double p[] = {1.0, 2.0};
+  b.ExpandToPoint(p);
+  EXPECT_TRUE(b.ContainsPoint(p));
+  EXPECT_DOUBLE_EQ(b.lo[0], 1.0);
+  EXPECT_DOUBLE_EQ(b.hi[1], 2.0);
+}
+
+TEST(Box, MinDistZeroInside) {
+  const Box b = MakeBox2D(0, 0, 10, 10);
+  const double p[] = {5.0, 5.0};
+  EXPECT_DOUBLE_EQ(b.MinSquaredDistToPoint(p), 0.0);
+}
+
+TEST(Box, MinDistToOutsidePoint) {
+  const Box b = MakeBox2D(0, 0, 10, 10);
+  const double p[] = {13.0, 14.0};
+  EXPECT_DOUBLE_EQ(b.MinSquaredDistToPoint(p), 9.0 + 16.0);
+}
+
+TEST(Box, MaxDistIsFarthestCorner) {
+  const Box b = MakeBox2D(0, 0, 10, 10);
+  const double p[] = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(b.MaxSquaredDistToPoint(p), 81.0 + 81.0);
+}
+
+TEST(Box, BoxBoxMinDistDisjoint) {
+  const Box a = MakeBox2D(0, 0, 1, 1);
+  const Box b = MakeBox2D(4, 5, 6, 7);
+  EXPECT_DOUBLE_EQ(a.MinSquaredDistToBox(b), 9.0 + 16.0);
+  EXPECT_DOUBLE_EQ(b.MinSquaredDistToBox(a), 9.0 + 16.0);
+}
+
+TEST(Box, BoxBoxMinDistOverlapping) {
+  const Box a = MakeBox2D(0, 0, 5, 5);
+  const Box b = MakeBox2D(3, 3, 8, 8);
+  EXPECT_DOUBLE_EQ(a.MinSquaredDistToBox(b), 0.0);
+}
+
+TEST(Box, IntersectsBallBoundary) {
+  const Box b = MakeBox2D(3, 0, 5, 1);
+  const double q[] = {0.0, 0.0};
+  EXPECT_TRUE(b.IntersectsBall(q, 3.0));
+  EXPECT_FALSE(b.IntersectsBall(q, 2.999));
+}
+
+TEST(Box, InsideBallRequiresAllCorners) {
+  const Box b = MakeBox2D(0, 0, 1, 1);
+  const double q[] = {0.0, 0.0};
+  EXPECT_TRUE(b.InsideBall(q, std::sqrt(2.0) + 1e-12));
+  EXPECT_FALSE(b.InsideBall(q, 1.2));
+}
+
+TEST(Box, VolumeAndMargin) {
+  const Box b = MakeBox2D(0, 0, 2, 3);
+  EXPECT_DOUBLE_EQ(b.Volume(), 6.0);
+  EXPECT_DOUBLE_EQ(b.Margin(), 5.0);
+  EXPECT_DOUBLE_EQ(b.MaxExtent(), 3.0);
+}
+
+TEST(Box, OverlapVolume) {
+  const Box a = MakeBox2D(0, 0, 4, 4);
+  const Box b = MakeBox2D(2, 2, 6, 6);
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 4.0);
+  const Box c = MakeBox2D(10, 10, 11, 11);
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(c), 0.0);
+}
+
+TEST(Box, RandomizedMinMaxConsistency) {
+  Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    Box b = Box::Empty(3);
+    double p1[3], p2[3], q[3];
+    for (int i = 0; i < 3; ++i) {
+      p1[i] = rng.NextDouble(-50, 50);
+      p2[i] = rng.NextDouble(-50, 50);
+      q[i] = rng.NextDouble(-100, 100);
+    }
+    b.ExpandToPoint(p1);
+    b.ExpandToPoint(p2);
+    EXPECT_LE(b.MinSquaredDistToPoint(q), SquaredDistance(q, p1, 3));
+    EXPECT_GE(b.MaxSquaredDistToPoint(q), SquaredDistance(q, p2, 3));
+    EXPECT_LE(b.MinSquaredDistToPoint(q), b.MaxSquaredDistToPoint(q));
+  }
+}
+
+}  // namespace
+}  // namespace adbscan

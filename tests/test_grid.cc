@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "geom/point.h"
+#include "grid/grid.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::RandomDataset;
+
+TEST(Grid, SideForMatchesPaper) {
+  EXPECT_DOUBLE_EQ(Grid::SideFor(10.0, 2), 10.0 / std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(Grid::SideFor(6.0, 4), 3.0);
+}
+
+TEST(Grid, EveryPointAssignedToExactlyOneCell) {
+  const Dataset data = RandomDataset(3, 500, 0.0, 100.0, 1);
+  const Grid grid(data, Grid::SideFor(10.0, 3));
+  size_t total = 0;
+  for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+    total += grid.cell(ci).points.size();
+    for (uint32_t id : grid.cell(ci).points) {
+      EXPECT_EQ(grid.CellOfPoint(id), ci);
+    }
+  }
+  EXPECT_EQ(total, data.size());
+}
+
+TEST(Grid, PointsLieInTheirCellBox) {
+  const Dataset data = RandomDataset(4, 300, -50.0, 50.0, 2);
+  const Grid grid(data, Grid::SideFor(7.0, 4));
+  for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+    const Box box = grid.CellBoxOf(ci);
+    for (uint32_t id : grid.cell(ci).points) {
+      EXPECT_LE(box.MinSquaredDistToPoint(data.point(id)), 1e-18);
+    }
+  }
+}
+
+TEST(Grid, SameCellPointsWithinEps) {
+  const double eps = 12.0;
+  const Dataset data = RandomDataset(5, 400, 0.0, 60.0, 3);
+  const Grid grid(data, Grid::SideFor(eps, 5));
+  for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+    const auto& pts = grid.cell(ci).points;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      for (size_t j = i + 1; j < pts.size(); ++j) {
+        EXPECT_TRUE(WithinDistance(data.point(pts[i]), data.point(pts[j]), 5,
+                                   eps * (1 + 1e-12)));
+      }
+    }
+  }
+}
+
+// Reference ε-neighbor computation: all pairs of cells, box-to-box distance.
+std::vector<std::set<uint32_t>> BruteNeighbors(const Grid& grid, double eps) {
+  std::vector<std::set<uint32_t>> out(grid.NumCells());
+  for (uint32_t a = 0; a < grid.NumCells(); ++a) {
+    for (uint32_t b = a + 1; b < grid.NumCells(); ++b) {
+      if (grid.CellBoxOf(a).MinSquaredDistToBox(grid.CellBoxOf(b)) <=
+          eps * eps) {
+        out[a].insert(b);
+        out[b].insert(a);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Grid, EpsNeighborsMatchBruteForce2D) {
+  const double eps = 9.0;
+  const Dataset data = RandomDataset(2, 250, 0.0, 120.0, 4);
+  const Grid grid(data, Grid::SideFor(eps, 2));
+  const auto expected = BruteNeighbors(grid, eps);
+  for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+    std::vector<uint32_t> got = grid.EpsNeighbors(ci, eps);
+    std::set<uint32_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set, expected[ci]) << "cell " << ci;
+    EXPECT_EQ(got_set.count(ci), 0u) << "self must be excluded";
+  }
+}
+
+TEST(Grid, EpsNeighborsMatchBruteForce5D) {
+  const double eps = 25.0;
+  const Dataset data = RandomDataset(5, 150, 0.0, 80.0, 5);
+  const Grid grid(data, Grid::SideFor(eps, 5));
+  const auto expected = BruteNeighbors(grid, eps);
+  for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+    std::vector<uint32_t> got = grid.EpsNeighbors(ci, eps);
+    std::set<uint32_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set, expected[ci]) << "cell " << ci;
+  }
+}
+
+TEST(Grid, NeighborBoundIn2D) {
+  // Section 2.2 cites at most 21 ε-neighbors per 2D cell. That figure
+  // excludes the 4 diagonal cells of the 5x5 block whose minimum box
+  // distance is EXACTLY ε (side = ε/√2 makes the corner gap √2·side = ε).
+  // DBSCAN uses closed balls, so two points placed precisely at those
+  // touching corners are ε-reachable and the corner cells must count as
+  // neighbors: the correct closed-ball bound is 24.
+  const double eps = 10.0;
+  const Dataset data = RandomDataset(2, 5000, 0.0, 100.0, 6);
+  const Grid grid(data, Grid::SideFor(eps, 2));
+  size_t max_neighbors = 0;
+  for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+    max_neighbors =
+        std::max(max_neighbors, grid.EpsNeighbors(ci, eps).size());
+  }
+  EXPECT_LE(max_neighbors, 24u);
+  EXPECT_GE(max_neighbors, 15u);  // interior cells should get close to it
+}
+
+TEST(Grid, CellsTouchingBallFindsExactlyIntersectingCells) {
+  const double eps = 15.0;
+  const Dataset data = RandomDataset(3, 400, 0.0, 100.0, 7);
+  const Grid grid(data, Grid::SideFor(eps, 3));
+  Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    double q[3];
+    for (int i = 0; i < 3; ++i) q[i] = rng.NextDouble(0.0, 100.0);
+    std::set<uint32_t> expected;
+    for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+      if (grid.CellBoxOf(ci).MinSquaredDistToPoint(q) <= eps * eps) {
+        expected.insert(ci);
+      }
+    }
+    std::vector<uint32_t> got = grid.CellsTouchingBall(q, eps);
+    EXPECT_EQ(std::set<uint32_t>(got.begin(), got.end()), expected);
+  }
+}
+
+TEST(Grid, FindCellLocatesExistingCells) {
+  const Dataset data = RandomDataset(2, 100, 0.0, 50.0, 9);
+  const Grid grid(data, 5.0);
+  for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+    EXPECT_EQ(grid.FindCell(grid.cell(ci).coord), ci);
+  }
+  CellCoord far;
+  far.dim = 2;
+  far.c = {1000000, 1000000};
+  EXPECT_EQ(grid.FindCell(far), Grid::kNoCell);
+}
+
+TEST(Grid, WarmCacheMatchesLazyEnumeration) {
+  const double eps = 11.0;
+  const Dataset data = RandomDataset(3, 400, 0.0, 120.0, 10);
+  const Grid lazy(data, Grid::SideFor(eps, 3));
+  const Grid warmed(data, Grid::SideFor(eps, 3));
+  warmed.WarmNeighborCache(eps, 4);
+  for (uint32_t ci = 0; ci < lazy.NumCells(); ++ci) {
+    EXPECT_EQ(lazy.EpsNeighbors(ci, eps), warmed.EpsNeighbors(ci, eps))
+        << "cell " << ci;
+  }
+}
+
+TEST(Grid, NeighborListsSortedByBoxDistance) {
+  const double eps = 9.0;
+  const Dataset data = RandomDataset(2, 500, 0.0, 90.0, 11);
+  const Grid grid(data, Grid::SideFor(eps, 2));
+  for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+    const Box my_box = grid.CellBoxOf(ci);
+    double prev = -1.0;
+    for (uint32_t cj : grid.EpsNeighbors(ci, eps)) {
+      const double d2 = my_box.MinSquaredDistToBox(grid.CellBoxOf(cj));
+      EXPECT_GE(d2, prev);
+      prev = d2;
+    }
+  }
+}
+
+TEST(Grid, ChangingEpsResetsCacheCorrectly) {
+  const Dataset data = RandomDataset(2, 300, 0.0, 60.0, 12);
+  const Grid grid(data, Grid::SideFor(5.0, 2));
+  // Query with one eps, then another: results must match fresh grids.
+  const std::vector<uint32_t> small = grid.EpsNeighbors(0, 5.0);
+  const std::vector<uint32_t> large = grid.EpsNeighbors(0, 20.0);
+  EXPECT_GE(large.size(), small.size());
+  const Grid fresh(data, Grid::SideFor(5.0, 2));
+  EXPECT_EQ(fresh.EpsNeighbors(0, 20.0), large);
+}
+
+TEST(Grid, SinglePointDataset) {
+  Dataset data(3);
+  data.Add({1.0, 2.0, 3.0});
+  const Grid grid(data, 1.0);
+  EXPECT_EQ(grid.NumCells(), 1u);
+  EXPECT_TRUE(grid.EpsNeighbors(0, 1.0).empty());
+}
+
+TEST(Grid, CoincidentPointsShareOneCell) {
+  Dataset data(2);
+  for (int i = 0; i < 10; ++i) data.Add({5.0, 5.0});
+  const Grid grid(data, 3.0);
+  EXPECT_EQ(grid.NumCells(), 1u);
+  EXPECT_EQ(grid.cell(0).points.size(), 10u);
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_reference.h"
+#include "core/gridbscan.h"
+#include "eval/compare.h"
+#include "gen/seed_spreader.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::MakeDataset;
+using testing_helpers::RandomDataset;
+
+TEST(Gridbscan, PartitionGranularityDoesNotChangeResult) {
+  const Dataset data = ClusteredDataset(2, 500, 5, 200.0, 5.0, 701);
+  const DbscanParams params{8.0, 5};
+  const Clustering ref = BruteForceDbscan(data, params);
+  for (uint32_t target : {10u, 50u, 200u, 100000u}) {
+    GridbscanOptions opts;
+    opts.target_partition_size = target;
+    EXPECT_TRUE(SameClusters(ref, GridbscanDbscan(data, params, opts)))
+        << "target " << target;
+  }
+}
+
+TEST(Gridbscan, ClusterSpanningManyPartitionsIsMerged) {
+  // A single long snake crossing the whole domain: every partition sees a
+  // piece, and the merge phase must reassemble exactly one cluster.
+  Dataset data(2);
+  for (int i = 0; i < 1000; ++i) data.Add({i * 1.0, 50.0});
+  const DbscanParams params{2.0, 3};
+  GridbscanOptions opts;
+  opts.target_partition_size = 50;  // many partitions along the snake
+  const Clustering c = GridbscanDbscan(data, params, opts);
+  EXPECT_EQ(c.num_clusters, 1);
+  EXPECT_EQ(c.NumNoisePoints(), 0u);
+}
+
+TEST(Gridbscan, HaloMakesBoundaryCoreStatusExact) {
+  // Dense blob straddling a partition boundary; miscounted neighborhoods
+  // would flip core flags near the cut.
+  Dataset data(2);
+  Rng rng(703);
+  for (int i = 0; i < 400; ++i) {
+    data.Add({500.0 + rng.NextGaussian() * 3.0,
+              500.0 + rng.NextGaussian() * 3.0});
+  }
+  // Spread more points so the partitioner actually cuts.
+  for (int i = 0; i < 400; ++i) {
+    data.Add({rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)});
+  }
+  const DbscanParams params{4.0, 10};
+  GridbscanOptions opts;
+  opts.target_partition_size = 100;
+  const Clustering c = GridbscanDbscan(data, params, opts);
+  const Clustering ref = BruteForceDbscan(data, params);
+  EXPECT_TRUE(SameCoreFlags(ref, c));
+  EXPECT_TRUE(SameClusters(ref, c));
+}
+
+TEST(Gridbscan, HighDimensionalPartitioning) {
+  const Dataset data = ClusteredDataset(7, 300, 3, 100.0, 5.0, 707);
+  const DbscanParams params{25.0, 4};
+  GridbscanOptions opts;
+  opts.target_partition_size = 30;
+  EXPECT_TRUE(SameClusters(BruteForceDbscan(data, params),
+                           GridbscanDbscan(data, params, opts)));
+}
+
+TEST(Gridbscan, BorderPointOnPartitionBoundary) {
+  // A border point whose core neighbors live on the other side of a cut.
+  Dataset data(2);
+  // Dense core block left of x=500 (span 0.95: all mutually within eps).
+  for (int i = 0; i < 20; ++i) data.Add({498.6 - 0.05 * i, 100.0});
+  // Border point right of the cut, within eps of the block's near edge.
+  data.Add({499.5, 100.0});
+  // Enough mass elsewhere to force a cut near x=500.
+  Rng rng(709);
+  for (int i = 0; i < 200; ++i) {
+    data.Add({rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)});
+  }
+  const DbscanParams params{1.0, 10};
+  GridbscanOptions opts;
+  opts.target_partition_size = 40;
+  const Clustering c = GridbscanDbscan(data, params, opts);
+  const Clustering ref = BruteForceDbscan(data, params);
+  EXPECT_TRUE(SameClusters(ref, c));
+  EXPECT_NE(c.label[20], kNoise);
+}
+
+TEST(Gridbscan, TinyDatasetSinglePartition) {
+  const Dataset data = MakeDataset({{0.0, 0.0}, {0.5, 0.0}, {0.2, 0.2}});
+  const DbscanParams params{1.0, 3};
+  const Clustering c = GridbscanDbscan(data, params);
+  EXPECT_EQ(c.num_clusters, 1);
+  EXPECT_EQ(c.NumCorePoints(), 3u);
+}
+
+TEST(Gridbscan, MatchesReferenceOnSpreaderAcrossEps) {
+  SeedSpreaderParams p;
+  p.dim = 3;
+  p.n = 500;
+  p.domain_hi = 2000.0;
+  p.point_radius = 20.0;
+  p.shift_distance = 15.0;
+  p.counter_reset = 25;
+  p.noise_fraction = 0.05;
+  const Dataset data = GenerateSeedSpreader(p, 711);
+  GridbscanOptions opts;
+  opts.target_partition_size = 60;
+  for (double eps : {15.0, 40.0, 120.0}) {
+    const DbscanParams params{eps, 6};
+    EXPECT_TRUE(SameClusters(BruteForceDbscan(data, params),
+                             GridbscanDbscan(data, params, opts)))
+        << "eps " << eps;
+  }
+}
+
+}  // namespace
+}  // namespace adbscan

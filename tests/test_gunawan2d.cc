@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_reference.h"
+#include "core/gunawan2d.h"
+#include "eval/compare.h"
+#include "gen/seed_spreader.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::MakeDataset;
+using testing_helpers::RandomDataset;
+
+TEST(Gunawan2d, MatchesReferenceAcrossSeeds) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const Dataset data = ClusteredDataset(2, 300, 4, 100.0, 4.0, 600 + seed);
+    const DbscanParams params{6.0, 5};
+    EXPECT_TRUE(SameClusters(BruteForceDbscan(data, params),
+                             Gunawan2dDbscan(data, params)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Gunawan2d, MatchesReferenceOnSeedSpreader) {
+  SeedSpreaderParams p;
+  p.dim = 2;
+  p.n = 600;
+  p.domain_hi = 2000.0;
+  p.point_radius = 15.0;
+  p.shift_distance = 10.0;
+  p.counter_reset = 30;
+  p.noise_fraction = 0.05;
+  const Dataset data = GenerateSeedSpreader(p, 601);
+  for (double eps : {10.0, 25.0, 60.0, 200.0}) {
+    const DbscanParams params{eps, 8};
+    EXPECT_TRUE(SameClusters(BruteForceDbscan(data, params),
+                             Gunawan2dDbscan(data, params)))
+        << "eps " << eps;
+  }
+}
+
+TEST(Gunawan2d, EdgeRequiresCorePointProximity) {
+  // Two core blocks whose *border* points are close, but whose core points
+  // are farther than eps: the blocks must stay separate clusters even
+  // though the cells are ε-neighbors. (The graph edges are defined on core
+  // points only.)
+  const Dataset data = MakeDataset({
+      // Block A: 5 mutually-close core points around x=0.
+      {0.0, 0.0}, {0.3, 0.0}, {0.0, 0.3}, {0.3, 0.3}, {0.15, 0.15},
+      // Bridge borders: within eps of each other and of 2 core points each,
+      // so each counts only 4 < MinPts neighbors and stays non-core.
+      {1.5, 0.15},
+      {2.8, 0.15},
+      // Block B: 5 mutually-close core points around x=4.
+      {4.0, 0.0}, {4.3, 0.0}, {4.0, 0.3}, {4.3, 0.3}, {4.15, 0.15},
+  });
+  const DbscanParams params{1.3, 5};
+  const Clustering c = Gunawan2dDbscan(data, params);
+  const Clustering ref = BruteForceDbscan(data, params);
+  EXPECT_TRUE(SameClusters(ref, c));
+  EXPECT_EQ(c.num_clusters, 2);
+  // The bridge points are borders of their own blocks only: their mutual
+  // distance (1.3) ties them to each other but neither is core.
+  EXPECT_FALSE(c.is_core[5]);
+  EXPECT_FALSE(c.is_core[6]);
+  EXPECT_NE(c.label[5], c.label[6]);
+}
+
+TEST(Gunawan2d, SingleDenseCellCluster) {
+  Dataset data(2);
+  for (int i = 0; i < 30; ++i) data.Add({10.0 + i * 0.001, 10.0});
+  const Clustering c = Gunawan2dDbscan(data, DbscanParams{1.0, 10});
+  EXPECT_EQ(c.num_clusters, 1);
+  EXPECT_EQ(c.NumCorePoints(), 30u);
+}
+
+TEST(Gunawan2dDeath, RejectsNon2dInput) {
+  Dataset data(3);
+  data.Add({0.0, 0.0, 0.0});
+  EXPECT_DEATH(Gunawan2dDbscan(data, DbscanParams{1.0, 1}), "");
+}
+
+}  // namespace
+}  // namespace adbscan

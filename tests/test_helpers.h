@@ -1,0 +1,65 @@
+#ifndef ADBSCAN_TESTS_TEST_HELPERS_H_
+#define ADBSCAN_TESTS_TEST_HELPERS_H_
+
+#include <initializer_list>
+#include <vector>
+
+#include "geom/dataset.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace testing_helpers {
+
+// Builds a dataset from explicit rows, inferring the dimension from the
+// first row.
+inline Dataset MakeDataset(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  const int dim = static_cast<int>(rows.begin()->size());
+  Dataset data(dim);
+  for (const auto& row : rows) data.Add(row.begin());
+  return data;
+}
+
+// Uniform random points in [lo, hi]^dim.
+inline Dataset RandomDataset(int dim, size_t n, double lo, double hi,
+                             uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(dim);
+  data.Reserve(n);
+  std::vector<double> p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) p[j] = rng.NextDouble(lo, hi);
+    data.Add(p);
+  }
+  return data;
+}
+
+// Clustered random points: k gaussian blobs + a sprinkle of uniform noise.
+// Produces inputs with genuine DBSCAN structure at moderate eps.
+inline Dataset ClusteredDataset(int dim, size_t n, int k, double domain,
+                                double sigma, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(dim);
+  data.Reserve(n);
+  std::vector<std::vector<double>> centers(k, std::vector<double>(dim));
+  for (auto& c : centers) {
+    for (double& x : c) x = rng.NextDouble(0.0, domain);
+  }
+  std::vector<double> p(dim);
+  const size_t noise = n / 20;
+  for (size_t i = 0; i + noise < n; ++i) {
+    const auto& c = centers[rng.NextBounded(k)];
+    for (int j = 0; j < dim; ++j) p[j] = c[j] + rng.NextGaussian() * sigma;
+    data.Add(p);
+  }
+  while (data.size() < n) {
+    for (int j = 0; j < dim; ++j) p[j] = rng.NextDouble(0.0, domain);
+    data.Add(p);
+  }
+  return data;
+}
+
+}  // namespace testing_helpers
+}  // namespace adbscan
+
+#endif  // ADBSCAN_TESTS_TEST_HELPERS_H_

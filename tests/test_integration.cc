@@ -1,0 +1,109 @@
+// End-to-end integration: the full pipeline on realistic (scaled-down)
+// versions of the paper's experimental workloads.
+
+#include <gtest/gtest.h>
+
+#include "core/adbscan.h"
+#include "eval/collapse.h"
+#include "eval/compare.h"
+#include "gen/realdata_sim.h"
+#include "gen/seed_spreader.h"
+#include "gen/usec_gen.h"
+
+namespace adbscan {
+namespace {
+
+// The Section 5.2 "2D visualization" setting, scaled: exact and approximate
+// results agree for small rho at a stable eps.
+TEST(Integration, Figure9StyleAgreementAtStableEps) {
+  SeedSpreaderParams p;
+  p.dim = 2;
+  p.n = 1000;
+  p.forced_restart_every = 250;
+  p.noise_fraction = 0.0;
+  const Dataset data = GenerateSeedSpreader(p, 1201);
+  const DbscanParams params{5000.0, 20};
+  const Clustering exact = ExactGridDbscan(data, params);
+  const Clustering approx_small = ApproxDbscan(data, params, 0.001);
+  EXPECT_TRUE(SameClusters(exact, approx_small));
+  // Exact itself agrees with the other exact algorithms end to end.
+  EXPECT_TRUE(SameClusters(exact, Kdd96Dbscan(data, params)));
+  EXPECT_TRUE(SameClusters(exact, GridbscanDbscan(data, params)));
+  EXPECT_TRUE(SameClusters(exact, Gunawan2dDbscan(data, params)));
+}
+
+// Larger-eps behaviour from Figure 9: clusters merge as eps grows; approx
+// with rho=0.001 keeps tracking exact.
+TEST(Integration, ClusterCountDecreasesWithEps) {
+  SeedSpreaderParams p;
+  p.dim = 2;
+  p.n = 1000;
+  p.forced_restart_every = 250;
+  p.noise_fraction = 0.0;
+  const Dataset data = GenerateSeedSpreader(p, 1201);
+  int prev = 1 << 20;
+  for (double eps : {3000.0, 8000.0, 20000.0, 60000.0}) {
+    const Clustering c = ExactGridDbscan(data, {eps, 20});
+    EXPECT_LE(c.num_clusters, prev);
+    prev = c.num_clusters;
+  }
+  EXPECT_EQ(prev, 1);  // collapsed at the largest radius
+}
+
+// A scaled Figure 10 point: the maximum legal rho at a stable eps clears
+// the paper's recommended 0.001 comfortably.
+TEST(Integration, RecommendedRhoIsLegalAtStableEps) {
+  SeedSpreaderParams p;
+  p.dim = 3;
+  p.n = 20000;
+  const Dataset data = GenerateSeedSpreader(p, 1203);
+  const DbscanParams params{5000.0, 100};
+  const Clustering exact = ExactGridDbscan(data, params);
+  EXPECT_TRUE(SameClusters(exact, ApproxDbscan(data, params, 0.001)));
+}
+
+// Collapsing radius pipeline on a spreader dataset: the radius exists, is
+// above the default starting eps, and the predicate verifies around it.
+TEST(Integration, CollapsingRadiusOnSpreader) {
+  SeedSpreaderParams p;
+  p.dim = 3;
+  p.n = 5000;
+  const Dataset data = GenerateSeedSpreader(p, 1205);
+  CollapseOptions opts;
+  opts.eps_lo = 1000.0;
+  const double r = FindCollapsingRadius(data, 100, opts);
+  EXPECT_GT(r, opts.eps_lo);
+  EXPECT_EQ(ApproxDbscan(data, {r * 1.02, 100}, 0.001).num_clusters, 1);
+}
+
+// Full real-data-stand-in pipeline at paper parameters (scaled n): exact
+// and approx agree on cluster counts within the sandwich bound.
+TEST(Integration, RealStandInsExactVsApprox) {
+  for (const Dataset& data :
+       {Pamap2Like(20000, 1207), FarmLike(20000, 1209),
+        HouseholdLike(20000, 1211)}) {
+    const DbscanParams params{5000.0, 100};
+    const Clustering exact = ExactGridDbscan(data, params);
+    const Clustering approx = ApproxDbscan(data, params, 0.001);
+    const Clustering inflated =
+        ExactGridDbscan(data, {params.eps * 1.001, params.min_pts});
+    EXPECT_TRUE(SatisfiesSandwich(exact, approx, inflated))
+        << "dim " << data.dim();
+    EXPECT_TRUE(SameCoreFlags(exact, approx));
+  }
+}
+
+// The hardness-section demo end to end: USEC instances solved through the
+// DBSCAN reduction match brute force using the fast approximate algorithm.
+TEST(Integration, UsecThroughApproxDbscan) {
+  const UsecInstance yes = GenerateUsecYes(3, 500, 300, 2000.0, 1213);
+  const UsecInstance no = GenerateUsecNo(3, 500, 300, 2000.0, 1215);
+  const DbscanSolver solver = [](const Dataset& d, const DbscanParams& p) {
+    return ApproxDbscan(d, p, 1e-9);
+  };
+  EXPECT_TRUE(SolveUsecViaDbscan(yes, solver));
+  EXPECT_FALSE(SolveUsecViaDbscan(no, solver));
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/brute_reference.h"
+#include "io/dataset_io.h"
+#include "io/table.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::RandomDataset;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(DatasetIo, BinaryRoundTripIsExact) {
+  const Dataset original = RandomDataset(5, 1234, -1e5, 1e5, 1101);
+  const std::string path = TempPath("roundtrip.bin");
+  WriteBinary(original, path);
+  const Dataset loaded = ReadBinary(path);
+  EXPECT_EQ(loaded.dim(), original.dim());
+  EXPECT_EQ(loaded.coords(), original.coords());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, BinaryRoundTripEmpty) {
+  Dataset original(3);
+  const std::string path = TempPath("empty.bin");
+  WriteBinary(original, path);
+  const Dataset loaded = ReadBinary(path);
+  EXPECT_EQ(loaded.dim(), 3);
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, CsvRoundTripPreservesValues) {
+  const Dataset original = RandomDataset(3, 200, 0.0, 1e5, 1103);
+  const std::string path = TempPath("roundtrip.csv");
+  WriteCsv(original, path);
+  const Dataset loaded = ReadCsv(path, 3);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(loaded.point(i)[j], original.point(i)[j],
+                  1e-4 + 1e-9 * std::abs(original.point(i)[j]));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, LabeledCsvHasLabelColumn) {
+  Dataset data(2);
+  data.Add({0.0, 0.0});
+  data.Add({0.1, 0.0});
+  data.Add({50.0, 50.0});
+  const Clustering c = BruteForceDbscan(data, DbscanParams{1.0, 2});
+  const std::string path = TempPath("labeled.csv");
+  WriteLabeledCsv(data, c, path);
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[256];
+  int rows = 0;
+  while (std::fgets(line, sizeof(line), f)) {
+    ++rows;
+    // Each line has exactly two commas (x,y,label).
+    int commas = 0;
+    for (const char* p = line; *p; ++p) commas += (*p == ',');
+    EXPECT_EQ(commas, 2);
+  }
+  std::fclose(f);
+  EXPECT_EQ(rows, 3);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, ClusteringRoundTripIsExact) {
+  const Dataset data = RandomDataset(2, 400, 0.0, 50.0, 1107);
+  const Clustering original = BruteForceDbscan(data, DbscanParams{4.0, 5});
+  const std::string path = TempPath("clustering.bin");
+  WriteClustering(original, path);
+  const Clustering loaded = ReadClustering(path);
+  EXPECT_EQ(loaded.num_clusters, original.num_clusters);
+  EXPECT_EQ(loaded.label, original.label);
+  EXPECT_EQ(loaded.is_core, original.is_core);
+  EXPECT_EQ(loaded.extra_memberships, original.extra_memberships);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, EmptyClusteringRoundTrip) {
+  Clustering empty;
+  const std::string path = TempPath("empty_clustering.bin");
+  WriteClustering(empty, path);
+  const Clustering loaded = ReadClustering(path);
+  EXPECT_EQ(loaded.num_clusters, 0);
+  EXPECT_TRUE(loaded.label.empty());
+  EXPECT_TRUE(loaded.extra_memberships.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Table, AlignsAndPrintsAllRows) {
+  Table t({"algo", "time"});
+  t.AddRow({"KDD96", "12.0s"});
+  t.AddRow({"OurApprox", "0.5s"});
+  const std::string path = TempPath("table.txt");
+  FILE* f = std::fopen(path.c_str(), "w");
+  t.Print(f);
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "r");
+  char buffer[4096];
+  const size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+  buffer[n] = '\0';
+  std::fclose(f);
+  const std::string text = buffer;
+  EXPECT_NE(text.find("KDD96"), std::string::npos);
+  EXPECT_NE(text.find("OurApprox"), std::string::npos);
+  EXPECT_NE(text.find("algo"), std::string::npos);
+  // 4 lines: header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  std::remove(path.c_str());
+}
+
+TEST(Table, FormattingHelpers) {
+  EXPECT_EQ(Table::Seconds(-1.0), "skipped");
+  EXPECT_EQ(Table::Seconds(1.5), "1.500s");
+  EXPECT_EQ(Table::Num(0.001), "0.001");
+  EXPECT_EQ(Table::Num(12345.0, 6), "12345");
+}
+
+}  // namespace
+}  // namespace adbscan

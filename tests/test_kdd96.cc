@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/brute_reference.h"
+#include "core/kdd96.h"
+#include "eval/compare.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::MakeDataset;
+
+TEST(Kdd96, AllIndexBackendsAgree) {
+  const Dataset data = ClusteredDataset(3, 400, 4, 100.0, 5.0, 501);
+  const DbscanParams params{8.0, 5};
+  Kdd96Options rtree_opts, kdtree_opts, brute_opts;
+  rtree_opts.index = Kdd96Options::IndexKind::kRTree;
+  kdtree_opts.index = Kdd96Options::IndexKind::kKdTree;
+  brute_opts.index = Kdd96Options::IndexKind::kBruteForce;
+  const Clustering a = Kdd96Dbscan(data, params, rtree_opts);
+  const Clustering b = Kdd96Dbscan(data, params, kdtree_opts);
+  const Clustering c = Kdd96Dbscan(data, params, brute_opts);
+  EXPECT_TRUE(SameClusters(a, b));
+  EXPECT_TRUE(SameClusters(a, c));
+  EXPECT_TRUE(SameCoreFlags(a, b));
+  EXPECT_TRUE(SameCoreFlags(a, c));
+}
+
+TEST(Kdd96, ClassicModeKeepsFirstClusterOnly) {
+  // Border point 4 is reachable from both clusters; classic mode reports it
+  // in exactly one, faithful mode in both.
+  const Dataset data = MakeDataset({
+      {0.0, 0.0}, {1.0, 0.0}, {0.5, 0.5}, {0.5, -0.5},   // cluster A
+      {2.5, 0.0},                                         // shared border
+      {4.0, 0.0}, {5.0, 0.0}, {4.5, 0.5}, {4.5, -0.5},   // cluster B
+  });
+  const DbscanParams params{1.6, 4};
+  Kdd96Options classic;
+  classic.assign_border_to_all = false;
+  const Clustering c_classic = Kdd96Dbscan(data, params, classic);
+  const Clustering c_faithful = Kdd96Dbscan(data, params);
+  EXPECT_EQ(c_classic.num_clusters, 2);
+  EXPECT_EQ(c_faithful.num_clusters, 2);
+  EXPECT_TRUE(c_classic.extra_memberships.empty());
+  ASSERT_EQ(c_faithful.extra_memberships.size(), 1u);
+  EXPECT_EQ(c_faithful.extra_memberships[0].first, 4u);
+  // Primary labels of everything except the shared border agree with the
+  // reference either way.
+  EXPECT_TRUE(SameClusters(c_faithful, BruteForceDbscan(data, params)));
+}
+
+TEST(Kdd96, NoiseStaysNoise) {
+  const Dataset data = MakeDataset(
+      {{0.0, 0.0}, {50.0, 50.0}, {100.0, 0.0}});
+  const Clustering c = Kdd96Dbscan(data, DbscanParams{5.0, 2});
+  EXPECT_EQ(c.num_clusters, 0);
+  for (int32_t l : c.label) EXPECT_EQ(l, kNoise);
+}
+
+TEST(Kdd96, NoiseUpgradedToBorderDuringExpansion) {
+  // Point 0 (isolated-looking, processed first) is labeled noise, then the
+  // cluster grown from the dense block reclaims it as border.
+  const Dataset data = MakeDataset({
+      {-1.2, 0.0},                                      // border, seen first
+      {0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0},   // dense block
+  });
+  const DbscanParams params{1.5, 4};
+  const Clustering c = Kdd96Dbscan(data, params);
+  EXPECT_EQ(c.num_clusters, 1);
+  EXPECT_EQ(c.label[0], 0);
+  EXPECT_FALSE(c.is_core[0]);
+}
+
+TEST(Kdd96, DegenerateAllWithinEps) {
+  // The footnote-1 input: every point within ε of every other. One cluster,
+  // everything core.
+  Dataset data(3);
+  Rng rng(503);
+  for (int i = 0; i < 200; ++i) {
+    data.Add({rng.NextDouble(0, 1), rng.NextDouble(0, 1),
+              rng.NextDouble(0, 1)});
+  }
+  const Clustering c = Kdd96Dbscan(data, DbscanParams{10.0, 100});
+  EXPECT_EQ(c.num_clusters, 1);
+  EXPECT_EQ(c.NumCorePoints(), 200u);
+  EXPECT_EQ(c.NumNoisePoints(), 0u);
+}
+
+TEST(Kdd96, ClassicAndFaithfulAgreeUpToSharedBorders) {
+  // The two modes differ only in border multi-membership: identical core
+  // flags, identical cluster count, and the classic labeling is a
+  // restriction of the faithful cluster sets.
+  const Dataset data = ClusteredDataset(2, 400, 4, 80.0, 4.0, 505);
+  const DbscanParams params{6.0, 5};
+  Kdd96Options classic;
+  classic.assign_border_to_all = false;
+  const Clustering c = Kdd96Dbscan(data, params, classic);
+  const Clustering f = Kdd96Dbscan(data, params);
+  EXPECT_TRUE(SameCoreFlags(c, f));
+  EXPECT_EQ(c.num_clusters, f.num_clusters);
+  const auto faithful_sets = f.ClusterSets();
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (c.label[i] == kNoise) {
+      EXPECT_EQ(f.label[i], kNoise);
+      continue;
+    }
+    // The classic cluster of i must be one of i's faithful clusters.
+    bool found = false;
+    for (const auto& set : faithful_sets) {
+      if (std::binary_search(set.begin(), set.end(),
+                             static_cast<uint32_t>(i))) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "point " << i;
+  }
+}
+
+TEST(Kdd96, MinPtsOneEveryPointClustered) {
+  const Dataset data = MakeDataset({{0.0, 0.0}, {100.0, 0.0}, {0.5, 0.0}});
+  const Clustering c = Kdd96Dbscan(data, DbscanParams{1.0, 1});
+  EXPECT_EQ(c.num_clusters, 2);
+  EXPECT_EQ(c.NumNoisePoints(), 0u);
+  EXPECT_EQ(c.label[0], c.label[2]);
+  EXPECT_NE(c.label[0], c.label[1]);
+}
+
+}  // namespace
+}  // namespace adbscan

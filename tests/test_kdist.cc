@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/exact_grid.h"
+#include "eval/kdist.h"
+#include "geom/point.h"
+#include "index/kdtree.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::MakeDataset;
+using testing_helpers::RandomDataset;
+
+// Brute-force k-distance of one point.
+double BruteKDist(const Dataset& data, size_t i, int k) {
+  std::vector<double> d;
+  d.reserve(data.size());
+  for (size_t j = 0; j < data.size(); ++j) {
+    d.push_back(SquaredDistance(data.point(i), data.point(j), data.dim()));
+  }
+  std::nth_element(d.begin(), d.begin() + (k - 1), d.end());
+  return std::sqrt(d[k - 1]);
+}
+
+TEST(KNearest, MatchesBruteForce) {
+  const Dataset data = RandomDataset(3, 300, 0.0, 50.0, 1601);
+  const KdTree tree(data);
+  Rng rng(1603);
+  for (int trial = 0; trial < 30; ++trial) {
+    double q[3] = {rng.NextDouble(0, 50), rng.NextDouble(0, 50),
+                   rng.NextDouble(0, 50)};
+    const size_t k = 1 + rng.NextBounded(20);
+    const auto knn = tree.KNearest(q, k);
+    ASSERT_EQ(knn.size(), k);
+    // Ascending and matching an exhaustive sort.
+    std::vector<double> all;
+    for (size_t j = 0; j < data.size(); ++j) {
+      all.push_back(SquaredDistance(q, data.point(j), 3));
+    }
+    std::sort(all.begin(), all.end());
+    for (size_t j = 0; j < k; ++j) {
+      EXPECT_DOUBLE_EQ(knn[j].squared_dist, all[j]);
+      if (j > 0) EXPECT_GE(knn[j].squared_dist, knn[j - 1].squared_dist);
+    }
+  }
+}
+
+TEST(KNearest, KLargerThanIndexReturnsAll) {
+  const Dataset data = RandomDataset(2, 10, 0.0, 10.0, 1605);
+  const KdTree tree(data);
+  const double q[] = {5.0, 5.0};
+  EXPECT_EQ(tree.KNearest(q, 25).size(), 10u);
+  EXPECT_TRUE(tree.KNearest(q, 0).empty());
+}
+
+TEST(KDistances, MatchesBruteForceAndSortedDescending) {
+  const Dataset data = ClusteredDataset(2, 200, 3, 50.0, 3.0, 1607);
+  const int k = 5;
+  const std::vector<double> kdist = KDistances(data, k);
+  ASSERT_EQ(kdist.size(), data.size());
+  for (size_t i = 1; i < kdist.size(); ++i) {
+    EXPECT_LE(kdist[i], kdist[i - 1]);
+  }
+  // Multiset equality with brute force.
+  std::vector<double> brute;
+  for (size_t i = 0; i < data.size(); ++i) {
+    brute.push_back(BruteKDist(data, i, k));
+  }
+  std::sort(brute.begin(), brute.end(), std::greater<double>());
+  for (size_t i = 0; i < brute.size(); ++i) {
+    EXPECT_NEAR(kdist[i], brute[i], 1e-9);
+  }
+}
+
+TEST(KDistances, KOneIsAllZeros) {
+  // 1-distance: every point's nearest neighbor is itself.
+  const Dataset data = RandomDataset(2, 50, 0.0, 10.0, 1609);
+  for (double v : KDistances(data, 1)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SuggestEps, SeparatesClusterScaleFromNoiseScale) {
+  // Dense blobs + sparse noise: the suggested eps (quantile 0.9) should be
+  // on the blob scale — clustering with it must recover the blobs.
+  Dataset data(2);
+  Rng rng(1611);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 150; ++i) {
+      data.Add({c * 500.0 + rng.NextGaussian() * 3.0,
+                rng.NextGaussian() * 3.0});
+    }
+  }
+  for (int i = 0; i < 30; ++i) {
+    data.Add({rng.NextDouble(0, 1000), rng.NextDouble(100, 1000)});
+  }
+  const int min_pts = 10;
+  const double eps = SuggestEps(data, min_pts, 0.9);
+  EXPECT_GT(eps, 0.5);
+  EXPECT_LT(eps, 100.0);
+  const Clustering c = ExactGridDbscan(data, {eps, min_pts});
+  EXPECT_EQ(c.num_clusters, 3);
+}
+
+TEST(SuggestEps, QuantileMonotone) {
+  const Dataset data = ClusteredDataset(3, 300, 4, 80.0, 4.0, 1613);
+  const double lo = SuggestEps(data, 5, 0.5);
+  const double hi = SuggestEps(data, 5, 0.99);
+  EXPECT_LE(lo, hi);
+}
+
+TEST(KDistancesDeath, RejectsKBeyondN) {
+  const Dataset data = RandomDataset(2, 5, 0.0, 1.0, 1615);
+  EXPECT_DEATH(KDistances(data, 6), "");
+}
+
+}  // namespace
+}  // namespace adbscan

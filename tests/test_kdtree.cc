@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "geom/point.h"
+#include "index/brute_force.h"
+#include "index/kdtree.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::RandomDataset;
+
+std::set<uint32_t> AsSet(const std::vector<uint32_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+class KdTreeDimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KdTreeDimTest, RangeQueryMatchesBruteForce) {
+  const int dim = GetParam();
+  const Dataset data = RandomDataset(dim, 600, 0.0, 100.0, 11 + dim);
+  const KdTree tree(data);
+  const BruteForceIndex brute(data);
+  Rng rng(100 + dim);
+  for (int trial = 0; trial < 40; ++trial) {
+    double q[kMaxDim];
+    for (int i = 0; i < dim; ++i) q[i] = rng.NextDouble(-10.0, 110.0);
+    const double radius = rng.NextDouble(1.0, 40.0);
+    EXPECT_EQ(AsSet(tree.RangeQuery(q, radius)),
+              AsSet(brute.RangeQuery(q, radius)));
+  }
+}
+
+TEST_P(KdTreeDimTest, CountMatchesBruteForce) {
+  const int dim = GetParam();
+  const Dataset data = ClusteredDataset(dim, 500, 4, 100.0, 5.0, 17 + dim);
+  const KdTree tree(data);
+  const BruteForceIndex brute(data);
+  Rng rng(200 + dim);
+  for (int trial = 0; trial < 40; ++trial) {
+    double q[kMaxDim];
+    for (int i = 0; i < dim; ++i) q[i] = rng.NextDouble(0.0, 100.0);
+    const double radius = rng.NextDouble(1.0, 30.0);
+    EXPECT_EQ(tree.CountInBall(q, radius, SIZE_MAX),
+              brute.CountInBall(q, radius, SIZE_MAX));
+  }
+}
+
+TEST_P(KdTreeDimTest, NearestMatchesBruteForce) {
+  const int dim = GetParam();
+  const Dataset data = RandomDataset(dim, 400, 0.0, 100.0, 23 + dim);
+  const KdTree tree(data);
+  Rng rng(300 + dim);
+  for (int trial = 0; trial < 60; ++trial) {
+    double q[kMaxDim];
+    for (int i = 0; i < dim; ++i) q[i] = rng.NextDouble(0.0, 100.0);
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t p = 0; p < data.size(); ++p) {
+      best = std::min(best, SquaredDistance(q, data.point(p), dim));
+    }
+    const auto nn = tree.Nearest(q);
+    ASSERT_TRUE(nn.has_value());
+    EXPECT_DOUBLE_EQ(nn->squared_dist, best);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KdTreeDimTest, ::testing::Values(1, 2, 3, 5, 7));
+
+TEST(KdTree, EmptyTreeBehaves) {
+  Dataset data(3);
+  const KdTree tree(data);
+  EXPECT_TRUE(tree.empty());
+  const double q[] = {0.0, 0.0, 0.0};
+  EXPECT_TRUE(tree.RangeQuery(q, 10.0).empty());
+  EXPECT_EQ(tree.CountInBall(q, 10.0, SIZE_MAX), 0u);
+  EXPECT_FALSE(tree.Nearest(q).has_value());
+  EXPECT_FALSE(tree.AnyWithin(q, 10.0));
+}
+
+TEST(KdTree, SubsetIndexOnlySeesSubset) {
+  const Dataset data = RandomDataset(2, 100, 0.0, 10.0, 31);
+  std::vector<uint32_t> subset;
+  for (uint32_t i = 0; i < 100; i += 2) subset.push_back(i);
+  const KdTree tree(data, subset);
+  EXPECT_EQ(tree.size(), 50u);
+  const double q[] = {5.0, 5.0};
+  for (uint32_t id : tree.RangeQuery(q, 100.0)) {
+    EXPECT_EQ(id % 2, 0u);
+  }
+  EXPECT_EQ(tree.RangeQuery(q, 100.0).size(), 50u);
+}
+
+TEST(KdTree, CountEarlyStopNeverUndercounts) {
+  const Dataset data = RandomDataset(3, 1000, 0.0, 10.0, 37);
+  const KdTree tree(data);
+  const double q[] = {5.0, 5.0, 5.0};
+  const size_t full = tree.CountInBall(q, 5.0, SIZE_MAX);
+  ASSERT_GT(full, 100u);
+  const size_t capped = tree.CountInBall(q, 5.0, 10);
+  EXPECT_GE(capped, 10u);
+  EXPECT_LE(capped, full);
+}
+
+TEST(KdTree, AnyWithinAgreesWithCount) {
+  const Dataset data = RandomDataset(2, 200, 0.0, 100.0, 41);
+  const KdTree tree(data);
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    double q[2] = {rng.NextDouble(-20, 120), rng.NextDouble(-20, 120)};
+    const double radius = rng.NextDouble(0.5, 15.0);
+    EXPECT_EQ(tree.AnyWithin(q, radius),
+              tree.CountInBall(q, radius, SIZE_MAX) > 0);
+  }
+}
+
+TEST(KdTree, NearestRespectsBound) {
+  Dataset data(1);
+  data.Add({0.0});
+  data.Add({10.0});
+  const KdTree tree(data);
+  const double q[] = {6.0};
+  // Nearest overall is at distance 4 (squared 16); bound 10 excludes it.
+  const auto nn = tree.Nearest(q, 10.0);
+  EXPECT_FALSE(nn.has_value());
+  const auto nn2 = tree.Nearest(q, 17.0);
+  ASSERT_TRUE(nn2.has_value());
+  EXPECT_EQ(nn2->id, 1u);
+}
+
+TEST(KdTree, DuplicatePointsAllReported) {
+  Dataset data(2);
+  for (int i = 0; i < 40; ++i) data.Add({1.0, 1.0});
+  const KdTree tree(data);
+  const double q[] = {1.0, 1.0};
+  EXPECT_EQ(tree.RangeQuery(q, 0.1).size(), 40u);
+  EXPECT_EQ(tree.CountInBall(q, 0.0, SIZE_MAX), 40u);
+}
+
+TEST(KdTree, BoundsCoverData) {
+  const Dataset data = RandomDataset(3, 50, -5.0, 5.0, 47);
+  const KdTree tree(data);
+  const Box& b = tree.bounds();
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_TRUE(b.ContainsPoint(data.point(i)));
+  }
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,186 @@
+// Metamorphic property tests: transformations of the input with a known
+// effect on the output. DBSCAN is defined purely through Euclidean
+// distances, so clusterings must be invariant under rigid motions, scale
+// together with ε, and be independent of point order (modulo ids).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/adbscan.h"
+#include "eval/compare.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+
+struct AlgoCase {
+  const char* name;
+  Clustering (*run)(const Dataset&, const DbscanParams&);
+};
+
+Clustering RunKdd96Wrap(const Dataset& d, const DbscanParams& p) {
+  return Kdd96Dbscan(d, p);
+}
+Clustering RunGridbscanWrap(const Dataset& d, const DbscanParams& p) {
+  return GridbscanDbscan(d, p);
+}
+Clustering RunExactWrap(const Dataset& d, const DbscanParams& p) {
+  return ExactGridDbscan(d, p);
+}
+Clustering RunApproxWrap(const Dataset& d, const DbscanParams& p) {
+  // Tiny rho: behaves exactly on generic (non-adversarial) inputs, so the
+  // metamorphic identities must hold as well.
+  return ApproxDbscan(d, p, 1e-9);
+}
+
+class MetamorphicTest : public ::testing::TestWithParam<AlgoCase> {};
+
+Dataset Translate(const Dataset& data, const std::vector<double>& offset) {
+  Dataset out(data.dim());
+  out.Reserve(data.size());
+  std::vector<double> p(data.dim());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int j = 0; j < data.dim(); ++j) {
+      p[j] = data.point(i)[j] + offset[j];
+    }
+    out.Add(p);
+  }
+  return out;
+}
+
+Dataset Scale(const Dataset& data, double factor) {
+  Dataset out(data.dim());
+  out.Reserve(data.size());
+  std::vector<double> p(data.dim());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int j = 0; j < data.dim(); ++j) p[j] = data.point(i)[j] * factor;
+    out.Add(p);
+  }
+  return out;
+}
+
+// Axis permutation is a rigid motion the grid is NOT aligned-invariant to
+// internally, but results must match.
+Dataset SwapAxes(const Dataset& data, int a, int b) {
+  Dataset out(data.dim());
+  out.Reserve(data.size());
+  std::vector<double> p(data.dim());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int j = 0; j < data.dim(); ++j) p[j] = data.point(i)[j];
+    std::swap(p[a], p[b]);
+    out.Add(p);
+  }
+  return out;
+}
+
+TEST_P(MetamorphicTest, TranslationInvariance) {
+  const AlgoCase algo = GetParam();
+  const Dataset data = ClusteredDataset(3, 300, 4, 80.0, 3.0, 1501);
+  const DbscanParams params{7.0, 5};
+  const Clustering base = algo.run(data, params);
+  for (const std::vector<double>& offset :
+       {std::vector<double>{1000.0, -500.0, 250.0},
+        std::vector<double>{-1e6, -1e6, -1e6},
+        std::vector<double>{0.123456, 7.891011, -3.1415}}) {
+    const Clustering moved = algo.run(Translate(data, offset), params);
+    EXPECT_TRUE(SameClusters(base, moved)) << algo.name;
+    EXPECT_TRUE(SameCoreFlags(base, moved)) << algo.name;
+  }
+}
+
+TEST_P(MetamorphicTest, ScaleInvarianceWithScaledEps) {
+  const AlgoCase algo = GetParam();
+  const Dataset data = ClusteredDataset(2, 300, 4, 80.0, 3.0, 1503);
+  const DbscanParams params{6.0, 5};
+  const Clustering base = algo.run(data, params);
+  for (double factor : {0.001, 10.0, 12345.0}) {
+    const DbscanParams scaled{params.eps * factor, params.min_pts};
+    const Clustering result = algo.run(Scale(data, factor), scaled);
+    EXPECT_TRUE(SameClusters(base, result))
+        << algo.name << " at scale " << factor;
+  }
+}
+
+TEST_P(MetamorphicTest, AxisPermutationInvariance) {
+  const AlgoCase algo = GetParam();
+  const Dataset data = ClusteredDataset(5, 250, 3, 60.0, 3.0, 1505);
+  const DbscanParams params{10.0, 4};
+  const Clustering base = algo.run(data, params);
+  const Clustering swapped = algo.run(SwapAxes(data, 0, 4), params);
+  EXPECT_TRUE(SameClusters(base, swapped)) << algo.name;
+  EXPECT_TRUE(SameCoreFlags(base, swapped)) << algo.name;
+}
+
+TEST_P(MetamorphicTest, PointOrderIndependence) {
+  const AlgoCase algo = GetParam();
+  const Dataset data = ClusteredDataset(3, 300, 4, 70.0, 3.0, 1507);
+  const DbscanParams params{8.0, 5};
+  const Clustering base = algo.run(data, params);
+
+  // Shuffle ids, cluster, then map the result back to original ids.
+  std::vector<uint32_t> perm(data.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  Rng rng(1509);
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+  }
+  Dataset shuffled(data.dim());
+  shuffled.Reserve(data.size());
+  for (uint32_t id : perm) shuffled.Add(data.point(id));
+
+  const Clustering shuffled_result = algo.run(shuffled, params);
+  // Map back: position k in `shuffled` is original point perm[k].
+  Clustering mapped;
+  mapped.num_clusters = shuffled_result.num_clusters;
+  mapped.label.assign(data.size(), kNoise);
+  mapped.is_core.assign(data.size(), 0);
+  for (size_t k = 0; k < perm.size(); ++k) {
+    mapped.label[perm[k]] = shuffled_result.label[k];
+    mapped.is_core[perm[k]] = shuffled_result.is_core[k];
+  }
+  for (const auto& [point, cluster] : shuffled_result.extra_memberships) {
+    mapped.extra_memberships.emplace_back(perm[point], cluster);
+  }
+  std::sort(mapped.extra_memberships.begin(),
+            mapped.extra_memberships.end());
+  EXPECT_TRUE(SameClusters(base, mapped)) << algo.name;
+  EXPECT_TRUE(SameCoreFlags(base, mapped)) << algo.name;
+}
+
+TEST_P(MetamorphicTest, DuplicatingAPointNeverShrinksClusters) {
+  // Adding a copy of an existing point can only add density: no clustered
+  // point may become noise and no core point may lose core status.
+  const AlgoCase algo = GetParam();
+  const Dataset data = ClusteredDataset(2, 250, 3, 60.0, 3.0, 1511);
+  const DbscanParams params{6.0, 5};
+  const Clustering base = algo.run(data, params);
+
+  Dataset bigger = data;
+  bigger.Add(data.point(0));
+  const Clustering grown = algo.run(bigger, params);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (base.is_core[i]) EXPECT_TRUE(grown.is_core[i]) << algo.name;
+    if (base.label[i] != kNoise) {
+      EXPECT_NE(grown.label[i], kNoise) << algo.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, MetamorphicTest,
+    ::testing::Values(AlgoCase{"KDD96", RunKdd96Wrap},
+                      AlgoCase{"CIT08", RunGridbscanWrap},
+                      AlgoCase{"OurExact", RunExactWrap},
+                      AlgoCase{"OurApprox", RunApproxWrap}),
+    [](const ::testing::TestParamInfo<AlgoCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace adbscan

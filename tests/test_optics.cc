@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/brute_reference.h"
+#include "core/optics.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::MakeDataset;
+using testing_helpers::RandomDataset;
+
+// Partition of the exact-DBSCAN core points induced by a clustering's
+// primary labels (border semantics differ between OPTICS extraction and
+// DBSCAN, core semantics must not).
+std::set<std::vector<uint32_t>> CorePartition(const Clustering& c,
+                                              const std::vector<char>& core) {
+  std::map<int32_t, std::vector<uint32_t>> groups;
+  for (uint32_t i = 0; i < c.label.size(); ++i) {
+    if (core[i]) groups[c.label[i]].push_back(i);
+  }
+  std::set<std::vector<uint32_t>> out;
+  for (auto& [label, members] : groups) {
+    std::sort(members.begin(), members.end());
+    out.insert(std::move(members));
+  }
+  return out;
+}
+
+TEST(Optics, OrderIsAPermutation) {
+  const Dataset data = RandomDataset(2, 200, 0.0, 50.0, 1401);
+  const OpticsResult r = RunOptics(data, DbscanParams{10.0, 5});
+  ASSERT_EQ(r.order.size(), data.size());
+  std::vector<char> seen(data.size(), 0);
+  for (uint32_t p : r.order) {
+    EXPECT_LT(p, data.size());
+    EXPECT_FALSE(seen[p]) << "duplicate in order";
+    seen[p] = 1;
+  }
+}
+
+TEST(Optics, DistancesRespectEps) {
+  const DbscanParams params{8.0, 5};
+  const Dataset data = ClusteredDataset(2, 300, 3, 80.0, 3.0, 1403);
+  const OpticsResult r = RunOptics(data, params);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (r.core_distance[i] != OpticsResult::kUndefined) {
+      EXPECT_LE(r.core_distance[i], params.eps);
+      EXPECT_GE(r.core_distance[i], 0.0);
+    }
+    if (r.reachability[i] != OpticsResult::kUndefined) {
+      EXPECT_LE(r.reachability[i], params.eps);
+      // Reachability is lower-bounded by some predecessor's core distance,
+      // hence nonnegative.
+      EXPECT_GE(r.reachability[i], 0.0);
+    }
+  }
+  // The very first point of the order always starts fresh.
+  EXPECT_EQ(r.reachability[r.order.front()], OpticsResult::kUndefined);
+}
+
+TEST(Optics, CoreDistanceMatchesDefinition) {
+  const DbscanParams params{10.0, 4};
+  const Dataset data = RandomDataset(2, 150, 0.0, 40.0, 1405);
+  const OpticsResult r = RunOptics(data, params);
+  const Clustering exact = BruteForceDbscan(data, params);
+  for (size_t i = 0; i < data.size(); ++i) {
+    // core-distance defined (<= eps) iff the point is a DBSCAN core point.
+    EXPECT_EQ(r.core_distance[i] != OpticsResult::kUndefined,
+              static_cast<bool>(exact.is_core[i]))
+        << "point " << i;
+  }
+}
+
+TEST(Optics, SeparatedBlobsStartFreshComponents) {
+  Dataset data(2);
+  Rng rng(1407);
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      data.Add({c * 1000.0 + rng.NextGaussian() * 2.0,
+                rng.NextGaussian() * 2.0});
+    }
+  }
+  const OpticsResult r = RunOptics(data, DbscanParams{10.0, 5});
+  size_t undefined = 0;
+  for (double v : r.reachability) {
+    undefined += (v == OpticsResult::kUndefined);
+  }
+  EXPECT_EQ(undefined, 2u);  // one fresh start per blob
+}
+
+class OpticsExtractionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OpticsExtractionTest, ExtractionMatchesDbscanOnCorePoints) {
+  const double eps_prime = GetParam();
+  const DbscanParams optics_params{20.0, 5};
+  const Dataset data = ClusteredDataset(2, 400, 4, 100.0, 3.0, 1409);
+  const OpticsResult r = RunOptics(data, optics_params);
+  const Clustering extracted =
+      ExtractDbscanClustering(data, r, optics_params, eps_prime);
+  const Clustering exact =
+      BruteForceDbscan(data, DbscanParams{eps_prime, optics_params.min_pts});
+  // Core flags at eps' agree exactly.
+  EXPECT_EQ(extracted.is_core, exact.is_core);
+  // Core points carry the identical partition.
+  EXPECT_EQ(CorePartition(extracted, exact.is_core),
+            CorePartition(exact, exact.is_core));
+  EXPECT_EQ(extracted.num_clusters, exact.num_clusters);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsPrimes, OpticsExtractionTest,
+                         ::testing::Values(3.0, 6.0, 12.0, 20.0));
+
+TEST(Optics, ExtractionBordersLandInAdjacentCluster) {
+  // Border handling differs from DBSCAN (single membership), but a border
+  // must end up in SOME cluster whose core points are within eps.
+  const Dataset data = MakeDataset({
+      {0.9, 0.0}, {1.2, 0.0}, {1.2, 0.3}, {1.5, 0.0},    // cluster A
+      {0.0, 0.0},                                         // shared border
+      {-0.9, 0.0}, {-1.2, 0.0}, {-1.2, 0.3}, {-1.5, 0.0}, // cluster B
+  });
+  const DbscanParams params{1.0, 4};
+  const OpticsResult r = RunOptics(data, params);
+  const Clustering c = ExtractDbscanClustering(data, r, params, 1.0);
+  EXPECT_EQ(c.num_clusters, 2);
+  EXPECT_FALSE(c.is_core[4]);
+  EXPECT_NE(c.label[4], kNoise);
+}
+
+TEST(Optics, EmptyAndSingleton) {
+  Dataset empty(2);
+  const OpticsResult r0 = RunOptics(empty, DbscanParams{1.0, 2});
+  EXPECT_TRUE(r0.order.empty());
+
+  Dataset one(2);
+  one.Add({3.0, 3.0});
+  const OpticsResult r1 = RunOptics(one, DbscanParams{1.0, 1});
+  ASSERT_EQ(r1.order.size(), 1u);
+  EXPECT_EQ(r1.core_distance[0], 0.0);  // its own 1st NN is itself
+  const Clustering c = ExtractDbscanClustering(one, r1, {1.0, 1}, 1.0);
+  EXPECT_EQ(c.num_clusters, 1);
+}
+
+TEST(Optics, ReachabilityPlotSeparatesDenseAndSparse) {
+  // Points inside a dense blob have small reachability; the noise point
+  // processed after it has large-or-undefined reachability. This is the
+  // "valleys = clusters" property the eps-selection story relies on.
+  Dataset data(2);
+  Rng rng(1411);
+  for (int i = 0; i < 100; ++i) {
+    data.Add({rng.NextGaussian() * 1.0, rng.NextGaussian() * 1.0});
+  }
+  data.Add({500.0, 500.0});  // lone outlier
+  const OpticsResult r = RunOptics(data, DbscanParams{50.0, 5});
+  // The outlier cannot be reached within eps of anything.
+  EXPECT_EQ(r.reachability[100], OpticsResult::kUndefined);
+  // Blob members (except the start) have small reachability.
+  size_t small = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    if (r.reachability[i] != OpticsResult::kUndefined &&
+        r.reachability[i] < 3.0) {
+      ++small;
+    }
+  }
+  EXPECT_GE(small, 95u);
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,93 @@
+// Multi-threaded execution must be a pure performance knob: for every
+// thread count, every algorithm returns exactly the single-threaded result.
+
+#include <gtest/gtest.h>
+
+#include "core/adbscan.h"
+#include "eval/compare.h"
+#include "gen/realdata_sim.h"
+#include "gen/seed_spreader.h"
+#include "test_helpers.h"
+#include "util/parallel.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 3, 8, 300}) {
+    std::vector<int> hits(1000, 0);
+    ParallelFor(hits.size(), threads, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) ++hits[i];
+    });
+    for (int h : hits) EXPECT_EQ(h, 1) << "threads " << threads;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(0, 4, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(HardwareThreadsSanity, AtLeastOne) {
+  EXPECT_GE(HardwareThreads(), 1);
+}
+
+class ParallelEqualityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEqualityTest, ExactGridMatchesSerial) {
+  const int threads = GetParam();
+  const Dataset data = ClusteredDataset(3, 2000, 5, 100.0, 4.0, 1901);
+  const DbscanParams serial{8.0, 5, 1};
+  const DbscanParams parallel{8.0, 5, threads};
+  const Clustering a = ExactGridDbscan(data, serial);
+  const Clustering b = ExactGridDbscan(data, parallel);
+  EXPECT_TRUE(SameClusters(a, b));
+  EXPECT_TRUE(SameCoreFlags(a, b));
+  EXPECT_EQ(a.label, b.label);  // even the numbering is identical
+  EXPECT_EQ(a.extra_memberships, b.extra_memberships);
+}
+
+TEST_P(ParallelEqualityTest, ApproxMatchesSerial) {
+  const int threads = GetParam();
+  SeedSpreaderParams p;
+  p.dim = 3;
+  p.n = 20000;
+  const Dataset data = GenerateSeedSpreader(p, 1903);
+  const DbscanParams serial{5000.0, 100, 1};
+  const DbscanParams parallel{5000.0, 100, threads};
+  const Clustering a = ApproxDbscan(data, serial, 0.001);
+  const Clustering b = ApproxDbscan(data, parallel, 0.001);
+  EXPECT_TRUE(SameClusters(a, b));
+  EXPECT_EQ(a.label, b.label);
+}
+
+TEST_P(ParallelEqualityTest, Gunawan2dMatchesSerial) {
+  const int threads = GetParam();
+  const Dataset data = ClusteredDataset(2, 1500, 4, 100.0, 4.0, 1905);
+  const DbscanParams serial{6.0, 5, 1};
+  const DbscanParams parallel{6.0, 5, threads};
+  const Clustering a = Gunawan2dDbscan(data, serial);
+  const Clustering b = Gunawan2dDbscan(data, parallel);
+  EXPECT_TRUE(SameClusters(a, b));
+  EXPECT_EQ(a.label, b.label);
+}
+
+TEST_P(ParallelEqualityTest, RealStandInWorkload) {
+  const int threads = GetParam();
+  const Dataset data = Pamap2Like(15000, 1907);
+  const DbscanParams serial{5000.0, 100, 1};
+  const DbscanParams parallel{5000.0, 100, threads};
+  const Clustering a = ExactGridDbscan(data, serial);
+  const Clustering b = ExactGridDbscan(data, parallel);
+  EXPECT_TRUE(SameClusters(a, b));
+  EXPECT_EQ(a.label, b.label);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelEqualityTest,
+                         ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "geom/point.h"
+#include "rangecount/approx_range_counter.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::RandomDataset;
+
+size_t ExactCount(const Dataset& data, const std::vector<uint32_t>& ids,
+                  const double* q, double radius) {
+  size_t count = 0;
+  const double r2 = radius * radius;
+  for (uint32_t id : ids) {
+    count += SquaredDistance(q, data.point(id), data.dim()) <= r2;
+  }
+  return count;
+}
+
+std::vector<uint32_t> AllIds(const Dataset& data) {
+  std::vector<uint32_t> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  return ids;
+}
+
+struct RcCase {
+  int dim;
+  double rho;
+};
+
+class RangeCountTest : public ::testing::TestWithParam<RcCase> {};
+
+// The Lemma 5 guarantee: ans ∈ [ exact(ε), exact(ε(1+ρ)) ].
+TEST_P(RangeCountTest, SatisfiesLemma5Guarantee) {
+  const auto [dim, rho] = GetParam();
+  const double eps = 10.0;
+  const Dataset data = ClusteredDataset(dim, 800, 5, 100.0, 6.0, 113 + dim);
+  const std::vector<uint32_t> ids = AllIds(data);
+  const ApproxRangeCounter counter(data, ids, eps, rho);
+  Rng rng(127 + dim);
+  for (int trial = 0; trial < 60; ++trial) {
+    double q[kMaxDim];
+    for (int i = 0; i < dim; ++i) q[i] = rng.NextDouble(-5.0, 105.0);
+    const size_t lo = ExactCount(data, ids, q, eps);
+    const size_t hi = ExactCount(data, ids, q, eps * (1.0 + rho));
+    const size_t ans = counter.Query(q);
+    EXPECT_GE(ans, lo) << "under-count at trial " << trial;
+    EXPECT_LE(ans, hi) << "over-count at trial " << trial;
+  }
+}
+
+// Queries centered exactly on data points stress the boundary cases.
+TEST_P(RangeCountTest, GuaranteeHoldsOnDataPoints) {
+  const auto [dim, rho] = GetParam();
+  const double eps = 8.0;
+  const Dataset data = RandomDataset(dim, 500, 0.0, 60.0, 131 + dim);
+  const std::vector<uint32_t> ids = AllIds(data);
+  const ApproxRangeCounter counter(data, ids, eps, rho);
+  for (size_t i = 0; i < data.size(); i += 7) {
+    const double* q = data.point(i);
+    const size_t lo = ExactCount(data, ids, q, eps);
+    const size_t hi = ExactCount(data, ids, q, eps * (1.0 + rho));
+    const size_t ans = counter.Query(q);
+    EXPECT_GE(ans, lo);
+    EXPECT_LE(ans, hi);
+    EXPECT_GE(ans, 1u);  // the point itself is always inside B(q, eps)
+  }
+}
+
+TEST_P(RangeCountTest, NonzeroConsistentWithQuery) {
+  const auto [dim, rho] = GetParam();
+  const double eps = 5.0;
+  const Dataset data = RandomDataset(dim, 300, 0.0, 200.0, 137 + dim);
+  const ApproxRangeCounter counter(data, AllIds(data), eps, rho);
+  Rng rng(139 + dim);
+  for (int trial = 0; trial < 80; ++trial) {
+    double q[kMaxDim];
+    for (int i = 0; i < dim; ++i) q[i] = rng.NextDouble(0.0, 200.0);
+    const size_t ans = counter.Query(q);
+    const bool nonzero = counter.QueryNonzero(q);
+    if (ans > 0) {
+      EXPECT_TRUE(nonzero);
+    }
+    // QueryNonzero may legally differ from Query == 0 only inside the
+    // (ε, ε(1+ρ)] slack band; verify against the exact bands instead.
+    const size_t lo = ExactCount(data, AllIds(data), q, eps);
+    const size_t hi =
+        ExactCount(data, AllIds(data), q, eps * (1.0 + rho));
+    if (lo > 0) EXPECT_TRUE(nonzero);
+    if (hi == 0) EXPECT_FALSE(nonzero);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndRhos, RangeCountTest,
+    ::testing::Values(RcCase{2, 0.001}, RcCase{2, 0.1}, RcCase{3, 0.01},
+                      RcCase{5, 0.05}, RcCase{7, 0.1}, RcCase{3, 1.0},
+                      RcCase{2, 2.0}));
+
+TEST(RangeCount, QueryAtLeastConsistentWithBands) {
+  const int dim = 3;
+  const double eps = 10.0, rho = 0.02;
+  const Dataset data = ClusteredDataset(dim, 600, 4, 80.0, 5.0, 171);
+  const std::vector<uint32_t> ids = AllIds(data);
+  const ApproxRangeCounter counter(data, ids, eps, rho);
+  Rng rng(173);
+  for (int trial = 0; trial < 50; ++trial) {
+    double q[kMaxDim];
+    for (int i = 0; i < dim; ++i) q[i] = rng.NextDouble(0.0, 80.0);
+    const size_t lo = ExactCount(data, ids, q, eps);
+    const size_t hi = ExactCount(data, ids, q, eps * (1.0 + rho));
+    for (size_t threshold : {size_t(1), size_t(5), size_t(50), size_t(500)}) {
+      const bool at_least = counter.QueryAtLeast(q, threshold);
+      if (lo >= threshold) EXPECT_TRUE(at_least);
+      if (hi < threshold) EXPECT_FALSE(at_least);
+    }
+    EXPECT_TRUE(counter.QueryAtLeast(q, 0));
+  }
+}
+
+TEST(RangeCount, LevelCountMatchesFormula) {
+  const Dataset data = RandomDataset(2, 50, 0.0, 10.0, 149);
+  std::vector<uint32_t> ids = AllIds(data);
+  EXPECT_EQ(ApproxRangeCounter(data, ids, 1.0, 0.001).num_levels(),
+            1 + static_cast<int>(std::ceil(std::log2(1000.0))));
+  EXPECT_EQ(ApproxRangeCounter(data, ids, 1.0, 0.5).num_levels(), 2);
+  EXPECT_EQ(ApproxRangeCounter(data, ids, 1.0, 1.0).num_levels(), 1);
+  EXPECT_EQ(ApproxRangeCounter(data, ids, 1.0, 4.0).num_levels(), 1);
+}
+
+TEST(RangeCount, EmptySubset) {
+  const Dataset data = RandomDataset(2, 10, 0.0, 10.0, 151);
+  const ApproxRangeCounter counter(data, {}, 1.0, 0.01);
+  const double q[] = {5.0, 5.0};
+  EXPECT_EQ(counter.Query(q), 0u);
+  EXPECT_FALSE(counter.QueryNonzero(q));
+}
+
+TEST(RangeCount, SubsetOnlyCountsSubset) {
+  Dataset data(2);
+  for (int i = 0; i < 10; ++i) data.Add({0.0, 0.0});
+  for (int i = 0; i < 5; ++i) data.Add({0.1, 0.1});
+  const ApproxRangeCounter counter(data, {0, 1, 2}, 1.0, 0.01);
+  const double q[] = {0.0, 0.0};
+  EXPECT_EQ(counter.Query(q), 3u);
+}
+
+TEST(RangeCount, FarQueryIsZero) {
+  const Dataset data = RandomDataset(3, 200, 0.0, 10.0, 157);
+  const ApproxRangeCounter counter(data, AllIds(data), 2.0, 0.001);
+  const double q[] = {1000.0, 1000.0, 1000.0};
+  EXPECT_EQ(counter.Query(q), 0u);
+  EXPECT_FALSE(counter.QueryNonzero(q));
+}
+
+TEST(RangeCount, WholeSetInsideBigBall) {
+  const Dataset data = RandomDataset(2, 300, 0.0, 10.0, 163);
+  const ApproxRangeCounter counter(data, AllIds(data), 100.0, 0.01);
+  const double q[] = {5.0, 5.0};
+  EXPECT_EQ(counter.Query(q), 300u);
+}
+
+TEST(RangeCount, ManyRootsPathAgrees) {
+  // Spread data so the level-0 grid has > 32 roots, exercising the kd-tree
+  // root lookup path.
+  const Dataset data = RandomDataset(2, 2000, 0.0, 10000.0, 167);
+  const double eps = 50.0;
+  const double rho = 0.01;
+  const std::vector<uint32_t> ids = AllIds(data);
+  const ApproxRangeCounter counter(data, ids, eps, rho);
+  Rng rng(173);
+  for (int trial = 0; trial < 40; ++trial) {
+    double q[2] = {rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)};
+    const size_t ans = counter.Query(q);
+    EXPECT_GE(ans, ExactCount(data, ids, q, eps));
+    EXPECT_LE(ans, ExactCount(data, ids, q, eps * (1 + rho)));
+  }
+}
+
+TEST(RangeCount, CoincidentPoints) {
+  Dataset data(4);
+  for (int i = 0; i < 64; ++i) data.Add({1.0, 1.0, 1.0, 1.0});
+  const ApproxRangeCounter counter(data, AllIds(data), 0.5, 0.001);
+  const double q[] = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_EQ(counter.Query(q), 64u);
+  const double far[] = {3.0, 1.0, 1.0, 1.0};
+  EXPECT_EQ(counter.Query(far), 0u);
+}
+
+}  // namespace
+}  // namespace adbscan

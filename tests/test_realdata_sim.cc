@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "core/approx_dbscan.h"
+#include "gen/realdata_sim.h"
+
+namespace adbscan {
+namespace {
+
+TEST(RealDataSim, DimensionsMatchTheRealDatasets) {
+  EXPECT_EQ(Pamap2Like(100, 1).dim(), 4);     // PAMAP2: 4 PCA components
+  EXPECT_EQ(FarmLike(100, 1).dim(), 5);       // Farm: 5D VZ-features
+  EXPECT_EQ(HouseholdLike(100, 1).dim(), 7);  // Household: 7 attributes
+}
+
+TEST(RealDataSim, CardinalityAndDeterminism) {
+  for (auto gen : {Pamap2Like, FarmLike, HouseholdLike}) {
+    const Dataset a = gen(5000, 42);
+    EXPECT_EQ(a.size(), 5000u);
+    const Dataset b = gen(5000, 42);
+    EXPECT_EQ(a.coords(), b.coords());
+    const Dataset c = gen(5000, 43);
+    EXPECT_NE(a.coords(), c.coords());
+  }
+}
+
+TEST(RealDataSim, StaysInNormalizedDomain) {
+  for (auto gen : {Pamap2Like, FarmLike, HouseholdLike}) {
+    const Dataset data = gen(3000, 7);
+    for (size_t i = 0; i < data.size(); ++i) {
+      for (int j = 0; j < data.dim(); ++j) {
+        EXPECT_GE(data.point(i)[j], 0.0);
+        EXPECT_LE(data.point(i)[j], 1e5);
+      }
+    }
+  }
+}
+
+TEST(RealDataSim, HasDensityStructureNotUniform) {
+  // DBSCAN at the paper's default (eps=5000, MinPts=100, scaled-down n)
+  // should find several clusters and leave some noise — i.e. the stand-ins
+  // are neither one blob nor uniform dust.
+  struct Expectation {
+    Dataset data;
+    const char* name;
+  };
+  const Expectation cases[] = {
+      {Pamap2Like(30000, 11), "pamap2"},
+      {FarmLike(30000, 12), "farm"},
+      {HouseholdLike(30000, 13), "household"},
+  };
+  for (const auto& [data, name] : cases) {
+    const Clustering c = ApproxDbscan(data, DbscanParams{5000.0, 100}, 0.001);
+    EXPECT_GE(c.num_clusters, 2) << name;
+    EXPECT_LT(c.num_clusters, 100) << name;
+    EXPECT_GT(c.NumNoisePoints(), 0u) << name;
+    EXPECT_LT(c.NumNoisePoints(), data.size() / 2) << name;
+  }
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,119 @@
+// Structural well-formedness of the Clustering type, enforced across every
+// algorithm and several workloads: label ranges, extras canonicalization,
+// cluster-id usage, and the core/border/noise partition.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/gf_dbscan.h"
+#include "baselines/sampling_dbscan.h"
+#include "core/adbscan.h"
+#include "gen/seed_spreader.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::RandomDataset;
+
+void ExpectWellFormed(const Clustering& c, size_t n,
+                      const std::string& algo) {
+  ASSERT_EQ(c.label.size(), n) << algo;
+  ASSERT_EQ(c.is_core.size(), n) << algo;
+  ASSERT_GE(c.num_clusters, 0) << algo;
+
+  std::vector<char> cluster_used(c.num_clusters, 0);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_GE(c.label[i], kNoise) << algo << " point " << i;
+    ASSERT_LT(c.label[i], c.num_clusters) << algo << " point " << i;
+    if (c.label[i] != kNoise) cluster_used[c.label[i]] = 1;
+    if (c.is_core[i]) {
+      EXPECT_NE(c.label[i], kNoise) << algo << ": core point " << i
+                                    << " is noise";
+    }
+  }
+  // Every cluster id in [0, num_clusters) is inhabited.
+  for (int32_t k = 0; k < c.num_clusters; ++k) {
+    EXPECT_TRUE(cluster_used[k]) << algo << ": empty cluster " << k;
+  }
+  // Extras: sorted, unique, valid ids, never core points, never duplicating
+  // the primary label.
+  std::set<std::pair<uint32_t, int32_t>> seen;
+  for (const auto& [point, cluster] : c.extra_memberships) {
+    ASSERT_LT(point, n) << algo;
+    ASSERT_GE(cluster, 0) << algo;
+    ASSERT_LT(cluster, c.num_clusters) << algo;
+    EXPECT_FALSE(c.is_core[point]) << algo << ": core point with extras";
+    EXPECT_NE(c.label[point], kNoise) << algo << ": noise with extras";
+    EXPECT_NE(c.label[point], cluster) << algo << ": duplicate membership";
+    EXPECT_TRUE(seen.insert({point, cluster}).second)
+        << algo << ": repeated extra";
+  }
+  EXPECT_TRUE(std::is_sorted(c.extra_memberships.begin(),
+                             c.extra_memberships.end()))
+      << algo;
+  // Derived counters agree.
+  size_t noise = 0;
+  for (int32_t l : c.label) noise += (l == kNoise);
+  EXPECT_EQ(c.NumNoisePoints(), noise) << algo;
+}
+
+struct ValidityCase {
+  std::string name;
+  int dim;
+  size_t n;
+  double eps;
+  int min_pts;
+};
+
+class ResultValidityTest : public ::testing::TestWithParam<ValidityCase> {};
+
+TEST_P(ResultValidityTest, EveryAlgorithmProducesWellFormedOutput) {
+  const ValidityCase c = GetParam();
+  const Dataset data = ClusteredDataset(c.dim, c.n, 4, 100.0, 4.0,
+                                        2000 + c.dim);
+  const DbscanParams params{c.eps, c.min_pts};
+  ExpectWellFormed(BruteForceDbscan(data, params), c.n, "brute");
+  ExpectWellFormed(Kdd96Dbscan(data, params), c.n, "kdd96");
+  ExpectWellFormed(GridbscanDbscan(data, params), c.n, "cit08");
+  ExpectWellFormed(ExactGridDbscan(data, params), c.n, "exact");
+  ExpectWellFormed(ApproxDbscan(data, params, 0.01), c.n, "approx");
+  ExpectWellFormed(GfStyleDbscan(data, params), c.n, "gf");
+  ExpectWellFormed(SamplingDbscan(data, params), c.n, "sampling");
+  if (c.dim == 2) {
+    ExpectWellFormed(Gunawan2dDbscan(data, params), c.n, "gunawan");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ResultValidityTest,
+    ::testing::Values(ValidityCase{"d2", 2, 400, 6.0, 5},
+                      ValidityCase{"d3", 3, 400, 9.0, 5},
+                      ValidityCase{"d5", 5, 300, 15.0, 4},
+                      ValidityCase{"d7", 7, 250, 25.0, 4},
+                      ValidityCase{"d3_all_noise", 3, 200, 0.01, 3},
+                      ValidityCase{"d2_one_blob", 2, 300, 400.0, 5}),
+    [](const ::testing::TestParamInfo<ValidityCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ResultValidity, SpreaderWorkloadAllAlgorithms) {
+  SeedSpreaderParams p;
+  p.dim = 2;
+  p.n = 1500;
+  p.noise_fraction = 0.05;
+  const Dataset data = GenerateSeedSpreader(p, 2025);
+  const DbscanParams params{4000.0, 30};
+  ExpectWellFormed(ExactGridDbscan(data, params), data.size(), "exact");
+  ExpectWellFormed(ApproxDbscan(data, params, 0.001), data.size(), "approx");
+  ExpectWellFormed(Gunawan2dDbscan(data, params), data.size(), "gunawan");
+  ExpectWellFormed(Kdd96Dbscan(data, params), data.size(), "kdd96");
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "index/brute_force.h"
+#include "index/rtree.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::RandomDataset;
+
+std::set<uint32_t> AsSet(const std::vector<uint32_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+class RTreeDimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeDimTest, BulkLoadedRangeQueryMatchesBruteForce) {
+  const int dim = GetParam();
+  const Dataset data = RandomDataset(dim, 700, 0.0, 100.0, 53 + dim);
+  const RTree tree(data);
+  tree.CheckInvariants();
+  const BruteForceIndex brute(data);
+  Rng rng(61 + dim);
+  for (int trial = 0; trial < 40; ++trial) {
+    double q[kMaxDim];
+    for (int i = 0; i < dim; ++i) q[i] = rng.NextDouble(-10.0, 110.0);
+    const double radius = rng.NextDouble(1.0, 35.0);
+    EXPECT_EQ(AsSet(tree.RangeQuery(q, radius)),
+              AsSet(brute.RangeQuery(q, radius)));
+  }
+}
+
+TEST_P(RTreeDimTest, InsertBuiltRangeQueryMatchesBruteForce) {
+  const int dim = GetParam();
+  const Dataset data = ClusteredDataset(dim, 400, 3, 100.0, 4.0, 67 + dim);
+  RTree tree = RTree::CreateEmpty(data);
+  for (uint32_t i = 0; i < data.size(); ++i) tree.Insert(i);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), data.size());
+  const BruteForceIndex brute(data);
+  Rng rng(71 + dim);
+  for (int trial = 0; trial < 30; ++trial) {
+    double q[kMaxDim];
+    for (int i = 0; i < dim; ++i) q[i] = rng.NextDouble(0.0, 100.0);
+    const double radius = rng.NextDouble(1.0, 25.0);
+    EXPECT_EQ(AsSet(tree.RangeQuery(q, radius)),
+              AsSet(brute.RangeQuery(q, radius)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RTreeDimTest, ::testing::Values(2, 3, 5, 7));
+
+TEST(RTree, EmptyTree) {
+  Dataset data(2);
+  const RTree tree(data);
+  const double q[] = {0.0, 0.0};
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.RangeQuery(q, 5.0).empty());
+  EXPECT_FALSE(tree.AnyWithin(q, 5.0));
+  EXPECT_EQ(tree.Height(), 0);
+  tree.CheckInvariants();
+}
+
+TEST(RTree, SinglePoint) {
+  Dataset data(3);
+  data.Add({1.0, 2.0, 3.0});
+  const RTree tree(data);
+  EXPECT_EQ(tree.Height(), 1);
+  const double q[] = {1.0, 2.0, 3.5};
+  EXPECT_EQ(tree.RangeQuery(q, 1.0).size(), 1u);
+  EXPECT_TRUE(tree.RangeQuery(q, 0.4).empty());
+}
+
+TEST(RTree, HeightGrowsLogarithmically) {
+  const Dataset data = RandomDataset(2, 10000, 0.0, 1000.0, 73);
+  const RTree tree(data);
+  // 10000 points, fan-out 32: height 3 expected for STR packing.
+  EXPECT_GE(tree.Height(), 2);
+  EXPECT_LE(tree.Height(), 4);
+}
+
+TEST(RTree, CountWithEarlyStop) {
+  const Dataset data = RandomDataset(2, 500, 0.0, 10.0, 79);
+  const RTree tree(data);
+  const double q[] = {5.0, 5.0};
+  const size_t full = tree.CountInBall(q, 3.0, SIZE_MAX);
+  const BruteForceIndex brute(data);
+  EXPECT_EQ(full, brute.CountInBall(q, 3.0, SIZE_MAX));
+  EXPECT_GE(tree.CountInBall(q, 3.0, 5), 5u);
+}
+
+TEST(RTree, SubsetConstructor) {
+  const Dataset data = RandomDataset(2, 100, 0.0, 10.0, 83);
+  std::vector<uint32_t> odd;
+  for (uint32_t i = 1; i < 100; i += 2) odd.push_back(i);
+  const RTree tree(data, odd);
+  EXPECT_EQ(tree.size(), 50u);
+  const double q[] = {5.0, 5.0};
+  for (uint32_t id : tree.RangeQuery(q, 100.0)) EXPECT_EQ(id % 2, 1u);
+}
+
+TEST(RTree, DuplicatePointsInsertAndQuery) {
+  Dataset data(2);
+  for (int i = 0; i < 100; ++i) data.Add({3.0, 3.0});
+  RTree tree = RTree::CreateEmpty(data);
+  for (uint32_t i = 0; i < 100; ++i) tree.Insert(i);
+  tree.CheckInvariants();
+  const double q[] = {3.0, 3.0};
+  EXPECT_EQ(tree.RangeQuery(q, 0.0).size(), 100u);
+}
+
+class RTreeSplitPolicyTest
+    : public ::testing::TestWithParam<RTreeOptions::Split> {};
+
+TEST_P(RTreeSplitPolicyTest, InsertBuiltTreeMatchesBruteForce) {
+  RTreeOptions options;
+  options.split = GetParam();
+  const Dataset data = ClusteredDataset(3, 600, 4, 100.0, 5.0, 91);
+  RTree tree = RTree::CreateEmpty(data, options);
+  for (uint32_t i = 0; i < data.size(); ++i) tree.Insert(i);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), data.size());
+  const BruteForceIndex brute(data);
+  Rng rng(93);
+  for (int trial = 0; trial < 30; ++trial) {
+    double q[3];
+    for (int i = 0; i < 3; ++i) q[i] = rng.NextDouble(0, 100);
+    const double radius = rng.NextDouble(1.0, 25.0);
+    EXPECT_EQ(AsSet(tree.RangeQuery(q, radius)),
+              AsSet(brute.RangeQuery(q, radius)));
+  }
+}
+
+TEST_P(RTreeSplitPolicyTest, SortedInsertionOrder) {
+  // Sorted insertions are the classic worst case for naive splits; both
+  // policies must stay correct.
+  RTreeOptions options;
+  options.split = GetParam();
+  Dataset data(2);
+  for (int i = 0; i < 500; ++i) data.Add({i * 1.0, i * 0.5});
+  RTree tree = RTree::CreateEmpty(data, options);
+  for (uint32_t i = 0; i < data.size(); ++i) tree.Insert(i);
+  tree.CheckInvariants();
+  const BruteForceIndex brute(data);
+  const double q[] = {250.0, 125.0};
+  EXPECT_EQ(AsSet(tree.RangeQuery(q, 40.0)),
+            AsSet(brute.RangeQuery(q, 40.0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, RTreeSplitPolicyTest,
+                         ::testing::Values(RTreeOptions::Split::kQuadratic,
+                                           RTreeOptions::Split::kRStar),
+                         [](const auto& info) {
+                           return info.param == RTreeOptions::Split::kRStar
+                                      ? "RStar"
+                                      : "Quadratic";
+                         });
+
+TEST(RTree, ForcedReinsertionCanBeDisabled) {
+  RTreeOptions options;
+  options.split = RTreeOptions::Split::kRStar;
+  options.reinsert_fraction = 0.0;
+  const Dataset data = RandomDataset(2, 400, 0.0, 100.0, 95);
+  RTree tree = RTree::CreateEmpty(data, options);
+  for (uint32_t i = 0; i < data.size(); ++i) tree.Insert(i);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), data.size());
+  const BruteForceIndex brute(data);
+  const double q[] = {50.0, 50.0};
+  EXPECT_EQ(AsSet(tree.RangeQuery(q, 30.0)),
+            AsSet(brute.RangeQuery(q, 30.0)));
+}
+
+TEST(RTree, MixedBulkAndInsert) {
+  Dataset data(3);
+  Rng rng(89);
+  for (int i = 0; i < 300; ++i) {
+    data.Add({rng.NextDouble(0, 50), rng.NextDouble(0, 50),
+              rng.NextDouble(0, 50)});
+  }
+  std::vector<uint32_t> first_half;
+  for (uint32_t i = 0; i < 150; ++i) first_half.push_back(i);
+  RTree tree(data, first_half);
+  for (uint32_t i = 150; i < 300; ++i) tree.Insert(i);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 300u);
+  const BruteForceIndex brute(data);
+  const double q[] = {25.0, 25.0, 25.0};
+  EXPECT_EQ(AsSet(tree.RangeQuery(q, 20.0)), AsSet(brute.RangeQuery(q, 20.0)));
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,121 @@
+// Property tests for Theorem 3 (the sandwich quality guarantee): any result
+// of ρ-approximate DBSCAN contains every cluster of DBSCAN(ε) and is
+// contained in a cluster of DBSCAN(ε(1+ρ)).
+
+#include <gtest/gtest.h>
+
+#include "core/adbscan.h"
+#include "eval/compare.h"
+#include "gen/seed_spreader.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::RandomDataset;
+
+struct SandwichCase {
+  int dim;
+  size_t n;
+  double eps;
+  int min_pts;
+  double rho;
+  int distribution;  // 0 clustered, 1 uniform, 2 spreader
+  uint64_t seed;
+};
+
+Dataset MakeData(const SandwichCase& c) {
+  switch (c.distribution) {
+    case 0:
+      return ClusteredDataset(c.dim, c.n, 5, 100.0, 4.0, c.seed);
+    case 1:
+      return RandomDataset(c.dim, c.n, 0.0, 100.0, c.seed);
+    default: {
+      SeedSpreaderParams p;
+      p.dim = c.dim;
+      p.n = c.n;
+      p.domain_hi = 1000.0;
+      p.point_radius = 10.0;
+      p.shift_distance = 5.0 * c.dim;
+      p.counter_reset = 20;
+      p.noise_fraction = 0.05;
+      return GenerateSeedSpreader(p, c.seed);
+    }
+  }
+}
+
+class SandwichTest : public ::testing::TestWithParam<SandwichCase> {};
+
+TEST_P(SandwichTest, ApproxResultIsSandwiched) {
+  const SandwichCase c = GetParam();
+  const Dataset data = MakeData(c);
+  const DbscanParams params{c.eps, c.min_pts};
+  const DbscanParams scaled{c.eps * (1.0 + c.rho), c.min_pts};
+
+  const Clustering exact_eps = ExactGridDbscan(data, params);
+  const Clustering exact_scaled = ExactGridDbscan(data, scaled);
+  const Clustering approx = ApproxDbscan(data, params, c.rho);
+
+  EXPECT_TRUE(SatisfiesSandwich(exact_eps, approx, exact_scaled))
+      << "sandwich violated (dim=" << c.dim << ", rho=" << c.rho << ")";
+}
+
+TEST_P(SandwichTest, ApproxCoreFlagsAreExact) {
+  // Definition 1 is untouched by the approximation: core status must match
+  // exact DBSCAN exactly.
+  const SandwichCase c = GetParam();
+  const Dataset data = MakeData(c);
+  const DbscanParams params{c.eps, c.min_pts};
+  EXPECT_TRUE(SameCoreFlags(ExactGridDbscan(data, params),
+                            ApproxDbscan(data, params, c.rho)));
+}
+
+TEST_P(SandwichTest, ApproxNeverHasMoreClustersThanExact) {
+  // Consequence of Theorem 3 statement 1 plus core-point uniqueness: the map
+  // from approx clusters to the exact(ε) cluster of any of their core points
+  // is injective, so #approx <= #exact(ε). (No lower bound in terms of
+  // exact(ε(1+ρ)) holds: a cluster there may contain no ε-core point.)
+  const SandwichCase c = GetParam();
+  const Dataset data = MakeData(c);
+  const DbscanParams params{c.eps, c.min_pts};
+  const int exact_count = ExactGridDbscan(data, params).num_clusters;
+  const int approx_count = ApproxDbscan(data, params, c.rho).num_clusters;
+  EXPECT_LE(approx_count, exact_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SandwichTest,
+    ::testing::Values(
+        SandwichCase{2, 400, 6.0, 5, 0.001, 0, 1},
+        SandwichCase{2, 400, 6.0, 5, 0.1, 0, 2},
+        SandwichCase{2, 400, 6.0, 5, 1.0, 0, 3},    // huge rho
+        SandwichCase{3, 400, 10.0, 6, 0.01, 0, 4},
+        SandwichCase{3, 300, 12.0, 4, 0.5, 1, 5},
+        SandwichCase{5, 300, 20.0, 4, 0.05, 0, 6},
+        SandwichCase{7, 250, 30.0, 4, 0.1, 0, 7},
+        SandwichCase{2, 500, 15.0, 5, 0.01, 2, 8},
+        SandwichCase{3, 500, 25.0, 8, 0.1, 2, 9},
+        SandwichCase{2, 300, 7.0, 4, 0.02, 1, 10},
+        SandwichCase{2, 300, 7.0, 1, 0.05, 1, 11},  // MinPts = 1
+        SandwichCase{5, 200, 50.0, 3, 0.2, 1, 12}));
+
+// Randomized mini-fuzz across many seeds at small n: the guarantee must
+// never break.
+TEST(SandwichFuzz, ManyRandomInstances) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    const int dim = 2 + static_cast<int>(seed % 3);
+    const Dataset data = RandomDataset(dim, 120, 0.0, 50.0, 1000 + seed);
+    const double eps = 3.0 + static_cast<double>(seed % 7);
+    const double rho = 0.001 * static_cast<double>(1 + seed % 100);
+    const DbscanParams params{eps, 3};
+    const DbscanParams scaled{eps * (1.0 + rho), 3};
+    EXPECT_TRUE(SatisfiesSandwich(BruteForceDbscan(data, params),
+                                  ApproxDbscan(data, params, rho),
+                                  BruteForceDbscan(data, scaled)))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "core/approx_dbscan.h"
+#include "gen/seed_spreader.h"
+#include "gen/uniform.h"
+#include "geom/point.h"
+
+namespace adbscan {
+namespace {
+
+TEST(SeedSpreader, ProducesRequestedCardinalityAndDim) {
+  SeedSpreaderParams p;
+  p.dim = 3;
+  p.n = 5000;
+  const Dataset data = GenerateSeedSpreader(p, 1);
+  EXPECT_EQ(data.size(), 5000u);
+  EXPECT_EQ(data.dim(), 3);
+}
+
+TEST(SeedSpreader, DeterministicForFixedSeed) {
+  SeedSpreaderParams p;
+  p.dim = 2;
+  p.n = 1000;
+  const Dataset a = GenerateSeedSpreader(p, 42);
+  const Dataset b = GenerateSeedSpreader(p, 42);
+  EXPECT_EQ(a.coords(), b.coords());
+  const Dataset c = GenerateSeedSpreader(p, 43);
+  EXPECT_NE(a.coords(), c.coords());
+}
+
+TEST(SeedSpreader, StaysInsideDomain) {
+  SeedSpreaderParams p;
+  p.dim = 5;
+  p.n = 3000;
+  const Dataset data = GenerateSeedSpreader(p, 7);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_GE(data.point(i)[j], p.domain_lo);
+      EXPECT_LE(data.point(i)[j], p.domain_hi);
+    }
+  }
+}
+
+TEST(SeedSpreader, ForcedRestartsProduceExactClusterCount) {
+  // The Figure 8 configuration: n = 1000, forced restart every 250 steps
+  // => exactly 4 clusters.
+  SeedSpreaderParams p;
+  p.dim = 2;
+  p.n = 1000;
+  p.forced_restart_every = 250;
+  p.noise_fraction = 0.0;
+  size_t restarts = 0;
+  const Dataset data = GenerateSeedSpreader(p, 11, &restarts);
+  EXPECT_EQ(restarts, 4u);
+  EXPECT_EQ(data.size(), 1000u);
+}
+
+TEST(SeedSpreader, RandomRestartCountIsNearExpectation) {
+  // restart_prob defaults to 10/steps: ~10 restarts in expectation.
+  SeedSpreaderParams p;
+  p.dim = 3;
+  p.n = 100000;
+  size_t restarts = 0;
+  GenerateSeedSpreader(p, 13, &restarts);
+  EXPECT_GE(restarts, 3u);
+  EXPECT_LE(restarts, 25u);
+}
+
+TEST(SeedSpreader, EmittedPointsHugTheWalkPath) {
+  // Without noise, consecutive cluster points are within point_radius*2 +
+  // shift of each other (same or adjacent spreader location).
+  SeedSpreaderParams p;
+  p.dim = 2;
+  p.n = 500;
+  p.noise_fraction = 0.0;
+  p.forced_restart_every = 0;
+  p.restart_prob = 0.0;  // single cluster
+  const Dataset data = GenerateSeedSpreader(p, 17);
+  size_t restarts = 0;
+  (void)restarts;
+  const double bound = 2.0 * p.point_radius + 50.0 * p.dim;
+  for (size_t i = 1; i < data.size(); ++i) {
+    EXPECT_LE(Distance(data.point(i - 1), data.point(i), 2),
+              bound * 1.0001)
+        << "at " << i;
+  }
+}
+
+TEST(SeedSpreader, ClustersAreRecoverableByDbscan) {
+  // End-to-end sanity: a 2D spreader dataset with 4 forced clusters should
+  // be recovered (approximately — clusters may merge if walks collide) by
+  // DBSCAN with a modest eps.
+  SeedSpreaderParams p;
+  p.dim = 2;
+  p.n = 2000;
+  p.forced_restart_every = 500;
+  p.noise_fraction = 0.0;
+  const Dataset data = GenerateSeedSpreader(p, 19);
+  const Clustering c = ApproxDbscan(data, DbscanParams{5000.0, 20}, 0.001);
+  EXPECT_GE(c.num_clusters, 1);
+  EXPECT_LE(c.num_clusters, 4);
+  EXPECT_LT(c.NumNoisePoints(), 100u);
+}
+
+TEST(SeedSpreader, NoiseFractionRespected) {
+  SeedSpreaderParams p;
+  p.dim = 2;
+  p.n = 10000;
+  p.noise_fraction = 0.1;
+  const Dataset data = GenerateSeedSpreader(p, 23);
+  EXPECT_EQ(data.size(), 10000u);
+  // The last 1000 points are the uniform noise block by construction; they
+  // should spread across the domain rather than hug a walk.
+  double spread = 0.0;
+  for (size_t i = 9000; i < 10000; ++i) {
+    spread += Distance(data.point(i), data.point(9000), 2);
+  }
+  EXPECT_GT(spread / 1000.0, 1e4);  // average pairwise-ish distance is large
+}
+
+TEST(UniformGenerators, RespectBounds) {
+  const Dataset u = GenerateUniform(3, 1000, -5.0, 5.0, 29);
+  EXPECT_EQ(u.size(), 1000u);
+  for (size_t i = 0; i < u.size(); ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_GE(u.point(i)[j], -5.0);
+      EXPECT_LE(u.point(i)[j], 5.0);
+    }
+  }
+  const double center[] = {10.0, 10.0, 10.0};
+  const Dataset b = GenerateUniformBall(3, 1000, center, 2.0, 31);
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_LE(Distance(b.point(i), center, 3), 2.0 * 1.0000001);
+  }
+}
+
+}  // namespace
+}  // namespace adbscan

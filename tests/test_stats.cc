@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_reference.h"
+#include "eval/stats.h"
+#include "test_helpers.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::MakeDataset;
+
+TEST(Stats, CountsAddUp) {
+  const Dataset data = MakeDataset({
+      {0.0, 0.0}, {0.2, 0.0}, {0.0, 0.2}, {0.2, 0.2},  // core block
+      {1.4, 0.0},  // border: exactly eps from one core, 2 < MinPts total
+      {50.0, 50.0},                                     // noise
+  });
+  const Clustering c = BruteForceDbscan(data, DbscanParams{1.2, 4});
+  const ClusteringStats stats = ComputeStats(data, c);
+  EXPECT_EQ(stats.clusters.size(), 1u);
+  EXPECT_EQ(stats.core_points + stats.border_points + stats.noise_points,
+            data.size());
+  EXPECT_EQ(stats.noise_points, 1u);
+  EXPECT_EQ(stats.border_points, 1u);
+  EXPECT_EQ(stats.core_points, 4u);
+  EXPECT_NEAR(stats.noise_fraction, 1.0 / 6.0, 1e-12);
+}
+
+TEST(Stats, PerClusterGeometry) {
+  const Dataset data = MakeDataset({
+      {0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}, {2.0, 2.0},
+  });
+  const Clustering c = BruteForceDbscan(data, DbscanParams{3.0, 4});
+  const ClusteringStats stats = ComputeStats(data, c);
+  ASSERT_EQ(stats.clusters.size(), 1u);
+  const ClusterStats& cs = stats.clusters[0];
+  EXPECT_EQ(cs.size, 4u);
+  EXPECT_EQ(cs.core_points, 4u);
+  EXPECT_DOUBLE_EQ(cs.centroid[0], 1.0);
+  EXPECT_DOUBLE_EQ(cs.centroid[1], 1.0);
+  EXPECT_DOUBLE_EQ(cs.bounding_box.MaxExtent(), 2.0);
+  EXPECT_NEAR(cs.mean_centroid_dist, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, SharedBorderCountedInBothClusters) {
+  const Dataset data = MakeDataset({
+      {0.9, 0.0}, {1.2, 0.0}, {1.2, 0.3}, {1.5, 0.0},       // cluster 0
+      {0.0, 0.0},                                            // shared border
+      {-0.9, 0.0}, {-1.2, 0.0}, {-1.2, 0.3}, {-1.5, 0.0},   // cluster 1
+  });
+  const Clustering c = BruteForceDbscan(data, DbscanParams{1.0, 4});
+  ASSERT_EQ(c.num_clusters, 2);
+  const ClusteringStats stats = ComputeStats(data, c);
+  // The shared border is a member of both cluster point sets.
+  EXPECT_EQ(stats.clusters[0].size, 5u);
+  EXPECT_EQ(stats.clusters[1].size, 5u);
+  EXPECT_EQ(stats.border_points, 1u);
+}
+
+TEST(Stats, EmptyClusteringIsAllZero) {
+  Dataset data(3);
+  Clustering c;
+  const ClusteringStats stats = ComputeStats(data, c);
+  EXPECT_TRUE(stats.clusters.empty());
+  EXPECT_EQ(stats.noise_points, 0u);
+  EXPECT_DOUBLE_EQ(stats.noise_fraction, 0.0);
+}
+
+TEST(Stats, AllNoise) {
+  const Dataset data = MakeDataset({{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}});
+  const Clustering c = BruteForceDbscan(data, DbscanParams{1.0, 2});
+  const ClusteringStats stats = ComputeStats(data, c);
+  EXPECT_EQ(stats.noise_points, 3u);
+  EXPECT_DOUBLE_EQ(stats.noise_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace adbscan

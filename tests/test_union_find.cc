@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "ds/union_find.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace {
+
+TEST(UnionFind, StartsFullyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+}
+
+TEST(UnionFind, UnionMergesAndReportsNovelty) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.NumSets(), 3u);
+  EXPECT_EQ(uf.SetSize(0), 2u);
+}
+
+TEST(UnionFind, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.SetSize(3), 4u);
+  EXPECT_FALSE(uf.Connected(0, 4));
+}
+
+TEST(UnionFind, ComponentIdsAreDenseAndOrdered) {
+  UnionFind uf(5);
+  uf.Union(3, 4);
+  uf.Union(1, 3);
+  const std::vector<uint32_t> ids = uf.ComponentIds();
+  // First appearance order: 0 -> 0; 1 (with 3,4) -> 1; 2 -> 2.
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 1u);
+  EXPECT_EQ(ids[2], 2u);
+  EXPECT_EQ(ids[3], 1u);
+  EXPECT_EQ(ids[4], 1u);
+}
+
+TEST(UnionFind, MatchesNaiveReferenceOnRandomOperations) {
+  const uint32_t n = 200;
+  UnionFind uf(n);
+  std::vector<uint32_t> naive(n);
+  for (uint32_t i = 0; i < n; ++i) naive[i] = i;
+  auto naive_union = [&](uint32_t a, uint32_t b) {
+    const uint32_t ra = naive[a], rb = naive[b];
+    if (ra == rb) return;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (naive[i] == rb) naive[i] = ra;
+    }
+  };
+  Rng rng(123);
+  for (int op = 0; op < 500; ++op) {
+    const uint32_t a = static_cast<uint32_t>(rng.NextBounded(n));
+    const uint32_t b = static_cast<uint32_t>(rng.NextBounded(n));
+    uf.Union(a, b);
+    naive_union(a, b);
+  }
+  std::set<uint32_t> distinct;
+  for (uint32_t i = 0; i < n; ++i) {
+    distinct.insert(naive[i]);
+    for (uint32_t j = 0; j < n; ++j) {
+      EXPECT_EQ(uf.Connected(i, j), naive[i] == naive[j])
+          << "mismatch at " << i << "," << j;
+    }
+  }
+  EXPECT_EQ(uf.NumSets(), distinct.size());
+}
+
+TEST(UnionFind, SingletonUniverse) {
+  UnionFind uf(1);
+  EXPECT_EQ(uf.Find(0), 0u);
+  EXPECT_FALSE(uf.Union(0, 0));
+  EXPECT_EQ(uf.NumSets(), 1u);
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/adbscan.h"
+#include "gen/usec_gen.h"
+
+namespace adbscan {
+namespace {
+
+DbscanSolver ExactGridSolver() {
+  return [](const Dataset& data, const DbscanParams& params) {
+    return ExactGridDbscan(data, params);
+  };
+}
+
+DbscanSolver Kdd96Solver() {
+  return [](const Dataset& data, const DbscanParams& params) {
+    return Kdd96Dbscan(data, params);
+  };
+}
+
+DbscanSolver ApproxSolver(double rho) {
+  return [rho](const Dataset& data, const DbscanParams& params) {
+    return ApproxDbscan(data, params, rho);
+  };
+}
+
+TEST(Usec, HandCraftedYes) {
+  UsecInstance instance(2);
+  instance.radius = 1.0;
+  instance.points.Add({0.5, 0.0});
+  instance.points.Add({10.0, 10.0});
+  instance.ball_centers.Add({0.0, 0.0});
+  EXPECT_TRUE(SolveUsecBruteForce(instance));
+  EXPECT_TRUE(SolveUsecViaDbscan(instance, ExactGridSolver()));
+}
+
+TEST(Usec, HandCraftedNo) {
+  UsecInstance instance(2);
+  instance.radius = 1.0;
+  instance.points.Add({5.0, 0.0});
+  instance.ball_centers.Add({0.0, 0.0});
+  instance.ball_centers.Add({3.0, 0.0});
+  EXPECT_FALSE(SolveUsecBruteForce(instance));
+  EXPECT_FALSE(SolveUsecViaDbscan(instance, ExactGridSolver()));
+}
+
+TEST(Usec, PointExactlyOnBallBoundaryIsCovered) {
+  UsecInstance instance(3);
+  instance.radius = 2.0;
+  instance.points.Add({2.0, 0.0, 0.0});
+  instance.ball_centers.Add({0.0, 0.0, 0.0});
+  EXPECT_TRUE(SolveUsecBruteForce(instance));
+  EXPECT_TRUE(SolveUsecViaDbscan(instance, ExactGridSolver()));
+}
+
+// The trap the reduction must avoid: points chained within radius of each
+// other but all far from the balls must NOT produce a yes.
+TEST(Usec, ChainedPointsDoNotLeakThroughClusters) {
+  UsecInstance instance(2);
+  instance.radius = 1.0;
+  // Points chained 0.5 apart — one DBSCAN cluster.
+  for (int i = 0; i < 10; ++i) instance.points.Add({i * 0.5, 0.0});
+  // Ball far from every point.
+  instance.ball_centers.Add({100.0, 100.0});
+  EXPECT_FALSE(SolveUsecBruteForce(instance));
+  EXPECT_FALSE(SolveUsecViaDbscan(instance, ExactGridSolver()));
+}
+
+// And the transitive case the proof's Case 1 handles: a point connects to a
+// ball center through OTHER ball centers — then some point IS covered by
+// some ball (the centers chain), so yes is correct.
+TEST(Usec, TransitiveChainThroughCenters) {
+  UsecInstance instance(2);
+  instance.radius = 1.0;
+  instance.points.Add({0.0, 0.0});
+  instance.ball_centers.Add({0.9, 0.0});   // covers the point
+  instance.ball_centers.Add({1.8, 0.0});   // chains onward
+  EXPECT_TRUE(SolveUsecBruteForce(instance));
+  EXPECT_TRUE(SolveUsecViaDbscan(instance, ExactGridSolver()));
+}
+
+class UsecReductionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UsecReductionTest, RandomInstancesAgreeWithBruteForce) {
+  const int dim = GetParam();
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const UsecInstance yes =
+        GenerateUsecYes(dim, 60, 40, 3000.0, 900 + seed);
+    const UsecInstance no = GenerateUsecNo(dim, 60, 40, 3000.0, 950 + seed);
+    ASSERT_TRUE(SolveUsecBruteForce(yes));
+    ASSERT_FALSE(SolveUsecBruteForce(no));
+    std::vector<DbscanSolver> solvers = {ExactGridSolver(), Kdd96Solver(),
+                                         ApproxSolver(1e-9)};
+    solvers.push_back([](const Dataset& d, const DbscanParams& p) {
+      return GridbscanDbscan(d, p);
+    });
+    if (dim == 2) {
+      solvers.push_back([](const Dataset& d, const DbscanParams& p) {
+        return Gunawan2dDbscan(d, p);
+      });
+    }
+    for (const auto& solver : solvers) {
+      EXPECT_TRUE(SolveUsecViaDbscan(yes, solver)) << "seed " << seed;
+      EXPECT_FALSE(SolveUsecViaDbscan(no, solver)) << "seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, UsecReductionTest, ::testing::Values(2, 3, 5));
+
+TEST(Usec, EmptySidesAreNo) {
+  UsecInstance instance(2);
+  instance.radius = 1.0;
+  EXPECT_FALSE(SolveUsecViaDbscan(instance, ExactGridSolver()));
+  instance.points.Add({0.0, 0.0});
+  EXPECT_FALSE(SolveUsecViaDbscan(instance, ExactGridSolver()));
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace adbscan {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differs = 0;
+  for (int i = 0; i < 10; ++i) differs += (a.Next() != b.Next());
+  EXPECT_GT(differs, 0);
+}
+
+TEST(Rng, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, NextBoundedHitsAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRangeRespected) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble(-3.0, 9.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 9.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Timer, ElapsedIsNonNegativeAndMonotonic) {
+  Timer t;
+  const double a = t.ElapsedSeconds();
+  const double b = t.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.Reset();
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(Flags, DefaultsSurviveEmptyParse) {
+  Flags flags;
+  flags.DefineInt("n", 100, "count")
+      .DefineDouble("eps", 5000.0, "radius")
+      .DefineBool("full", false, "paper scale")
+      .DefineString("out", "x.csv", "path");
+  char prog[] = "prog";
+  char* argv[] = {prog};
+  flags.Parse(1, argv);
+  EXPECT_EQ(flags.GetInt("n"), 100);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps"), 5000.0);
+  EXPECT_FALSE(flags.GetBool("full"));
+  EXPECT_EQ(flags.GetString("out"), "x.csv");
+}
+
+TEST(Flags, ParsesEqualsAndSpaceSyntax) {
+  Flags flags;
+  flags.DefineInt("n", 1, "").DefineDouble("eps", 0.0, "").DefineBool(
+      "full", false, "");
+  char prog[] = "prog";
+  char a1[] = "--n=42";
+  char a2[] = "--eps";
+  char a3[] = "123.5";
+  char a4[] = "--full";
+  char* argv[] = {prog, a1, a2, a3, a4};
+  flags.Parse(5, argv);
+  EXPECT_EQ(flags.GetInt("n"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps"), 123.5);
+  EXPECT_TRUE(flags.GetBool("full"));
+}
+
+TEST(Flags, ParsesLists) {
+  Flags flags;
+  flags.DefineString("eps", "1,2.5,10", "");
+  char prog[] = "prog";
+  char* argv[] = {prog};
+  flags.Parse(1, argv);
+  const std::vector<double> values = flags.GetDoubleList("eps");
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 1.0);
+  EXPECT_DOUBLE_EQ(values[1], 2.5);
+  EXPECT_DOUBLE_EQ(values[2], 10.0);
+  const std::vector<int64_t> ints = flags.GetIntList("eps");
+  ASSERT_EQ(ints.size(), 3u);
+  EXPECT_EQ(ints[2], 10);
+}
+
+}  // namespace
+}  // namespace adbscan
