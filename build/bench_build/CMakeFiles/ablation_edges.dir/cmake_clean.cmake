@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_edges"
+  "../bench/ablation_edges.pdb"
+  "CMakeFiles/ablation_edges.dir/ablation_edges.cc.o"
+  "CMakeFiles/ablation_edges.dir/ablation_edges.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_seed_spreader"
+  "../bench/fig08_seed_spreader.pdb"
+  "CMakeFiles/fig08_seed_spreader.dir/fig08_seed_spreader.cc.o"
+  "CMakeFiles/fig08_seed_spreader.dir/fig08_seed_spreader.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_seed_spreader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_visualization"
+  "../bench/fig09_visualization.pdb"
+  "CMakeFiles/fig09_visualization.dir/fig09_visualization.cc.o"
+  "CMakeFiles/fig09_visualization.dir/fig09_visualization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_max_legal_rho"
+  "../bench/fig10_max_legal_rho.pdb"
+  "CMakeFiles/fig10_max_legal_rho.dir/fig10_max_legal_rho.cc.o"
+  "CMakeFiles/fig10_max_legal_rho.dir/fig10_max_legal_rho.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_max_legal_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_max_legal_rho.
+# This may be replaced when dependencies are built.

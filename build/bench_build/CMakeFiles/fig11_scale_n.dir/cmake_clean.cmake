@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_scale_n"
+  "../bench/fig11_scale_n.pdb"
+  "CMakeFiles/fig11_scale_n.dir/fig11_scale_n.cc.o"
+  "CMakeFiles/fig11_scale_n.dir/fig11_scale_n.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scale_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_vary_eps"
+  "../bench/fig12_vary_eps.pdb"
+  "CMakeFiles/fig12_vary_eps.dir/fig12_vary_eps.cc.o"
+  "CMakeFiles/fig12_vary_eps.dir/fig12_vary_eps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_vary_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

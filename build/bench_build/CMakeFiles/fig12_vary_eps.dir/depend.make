@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_vary_eps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_vary_rho"
+  "../bench/fig13_vary_rho.pdb"
+  "CMakeFiles/fig13_vary_rho.dir/fig13_vary_rho.cc.o"
+  "CMakeFiles/fig13_vary_rho.dir/fig13_vary_rho.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_vary_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

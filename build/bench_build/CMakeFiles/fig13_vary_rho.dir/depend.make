@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_vary_rho.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bcp"
+  "../bench/micro_bcp.pdb"
+  "CMakeFiles/micro_bcp.dir/micro_bcp.cc.o"
+  "CMakeFiles/micro_bcp.dir/micro_bcp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_grid"
+  "../bench/micro_grid.pdb"
+  "CMakeFiles/micro_grid.dir/micro_grid.cc.o"
+  "CMakeFiles/micro_grid.dir/micro_grid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_rangecount"
+  "../bench/micro_rangecount.pdb"
+  "CMakeFiles/micro_rangecount.dir/micro_rangecount.cc.o"
+  "CMakeFiles/micro_rangecount.dir/micro_rangecount.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rangecount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

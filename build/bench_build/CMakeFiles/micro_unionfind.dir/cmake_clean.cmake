@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_unionfind"
+  "../bench/micro_unionfind.pdb"
+  "CMakeFiles/micro_unionfind.dir/micro_unionfind.cc.o"
+  "CMakeFiles/micro_unionfind.dir/micro_unionfind.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_unionfind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/related_work"
+  "../bench/related_work.pdb"
+  "CMakeFiles/related_work.dir/related_work.cc.o"
+  "CMakeFiles/related_work.dir/related_work.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_monitoring.dir/activity_monitoring.cpp.o"
+  "CMakeFiles/activity_monitoring.dir/activity_monitoring.cpp.o.d"
+  "activity_monitoring"
+  "activity_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reachability_plot.dir/reachability_plot.cpp.o"
+  "CMakeFiles/reachability_plot.dir/reachability_plot.cpp.o.d"
+  "reachability_plot"
+  "reachability_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reachability_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usec_reduction.dir/usec_reduction.cpp.o"
+  "CMakeFiles/usec_reduction.dir/usec_reduction.cpp.o.d"
+  "usec_reduction"
+  "usec_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usec_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

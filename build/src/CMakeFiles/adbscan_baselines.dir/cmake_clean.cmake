@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adbscan_baselines.dir/baselines/gf_dbscan.cc.o"
+  "CMakeFiles/adbscan_baselines.dir/baselines/gf_dbscan.cc.o.d"
+  "CMakeFiles/adbscan_baselines.dir/baselines/sampling_dbscan.cc.o"
+  "CMakeFiles/adbscan_baselines.dir/baselines/sampling_dbscan.cc.o.d"
+  "libadbscan_baselines.a"
+  "libadbscan_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adbscan_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

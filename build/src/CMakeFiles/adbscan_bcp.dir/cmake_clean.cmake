@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adbscan_bcp.dir/bcp/bcp.cc.o"
+  "CMakeFiles/adbscan_bcp.dir/bcp/bcp.cc.o.d"
+  "libadbscan_bcp.a"
+  "libadbscan_bcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adbscan_bcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approx_dbscan.cc" "src/CMakeFiles/adbscan_core.dir/core/approx_dbscan.cc.o" "gcc" "src/CMakeFiles/adbscan_core.dir/core/approx_dbscan.cc.o.d"
+  "/root/repo/src/core/border.cc" "src/CMakeFiles/adbscan_core.dir/core/border.cc.o" "gcc" "src/CMakeFiles/adbscan_core.dir/core/border.cc.o.d"
+  "/root/repo/src/core/brute_reference.cc" "src/CMakeFiles/adbscan_core.dir/core/brute_reference.cc.o" "gcc" "src/CMakeFiles/adbscan_core.dir/core/brute_reference.cc.o.d"
+  "/root/repo/src/core/core_labeling.cc" "src/CMakeFiles/adbscan_core.dir/core/core_labeling.cc.o" "gcc" "src/CMakeFiles/adbscan_core.dir/core/core_labeling.cc.o.d"
+  "/root/repo/src/core/exact_grid.cc" "src/CMakeFiles/adbscan_core.dir/core/exact_grid.cc.o" "gcc" "src/CMakeFiles/adbscan_core.dir/core/exact_grid.cc.o.d"
+  "/root/repo/src/core/grid_pipeline.cc" "src/CMakeFiles/adbscan_core.dir/core/grid_pipeline.cc.o" "gcc" "src/CMakeFiles/adbscan_core.dir/core/grid_pipeline.cc.o.d"
+  "/root/repo/src/core/gridbscan.cc" "src/CMakeFiles/adbscan_core.dir/core/gridbscan.cc.o" "gcc" "src/CMakeFiles/adbscan_core.dir/core/gridbscan.cc.o.d"
+  "/root/repo/src/core/gunawan2d.cc" "src/CMakeFiles/adbscan_core.dir/core/gunawan2d.cc.o" "gcc" "src/CMakeFiles/adbscan_core.dir/core/gunawan2d.cc.o.d"
+  "/root/repo/src/core/kdd96.cc" "src/CMakeFiles/adbscan_core.dir/core/kdd96.cc.o" "gcc" "src/CMakeFiles/adbscan_core.dir/core/kdd96.cc.o.d"
+  "/root/repo/src/core/optics.cc" "src/CMakeFiles/adbscan_core.dir/core/optics.cc.o" "gcc" "src/CMakeFiles/adbscan_core.dir/core/optics.cc.o.d"
+  "/root/repo/src/core/usec.cc" "src/CMakeFiles/adbscan_core.dir/core/usec.cc.o" "gcc" "src/CMakeFiles/adbscan_core.dir/core/usec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adbscan_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_bcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_rangecount.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

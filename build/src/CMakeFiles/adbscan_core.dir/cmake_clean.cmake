@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adbscan_core.dir/core/approx_dbscan.cc.o"
+  "CMakeFiles/adbscan_core.dir/core/approx_dbscan.cc.o.d"
+  "CMakeFiles/adbscan_core.dir/core/border.cc.o"
+  "CMakeFiles/adbscan_core.dir/core/border.cc.o.d"
+  "CMakeFiles/adbscan_core.dir/core/brute_reference.cc.o"
+  "CMakeFiles/adbscan_core.dir/core/brute_reference.cc.o.d"
+  "CMakeFiles/adbscan_core.dir/core/core_labeling.cc.o"
+  "CMakeFiles/adbscan_core.dir/core/core_labeling.cc.o.d"
+  "CMakeFiles/adbscan_core.dir/core/exact_grid.cc.o"
+  "CMakeFiles/adbscan_core.dir/core/exact_grid.cc.o.d"
+  "CMakeFiles/adbscan_core.dir/core/grid_pipeline.cc.o"
+  "CMakeFiles/adbscan_core.dir/core/grid_pipeline.cc.o.d"
+  "CMakeFiles/adbscan_core.dir/core/gridbscan.cc.o"
+  "CMakeFiles/adbscan_core.dir/core/gridbscan.cc.o.d"
+  "CMakeFiles/adbscan_core.dir/core/gunawan2d.cc.o"
+  "CMakeFiles/adbscan_core.dir/core/gunawan2d.cc.o.d"
+  "CMakeFiles/adbscan_core.dir/core/kdd96.cc.o"
+  "CMakeFiles/adbscan_core.dir/core/kdd96.cc.o.d"
+  "CMakeFiles/adbscan_core.dir/core/optics.cc.o"
+  "CMakeFiles/adbscan_core.dir/core/optics.cc.o.d"
+  "CMakeFiles/adbscan_core.dir/core/usec.cc.o"
+  "CMakeFiles/adbscan_core.dir/core/usec.cc.o.d"
+  "libadbscan_core.a"
+  "libadbscan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adbscan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adbscan_ds.dir/ds/union_find.cc.o"
+  "CMakeFiles/adbscan_ds.dir/ds/union_find.cc.o.d"
+  "libadbscan_ds.a"
+  "libadbscan_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adbscan_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adbscan_eval.dir/eval/collapse.cc.o"
+  "CMakeFiles/adbscan_eval.dir/eval/collapse.cc.o.d"
+  "CMakeFiles/adbscan_eval.dir/eval/compare.cc.o"
+  "CMakeFiles/adbscan_eval.dir/eval/compare.cc.o.d"
+  "CMakeFiles/adbscan_eval.dir/eval/kdist.cc.o"
+  "CMakeFiles/adbscan_eval.dir/eval/kdist.cc.o.d"
+  "CMakeFiles/adbscan_eval.dir/eval/stats.cc.o"
+  "CMakeFiles/adbscan_eval.dir/eval/stats.cc.o.d"
+  "libadbscan_eval.a"
+  "libadbscan_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adbscan_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/realdata_sim.cc" "src/CMakeFiles/adbscan_gen.dir/gen/realdata_sim.cc.o" "gcc" "src/CMakeFiles/adbscan_gen.dir/gen/realdata_sim.cc.o.d"
+  "/root/repo/src/gen/seed_spreader.cc" "src/CMakeFiles/adbscan_gen.dir/gen/seed_spreader.cc.o" "gcc" "src/CMakeFiles/adbscan_gen.dir/gen/seed_spreader.cc.o.d"
+  "/root/repo/src/gen/uniform.cc" "src/CMakeFiles/adbscan_gen.dir/gen/uniform.cc.o" "gcc" "src/CMakeFiles/adbscan_gen.dir/gen/uniform.cc.o.d"
+  "/root/repo/src/gen/usec_gen.cc" "src/CMakeFiles/adbscan_gen.dir/gen/usec_gen.cc.o" "gcc" "src/CMakeFiles/adbscan_gen.dir/gen/usec_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adbscan_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_bcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_rangecount.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

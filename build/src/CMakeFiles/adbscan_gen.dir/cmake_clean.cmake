@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adbscan_gen.dir/gen/realdata_sim.cc.o"
+  "CMakeFiles/adbscan_gen.dir/gen/realdata_sim.cc.o.d"
+  "CMakeFiles/adbscan_gen.dir/gen/seed_spreader.cc.o"
+  "CMakeFiles/adbscan_gen.dir/gen/seed_spreader.cc.o.d"
+  "CMakeFiles/adbscan_gen.dir/gen/uniform.cc.o"
+  "CMakeFiles/adbscan_gen.dir/gen/uniform.cc.o.d"
+  "CMakeFiles/adbscan_gen.dir/gen/usec_gen.cc.o"
+  "CMakeFiles/adbscan_gen.dir/gen/usec_gen.cc.o.d"
+  "libadbscan_gen.a"
+  "libadbscan_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adbscan_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

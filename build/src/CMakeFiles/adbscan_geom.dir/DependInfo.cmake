@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/box.cc" "src/CMakeFiles/adbscan_geom.dir/geom/box.cc.o" "gcc" "src/CMakeFiles/adbscan_geom.dir/geom/box.cc.o.d"
+  "/root/repo/src/geom/dataset.cc" "src/CMakeFiles/adbscan_geom.dir/geom/dataset.cc.o" "gcc" "src/CMakeFiles/adbscan_geom.dir/geom/dataset.cc.o.d"
+  "/root/repo/src/geom/delaunay2d.cc" "src/CMakeFiles/adbscan_geom.dir/geom/delaunay2d.cc.o" "gcc" "src/CMakeFiles/adbscan_geom.dir/geom/delaunay2d.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adbscan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

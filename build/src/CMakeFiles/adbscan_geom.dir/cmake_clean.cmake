@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adbscan_geom.dir/geom/box.cc.o"
+  "CMakeFiles/adbscan_geom.dir/geom/box.cc.o.d"
+  "CMakeFiles/adbscan_geom.dir/geom/dataset.cc.o"
+  "CMakeFiles/adbscan_geom.dir/geom/dataset.cc.o.d"
+  "CMakeFiles/adbscan_geom.dir/geom/delaunay2d.cc.o"
+  "CMakeFiles/adbscan_geom.dir/geom/delaunay2d.cc.o.d"
+  "libadbscan_geom.a"
+  "libadbscan_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adbscan_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adbscan_grid.dir/grid/cell.cc.o"
+  "CMakeFiles/adbscan_grid.dir/grid/cell.cc.o.d"
+  "CMakeFiles/adbscan_grid.dir/grid/grid.cc.o"
+  "CMakeFiles/adbscan_grid.dir/grid/grid.cc.o.d"
+  "libadbscan_grid.a"
+  "libadbscan_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adbscan_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

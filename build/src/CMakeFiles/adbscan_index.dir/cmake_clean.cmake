@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adbscan_index.dir/index/brute_force.cc.o"
+  "CMakeFiles/adbscan_index.dir/index/brute_force.cc.o.d"
+  "CMakeFiles/adbscan_index.dir/index/kdtree.cc.o"
+  "CMakeFiles/adbscan_index.dir/index/kdtree.cc.o.d"
+  "CMakeFiles/adbscan_index.dir/index/rtree.cc.o"
+  "CMakeFiles/adbscan_index.dir/index/rtree.cc.o.d"
+  "libadbscan_index.a"
+  "libadbscan_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adbscan_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adbscan_io.dir/io/dataset_io.cc.o"
+  "CMakeFiles/adbscan_io.dir/io/dataset_io.cc.o.d"
+  "CMakeFiles/adbscan_io.dir/io/table.cc.o"
+  "CMakeFiles/adbscan_io.dir/io/table.cc.o.d"
+  "libadbscan_io.a"
+  "libadbscan_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adbscan_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

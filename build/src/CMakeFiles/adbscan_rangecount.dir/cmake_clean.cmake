@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adbscan_rangecount.dir/rangecount/approx_range_counter.cc.o"
+  "CMakeFiles/adbscan_rangecount.dir/rangecount/approx_range_counter.cc.o.d"
+  "libadbscan_rangecount.a"
+  "libadbscan_rangecount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adbscan_rangecount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adbscan_util.dir/util/flags.cc.o"
+  "CMakeFiles/adbscan_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/adbscan_util.dir/util/parallel.cc.o"
+  "CMakeFiles/adbscan_util.dir/util/parallel.cc.o.d"
+  "CMakeFiles/adbscan_util.dir/util/rng.cc.o"
+  "CMakeFiles/adbscan_util.dir/util/rng.cc.o.d"
+  "libadbscan_util.a"
+  "libadbscan_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adbscan_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

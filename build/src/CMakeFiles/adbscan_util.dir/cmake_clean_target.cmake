@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadbscan_util.a"
+)

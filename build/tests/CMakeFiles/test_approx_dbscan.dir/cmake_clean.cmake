@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_approx_dbscan.dir/test_approx_dbscan.cc.o"
+  "CMakeFiles/test_approx_dbscan.dir/test_approx_dbscan.cc.o.d"
+  "test_approx_dbscan"
+  "test_approx_dbscan.pdb"
+  "test_approx_dbscan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_approx_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

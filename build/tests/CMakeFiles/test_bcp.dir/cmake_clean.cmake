@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bcp.dir/test_bcp.cc.o"
+  "CMakeFiles/test_bcp.dir/test_bcp.cc.o.d"
+  "test_bcp"
+  "test_bcp.pdb"
+  "test_bcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

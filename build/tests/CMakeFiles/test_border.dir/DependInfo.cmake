@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_border.cc" "tests/CMakeFiles/test_border.dir/test_border.cc.o" "gcc" "tests/CMakeFiles/test_border.dir/test_border.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adbscan_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_bcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_rangecount.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adbscan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

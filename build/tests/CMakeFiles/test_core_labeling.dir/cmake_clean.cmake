@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_labeling.dir/test_core_labeling.cc.o"
+  "CMakeFiles/test_core_labeling.dir/test_core_labeling.cc.o.d"
+  "test_core_labeling"
+  "test_core_labeling.pdb"
+  "test_core_labeling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

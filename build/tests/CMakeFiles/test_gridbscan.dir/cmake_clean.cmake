@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gridbscan.dir/test_gridbscan.cc.o"
+  "CMakeFiles/test_gridbscan.dir/test_gridbscan.cc.o.d"
+  "test_gridbscan"
+  "test_gridbscan.pdb"
+  "test_gridbscan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gridbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gunawan2d.dir/test_gunawan2d.cc.o"
+  "CMakeFiles/test_gunawan2d.dir/test_gunawan2d.cc.o.d"
+  "test_gunawan2d"
+  "test_gunawan2d.pdb"
+  "test_gunawan2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gunawan2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

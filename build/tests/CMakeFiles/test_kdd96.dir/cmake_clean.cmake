@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kdd96.dir/test_kdd96.cc.o"
+  "CMakeFiles/test_kdd96.dir/test_kdd96.cc.o.d"
+  "test_kdd96"
+  "test_kdd96.pdb"
+  "test_kdd96[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kdd96.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

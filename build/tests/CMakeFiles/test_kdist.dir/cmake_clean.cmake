@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kdist.dir/test_kdist.cc.o"
+  "CMakeFiles/test_kdist.dir/test_kdist.cc.o.d"
+  "test_kdist"
+  "test_kdist.pdb"
+  "test_kdist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

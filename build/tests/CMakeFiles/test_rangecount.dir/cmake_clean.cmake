@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rangecount.dir/test_rangecount.cc.o"
+  "CMakeFiles/test_rangecount.dir/test_rangecount.cc.o.d"
+  "test_rangecount"
+  "test_rangecount.pdb"
+  "test_rangecount[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rangecount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_realdata_sim.dir/test_realdata_sim.cc.o"
+  "CMakeFiles/test_realdata_sim.dir/test_realdata_sim.cc.o.d"
+  "test_realdata_sim"
+  "test_realdata_sim.pdb"
+  "test_realdata_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_realdata_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_result_validity.dir/test_result_validity.cc.o"
+  "CMakeFiles/test_result_validity.dir/test_result_validity.cc.o.d"
+  "test_result_validity"
+  "test_result_validity.pdb"
+  "test_result_validity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_result_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sandwich.dir/test_sandwich.cc.o"
+  "CMakeFiles/test_sandwich.dir/test_sandwich.cc.o.d"
+  "test_sandwich"
+  "test_sandwich.pdb"
+  "test_sandwich[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sandwich.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seed_spreader.dir/test_seed_spreader.cc.o"
+  "CMakeFiles/test_seed_spreader.dir/test_seed_spreader.cc.o.d"
+  "test_seed_spreader"
+  "test_seed_spreader.pdb"
+  "test_seed_spreader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seed_spreader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

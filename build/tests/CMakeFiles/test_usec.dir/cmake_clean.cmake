@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usec.dir/test_usec.cc.o"
+  "CMakeFiles/test_usec.dir/test_usec.cc.o.d"
+  "test_usec"
+  "test_usec.pdb"
+  "test_usec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adbscan_cli.dir/adbscan_cli.cc.o"
+  "CMakeFiles/adbscan_cli.dir/adbscan_cli.cc.o.d"
+  "adbscan_cli"
+  "adbscan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adbscan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
