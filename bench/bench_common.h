@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -17,6 +18,8 @@
 #include "core/adbscan.h"
 #include "gen/realdata_sim.h"
 #include "gen/seed_spreader.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -97,9 +100,10 @@ class BudgetTracker {
     return exhausted_.find(key) == exhausted_.end();
   }
 
-  // Returns elapsed seconds, or a negative value if the run was skipped.
-  double Run(const std::string& key, const std::function<void()>& fn) {
-    if (!ShouldRun(key)) return -1.0;
+  // Returns elapsed seconds, or nullopt if the run was skipped.
+  std::optional<double> Run(const std::string& key,
+                            const std::function<void()>& fn) {
+    if (!ShouldRun(key)) return std::nullopt;
     Timer timer;
     fn();
     const double elapsed = timer.ElapsedSeconds();
@@ -112,6 +116,59 @@ class BudgetTracker {
  private:
   double budget_sec_;
   std::set<std::string> exhausted_;
+};
+
+// Formats a numeric run parameter for the metrics-record params map.
+inline std::string ParamNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Appends one obs::RunRecord JSON line per measured run to --metrics_json.
+// Constructing with a non-empty path runtime-enables the metrics registry;
+// an empty path leaves everything off and every method a no-op. Each
+// BeginRun/EndRun pair brackets exactly one algorithm invocation:
+//
+//   logger.BeginRun();
+//   <run the algorithm, measure total seconds>
+//   logger.EndRun(dataset, algo, params, total_sec);
+class MetricsLogger {
+ public:
+  MetricsLogger(std::string path, std::string run_name)
+      : path_(std::move(path)), run_(std::move(run_name)) {
+    if (!path_.empty()) obs::MetricsRegistry::SetEnabled(true);
+  }
+
+  bool active() const { return !path_.empty(); }
+
+  void BeginRun() {
+    if (!active()) return;
+    obs::MetricsRegistry::Global().Reset();
+  }
+
+  void EndRun(const std::string& dataset, const std::string& algo,
+              std::vector<std::pair<std::string, std::string>> params,
+              double total_sec) {
+    if (!active()) return;
+    obs::RunRecord rec;
+    rec.run = run_;
+    rec.dataset = dataset;
+    rec.algo = algo;
+    rec.params = std::move(params);
+    rec.total_ms = total_sec * 1000.0;
+    rec.metrics = obs::MetricsRegistry::Global().Snapshot();
+    if (!obs::AppendJsonLine(path_, rec) && !warned_) {
+      warned_ = true;  // one warning, not one per run
+      std::fprintf(stderr, "warning: cannot append metrics to %s\n",
+                   path_.c_str());
+    }
+  }
+
+ private:
+  std::string path_;
+  std::string run_;
+  bool warned_ = false;
 };
 
 }  // namespace bench

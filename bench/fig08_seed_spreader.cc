@@ -20,8 +20,12 @@ int main(int argc, char** argv) {
   flags.DefineInt("n", 1000, "dataset cardinality")
       .DefineInt("seed", 1201, "generator seed")
       .DefineString("out", "fig08_dataset.csv",
-                    "labeled CSV output (empty to skip)");
+                    "labeled CSV output (empty to skip)")
+      .DefineString("metrics_json", "",
+                    "append one JSON metrics record per run (empty: off)");
   flags.Parse(argc, argv);
+  adbscan::bench::MetricsLogger metrics(flags.GetString("metrics_json"),
+                                        "fig08_seed_spreader");
 
   SeedSpreaderParams p;
   p.dim = 2;
@@ -33,7 +37,14 @@ int main(int argc, char** argv) {
       GenerateSeedSpreader(p, flags.GetInt("seed"), &restarts);
 
   const DbscanParams params{5000.0, 20};
+  metrics.BeginRun();
+  Timer timer;
   const Clustering c = ExactGridDbscan(data, params);
+  metrics.EndRun("ss2d_fig08", "OurExact",
+                 {{"n", std::to_string(data.size())},
+                  {"eps", adbscan::bench::ParamNum(params.eps)},
+                  {"min_pts", std::to_string(params.min_pts)}},
+                 timer.ElapsedSeconds());
 
   std::printf("Figure 8: 2D seed spreader dataset\n");
   Table t({"quantity", "value"});

@@ -33,8 +33,12 @@ int main(int argc, char** argv) {
       .DefineInt("seed", 1201, "generator seed")
       .DefineInt("min_pts", 20, "MinPts")
       .DefineString("eps", "", "comma list of radii (default: paper values)")
-      .DefineBool("write_csv", false, "write one labeled CSV per panel");
+      .DefineBool("write_csv", false, "write one labeled CSV per panel")
+      .DefineString("metrics_json", "",
+                    "append one JSON metrics record per run (empty: off)");
   flags.Parse(argc, argv);
+  bench::MetricsLogger metrics(flags.GetString("metrics_json"),
+                               "fig09_visualization");
 
   SeedSpreaderParams p;
   p.dim = 2;
@@ -69,7 +73,14 @@ int main(int argc, char** argv) {
   char panel = 'a';
   for (double eps : eps_values) {
     const DbscanParams params{eps, min_pts};
+    metrics.BeginRun();
+    Timer exact_timer;
     const Clustering exact = ExactGridDbscan(data, params);
+    metrics.EndRun("ss2d_fig09", "OurExact",
+                   {{"n", std::to_string(data.size())},
+                    {"eps", bench::ParamNum(eps)},
+                    {"min_pts", std::to_string(min_pts)}},
+                   exact_timer.ElapsedSeconds());
     t.AddRow({Table::Num(eps, 6), "exact DBSCAN",
               std::to_string(exact.num_clusters), "-"});
     if (flags.GetBool("write_csv")) {
@@ -78,7 +89,15 @@ int main(int argc, char** argv) {
     }
     ++panel;
     for (double rho : rhos) {
+      metrics.BeginRun();
+      Timer approx_timer;
       const Clustering approx = ApproxDbscan(data, params, rho);
+      metrics.EndRun("ss2d_fig09", "OurApprox",
+                     {{"n", std::to_string(data.size())},
+                      {"eps", bench::ParamNum(eps)},
+                      {"min_pts", std::to_string(min_pts)},
+                      {"rho", bench::ParamNum(rho)}},
+                     approx_timer.ElapsedSeconds());
       const bool same = SameClusters(exact, approx);
       t.AddRow({Table::Num(eps, 6), "rho=" + Table::Num(rho),
                 std::to_string(approx.num_clusters), same ? "yes" : "NO"});

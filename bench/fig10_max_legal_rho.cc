@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
       .DefineString("datasets", "ss3d,ss5d,ss7d,pamap2,farm,household",
                     "comma list of datasets")
       .DefineInt("seed", 2025, "generator seed")
-      .DefineBool("full", false, "paper-scale n (2m); very slow");
+      .DefineBool("full", false, "paper-scale n (2m); very slow")
+      .DefineString("metrics_json", "",
+                    "append one JSON metrics record per run (empty: off)");
   flags.Parse(argc, argv);
 
   const size_t n = flags.GetBool("full")
@@ -39,6 +41,8 @@ int main(int argc, char** argv) {
                        : static_cast<size_t>(flags.GetInt("n"));
   const int min_pts = static_cast<int>(flags.GetInt("min_pts"));
   const int steps = static_cast<int>(flags.GetInt("steps"));
+  bench::MetricsLogger metrics(flags.GetString("metrics_json"),
+                               "fig10_max_legal_rho");
 
   std::printf("Figure 10: maximum legal rho vs eps (n=%zu, MinPts=%d)\n", n,
               min_pts);
@@ -64,7 +68,14 @@ int main(int argc, char** argv) {
           eps_lo + (collapse - eps_lo) * static_cast<double>(s) /
                        std::max(1, steps - 1);
       const DbscanParams params{eps, min_pts};
+      metrics.BeginRun();
+      Timer exact_timer;
       const Clustering exact = ExactGridDbscan(data, params);
+      metrics.EndRun(name, "OurExact",
+                     {{"n", std::to_string(n)},
+                      {"eps", bench::ParamNum(eps)},
+                      {"min_pts", std::to_string(min_pts)}},
+                     exact_timer.ElapsedSeconds());
       MaxLegalRhoOptions mopts;
       mopts.rho_hi = flags.GetDouble("rho_cap");
       const double max_rho = MaxLegalRho(data, params, exact, mopts);

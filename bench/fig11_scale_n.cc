@@ -34,7 +34,9 @@ int main(int argc, char** argv) {
       .DefineString("datasets", "ss3d,ss5d,ss7d", "datasets to sweep")
       .DefineInt("seed", 2025, "generator seed")
       .DefineBool("full", false,
-                  "paper-scale sweep (100k..10m); may take hours");
+                  "paper-scale sweep (100k..10m); may take hours")
+      .DefineString("metrics_json", "",
+                    "append one JSON metrics record per run (empty: off)");
   flags.Parse(argc, argv);
 
   std::vector<int64_t> sizes = flags.GetIntList("sizes");
@@ -44,6 +46,8 @@ int main(int argc, char** argv) {
   const DbscanParams params{flags.GetDouble("eps"),
                             static_cast<int>(flags.GetInt("min_pts"))};
   const double rho = flags.GetDouble("rho");
+  bench::MetricsLogger metrics(flags.GetString("metrics_json"),
+                               "fig11_scale_n");
 
   std::printf(
       "Figure 11: running time vs n (eps=%.0f, MinPts=%d, rho=%.3g, "
@@ -69,10 +73,19 @@ int main(int argc, char** argv) {
       int approx_clusters = -1;
       for (const auto& [algo_name, fn] : bench::StandardAlgos(rho)) {
         Clustering result;
-        const double elapsed = budget.Run(
+        metrics.BeginRun();
+        const std::optional<double> elapsed = budget.Run(
             name + "/" + algo_name, [&] { result = fn(data, params); });
-        row.push_back(Table::Seconds(elapsed));
-        if (algo_name == "OurApprox" && elapsed >= 0.0) {
+        row.push_back(Table::Seconds(elapsed.value_or(-1.0)));
+        if (elapsed.has_value()) {
+          metrics.EndRun(name, algo_name,
+                         {{"n", std::to_string(n)},
+                          {"eps", bench::ParamNum(params.eps)},
+                          {"min_pts", std::to_string(params.min_pts)},
+                          {"rho", bench::ParamNum(rho)}},
+                         *elapsed);
+        }
+        if (algo_name == "OurApprox" && elapsed.has_value()) {
           approx_clusters = result.num_clusters;
         }
       }

@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
       .DefineString("datasets", "ss3d,ss5d,ss7d,pamap2,farm,household",
                     "datasets to sweep")
       .DefineInt("seed", 2025, "generator seed")
-      .DefineBool("full", false, "paper-scale n (2m)");
+      .DefineBool("full", false, "paper-scale n (2m)")
+      .DefineString("metrics_json", "",
+                    "append one JSON metrics record per run (empty: off)");
   flags.Parse(argc, argv);
 
   const size_t n = flags.GetBool("full")
@@ -40,6 +42,8 @@ int main(int argc, char** argv) {
   const int min_pts = static_cast<int>(flags.GetInt("min_pts"));
   const double rho = flags.GetDouble("rho");
   const int steps = static_cast<int>(flags.GetInt("steps"));
+  bench::MetricsLogger metrics(flags.GetString("metrics_json"),
+                               "fig12_vary_eps");
 
   std::printf(
       "Figure 12: running time vs eps (n=%zu, MinPts=%d, rho=%.3g, budget "
@@ -71,9 +75,18 @@ int main(int argc, char** argv) {
       const DbscanParams params{eps, min_pts};
       std::vector<std::string> row{Table::Num(eps, 6)};
       for (const auto& [algo_name, fn] : bench::StandardAlgos(rho)) {
-        const double elapsed = budget.Run(
+        metrics.BeginRun();
+        const std::optional<double> elapsed = budget.Run(
             name + "/" + algo_name, [&] { (void)fn(data, params); });
-        row.push_back(Table::Seconds(elapsed));
+        row.push_back(Table::Seconds(elapsed.value_or(-1.0)));
+        if (elapsed.has_value()) {
+          metrics.EndRun(name, algo_name,
+                         {{"n", std::to_string(n)},
+                          {"eps", bench::ParamNum(eps)},
+                          {"min_pts", std::to_string(min_pts)},
+                          {"rho", bench::ParamNum(rho)}},
+                         *elapsed);
+        }
       }
       t.AddRow(row);
     }

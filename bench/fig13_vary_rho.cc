@@ -28,7 +28,9 @@ int main(int argc, char** argv) {
       .DefineString("datasets", "ss3d,ss5d,ss7d,pamap2,farm,household",
                     "datasets to sweep")
       .DefineInt("seed", 2025, "generator seed")
-      .DefineBool("full", false, "paper-scale n (2m)");
+      .DefineBool("full", false, "paper-scale n (2m)")
+      .DefineString("metrics_json", "",
+                    "append one JSON metrics record per run (empty: off)");
   flags.Parse(argc, argv);
 
   const size_t n = flags.GetBool("full")
@@ -37,6 +39,8 @@ int main(int argc, char** argv) {
   const DbscanParams params{flags.GetDouble("eps"),
                             static_cast<int>(flags.GetInt("min_pts"))};
   const std::vector<double> rhos = flags.GetDoubleList("rhos");
+  bench::MetricsLogger metrics(flags.GetString("metrics_json"),
+                               "fig13_vary_rho");
 
   std::printf(
       "Figure 13: OurApprox running time vs rho (n=%zu, eps=%.0f, "
@@ -51,9 +55,17 @@ int main(int argc, char** argv) {
     const Dataset data = MakeBenchDataset(name, n, flags.GetInt("seed"));
     std::vector<std::string> row{name};
     for (double rho : rhos) {
+      metrics.BeginRun();
       Timer timer;
       (void)ApproxDbscan(data, params, rho);
-      row.push_back(Table::Seconds(timer.ElapsedSeconds()));
+      const double elapsed = timer.ElapsedSeconds();
+      metrics.EndRun(name, "OurApprox",
+                     {{"n", std::to_string(n)},
+                      {"eps", bench::ParamNum(params.eps)},
+                      {"min_pts", std::to_string(params.min_pts)},
+                      {"rho", bench::ParamNum(rho)}},
+                     elapsed);
+      row.push_back(Table::Seconds(elapsed));
     }
     t.AddRow(row);
   }

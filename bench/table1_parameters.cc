@@ -18,8 +18,12 @@ int main(int argc, char** argv) {
   Flags flags;
   flags.DefineInt("n", 20000, "points per dataset for the collapse probe")
       .DefineInt("min_pts", bench::kDefaultMinPts, "MinPts")
-      .DefineInt("seed", 2025, "generator seed");
+      .DefineInt("seed", 2025, "generator seed")
+      .DefineString("metrics_json", "",
+                    "append one JSON metrics record per run (empty: off)");
   flags.Parse(argc, argv);
+  bench::MetricsLogger metrics(flags.GetString("metrics_json"),
+                               "table1_parameters");
 
   std::printf("Table 1: parameter values (defaults in the paper in bold)\n");
   Table params({"parameter", "values (paper)", "default"});
@@ -40,7 +44,13 @@ int main(int argc, char** argv) {
     const Dataset data = MakeBenchDataset(name, n, flags.GetInt("seed"));
     CollapseOptions opts;
     opts.eps_lo = 1000.0;
+    metrics.BeginRun();
+    Timer probe_timer;
     const double r = FindCollapsingRadius(data, min_pts, opts);
+    metrics.EndRun(name, "collapse_probe",
+                   {{"n", std::to_string(n)},
+                    {"min_pts", std::to_string(min_pts)}},
+                   probe_timer.ElapsedSeconds());
     radii.AddRow({name, std::to_string(data.dim()), Table::Num(r, 5)});
   }
   radii.Print();

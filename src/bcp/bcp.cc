@@ -4,6 +4,7 @@
 
 #include "geom/point.h"
 #include "index/kdtree.h"
+#include "obs/metrics.h"
 
 namespace adbscan {
 namespace {
@@ -24,6 +25,7 @@ std::optional<BcpPair> BruteForcePair(const Dataset& data,
       if (d2 < best.squared_dist) best = {pa, pb, d2};
     }
   }
+  ADB_COUNT("dist_evals.bcp", a.size() * b.size());
   return best;
 }
 
@@ -33,6 +35,7 @@ std::optional<BcpPair> BichromaticClosestPair(const Dataset& data,
                                               const std::vector<uint32_t>& a,
                                               const std::vector<uint32_t>& b) {
   if (a.empty() || b.empty()) return std::nullopt;
+  ADB_COUNT("bcp.pair_tests", 1);
   if (a.size() * b.size() <= kBruteForceThreshold) {
     return BruteForcePair(data, a, b);
   }
@@ -44,6 +47,7 @@ std::optional<BcpPair> BichromaticClosestPair(const Dataset& data,
   KdTree tree(data, indexed);
   BcpPair best{probe[0], indexed[0],
                std::numeric_limits<double>::infinity()};
+  ADB_COUNT("bcp.tree_probes", probe.size());
   for (uint32_t pid : probe) {
     const auto nn = tree.Nearest(data.point(pid), best.squared_dist);
     if (nn.has_value()) best = {pid, nn->id, nn->squared_dist};
@@ -55,23 +59,36 @@ std::optional<BcpPair> BichromaticClosestPair(const Dataset& data,
 bool ExistsPairWithin(const Dataset& data, const std::vector<uint32_t>& a,
                       const std::vector<uint32_t>& b, double eps) {
   if (a.empty() || b.empty()) return false;
+  ADB_COUNT("bcp.pair_tests", 1);
   const double eps2 = eps * eps;
   const int dim = data.dim();
   if (a.size() * b.size() <= kBruteForceThreshold) {
+    size_t dist_evals = 0;
     for (uint32_t pa : a) {
       const double* p = data.point(pa);
       for (uint32_t pb : b) {
-        if (SquaredDistance(p, data.point(pb), dim) <= eps2) return true;
+        ++dist_evals;
+        if (SquaredDistance(p, data.point(pb), dim) <= eps2) {
+          ADB_COUNT("dist_evals.bcp", dist_evals);
+          return true;
+        }
       }
     }
+    ADB_COUNT("dist_evals.bcp", dist_evals);
     return false;
   }
   const std::vector<uint32_t>& probe = a.size() <= b.size() ? a : b;
   const std::vector<uint32_t>& indexed = a.size() <= b.size() ? b : a;
   KdTree tree(data, indexed);
+  size_t probes = 0;
   for (uint32_t pid : probe) {
-    if (tree.AnyWithin(data.point(pid), eps)) return true;
+    ++probes;
+    if (tree.AnyWithin(data.point(pid), eps)) {
+      ADB_COUNT("bcp.tree_probes", probes);
+      return true;
+    }
   }
+  ADB_COUNT("bcp.tree_probes", probes);
   return false;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/grid_pipeline.h"
+#include "obs/metrics.h"
 #include "rangecount/approx_range_counter.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -14,6 +15,11 @@ namespace adbscan {
 Clustering ApproxDbscan(const Dataset& data, const DbscanParams& params,
                         double rho, const ApproxDbscanOptions& options) {
   ADB_CHECK(rho > 0.0);
+  // Register the range-counter counters upfront: degenerate runs (no core
+  // cells, no candidate edges) must still export a stable schema.
+  ADB_COUNT("rangecount.structures", 0);
+  ADB_COUNT("rangecount.probes", 0);
+  ADB_COUNT("rangecount.nodes_visited", 0);
   const CoreCellIndex* cells = nullptr;
   // One Lemma 5 structure per core cell, over that cell's core points.
   std::vector<std::unique_ptr<ApproxRangeCounter>> counters;

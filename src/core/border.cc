@@ -5,6 +5,7 @@
 
 #include "geom/box.h"
 #include "geom/point.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -36,6 +37,7 @@ void AssignBorderPoints(const Dataset& data, const Grid& grid,
   ParallelFor(grid.NumCells(), num_threads, [&](size_t begin, size_t end) {
   std::vector<int32_t> memberships;  // clusters found for the current point
   std::vector<std::pair<uint32_t, int32_t>> local_extras;
+  size_t dist_evals = 0;  // batched into the counter once per chunk
   for (uint32_t ci = static_cast<uint32_t>(begin); ci < end; ++ci) {
     const Grid::Cell& cell = grid.cell(ci);
     bool has_non_core = false;
@@ -75,6 +77,7 @@ void AssignBorderPoints(const Dataset& data, const Grid& grid,
         bool hit = core_boxes[k].MaxSquaredDistToPoint(q) <= eps2;
         if (!hit) {
           for (uint32_t core_id : cci.core_points[cc]) {
+            ++dist_evals;
             if (SquaredDistance(q, data.point(core_id), dim) <= eps2) {
               hit = true;
               break;
@@ -91,6 +94,7 @@ void AssignBorderPoints(const Dataset& data, const Grid& grid,
       }
     }
   }
+  ADB_COUNT("dist_evals.border", dist_evals);
   if (!local_extras.empty()) {
     const std::lock_guard<std::mutex> lock(extras_mutex);
     out->extra_memberships.insert(out->extra_memberships.end(),

@@ -2,6 +2,7 @@
 
 #include "geom/box.h"
 #include "geom/point.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -41,6 +42,7 @@ std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
     std::vector<Box> neighbor_boxes;
     neighbor_boxes.reserve(neighbors.size());
     for (uint32_t cj : neighbors) neighbor_boxes.push_back(grid.CellBoxOf(cj));
+    size_t dist_evals = 0;  // batched into the counter once per cell
     for (uint32_t id : cell.points) {
       const double* p = data.point(id);
       size_t count = cell.points.size();  // own cell: all within ε
@@ -54,6 +56,7 @@ std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
             count += others.size();
           } else {
             for (uint32_t other : others) {
+              ++dist_evals;
               if (SquaredDistance(p, data.point(other), dim) <= eps2) {
                 if (++count >= min_pts) break;
               }
@@ -64,6 +67,7 @@ std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
       }
       if (count >= min_pts) is_core[id] = 1;
     }
+    ADB_COUNT("dist_evals.core_labeling", dist_evals);
   }
   });
   return is_core;

@@ -2,16 +2,24 @@
 
 #include "bcp/bcp.h"
 #include "core/grid_pipeline.h"
+#include "obs/metrics.h"
 
 namespace adbscan {
 
 Clustering ExactGridDbscan(const Dataset& data, const DbscanParams& params) {
+  // Register BCP counters upfront so the exported schema is stable even on
+  // runs whose core-cell graph has no candidate edges.
+  ADB_COUNT("exact.edge_bcp_tests", 0);
+  ADB_COUNT("bcp.pair_tests", 0);
+  ADB_COUNT("bcp.tree_probes", 0);
+  ADB_COUNT("dist_evals.bcp", 0);
   const CoreCellIndex* cells = nullptr;
   GridPipelineHooks hooks;
   hooks.prepare_cells = [&](const Grid&, const CoreCellIndex& cci) {
     cells = &cci;
   };
   hooks.edge_test = [&](uint32_t c1, uint32_t c2) {
+    ADB_COUNT("exact.edge_bcp_tests", 1);
     return ExistsPairWithin(data, cells->core_points[c1],
                             cells->core_points[c2], params.eps);
   };

@@ -1,7 +1,10 @@
 #include "core/grid_pipeline.h"
 
+#include <optional>
+
 #include "core/border.h"
 #include "ds/union_find.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -17,75 +20,137 @@ Clustering RunGridPipeline(const Dataset& data, const DbscanParams& params,
   out.is_core.assign(n, 0);
   if (n == 0) return out;
 
-  const Grid grid(data, Grid::SideFor(params.eps, data.dim()));
-  if (params.num_threads > 1) {
-    grid.WarmNeighborCache(params.eps, params.num_threads);
+  // Register the pipeline's counter set up front so every exported record
+  // carries the same names even when a code path never fires (e.g. a run
+  // with no core cells has graph.edge_tests = 0, not a missing counter).
+  ADB_COUNT("grid.nonempty_cells", 0);
+  ADB_COUNT("graph.nodes", 0);
+  ADB_COUNT("graph.candidate_pairs", 0);
+  ADB_COUNT("graph.edge_tests", 0);
+  ADB_COUNT("graph.edges", 0);
+  ADB_COUNT("dist_evals.core_labeling", 0);
+  ADB_COUNT("dist_evals.border", 0);
+  ADB_COUNT("unionfind.finds", 0);
+  ADB_COUNT("unionfind.unions", 0);
+
+  std::optional<Grid> grid_storage;
+  {
+    ADB_PHASE("grid_build");
+    grid_storage.emplace(data, Grid::SideFor(params.eps, data.dim()));
+    if (params.num_threads > 1) {
+      grid_storage->WarmNeighborCache(params.eps, params.num_threads);
+    }
   }
-  out.is_core = hooks.label_core ? hooks.label_core(data, grid, params)
-                                 : LabelCorePoints(data, grid, params);
-  const CoreCellIndex cci = BuildCoreCellIndex(grid, out.is_core);
-  if (hooks.prepare_cells) hooks.prepare_cells(grid, cci);
+  const Grid& grid = *grid_storage;
+  ADB_COUNT("grid.nonempty_cells", grid.NumCells());
+
+  {
+    ADB_PHASE("core_labeling");
+    out.is_core = hooks.label_core ? hooks.label_core(data, grid, params)
+                                   : LabelCorePoints(data, grid, params);
+  }
+  std::optional<CoreCellIndex> cci_storage;
+  {
+    ADB_PHASE("core_cell_index");
+    cci_storage.emplace(BuildCoreCellIndex(grid, out.is_core));
+  }
+  const CoreCellIndex& cci = *cci_storage;
+  ADB_COUNT("graph.nodes", cci.size());
+  if (hooks.prepare_cells) {
+    ADB_PHASE("prepare_cells");
+    hooks.prepare_cells(grid, cci);
+  }
 
   // Edges of G over unordered ε-neighbor core-cell pairs.
   UnionFind uf(static_cast<uint32_t>(cci.size()));
-  if (hooks.edge_test_thread_safe && params.num_threads > 1) {
-    // Parallel path: evaluate every candidate pair concurrently, then union
-    // sequentially. More tests than the serial path (which skips pairs that
-    // are already connected), but the same components.
-    std::vector<std::pair<uint32_t, uint32_t>> pairs;
-    for (uint32_t c1 = 0; c1 < cci.size(); ++c1) {
-      for (uint32_t gj : grid.EpsNeighbors(cci.grid_cell[c1], params.eps)) {
-        const uint32_t c2 = cci.core_cell_of_grid_cell[gj];
-        if (c2 != CoreCellIndex::kNone && c2 > c1) pairs.emplace_back(c1, c2);
+  {
+    ADB_PHASE("edge_graph");
+    if (hooks.edge_test_thread_safe && params.num_threads > 1) {
+      // Parallel path: evaluate every candidate pair concurrently, then
+      // union sequentially. More tests than the serial path (which skips
+      // pairs that are already connected), but the same components.
+      std::vector<std::pair<uint32_t, uint32_t>> pairs;
+      for (uint32_t c1 = 0; c1 < cci.size(); ++c1) {
+        for (uint32_t gj :
+             grid.EpsNeighbors(cci.grid_cell[c1], params.eps)) {
+          const uint32_t c2 = cci.core_cell_of_grid_cell[gj];
+          if (c2 != CoreCellIndex::kNone && c2 > c1) {
+            pairs.emplace_back(c1, c2);
+          }
+        }
       }
-    }
-    std::vector<char> has_edge(pairs.size(), 0);
-    ParallelFor(pairs.size(), params.num_threads,
-                [&](size_t begin, size_t end) {
-                  for (size_t i = begin; i < end; ++i) {
-                    has_edge[i] =
-                        hooks.edge_test(pairs[i].first, pairs[i].second);
-                  }
-                });
-    for (size_t i = 0; i < pairs.size(); ++i) {
-      if (has_edge[i]) uf.Union(pairs[i].first, pairs[i].second);
-    }
-  } else {
-    // Serial path: each pair tested at most once, skipped outright when
-    // already connected.
-    for (uint32_t c1 = 0; c1 < cci.size(); ++c1) {
-      for (uint32_t gj : grid.EpsNeighbors(cci.grid_cell[c1], params.eps)) {
-        const uint32_t c2 = cci.core_cell_of_grid_cell[gj];
-        if (c2 == CoreCellIndex::kNone || c2 <= c1) continue;
-        if (uf.Connected(c1, c2)) continue;
-        if (hooks.edge_test(c1, c2)) uf.Union(c1, c2);
+      ADB_COUNT("graph.candidate_pairs", pairs.size());
+      ADB_COUNT("graph.edge_tests", pairs.size());
+      std::vector<char> has_edge(pairs.size(), 0);
+      ParallelFor(pairs.size(), params.num_threads,
+                  [&](size_t begin, size_t end) {
+                    for (size_t i = begin; i < end; ++i) {
+                      has_edge[i] =
+                          hooks.edge_test(pairs[i].first, pairs[i].second);
+                    }
+                  });
+      size_t edges = 0;
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        if (has_edge[i]) {
+          ++edges;
+          uf.Union(pairs[i].first, pairs[i].second);
+        }
       }
+      ADB_COUNT("graph.edges", edges);
+    } else {
+      // Serial path: each pair tested at most once, skipped outright when
+      // already connected.
+      size_t candidates = 0, tests = 0, edges = 0;
+      for (uint32_t c1 = 0; c1 < cci.size(); ++c1) {
+        for (uint32_t gj :
+             grid.EpsNeighbors(cci.grid_cell[c1], params.eps)) {
+          const uint32_t c2 = cci.core_cell_of_grid_cell[gj];
+          if (c2 == CoreCellIndex::kNone || c2 <= c1) continue;
+          ++candidates;
+          if (uf.Connected(c1, c2)) continue;
+          ++tests;
+          if (hooks.edge_test(c1, c2)) {
+            ++edges;
+            uf.Union(c1, c2);
+          }
+        }
+      }
+      ADB_COUNT("graph.candidate_pairs", candidates);
+      ADB_COUNT("graph.edge_tests", tests);
+      ADB_COUNT("graph.edges", edges);
     }
   }
-  std::vector<uint32_t> component = uf.ComponentIds();
 
-  // Number clusters by first core point in id order so labels are
-  // deterministic, and write the core labels (Lemma 1: component -> the core
-  // points of one cluster).
-  std::vector<int32_t> component_to_cluster(cci.size(), kNoise);
   std::vector<int32_t> core_label(n, kNoise);
-  int32_t next_cluster = 0;
-  for (uint32_t id = 0; id < n; ++id) {
-    if (!out.is_core[id]) continue;
-    const uint32_t cc =
-        cci.core_cell_of_grid_cell[grid.CellOfPoint(id)];
-    ADB_DCHECK(cc != CoreCellIndex::kNone);
-    const uint32_t comp = component[cc];
-    if (component_to_cluster[comp] == kNoise) {
-      component_to_cluster[comp] = next_cluster++;
-    }
-    core_label[id] = component_to_cluster[comp];
-    out.label[id] = core_label[id];
-  }
-  out.num_clusters = next_cluster;
+  {
+    ADB_PHASE("label_components");
+    std::vector<uint32_t> component = uf.ComponentIds();
 
-  AssignBorderPoints(data, grid, cci, out.is_core, core_label, params.eps,
-                     &out, params.num_threads);
+    // Number clusters by first core point in id order so labels are
+    // deterministic, and write the core labels (Lemma 1: component -> the
+    // core points of one cluster).
+    std::vector<int32_t> component_to_cluster(cci.size(), kNoise);
+    int32_t next_cluster = 0;
+    for (uint32_t id = 0; id < n; ++id) {
+      if (!out.is_core[id]) continue;
+      const uint32_t cc =
+          cci.core_cell_of_grid_cell[grid.CellOfPoint(id)];
+      ADB_DCHECK(cc != CoreCellIndex::kNone);
+      const uint32_t comp = component[cc];
+      if (component_to_cluster[comp] == kNoise) {
+        component_to_cluster[comp] = next_cluster++;
+      }
+      core_label[id] = component_to_cluster[comp];
+      out.label[id] = core_label[id];
+    }
+    out.num_clusters = next_cluster;
+  }
+
+  {
+    ADB_PHASE("border_assign");
+    AssignBorderPoints(data, grid, cci, out.is_core, core_label, params.eps,
+                       &out, params.num_threads);
+  }
   return out;
 }
 

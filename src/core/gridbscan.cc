@@ -4,12 +4,14 @@
 #include <cmath>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "ds/union_find.h"
 #include "geom/box.h"
 #include "geom/point.h"
 #include "index/kdtree.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace adbscan {
@@ -107,17 +109,33 @@ Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
   out.is_core.assign(n, 0);
   if (n == 0) return out;
 
-  const PartitionGrid pgrid = ChoosePartitions(data, params.eps, options);
+  // Register this pipeline's counter set so every run exports the same
+  // schema even when a code path never fires.
+  ADB_COUNT("gridbscan.partitions", 0);
+  ADB_COUNT("gridbscan.halo_replicas", 0);
+  ADB_COUNT("gridbscan.merge_unions_tried", 0);
+  ADB_COUNT("index.range_queries", 0);
+  ADB_COUNT("index.range_candidates_total", 0);
+
+  std::optional<PartitionGrid> pgrid_storage;
+  std::vector<std::vector<uint32_t>> members;  // per partition, global ids
+  std::vector<uint32_t> inner_partition(n);
+  std::vector<Box> part_box;
+  {
+  ADB_PHASE("partition");
+  pgrid_storage = ChoosePartitions(data, params.eps, options);
+  const PartitionGrid& pgrid = *pgrid_storage;
   const uint32_t num_partitions = pgrid.NumPartitions();
+  ADB_COUNT("gridbscan.partitions", num_partitions);
 
   // Membership lists: inner partition per point, plus halo replicas.
-  std::vector<std::vector<uint32_t>> members(num_partitions);  // global ids
-  std::vector<uint32_t> inner_partition(n);
-  std::vector<Box> part_box(num_partitions);
+  members.resize(num_partitions);
+  part_box.resize(num_partitions);
   for (uint32_t p = 0; p < num_partitions; ++p) {
     part_box[p] = pgrid.PartitionBox(p);
   }
   {
+    size_t halo_replicas = 0;
     // Per-axis candidate slabs for halo replication: with slab width >= 2ε,
     // a point can touch at most two slabs per axis.
     std::array<std::vector<uint32_t>, kMaxDim> axis_slabs;
@@ -150,10 +168,15 @@ Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
         if (part == inner) continue;
         if (part_box[part].MinSquaredDistToPoint(pt) <= eps2) {
           members[part].push_back(id);  // halo replica
+          ++halo_replicas;
         }
       }
     }
+    ADB_COUNT("gridbscan.halo_replicas", halo_replicas);
   }
+  }
+  const PartitionGrid& pgrid = *pgrid_storage;
+  const uint32_t num_partitions = pgrid.NumPartitions();
 
   // Local DBSCAN per partition. Local cluster ids are globally unique
   // ("cluster uid"); memberships feed the merge phase.
@@ -162,6 +185,10 @@ Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
   uint32_t next_uid = 0;
   std::vector<std::unique_ptr<KdTree>> trees(num_partitions);
 
+  {
+  ADB_PHASE("local_dbscan");
+  size_t range_queries = 0;
+  size_t range_candidates = 0;
   for (uint32_t p = 0; p < num_partitions; ++p) {
     if (members[p].empty()) continue;
     trees[p] = std::make_unique<KdTree>(data, members[p]);
@@ -172,8 +199,10 @@ Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
     std::deque<uint32_t> seeds;
     for (uint32_t id : members[p]) {
       if (local_label[id] != kLocalUnclassified) continue;
+      ++range_queries;
       std::vector<uint32_t> neighbors =
           tree.RangeQuery(data.point(id), params.eps);
+      range_candidates += neighbors.size();
       if (neighbors.size() < min_pts) {
         local_label[id] = kNoise;
         continue;
@@ -197,8 +226,10 @@ Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
       while (!seeds.empty()) {
         const uint32_t q = seeds.front();
         seeds.pop_front();
+        ++range_queries;
         std::vector<uint32_t> result =
             tree.RangeQuery(data.point(q), params.eps);
+        range_candidates += result.size();
         if (result.size() < min_pts) continue;
         out.is_core[q] = 1;
         for (uint32_t r : result) {
@@ -214,15 +245,24 @@ Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
       }
     }
   }
+  ADB_COUNT("index.range_queries", range_queries);
+  ADB_COUNT("index.range_candidates_total", range_candidates);
+  }
 
   // Merge: local clusters sharing a globally-core point are one cluster.
   UnionFind uf(next_uid);
+  {
+  ADB_PHASE("merge");
   std::sort(memberships.begin(), memberships.end());
+  size_t unions_tried = 0;
   for (size_t i = 1; i < memberships.size(); ++i) {
     if (memberships[i].first == memberships[i - 1].first &&
         out.is_core[memberships[i].first]) {
+      ++unions_tried;
       uf.Union(memberships[i].second, memberships[i - 1].second);
     }
+  }
+  ADB_COUNT("gridbscan.merge_unions_tried", unions_tried);
   }
 
   // Core labels: any membership of a core point names its merged component.
@@ -233,6 +273,8 @@ Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
   std::vector<int32_t> component_cluster(next_uid, kNoise);
   int32_t next_cluster = 0;
   std::vector<int32_t> core_label(n, kNoise);
+  {
+  ADB_PHASE("label_components");
   for (uint32_t id = 0; id < n; ++id) {
     if (!out.is_core[id]) continue;
     const uint32_t comp = uf.Find(point_uid[id]);
@@ -242,10 +284,15 @@ Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
     core_label[id] = component_cluster[comp];
     out.label[id] = core_label[id];
   }
+  }
   out.num_clusters = next_cluster;
 
   // Border points: resolved in the point's inner partition, whose halo
   // guarantees the complete ε-neighborhood.
+  {
+  ADB_PHASE("border_assign");
+  size_t range_queries = 0;
+  size_t range_candidates = 0;
   const double eps2 = params.eps * params.eps;
   (void)eps2;
   std::vector<int32_t> found;
@@ -253,7 +300,9 @@ Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
     if (out.is_core[id]) continue;
     const KdTree& tree = *trees[inner_partition[id]];
     found.clear();
+    ++range_queries;
     for (uint32_t r : tree.RangeQuery(data.point(id), params.eps)) {
+      ++range_candidates;
       if (out.is_core[r]) found.push_back(core_label[r]);
     }
     if (found.empty()) continue;  // noise
@@ -264,7 +313,10 @@ Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
       out.extra_memberships.emplace_back(id, found[k]);
     }
   }
+  ADB_COUNT("index.range_queries", range_queries);
+  ADB_COUNT("index.range_candidates_total", range_candidates);
   std::sort(out.extra_memberships.begin(), out.extra_memberships.end());
+  }
   return out;
 }
 

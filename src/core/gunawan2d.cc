@@ -6,6 +6,7 @@
 #include "core/grid_pipeline.h"
 #include "geom/delaunay2d.h"
 #include "index/kdtree.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace adbscan {
@@ -13,6 +14,8 @@ namespace adbscan {
 Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
                            const Gunawan2dOptions& options) {
   ADB_CHECK_MSG(data.dim() == 2, "Gunawan's algorithm is 2D-only");
+  ADB_COUNT("gunawan.nn_structures", 0);
+  ADB_COUNT("gunawan.nn_queries", 0);
   const CoreCellIndex* cells = nullptr;
   // Nearest-neighbor structure over each core cell's core points: either
   // a kd-tree or the Delaunay (Voronoi-dual) structure of [11].
@@ -24,6 +27,7 @@ Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
   GridPipelineHooks hooks;
   hooks.prepare_cells = [&](const Grid&, const CoreCellIndex& cci) {
     cells = &cci;
+    ADB_COUNT("gunawan.nn_structures", cci.size());
     if (use_delaunay) {
       voronoi.reserve(cci.size());
       for (size_t c = 0; c < cci.size(); ++c) {
@@ -41,20 +45,26 @@ Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
   hooks.edge_test = [&](uint32_t c1, uint32_t c2) {
     // For each core point p in c1, find the nearest core point of c2; an
     // edge exists iff some such nearest distance is within ε.
+    size_t nn_queries = 0;  // batched into the counter once per edge test
+    bool found = false;
     for (uint32_t p : cells->core_points[c1]) {
+      ++nn_queries;
       if (use_delaunay) {
         if (voronoi[c2]->Nearest(data.point(p)).squared_dist <= eps2) {
-          return true;
+          found = true;
+          break;
         }
       } else {
         const auto nearest =
             kd[c2]->Nearest(data.point(p), eps2 * (1.0 + 1e-12));
         if (nearest.has_value() && nearest->squared_dist <= eps2) {
-          return true;
+          found = true;
+          break;
         }
       }
     }
-    return false;
+    ADB_COUNT("gunawan.nn_queries", nn_queries);
+    return found;
   };
   // The kd-tree backend's queries are const and pure; the Delaunay walk
   // caches its start vertex, so it must stay serial.

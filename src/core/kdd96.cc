@@ -7,6 +7,7 @@
 #include "index/brute_force.h"
 #include "index/kdtree.h"
 #include "index/rtree.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace adbscan {
@@ -43,19 +44,43 @@ Clustering Kdd96Dbscan(const Dataset& data, const DbscanParams& params,
   if (n == 0) {
     return out;
   }
-  const std::unique_ptr<SpatialIndex> index = MakeIndex(data, options.index);
+  // Register this pipeline's counter set so every run exports the same
+  // schema even when a code path never fires.
+  ADB_COUNT("index.range_queries", 0);
+  ADB_COUNT("index.range_candidates_total", 0);
+  ADB_COUNT("kdd96.clusters_started", 0);
+  ADB_COUNT("kdd96.seeds_enqueued", 0);
+  ADB_COUNT("kdd96.noise_marks", 0);
+  ADB_COUNT("kdd96.border_reassigned", 0);
+
+  std::unique_ptr<SpatialIndex> index;
+  {
+    ADB_PHASE("index_build");
+    index = MakeIndex(data, options.index);
+  }
 
   int32_t next_cluster = 0;
   std::deque<uint32_t> seeds;
+  {
+  ADB_PHASE("cluster_expansion");
+  size_t range_queries = 0;
+  size_t range_candidates = 0;
+  size_t seeds_enqueued = 0;
+  size_t noise_marks = 0;
   for (uint32_t i = 0; i < n; ++i) {
     if (out.label[i] != kUnclassified) continue;
+    ++range_queries;
     std::vector<uint32_t> neighbors =
         index->RangeQuery(data.point(i), params.eps);
+    range_candidates += neighbors.size();
+    ADB_RECORD("index.range_candidates", neighbors.size());
     if (neighbors.size() < min_pts) {
       out.label[i] = kNoise;
+      ++noise_marks;
       continue;
     }
     // i starts a new cluster; every neighbor joins, unexpanded ones seed.
+    ADB_COUNT("kdd96.clusters_started", 1);
     const int32_t cluster = next_cluster++;
     out.is_core[i] = 1;
     seeds.clear();
@@ -64,7 +89,10 @@ Clustering Kdd96Dbscan(const Dataset& data, const DbscanParams& params,
         out.label[r] = cluster;
         continue;
       }
-      if (out.label[r] == kUnclassified) seeds.push_back(r);
+      if (out.label[r] == kUnclassified) {
+        seeds.push_back(r);
+        ++seeds_enqueued;
+      }
       if (out.label[r] == kUnclassified || out.label[r] == kNoise) {
         out.label[r] = cluster;
       }
@@ -72,13 +100,17 @@ Clustering Kdd96Dbscan(const Dataset& data, const DbscanParams& params,
     while (!seeds.empty()) {
       const uint32_t q = seeds.front();
       seeds.pop_front();
+      ++range_queries;
       std::vector<uint32_t> result =
           index->RangeQuery(data.point(q), params.eps);
+      range_candidates += result.size();
+      ADB_RECORD("index.range_candidates", result.size());
       if (result.size() < min_pts) continue;  // q is a border point
       out.is_core[q] = 1;
       for (uint32_t r : result) {
         if (out.label[r] == kUnclassified) {
           seeds.push_back(r);
+          ++seeds_enqueued;
           out.label[r] = cluster;
         } else if (out.label[r] == kNoise) {
           out.label[r] = cluster;  // noise becomes border; not expanded
@@ -86,17 +118,25 @@ Clustering Kdd96Dbscan(const Dataset& data, const DbscanParams& params,
       }
     }
   }
+  ADB_COUNT("index.range_queries", range_queries);
+  ADB_COUNT("index.range_candidates_total", range_candidates);
+  ADB_COUNT("kdd96.seeds_enqueued", seeds_enqueued);
+  ADB_COUNT("kdd96.noise_marks", noise_marks);
+  }
   out.num_clusters = next_cluster;
 
   if (options.assign_border_to_all) {
     // The expansion above hands each border point to the first cluster that
     // reaches it; re-derive the full membership list (and the smallest id as
     // primary) per Definition 3, matching the grid-based algorithms.
+    ADB_PHASE("border_reassign");
     const double eps2 = params.eps * params.eps;
     (void)eps2;
     std::vector<int32_t> memberships;
     for (uint32_t q = 0; q < n; ++q) {
       if (out.is_core[q] || out.label[q] == kNoise) continue;
+      ADB_COUNT("kdd96.border_reassigned", 1);
+      ADB_COUNT("index.range_queries", 1);
       memberships.clear();
       for (uint32_t r : index->RangeQuery(data.point(q), params.eps)) {
         if (out.is_core[r]) memberships.push_back(out.label[r]);

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace adbscan {
@@ -13,6 +14,7 @@ UnionFind::UnionFind(uint32_t n)
 
 uint32_t UnionFind::Find(uint32_t x) {
   ADB_DCHECK(x < parent_.size());
+  ADB_COUNT("unionfind.finds", 1);
   uint32_t root = x;
   while (parent_[root] != root) root = parent_[root];
   // Path compression.
@@ -28,6 +30,7 @@ bool UnionFind::Union(uint32_t a, uint32_t b) {
   uint32_t ra = Find(a);
   uint32_t rb = Find(b);
   if (ra == rb) return false;
+  ADB_COUNT("unionfind.unions", 1);
   if (size_[ra] < size_[rb]) std::swap(ra, rb);
   parent_[rb] = ra;
   size_[ra] += size_[rb];

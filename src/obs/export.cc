@@ -1,0 +1,232 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <sys/stat.h>
+
+#include "obs/json.h"
+
+namespace adbscan {
+namespace obs {
+namespace {
+
+void AppendPhaseJson(const PhaseNode& phase, std::string* out) {
+  *out += "{\"name\":\"" + JsonEscape(phase.name) + "\"";
+  *out += ",\"ms\":" + JsonNumber(phase.ms);
+  *out += ",\"count\":" + std::to_string(phase.count);
+  *out += ",\"children\":[";
+  for (size_t i = 0; i < phase.children.size(); ++i) {
+    if (i > 0) *out += ',';
+    AppendPhaseJson(phase.children[i], out);
+  }
+  *out += "]}";
+}
+
+bool PhaseFromJson(const JsonValue& v, PhaseNode* out) {
+  const JsonValue* name = v.Find("name");
+  const JsonValue* ms = v.Find("ms");
+  const JsonValue* count = v.Find("count");
+  const JsonValue* children = v.Find("children");
+  if (name == nullptr || !name->IsString() || ms == nullptr ||
+      !ms->IsNumber() || count == nullptr || !count->IsNumber() ||
+      children == nullptr || !children->IsArray()) {
+    return false;
+  }
+  out->name = name->string;
+  out->ms = ms->number;
+  out->count = static_cast<uint64_t>(count->number);
+  for (const JsonValue& child : children->array) {
+    PhaseNode node;
+    if (!PhaseFromJson(child, &node)) return false;
+    out->children.push_back(std::move(node));
+  }
+  return true;
+}
+
+void AppendPhaseCsv(const std::string& prefix, const PhaseNode& phase,
+                    const std::string& row_head, std::string* out) {
+  const std::string path =
+      prefix.empty() ? phase.name : prefix + "/" + phase.name;
+  *out += row_head + ",phase," + path + ',' + JsonNumber(phase.ms) + '\n';
+  for (const PhaseNode& child : phase.children) {
+    AppendPhaseCsv(path, child, row_head, out);
+  }
+}
+
+// CSV fields are metric names and numbers, never user text with commas;
+// quote defensively anyway when a comma or quote sneaks in.
+std::string CsvField(const std::string& text) {
+  if (text.find_first_of(",\"\n") == std::string::npos) return text;
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+std::string ToJson(const RunRecord& record) {
+  std::string out = "{\"run\":\"" + JsonEscape(record.run) + "\"";
+  out += ",\"dataset\":\"" + JsonEscape(record.dataset) + "\"";
+  out += ",\"algo\":\"" + JsonEscape(record.algo) + "\"";
+  out += ",\"params\":{";
+  for (size_t i = 0; i < record.params.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\"" + JsonEscape(record.params[i].first) + "\":\"" +
+           JsonEscape(record.params[i].second) + "\"";
+  }
+  out += "},\"total_ms\":" + JsonNumber(record.total_ms);
+  out += ",\"metrics_enabled\":";
+  out += record.metrics_enabled ? "true" : "false";
+  out += ",\"phases\":[";
+  for (size_t i = 0; i < record.metrics.phases.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendPhaseJson(record.metrics.phases[i], &out);
+  }
+  out += "],\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : record.metrics.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"distributions\":{";
+  first = true;
+  for (const auto& [name, d] : record.metrics.distributions) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{\"count\":" +
+           std::to_string(d.count) + ",\"sum\":" + JsonNumber(d.sum) +
+           ",\"min\":" + JsonNumber(d.min) + ",\"max\":" + JsonNumber(d.max) +
+           "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::optional<RunRecord> RunRecordFromJson(const std::string& json) {
+  const std::optional<JsonValue> doc = ParseJson(json);
+  if (!doc.has_value() || !doc->IsObject()) return std::nullopt;
+
+  const JsonValue* run = doc->Find("run");
+  const JsonValue* dataset = doc->Find("dataset");
+  const JsonValue* algo = doc->Find("algo");
+  const JsonValue* params = doc->Find("params");
+  const JsonValue* total_ms = doc->Find("total_ms");
+  const JsonValue* phases = doc->Find("phases");
+  const JsonValue* counters = doc->Find("counters");
+  if (run == nullptr || !run->IsString() || dataset == nullptr ||
+      !dataset->IsString() || algo == nullptr || !algo->IsString() ||
+      params == nullptr || !params->IsObject() || total_ms == nullptr ||
+      !total_ms->IsNumber() || phases == nullptr || !phases->IsArray() ||
+      counters == nullptr || !counters->IsObject()) {
+    return std::nullopt;
+  }
+
+  RunRecord record;
+  record.run = run->string;
+  record.dataset = dataset->string;
+  record.algo = algo->string;
+  record.total_ms = total_ms->number;
+  for (const auto& [key, value] : params->object) {
+    if (!value.IsString()) return std::nullopt;
+    record.params.emplace_back(key, value.string);
+  }
+  const JsonValue* enabled = doc->Find("metrics_enabled");
+  record.metrics_enabled =
+      enabled != nullptr && enabled->IsBool() && enabled->bool_value;
+  for (const JsonValue& phase : phases->array) {
+    PhaseNode node;
+    if (!PhaseFromJson(phase, &node)) return std::nullopt;
+    record.metrics.phases.push_back(std::move(node));
+  }
+  for (const auto& [name, value] : counters->object) {
+    if (!value.IsNumber()) return std::nullopt;
+    record.metrics.counters.emplace(name,
+                                    static_cast<uint64_t>(value.number));
+  }
+  if (const JsonValue* dists = doc->Find("distributions")) {
+    if (!dists->IsObject()) return std::nullopt;
+    for (const auto& [name, value] : dists->object) {
+      const JsonValue* count = value.Find("count");
+      const JsonValue* sum = value.Find("sum");
+      const JsonValue* min = value.Find("min");
+      const JsonValue* max = value.Find("max");
+      if (count == nullptr || !count->IsNumber() || sum == nullptr ||
+          !sum->IsNumber() || min == nullptr || !min->IsNumber() ||
+          max == nullptr || !max->IsNumber()) {
+        return std::nullopt;
+      }
+      DistStats d;
+      d.count = static_cast<uint64_t>(count->number);
+      d.sum = sum->number;
+      d.min = min->number;
+      d.max = max->number;
+      record.metrics.distributions.emplace(name, d);
+    }
+  }
+  return record;
+}
+
+std::string CsvHeader() { return "run,dataset,algo,total_ms,kind,name,value"; }
+
+std::string ToCsv(const RunRecord& record) {
+  const std::string row_head = CsvField(record.run) + ',' +
+                               CsvField(record.dataset) + ',' +
+                               CsvField(record.algo) + ',' +
+                               JsonNumber(record.total_ms);
+  std::string out;
+  for (const PhaseNode& phase : record.metrics.phases) {
+    AppendPhaseCsv("", phase, row_head, &out);
+  }
+  for (const auto& [name, value] : record.metrics.counters) {
+    out += row_head + ",counter," + CsvField(name) + ',' +
+           std::to_string(value) + '\n';
+  }
+  for (const auto& [name, d] : record.metrics.distributions) {
+    out += row_head + ",distribution," + CsvField(name) +
+           ".count," + std::to_string(d.count) + '\n';
+    out += row_head + ",distribution," + CsvField(name) + ".sum," +
+           JsonNumber(d.sum) + '\n';
+    out += row_head + ",distribution," + CsvField(name) + ".min," +
+           JsonNumber(d.min) + '\n';
+    out += row_head + ",distribution," + CsvField(name) + ".max," +
+           JsonNumber(d.max) + '\n';
+  }
+  return out;
+}
+
+bool AppendJsonLine(const std::string& path, const RunRecord& record) {
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return false;
+  const std::string line = ToJson(record);
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+bool AppendCsv(const std::string& path, const RunRecord& record) {
+  const bool fresh = !FileExists(path);
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return false;
+  if (fresh) {
+    const std::string header = CsvHeader();
+    std::fwrite(header.data(), 1, header.size(), f);
+    std::fputc('\n', f);
+  }
+  const std::string body = ToCsv(record);
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace adbscan

@@ -1,0 +1,71 @@
+#ifndef ADBSCAN_OBS_EXPORT_H_
+#define ADBSCAN_OBS_EXPORT_H_
+
+// JSON and CSV exporters for per-run metrics records.
+//
+// JSON schema (one record per line when appended to a file — JSON Lines):
+//   {
+//     "run": "<harness name>",          // e.g. "fig11_scale_n"
+//     "dataset": "<dataset name>",      // e.g. "ss3d"
+//     "algo": "<algorithm name>",       // e.g. "OurApprox"
+//     "params": {"eps": "5000", ...},   // free-form string map
+//     "total_ms": 123.4,                // harness-measured wall clock
+//     "metrics_enabled": true,          // false in ADBSCAN_METRICS=0 builds
+//     "phases": [{"name": "...", "ms": 1.2, "count": 1,
+//                 "children": [...]}, ...],
+//     "counters": {"graph.edges": 12, ...},
+//     "distributions": {"index.range_candidates":
+//                        {"count": 10, "sum": 123, "min": 1, "max": 40}}
+//   }
+//
+// CSV schema (long format, one line per metric; stable across records with
+// heterogeneous counter sets):
+//   run,dataset,algo,total_ms,kind,name,value
+// where kind is "phase" (name = "a/b/c" path, value = ms), "counter", or
+// "distribution" (name suffixed ".count"/".sum"/".min"/".max").
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace adbscan {
+namespace obs {
+
+// Everything the exporters write about one benchmark/CLI run.
+struct RunRecord {
+  std::string run;
+  std::string dataset;
+  std::string algo;
+  std::vector<std::pair<std::string, std::string>> params;
+  double total_ms = 0.0;
+  bool metrics_enabled = ADBSCAN_METRICS != 0;
+  MetricsSnapshot metrics;
+};
+
+// Serializes a record as a single JSON line (no trailing newline).
+std::string ToJson(const RunRecord& record);
+
+// Parses a record back from its JSON line; nullopt on malformed input or a
+// document missing required fields (run/dataset/algo/params/total_ms/
+// phases/counters).
+std::optional<RunRecord> RunRecordFromJson(const std::string& json);
+
+// CSV header line matching ToCsv's rows.
+std::string CsvHeader();
+
+// Serializes a record as long-format CSV lines (each '\n'-terminated).
+std::string ToCsv(const RunRecord& record);
+
+// Appends one JSON line / CSV block to `path`, creating the file if needed
+// (AppendCsv writes the header first when creating). Returns false and
+// leaves the file untouched on open failure.
+bool AppendJsonLine(const std::string& path, const RunRecord& record);
+bool AppendCsv(const std::string& path, const RunRecord& record);
+
+}  // namespace obs
+}  // namespace adbscan
+
+#endif  // ADBSCAN_OBS_EXPORT_H_

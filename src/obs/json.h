@@ -1,0 +1,54 @@
+#ifndef ADBSCAN_OBS_JSON_H_
+#define ADBSCAN_OBS_JSON_H_
+
+// Minimal JSON reader/writer support for the metrics export schema.
+//
+// This is not a general-purpose JSON library: it exists so that the
+// exporter's output can be validated and round-tripped without external
+// dependencies (tests/test_obs.cc, tools/metrics_validate). It parses the
+// full JSON value grammar (objects, arrays, strings with escapes, numbers,
+// booleans, null) but keeps numbers as doubles.
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adbscan {
+namespace obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsBool() const { return kind == Kind::kBool; }
+
+  // Member lookup on objects; null when missing or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Parses one JSON document; nullopt on any syntax error or trailing junk.
+std::optional<JsonValue> ParseJson(const std::string& text);
+
+// Escapes a string for embedding in a JSON document (no surrounding
+// quotes).
+std::string JsonEscape(const std::string& text);
+
+// Formats a double the way the exporter does: shortest round-trippable-ish
+// representation, never NaN/Inf (clamped to 0).
+std::string JsonNumber(double value);
+
+}  // namespace obs
+}  // namespace adbscan
+
+#endif  // ADBSCAN_OBS_JSON_H_

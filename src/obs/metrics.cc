@@ -1,0 +1,237 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace adbscan {
+namespace obs {
+
+void DistStats::Merge(const DistStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+void DistStats::Record(double value) {
+  if (count == 0) {
+    min = max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+}
+
+double MetricsSnapshot::TotalPhaseMs() const {
+  double total = 0.0;
+  for (const PhaseNode& p : phases) total += p.ms;
+  return total;
+}
+
+// Internal phase-tree node. Nodes are heap-allocated and stable for the
+// lifetime of a run (pointers held by open ScopedPhase spans), then freed
+// by Reset().
+struct MetricsRegistry::PhaseNodeImpl {
+  std::string name;
+  double ms = 0.0;
+  uint64_t count = 0;
+  PhaseNodeImpl* parent = nullptr;
+  std::vector<PhaseNodeImpl*> children;  // owned
+
+  ~PhaseNodeImpl() {
+    for (PhaseNodeImpl* c : children) delete c;
+  }
+};
+
+namespace {
+
+// The innermost open phase of the calling thread (null = root level).
+thread_local MetricsRegistry::PhaseNodeImpl* tls_current_phase = nullptr;
+
+PhaseNode ExportPhase(const MetricsRegistry::PhaseNodeImpl& node) {
+  PhaseNode out;
+  out.name = node.name;
+  out.ms = node.ms;
+  out.count = node.count;
+  out.children.reserve(node.children.size());
+  for (const MetricsRegistry::PhaseNodeImpl* c : node.children) {
+    out.children.push_back(ExportPhase(*c));
+  }
+  return out;
+}
+
+}  // namespace
+
+// Per-thread accumulation buffers. Indexed by counter/distribution id;
+// grown lazily, merged into the registry totals on thread exit.
+struct MetricsRegistry::Shard {
+  explicit Shard(MetricsRegistry* owner) : owner_(owner) {
+    const std::lock_guard<std::mutex> lock(owner_->mu_);
+    owner_->live_shards_.push_back(this);
+  }
+
+  ~Shard() {
+    const std::lock_guard<std::mutex> lock(owner_->mu_);
+    owner_->MergeShardLocked(*this);
+    auto& live = owner_->live_shards_;
+    live.erase(std::remove(live.begin(), live.end(), this), live.end());
+  }
+
+  MetricsRegistry* owner_;
+  std::vector<uint64_t> counts;
+  std::vector<DistStats> dists;
+};
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked so thread_local Shard destructors can always reach it.
+  static MetricsRegistry* const g = new MetricsRegistry();
+  return *g;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::LocalShard() {
+  thread_local Shard shard(this);
+  return shard;
+}
+
+uint32_t MetricsRegistry::CounterId(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counter_ids_.find(name);
+  if (it != counter_ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(counter_names_.size());
+  counter_ids_.emplace(name, id);
+  counter_names_.push_back(name);
+  counter_totals_.push_back(0);
+  return id;
+}
+
+uint32_t MetricsRegistry::DistributionId(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = dist_ids_.find(name);
+  if (it != dist_ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(dist_names_.size());
+  dist_ids_.emplace(name, id);
+  dist_names_.push_back(name);
+  dist_totals_.emplace_back();
+  return id;
+}
+
+void MetricsRegistry::Add(uint32_t counter_id, uint64_t delta) {
+  Shard& shard = LocalShard();
+  if (counter_id >= shard.counts.size()) {
+    shard.counts.resize(counter_id + 1, 0);
+  }
+  shard.counts[counter_id] += delta;
+}
+
+void MetricsRegistry::Record(uint32_t dist_id, double value) {
+  Shard& shard = LocalShard();
+  if (dist_id >= shard.dists.size()) {
+    shard.dists.resize(dist_id + 1);
+  }
+  shard.dists[dist_id].Record(value);
+}
+
+void MetricsRegistry::MergeShardLocked(Shard& shard) {
+  for (size_t i = 0; i < shard.counts.size(); ++i) {
+    counter_totals_[i] += shard.counts[i];
+    shard.counts[i] = 0;
+  }
+  for (size_t i = 0; i < shard.dists.size(); ++i) {
+    dist_totals_[i].Merge(shard.dists[i]);
+    shard.dists[i] = DistStats();
+  }
+}
+
+void MetricsRegistry::Reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ADB_CHECK_MSG(tls_current_phase == nullptr,
+                "MetricsRegistry::Reset with an open phase span");
+  std::fill(counter_totals_.begin(), counter_totals_.end(), 0);
+  std::fill(dist_totals_.begin(), dist_totals_.end(), DistStats());
+  for (Shard* shard : live_shards_) {
+    std::fill(shard->counts.begin(), shard->counts.end(), 0);
+    std::fill(shard->dists.begin(), shard->dists.end(), DistStats());
+  }
+  for (PhaseNodeImpl* root : phase_roots_) delete root;
+  phase_roots_.clear();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  std::vector<uint64_t> counts = counter_totals_;
+  std::vector<DistStats> dists = dist_totals_;
+  for (const Shard* shard : live_shards_) {
+    for (size_t i = 0; i < shard->counts.size(); ++i) {
+      counts[i] += shard->counts[i];
+    }
+    for (size_t i = 0; i < shard->dists.size(); ++i) {
+      dists[i].Merge(shard->dists[i]);
+    }
+  }
+  for (size_t i = 0; i < counter_names_.size(); ++i) {
+    snap.counters.emplace(counter_names_[i], counts[i]);
+  }
+  for (size_t i = 0; i < dist_names_.size(); ++i) {
+    if (dists[i].count > 0) snap.distributions.emplace(dist_names_[i], dists[i]);
+  }
+  snap.phases.reserve(phase_roots_.size());
+  for (const PhaseNodeImpl* root : phase_roots_) {
+    snap.phases.push_back(ExportPhase(*root));
+  }
+  return snap;
+}
+
+void* MetricsRegistry::EnterPhase(const char* name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  PhaseNodeImpl* parent = tls_current_phase;
+  std::vector<PhaseNodeImpl*>& siblings =
+      parent != nullptr ? parent->children : phase_roots_;
+  PhaseNodeImpl* node = nullptr;
+  for (PhaseNodeImpl* sibling : siblings) {
+    if (sibling->name == name) {
+      node = sibling;
+      break;
+    }
+  }
+  if (node == nullptr) {
+    node = new PhaseNodeImpl();
+    node->name = name;
+    node->parent = parent;
+    siblings.push_back(node);
+  }
+  ++node->count;
+  tls_current_phase = node;
+  return node;
+}
+
+void MetricsRegistry::ExitPhase(void* token, double elapsed_ms) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  PhaseNodeImpl* node = static_cast<PhaseNodeImpl*>(token);
+  node->ms += elapsed_ms;
+  tls_current_phase = node->parent;
+}
+
+ScopedPhase::ScopedPhase(const char* name) {
+  if (!MetricsRegistry::Enabled()) return;
+  token_ = MetricsRegistry::Global().EnterPhase(name);
+  start_ = Clock::now();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (token_ == nullptr) return;
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  MetricsRegistry::Global().ExitPhase(token_, elapsed_ms);
+}
+
+}  // namespace obs
+}  // namespace adbscan

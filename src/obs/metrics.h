@@ -1,0 +1,200 @@
+#ifndef ADBSCAN_OBS_METRICS_H_
+#define ADBSCAN_OBS_METRICS_H_
+
+// Observability layer: named monotonic work counters, value distributions,
+// and nested RAII phase spans, aggregated into a per-run metrics snapshot.
+//
+// Design constraints (see DESIGN.md "Observability"):
+//   - Hot-path cost when compiled in but runtime-disabled: one relaxed
+//     atomic load + branch per ADB_COUNT/ADB_RECORD site.
+//   - Hot-path cost when enabled: one thread-local array add, no locks and
+//     no cross-thread contention. Each thread accumulates into its own
+//     shard; shards flush into the global totals when the thread exits, so
+//     counts from ParallelFor workers (which are joined before results are
+//     read) aggregate losslessly.
+//   - Compiled out entirely with ADBSCAN_METRICS=0 (CMake option
+//     -DADBSCAN_METRICS=OFF): every macro expands to nothing and the
+//     instrumented pipelines build and link unchanged.
+//
+// Threading contract: Add/Record are safe from any thread. Reset() and
+// Snapshot() require quiescence — no instrumented worker threads running —
+// which every caller in this repo satisfies because ParallelFor joins its
+// workers before returning. Phase spans (ADB_PHASE) may be opened on any
+// thread but are intended for the sequential driver code of a pipeline;
+// spans opened with no enclosing span become root-level phases.
+
+#ifndef ADBSCAN_METRICS
+#define ADBSCAN_METRICS 1
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adbscan {
+namespace obs {
+
+// Aggregate statistics of a value distribution (ADB_RECORD sites).
+struct DistStats {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void Merge(const DistStats& other);
+  void Record(double value);
+};
+
+// One node of the per-run phase tree: accumulated wall-clock milliseconds
+// and entry count, with nested children. Re-entering a phase name under the
+// same parent accumulates into the same node.
+struct PhaseNode {
+  std::string name;
+  double ms = 0.0;
+  uint64_t count = 0;
+  std::vector<PhaseNode> children;
+};
+
+// Point-in-time aggregation of everything recorded since the last Reset().
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, DistStats> distributions;
+  std::vector<PhaseNode> phases;  // root-level phases, in first-entry order
+
+  // Sum of root-level phase milliseconds (for phase-coverage checks).
+  double TotalPhaseMs() const;
+};
+
+// Process-global registry of counters, distributions, and the phase tree.
+// Counter ids are stable for the process lifetime; values reset per run.
+class MetricsRegistry {
+ public:
+  // The singleton every macro goes through. Leaked on purpose so that
+  // thread_local shard destructors can flush into it at any thread's exit.
+  static MetricsRegistry& Global();
+
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Registers (or looks up) a counter / distribution by name. Ids are dense
+  // and process-stable. Cheap enough for per-site static init, not for hot
+  // loops — the macros cache the id in a function-local static.
+  uint32_t CounterId(const std::string& name);
+  uint32_t DistributionId(const std::string& name);
+
+  // Lock-free accumulation into the calling thread's shard.
+  void Add(uint32_t counter_id, uint64_t delta);
+  void Record(uint32_t dist_id, double value);
+
+  // Zeroes every counter, distribution, and the phase tree. Requires
+  // quiescence and no open phase spans.
+  void Reset();
+
+  // Aggregates totals + all live thread shards. Requires quiescence.
+  MetricsSnapshot Snapshot();
+
+  // Phase-span plumbing used by ScopedPhase; token is an internal node.
+  void* EnterPhase(const char* name);
+  void ExitPhase(void* token, double elapsed_ms);
+
+  // Implementation types; public only so file-scope helpers in metrics.cc
+  // (thread-local span pointer, tree export) can name them.
+  struct PhaseNodeImpl;
+  struct Shard;
+
+ private:
+  MetricsRegistry() = default;
+  Shard& LocalShard();
+  void MergeShardLocked(Shard& shard);  // requires mu_ held
+
+  inline static std::atomic<bool> enabled_{false};
+
+  std::mutex mu_;
+  std::map<std::string, uint32_t> counter_ids_;
+  std::map<std::string, uint32_t> dist_ids_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> dist_names_;
+  std::vector<uint64_t> counter_totals_;
+  std::vector<DistStats> dist_totals_;
+  std::vector<Shard*> live_shards_;
+  std::vector<PhaseNodeImpl*> phase_roots_;  // owned
+};
+
+// RAII phase span. Nesting follows C++ scope; spans opened while another
+// span is active on the same thread become its children in the phase tree.
+// Inactive (and free) when metrics are runtime-disabled at entry.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const char* name);
+  ~ScopedPhase();
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  void* token_ = nullptr;  // null when runtime-disabled at entry
+  Clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace adbscan
+
+// Instrumentation macros. `name` must be a string literal (or otherwise
+// live for the process); the id lookup happens once per call site.
+#if ADBSCAN_METRICS
+
+#define ADB_OBS_CONCAT_INNER_(a, b) a##b
+#define ADB_OBS_CONCAT_(a, b) ADB_OBS_CONCAT_INNER_(a, b)
+
+// Adds `delta` to the monotonic counter `name`. A delta of 0 still
+// registers the counter, so per-algorithm counter sets are stable in the
+// exported schema even when a code path never fires.
+#define ADB_COUNT(name, delta)                                               \
+  do {                                                                       \
+    if (::adbscan::obs::MetricsRegistry::Enabled()) {                        \
+      static const uint32_t adb_obs_id_ =                                    \
+          ::adbscan::obs::MetricsRegistry::Global().CounterId(name);         \
+      ::adbscan::obs::MetricsRegistry::Global().Add(                         \
+          adb_obs_id_, static_cast<uint64_t>(delta));                        \
+    }                                                                        \
+  } while (0)
+
+// Records one sample of the value distribution `name` (count/sum/min/max).
+#define ADB_RECORD(name, value)                                              \
+  do {                                                                       \
+    if (::adbscan::obs::MetricsRegistry::Enabled()) {                        \
+      static const uint32_t adb_obs_id_ =                                    \
+          ::adbscan::obs::MetricsRegistry::Global().DistributionId(name);    \
+      ::adbscan::obs::MetricsRegistry::Global().Record(                      \
+          adb_obs_id_, static_cast<double>(value));                          \
+    }                                                                        \
+  } while (0)
+
+// Opens a phase span for the rest of the enclosing scope.
+#define ADB_PHASE(name) \
+  ::adbscan::obs::ScopedPhase ADB_OBS_CONCAT_(adb_obs_phase_, __LINE__)(name)
+
+#else  // !ADBSCAN_METRICS
+
+#define ADB_COUNT(name, delta) \
+  do {                         \
+  } while (0)
+#define ADB_RECORD(name, value) \
+  do {                          \
+  } while (0)
+#define ADB_PHASE(name) \
+  do {                  \
+  } while (0)
+
+#endif  // ADBSCAN_METRICS
+
+#endif  // ADBSCAN_OBS_METRICS_H_

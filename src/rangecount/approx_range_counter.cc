@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "geom/point.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace adbscan {
@@ -32,6 +33,7 @@ ApproxRangeCounter::ApproxRangeCounter(const Dataset& data,
       num_points_(ids.size()),
       scratch_(ids) {
   ADB_CHECK(eps > 0.0);
+  ADB_COUNT("rangecount.structures", 1);
   if (scratch_.empty()) return;
 
   // Group points by level-0 cell, then build each root subtree over its
@@ -114,6 +116,7 @@ uint32_t ApproxRangeCounter::BuildNode(int level, const CellCoord& coord,
 
 void ApproxRangeCounter::QueryNode(uint32_t node_idx, const double* q,
                                    size_t* ans, size_t stop_at) const {
+  ADB_COUNT("rangecount.nodes_visited", 1);
   const Node& node = nodes_[node_idx];
   const Box box = node.coord.ToBox(SideAtLevel(node.level));
   const double d_min2 = box.MinSquaredDistToPoint(q);
@@ -136,6 +139,7 @@ void ApproxRangeCounter::QueryNode(uint32_t node_idx, const double* q,
 }
 
 size_t ApproxRangeCounter::Query(const double* q) const {
+  ADB_COUNT("rangecount.probes", 1);
   size_t ans = 0;
   if (roots_.empty()) return ans;
   if (root_tree_ == nullptr) {
@@ -153,6 +157,7 @@ size_t ApproxRangeCounter::Query(const double* q) const {
 
 bool ApproxRangeCounter::QueryAtLeast(const double* q,
                                       size_t threshold) const {
+  ADB_COUNT("rangecount.probes", 1);
   if (threshold == 0) return true;
   size_t ans = 0;
   if (roots_.empty()) return false;

@@ -5,22 +5,60 @@
 
 namespace adbscan {
 
-// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+// Monotonic wall-clock stopwatch used by the benchmark harnesses and the
+// observability phase spans.
+//
+// The stopwatch starts running at construction. Pause()/Resume() accumulate
+// running time across segments, so a phase measurement can exclude setup
+// work:
+//   Timer t;            // running
+//   t.Pause();          // ... setup excluded from the measurement ...
+//   t.Resume();         // ... measured work ...
+//   t.ElapsedSeconds(); // sum of the running segments only
 class Timer {
  public:
   Timer() : start_(Clock::now()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  // Restarts from zero, running.
+  void Reset() {
+    accumulated_ = 0.0;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  // Stops the clock, banking the current segment. Idempotent.
+  void Pause() {
+    if (!running_) return;
+    accumulated_ += Seconds(Clock::now() - start_);
+    running_ = false;
+  }
+
+  // Restarts the clock after Pause(); a no-op while already running.
+  void Resume() {
+    if (running_) return;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  bool IsRunning() const { return running_; }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return accumulated_ +
+           (running_ ? Seconds(Clock::now() - start_) : 0.0);
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  static double Seconds(Clock::duration d) {
+    return std::chrono::duration<double>(d).count();
+  }
+
   Clock::time_point start_;
+  double accumulated_ = 0.0;
+  bool running_ = true;
 };
 
 }  // namespace adbscan

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/parallel.h"
+
+namespace adbscan {
+namespace obs {
+namespace {
+
+// Every test runs with metrics enabled and a clean registry; the registry
+// is process-global, so tests must not assume absent counters, only values.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::SetEnabled(true);
+    MetricsRegistry::Global().Reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::Global().Reset();
+    MetricsRegistry::SetEnabled(false);
+  }
+};
+
+// Macro-driven behavior only exists when instrumentation is compiled in;
+// test_obs_disabled.cc covers the ADBSCAN_METRICS=0 side.
+#if ADBSCAN_METRICS
+
+TEST_F(ObsTest, CounterAccumulatesDeltas) {
+  ADB_COUNT("test.basic", 3);
+  ADB_COUNT("test.basic", 4);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  ASSERT_TRUE(snap.counters.count("test.basic"));
+  EXPECT_EQ(snap.counters.at("test.basic"), 7u);
+}
+
+TEST_F(ObsTest, ZeroDeltaRegistersCounter) {
+  ADB_COUNT("test.zero_registered", 0);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  ASSERT_TRUE(snap.counters.count("test.zero_registered"));
+  EXPECT_EQ(snap.counters.at("test.zero_registered"), 0u);
+}
+
+TEST_F(ObsTest, DisabledSitesRecordNothing) {
+  ADB_COUNT("test.disabled", 5);
+  MetricsRegistry::SetEnabled(false);
+  ADB_COUNT("test.disabled", 100);
+  MetricsRegistry::SetEnabled(true);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counters.at("test.disabled"), 5u);
+}
+
+TEST_F(ObsTest, CrossThreadCountsAggregateLosslessly) {
+  // 1000 increments spread over ParallelFor workers; the join guarantees
+  // every worker shard has flushed (thread exit) before Snapshot.
+  ParallelFor(1000, 4, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ADB_COUNT("test.parallel", 1);
+  });
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counters.at("test.parallel"), 1000u);
+}
+
+TEST_F(ObsTest, ResetZeroesValuesButKeepsRegistration) {
+  ADB_COUNT("test.reset", 9);
+  MetricsRegistry::Global().Reset();
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  ASSERT_TRUE(snap.counters.count("test.reset"));
+  EXPECT_EQ(snap.counters.at("test.reset"), 0u);
+}
+
+TEST_F(ObsTest, DistributionTracksCountSumMinMax) {
+  ADB_RECORD("test.dist", 4.0);
+  ADB_RECORD("test.dist", 1.0);
+  ADB_RECORD("test.dist", 10.0);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  ASSERT_TRUE(snap.distributions.count("test.dist"));
+  const DistStats& d = snap.distributions.at("test.dist");
+  EXPECT_EQ(d.count, 3u);
+  EXPECT_DOUBLE_EQ(d.sum, 15.0);
+  EXPECT_DOUBLE_EQ(d.min, 1.0);
+  EXPECT_DOUBLE_EQ(d.max, 10.0);
+}
+
+TEST_F(ObsTest, EmptyDistributionsAreOmitted) {
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.distributions.count("test.never_recorded"), 0u);
+}
+
+TEST_F(ObsTest, NestedPhasesFormATree) {
+  {
+    ADB_PHASE("outer");
+    { ADB_PHASE("inner_a"); }
+    { ADB_PHASE("inner_b"); }
+  }
+  { ADB_PHASE("second_root"); }
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  ASSERT_EQ(snap.phases.size(), 2u);
+  EXPECT_EQ(snap.phases[0].name, "outer");
+  EXPECT_EQ(snap.phases[0].count, 1u);
+  ASSERT_EQ(snap.phases[0].children.size(), 2u);
+  EXPECT_EQ(snap.phases[0].children[0].name, "inner_a");
+  EXPECT_EQ(snap.phases[0].children[1].name, "inner_b");
+  EXPECT_EQ(snap.phases[1].name, "second_root");
+  EXPECT_TRUE(snap.phases[1].children.empty());
+}
+
+TEST_F(ObsTest, ReenteredPhaseAccumulatesIntoOneNode) {
+  for (int i = 0; i < 3; ++i) {
+    ADB_PHASE("repeated");
+  }
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  ASSERT_EQ(snap.phases.size(), 1u);
+  EXPECT_EQ(snap.phases[0].name, "repeated");
+  EXPECT_EQ(snap.phases[0].count, 3u);
+  EXPECT_GE(snap.phases[0].ms, 0.0);
+}
+
+#endif  // ADBSCAN_METRICS
+
+TEST_F(ObsTest, TotalPhaseMsSumsRootsOnly) {
+  MetricsSnapshot snap;
+  PhaseNode root1;
+  root1.ms = 2.0;
+  PhaseNode child;
+  child.ms = 100.0;  // child time is already inside the root's span
+  root1.children.push_back(child);
+  PhaseNode root2;
+  root2.ms = 3.0;
+  snap.phases = {root1, root2};
+  EXPECT_DOUBLE_EQ(snap.TotalPhaseMs(), 5.0);
+}
+
+TEST_F(ObsTest, RunRecordJsonRoundTrips) {
+  // Direct registry calls (not macros) so this test also runs in
+  // ADBSCAN_METRICS=0 builds, where the exporters must keep working.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Add(reg.CounterId("test.roundtrip"), 42);
+  reg.Record(reg.DistributionId("test.roundtrip_dist"), 7.5);
+  void* outer = reg.EnterPhase("build");
+  void* inner = reg.EnterPhase("sub");
+  reg.ExitPhase(inner, 0.5);
+  reg.ExitPhase(outer, 1.5);
+  RunRecord rec;
+  rec.run = "test_run";
+  rec.dataset = "ss3d";
+  rec.algo = "OurApprox";
+  rec.params = {{"eps", "5000"}, {"rho", "0.001"}};
+  rec.total_ms = 12.5;
+  rec.metrics = MetricsRegistry::Global().Snapshot();
+
+  const std::string json = ToJson(rec);
+  const std::optional<RunRecord> parsed = RunRecordFromJson(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->run, "test_run");
+  EXPECT_EQ(parsed->dataset, "ss3d");
+  EXPECT_EQ(parsed->algo, "OurApprox");
+  ASSERT_EQ(parsed->params.size(), 2u);
+  EXPECT_EQ(parsed->params[0].first, "eps");
+  EXPECT_EQ(parsed->params[0].second, "5000");
+  EXPECT_DOUBLE_EQ(parsed->total_ms, 12.5);
+  EXPECT_EQ(parsed->metrics_enabled, rec.metrics_enabled);
+  EXPECT_EQ(parsed->metrics.counters.at("test.roundtrip"), 42u);
+  ASSERT_TRUE(parsed->metrics.distributions.count("test.roundtrip_dist"));
+  EXPECT_DOUBLE_EQ(
+      parsed->metrics.distributions.at("test.roundtrip_dist").sum, 7.5);
+  bool found_build = false;
+  for (const PhaseNode& p : parsed->metrics.phases) {
+    if (p.name != "build") continue;
+    found_build = true;
+    ASSERT_EQ(p.children.size(), 1u);
+    EXPECT_EQ(p.children[0].name, "sub");
+  }
+  EXPECT_TRUE(found_build);
+}
+
+TEST_F(ObsTest, JsonEscapingSurvivesRoundTrip) {
+  RunRecord rec;
+  rec.run = "quote\"back\\slash";
+  rec.dataset = "newline\nand\ttab";
+  rec.algo = "ctrl\x01char";
+  rec.params = {{"k", "v"}};
+  rec.total_ms = 1.0;
+  const std::optional<RunRecord> parsed = RunRecordFromJson(ToJson(rec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->run, rec.run);
+  EXPECT_EQ(parsed->dataset, rec.dataset);
+  EXPECT_EQ(parsed->algo, rec.algo);
+}
+
+TEST_F(ObsTest, MalformedJsonIsRejected) {
+  EXPECT_FALSE(RunRecordFromJson("").has_value());
+  EXPECT_FALSE(RunRecordFromJson("{").has_value());
+  EXPECT_FALSE(RunRecordFromJson("[1,2]").has_value());
+  // Valid JSON but missing required fields.
+  EXPECT_FALSE(RunRecordFromJson("{\"run\": \"x\"}").has_value());
+}
+
+TEST_F(ObsTest, CsvExportHasOneLinePerMetric) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Add(reg.CounterId("test.csv_counter"), 5);
+  reg.ExitPhase(reg.EnterPhase("csv_phase"), 0.25);
+  RunRecord rec;
+  rec.run = "r";
+  rec.dataset = "d";
+  rec.algo = "a";
+  rec.total_ms = 2.0;
+  rec.metrics = MetricsRegistry::Global().Snapshot();
+  const std::string csv = ToCsv(rec);
+  EXPECT_NE(csv.find("r,d,a,"), std::string::npos);
+  EXPECT_NE(csv.find("counter,test.csv_counter,5"), std::string::npos);
+  EXPECT_NE(csv.find("phase,csv_phase,"), std::string::npos);
+  EXPECT_EQ(CsvHeader(), "run,dataset,algo,total_ms,kind,name,value");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace adbscan

@@ -1,0 +1,72 @@
+// Compile-out guard for the observability layer: this translation unit
+// forces ADBSCAN_METRICS=0 before including the headers, so every ADB_*
+// macro here must expand to nothing while the obs library API itself stays
+// linkable. It then drives all five pipelines with runtime metrics off and
+// checks that nothing was recorded — the disabled configuration is inert.
+
+#define ADBSCAN_METRICS 0
+
+#include <gtest/gtest.h>
+
+#include "core/adbscan.h"
+#include "gen/seed_spreader.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace adbscan {
+namespace {
+
+Dataset SmallDataset(int dim) {
+  SeedSpreaderParams p;
+  p.dim = dim;
+  p.n = 400;
+  return GenerateSeedSpreader(p, 7);
+}
+
+TEST(ObsDisabled, MacrosAreNoOpsInThisTu) {
+  obs::MetricsRegistry::SetEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+  ADB_COUNT("disabled_tu.counter", 123);
+  ADB_RECORD("disabled_tu.dist", 4.5);
+  { ADB_PHASE("disabled_tu.phase"); }
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counters.count("disabled_tu.counter"), 0u);
+  EXPECT_EQ(snap.distributions.count("disabled_tu.dist"), 0u);
+  EXPECT_TRUE(snap.phases.empty());
+  obs::MetricsRegistry::SetEnabled(false);
+}
+
+TEST(ObsDisabled, RunRecordMarksMetricsDisabled) {
+  // RunRecord's default comes from this TU's ADBSCAN_METRICS.
+  obs::RunRecord rec;
+  EXPECT_FALSE(rec.metrics_enabled);
+}
+
+TEST(ObsDisabled, AllPipelinesRunInertWithRuntimeMetricsOff) {
+  ASSERT_FALSE(obs::MetricsRegistry::Enabled());
+  obs::MetricsRegistry::Global().Reset();
+
+  const Dataset data2d = SmallDataset(2);
+  const Dataset data3d = SmallDataset(3);
+  const DbscanParams params{5000.0, 10};
+
+  const Clustering exact = ExactGridDbscan(data3d, params);
+  const Clustering approx = ApproxDbscan(data3d, params, 0.001);
+  const Clustering kdd = Kdd96Dbscan(data3d, params);
+  const Clustering cit = GridbscanDbscan(data3d, params);
+  const Clustering gun = Gunawan2dDbscan(data2d, params);
+  EXPECT_EQ(exact.label.size(), data3d.size());
+  EXPECT_EQ(approx.label.size(), data3d.size());
+  EXPECT_EQ(kdd.label.size(), data3d.size());
+  EXPECT_EQ(cit.label.size(), data3d.size());
+  EXPECT_EQ(gun.label.size(), data2d.size());
+
+  // Runtime-disabled instrumentation never even registers its counters.
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.distributions.empty());
+  EXPECT_TRUE(snap.phases.empty());
+}
+
+}  // namespace
+}  // namespace adbscan

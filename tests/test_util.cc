@@ -86,6 +86,64 @@ TEST(Timer, ElapsedIsNonNegativeAndMonotonic) {
   EXPECT_GE(t.ElapsedSeconds(), 0.0);
 }
 
+TEST(Timer, PauseFreezesElapsed) {
+  Timer t;
+  t.Pause();
+  EXPECT_FALSE(t.IsRunning());
+  const double frozen = t.ElapsedSeconds();
+  // Burn some wall clock; a paused timer must not see it.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 200000; ++i) sink += static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(t.ElapsedSeconds(), frozen);
+}
+
+TEST(Timer, ResumeAccumulatesAcrossSegments) {
+  Timer t;
+  t.Pause();
+  const double first = t.ElapsedSeconds();
+  t.Resume();
+  EXPECT_TRUE(t.IsRunning());
+  volatile double sink = 0.0;
+  for (int i = 0; i < 200000; ++i) sink += static_cast<double>(i);
+  t.Pause();
+  const double second = t.ElapsedSeconds();
+  // The second segment adds on top of the banked first segment.
+  EXPECT_GE(second, first);
+  EXPECT_DOUBLE_EQ(t.ElapsedSeconds(), second);  // still paused
+}
+
+TEST(Timer, PauseAndResumeAreIdempotent) {
+  Timer t;
+  t.Pause();
+  const double frozen = t.ElapsedSeconds();
+  t.Pause();  // second pause: no-op
+  EXPECT_DOUBLE_EQ(t.ElapsedSeconds(), frozen);
+  t.Resume();
+  t.Resume();  // second resume: no-op
+  EXPECT_TRUE(t.IsRunning());
+  EXPECT_GE(t.ElapsedSeconds(), frozen);
+}
+
+TEST(Timer, ResetClearsAccumulation) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 200000; ++i) sink += static_cast<double>(i);
+  t.Pause();
+  EXPECT_GT(t.ElapsedSeconds(), 0.0);
+  t.Reset();
+  EXPECT_TRUE(t.IsRunning());
+  t.Pause();
+  // Post-reset elapsed covers only the new (tiny) segment.
+  EXPECT_LT(t.ElapsedSeconds(), 10.0);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(Timer, ElapsedMillisMatchesSeconds) {
+  Timer t;
+  t.Pause();
+  EXPECT_DOUBLE_EQ(t.ElapsedMillis(), t.ElapsedSeconds() * 1000.0);
+}
+
 TEST(Flags, DefaultsSurviveEmptyParse) {
   Flags flags;
   flags.DefineInt("n", 100, "count")

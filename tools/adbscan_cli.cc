@@ -25,6 +25,8 @@
 #include "eval/kdist.h"
 #include "eval/stats.h"
 #include "io/dataset_io.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/flags.h"
 #include "util/timer.h"
 
@@ -51,7 +53,10 @@ int main(int argc, char** argv) {
       .DefineDouble("rho", 0.001, "approximation ratio (approx only)")
       .DefineString("out", "", "write labeled CSV here (optional)")
       .DefineString("save", "", "write binary clustering here (optional)")
-      .DefineInt("stats_rows", 20, "max clusters in the summary table");
+      .DefineInt("stats_rows", 20, "max clusters in the summary table")
+      .DefineString("metrics_json", "",
+                    "append one JSON metrics record for the clustering run "
+                    "(empty: off)");
   flags.Parse(argc, argv);
 
   const std::string input = flags.GetString("input");
@@ -88,6 +93,11 @@ int main(int argc, char** argv) {
   }
 
   const std::string algo = flags.GetString("algo");
+  const std::string metrics_json = flags.GetString("metrics_json");
+  if (!metrics_json.empty()) {
+    obs::MetricsRegistry::SetEnabled(true);
+    obs::MetricsRegistry::Global().Reset();
+  }
   Timer cluster_timer;
   Clustering result = [&] {
     if (algo == "approx") {
@@ -100,9 +110,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
     std::exit(2);
   }();
+  const double cluster_sec = cluster_timer.ElapsedSeconds();
   std::printf("%s: eps=%.6g MinPts=%d -> %d clusters in %.3fs\n\n",
               algo.c_str(), params.eps, params.min_pts, result.num_clusters,
-              cluster_timer.ElapsedSeconds());
+              cluster_sec);
+  if (!metrics_json.empty()) {
+    obs::RunRecord rec;
+    rec.run = "adbscan_cli";
+    rec.dataset = input;
+    rec.algo = algo;
+    char num[32];
+    std::snprintf(num, sizeof(num), "%.6g", params.eps);
+    rec.params = {{"n", std::to_string(data.size())},
+                  {"eps", num},
+                  {"min_pts", std::to_string(params.min_pts)}};
+    if (algo == "approx") {
+      std::snprintf(num, sizeof(num), "%.6g", flags.GetDouble("rho"));
+      rec.params.emplace_back("rho", num);
+    }
+    rec.total_ms = cluster_sec * 1000.0;
+    rec.metrics = obs::MetricsRegistry::Global().Snapshot();
+    if (obs::AppendJsonLine(metrics_json, rec)) {
+      std::printf("metrics record appended to %s\n", metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_json.c_str());
+    }
+  }
 
   PrintStats(ComputeStats(data, result),
              static_cast<int>(flags.GetInt("stats_rows")));

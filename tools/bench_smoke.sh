@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Smoke-runs one tiny configuration of every figure/table harness with
+# --metrics_json, then validates the emitted records with metrics_validate.
+#
+# Environment:
+#   BENCH_DIR  — directory containing the fig*/table1 binaries
+#                (default: ./bench relative to the working directory)
+#   VALIDATOR  — path to metrics_validate
+#                (default: ./tools/metrics_validate)
+#
+# Runs are deliberately small (hundreds to a few thousand points) so the
+# whole sweep finishes in seconds; the phase-coverage tolerance is loose
+# because sub-millisecond runs are scheduler noise.
+
+set -u
+
+BENCH_DIR="${BENCH_DIR:-./bench}"
+VALIDATOR="${VALIDATOR:-./tools/metrics_validate}"
+WORKDIR="$(mktemp -d "${TMPDIR:-/tmp}/bench_smoke.XXXXXX")"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+failures=0
+
+run_one() {
+  local name="$1"
+  local min_records="$2"
+  shift 2
+  local json="$WORKDIR/$name.json"
+  echo "=== $name ==="
+  if ! "$BENCH_DIR/$name" "$@" --metrics_json="$json" \
+      > "$WORKDIR/$name.out" 2>&1; then
+    echo "FAIL: $name exited non-zero; last output lines:"
+    tail -5 "$WORKDIR/$name.out"
+    failures=$((failures + 1))
+    return
+  fi
+  if ! "$VALIDATOR" --input="$json" --min_records="$min_records" \
+      --min_counters=6 --phase_sum_tol=0.5 --min_total_ms=50; then
+    echo "FAIL: $name metrics validation"
+    failures=$((failures + 1))
+  fi
+}
+
+# One tiny config per harness. min_records = number of measured runs the
+# config is guaranteed to log.
+run_one fig08_seed_spreader 1 --n=500 --out=
+run_one fig09_visualization 4 --n=500
+run_one fig10_max_legal_rho 2 --n=1500 --steps=2 --datasets=ss3d
+run_one fig11_scale_n 8 --sizes=2000,4000 --datasets=ss3d --min_pts=10
+run_one fig12_vary_eps 8 --n=2000 --steps=2 --datasets=ss3d
+run_one fig13_vary_rho 2 --n=2000 --rhos=0.01,0.1 --datasets=ss3d
+run_one table1_parameters 6 --n=1500
+
+if [ "$failures" -ne 0 ]; then
+  echo "bench_smoke: $failures harness(es) failed"
+  exit 1
+fi
+echo "bench_smoke: all harnesses passed"

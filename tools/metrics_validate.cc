@@ -1,0 +1,101 @@
+// metrics_validate — sanity-checks a --metrics_json output file (JSON
+// Lines of obs::RunRecord). Used by tools/bench_smoke.sh as a ctest entry.
+//
+// Checks, per record:
+//   - the line parses as a RunRecord (schema fields present);
+//   - records with metrics_enabled=true carry at least --min_counters
+//     distinct counters;
+//   - for runs slower than --min_total_ms, the root-level phase times sum
+//     to within --phase_sum_tol of total_ms (faster runs are dominated by
+//     scheduler noise and are exempt from the coverage check).
+//
+// Exits 0 when every record passes, 1 otherwise, 2 on usage errors.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "obs/export.h"
+#include "util/flags.h"
+
+using namespace adbscan;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineString("input", "", "metrics JSON-lines file (required)")
+      .DefineInt("min_records", 1, "minimum number of records expected")
+      .DefineInt("min_counters", 6,
+                 "minimum distinct counters per enabled record")
+      .DefineDouble("phase_sum_tol", 0.1,
+                    "allowed |phase sum - total| / total")
+      .DefineDouble("min_total_ms", 50.0,
+                    "phase-coverage check only for runs at least this long");
+  flags.Parse(argc, argv);
+
+  const std::string input = flags.GetString("input");
+  if (input.empty()) {
+    std::fprintf(stderr, "--input is required\n");
+    flags.PrintUsage(argv[0]);
+    return 2;
+  }
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", input.c_str());
+    return 1;
+  }
+
+  const size_t min_counters =
+      static_cast<size_t>(flags.GetInt("min_counters"));
+  const double tol = flags.GetDouble("phase_sum_tol");
+  const double min_total_ms = flags.GetDouble("min_total_ms");
+
+  int records = 0;
+  int failures = 0;
+  std::string line;
+  for (int lineno = 1; std::getline(in, line); ++lineno) {
+    if (line.empty()) continue;
+    const std::optional<obs::RunRecord> rec = obs::RunRecordFromJson(line);
+    if (!rec.has_value()) {
+      std::fprintf(stderr, "%s:%d: not a valid RunRecord\n", input.c_str(),
+                   lineno);
+      ++failures;
+      continue;
+    }
+    ++records;
+    const std::string id =
+        rec->run + "/" + rec->dataset + "/" + rec->algo;
+    if (rec->metrics_enabled &&
+        rec->metrics.counters.size() < min_counters) {
+      std::fprintf(stderr, "%s:%d: %s has %zu counters, want >= %zu\n",
+                   input.c_str(), lineno, id.c_str(),
+                   rec->metrics.counters.size(), min_counters);
+      ++failures;
+    }
+    if (rec->metrics_enabled && rec->total_ms >= min_total_ms) {
+      const double phase_ms = rec->metrics.TotalPhaseMs();
+      const double gap = rec->total_ms > 0.0
+                             ? std::abs(phase_ms - rec->total_ms) /
+                                   rec->total_ms
+                             : 0.0;
+      if (gap > tol) {
+        std::fprintf(stderr,
+                     "%s:%d: %s phase sum %.3fms vs total %.3fms "
+                     "(gap %.1f%% > %.1f%%)\n",
+                     input.c_str(), lineno, id.c_str(), phase_ms,
+                     rec->total_ms, gap * 100.0, tol * 100.0);
+        ++failures;
+      }
+    }
+  }
+  if (records < flags.GetInt("min_records")) {
+    std::fprintf(stderr, "%s: %d records, want >= %lld\n", input.c_str(),
+                 records,
+                 static_cast<long long>(flags.GetInt("min_records")));
+    ++failures;
+  }
+  std::printf("%s: %d records, %d failures\n", input.c_str(), records,
+              failures);
+  return failures == 0 ? 0 : 1;
+}
