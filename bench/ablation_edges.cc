@@ -66,6 +66,8 @@ Clustering RunWithEdgeTest(const Dataset& data, const DbscanParams& params,
     }
     return false;
   };
+  // All three edge tests are pure functions of the (c1, c2) pair.
+  hooks.edge_test_thread_safe = true;
   return RunGridPipeline(data, params, hooks);
 }
 
@@ -79,10 +81,12 @@ int main(int argc, char** argv) {
       .DefineInt("min_pts", bench::kDefaultMinPts, "MinPts")
       .DefineString("datasets", "ss3d,ss5d,ss7d", "datasets")
       .DefineInt("seed", 2025, "generator seed");
+  bench::DefineThreadsFlag(flags);
   flags.Parse(argc, argv);
 
   const DbscanParams params{flags.GetDouble("eps"),
-                            static_cast<int>(flags.GetInt("min_pts"))};
+                            static_cast<int>(flags.GetInt("min_pts")),
+                            bench::ThreadsFromFlags(flags)};
   const double rho = flags.GetDouble("rho");
   const size_t n = static_cast<size_t>(flags.GetInt("n"));
 

@@ -8,6 +8,7 @@
 // prints "skipped", like the missing KDD96/CIT08 points in Figures 11-12).
 
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <optional>
 #include <set>
@@ -21,6 +22,8 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "util/check.h"
+#include "util/flags.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace adbscan {
@@ -30,6 +33,38 @@ namespace bench {
 inline constexpr int kDefaultMinPts = 100;
 inline constexpr double kDefaultRho = 0.001;
 inline constexpr double kDefaultEps = 5000.0;
+
+// Registers the shared --threads knob; every harness uses the same default
+// (0 = auto) and the same help text.
+inline Flags& DefineThreadsFlag(Flags& flags) {
+  return flags.DefineInt(
+      "threads", 0,
+      "worker threads (0 = auto: ADBSCAN_THREADS env, else hardware count)");
+}
+
+// Resolves the --threads flag to a concrete worker count.
+inline int ThreadsFromFlags(const Flags& flags) {
+  return ResolveNumThreads(static_cast<int>(flags.GetInt("threads")));
+}
+
+// Creates the parent directory of `path` (if any) so writes to flag-chosen
+// locations like out/fig08_dataset.csv never fail on a fresh checkout.
+inline void EnsureParentDir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);  // best effort
+}
+
+// Default location for harness artifacts: out/<filename>, creating out/ on
+// demand. The directory is git-ignored, so repeated runs never dirty the
+// tree.
+inline std::string OutPath(const std::string& filename) {
+  const std::string path = (std::filesystem::path("out") / filename).string();
+  EnsureParentDir(path);
+  return path;
+}
 
 // Named dataset factory. Names: ss2d, ss3d, ss5d, ss7d (seed spreader at
 // that dimensionality), pamap2, farm, household (real-data stand-ins, see

@@ -19,10 +19,11 @@ int main(int argc, char** argv) {
   Flags flags;
   flags.DefineInt("n", 1000, "dataset cardinality")
       .DefineInt("seed", 1201, "generator seed")
-      .DefineString("out", "fig08_dataset.csv",
+      .DefineString("out", "out/fig08_dataset.csv",
                     "labeled CSV output (empty to skip)")
       .DefineString("metrics_json", "",
                     "append one JSON metrics record per run (empty: off)");
+  adbscan::bench::DefineThreadsFlag(flags);
   flags.Parse(argc, argv);
   adbscan::bench::MetricsLogger metrics(flags.GetString("metrics_json"),
                                         "fig08_seed_spreader");
@@ -36,7 +37,8 @@ int main(int argc, char** argv) {
   const Dataset data =
       GenerateSeedSpreader(p, flags.GetInt("seed"), &restarts);
 
-  const DbscanParams params{5000.0, 20};
+  const DbscanParams params{5000.0, 20,
+                            adbscan::bench::ThreadsFromFlags(flags)};
   metrics.BeginRun();
   Timer timer;
   const Clustering c = ExactGridDbscan(data, params);
@@ -58,6 +60,7 @@ int main(int argc, char** argv) {
 
   const std::string out = flags.GetString("out");
   if (!out.empty()) {
+    adbscan::bench::EnsureParentDir(out);
     WriteLabeledCsv(data, c, out);
     std::printf("\nlabeled dataset written to %s (x,y,cluster)\n",
                 out.c_str());

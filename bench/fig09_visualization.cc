@@ -36,9 +36,11 @@ int main(int argc, char** argv) {
       .DefineBool("write_csv", false, "write one labeled CSV per panel")
       .DefineString("metrics_json", "",
                     "append one JSON metrics record per run (empty: off)");
+  bench::DefineThreadsFlag(flags);
   flags.Parse(argc, argv);
   bench::MetricsLogger metrics(flags.GetString("metrics_json"),
                                "fig09_visualization");
+  const int num_threads = bench::ThreadsFromFlags(flags);
 
   SeedSpreaderParams p;
   p.dim = 2;
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
     copts.eps_lo = 500.0;
     copts.use_approx = false;
     copts.iterations = 32;
+    copts.num_threads = num_threads;
     const double collapse = FindCollapsingRadius(data, min_pts, copts);
     std::printf("(collapse to one cluster at eps ~ %.0f)\n", collapse);
     eps_values = {0.4 * collapse, 0.95 * collapse, 0.9995 * collapse};
@@ -72,7 +75,7 @@ int main(int argc, char** argv) {
   Table t({"eps", "algorithm", "clusters", "same as exact"});
   char panel = 'a';
   for (double eps : eps_values) {
-    const DbscanParams params{eps, min_pts};
+    const DbscanParams params{eps, min_pts, num_threads};
     metrics.BeginRun();
     Timer exact_timer;
     const Clustering exact = ExactGridDbscan(data, params);
@@ -85,7 +88,8 @@ int main(int argc, char** argv) {
               std::to_string(exact.num_clusters), "-"});
     if (flags.GetBool("write_csv")) {
       WriteLabeledCsv(data, exact,
-                      std::string("fig09_") + panel + "_exact.csv");
+                      bench::OutPath(std::string("fig09_") + panel +
+                                     "_exact.csv"));
     }
     ++panel;
     for (double rho : rhos) {
@@ -103,7 +107,8 @@ int main(int argc, char** argv) {
                 std::to_string(approx.num_clusters), same ? "yes" : "NO"});
       if (flags.GetBool("write_csv")) {
         WriteLabeledCsv(data, approx,
-                        std::string("fig09_") + panel + "_approx.csv");
+                        bench::OutPath(std::string("fig09_") + panel +
+                                       "_approx.csv"));
       }
       ++panel;
     }

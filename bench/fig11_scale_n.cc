@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
                   "paper-scale sweep (100k..10m); may take hours")
       .DefineString("metrics_json", "",
                     "append one JSON metrics record per run (empty: off)");
+  bench::DefineThreadsFlag(flags);
   flags.Parse(argc, argv);
 
   std::vector<int64_t> sizes = flags.GetIntList("sizes");
@@ -44,7 +45,8 @@ int main(int argc, char** argv) {
     sizes = {100000, 500000, 1000000, 2000000, 5000000, 10000000};
   }
   const DbscanParams params{flags.GetDouble("eps"),
-                            static_cast<int>(flags.GetInt("min_pts"))};
+                            static_cast<int>(flags.GetInt("min_pts")),
+                            bench::ThreadsFromFlags(flags)};
   const double rho = flags.GetDouble("rho");
   bench::MetricsLogger metrics(flags.GetString("metrics_json"),
                                "fig11_scale_n");
@@ -82,7 +84,8 @@ int main(int argc, char** argv) {
                          {{"n", std::to_string(n)},
                           {"eps", bench::ParamNum(params.eps)},
                           {"min_pts", std::to_string(params.min_pts)},
-                          {"rho", bench::ParamNum(rho)}},
+                          {"rho", bench::ParamNum(rho)},
+                          {"threads", std::to_string(params.num_threads)}},
                          *elapsed);
         }
         if (algo_name == "OurApprox" && elapsed.has_value()) {

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
       .DefineBool("full", false, "paper-scale n (2m)")
       .DefineString("metrics_json", "",
                     "append one JSON metrics record per run (empty: off)");
+  bench::DefineThreadsFlag(flags);
   flags.Parse(argc, argv);
 
   const size_t n = flags.GetBool("full")
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
   const int min_pts = static_cast<int>(flags.GetInt("min_pts"));
   const double rho = flags.GetDouble("rho");
   const int steps = static_cast<int>(flags.GetInt("steps"));
+  const int num_threads = bench::ThreadsFromFlags(flags);
   bench::MetricsLogger metrics(flags.GetString("metrics_json"),
                                "fig12_vary_eps");
 
@@ -55,6 +57,7 @@ int main(int argc, char** argv) {
     const Dataset data = MakeBenchDataset(name, n, flags.GetInt("seed"));
     CollapseOptions copts;
     copts.eps_lo = 1000.0;
+    copts.num_threads = num_threads;
     const double collapse = FindCollapsingRadius(data, min_pts, copts);
     const double eps_lo = std::min(5000.0, collapse * 0.5);
     std::printf("--- %s (d=%d, eps from %.0f to collapsing radius %.0f) "
@@ -72,7 +75,7 @@ int main(int argc, char** argv) {
       const double eps =
           eps_lo + (collapse - eps_lo) * static_cast<double>(s) /
                        std::max(1, steps - 1);
-      const DbscanParams params{eps, min_pts};
+      const DbscanParams params{eps, min_pts, num_threads};
       std::vector<std::string> row{Table::Num(eps, 6)};
       for (const auto& [algo_name, fn] : bench::StandardAlgos(rho)) {
         metrics.BeginRun();

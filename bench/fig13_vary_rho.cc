@@ -31,13 +31,15 @@ int main(int argc, char** argv) {
       .DefineBool("full", false, "paper-scale n (2m)")
       .DefineString("metrics_json", "",
                     "append one JSON metrics record per run (empty: off)");
+  bench::DefineThreadsFlag(flags);
   flags.Parse(argc, argv);
 
   const size_t n = flags.GetBool("full")
                        ? 2000000
                        : static_cast<size_t>(flags.GetInt("n"));
   const DbscanParams params{flags.GetDouble("eps"),
-                            static_cast<int>(flags.GetInt("min_pts"))};
+                            static_cast<int>(flags.GetInt("min_pts")),
+                            bench::ThreadsFromFlags(flags)};
   const std::vector<double> rhos = flags.GetDoubleList("rhos");
   bench::MetricsLogger metrics(flags.GetString("metrics_json"),
                                "fig13_vary_rho");

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
       .DefineInt("min_pts", bench::kDefaultMinPts, "MinPts")
       .DefineDouble("rho", bench::kDefaultRho, "approximation ratio")
       .DefineInt("seed", 2025, "generator seed");
+  bench::DefineThreadsFlag(flags);
   flags.Parse(argc, argv);
 
   const Dataset data = MakeBenchDataset(
@@ -41,13 +42,16 @@ int main(int argc, char** argv) {
   // Two default panels: the paper's standard parameters (well-separated
   // clusters — everything agrees) and a fine-grained setting that stresses
   // the fragile expansion order of the inexact variants.
+  const int num_threads = bench::ThreadsFromFlags(flags);
   std::vector<DbscanParams> configs;
   if (flags.GetDouble("eps") > 0.0) {
     configs.push_back({flags.GetDouble("eps"),
-                       static_cast<int>(flags.GetInt("min_pts"))});
+                       static_cast<int>(flags.GetInt("min_pts")),
+                       num_threads});
   } else {
-    configs.push_back({bench::kDefaultEps, bench::kDefaultMinPts});
-    configs.push_back({150.0, 5});
+    configs.push_back({bench::kDefaultEps, bench::kDefaultMinPts,
+                       num_threads});
+    configs.push_back({150.0, 5, num_threads});
   }
 
   for (const DbscanParams& params : configs) {

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
       .DefineInt("seed", 2025, "generator seed")
       .DefineString("metrics_json", "",
                     "append one JSON metrics record per run (empty: off)");
+  bench::DefineThreadsFlag(flags);
   flags.Parse(argc, argv);
   bench::MetricsLogger metrics(flags.GetString("metrics_json"),
                                "table1_parameters");
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
     const Dataset data = MakeBenchDataset(name, n, flags.GetInt("seed"));
     CollapseOptions opts;
     opts.eps_lo = 1000.0;
+    opts.num_threads = bench::ThreadsFromFlags(flags);
     metrics.BeginRun();
     Timer probe_timer;
     const double r = FindCollapsingRadius(data, min_pts, opts);

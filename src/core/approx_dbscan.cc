@@ -58,9 +58,13 @@ Clustering ApproxDbscan(const Dataset& data, const DbscanParams& params,
       const ApproxRangeCounter whole(d, all, p.eps, rho);
       std::vector<char> is_core(d.size(), 0);
       const size_t min_pts = static_cast<size_t>(p.min_pts);
-      for (size_t i = 0; i < d.size(); ++i) {
-        if (whole.QueryAtLeast(d.point(i), min_pts)) is_core[i] = 1;
-      }
+      // Queries are const & pure and each iteration writes only its own
+      // slot, so the bulk probe parallelizes point-wise.
+      ParallelFor(d.size(), p.num_threads, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          if (whole.QueryAtLeast(d.point(i), min_pts)) is_core[i] = 1;
+        }
+      });
       return is_core;
     };
   }

@@ -16,13 +16,18 @@ struct DbscanParams {
   double eps = 0.0;  // ε: radius of the density ball
   int min_pts = 1;   // MinPts: density threshold (includes the point itself)
 
-  // Worker threads used by the grid-pipeline algorithms (ExactGridDbscan,
-  // ApproxDbscan, Gunawan2dDbscan) for neighbor enumeration, labeling,
-  // structure construction, edge tests, and border assignment. The output
-  // is identical for every value (the parallel edge phase evaluates the
-  // same deterministic tests; extra tests a serial run would have skipped
-  // as already-connected cannot change connectivity). KDD96 and GriDBSCAN
-  // remain single-threaded, faithful to their originals.
+  // Worker threads used by every pipeline: the grid-pipeline algorithms
+  // (ExactGridDbscan, ApproxDbscan, Gunawan2dDbscan) parallelize neighbor
+  // enumeration, labeling, structure construction, edge tests (unioned in
+  // place through the concurrent union-find), and border assignment;
+  // Kdd96Dbscan batches each seed frontier's region queries; GridbscanDbscan
+  // parallelizes tree construction, the merge pass, and border assignment.
+  // The output is identical for every value and every interleaving: the
+  // parallel phases evaluate the same deterministic tests, components are
+  // union-order-blind, and KDD96 applies batch results in frontier order.
+  // Values <= 1 run serially; front-ends map their "auto" setting to a
+  // concrete count with ResolveNumThreads() in util/parallel.h (which
+  // honors the ADBSCAN_THREADS environment variable).
   int num_threads = 1;
 };
 

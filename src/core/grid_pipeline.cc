@@ -1,5 +1,6 @@
 #include "core/grid_pipeline.h"
 
+#include <atomic>
 #include <optional>
 
 #include "core/border.h"
@@ -66,37 +67,42 @@ Clustering RunGridPipeline(const Dataset& data, const DbscanParams& params,
   {
     ADB_PHASE("edge_graph");
     if (hooks.edge_test_thread_safe && params.num_threads > 1) {
-      // Parallel path: evaluate every candidate pair concurrently, then
-      // union sequentially. More tests than the serial path (which skips
-      // pairs that are already connected), but the same components.
-      std::vector<std::pair<uint32_t, uint32_t>> pairs;
-      for (uint32_t c1 = 0; c1 < cci.size(); ++c1) {
-        for (uint32_t gj :
-             grid.EpsNeighbors(cci.grid_cell[c1], params.eps)) {
-          const uint32_t c2 = cci.core_cell_of_grid_cell[gj];
-          if (c2 != CoreCellIndex::kNone && c2 > c1) {
-            pairs.emplace_back(c1, c2);
+      // Parallel path: each worker walks a dynamic slice of the core cells
+      // and unions ε-neighbor pairs in place through the lock-free
+      // UniteConcurrent — no edge vector, no sequential merge step. The
+      // connected-skip below is sound under concurrency: two cells whose
+      // concurrent finds agree are already merged (merged sets never
+      // split), so dropping the test cannot lose an edge of a component.
+      // Stale (unequal) finds only cost a redundant edge test. Components
+      // — and therefore cluster labels — are identical to the serial path
+      // for every thread count and interleaving.
+      std::atomic<size_t> candidates_total{0};
+      std::atomic<size_t> tests_total{0};
+      std::atomic<size_t> edges_total{0};
+      ParallelFor(cci.size(), params.num_threads, [&](size_t begin,
+                                                      size_t end) {
+        size_t candidates = 0, tests = 0, edges = 0;
+        for (uint32_t c1 = static_cast<uint32_t>(begin); c1 < end; ++c1) {
+          for (uint32_t gj :
+               grid.EpsNeighbors(cci.grid_cell[c1], params.eps)) {
+            const uint32_t c2 = cci.core_cell_of_grid_cell[gj];
+            if (c2 == CoreCellIndex::kNone || c2 <= c1) continue;
+            ++candidates;
+            if (uf.FindConcurrent(c1) == uf.FindConcurrent(c2)) continue;
+            ++tests;
+            if (hooks.edge_test(c1, c2)) {
+              ++edges;
+              uf.UniteConcurrent(c1, c2);
+            }
           }
         }
-      }
-      ADB_COUNT("graph.candidate_pairs", pairs.size());
-      ADB_COUNT("graph.edge_tests", pairs.size());
-      std::vector<char> has_edge(pairs.size(), 0);
-      ParallelFor(pairs.size(), params.num_threads,
-                  [&](size_t begin, size_t end) {
-                    for (size_t i = begin; i < end; ++i) {
-                      has_edge[i] =
-                          hooks.edge_test(pairs[i].first, pairs[i].second);
-                    }
-                  });
-      size_t edges = 0;
-      for (size_t i = 0; i < pairs.size(); ++i) {
-        if (has_edge[i]) {
-          ++edges;
-          uf.Union(pairs[i].first, pairs[i].second);
-        }
-      }
-      ADB_COUNT("graph.edges", edges);
+        candidates_total.fetch_add(candidates, std::memory_order_relaxed);
+        tests_total.fetch_add(tests, std::memory_order_relaxed);
+        edges_total.fetch_add(edges, std::memory_order_relaxed);
+      });
+      ADB_COUNT("graph.candidate_pairs", candidates_total.load());
+      ADB_COUNT("graph.edge_tests", tests_total.load());
+      ADB_COUNT("graph.edges", edges_total.load());
     } else {
       // Serial path: each pair tested at most once, skipped outright when
       // already connected.

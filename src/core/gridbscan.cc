@@ -1,10 +1,13 @@
 #include "core/gridbscan.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "ds/union_find.h"
@@ -13,6 +16,7 @@
 #include "index/kdtree.h"
 #include "obs/metrics.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace adbscan {
 namespace {
@@ -186,12 +190,25 @@ Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
   std::vector<std::unique_ptr<KdTree>> trees(num_partitions);
 
   {
+  // Per-partition kd-trees are independent; build them all up front in
+  // parallel so the sequential expansion below only queries.
+  ADB_PHASE("build_trees");
+  ParallelFor(num_partitions, params.num_threads,
+              [&](size_t begin, size_t end) {
+                for (size_t p = begin; p < end; ++p) {
+                  if (!members[p].empty()) {
+                    trees[p] = std::make_unique<KdTree>(data, members[p]);
+                  }
+                }
+              });
+  }
+
+  {
   ADB_PHASE("local_dbscan");
   size_t range_queries = 0;
   size_t range_candidates = 0;
   for (uint32_t p = 0; p < num_partitions; ++p) {
     if (members[p].empty()) continue;
-    trees[p] = std::make_unique<KdTree>(data, members[p]);
     const KdTree& tree = *trees[p];
     // Reset local state for this partition's members.
     for (uint32_t id : members[p]) local_label[id] = kLocalUnclassified;
@@ -254,15 +271,36 @@ Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
   {
   ADB_PHASE("merge");
   std::sort(memberships.begin(), memberships.end());
-  size_t unions_tried = 0;
-  for (size_t i = 1; i < memberships.size(); ++i) {
-    if (memberships[i].first == memberships[i - 1].first &&
-        out.is_core[memberships[i].first]) {
-      ++unions_tried;
-      uf.Union(memberships[i].second, memberships[i - 1].second);
+  if (params.num_threads > 1) {
+    // Each adjacent pair is an independent union; the lock-free
+    // UniteConcurrent makes the whole pass order-free (components are
+    // union-order-blind), so the sorted membership list parallelizes.
+    std::atomic<size_t> unions_tried{0};
+    ParallelFor(memberships.size(), params.num_threads,
+                [&](size_t begin, size_t end) {
+                  size_t tried = 0;
+                  for (size_t i = std::max<size_t>(begin, 1); i < end; ++i) {
+                    if (memberships[i].first == memberships[i - 1].first &&
+                        out.is_core[memberships[i].first]) {
+                      ++tried;
+                      uf.UniteConcurrent(memberships[i].second,
+                                         memberships[i - 1].second);
+                    }
+                  }
+                  unions_tried.fetch_add(tried, std::memory_order_relaxed);
+                });
+    ADB_COUNT("gridbscan.merge_unions_tried", unions_tried.load());
+  } else {
+    size_t unions_tried = 0;
+    for (size_t i = 1; i < memberships.size(); ++i) {
+      if (memberships[i].first == memberships[i - 1].first &&
+          out.is_core[memberships[i].first]) {
+        ++unions_tried;
+        uf.Union(memberships[i].second, memberships[i - 1].second);
+      }
     }
+    ADB_COUNT("gridbscan.merge_unions_tried", unions_tried);
   }
-  ADB_COUNT("gridbscan.merge_unions_tried", unions_tried);
   }
 
   // Core labels: any membership of a core point names its merged component.
@@ -288,33 +326,42 @@ Clustering GridbscanDbscan(const Dataset& data, const DbscanParams& params,
   out.num_clusters = next_cluster;
 
   // Border points: resolved in the point's inner partition, whose halo
-  // guarantees the complete ε-neighborhood.
+  // guarantees the complete ε-neighborhood. Point-wise independent (each
+  // writes only its own non-core label, reads only core labels), so the
+  // loop parallelizes with per-chunk extras merged at the end.
   {
   ADB_PHASE("border_assign");
-  size_t range_queries = 0;
-  size_t range_candidates = 0;
-  const double eps2 = params.eps * params.eps;
-  (void)eps2;
-  std::vector<int32_t> found;
-  for (uint32_t id = 0; id < n; ++id) {
-    if (out.is_core[id]) continue;
-    const KdTree& tree = *trees[inner_partition[id]];
-    found.clear();
-    ++range_queries;
-    for (uint32_t r : tree.RangeQuery(data.point(id), params.eps)) {
-      ++range_candidates;
-      if (out.is_core[r]) found.push_back(core_label[r]);
+  std::mutex extras_mutex;
+  ParallelFor(n, params.num_threads, [&](size_t begin, size_t end) {
+    size_t range_queries = 0;
+    size_t range_candidates = 0;
+    std::vector<int32_t> found;
+    std::vector<std::pair<uint32_t, int32_t>> local_extras;
+    for (uint32_t id = static_cast<uint32_t>(begin); id < end; ++id) {
+      if (out.is_core[id]) continue;
+      const KdTree& tree = *trees[inner_partition[id]];
+      found.clear();
+      ++range_queries;
+      for (uint32_t r : tree.RangeQuery(data.point(id), params.eps)) {
+        ++range_candidates;
+        if (out.is_core[r]) found.push_back(core_label[r]);
+      }
+      if (found.empty()) continue;  // noise
+      std::sort(found.begin(), found.end());
+      found.erase(std::unique(found.begin(), found.end()), found.end());
+      out.label[id] = found.front();
+      for (size_t k = 1; k < found.size(); ++k) {
+        local_extras.emplace_back(id, found[k]);
+      }
     }
-    if (found.empty()) continue;  // noise
-    std::sort(found.begin(), found.end());
-    found.erase(std::unique(found.begin(), found.end()), found.end());
-    out.label[id] = found.front();
-    for (size_t k = 1; k < found.size(); ++k) {
-      out.extra_memberships.emplace_back(id, found[k]);
+    ADB_COUNT("index.range_queries", range_queries);
+    ADB_COUNT("index.range_candidates_total", range_candidates);
+    if (!local_extras.empty()) {
+      const std::lock_guard<std::mutex> lock(extras_mutex);
+      out.extra_memberships.insert(out.extra_memberships.end(),
+                                   local_extras.begin(), local_extras.end());
     }
-  }
-  ADB_COUNT("index.range_queries", range_queries);
-  ADB_COUNT("index.range_candidates_total", range_candidates);
+  });
   std::sort(out.extra_memberships.begin(), out.extra_memberships.end());
   }
   return out;

@@ -8,6 +8,7 @@
 #include "index/kdtree.h"
 #include "obs/metrics.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace adbscan {
 
@@ -28,17 +29,25 @@ Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
   hooks.prepare_cells = [&](const Grid&, const CoreCellIndex& cci) {
     cells = &cci;
     ADB_COUNT("gunawan.nn_structures", cci.size());
+    // Per-cell structures are independent, so construction parallelizes.
     if (use_delaunay) {
-      voronoi.reserve(cci.size());
-      for (size_t c = 0; c < cci.size(); ++c) {
-        voronoi.push_back(
-            std::make_unique<Delaunay2d>(data, cci.core_points[c]));
-      }
+      voronoi.resize(cci.size());
+      ParallelFor(cci.size(), params.num_threads,
+                  [&](size_t begin, size_t end) {
+                    for (size_t c = begin; c < end; ++c) {
+                      voronoi[c] = std::make_unique<Delaunay2d>(
+                          data, cci.core_points[c]);
+                    }
+                  });
     } else {
-      kd.reserve(cci.size());
-      for (size_t c = 0; c < cci.size(); ++c) {
-        kd.push_back(std::make_unique<KdTree>(data, cci.core_points[c]));
-      }
+      kd.resize(cci.size());
+      ParallelFor(cci.size(), params.num_threads,
+                  [&](size_t begin, size_t end) {
+                    for (size_t c = begin; c < end; ++c) {
+                      kd[c] = std::make_unique<KdTree>(
+                          data, cci.core_points[c]);
+                    }
+                  });
     }
   };
   const double eps2 = params.eps * params.eps;

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <deque>
 #include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "index/brute_force.h"
 #include "index/kdtree.h"
 #include "index/rtree.h"
 #include "obs/metrics.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace adbscan {
 namespace {
@@ -61,12 +65,16 @@ Clustering Kdd96Dbscan(const Dataset& data, const DbscanParams& params,
 
   int32_t next_cluster = 0;
   std::deque<uint32_t> seeds;
+  const int threads = params.num_threads;
   {
   ADB_PHASE("cluster_expansion");
   size_t range_queries = 0;
   size_t range_candidates = 0;
   size_t seeds_enqueued = 0;
   size_t noise_marks = 0;
+  // Batch buffers for the multi-threaded expansion below.
+  std::vector<uint32_t> batch;
+  std::vector<std::vector<uint32_t>> batch_results;
   for (uint32_t i = 0; i < n; ++i) {
     if (out.label[i] != kUnclassified) continue;
     ++range_queries;
@@ -97,23 +105,61 @@ Clustering Kdd96Dbscan(const Dataset& data, const DbscanParams& params,
         out.label[r] = cluster;
       }
     }
-    while (!seeds.empty()) {
-      const uint32_t q = seeds.front();
-      seeds.pop_front();
-      ++range_queries;
-      std::vector<uint32_t> result =
-          index->RangeQuery(data.point(q), params.eps);
-      range_candidates += result.size();
-      ADB_RECORD("index.range_candidates", result.size());
-      if (result.size() < min_pts) continue;  // q is a border point
-      out.is_core[q] = 1;
-      for (uint32_t r : result) {
-        if (out.label[r] == kUnclassified) {
-          seeds.push_back(r);
-          ++seeds_enqueued;
-          out.label[r] = cluster;
-        } else if (out.label[r] == kNoise) {
-          out.label[r] = cluster;  // noise becomes border; not expanded
+    if (threads > 1) {
+      // Batched expansion: drain the whole seed frontier, run its region
+      // queries in parallel (queries read only the immutable index, never
+      // labels), then apply the results in frontier order. The serial loop
+      // is FIFO, so seeds discovered while applying would have been
+      // processed after the current frontier anyway — the apply order, and
+      // with it every label and core flag, is bit-identical to serial.
+      while (!seeds.empty()) {
+        batch.assign(seeds.begin(), seeds.end());
+        seeds.clear();
+        batch_results.assign(batch.size(), {});
+        ParallelFor(batch.size(), threads, [&](size_t begin, size_t end) {
+          for (size_t k = begin; k < end; ++k) {
+            batch_results[k] =
+                index->RangeQuery(data.point(batch[k]), params.eps);
+          }
+        });
+        for (size_t k = 0; k < batch.size(); ++k) {
+          const uint32_t q = batch[k];
+          const std::vector<uint32_t>& result = batch_results[k];
+          ++range_queries;
+          range_candidates += result.size();
+          ADB_RECORD("index.range_candidates", result.size());
+          if (result.size() < min_pts) continue;  // q is a border point
+          out.is_core[q] = 1;
+          for (uint32_t r : result) {
+            if (out.label[r] == kUnclassified) {
+              seeds.push_back(r);
+              ++seeds_enqueued;
+              out.label[r] = cluster;
+            } else if (out.label[r] == kNoise) {
+              out.label[r] = cluster;  // noise becomes border; not expanded
+            }
+          }
+        }
+      }
+    } else {
+      while (!seeds.empty()) {
+        const uint32_t q = seeds.front();
+        seeds.pop_front();
+        ++range_queries;
+        std::vector<uint32_t> result =
+            index->RangeQuery(data.point(q), params.eps);
+        range_candidates += result.size();
+        ADB_RECORD("index.range_candidates", result.size());
+        if (result.size() < min_pts) continue;  // q is a border point
+        out.is_core[q] = 1;
+        for (uint32_t r : result) {
+          if (out.label[r] == kUnclassified) {
+            seeds.push_back(r);
+            ++seeds_enqueued;
+            out.label[r] = cluster;
+          } else if (out.label[r] == kNoise) {
+            out.label[r] = cluster;  // noise becomes border; not expanded
+          }
         }
       }
     }
@@ -129,28 +175,41 @@ Clustering Kdd96Dbscan(const Dataset& data, const DbscanParams& params,
     // The expansion above hands each border point to the first cluster that
     // reaches it; re-derive the full membership list (and the smallest id as
     // primary) per Definition 3, matching the grid-based algorithms.
+    // Border points are independent of each other here: each writes only
+    // its own label and reads only core labels, which this phase never
+    // touches — so the loop parallelizes point-wise.
     ADB_PHASE("border_reassign");
-    const double eps2 = params.eps * params.eps;
-    (void)eps2;
-    std::vector<int32_t> memberships;
-    for (uint32_t q = 0; q < n; ++q) {
-      if (out.is_core[q] || out.label[q] == kNoise) continue;
-      ADB_COUNT("kdd96.border_reassigned", 1);
-      ADB_COUNT("index.range_queries", 1);
-      memberships.clear();
-      for (uint32_t r : index->RangeQuery(data.point(q), params.eps)) {
-        if (out.is_core[r]) memberships.push_back(out.label[r]);
+    std::mutex extras_mutex;
+    ParallelFor(n, threads, [&](size_t begin, size_t end) {
+      std::vector<int32_t> memberships;
+      std::vector<std::pair<uint32_t, int32_t>> local_extras;
+      size_t reassigned = 0;
+      for (uint32_t q = static_cast<uint32_t>(begin); q < end; ++q) {
+        if (out.is_core[q] || out.label[q] == kNoise) continue;
+        ++reassigned;
+        memberships.clear();
+        for (uint32_t r : index->RangeQuery(data.point(q), params.eps)) {
+          if (out.is_core[r]) memberships.push_back(out.label[r]);
+        }
+        ADB_DCHECK(!memberships.empty());
+        std::sort(memberships.begin(), memberships.end());
+        memberships.erase(
+            std::unique(memberships.begin(), memberships.end()),
+            memberships.end());
+        out.label[q] = memberships.front();
+        for (size_t k = 1; k < memberships.size(); ++k) {
+          local_extras.emplace_back(q, memberships[k]);
+        }
       }
-      ADB_DCHECK(!memberships.empty());
-      std::sort(memberships.begin(), memberships.end());
-      memberships.erase(
-          std::unique(memberships.begin(), memberships.end()),
-          memberships.end());
-      out.label[q] = memberships.front();
-      for (size_t k = 1; k < memberships.size(); ++k) {
-        out.extra_memberships.emplace_back(q, memberships[k]);
+      ADB_COUNT("kdd96.border_reassigned", reassigned);
+      ADB_COUNT("index.range_queries", reassigned);
+      if (!local_extras.empty()) {
+        const std::lock_guard<std::mutex> lock(extras_mutex);
+        out.extra_memberships.insert(out.extra_memberships.end(),
+                                     local_extras.begin(),
+                                     local_extras.end());
       }
-    }
+    });
     std::sort(out.extra_memberships.begin(), out.extra_memberships.end());
   }
   return out;

@@ -1,26 +1,29 @@
 #include "ds/union_find.h"
 
-#include <numeric>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "util/check.h"
 
 namespace adbscan {
 
-UnionFind::UnionFind(uint32_t n)
-    : parent_(n), size_(n, 1), num_sets_(n) {
-  std::iota(parent_.begin(), parent_.end(), 0u);
+UnionFind::UnionFind(uint32_t n) : parent_(n), size_(n, 1), num_sets_(n) {
+  for (uint32_t i = 0; i < n; ++i) {
+    parent_[i].store(i, std::memory_order_relaxed);
+  }
 }
 
 uint32_t UnionFind::Find(uint32_t x) {
   ADB_DCHECK(x < parent_.size());
   ADB_COUNT("unionfind.finds", 1);
   uint32_t root = x;
-  while (parent_[root] != root) root = parent_[root];
+  while (parent_[root].load(std::memory_order_relaxed) != root) {
+    root = parent_[root].load(std::memory_order_relaxed);
+  }
   // Path compression.
-  while (parent_[x] != root) {
-    const uint32_t next = parent_[x];
-    parent_[x] = root;
+  while (parent_[x].load(std::memory_order_relaxed) != root) {
+    const uint32_t next = parent_[x].load(std::memory_order_relaxed);
+    parent_[x].store(root, std::memory_order_relaxed);
     x = next;
   }
   return root;
@@ -32,10 +35,48 @@ bool UnionFind::Union(uint32_t a, uint32_t b) {
   if (ra == rb) return false;
   ADB_COUNT("unionfind.unions", 1);
   if (size_[ra] < size_[rb]) std::swap(ra, rb);
-  parent_[rb] = ra;
+  parent_[rb].store(ra, std::memory_order_relaxed);
   size_[ra] += size_[rb];
-  --num_sets_;
+  num_sets_.fetch_sub(1, std::memory_order_relaxed);
   return true;
+}
+
+uint32_t UnionFind::FindConcurrent(uint32_t x) {
+  ADB_DCHECK(x < parent_.size());
+  while (true) {
+    uint32_t p = parent_[x].load(std::memory_order_acquire);
+    if (p == x) return x;
+    const uint32_t gp = parent_[p].load(std::memory_order_acquire);
+    if (gp == p) return p;
+    // Path halving: splice x past p. Failure just means someone else
+    // already improved (or merged) this link; either way, progress.
+    parent_[x].compare_exchange_weak(p, gp, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed);
+    x = gp;
+  }
+}
+
+bool UnionFind::UniteConcurrent(uint32_t a, uint32_t b) {
+  uint32_t ra = FindConcurrent(a);
+  uint32_t rb = FindConcurrent(b);
+  while (ra != rb) {
+    // Index priority: the higher-index root is linked under the lower, so
+    // every link strictly decreases the root index and cycles cannot form.
+    if (ra < rb) std::swap(ra, rb);
+    uint32_t expected = ra;
+    if (parent_[ra].compare_exchange_strong(expected, rb,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      // CAS succeeded only if ra was still a root: the link is published.
+      ADB_COUNT("unionfind.unions", 1);
+      num_sets_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    // ra gained a parent concurrently; chase the new roots and retry.
+    ra = FindConcurrent(expected);
+    rb = FindConcurrent(rb);
+  }
+  return false;
 }
 
 uint32_t UnionFind::SetSize(uint32_t x) { return size_[Find(x)]; }

@@ -1,44 +1,82 @@
 #ifndef ADBSCAN_DS_UNION_FIND_H_
 #define ADBSCAN_DS_UNION_FIND_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 namespace adbscan {
 
-// Disjoint-set forest with union by size and path compression.
+// Disjoint-set forest with two operating modes over one parent array:
+//
+//   - Sequential: Find/Union with union by size and full path compression.
+//     Amortized near-O(1) per operation.
+//   - Concurrent: FindConcurrent/UniteConcurrent, the lock-free CAS-based
+//     protocol of Wang, Gu & Shun ("Theoretically-Efficient and Practical
+//     Parallel DBSCAN", SIGMOD'20, Section 4): roots are linked by index
+//     priority (higher-index root becomes the child), a CAS on the root's
+//     parent slot is the linearization point, and finds compact paths with
+//     best-effort CAS halving. Any number of threads may interleave
+//     FindConcurrent/UniteConcurrent calls; the resulting partition equals
+//     the one produced by applying the same unions sequentially in any
+//     order — exactly the property the DBSCAN merge phases need, since the
+//     connected components of the core-cell graph are union-order-blind.
+//
+// Mixing rules: concurrent and sequential calls must not overlap in time
+// (callers join their workers before reading results, which also
+// establishes the necessary happens-before). After any UniteConcurrent,
+// SetSize() is no longer meaningful (per-set sizes are not maintained
+// concurrently); Find/Union/Connected/ComponentIds/NumSets all remain
+// exact.
 //
 // Used to compute the connected components of the core-cell graph G
 // (Section 2.2 / 3.2 / 4.4 of the paper) and for the GriDBSCAN cluster
-// merge step. Amortized near-O(1) per operation.
+// merge step.
 class UnionFind {
  public:
   explicit UnionFind(uint32_t n);
 
   uint32_t size() const { return static_cast<uint32_t>(parent_.size()); }
 
-  // Representative of x's set.
+  // Representative of x's set. Sequential callers only.
   uint32_t Find(uint32_t x);
 
   // Merges the sets of a and b; returns true iff they were distinct.
+  // Sequential callers only.
   bool Union(uint32_t a, uint32_t b);
+
+  // Representative of x's set; safe to call concurrently with other
+  // FindConcurrent/UniteConcurrent calls. A returned root may be stale the
+  // moment it is returned (another thread may merge it away), but equality
+  // of two concurrent finds is stable: merged sets never split.
+  uint32_t FindConcurrent(uint32_t x);
+
+  // Merges the sets of a and b; returns true iff this call performed the
+  // link. Lock-free; safe from any number of threads.
+  bool UniteConcurrent(uint32_t a, uint32_t b);
 
   bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
 
-  // Number of elements in x's set.
+  // Number of elements in x's set. Only valid while no UniteConcurrent has
+  // been performed (sizes are not maintained by the concurrent protocol).
   uint32_t SetSize(uint32_t x);
 
-  // Number of disjoint sets remaining.
-  uint32_t NumSets() const { return num_sets_; }
+  // Number of disjoint sets remaining (exact in both modes).
+  uint32_t NumSets() const {
+    return num_sets_.load(std::memory_order_relaxed);
+  }
 
   // Maps each element to a dense component id in [0, NumComponents), numbered
   // in order of first appearance by element index.
   std::vector<uint32_t> ComponentIds();
 
  private:
-  std::vector<uint32_t> parent_;
+  // Parent links; atomic so the concurrent protocol can CAS them. The
+  // sequential operations use relaxed loads/stores (plain memory accesses
+  // on every mainstream architecture).
+  std::vector<std::atomic<uint32_t>> parent_;
   std::vector<uint32_t> size_;
-  uint32_t num_sets_;
+  std::atomic<uint32_t> num_sets_;
 };
 
 }  // namespace adbscan

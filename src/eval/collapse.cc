@@ -29,7 +29,7 @@ double FindCollapsingRadius(const Dataset& data, int min_pts,
   if (hi <= lo) hi = 2.0 * lo;
 
   auto single_cluster = [&](double eps) {
-    const DbscanParams params{eps, min_pts};
+    const DbscanParams params{eps, min_pts, options.num_threads};
     const Clustering c = options.use_approx
                              ? ApproxDbscan(data, params, options.rho)
                              : ExactGridDbscan(data, params);

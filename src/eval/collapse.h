@@ -17,6 +17,8 @@ struct CollapseOptions {
   // (ExactGridDbscan).
   bool use_approx = true;
   double rho = 0.001;
+  // Worker threads for each probe run (DbscanParams::num_threads).
+  int num_threads = 1;
 };
 
 // The collapsing radius of Section 5.1: the smallest ε at which DBSCAN

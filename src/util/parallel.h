@@ -9,9 +9,22 @@ namespace adbscan {
 // Number of hardware threads (>= 1).
 int HardwareThreads();
 
-// Runs chunk_fn(begin, end) over a static partition of [0, n) on up to
-// num_threads std::threads (num_threads <= 1 or n small: runs inline).
-// chunk_fn must only perform writes that are disjoint across chunks.
+// Default worker count: the ADBSCAN_THREADS environment variable when set
+// to a positive integer, otherwise HardwareThreads(). Read once and cached.
+int DefaultThreads();
+
+// Maps a user-facing thread-count knob to an actual count: positive values
+// pass through, zero or negative mean "auto" (DefaultThreads()).
+int ResolveNumThreads(int requested);
+
+// Runs chunk_fn(begin, end) over a dynamic partition of [0, n) using the
+// persistent work-stealing pool (util/task_pool.h) with up to num_threads
+// participants (num_threads <= 1 or n tiny: runs inline; nested calls from
+// inside a chunk also run inline). Chunk sizes adapt to n and stealing
+// balances skewed chunks, but every index is still executed exactly once
+// and all writes made by chunk_fn happen-before the return.
+// chunk_fn must only perform writes that are disjoint across chunks (or
+// otherwise synchronized, e.g. UnionFind::UniteConcurrent).
 void ParallelFor(size_t n, int num_threads,
                  const std::function<void(size_t, size_t)>& chunk_fn);
 

@@ -1,0 +1,325 @@
+#include "util/task_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "util/parallel.h"
+
+namespace adbscan {
+namespace {
+
+// True while the current thread executes chunks of some job (worker or
+// submitter); nested ParallelFor calls check this and run inline.
+thread_local bool tls_in_parallel_region = false;
+
+}  // namespace
+
+// One parallel region. Stack-allocated by the submitting thread; workers
+// only hold a pointer while registered in `active`, and Run() does not
+// return before `active` drops to zero, so the pointer never dangles.
+struct TaskPool::Job {
+  const std::function<void(size_t, size_t)>* chunk_fn;
+  size_t n = 0;
+  size_t grain = 0;
+  size_t num_chunks = 0;
+  int participants = 0;  // deque slots; slot 0 is the submitter
+
+  std::vector<Deque> deques;
+
+  // Worker slots handed out (0 .. participants-2 map to slots 1..).
+  std::atomic<int> claimed{0};
+  // Pool workers currently inside Participate() for this job.
+  std::atomic<int> active{0};
+  // Chunks not yet fully executed; 0 means all chunk_fn calls returned.
+  std::atomic<size_t> remaining{0};
+
+  // Region stats (only maintained when metrics are runtime-enabled).
+  std::atomic<size_t> steals{0};
+  std::atomic<uint64_t> busy_ns{0};
+  bool timed = false;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+
+  Job(const std::function<void(size_t, size_t)>& fn, size_t n_, size_t grain_,
+      size_t num_chunks_, int participants_)
+      : chunk_fn(&fn),
+        n(n_),
+        grain(grain_),
+        num_chunks(num_chunks_),
+        participants(participants_),
+        deques(participants_),
+        remaining(num_chunks_) {
+    // Deal chunk ids in contiguous blocks: participant p owns chunks
+    // [p*per, (p+1)*per). Owners pop from the bottom (their block's end),
+    // thieves steal from the top, so an owner and its thieves approach each
+    // other and collide at most once per block.
+    const size_t per = (num_chunks + participants - 1) / participants;
+    for (int p = 0; p < participants; ++p) {
+      const size_t begin = p * per;
+      const size_t end = std::min(num_chunks, begin + per);
+      Deque& d = deques[p];
+      for (size_t c = begin; c < end; ++c) d.chunks.push_back(c);
+      d.bottom.store(static_cast<int64_t>(d.chunks.size()),
+                     std::memory_order_relaxed);
+    }
+  }
+};
+
+bool TaskPool::Deque::Take(size_t* out) {
+  const int64_t b = bottom.load(std::memory_order_seq_cst) - 1;
+  bottom.store(b, std::memory_order_seq_cst);
+  int64_t t = top.load(std::memory_order_seq_cst);
+  if (t <= b) {
+    *out = chunks[static_cast<size_t>(b)];
+    if (t == b) {
+      // Last element: race the thieves for it.
+      const bool won =
+          top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst);
+      bottom.store(b + 1, std::memory_order_seq_cst);
+      return won;
+    }
+    return true;
+  }
+  bottom.store(b + 1, std::memory_order_seq_cst);
+  return false;
+}
+
+bool TaskPool::Deque::Steal(size_t* out) {
+  int64_t t = top.load(std::memory_order_seq_cst);
+  const int64_t b = bottom.load(std::memory_order_seq_cst);
+  if (t >= b) return false;
+  const size_t item = chunks[static_cast<size_t>(t)];
+  if (top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst)) {
+    *out = item;
+    return true;
+  }
+  return false;  // lost the race; caller rescans
+}
+
+TaskPool& TaskPool::Global() {
+  // Function-local static (not leaked): the destructor parks and joins the
+  // workers at process exit so sanitizers see no thread leak.
+  static TaskPool pool;
+  return pool;
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool TaskPool::InParallelRegion() { return tls_in_parallel_region; }
+
+int TaskPool::NumSpawnedWorkers() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void TaskPool::EnsureWorkersLocked(int wanted) {
+  const int target = std::min(wanted, kMaxWorkers - 1);
+  while (static_cast<int>(workers_.size()) < target) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void TaskPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    wake_cv_.wait(lock, [&] {
+      return stop_ || (generation_ != seen_generation && current_job_);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    Job* job = current_job_;
+    int slot = -1;
+    if (job != nullptr) {
+      const int idx = job->claimed.fetch_add(1, std::memory_order_relaxed);
+      if (idx < job->participants - 1) {
+        slot = idx + 1;
+        // Registered under mu_: Run() clears current_job_ under mu_ before
+        // waiting for active == 0, so this registration is either seen by
+        // that wait or the job was never visible to us.
+        job->active.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        job = nullptr;  // job already has all its participants
+      }
+    }
+    if (job != nullptr) {
+      lock.unlock();
+      Participate(*job, slot);
+      {
+        // Deregister and notify under job->mu: Run() cannot re-check its
+        // predicate (and destroy the stack Job) until this block releases
+        // the mutex, which is after notify_all has returned.
+        const std::lock_guard<std::mutex> done_lock(job->mu);
+        job->active.fetch_sub(1, std::memory_order_acq_rel);
+        job->done_cv.notify_all();
+      }
+      lock.lock();
+    }
+  }
+}
+
+void TaskPool::Participate(Job& job, int slot) {
+  tls_in_parallel_region = true;
+  const int p = job.participants;
+  size_t stolen = 0;
+  uint64_t busy_ns = 0;
+  size_t chunk;
+  while (true) {
+    bool have = job.deques[slot].Take(&chunk);
+    if (!have) {
+      // Own deque drained: scan victims round-robin. A failed CAS means
+      // contention, not emptiness, so rescan until a full quiet pass.
+      bool contended = true;
+      while (!have && contended) {
+        contended = false;
+        for (int v = 1; v < p && !have; ++v) {
+          Deque& victim = job.deques[(slot + v) % p];
+          if (victim.top.load(std::memory_order_seq_cst) <
+              victim.bottom.load(std::memory_order_seq_cst)) {
+            if (victim.Steal(&chunk)) {
+              have = true;
+              ++stolen;
+            } else {
+              contended = true;
+            }
+          }
+        }
+      }
+      if (!have) break;  // every deque empty: no work left to claim
+    }
+    const size_t begin = chunk * job.grain;
+    const size_t end = std::min(job.n, begin + job.grain);
+    if (job.timed) {
+      const auto t0 = std::chrono::steady_clock::now();
+      (*job.chunk_fn)(begin, end);
+      busy_ns += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    } else {
+      (*job.chunk_fn)(begin, end);
+    }
+    if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Notify under job.mu (see WorkerLoop) so the Job outlives the call.
+      const std::lock_guard<std::mutex> done_lock(job.mu);
+      job.done_cv.notify_all();
+    }
+  }
+  if (job.timed) {
+    job.steals.fetch_add(stolen, std::memory_order_relaxed);
+    job.busy_ns.fetch_add(busy_ns, std::memory_order_relaxed);
+  }
+  tls_in_parallel_region = false;
+}
+
+void TaskPool::Run(size_t n, int max_threads,
+                   const std::function<void(size_t, size_t)>& chunk_fn) {
+  if (n == 0) return;
+  const int effective = static_cast<int>(std::min<size_t>(
+      std::max(max_threads, 1), std::min<size_t>(n, kMaxWorkers)));
+  if (effective <= 1 || tls_in_parallel_region) {
+    chunk_fn(0, n);
+    return;
+  }
+
+  // Dynamic chunking: aim for kChunksPerParticipant chunks per thread so
+  // skewed chunks can be stolen, but never chunks smaller than one index.
+  const size_t target_chunks =
+      static_cast<size_t>(effective) * kChunksPerParticipant;
+  const size_t grain = std::max<size_t>(1, (n + target_chunks - 1) / target_chunks);
+  const size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks <= 1) {
+    chunk_fn(0, n);
+    return;
+  }
+  const int participants =
+      static_cast<int>(std::min<size_t>(effective, num_chunks));
+
+  const std::lock_guard<std::mutex> submit(submit_mu_);
+  Job job(chunk_fn, n, grain, num_chunks, participants);
+  job.timed = obs::MetricsRegistry::Enabled();
+  const auto wall0 = std::chrono::steady_clock::now();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    EnsureWorkersLocked(participants - 1);
+    current_job_ = &job;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  Participate(job, /*slot=*/0);
+
+  // Stop further workers from joining, then wait for (a) every chunk to
+  // have finished executing and (b) every joined worker to have left the
+  // job, so the stack-allocated Job can die safely.
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    current_job_ = nullptr;
+  }
+  {
+    std::unique_lock<std::mutex> done_lock(job.mu);
+    job.done_cv.wait(done_lock, [&] {
+      return job.remaining.load(std::memory_order_acquire) == 0 &&
+             job.active.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  if (job.timed) {
+    const double wall_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall0)
+            .count());
+    const int joined =
+        1 + std::min(job.claimed.load(std::memory_order_relaxed),
+                     participants - 1);
+    ADB_COUNT("pool.regions", 1);
+    ADB_COUNT("pool.chunks", num_chunks);
+    ADB_COUNT("pool.steals", job.steals.load(std::memory_order_relaxed));
+    ADB_RECORD("pool.region_threads", joined);
+    if (wall_ns > 0.0 && joined > 0) {
+      // Fraction of the region's thread-seconds spent inside chunk_fn;
+      // low values mean workers starved (skew the stealing couldn't fix).
+      ADB_RECORD("pool.region_utilization",
+                 static_cast<double>(
+                     job.busy_ns.load(std::memory_order_relaxed)) /
+                     (wall_ns * joined));
+    }
+  }
+}
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int DefaultThreads() {
+  static const int cached = [] {
+    if (const char* env = std::getenv("ADBSCAN_THREADS")) {
+      const int v = std::atoi(env);
+      if (v > 0) return std::min(v, TaskPool::kMaxWorkers);
+    }
+    return HardwareThreads();
+  }();
+  return cached;
+}
+
+int ResolveNumThreads(int requested) {
+  return requested > 0 ? requested : DefaultThreads();
+}
+
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t, size_t)>& chunk_fn) {
+  TaskPool::Global().Run(n, num_threads, chunk_fn);
+}
+
+}  // namespace adbscan

@@ -1,0 +1,102 @@
+#ifndef ADBSCAN_UTIL_TASK_POOL_H_
+#define ADBSCAN_UTIL_TASK_POOL_H_
+
+// Persistent work-stealing thread pool behind ParallelFor (util/parallel.h).
+//
+// Architecture (see DESIGN.md "Concurrency model"):
+//   - A lazy process-wide singleton owns the worker threads; workers are
+//     spawned on first demand (up to kMaxWorkers) and then persist, parked
+//     on a condition variable between parallel regions. Re-using threads
+//     removes the per-call spawn/join cost of the old ParallelFor and keeps
+//     the obs thread shards (one per worker) stable across a run.
+//   - Each parallel region splits [0, n) into chunks of ~n/(threads * 8)
+//     indices and deals them into per-participant Chase-Lev-style deques.
+//     A participant pops from the bottom of its own deque and, when empty,
+//     steals from the top of a victim's. Dynamic chunking + stealing load-
+//     balance the highly skewed per-grid-cell work of the DBSCAN pipelines,
+//     which a static partition cannot.
+//   - The deques hold precomputed chunk ids in a fixed buffer that is only
+//     written before the region is published, so the classic Chase-Lev
+//     buffer-growth races do not exist here; top/bottom use seq_cst atomics
+//     (no standalone fences, so the protocol is exact under TSan).
+//   - Nested ParallelFor calls (from inside a chunk) run inline on the
+//     calling thread; the pool never deadlocks on re-entry.
+//
+// The pool size is capped by the ADBSCAN_THREADS environment variable when
+// set (see DefaultThreads() in util/parallel.h); per-call num_threads caps
+// the number of participants of that region only.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adbscan {
+
+class TaskPool {
+ public:
+  // Hard cap on pool workers, matching the old ParallelFor thread cap.
+  static constexpr int kMaxWorkers = 256;
+
+  // Chunks dealt per participant; >1 so stealing has something to balance.
+  static constexpr size_t kChunksPerParticipant = 8;
+
+  // The process-wide pool. Created on first use; workers are joined at
+  // static destruction.
+  static TaskPool& Global();
+
+  // Runs chunk_fn over a dynamic partition of [0, n): the calling thread
+  // plus up to max_threads - 1 pool workers cooperate via work stealing.
+  // Returns after every chunk has executed (all writes made by chunk_fn
+  // happen-before the return). Runs inline when max_threads <= 1, n is
+  // tiny, or the caller is already inside a parallel region.
+  void Run(size_t n, int max_threads,
+           const std::function<void(size_t, size_t)>& chunk_fn);
+
+  // True while the calling thread executes inside a Run chunk (used to
+  // force nested regions inline).
+  static bool InParallelRegion();
+
+  // Number of workers currently spawned (grows on demand; test hook).
+  int NumSpawnedWorkers();
+
+  ~TaskPool();
+
+ private:
+  // One participant's deque of chunk ids. The buffer is filled by the
+  // submitting thread before the job is published and never written again;
+  // only top/bottom move afterwards, so steals never race on the payload.
+  struct Deque {
+    std::vector<size_t> chunks;
+    std::atomic<int64_t> top{0};
+    std::atomic<int64_t> bottom{0};
+
+    bool Take(size_t* out);   // owner side, LIFO bottom
+    bool Steal(size_t* out);  // thief side, FIFO top; false on race or empty
+  };
+
+  struct Job;
+
+  TaskPool() = default;
+  void EnsureWorkersLocked(int wanted);
+  void WorkerLoop();
+  static void Participate(Job& job, int slot);
+
+  std::mutex mu_;  // guards workers_, current_job_, generation_
+  std::condition_variable wake_cv_;
+  std::vector<std::thread> workers_;
+  Job* current_job_ = nullptr;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  // Serializes top-level parallel regions (one job in flight at a time).
+  std::mutex submit_mu_;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_UTIL_TASK_POOL_H_

@@ -1,0 +1,111 @@
+// Thread-count determinism: every pipeline must return the same clustering
+// for threads = 1, 2, and HardwareThreads() — not merely the same partition,
+// but identical output after canonical relabeling (and, for this library's
+// pipelines, identical raw labels: cluster numbering is defined by first
+// core point in id order, which no interleaving can change).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/adbscan.h"
+#include "gen/seed_spreader.h"
+#include "util/parallel.h"
+
+namespace adbscan {
+namespace {
+
+// Renumbers clusters by first appearance in point-id order (primary labels
+// first, then extra memberships), so two clusterings that differ only in
+// label numbering still compare equal.
+Clustering Canonicalized(const Clustering& in) {
+  Clustering out = in;
+  std::vector<int32_t> remap(static_cast<size_t>(in.num_clusters), -1);
+  int32_t next = 0;
+  auto canon = [&](int32_t label) {
+    if (label == kNoise) return kNoise;
+    int32_t& slot = remap[static_cast<size_t>(label)];
+    if (slot < 0) slot = next++;
+    return slot;
+  };
+  for (int32_t& label : out.label) label = canon(label);
+  for (auto& membership : out.extra_memberships) {
+    membership.second = canon(membership.second);
+  }
+  std::sort(out.extra_memberships.begin(), out.extra_memberships.end());
+  return out;
+}
+
+void ExpectIdentical(const Clustering& base, const Clustering& other,
+                     const std::string& context) {
+  EXPECT_EQ(base.num_clusters, other.num_clusters) << context;
+  EXPECT_EQ(base.is_core, other.is_core) << context;
+  // The canonical forms must match for any correct parallelization...
+  const Clustering a = Canonicalized(base);
+  const Clustering b = Canonicalized(other);
+  EXPECT_EQ(a.label, b.label) << context;
+  EXPECT_EQ(a.extra_memberships, b.extra_memberships) << context;
+  // ...and this library additionally promises identical raw numbering.
+  EXPECT_EQ(base.label, other.label) << context;
+  EXPECT_EQ(base.extra_memberships, other.extra_memberships) << context;
+}
+
+TEST(ThreadDeterminism, AllPipelinesIdenticalAcrossThreadCounts) {
+  SeedSpreaderParams p;
+  p.dim = 2;  // 2D so Gunawan2dDbscan participates
+  p.n = 4000;
+  p.forced_restart_every = p.n / 4;
+  const Dataset data = GenerateSeedSpreader(p, 7001);
+  const double eps = 5000.0;
+  const int min_pts = 20;
+
+  using Runner = std::function<Clustering(const DbscanParams&)>;
+  const std::vector<std::pair<std::string, Runner>> pipelines = {
+      {"KDD96",
+       [&](const DbscanParams& dp) { return Kdd96Dbscan(data, dp); }},
+      {"GriDBSCAN",
+       [&](const DbscanParams& dp) { return GridbscanDbscan(data, dp); }},
+      {"ExactGrid",
+       [&](const DbscanParams& dp) { return ExactGridDbscan(data, dp); }},
+      {"Approx(rho=0.01)",
+       [&](const DbscanParams& dp) { return ApproxDbscan(data, dp, 0.01); }},
+      {"Gunawan2D",
+       [&](const DbscanParams& dp) { return Gunawan2dDbscan(data, dp); }},
+  };
+
+  std::vector<int> thread_counts = {1, 2, HardwareThreads()};
+  for (const auto& [name, run] : pipelines) {
+    const Clustering base = run(DbscanParams{eps, min_pts, 1});
+    EXPECT_GT(base.num_clusters, 0) << name;
+    for (int threads : thread_counts) {
+      const Clustering other = run(DbscanParams{eps, min_pts, threads});
+      ExpectIdentical(base, other,
+                      name + " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ThreadDeterminism, RepeatedParallelRunsAreStable) {
+  // Same thread count, repeated runs: scheduling differences between runs
+  // must not leak into the output either.
+  SeedSpreaderParams p;
+  p.dim = 3;
+  p.n = 5000;
+  const Dataset data = GenerateSeedSpreader(p, 7003);
+  const DbscanParams params{5000.0, 50, 4};
+  const Clustering first = ExactGridDbscan(data, params);
+  for (int rep = 0; rep < 3; ++rep) {
+    const Clustering again = ExactGridDbscan(data, params);
+    EXPECT_EQ(first.label, again.label) << "rep " << rep;
+    EXPECT_EQ(first.is_core, again.is_core) << "rep " << rep;
+    EXPECT_EQ(first.extra_memberships, again.extra_memberships)
+        << "rep " << rep;
+  }
+}
+
+}  // namespace
+}  // namespace adbscan

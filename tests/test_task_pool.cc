@@ -1,0 +1,157 @@
+// Correctness of the persistent work-stealing pool behind ParallelFor:
+// every index of [0, n) must execute exactly once for any thread count and
+// any work skew, nested regions must run inline (no deadlock, no double
+// execution), and all chunk writes must be visible after Run returns.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.h"
+#include "util/task_pool.h"
+
+namespace adbscan {
+namespace {
+
+TEST(TaskPool, CoversEveryIndexExactlyOnceAcrossThreadCounts) {
+  for (int threads : {2, 3, 7, 16, 300}) {
+    const size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    TaskPool::Global().Run(n, threads, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(TaskPool, CoversEveryIndexUnderHeavySkew) {
+  // The first chunk is ~1000x more expensive than the rest; stealing must
+  // still finish everything exactly once.
+  const size_t n = 4096;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  ParallelFor(n, 8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (i == 0) {
+        // Busy work whose result feeds the hit count so it cannot be
+        // optimized away.
+        volatile double sink = 0.0;
+        for (int k = 0; k < 200000; ++k) sink = sink + 1e-9;
+        hits[i].fetch_add(sink >= 0.0 ? 1 : 2, std::memory_order_relaxed);
+      } else {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskPool, NestedParallelForRunsInlineExactlyOnce) {
+  const size_t outer = 64, inner = 64;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  std::atomic<int> nested_seen{0};
+  ParallelFor(outer, 4, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      EXPECT_TRUE(TaskPool::InParallelRegion());
+      ParallelFor(inner, 4, [&](size_t b2, size_t e2) {
+        for (size_t j = b2; j < e2; ++j) {
+          hits[i * inner + j].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      nested_seen.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_FALSE(TaskPool::InParallelRegion());
+  EXPECT_EQ(nested_seen.load(), static_cast<int>(outer));
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(TaskPool, TinyAndEmptyRanges) {
+  bool called = false;
+  TaskPool::Global().Run(0, 8, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+
+  for (size_t n : {size_t{1}, size_t{2}, size_t{5}}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    TaskPool::Global().Run(n, 300, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "n " << n << " index " << i;
+    }
+  }
+}
+
+TEST(TaskPool, WritesVisibleAfterReturnWithoutAtomics) {
+  // The pool promises happens-before between chunk writes and Run's return,
+  // so plain (non-atomic) disjoint writes must be visible to the caller.
+  std::vector<size_t> values(5000, 0);
+  ParallelFor(values.size(), 8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) values[i] = i * 3 + 1;
+  });
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(values[i], i * 3 + 1);
+  }
+}
+
+TEST(TaskPool, WorkersPersistAcrossRegions) {
+  TaskPool& pool = TaskPool::Global();
+  ParallelFor(1000, 3, [](size_t, size_t) {});
+  const int after_first = pool.NumSpawnedWorkers();
+  EXPECT_GE(after_first, 1);  // 3 participants -> at least 2 pool workers
+  for (int round = 0; round < 10; ++round) {
+    ParallelFor(1000, 3, [](size_t, size_t) {});
+  }
+  // No churn: repeat regions at the same width spawn no new threads.
+  EXPECT_EQ(pool.NumSpawnedWorkers(), after_first);
+}
+
+TEST(TaskPool, ConcurrentSubmittersSerializeSafely) {
+  // Top-level regions from different threads must serialize, not corrupt
+  // each other: every submitter sees all of its own indices exactly once.
+  constexpr int kSubmitters = 4;
+  constexpr size_t kN = 2000;
+  std::vector<std::vector<int>> hits(kSubmitters, std::vector<int>(kN, 0));
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      ParallelFor(kN, 4, [&, s](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) ++hits[s][i];
+      });
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[s][i], 1) << "submitter " << s << " index " << i;
+    }
+  }
+}
+
+TEST(ResolveNumThreadsContract, PositivePassesThroughZeroMeansAuto) {
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(7), 7);
+  const int auto_threads = ResolveNumThreads(0);
+  EXPECT_GE(auto_threads, 1);
+  EXPECT_EQ(ResolveNumThreads(-3), auto_threads);
+  EXPECT_LE(DefaultThreads(), TaskPool::kMaxWorkers);
+}
+
+}  // namespace
+}  // namespace adbscan

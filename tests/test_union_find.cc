@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "ds/union_find.h"
@@ -86,6 +89,70 @@ TEST(UnionFind, SingletonUniverse) {
   EXPECT_EQ(uf.Find(0), 0u);
   EXPECT_FALSE(uf.Union(0, 0));
   EXPECT_EQ(uf.NumSets(), 1u);
+}
+
+TEST(UnionFindConcurrent, SequentialUseMatchesSequentialProtocol) {
+  // The concurrent entry points must be drop-in replacements when called
+  // from one thread.
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.UniteConcurrent(0, 1));
+  EXPECT_FALSE(uf.UniteConcurrent(1, 0));
+  EXPECT_TRUE(uf.UniteConcurrent(2, 3));
+  EXPECT_TRUE(uf.UniteConcurrent(1, 2));
+  EXPECT_EQ(uf.FindConcurrent(0), uf.FindConcurrent(3));
+  EXPECT_NE(uf.FindConcurrent(0), uf.FindConcurrent(4));
+  EXPECT_EQ(uf.NumSets(), 3u);
+}
+
+// The property the DBSCAN merge phases rely on: for ANY interleaving of
+// concurrent unions, the resulting partition equals the sequential result
+// of the same union set (components are union-order-blind), and NumSets
+// stays exact. Several rounds with different seeds and thread counts.
+TEST(UnionFindConcurrent, StressMatchesSequentialReference) {
+  for (uint64_t round = 0; round < 6; ++round) {
+    const uint32_t n = 600;
+    const int num_threads = 2 + static_cast<int>(round % 3);  // 2..4
+    // A union workload with genuine contention: few components, many
+    // redundant edges, plus some long chains.
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    Rng rng(1000 + round);
+    for (int e = 0; e < 2500; ++e) {
+      edges.emplace_back(static_cast<uint32_t>(rng.NextBounded(n)),
+                         static_cast<uint32_t>(rng.NextBounded(n / 4 + 1)));
+    }
+    for (uint32_t i = 0; i + 1 < n / 3; ++i) edges.emplace_back(i, i + 1);
+
+    UnionFind reference(n);
+    for (const auto& [a, b] : edges) reference.Union(a, b);
+
+    UnionFind concurrent(n);
+    std::atomic<size_t> next{0};
+    std::atomic<uint32_t> performed{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&] {
+        uint32_t mine = 0;
+        size_t i;
+        while ((i = next.fetch_add(1, std::memory_order_relaxed)) <
+               edges.size()) {
+          if (concurrent.UniteConcurrent(edges[i].first, edges[i].second)) {
+            ++mine;
+          }
+          // Interleave finds so halving races with linking.
+          (void)concurrent.FindConcurrent(edges[i].second);
+        }
+        performed.fetch_add(mine, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    // Exactly one UniteConcurrent call wins per component reduction.
+    EXPECT_EQ(performed.load(), n - concurrent.NumSets()) << "round " << round;
+    EXPECT_EQ(concurrent.NumSets(), reference.NumSets()) << "round " << round;
+    // Identical partition AND identical canonical numbering.
+    EXPECT_EQ(concurrent.ComponentIds(), reference.ComponentIds())
+        << "round " << round;
+  }
 }
 
 }  // namespace

@@ -28,6 +28,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "util/flags.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 using namespace adbscan;
@@ -54,6 +55,9 @@ int main(int argc, char** argv) {
       .DefineString("out", "", "write labeled CSV here (optional)")
       .DefineString("save", "", "write binary clustering here (optional)")
       .DefineInt("stats_rows", 20, "max clusters in the summary table")
+      .DefineInt("threads", 0,
+                 "worker threads (0 = auto: ADBSCAN_THREADS env, else "
+                 "hardware count)")
       .DefineString("metrics_json", "",
                     "append one JSON metrics record for the clustering run "
                     "(empty: off)");
@@ -83,8 +87,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  DbscanParams params{flags.GetDouble("eps"),
-                      static_cast<int>(flags.GetInt("min_pts"))};
+  DbscanParams params{
+      flags.GetDouble("eps"), static_cast<int>(flags.GetInt("min_pts")),
+      ResolveNumThreads(static_cast<int>(flags.GetInt("threads")))};
   if (params.eps <= 0.0) {
     Timer kdist_timer;
     params.eps = SuggestEps(data, params.min_pts);
