@@ -82,7 +82,9 @@ int main(int argc, char** argv) {
       .DefineString("datasets", "ss3d,ss5d,ss7d", "datasets")
       .DefineInt("seed", 2025, "generator seed");
   bench::DefineThreadsFlag(flags);
+  bench::DefineKernelFlag(flags);
   flags.Parse(argc, argv);
+  bench::ApplyKernelFlag(flags);
 
   const DbscanParams params{flags.GetDouble("eps"),
                             static_cast<int>(flags.GetInt("min_pts")),

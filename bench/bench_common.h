@@ -8,6 +8,7 @@
 // prints "skipped", like the missing KDD96/CIT08 points in Figures 11-12).
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <functional>
 #include <optional>
@@ -18,6 +19,7 @@
 
 #include "core/adbscan.h"
 #include "gen/realdata_sim.h"
+#include "geom/kernels.h"
 #include "gen/seed_spreader.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -45,6 +47,31 @@ inline Flags& DefineThreadsFlag(Flags& flags) {
 // Resolves the --threads flag to a concrete worker count.
 inline int ThreadsFromFlags(const Flags& flags) {
   return ResolveNumThreads(static_cast<int>(flags.GetInt("threads")));
+}
+
+// Registers the shared --kernel knob (see geom/kernels.h).
+inline Flags& DefineKernelFlag(Flags& flags) {
+  return flags.DefineString(
+      "kernel", "auto",
+      "distance kernel: scalar | avx2 | neon | auto (best supported)");
+}
+
+// Applies --kernel to the process-wide dispatch; exits with a clear message
+// on an unknown name or a kernel this binary/CPU cannot run.
+inline void ApplyKernelFlag(const Flags& flags) {
+  const std::string& name = flags.GetString("kernel");
+  simd::KernelKind kind;
+  if (!simd::ParseKernelKind(name, &kind)) {
+    std::fprintf(stderr,
+                 "unknown --kernel '%s' (want scalar|avx2|neon|auto)\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  if (!simd::SetKernel(kind)) {
+    std::fprintf(stderr, "--kernel=%s is not supported on this CPU\n",
+                 name.c_str());
+    std::exit(2);
+  }
 }
 
 // Creates the parent directory of `path` (if any) so writes to flag-chosen

@@ -24,7 +24,9 @@ int main(int argc, char** argv) {
       .DefineString("metrics_json", "",
                     "append one JSON metrics record per run (empty: off)");
   adbscan::bench::DefineThreadsFlag(flags);
+  adbscan::bench::DefineKernelFlag(flags);
   flags.Parse(argc, argv);
+  adbscan::bench::ApplyKernelFlag(flags);
   adbscan::bench::MetricsLogger metrics(flags.GetString("metrics_json"),
                                         "fig08_seed_spreader");
 

@@ -35,7 +35,9 @@ int main(int argc, char** argv) {
       .DefineString("metrics_json", "",
                     "append one JSON metrics record per run (empty: off)");
   bench::DefineThreadsFlag(flags);
+  bench::DefineKernelFlag(flags);
   flags.Parse(argc, argv);
+  bench::ApplyKernelFlag(flags);
 
   const size_t n = flags.GetBool("full")
                        ? 2000000

@@ -38,7 +38,9 @@ int main(int argc, char** argv) {
       .DefineString("metrics_json", "",
                     "append one JSON metrics record per run (empty: off)");
   bench::DefineThreadsFlag(flags);
+  bench::DefineKernelFlag(flags);
   flags.Parse(argc, argv);
+  bench::ApplyKernelFlag(flags);
 
   std::vector<int64_t> sizes = flags.GetIntList("sizes");
   if (flags.GetBool("full")) {

@@ -1,0 +1,192 @@
+// Microbenchmark of the batched distance kernels (geom/kernels.h): times the
+// one-vs-many and block-vs-block kernels for every kernel kind this machine
+// supports, across dimensionalities and batch sizes, and writes
+// BENCH_kernels.json with per-configuration ns/distance and the speedup of
+// each SIMD path over the scalar reference.
+//
+//   ./build/bench/micro_kernels                        # defaults
+//   ./build/bench/micro_kernels --dims=5 --batches=4096 --out=BENCH.json
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "geom/kernels.h"
+#include "geom/soa.h"
+#include "io/table.h"
+#include "obs/json.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace adbscan {
+namespace {
+
+using simd::KernelKind;
+using simd::PaddedCount;
+using simd::SoaBlock;
+
+// Uniform random points; coordinates sized so distances stay finite.
+Dataset BenchPoints(int dim, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(dim);
+  data.Reserve(n);
+  std::vector<double> p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) p[j] = rng.NextDouble(0.0, 1e4);
+    data.Add(p);
+  }
+  return data;
+}
+
+std::vector<KernelKind> SupportedKernels() {
+  std::vector<KernelKind> kinds{KernelKind::kScalar};
+  for (KernelKind k : {KernelKind::kAvx2, KernelKind::kNeon}) {
+    if (simd::KernelSupported(k)) kinds.push_back(k);
+  }
+  return kinds;
+}
+
+struct Result {
+  std::string op;
+  int dim;
+  size_t batch;
+  std::string kernel;
+  double ns_per_dist;
+  uint64_t reps;
+  double speedup_vs_scalar;  // 1.0 for the scalar rows
+};
+
+// Runs fn repeatedly until it has consumed at least min_ms of wall clock,
+// returning (reps, ns per inner distance). `dists_per_call` is how many
+// distances one fn() computes. The checksum defeats dead-code elimination.
+template <typename Fn>
+std::pair<uint64_t, double> Measure(double min_ms, size_t dists_per_call,
+                                    double* checksum, Fn&& fn) {
+  // Warm-up: one call primes caches and the dispatch pointer.
+  *checksum += fn();
+  uint64_t reps = 0;
+  Timer timer;
+  do {
+    *checksum += fn();
+    ++reps;
+  } while (timer.ElapsedSeconds() * 1000.0 < min_ms);
+  const double ns =
+      timer.ElapsedSeconds() * 1e9 / (static_cast<double>(reps) *
+                                      static_cast<double>(dists_per_call));
+  return {reps, ns};
+}
+
+void WriteJson(const std::string& path, const std::vector<Result>& results) {
+  bench::EnsureParentDir(path);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_kernels\",\n");
+  std::fprintf(f, "  \"auto_kernel\": \"%s\",\n",
+               simd::KernelName(simd::ActiveKernel()));
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"op\": \"%s\", \"dim\": %d, \"batch\": %zu, "
+        "\"kernel\": \"%s\", \"ns_per_dist\": %s, \"reps\": %llu, "
+        "\"speedup_vs_scalar\": %s}%s\n",
+        r.op.c_str(), r.dim, r.batch, r.kernel.c_str(),
+        obs::JsonNumber(r.ns_per_dist).c_str(),
+        static_cast<unsigned long long>(r.reps),
+        obs::JsonNumber(r.speedup_vs_scalar).c_str(),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace adbscan
+
+int main(int argc, char** argv) {
+  using namespace adbscan;
+  Flags flags;
+  flags.DefineString("dims", "2,3,5,7,10", "dimensionalities to measure")
+      .DefineString("batches", "16,256,4096", "points per one-vs-many batch")
+      .DefineInt("block_rows", 32, "query rows per block-vs-block tile")
+      .DefineDouble("min_ms", 50.0, "minimum measured wall time per config")
+      .DefineString("out", "", "output JSON path (default out/BENCH_kernels.json)");
+  flags.Parse(argc, argv);
+  const double min_ms = flags.GetDouble("min_ms");
+  const size_t block_rows =
+      static_cast<size_t>(flags.GetInt("block_rows"));
+  std::string out = flags.GetString("out");
+  if (out.empty()) out = bench::OutPath("BENCH_kernels.json");
+
+  // kAuto resolution reported in the JSON; each measurement below forces an
+  // explicit kind.
+  simd::SetKernel(KernelKind::kAuto);
+  const KernelKind auto_kind = simd::ActiveKernel();
+
+  std::vector<Result> results;
+  Table table({"op", "dim", "batch", "kernel", "ns/dist", "speedup"});
+  double checksum = 0.0;
+
+  for (int64_t dim64 : flags.GetIntList("dims")) {
+    const int dim = static_cast<int>(dim64);
+    for (int64_t batch64 : flags.GetIntList("batches")) {
+      const size_t batch = static_cast<size_t>(batch64);
+      const Dataset data = BenchPoints(dim, batch + 1, 4200 + dim);
+      const SoaBlock block(data);
+      const simd::SoaSpan span{block.span().base, block.stride(), dim, batch};
+      const double* q = data.point(batch);  // the +1 point is the query
+      std::vector<double> one_out(PaddedCount(batch));
+
+      const size_t rows = std::min(block_rows, batch);
+      const Dataset rows_data = BenchPoints(dim, rows, 4300 + dim);
+      const SoaBlock rows_block(rows_data);
+      std::vector<double> block_out(rows * PaddedCount(batch));
+
+      double scalar_one_ns = 0.0;
+      double scalar_block_ns = 0.0;
+      for (KernelKind kind : SupportedKernels()) {
+        ADB_CHECK(simd::SetKernel(kind));
+        const std::string kname = simd::KernelName(kind);
+
+        auto [one_reps, one_ns] =
+            Measure(min_ms, batch, &checksum, [&] {
+              simd::SquaredDists(q, span, one_out.data());
+              return one_out[0];
+            });
+        if (kind == KernelKind::kScalar) scalar_one_ns = one_ns;
+        results.push_back({"one_vs_many", dim, batch, kname, one_ns, one_reps,
+                           scalar_one_ns / one_ns});
+
+        auto [blk_reps, blk_ns] =
+            Measure(min_ms, rows * batch, &checksum, [&] {
+              simd::BlockVsBlock(rows_block.span(), span, block_out.data());
+              return block_out[0];
+            });
+        if (kind == KernelKind::kScalar) scalar_block_ns = blk_ns;
+        results.push_back({"block_vs_block", dim, batch, kname, blk_ns,
+                           blk_reps, scalar_block_ns / blk_ns});
+
+        table.AddRow({"one_vs_many", std::to_string(dim),
+                      std::to_string(batch), kname, Table::Num(one_ns),
+                      Table::Num(scalar_one_ns / one_ns)});
+        table.AddRow({"block_vs_block", std::to_string(dim),
+                      std::to_string(batch), kname, Table::Num(blk_ns),
+                      Table::Num(scalar_block_ns / blk_ns)});
+      }
+    }
+  }
+  simd::SetKernel(auto_kind);
+
+  table.Print(stdout);
+  std::printf("(checksum %.3g)\n", checksum);
+  WriteJson(out, results);
+  return 0;
+}

@@ -32,7 +32,9 @@ int main(int argc, char** argv) {
       .DefineDouble("rho", bench::kDefaultRho, "approximation ratio")
       .DefineInt("seed", 2025, "generator seed");
   bench::DefineThreadsFlag(flags);
+  bench::DefineKernelFlag(flags);
   flags.Parse(argc, argv);
+  bench::ApplyKernelFlag(flags);
 
   const Dataset data = MakeBenchDataset(
       flags.GetString("dataset"), static_cast<size_t>(flags.GetInt("n")),

@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
       .DefineString("metrics_json", "",
                     "append one JSON metrics record per run (empty: off)");
   bench::DefineThreadsFlag(flags);
+  bench::DefineKernelFlag(flags);
   flags.Parse(argc, argv);
+  bench::ApplyKernelFlag(flags);
   bench::MetricsLogger metrics(flags.GetString("metrics_json"),
                                "table1_parameters");
 

@@ -2,7 +2,9 @@
 
 #include <limits>
 
+#include "geom/kernels.h"
 #include "geom/point.h"
+#include "geom/soa.h"
 #include "index/kdtree.h"
 #include "obs/metrics.h"
 
@@ -16,13 +18,17 @@ std::optional<BcpPair> BruteForcePair(const Dataset& data,
                                       const std::vector<uint32_t>& a,
                                       const std::vector<uint32_t>& b) {
   if (a.empty() || b.empty()) return std::nullopt;
+  // Gather B once and probe it with every point of A through the batch
+  // kernel. A-outer order and the strict-< updates reproduce the doubly
+  // nested scalar scan's tie-breaking exactly (first minimal pair in
+  // (a-order, b-order) wins).
+  const simd::SoaBlock block(data, b.data(), b.size());
   BcpPair best{a[0], b[0], std::numeric_limits<double>::infinity()};
-  const int dim = data.dim();
   for (uint32_t pa : a) {
-    const double* p = data.point(pa);
-    for (uint32_t pb : b) {
-      const double d2 = SquaredDistance(p, data.point(pb), dim);
-      if (d2 < best.squared_dist) best = {pa, pb, d2};
+    const simd::BlockNearest bn =
+        simd::NearestInBlock(data.point(pa), block.span());
+    if (bn.squared_dist < best.squared_dist) {
+      best = {pa, b[bn.index], bn.squared_dist};
     }
   }
   ADB_COUNT("dist_evals.bcp", a.size() * b.size());
@@ -61,17 +67,20 @@ bool ExistsPairWithin(const Dataset& data, const std::vector<uint32_t>& a,
   if (a.empty() || b.empty()) return false;
   ADB_COUNT("bcp.pair_tests", 1);
   const double eps2 = eps * eps;
-  const int dim = data.dim();
   if (a.size() * b.size() <= kBruteForceThreshold) {
+    // Gather the larger set once, probe with the smaller through the batch
+    // kernel. The existence answer is order-independent, so unlike
+    // BruteForcePair we are free to pick the cheaper orientation.
+    const bool a_smaller = a.size() <= b.size();
+    const std::vector<uint32_t>& probe = a_smaller ? a : b;
+    const std::vector<uint32_t>& gathered = a_smaller ? b : a;
+    const simd::SoaBlock block(data, gathered.data(), gathered.size());
     size_t dist_evals = 0;
-    for (uint32_t pa : a) {
-      const double* p = data.point(pa);
-      for (uint32_t pb : b) {
-        ++dist_evals;
-        if (SquaredDistance(p, data.point(pb), dim) <= eps2) {
-          ADB_COUNT("dist_evals.bcp", dist_evals);
-          return true;
-        }
+    for (uint32_t pid : probe) {
+      dist_evals += gathered.size();
+      if (simd::AnyWithin(data.point(pid), block.span(), eps2)) {
+        ADB_COUNT("dist_evals.bcp", dist_evals);
+        return true;
       }
     }
     ADB_COUNT("dist_evals.bcp", dist_evals);

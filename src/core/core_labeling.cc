@@ -1,7 +1,10 @@
 #include "core/core_labeling.h"
 
+#include <memory>
+
 #include "geom/box.h"
-#include "geom/point.h"
+#include "geom/kernels.h"
+#include "geom/soa.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -15,7 +18,6 @@ std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
   std::vector<char> is_core(n, 0);
   const size_t min_pts = static_cast<size_t>(params.min_pts);
   const double eps2 = params.eps * params.eps;
-  const int dim = data.dim();
 
   // Cells are independent (each writes only its own points' flags), so the
   // loop parallelizes directly once the shared neighbor cache is warm.
@@ -42,6 +44,10 @@ std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
     std::vector<Box> neighbor_boxes;
     neighbor_boxes.reserve(neighbors.size());
     for (uint32_t cj : neighbors) neighbor_boxes.push_back(grid.CellBoxOf(cj));
+    // Boundary-shell cells go through the batch kernels. A neighbor cell's
+    // SoA gather is built on first use and shared by every point of this
+    // cell (the gather cost amortizes over the cell's points).
+    std::vector<std::unique_ptr<simd::SoaBlock>> neighbor_soa(neighbors.size());
     size_t dist_evals = 0;  // batched into the counter once per cell
     for (uint32_t id : cell.points) {
       const double* p = data.point(id);
@@ -55,12 +61,15 @@ std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
           if (box.MaxSquaredDistToPoint(p) <= eps2) {
             count += others.size();
           } else {
-            for (uint32_t other : others) {
-              ++dist_evals;
-              if (SquaredDistance(p, data.point(other), dim) <= eps2) {
-                if (++count >= min_pts) break;
-              }
+            if (!neighbor_soa[k]) {
+              neighbor_soa[k] = std::make_unique<simd::SoaBlock>(
+                  data, others.data(), others.size());
             }
+            dist_evals += others.size();
+            // stop_at caps the count exactly like the scalar early-exit
+            // loop (scan in index order, stop on reaching min_pts).
+            count += simd::CountWithin(p, neighbor_soa[k]->span(), eps2,
+                                       min_pts - count);
           }
           if (count >= min_pts) break;
         }

@@ -5,12 +5,22 @@
 
 #include "core/grid_pipeline.h"
 #include "geom/delaunay2d.h"
+#include "geom/kernels.h"
+#include "geom/soa.h"
 #include "index/kdtree.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
 namespace adbscan {
+namespace {
+
+// Core cells at or below this size answer "any core point within ε?" with
+// one batch-kernel scan of a gathered SoA block instead of a kd-tree walk;
+// by the grid's sparse/dense split most cells land well under this.
+constexpr size_t kBlockScanThreshold = 64;
+
+}  // namespace
 
 Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
                            const Gunawan2dOptions& options) {
@@ -19,8 +29,10 @@ Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
   ADB_COUNT("gunawan.nn_queries", 0);
   const CoreCellIndex* cells = nullptr;
   // Nearest-neighbor structure over each core cell's core points: either
-  // a kd-tree or the Delaunay (Voronoi-dual) structure of [11].
+  // a kd-tree or the Delaunay (Voronoi-dual) structure of [11]. Small cells
+  // skip the tree and keep a gathered SoA block for a flat kernel scan.
   std::vector<std::unique_ptr<KdTree>> kd;
+  std::vector<std::unique_ptr<simd::SoaBlock>> blocks;
   std::vector<std::unique_ptr<Delaunay2d>> voronoi;
   const bool use_delaunay =
       options.backend == Gunawan2dOptions::NnBackend::kDelaunay;
@@ -41,11 +53,17 @@ Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
                   });
     } else {
       kd.resize(cci.size());
+      blocks.resize(cci.size());
       ParallelFor(cci.size(), params.num_threads,
                   [&](size_t begin, size_t end) {
                     for (size_t c = begin; c < end; ++c) {
-                      kd[c] = std::make_unique<KdTree>(
-                          data, cci.core_points[c]);
+                      const std::vector<uint32_t>& pts = cci.core_points[c];
+                      if (pts.size() <= kBlockScanThreshold) {
+                        blocks[c] = std::make_unique<simd::SoaBlock>(
+                            data, pts.data(), pts.size());
+                      } else {
+                        kd[c] = std::make_unique<KdTree>(data, pts);
+                      }
                     }
                   });
     }
@@ -60,6 +78,13 @@ Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
       ++nn_queries;
       if (use_delaunay) {
         if (voronoi[c2]->Nearest(data.point(p)).squared_dist <= eps2) {
+          found = true;
+          break;
+        }
+      } else if (blocks[c2]) {
+        // Flat batch scan; equivalent to the kd path's "nearest within ε"
+        // test since both reduce to min dist² <= eps².
+        if (simd::AnyWithin(data.point(p), blocks[c2]->span(), eps2)) {
           found = true;
           break;
         }

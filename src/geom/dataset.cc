@@ -1,8 +1,18 @@
 #include "geom/dataset.h"
 
+#include <mutex>
+
 #include "util/check.h"
 
 namespace adbscan {
+namespace {
+
+// Guards lazy construction of the per-dataset SoA cache. A single global
+// mutex keeps Dataset copyable; contention is negligible because callers
+// fetch the view once per index/pipeline construction, not per query.
+std::mutex soa_build_mutex;
+
+}  // namespace
 
 Dataset::Dataset(int dim) : dim_(dim) {
   ADB_CHECK(dim >= 1 && dim <= kMaxDim);
@@ -17,7 +27,14 @@ Dataset::Dataset(int dim, std::vector<double> coords)
 uint32_t Dataset::Add(const double* p) {
   const uint32_t id = static_cast<uint32_t>(size());
   coords_.insert(coords_.end(), p, p + dim_);
+  soa_.reset();  // the cached SoA view no longer covers all points
   return id;
+}
+
+std::shared_ptr<const simd::SoaBlock> Dataset::Soa() const {
+  const std::lock_guard<std::mutex> lock(soa_build_mutex);
+  if (soa_ == nullptr) soa_ = std::make_shared<const simd::SoaBlock>(*this);
+  return soa_;
 }
 
 uint32_t Dataset::Add(std::initializer_list<double> p) {

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <vector>
 
 #include "geom/box.h"
 #include "geom/point.h"
+#include "geom/soa.h"
 
 namespace adbscan {
 
@@ -48,9 +50,20 @@ class Dataset {
   // Bounding box of all points; must not be called on an empty dataset.
   Box BoundingBox() const;
 
+  // Padded, 32-byte-aligned structure-of-arrays view of all points in id
+  // order — the batch view the SIMD distance kernels consume (geom/kernels.h).
+  // Built lazily on first use and cached; Add() invalidates the cache, so
+  // callers on hot paths should fetch it once after the dataset is final.
+  // Thread-safe; the returned block is immutable and stays alive as long as
+  // any caller holds the shared_ptr, even across an Add().
+  std::shared_ptr<const simd::SoaBlock> Soa() const;
+
  private:
   int dim_;
   std::vector<double> coords_;
+  // Cache for Soa(). Copied datasets share the snapshot (it is immutable);
+  // mutation through Add() drops only the mutating instance's reference.
+  mutable std::shared_ptr<const simd::SoaBlock> soa_;
 };
 
 }  // namespace adbscan

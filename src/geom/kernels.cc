@@ -1,0 +1,253 @@
+#include "geom/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "geom/kernels_internal.h"
+#include "geom/point.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace adbscan {
+namespace simd {
+namespace {
+
+using internal::BatchDistFn;
+
+// Helpers chunk long spans through a stack buffer so early-exit scans
+// (CountWithin, AnyWithin) stop within one chunk of where a scalar loop
+// would, while the per-chunk kernel call stays full-width and aligned.
+constexpr size_t kChunk = 256;
+static_assert(kChunk % kLaneWidth == 0);
+
+struct Dispatch {
+  std::atomic<KernelKind> kind;
+  std::atomic<BatchDistFn> fn;
+};
+
+BatchDistFn FnFor(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar:
+      return &internal::OneVsManyScalar;
+#if defined(__x86_64__) || defined(_M_X64)
+    case KernelKind::kAvx2:
+      return &internal::OneVsManyAvx2;
+#endif
+#if defined(__aarch64__)
+    case KernelKind::kNeon:
+      return &internal::OneVsManyNeon;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+KernelKind ResolveAuto() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx2")) return KernelKind::kAvx2;
+#elif defined(__aarch64__)
+  return KernelKind::kNeon;
+#endif
+  return KernelKind::kScalar;
+}
+
+Dispatch& GlobalDispatch() {
+  static Dispatch dispatch;
+  static const bool initialized = [] {
+    KernelKind kind = ResolveAuto();
+    // ADBSCAN_KERNEL overrides the default for whole processes (tests under
+    // CI's kernel matrix); the --kernel flag overrides it again per binary.
+    if (const char* env = std::getenv("ADBSCAN_KERNEL");
+        env != nullptr && env[0] != '\0') {
+      KernelKind parsed;
+      if (!ParseKernelKind(env, &parsed)) {
+        std::fprintf(stderr, "warning: ignoring ADBSCAN_KERNEL='%s'\n", env);
+      } else if (parsed == KernelKind::kAuto) {
+        // keep the resolved default
+      } else if (!KernelSupported(parsed)) {
+        std::fprintf(stderr,
+                     "warning: ADBSCAN_KERNEL='%s' unsupported on this CPU; "
+                     "using %s\n",
+                     env, KernelName(kind));
+      } else {
+        kind = parsed;
+      }
+    }
+    dispatch.kind.store(kind, std::memory_order_relaxed);
+    dispatch.fn.store(FnFor(kind), std::memory_order_relaxed);
+    return true;
+  }();
+  (void)initialized;
+  return dispatch;
+}
+
+inline BatchDistFn ActiveFn() {
+  return GlobalDispatch().fn.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool KernelSupported(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar:
+    case KernelKind::kAuto:
+      return true;
+    case KernelKind::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case KernelKind::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool SetKernel(KernelKind kind) {
+  if (!KernelSupported(kind)) return false;
+  const KernelKind resolved = kind == KernelKind::kAuto ? ResolveAuto() : kind;
+  Dispatch& d = GlobalDispatch();
+  d.kind.store(resolved, std::memory_order_relaxed);
+  d.fn.store(FnFor(resolved), std::memory_order_relaxed);
+  return true;
+}
+
+KernelKind ActiveKernel() {
+  return GlobalDispatch().kind.load(std::memory_order_relaxed);
+}
+
+const char* KernelName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar:
+      return "scalar";
+    case KernelKind::kAvx2:
+      return "avx2";
+    case KernelKind::kNeon:
+      return "neon";
+    case KernelKind::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+bool ParseKernelKind(const std::string& name, KernelKind* out) {
+  if (name == "scalar") *out = KernelKind::kScalar;
+  else if (name == "avx2") *out = KernelKind::kAvx2;
+  else if (name == "neon") *out = KernelKind::kNeon;
+  else if (name == "auto") *out = KernelKind::kAuto;
+  else return false;
+  return true;
+}
+
+namespace internal {
+
+void OneVsManyScalar(const double* q, const double* soa, size_t stride,
+                     int dim, size_t padded_n, double* out) {
+  for (size_t j = 0; j < padded_n; ++j) {
+    double acc = 0.0;
+    for (int i = 0; i < dim; ++i) {
+      const double diff = q[i] - soa[i * stride + j];
+      acc += diff * diff;
+    }
+    out[j] = acc;
+  }
+}
+
+}  // namespace internal
+
+void SquaredDists(const double* q, const SoaSpan& s, double* out) {
+  if (s.count == 0) return;
+  ADB_COUNT("kernel.batch_calls", 1);
+  ADB_COUNT("kernel.lanes_filled", s.count);
+  ADB_COUNT("kernel.lanes_padded", PaddedCount(s.count) - s.count);
+  ActiveFn()(q, s.base, s.stride, s.dim, PaddedCount(s.count), out);
+}
+
+size_t CountWithin(const double* q, const SoaSpan& s, double eps2,
+                   size_t stop_at) {
+  if (s.count == 0 || stop_at == 0) return 0;
+  ADB_COUNT("kernel.batch_calls", 1);
+  const BatchDistFn fn = ActiveFn();
+  alignas(kSoaAlignment) double buf[kChunk];
+  size_t count = 0;
+  size_t processed = 0;
+  for (size_t begin = 0; begin < s.count; begin += kChunk) {
+    const size_t real = std::min(kChunk, s.count - begin);
+    fn(q, s.base + begin, s.stride, s.dim, PaddedCount(real), buf);
+    processed += real;
+    for (size_t j = 0; j < real; ++j) {
+      if (buf[j] <= eps2 && ++count >= stop_at) {
+        ADB_COUNT("kernel.lanes_filled", processed);
+        return count;
+      }
+    }
+  }
+  ADB_COUNT("kernel.lanes_filled", processed);
+  return count;
+}
+
+bool AnyWithin(const double* q, const SoaSpan& s, double eps2) {
+  return CountWithin(q, s, eps2, 1) > 0;
+}
+
+void CollectWithin(const double* q, const SoaSpan& s, double eps2,
+                   const uint32_t* ids, std::vector<uint32_t>* out) {
+  if (s.count == 0) return;
+  ADB_COUNT("kernel.batch_calls", 1);
+  ADB_COUNT("kernel.lanes_filled", s.count);
+  const BatchDistFn fn = ActiveFn();
+  alignas(kSoaAlignment) double buf[kChunk];
+  for (size_t begin = 0; begin < s.count; begin += kChunk) {
+    const size_t real = std::min(kChunk, s.count - begin);
+    fn(q, s.base + begin, s.stride, s.dim, PaddedCount(real), buf);
+    for (size_t j = 0; j < real; ++j) {
+      if (buf[j] <= eps2) out->push_back(ids[begin + j]);
+    }
+  }
+}
+
+BlockNearest NearestInBlock(const double* q, const SoaSpan& s) {
+  BlockNearest best{s.count, std::numeric_limits<double>::infinity()};
+  if (s.count == 0) return best;
+  ADB_COUNT("kernel.batch_calls", 1);
+  ADB_COUNT("kernel.lanes_filled", s.count);
+  const BatchDistFn fn = ActiveFn();
+  alignas(kSoaAlignment) double buf[kChunk];
+  for (size_t begin = 0; begin < s.count; begin += kChunk) {
+    const size_t real = std::min(kChunk, s.count - begin);
+    fn(q, s.base + begin, s.stride, s.dim, PaddedCount(real), buf);
+    for (size_t j = 0; j < real; ++j) {
+      if (buf[j] < best.squared_dist) best = {begin + j, buf[j]};
+    }
+  }
+  return best;
+}
+
+void GatherPoint(const SoaSpan& s, size_t j, double* out) {
+  ADB_DCHECK(j < s.count);
+  for (int i = 0; i < s.dim; ++i) out[i] = s.base[i * s.stride + j];
+}
+
+void BlockVsBlock(const SoaSpan& a, const SoaSpan& b, double* out) {
+  if (a.count == 0 || b.count == 0) return;
+  ADB_COUNT("kernel.batch_calls", 1);
+  ADB_COUNT("kernel.lanes_filled", a.count * b.count);
+  const BatchDistFn fn = ActiveFn();
+  const size_t row = PaddedCount(b.count);
+  double q[kMaxDim];
+  for (size_t ja = 0; ja < a.count; ++ja) {
+    GatherPoint(a, ja, q);
+    fn(q, b.base, b.stride, b.dim, row, out + ja * row);
+  }
+}
+
+}  // namespace simd
+}  // namespace adbscan

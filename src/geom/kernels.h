@@ -1,0 +1,93 @@
+#ifndef ADBSCAN_GEOM_KERNELS_H_
+#define ADBSCAN_GEOM_KERNELS_H_
+
+// Batched squared-distance kernels over SoA views (geom/soa.h), with runtime
+// CPU dispatch between a scalar reference path and SIMD paths (AVX2 on
+// x86-64, NEON on aarch64).
+//
+// Determinism contract: every dispatch path computes each output distance
+// with the SAME sequence of IEEE operations — one accumulator per output
+// point, dimensions added in increasing order, diff = q[i] - x[i], no FMA
+// contraction (the build sets -ffp-contract=off) — so results are
+// bit-identical regardless of the selected kernel, batch size, or chunking.
+// The differential suite in tests/test_kernels.cc enforces this bitwise.
+//
+// Alignment contract: kernels only ever issue aligned full-width loads; the
+// SoaBlock padding guarantees the tail lanes are readable, finite
+// duplicates whose outputs the helpers discard.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/soa.h"
+
+namespace adbscan {
+namespace simd {
+
+enum class KernelKind { kScalar, kAvx2, kNeon, kAuto };
+
+// True iff this binary has the code path AND the CPU supports it. kScalar
+// and kAuto are always supported.
+bool KernelSupported(KernelKind kind);
+
+// Selects the kernel used by all helpers below. kAuto resolves to the best
+// supported SIMD path (falling back to scalar). Returns false — leaving the
+// selection unchanged — if the kind is unsupported here. Thread-safe, but
+// intended to be called once at startup (flag/env), not concurrently with
+// running queries.
+bool SetKernel(KernelKind kind);
+
+// The concrete kind currently in use (never kAuto).
+KernelKind ActiveKernel();
+
+const char* KernelName(KernelKind kind);
+
+// Parses "scalar" | "avx2" | "neon" | "auto". Returns false on anything else.
+bool ParseKernelKind(const std::string& name, KernelKind* out);
+
+// --- Batch helpers (all dispatch through the selected kernel) ---
+
+// out[j] = squared distance from q to point j, for j in [0,
+// PaddedCount(s.count)). `out` needs room for the padded count; only the
+// first s.count entries are meaningful. `q` has s.dim coordinates and needs
+// no particular alignment.
+void SquaredDists(const double* q, const SoaSpan& s, double* out);
+
+// Number of points within squared distance eps2 of q, scanning in index
+// order and returning as soon as the count reaches stop_at (so the result
+// is min-capped exactly like a scalar early-exit loop).
+size_t CountWithin(const double* q, const SoaSpan& s, double eps2,
+                   size_t stop_at);
+
+bool AnyWithin(const double* q, const SoaSpan& s, double eps2);
+
+// Appends ids[j] to *out for every j with dist²(q, point j) <= eps2, in
+// increasing j — identical output order to the scalar loop it replaces.
+void CollectWithin(const double* q, const SoaSpan& s, double eps2,
+                   const uint32_t* ids, std::vector<uint32_t>* out);
+
+// First index attaining the minimum squared distance (strict-< scan order,
+// matching `if (d2 < best)` loops). index == s.count and an infinite
+// distance when the span is empty.
+struct BlockNearest {
+  size_t index;
+  double squared_dist;
+};
+BlockNearest NearestInBlock(const double* q, const SoaSpan& s);
+
+// Copies point j of the span into out[0..dim).
+void GatherPoint(const SoaSpan& s, size_t j, double* out);
+
+// Block-vs-block tile: out[ja * PaddedCount(b.count) + jb] = squared
+// distance between point ja of `a` and point jb of `b`, ja in [0, a.count),
+// jb in [0, PaddedCount(b.count)). `out` needs a.count * PaddedCount(b.count)
+// doubles. Row-major, so a row scan reproduces the (a outer, b inner)
+// iteration order of a doubly-nested scalar loop.
+void BlockVsBlock(const SoaSpan& a, const SoaSpan& b, double* out);
+
+}  // namespace simd
+}  // namespace adbscan
+
+#endif  // ADBSCAN_GEOM_KERNELS_H_

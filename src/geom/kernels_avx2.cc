@@ -1,0 +1,36 @@
+// AVX2 batch distance kernel. This translation unit is the only one compiled
+// with -mavx2 (see src/CMakeLists.txt); callers must gate on
+// __builtin_cpu_supports("avx2") — the dispatcher in kernels.cc does.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "geom/kernels_internal.h"
+#include "geom/soa.h"
+
+namespace adbscan {
+namespace simd {
+namespace internal {
+
+void OneVsManyAvx2(const double* q, const double* soa, size_t stride,
+                   int dim, size_t padded_n, double* out) {
+  static_assert(kLaneWidth == 4, "AVX2 path assumes 4 doubles per vector");
+  for (size_t j = 0; j < padded_n; j += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (int i = 0; i < dim; ++i) {
+      const __m256d x = _mm256_load_pd(soa + i * stride + j);
+      const __m256d diff = _mm256_sub_pd(_mm256_set1_pd(q[i]), x);
+      // mul + add, never FMA: fused rounding would diverge from the scalar
+      // reference and break the bit-identical dispatch guarantee.
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+    }
+    _mm256_storeu_pd(out + j, acc);
+  }
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace adbscan
+
+#endif  // x86-64

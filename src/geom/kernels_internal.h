@@ -1,0 +1,42 @@
+#ifndef ADBSCAN_GEOM_KERNELS_INTERNAL_H_
+#define ADBSCAN_GEOM_KERNELS_INTERNAL_H_
+
+// Raw per-ISA batch kernels behind geom/kernels.h. Not a public API.
+//
+// Signature contract: writes out[j] = Σ_i (q[i] - soa[i*stride + j])² for
+// j in [0, padded_n). padded_n is a positive multiple of kLaneWidth, soa is
+// kSoaAlignment-aligned, stride is a multiple of kLaneWidth. `out` may be
+// unaligned. Accumulation per output is a single chain in dimension order —
+// identical IEEE operation sequence on every path.
+
+#include <cstddef>
+
+namespace adbscan {
+namespace simd {
+namespace internal {
+
+using BatchDistFn = void (*)(const double* q, const double* soa,
+                             size_t stride, int dim, size_t padded_n,
+                             double* out);
+
+void OneVsManyScalar(const double* q, const double* soa, size_t stride,
+                     int dim, size_t padded_n, double* out);
+
+#if defined(__x86_64__) || defined(_M_X64)
+// Defined in kernels_avx2.cc (compiled with -mavx2; call only after an
+// __builtin_cpu_supports("avx2") check).
+void OneVsManyAvx2(const double* q, const double* soa, size_t stride,
+                   int dim, size_t padded_n, double* out);
+#endif
+
+#if defined(__aarch64__)
+// Defined in kernels_neon.cc (NEON is baseline on aarch64).
+void OneVsManyNeon(const double* q, const double* soa, size_t stride,
+                   int dim, size_t padded_n, double* out);
+#endif
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace adbscan
+
+#endif  // ADBSCAN_GEOM_KERNELS_INTERNAL_H_

@@ -1,0 +1,40 @@
+// NEON batch distance kernel (aarch64; NEON is baseline there, so no extra
+// compile flags are needed). Two 128-bit vectors per kLaneWidth group.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "geom/kernels_internal.h"
+#include "geom/soa.h"
+
+namespace adbscan {
+namespace simd {
+namespace internal {
+
+void OneVsManyNeon(const double* q, const double* soa, size_t stride,
+                   int dim, size_t padded_n, double* out) {
+  static_assert(kLaneWidth == 4, "NEON path assumes 4-double groups");
+  for (size_t j = 0; j < padded_n; j += 4) {
+    float64x2_t acc0 = vdupq_n_f64(0.0);
+    float64x2_t acc1 = vdupq_n_f64(0.0);
+    for (int i = 0; i < dim; ++i) {
+      const double* row = soa + i * stride + j;
+      const float64x2_t qi = vdupq_n_f64(q[i]);
+      const float64x2_t d0 = vsubq_f64(qi, vld1q_f64(row));
+      const float64x2_t d1 = vsubq_f64(qi, vld1q_f64(row + 2));
+      // vmul + vadd, never vfma: fused rounding would diverge from the
+      // scalar reference and break the bit-identical dispatch guarantee.
+      acc0 = vaddq_f64(acc0, vmulq_f64(d0, d0));
+      acc1 = vaddq_f64(acc1, vmulq_f64(d1, d1));
+    }
+    vst1q_f64(out + j, acc0);
+    vst1q_f64(out + j + 2, acc1);
+  }
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace adbscan
+
+#endif  // aarch64

@@ -1,0 +1,60 @@
+#include "geom/soa.h"
+
+#include <algorithm>
+#include <new>
+
+#include "geom/dataset.h"
+#include "util/check.h"
+
+namespace adbscan {
+namespace simd {
+
+void SoaBlock::AlignedFree::operator()(double* p) const {
+  ::operator delete[](p, std::align_val_t(kSoaAlignment));
+}
+
+SoaBlock::SoaBlock(const Dataset& data) { Fill(data, nullptr, data.size()); }
+
+SoaBlock::SoaBlock(const Dataset& data, const uint32_t* ids, size_t count) {
+  Fill(data, ids, count);
+}
+
+SoaBlock::SoaBlock(const SoaBlock& other)
+    : dim_(other.dim_), count_(other.count_), stride_(other.stride_) {
+  if (stride_ == 0) return;
+  const size_t total = static_cast<size_t>(dim_) * stride_;
+  data_.reset(static_cast<double*>(
+      ::operator new[](total * sizeof(double), std::align_val_t(kSoaAlignment))));
+  std::copy(other.data_.get(), other.data_.get() + total, data_.get());
+}
+
+SoaBlock& SoaBlock::operator=(const SoaBlock& other) {
+  if (this != &other) *this = SoaBlock(other);  // copy, then move-assign
+  return *this;
+}
+
+void SoaBlock::Fill(const Dataset& data, const uint32_t* ids, size_t count) {
+  dim_ = data.dim();
+  count_ = count;
+  stride_ = PaddedCount(count);
+  if (stride_ == 0) return;
+  data_.reset(static_cast<double*>(::operator new[](
+      static_cast<size_t>(dim_) * stride_ * sizeof(double),
+      std::align_val_t(kSoaAlignment))));
+  for (size_t j = 0; j < stride_; ++j) {
+    // Padding slots replicate the last real point: finite values that keep
+    // full-width tail computations exception-free and overflow-safe.
+    const size_t src = j < count ? j : count - 1;
+    const double* p = data.point(ids == nullptr ? src : ids[src]);
+    for (int i = 0; i < dim_; ++i) data_[i * stride_ + j] = p[i];
+  }
+}
+
+SoaSpan SoaBlock::span(size_t offset, size_t count) const {
+  ADB_DCHECK(offset % kLaneWidth == 0);
+  ADB_DCHECK(offset + PaddedCount(count) <= stride_);
+  return SoaSpan{data_.get() + offset, stride_, dim_, count};
+}
+
+}  // namespace simd
+}  // namespace adbscan

@@ -1,0 +1,92 @@
+#ifndef ADBSCAN_GEOM_SOA_H_
+#define ADBSCAN_GEOM_SOA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace adbscan {
+
+class Dataset;
+
+namespace simd {
+
+// Lane geometry shared by every batch kernel (see geom/kernels.h). The SoA
+// buffers are padded to kLaneWidth elements and aligned to kSoaAlignment
+// bytes so SIMD paths can use aligned full-width loads everywhere — a
+// kernel never touches an unaligned or partial tail.
+inline constexpr size_t kLaneWidth = 4;       // doubles per 256-bit vector
+inline constexpr size_t kSoaAlignment = 32;   // bytes
+
+// Rounds n up to a multiple of kLaneWidth (0 stays 0).
+inline constexpr size_t PaddedCount(size_t n) {
+  return (n + kLaneWidth - 1) & ~(kLaneWidth - 1);
+}
+
+// A non-owning window into a SoaBlock: `count` points whose i-th coordinates
+// live at base[i * stride + j], j in [0, count). Invariants, guaranteed by
+// SoaBlock: base is kSoaAlignment-aligned, stride is a multiple of
+// kLaneWidth, and the padding slots [count, PaddedCount(count)) of every
+// dimension are readable and hold finite coordinates (duplicates of a real
+// point), so kernels may compute — and discard — full-width tails.
+struct SoaSpan {
+  const double* base = nullptr;
+  size_t stride = 0;
+  int dim = 0;
+  size_t count = 0;
+};
+
+// An owning, padded, aligned structure-of-arrays copy of (a subset of) a
+// Dataset: dimension-major, one stride-long array per dimension. This is the
+// batch view every distance kernel consumes; see DESIGN.md "Distance
+// kernels" for the alignment/padding contract.
+class SoaBlock {
+ public:
+  SoaBlock() = default;
+
+  // All points of `data`, in id order.
+  explicit SoaBlock(const Dataset& data);
+
+  // The points `ids[0..count)` of `data`, in that order.
+  SoaBlock(const Dataset& data, const uint32_t* ids, size_t count);
+
+  SoaBlock(const SoaBlock& other);
+  SoaBlock& operator=(const SoaBlock& other);
+  SoaBlock(SoaBlock&&) = default;
+  SoaBlock& operator=(SoaBlock&&) = default;
+
+  int dim() const { return dim_; }
+  size_t count() const { return count_; }
+  size_t stride() const { return stride_; }
+  bool empty() const { return count_ == 0; }
+
+  // Coordinate i of point j.
+  double at(int i, size_t j) const { return data_[i * stride_ + j]; }
+
+  // View of the whole block.
+  SoaSpan span() const { return SoaSpan{data_.get(), stride_, dim_, count_}; }
+
+  // View of points [offset, offset + count); offset must be a multiple of
+  // kLaneWidth so the sub-view keeps the alignment contract. The caller must
+  // guarantee the padding slots after `count` are themselves real or padded
+  // entries of this block (true for lane-aligned segment layouts such as the
+  // kd-tree's per-leaf segments).
+  SoaSpan span(size_t offset, size_t count) const;
+
+ private:
+  void Fill(const Dataset& data, const uint32_t* ids, size_t count);
+
+  struct AlignedFree {
+    void operator()(double* p) const;
+  };
+
+  int dim_ = 0;
+  size_t count_ = 0;
+  size_t stride_ = 0;  // PaddedCount(count_)
+  std::unique_ptr<double[], AlignedFree> data_;  // dim_ * stride_ doubles
+};
+
+}  // namespace simd
+}  // namespace adbscan
+
+#endif  // ADBSCAN_GEOM_SOA_H_

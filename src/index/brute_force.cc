@@ -2,40 +2,33 @@
 
 #include <numeric>
 
+#include "geom/kernels.h"
 #include "geom/point.h"
 
 namespace adbscan {
 
-BruteForceIndex::BruteForceIndex(const Dataset& data) : data_(&data) {
+BruteForceIndex::BruteForceIndex(const Dataset& data)
+    : data_(&data), soa_(data.Soa()) {
   ids_.resize(data.size());
   std::iota(ids_.begin(), ids_.end(), 0u);
 }
 
 BruteForceIndex::BruteForceIndex(const Dataset& data, std::vector<uint32_t> ids)
-    : data_(&data), ids_(std::move(ids)) {}
+    : data_(&data),
+      ids_(std::move(ids)),
+      soa_(std::make_shared<const simd::SoaBlock>(data, ids_.data(),
+                                                  ids_.size())) {}
 
 std::vector<uint32_t> BruteForceIndex::RangeQuery(const double* q,
                                                   double radius) const {
   std::vector<uint32_t> out;
-  const double r2 = radius * radius;
-  for (uint32_t id : ids_) {
-    if (SquaredDistance(q, data_->point(id), data_->dim()) <= r2) {
-      out.push_back(id);
-    }
-  }
+  simd::CollectWithin(q, soa_->span(), radius * radius, ids_.data(), &out);
   return out;
 }
 
 size_t BruteForceIndex::CountInBall(const double* q, double radius,
                                     size_t stop_at) const {
-  size_t count = 0;
-  const double r2 = radius * radius;
-  for (uint32_t id : ids_) {
-    if (SquaredDistance(q, data_->point(id), data_->dim()) <= r2) {
-      if (++count >= stop_at) return count;
-    }
-  }
-  return count;
+  return simd::CountWithin(q, soa_->span(), radius * radius, stop_at);
 }
 
 bool BruteForceIndex::AnyWithin(const double* q, double radius) const {

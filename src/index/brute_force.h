@@ -1,9 +1,11 @@
 #ifndef ADBSCAN_INDEX_BRUTE_FORCE_H_
 #define ADBSCAN_INDEX_BRUTE_FORCE_H_
 
+#include <memory>
 #include <vector>
 
 #include "geom/dataset.h"
+#include "geom/soa.h"
 #include "index/spatial_index.h"
 
 namespace adbscan {
@@ -28,6 +30,10 @@ class BruteForceIndex : public SpatialIndex {
  private:
   const Dataset* data_;
   std::vector<uint32_t> ids_;
+  // Scans run through the batched SIMD kernels over this SoA view of the
+  // indexed points, in ids_ order (the dataset's shared view when indexing
+  // everything, an owned gathered copy for subsets).
+  std::shared_ptr<const simd::SoaBlock> soa_;
 };
 
 }  // namespace adbscan

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "geom/kernels.h"
 #include "geom/point.h"
 #include "util/check.h"
 
@@ -14,6 +15,7 @@ KdTree::KdTree(const Dataset& data) : data_(&data) {
   if (!ids_.empty()) {
     nodes_.reserve(2 * ids_.size() / kLeafSize + 2);
     root_ = Build(0, static_cast<uint32_t>(ids_.size()));
+    BuildLeafSoa();
   }
 }
 
@@ -22,7 +24,27 @@ KdTree::KdTree(const Dataset& data, std::vector<uint32_t> ids)
   if (!ids_.empty()) {
     nodes_.reserve(2 * ids_.size() / kLeafSize + 2);
     root_ = Build(0, static_cast<uint32_t>(ids_.size()));
+    BuildLeafSoa();
   }
+}
+
+void KdTree::BuildLeafSoa() {
+  // Lay every leaf's points out as a lane-aligned, internally padded segment
+  // of one SoA block, so leaf scans hit the batch kernels with aligned
+  // full-width loads only. Padding slots repeat the leaf's last point.
+  std::vector<uint32_t> layout;
+  layout.reserve(simd::PaddedCount(ids_.size()) +
+                 (nodes_.size() / 2 + 1) * (simd::kLaneWidth - 1));
+  for (Node& node : nodes_) {
+    if (!node.IsLeaf()) continue;
+    node.soa_begin = static_cast<uint32_t>(layout.size());
+    layout.insert(layout.end(), ids_.begin() + node.begin,
+                  ids_.begin() + node.end);
+    while (layout.size() % simd::kLaneWidth != 0) {
+      layout.push_back(ids_[node.end - 1]);
+    }
+  }
+  leaf_soa_ = simd::SoaBlock(*data_, layout.data(), layout.size());
 }
 
 Box KdTree::ComputeBox(uint32_t begin, uint32_t end) const {
@@ -96,11 +118,8 @@ std::vector<uint32_t> KdTree::RangeQuery(const double* q,
       continue;
     }
     if (node.IsLeaf()) {
-      for (uint32_t i = node.begin; i < node.end; ++i) {
-        if (SquaredDistance(q, data_->point(ids_[i]), data_->dim()) <= r2) {
-          out.push_back(ids_[i]);
-        }
-      }
+      simd::CollectWithin(q, LeafSpan(node), r2, ids_.data() + node.begin,
+                          &out);
       continue;
     }
     stack.push_back(node.left);
@@ -125,11 +144,7 @@ size_t KdTree::CountInBall(const double* q, double radius,
       continue;
     }
     if (node.IsLeaf()) {
-      for (uint32_t i = node.begin; i < node.end && count < stop_at; ++i) {
-        if (SquaredDistance(q, data_->point(ids_[i]), data_->dim()) <= r2) {
-          ++count;
-        }
-      }
+      count += simd::CountWithin(q, LeafSpan(node), r2, stop_at - count);
       continue;
     }
     stack.push_back(node.left);
@@ -161,13 +176,10 @@ std::optional<KdTree::Neighbor> KdTree::Nearest(const double* q,
     if (frame.min_dist_sq >= best.squared_dist) continue;
     const Node& node = nodes_[frame.node];
     if (node.IsLeaf()) {
-      for (uint32_t i = node.begin; i < node.end; ++i) {
-        const double d2 =
-            SquaredDistance(q, data_->point(ids_[i]), data_->dim());
-        if (d2 < best.squared_dist) {
-          best = {ids_[i], d2};
-          found = true;
-        }
+      const simd::BlockNearest bn = simd::NearestInBlock(q, LeafSpan(node));
+      if (bn.squared_dist < best.squared_dist) {
+        best = {ids_[node.begin + bn.index], bn.squared_dist};
+        found = true;
       }
       continue;
     }
@@ -201,6 +213,7 @@ std::vector<KdTree::Neighbor> KdTree::KNearest(const double* q,
     uint32_t node;
     double min_dist_sq;
   };
+  std::vector<double> scratch;
   std::vector<Frame> stack{{root_, nodes_[root_].box.MinSquaredDistToPoint(q)}};
   while (!stack.empty()) {
     const Frame frame = stack.back();
@@ -208,9 +221,12 @@ std::vector<KdTree::Neighbor> KdTree::KNearest(const double* q,
     if (frame.min_dist_sq > bound()) continue;
     const Node& node = nodes_[frame.node];
     if (node.IsLeaf()) {
+      // Leaves usually hold <= kLeafSize points, but all-coincident ranges
+      // become a single arbitrarily large leaf, so size the scratch per leaf.
+      scratch.resize(simd::PaddedCount(node.end - node.begin));
+      simd::SquaredDists(q, LeafSpan(node), scratch.data());
       for (uint32_t i = node.begin; i < node.end; ++i) {
-        const double d2 =
-            SquaredDistance(q, data_->point(ids_[i]), data_->dim());
+        const double d2 = scratch[i - node.begin];
         if (d2 <= bound()) {
           if (heap.size() == k) {
             std::pop_heap(heap.begin(), heap.end(), cmp);

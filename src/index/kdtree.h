@@ -8,6 +8,7 @@
 
 #include "geom/box.h"
 #include "geom/dataset.h"
+#include "geom/soa.h"
 #include "index/spatial_index.h"
 
 namespace adbscan {
@@ -69,6 +70,8 @@ class KdTree : public SpatialIndex {
     uint32_t right = 0;
     uint32_t begin = 0;
     uint32_t end = 0;
+    // Leaves: start of this leaf's lane-aligned segment in leaf_soa_.
+    uint32_t soa_begin = 0;
     bool IsLeaf() const { return left == kLeafMarker; }
   };
   static constexpr uint32_t kLeafMarker = 0xffffffffu;
@@ -76,12 +79,19 @@ class KdTree : public SpatialIndex {
 
   uint32_t Build(uint32_t begin, uint32_t end);
   Box ComputeBox(uint32_t begin, uint32_t end) const;
+  void BuildLeafSoa();
+  simd::SoaSpan LeafSpan(const Node& node) const {
+    return leaf_soa_.span(node.soa_begin, node.end - node.begin);
+  }
 
   void CollectSubtree(uint32_t node, std::vector<uint32_t>* out) const;
 
   const Dataset* data_;
   std::vector<uint32_t> ids_;
   std::vector<Node> nodes_;
+  // Per-leaf padded SoA segments, in ids_ order, so every leaf scan is one
+  // aligned batch-kernel call (point j of a leaf is ids_[node.begin + j]).
+  simd::SoaBlock leaf_soa_;
   uint32_t root_ = kLeafMarker;
 };
 

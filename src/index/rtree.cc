@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "geom/kernels.h"
 #include "geom/point.h"
 #include "util/check.h"
 
@@ -44,6 +45,23 @@ void RTree::BulkLoad(std::vector<uint32_t> ids) {
     level = PackLevel(std::move(level), /*leaf=*/false);
   }
   root_ = level.front();
+  BuildLeafSoa();
+}
+
+void RTree::BuildLeafSoa() {
+  std::vector<uint32_t> layout;
+  layout.reserve(simd::PaddedCount(num_points_) +
+                 (num_points_ / kMinEntries + 1) * (simd::kLaneWidth - 1));
+  for (Node& node : nodes_) {
+    if (!node.leaf) continue;
+    node.soa_begin = static_cast<uint32_t>(layout.size());
+    layout.insert(layout.end(), node.entries.begin(), node.entries.end());
+    while (layout.size() % simd::kLaneWidth != 0) {
+      layout.push_back(node.entries.back());
+    }
+  }
+  leaf_soa_ = simd::SoaBlock(*data_, layout.data(), layout.size());
+  leaf_soa_valid_ = true;
 }
 
 std::vector<uint32_t> RTree::PackLevel(std::vector<uint32_t> items,
@@ -384,6 +402,7 @@ uint32_t RTree::SplitNodeQuadratic(uint32_t node_idx) {
 
 void RTree::Insert(uint32_t id) {
   ++num_points_;
+  leaf_soa_valid_ = false;  // leaves are about to mutate
   InsertImpl(id, options_.split == RTreeOptions::Split::kRStar &&
                      options_.reinsert_fraction > 0.0);
 }
@@ -474,9 +493,13 @@ std::vector<uint32_t> RTree::RangeQuery(const double* q,
     stack.pop_back();
     if (node.box.MinSquaredDistToPoint(q) > r2) continue;
     if (node.leaf) {
-      for (uint32_t id : node.entries) {
-        if (SquaredDistance(q, PointOf(id), data_->dim()) <= r2) {
-          out.push_back(id);
+      if (leaf_soa_valid_) {
+        simd::CollectWithin(q, LeafSpan(node), r2, node.entries.data(), &out);
+      } else {
+        for (uint32_t id : node.entries) {
+          if (SquaredDistance(q, PointOf(id), data_->dim()) <= r2) {
+            out.push_back(id);
+          }
         }
       }
     } else {
@@ -497,9 +520,13 @@ size_t RTree::CountInBall(const double* q, double radius,
     stack.pop_back();
     if (node.box.MinSquaredDistToPoint(q) > r2) continue;
     if (node.leaf) {
-      for (uint32_t id : node.entries) {
-        if (SquaredDistance(q, PointOf(id), data_->dim()) <= r2) {
-          if (++count >= stop_at) break;
+      if (leaf_soa_valid_) {
+        count += simd::CountWithin(q, LeafSpan(node), r2, stop_at - count);
+      } else {
+        for (uint32_t id : node.entries) {
+          if (SquaredDistance(q, PointOf(id), data_->dim()) <= r2) {
+            if (++count >= stop_at) break;
+          }
         }
       }
     } else {

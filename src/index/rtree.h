@@ -6,6 +6,7 @@
 
 #include "geom/box.h"
 #include "geom/dataset.h"
+#include "geom/soa.h"
 #include "index/spatial_index.h"
 
 namespace adbscan {
@@ -70,6 +71,9 @@ class RTree : public SpatialIndex {
     bool leaf = true;
     // Leaf: point ids; internal: child node indices.
     std::vector<uint32_t> entries;
+    // Leaf: start of this leaf's lane-aligned segment in leaf_soa_ (valid
+    // only while leaf_soa_valid_).
+    uint32_t soa_begin = 0;
   };
 
   const double* PointOf(uint32_t id) const { return data_->point(id); }
@@ -77,6 +81,16 @@ class RTree : public SpatialIndex {
   Box NodeEntryBox(const Node& node, uint32_t i) const;
 
   void BulkLoad(std::vector<uint32_t> ids);
+  // Packs every leaf's entries into one shared SoA block, each leaf a
+  // lane-aligned segment (padding replicates the leaf's last entry) so leaf
+  // scans run through the batch kernels. Called after BulkLoad; Insert()
+  // mutates leaves, so it invalidates the block and queries fall back to
+  // the scalar per-point loop (same IEEE operations, so results are
+  // unchanged either way).
+  void BuildLeafSoa();
+  simd::SoaSpan LeafSpan(const Node& node) const {
+    return leaf_soa_.span(node.soa_begin, node.entries.size());
+  }
   // Packs `items` (point ids if `leaf`, else node indices) into nodes of
   // fan-out <= kMaxEntries using STR; returns the new node indices.
   std::vector<uint32_t> PackLevel(std::vector<uint32_t> items, bool leaf);
@@ -100,6 +114,8 @@ class RTree : public SpatialIndex {
   std::vector<Node> nodes_;
   uint32_t root_ = kInvalid;
   size_t num_points_ = 0;
+  simd::SoaBlock leaf_soa_;
+  bool leaf_soa_valid_ = false;
 
   static constexpr uint32_t kInvalid = 0xffffffffu;
 };

@@ -1,12 +1,16 @@
 #include "io/dataset_io.h"
 
+#include <cctype>
 #include <cinttypes>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <vector>
 
+#include "geom/point.h"
 #include "util/check.h"
 
 namespace adbscan {
@@ -52,30 +56,97 @@ void WriteLabeledCsv(const Dataset& data, const Clustering& clustering,
   std::fclose(f);
 }
 
-Dataset ReadCsv(const std::string& path, int dim) {
-  FILE* f = OpenOrDie(path, "r");
+namespace {
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+bool IsBlank(const std::string& line) {
+  for (char c : line) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Dataset> TryReadCsv(const std::string& path, int dim,
+                                  std::string* error) {
+  if (dim < 1 || dim > kMaxDim) {
+    SetError(error, path + ": dimensionality " + std::to_string(dim) +
+                        " outside [1, " + std::to_string(kMaxDim) + "]");
+    return std::nullopt;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, path + ": cannot open");
+    return std::nullopt;
+  }
   Dataset data(dim);
   std::vector<double> row(dim);
-  char line[4096];
+  std::string line;
   size_t line_no = 0;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
+  auto fail = [&](const std::string& what) {
+    SetError(error, path + ":" + std::to_string(line_no) + ": " + what);
+    return std::nullopt;
+  };
+  while (std::getline(in, line)) {
     ++line_no;
-    char* cursor = line;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (IsBlank(line)) continue;
+    const char* cursor = line.c_str();
+    auto skip_spaces = [&] {
+      while (*cursor == ' ' || *cursor == '\t') ++cursor;
+    };
     for (int j = 0; j < dim; ++j) {
+      if (j > 0) {
+        skip_spaces();
+        if (*cursor != ',') {
+          return fail("expected " + std::to_string(dim) +
+                      " comma-separated values");
+        }
+        ++cursor;
+      }
+      skip_spaces();
       char* end = nullptr;
       row[j] = std::strtod(cursor, &end);
       if (end == cursor) {
-        std::fprintf(stderr, "%s:%zu: expected %d numbers\n", path.c_str(),
-                     line_no, dim);
-        std::abort();
+        return fail("field " + std::to_string(j + 1) + " is not a number");
+      }
+      if (!std::isfinite(row[j])) {
+        return fail("field " + std::to_string(j + 1) + " is not finite");
       }
       cursor = end;
-      if (*cursor == ',') ++cursor;
+    }
+    skip_spaces();
+    // Compare against the true end of the line, not just a NUL, so embedded
+    // null bytes count as garbage instead of masking trailing content.
+    if (cursor != line.c_str() + line.size()) {
+      return fail("trailing garbage after " + std::to_string(dim) +
+                  " values");
     }
     data.Add(row);
   }
-  std::fclose(f);
+  if (in.bad()) {
+    SetError(error, path + ": read error");
+    return std::nullopt;
+  }
+  if (data.size() == 0) {
+    SetError(error, path + ": no data rows");
+    return std::nullopt;
+  }
   return data;
+}
+
+Dataset ReadCsv(const std::string& path, int dim) {
+  std::string error;
+  std::optional<Dataset> data = TryReadCsv(path, dim, &error);
+  if (!data.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    std::abort();
+  }
+  return *std::move(data);
 }
 
 void WriteBinary(const Dataset& data, const std::string& path) {
@@ -92,21 +163,74 @@ void WriteBinary(const Dataset& data, const std::string& path) {
   std::fclose(f);
 }
 
-Dataset ReadBinary(const std::string& path) {
-  FILE* f = OpenOrDie(path, "rb");
+std::optional<Dataset> TryReadBinary(const std::string& path,
+                                     std::string* error) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    SetError(error, path + ": cannot open");
+    return std::nullopt;
+  }
+  auto fail = [&](const std::string& what) {
+    std::fclose(f);
+    SetError(error, path + ": " + what);
+    return std::nullopt;
+  };
   uint32_t magic = 0, dim = 0;
   uint64_t n = 0;
-  ADB_CHECK(std::fread(&magic, sizeof(magic), 1, f) == 1);
-  ADB_CHECK_MSG(magic == kMagic, path.c_str());
-  ADB_CHECK(std::fread(&dim, sizeof(dim), 1, f) == 1);
-  ADB_CHECK(std::fread(&n, sizeof(n), 1, f) == 1);
+  if (std::fread(&magic, sizeof(magic), 1, f) != 1) {
+    return fail("truncated header (magic)");
+  }
+  if (magic != kMagic) return fail("bad magic (not an adbscan dataset)");
+  if (std::fread(&dim, sizeof(dim), 1, f) != 1) {
+    return fail("truncated header (dim)");
+  }
+  if (dim < 1 || dim > static_cast<uint32_t>(kMaxDim)) {
+    return fail("dimensionality " + std::to_string(dim) + " outside [1, " +
+                std::to_string(kMaxDim) + "]");
+  }
+  if (std::fread(&n, sizeof(n), 1, f) != 1) {
+    return fail("truncated header (count)");
+  }
+  // Guard the n*dim element count (and its byte size) against overflow,
+  // then validate the payload size against the actual file size BEFORE
+  // allocating — header fields are untrusted, and a bogus count must not
+  // drive a multi-terabyte allocation.
+  if (n > SIZE_MAX / sizeof(double) / dim) {
+    return fail("point count " + std::to_string(n) + " overflows");
+  }
+  const long header_end = std::ftell(f);
+  if (header_end < 0 || std::fseek(f, 0, SEEK_END) != 0) {
+    return fail("cannot determine file size");
+  }
+  const long file_end = std::ftell(f);
+  if (file_end < 0 || std::fseek(f, header_end, SEEK_SET) != 0) {
+    return fail("cannot determine file size");
+  }
+  const uint64_t payload_bytes =
+      static_cast<uint64_t>(n) * dim * sizeof(double);
+  const uint64_t actual_bytes = static_cast<uint64_t>(file_end - header_end);
+  if (actual_bytes < payload_bytes) {
+    return fail("payload shorter than header count " + std::to_string(n));
+  }
+  if (actual_bytes > payload_bytes) return fail("trailing bytes after payload");
   std::vector<double> coords(static_cast<size_t>(n) * dim);
-  if (n > 0) {
-    ADB_CHECK(std::fread(coords.data(), sizeof(double), coords.size(), f) ==
-              coords.size());
+  if (n > 0 &&
+      std::fread(coords.data(), sizeof(double), coords.size(), f) !=
+          coords.size()) {
+    return fail("payload shorter than header count " + std::to_string(n));
   }
   std::fclose(f);
   return Dataset(static_cast<int>(dim), std::move(coords));
+}
+
+Dataset ReadBinary(const std::string& path) {
+  std::string error;
+  std::optional<Dataset> data = TryReadBinary(path, &error);
+  if (!data.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    std::abort();
+  }
+  return *std::move(data);
 }
 
 void WriteClustering(const Clustering& c, const std::string& path) {

@@ -1,6 +1,7 @@
 #ifndef ADBSCAN_IO_DATASET_IO_H_
 #define ADBSCAN_IO_DATASET_IO_H_
 
+#include <optional>
 #include <string>
 
 #include "core/dbscan_types.h"
@@ -13,7 +14,10 @@ namespace adbscan {
 //    trailing label column (used to export Figure 8/9 panels for plotting);
 //  - binary: little-endian [magic u32][dim u32][n u64][n*dim f64], fast
 //    round-trips for large generated datasets.
-// All functions abort on I/O errors with a message naming the path.
+// The TryRead* functions validate strictly and report malformed input as an
+// error string (never crash, never silently misparse); the Read* wrappers
+// delegate to them and abort with the message — the right behavior for the
+// bench/figure drivers, whose inputs this repository generates itself.
 
 void WriteCsv(const Dataset& data, const std::string& path);
 
@@ -26,6 +30,20 @@ Dataset ReadCsv(const std::string& path, int dim);
 
 void WriteBinary(const Dataset& data, const std::string& path);
 Dataset ReadBinary(const std::string& path);
+
+// Strict CSV read: every non-blank line must hold exactly `dim`
+// comma-separated finite numbers with nothing else (CR-LF endings and
+// surrounding spaces are tolerated, blank lines are skipped); a file with
+// zero data rows is an error. On failure returns nullopt and, when `error`
+// is non-null, stores a message naming the path and line.
+std::optional<Dataset> TryReadCsv(const std::string& path, int dim,
+                                  std::string* error);
+
+// Strict binary read: validates the magic, dim ∈ [1, kMaxDim], the payload
+// size against the header count (guarding the n*dim multiplication against
+// overflow), and rejects trailing bytes. n == 0 is valid.
+std::optional<Dataset> TryReadBinary(const std::string& path,
+                                     std::string* error);
 
 // Clustering persistence (binary): num_clusters, labels, core flags, extra
 // memberships. Round-trips exactly.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "geom/kernels.h"
 #include "geom/point.h"
 #include "obs/metrics.h"
 #include "util/check.h"
@@ -53,15 +54,21 @@ ApproxRangeCounter::ApproxRangeCounter(const Dataset& data,
     roots_.push_back(BuildNode(0, coord, begin, end));
   }
 
+  // Roots that B(q, ε) can reach have cell centers within
+  // ε + half cell diameter (+ slack against rounding) of q.
+  const double diam = level0_side_ * std::sqrt(static_cast<double>(data.dim()));
+  root_radius_ = eps_ + 0.5 * diam + 1e-9 * level0_side_;
+  root_centers_ = std::make_unique<Dataset>(data.dim());
+  root_centers_->Reserve(roots_.size());
+  double center[kMaxDim];
+  for (uint32_t r : roots_) {
+    nodes_[r].coord.Center(level0_side_, center);
+    root_centers_->Add(center);
+  }
   if (roots_.size() > kRootScanThreshold) {
-    root_centers_ = std::make_unique<Dataset>(data.dim());
-    root_centers_->Reserve(roots_.size());
-    double center[kMaxDim];
-    for (uint32_t r : roots_) {
-      nodes_[r].coord.Center(level0_side_, center);
-      root_centers_->Add(center);
-    }
     root_tree_ = std::make_unique<KdTree>(*root_centers_);
+  } else {
+    root_center_soa_ = std::make_unique<simd::SoaBlock>(*root_centers_);
   }
 }
 
@@ -143,13 +150,19 @@ size_t ApproxRangeCounter::Query(const double* q) const {
   size_t ans = 0;
   if (roots_.empty()) return ans;
   if (root_tree_ == nullptr) {
-    for (uint32_t r : roots_) QueryNode(r, q, &ans, SIZE_MAX);
+    // One batch-kernel pass over the root centers prunes roots whose cells
+    // cannot intersect B(q, ε): center farther than root_radius_ ⇒ box min
+    // distance > ε ⇒ the subtree would contribute nothing anyway.
+    alignas(simd::kSoaAlignment) double
+        d2[simd::PaddedCount(kRootScanThreshold)];
+    simd::SquaredDists(q, root_center_soa_->span(), d2);
+    const double radius2 = root_radius_ * root_radius_;
+    for (size_t i = 0; i < roots_.size(); ++i) {
+      if (d2[i] <= radius2) QueryNode(roots_[i], q, &ans, SIZE_MAX);
+    }
     return ans;
   }
-  const double diam =
-      level0_side_ * std::sqrt(static_cast<double>(data_->dim()));
-  const double radius = eps_ + 0.5 * diam + 1e-9 * level0_side_;
-  for (uint32_t root_pos : root_tree_->RangeQuery(q, radius)) {
+  for (uint32_t root_pos : root_tree_->RangeQuery(q, root_radius_)) {
     QueryNode(roots_[root_pos], q, &ans, SIZE_MAX);
   }
   return ans;
@@ -162,16 +175,18 @@ bool ApproxRangeCounter::QueryAtLeast(const double* q,
   size_t ans = 0;
   if (roots_.empty()) return false;
   if (root_tree_ == nullptr) {
-    for (uint32_t r : roots_) {
-      QueryNode(r, q, &ans, threshold);
+    alignas(simd::kSoaAlignment) double
+        d2[simd::PaddedCount(kRootScanThreshold)];
+    simd::SquaredDists(q, root_center_soa_->span(), d2);
+    const double radius2 = root_radius_ * root_radius_;
+    for (size_t i = 0; i < roots_.size(); ++i) {
+      if (d2[i] > radius2) continue;
+      QueryNode(roots_[i], q, &ans, threshold);
       if (ans >= threshold) return true;
     }
     return false;
   }
-  const double diam =
-      level0_side_ * std::sqrt(static_cast<double>(data_->dim()));
-  const double radius = eps_ + 0.5 * diam + 1e-9 * level0_side_;
-  for (uint32_t root_pos : root_tree_->RangeQuery(q, radius)) {
+  for (uint32_t root_pos : root_tree_->RangeQuery(q, root_radius_)) {
     QueryNode(roots_[root_pos], q, &ans, threshold);
     if (ans >= threshold) return true;
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "geom/dataset.h"
+#include "geom/soa.h"
 #include "grid/cell.h"
 #include "index/kdtree.h"
 
@@ -91,8 +92,13 @@ class ApproxRangeCounter {
   std::vector<uint32_t> child_pool_;     // flattened child index lists
   std::vector<uint32_t> roots_;          // level-0 node indices
   std::vector<uint32_t> scratch_;        // point ids, permuted during build
-  // Root lookup: linear scan for few roots, kd-tree over centers otherwise.
+  // The search radius that decides which roots B(q, ε) can reach:
+  // ε + half root-cell diameter + slack.
+  double root_radius_ = 0.0;
+  // Root lookup: for few roots, one batch-kernel distance pass over the SoA
+  // block of root cell centers; kd-tree over those centers otherwise.
   std::unique_ptr<Dataset> root_centers_;
+  std::unique_ptr<simd::SoaBlock> root_center_soa_;
   std::unique_ptr<KdTree> root_tree_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 
 #include "util/check.h"
 
@@ -40,6 +41,7 @@ Flags& Flags::DefineString(const std::string& name,
 }
 
 void Flags::Parse(int argc, char** argv) {
+  std::set<std::string> seen;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -76,6 +78,16 @@ void Flags::Parse(int argc, char** argv) {
         std::fprintf(stderr, "flag '--%s' expects a value\n", name.c_str());
         std::exit(2);
       }
+    }
+    // Repeats are accepted — last occurrence wins — but warn loudly so a
+    // scripted sweep that builds command lines by concatenation can't
+    // silently drop an earlier setting.
+    if (!seen.insert(name).second) {
+      ++repeat_warnings_;
+      std::fprintf(stderr,
+                   "warning: flag '--%s' given multiple times; "
+                   "using the last value '%s'\n",
+                   name.c_str(), value.c_str());
     }
     it->second.value = value;
   }

@@ -27,8 +27,13 @@ class Flags {
   Flags& DefineString(const std::string& name, const std::string& default_value,
                       const std::string& help);
 
-  // Parses argv; aborts with usage on malformed or unknown flags.
+  // Parses argv; aborts with usage on malformed or unknown flags. A flag
+  // given multiple times keeps the LAST value and prints a warning for each
+  // repeat (see repeat_warnings()).
   void Parse(int argc, char** argv);
+
+  // Number of repeated-flag warnings the last Parse() emitted.
+  size_t repeat_warnings() const { return repeat_warnings_; }
 
   int64_t GetInt(const std::string& name) const;
   double GetDouble(const std::string& name) const;
@@ -51,6 +56,7 @@ class Flags {
   const Flag& Lookup(const std::string& name, Type type) const;
 
   std::map<std::string, Flag> flags_;
+  size_t repeat_warnings_ = 0;
 };
 
 }  // namespace adbscan

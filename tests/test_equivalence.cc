@@ -6,12 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/adbscan.h"
 #include "eval/compare.h"
+#include "geom/kernels.h"
 #include "gen/seed_spreader.h"
 #include "test_helpers.h"
+#include "util/parallel.h"
 
 namespace adbscan {
 namespace {
@@ -194,6 +199,65 @@ TEST(ExactEquivalence, PaperFigure2StyleExample) {
   EXPECT_TRUE(SameClusters(ref, GridbscanDbscan(data, params)));
   EXPECT_TRUE(SameClusters(ref, ExactGridDbscan(data, params)));
   EXPECT_TRUE(SameClusters(ref, Gunawan2dDbscan(data, params)));
+}
+
+// The SIMD kernels guarantee bit-identical distances (see geom/kernels.h),
+// so every pipeline must produce IDENTICAL raw output — labels, core flags,
+// extra memberships, numbering and all — under --kernel=scalar and
+// --kernel=auto, at any thread count.
+TEST(KernelEquivalence, ScalarAndAutoProduceIdenticalClusterings) {
+  const simd::KernelKind saved = simd::ActiveKernel();
+  using Runner = std::function<Clustering(const Dataset&, const DbscanParams&)>;
+  const std::vector<std::pair<std::string, Runner>> pipelines = {
+      {"KDD96",
+       [](const Dataset& d, const DbscanParams& p) {
+         return Kdd96Dbscan(d, p);
+       }},
+      {"GriDBSCAN",
+       [](const Dataset& d, const DbscanParams& p) {
+         return GridbscanDbscan(d, p);
+       }},
+      {"ExactGrid",
+       [](const Dataset& d, const DbscanParams& p) {
+         return ExactGridDbscan(d, p);
+       }},
+      {"Approx(rho=0.01)",
+       [](const Dataset& d, const DbscanParams& p) {
+         return ApproxDbscan(d, p, 0.01);
+       }},
+      {"Gunawan2D",
+       [](const Dataset& d, const DbscanParams& p) {
+         return Gunawan2dDbscan(d, p);
+       }},
+  };
+  for (int dim : {2, 3, 5, 7}) {
+    SeedSpreaderParams sp;
+    sp.dim = dim;
+    sp.n = 2500;
+    sp.forced_restart_every = sp.n / 4;
+    const Dataset data = GenerateSeedSpreader(sp, 9200 + dim);
+    for (int threads : {1, HardwareThreads()}) {
+      const DbscanParams params{5000.0, 20, threads};
+      for (const auto& [name, run] : pipelines) {
+        if (name == "Gunawan2D" && dim != 2) continue;
+        const std::string context =
+            name + " dim=" + std::to_string(dim) +
+            " threads=" + std::to_string(threads);
+        ASSERT_TRUE(simd::SetKernel(simd::KernelKind::kScalar));
+        const Clustering scalar = run(data, params);
+        ASSERT_TRUE(simd::SetKernel(simd::KernelKind::kAuto));
+        const Clustering autok = run(data, params);
+        EXPECT_EQ(scalar.num_clusters, autok.num_clusters) << context;
+        EXPECT_EQ(scalar.label, autok.label) << context;
+        EXPECT_EQ(scalar.is_core, autok.is_core) << context;
+        EXPECT_EQ(scalar.extra_memberships, autok.extra_memberships)
+            << context;
+        EXPECT_TRUE(SameClusters(scalar, autok)) << context;
+        EXPECT_GT(scalar.num_clusters, 0) << context << " (vacuous input)";
+      }
+    }
+  }
+  simd::SetKernel(saved);
 }
 
 TEST(ExactEquivalence, EmptyDataset) {

@@ -1,0 +1,336 @@
+// Differential test of the batched distance kernels (geom/kernels.h): every
+// SIMD dispatch path must return results BIT-IDENTICAL to the scalar
+// reference (geom/point.h SquaredDistance) across dimensions, batch sizes
+// covering all tail remainders, gathered/duplicated/degenerate inputs, and
+// near-overflow coordinates. This is the lockdown for the determinism
+// contract the clustering pipelines rely on.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "geom/dataset.h"
+#include "geom/kernels.h"
+#include "geom/point.h"
+#include "geom/soa.h"
+#include "obs/metrics.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace simd {
+namespace {
+
+using testing_helpers::RandomDataset;
+
+// All kernel kinds this binary + CPU can run, scalar always first.
+std::vector<KernelKind> SupportedKernels() {
+  std::vector<KernelKind> kinds{KernelKind::kScalar};
+  for (KernelKind k : {KernelKind::kAvx2, KernelKind::kNeon}) {
+    if (KernelSupported(k)) kinds.push_back(k);
+  }
+  return kinds;
+}
+
+// Restores the process-wide kernel selection when a test scope ends.
+class KernelGuard {
+ public:
+  KernelGuard() : saved_(ActiveKernel()) {}
+  ~KernelGuard() { SetKernel(saved_); }
+
+ private:
+  KernelKind saved_;
+};
+
+uint64_t Bits(double x) { return std::bit_cast<uint64_t>(x); }
+
+// Reference: the shared scalar distance everyone in the repo uses.
+std::vector<double> ReferenceDists(const double* q, const Dataset& data,
+                                   const std::vector<uint32_t>& ids) {
+  std::vector<double> out;
+  out.reserve(ids.size());
+  for (uint32_t id : ids) {
+    out.push_back(SquaredDistance(q, data.point(id), data.dim()));
+  }
+  return out;
+}
+
+void ExpectBitIdentical(const std::vector<double>& expected,
+                        const double* actual, const std::string& context) {
+  for (size_t j = 0; j < expected.size(); ++j) {
+    ASSERT_EQ(Bits(expected[j]), Bits(actual[j]))
+        << context << " lane " << j << ": expected " << expected[j] << " got "
+        << actual[j];
+  }
+}
+
+// Batch sizes covering every remainder mod the lane width around the chunk
+// boundaries a scalar loop never sees.
+const size_t kBatchSizes[] = {1,  2,  3,  4,   5,   6,   7,   8,   9,
+                              15, 16, 17, 31,  32,  33,  63,  64,  65,
+                              127, 128, 129, 255, 256, 257};
+
+TEST(Kernels, AllPathsBitIdenticalToScalarReference) {
+  KernelGuard guard;
+  for (int dim = 2; dim <= 10; ++dim) {
+    const Dataset data = RandomDataset(dim, 300, -1e4, 1e4, 7000 + dim);
+    const SoaBlock block(data);
+    std::vector<uint32_t> all_ids(data.size());
+    for (size_t i = 0; i < data.size(); ++i) all_ids[i] = i;
+    std::vector<double> out(PaddedCount(data.size()));
+    const double* q = data.point(dim);  // a real point as the query
+    const std::vector<double> expected = ReferenceDists(q, data, all_ids);
+    for (KernelKind kind : SupportedKernels()) {
+      ASSERT_TRUE(SetKernel(kind));
+      for (size_t n : kBatchSizes) {
+        if (n > data.size()) continue;
+        SquaredDists(q, SoaSpan{block.span().base, block.stride(), dim, n},
+                     out.data());
+        ExpectBitIdentical(
+            {expected.begin(), expected.begin() + n}, out.data(),
+            std::string(KernelName(kind)) + " dim=" + std::to_string(dim) +
+                " n=" + std::to_string(n));
+      }
+    }
+  }
+}
+
+TEST(Kernels, GatheredSubsetsAndUnalignedQueries) {
+  KernelGuard guard;
+  for (int dim : {2, 5, 10}) {
+    const Dataset data = RandomDataset(dim, 300, -1e3, 1e3, 7100 + dim);
+    // Odd-id gather: the SoA block's memory layout has no relation to the
+    // dataset's, exercising the (data, ids, count) constructor.
+    std::vector<uint32_t> odd_ids;
+    for (uint32_t i = 1; i < data.size(); i += 2) odd_ids.push_back(i);
+    const SoaBlock block(data, odd_ids.data(), odd_ids.size());
+    // The query comes from a deliberately misaligned buffer: kernels demand
+    // alignment of the SoA block only, never of q or out.
+    std::vector<double> raw(dim + 1);
+    double* q = raw.data() + 1;
+    for (int i = 0; i < dim; ++i) q[i] = data.point(2)[i];
+    const std::vector<double> expected = ReferenceDists(q, data, odd_ids);
+    std::vector<double> out(PaddedCount(odd_ids.size()) + 1);
+    for (KernelKind kind : SupportedKernels()) {
+      ASSERT_TRUE(SetKernel(kind));
+      // Unaligned out pointer as well.
+      SquaredDists(q, block.span(), out.data() + 1);
+      ExpectBitIdentical(expected, out.data() + 1,
+                         std::string(KernelName(kind)) +
+                             " gathered dim=" + std::to_string(dim));
+    }
+  }
+}
+
+TEST(Kernels, DuplicatesZerosAndNearOverflowCoordinates) {
+  KernelGuard guard;
+  const int dim = 4;
+  Dataset data(dim);
+  // Duplicates of one point, the origin, and coordinates so large their
+  // squared differences overflow to infinity — the kernels must agree with
+  // the scalar reference even on inf (bitwise: same sign, same payload).
+  for (int rep = 0; rep < 7; ++rep) data.Add({1.5, -2.5, 3.5, -4.5});
+  data.Add({0.0, 0.0, 0.0, 0.0});
+  data.Add({1e200, -1e200, 1e200, -1e200});
+  data.Add({-1e200, 1e200, -1e200, 1e200});
+  data.Add({std::numeric_limits<double>::max(), 0.0, 0.0, 0.0});
+  const SoaBlock block(data);
+  std::vector<uint32_t> all_ids(data.size());
+  for (size_t i = 0; i < data.size(); ++i) all_ids[i] = i;
+  std::vector<double> out(PaddedCount(data.size()));
+  for (size_t qi : {size_t{0}, data.size() - 3, data.size() - 1}) {
+    const double* q = data.point(qi);
+    const std::vector<double> expected = ReferenceDists(q, data, all_ids);
+    for (KernelKind kind : SupportedKernels()) {
+      ASSERT_TRUE(SetKernel(kind));
+      SquaredDists(q, block.span(), out.data());
+      ExpectBitIdentical(expected, out.data(),
+                         std::string(KernelName(kind)) +
+                             " degenerate q=" + std::to_string(qi));
+    }
+  }
+}
+
+TEST(Kernels, CountWithinMatchesScalarEarlyExit) {
+  KernelGuard guard;
+  const Dataset data = RandomDataset(3, 600, 0.0, 100.0, 7300);
+  const SoaBlock block(data);
+  const double* q = data.point(0);
+  const double eps2 = 30.0 * 30.0;
+  // Reference: scalar loop with early exit at stop_at.
+  auto reference = [&](size_t stop_at) {
+    size_t count = 0;
+    for (size_t j = 0; j < data.size() && count < stop_at; ++j) {
+      if (SquaredDistance(q, data.point(j), 3) <= eps2) ++count;
+    }
+    return count;
+  };
+  for (KernelKind kind : SupportedKernels()) {
+    ASSERT_TRUE(SetKernel(kind));
+    for (size_t stop_at : {size_t{1}, size_t{5}, size_t{100}, SIZE_MAX}) {
+      EXPECT_EQ(CountWithin(q, block.span(), eps2, stop_at),
+                reference(stop_at))
+          << KernelName(kind) << " stop_at=" << stop_at;
+    }
+    EXPECT_EQ(CountWithin(q, block.span(), eps2, 0), 0u);
+    EXPECT_EQ(AnyWithin(q, block.span(), eps2), reference(1) > 0);
+    EXPECT_FALSE(AnyWithin(q, block.span(), -1.0));
+  }
+}
+
+TEST(Kernels, CollectWithinPreservesScanOrder) {
+  KernelGuard guard;
+  const Dataset data = RandomDataset(5, 500, 0.0, 10.0, 7400);
+  const SoaBlock block(data);
+  std::vector<uint32_t> ids(data.size());
+  for (size_t i = 0; i < data.size(); ++i) ids[i] = 1000 + i;  // remapped
+  const double* q = data.point(7);
+  const double eps2 = 3.0 * 3.0;
+  std::vector<uint32_t> expected;
+  for (size_t j = 0; j < data.size(); ++j) {
+    if (SquaredDistance(q, data.point(j), 5) <= eps2) {
+      expected.push_back(ids[j]);
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+  for (KernelKind kind : SupportedKernels()) {
+    ASSERT_TRUE(SetKernel(kind));
+    std::vector<uint32_t> out;
+    CollectWithin(q, block.span(), eps2, ids.data(), &out);
+    EXPECT_EQ(out, expected) << KernelName(kind);
+  }
+}
+
+TEST(Kernels, NearestInBlockFindsFirstStrictMinimum) {
+  KernelGuard guard;
+  Dataset data(2);
+  // Two points at the exact same distance from the query: the FIRST must
+  // win, as in a scalar `if (d2 < best)` scan.
+  data.Add({5.0, 0.0});
+  data.Add({3.0, 0.0});   // d2 = 9, the unique min, index 1
+  data.Add({-3.0, 0.0});  // d2 = 9 as well, must lose to index 1
+  data.Add({4.0, 0.0});
+  const SoaBlock block(data);
+  const double q[2] = {0.0, 0.0};
+  for (KernelKind kind : SupportedKernels()) {
+    ASSERT_TRUE(SetKernel(kind));
+    const BlockNearest bn = NearestInBlock(q, block.span());
+    EXPECT_EQ(bn.index, 1u) << KernelName(kind);
+    EXPECT_EQ(Bits(bn.squared_dist), Bits(9.0)) << KernelName(kind);
+  }
+  // Empty span: index == count, infinite distance.
+  const BlockNearest none = NearestInBlock(q, SoaSpan{});
+  EXPECT_EQ(none.index, 0u);
+  EXPECT_TRUE(std::isinf(none.squared_dist));
+}
+
+TEST(Kernels, BlockVsBlockMatchesRowByRowReference) {
+  KernelGuard guard;
+  for (int dim : {2, 7}) {
+    const Dataset da = RandomDataset(dim, 13, -50.0, 50.0, 7500 + dim);
+    const Dataset db = RandomDataset(dim, 21, -50.0, 50.0, 7600 + dim);
+    const SoaBlock ba(da);
+    const SoaBlock bb(db);
+    const size_t row = PaddedCount(db.size());
+    std::vector<double> out(da.size() * row);
+    for (KernelKind kind : SupportedKernels()) {
+      ASSERT_TRUE(SetKernel(kind));
+      BlockVsBlock(ba.span(), bb.span(), out.data());
+      for (size_t ja = 0; ja < da.size(); ++ja) {
+        for (size_t jb = 0; jb < db.size(); ++jb) {
+          ASSERT_EQ(
+              Bits(SquaredDistance(da.point(ja), db.point(jb), dim)),
+              Bits(out[ja * row + jb]))
+              << KernelName(kind) << " dim=" << dim << " (" << ja << ","
+              << jb << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, SoaBlockLayoutAndPadding) {
+  const Dataset data = RandomDataset(3, 10, 0.0, 1.0, 7700);
+  const SoaBlock block(data);
+  EXPECT_EQ(block.count(), 10u);
+  EXPECT_EQ(block.stride(), PaddedCount(10));  // 12
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(block.span().base) % kSoaAlignment,
+            0u);
+  for (int i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < block.count(); ++j) {
+      EXPECT_EQ(Bits(block.at(i, j)), Bits(data.point(j)[i]));
+    }
+    // Padding replicates the last real point (finite, overflow-safe).
+    for (size_t j = block.count(); j < block.stride(); ++j) {
+      EXPECT_EQ(Bits(block.span().base[i * block.stride() + j]),
+                Bits(data.point(9)[i]));
+    }
+  }
+  // Deep copy is independent of the original.
+  SoaBlock copy(block);
+  EXPECT_NE(copy.span().base, block.span().base);
+  EXPECT_EQ(Bits(copy.at(2, 9)), Bits(block.at(2, 9)));
+}
+
+TEST(Kernels, DatasetSharedSoaViewInvalidatesOnAdd) {
+  Dataset data(2);
+  data.Add({1.0, 2.0});
+  auto soa1 = data.Soa();
+  EXPECT_EQ(soa1->count(), 1u);
+  data.Add({3.0, 4.0});
+  auto soa2 = data.Soa();
+  EXPECT_EQ(soa2->count(), 2u);
+  EXPECT_EQ(soa1->count(), 1u);  // old view still valid, just stale
+  EXPECT_EQ(data.Soa().get(), soa2.get());  // cached until the next Add
+}
+
+TEST(Kernels, SelectionApiAndNames) {
+  KernelGuard guard;
+  EXPECT_TRUE(KernelSupported(KernelKind::kScalar));
+  EXPECT_TRUE(KernelSupported(KernelKind::kAuto));
+  EXPECT_TRUE(SetKernel(KernelKind::kAuto));
+  EXPECT_NE(ActiveKernel(), KernelKind::kAuto);  // always resolved
+  EXPECT_TRUE(SetKernel(KernelKind::kScalar));
+  EXPECT_EQ(ActiveKernel(), KernelKind::kScalar);
+  // An unsupported kind is refused and leaves the selection unchanged.
+  for (KernelKind k : {KernelKind::kAvx2, KernelKind::kNeon}) {
+    if (!KernelSupported(k)) {
+      EXPECT_FALSE(SetKernel(k));
+      EXPECT_EQ(ActiveKernel(), KernelKind::kScalar);
+    }
+  }
+  KernelKind parsed;
+  EXPECT_TRUE(ParseKernelKind("scalar", &parsed));
+  EXPECT_EQ(parsed, KernelKind::kScalar);
+  EXPECT_TRUE(ParseKernelKind("avx2", &parsed));
+  EXPECT_TRUE(ParseKernelKind("neon", &parsed));
+  EXPECT_TRUE(ParseKernelKind("auto", &parsed));
+  EXPECT_FALSE(ParseKernelKind("sse9", &parsed));
+  EXPECT_FALSE(ParseKernelKind("", &parsed));
+  EXPECT_STREQ(KernelName(KernelKind::kAvx2), "avx2");
+}
+
+TEST(Kernels, EmitsBatchCallAndLaneMetrics) {
+  KernelGuard guard;
+  ASSERT_TRUE(SetKernel(KernelKind::kScalar));
+  const Dataset data = RandomDataset(3, 37, 0.0, 1.0, 7800);
+  const SoaBlock block(data);
+  obs::MetricsRegistry::Global().Reset();
+  obs::MetricsRegistry::SetEnabled(true);
+  std::vector<double> out(PaddedCount(data.size()));
+  SquaredDists(data.point(0), block.span(), out.data());
+  CountWithin(data.point(0), block.span(), 0.5, SIZE_MAX);
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  obs::MetricsRegistry::SetEnabled(false);
+  EXPECT_EQ(snap.counters.at("kernel.batch_calls"), 2u);
+  EXPECT_EQ(snap.counters.at("kernel.lanes_filled"), 2u * 37u);
+  EXPECT_EQ(snap.counters.at("kernel.lanes_padded"), PaddedCount(37) - 37);
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace adbscan

@@ -175,6 +175,35 @@ TEST(Flags, ParsesEqualsAndSpaceSyntax) {
   EXPECT_TRUE(flags.GetBool("full"));
 }
 
+TEST(Flags, RepeatedFlagLastWinsAndWarns) {
+  Flags flags;
+  flags.DefineInt("n", 1, "").DefineString("out", "a.csv", "");
+  char prog[] = "prog";
+  char a1[] = "--n=10";
+  char a2[] = "--out=b.csv";
+  char a3[] = "--n";
+  char a4[] = "20";
+  char a5[] = "--n=30";
+  char* argv[] = {prog, a1, a2, a3, a4, a5};
+  flags.Parse(6, argv);
+  // The LAST occurrence wins, across both --name=value and --name value
+  // syntaxes, and each repeat is reported.
+  EXPECT_EQ(flags.GetInt("n"), 30);
+  EXPECT_EQ(flags.GetString("out"), "b.csv");
+  EXPECT_EQ(flags.repeat_warnings(), 2u);
+}
+
+TEST(Flags, NoWarningWithoutRepeats) {
+  Flags flags;
+  flags.DefineInt("n", 1, "").DefineBool("full", false, "");
+  char prog[] = "prog";
+  char a1[] = "--n=5";
+  char a2[] = "--full";
+  char* argv[] = {prog, a1, a2};
+  flags.Parse(3, argv);
+  EXPECT_EQ(flags.repeat_warnings(), 0u);
+}
+
 TEST(Flags, ParsesLists) {
   Flags flags;
   flags.DefineString("eps", "1,2.5,10", "");

@@ -19,11 +19,14 @@
 // gridbscan (CIT'08), gunawan2d (2D inputs only).
 
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "core/adbscan.h"
 #include "eval/kdist.h"
 #include "eval/stats.h"
+#include "geom/kernels.h"
 #include "io/dataset_io.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -58,6 +61,9 @@ int main(int argc, char** argv) {
       .DefineInt("threads", 0,
                  "worker threads (0 = auto: ADBSCAN_THREADS env, else "
                  "hardware count)")
+      .DefineString("kernel", "auto",
+                    "distance kernel: scalar | avx2 | neon | auto (best "
+                    "supported)")
       .DefineString("metrics_json", "",
                     "append one JSON metrics record for the clustering run "
                     "(empty: off)");
@@ -70,16 +76,38 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  {
+    const std::string kernel = flags.GetString("kernel");
+    simd::KernelKind kind;
+    if (!simd::ParseKernelKind(kernel, &kind)) {
+      std::fprintf(stderr,
+                   "unknown --kernel '%s' (want scalar|avx2|neon|auto)\n",
+                   kernel.c_str());
+      return 2;
+    }
+    if (!simd::SetKernel(kind)) {
+      std::fprintf(stderr, "--kernel=%s is not supported on this CPU\n",
+                   kernel.c_str());
+      return 2;
+    }
+  }
+
   Timer load_timer;
-  Dataset data = [&] {
-    if (EndsWith(input, ".bin")) return ReadBinary(input);
+  std::string load_error;
+  std::optional<Dataset> loaded = [&] {
+    if (EndsWith(input, ".bin")) return TryReadBinary(input, &load_error);
     const int dim = static_cast<int>(flags.GetInt("dim"));
     if (dim < 1) {
-      std::fprintf(stderr, "--dim is required for CSV input\n");
-      std::exit(2);
+      load_error = "--dim is required for CSV input";
+      return std::optional<Dataset>();
     }
-    return ReadCsv(input, dim);
+    return TryReadCsv(input, dim, &load_error);
   }();
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "%s\n", load_error.c_str());
+    return 2;
+  }
+  Dataset data = std::move(*loaded);
   std::printf("loaded %zu points in %dD from %s (%.3fs)\n", data.size(),
               data.dim(), input.c_str(), load_timer.ElapsedSeconds());
   if (data.empty()) {
