@@ -1,61 +1,180 @@
-// Microbenchmarks: grid construction and ε-neighbor enumeration — the
-// substrate every grid-based algorithm (Sections 2.2/3.2/4.4) stands on.
+// Grid-layout benchmark: times the grid substrate and the grid-based
+// pipelines under both memory layouts (legacy per-cell vectors +
+// std::unordered_map vs the Morton-ordered CSR + permuted-SoA + flat-hash
+// layout, see DESIGN.md "Grid memory layout") and writes
+// BENCH_grid_layout.json with per-configuration wall times and the CSR
+// speedup over legacy.
+//
+//   ./build/bench/micro_grid                              # defaults
+//   ./build/bench/micro_grid --datasets=ss3d --n=200000 --out=BENCH.json
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
 #include "grid/grid.h"
+#include "io/table.h"
+#include "obs/json.h"
+#include "util/timer.h"
 
 namespace adbscan {
 namespace {
 
-void BM_GridBuild(benchmark::State& state) {
-  const int dim = static_cast<int>(state.range(0));
-  const size_t n = static_cast<size_t>(state.range(1));
-  const Dataset data =
-      bench::MakeBenchDataset("ss" + std::to_string(dim) + "d", n, 1);
-  const double side = Grid::SideFor(bench::kDefaultEps, dim);
-  for (auto _ : state) {
-    Grid grid(data, side);
-    benchmark::DoNotOptimize(grid.NumCells());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
+const char* LayoutName(Grid::Layout layout) {
+  return layout == Grid::Layout::kCsr ? "csr" : "legacy";
 }
-BENCHMARK(BM_GridBuild)
-    ->Args({3, 10000})
-    ->Args({3, 100000})
-    ->Args({5, 100000})
-    ->Args({7, 100000});
 
-void BM_GridEpsNeighbors(benchmark::State& state) {
-  const int dim = static_cast<int>(state.range(0));
-  const Dataset data =
-      bench::MakeBenchDataset("ss" + std::to_string(dim) + "d", 100000, 1);
-  const Grid grid(data, Grid::SideFor(bench::kDefaultEps, dim));
-  uint32_t ci = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        grid.EpsNeighbors(ci, bench::kDefaultEps).size());
-    ci = (ci + 1) % static_cast<uint32_t>(grid.NumCells());
-  }
-}
-BENCHMARK(BM_GridEpsNeighbors)->Arg(3)->Arg(5)->Arg(7);
+struct Result {
+  std::string op;
+  std::string dataset;
+  int dim;
+  size_t n;
+  std::string layout;
+  double ms;
+  uint64_t reps;
+  double speedup_vs_legacy;  // 1.0 for the legacy rows
+};
 
-void BM_GridCellsTouchingBall(benchmark::State& state) {
-  const int dim = static_cast<int>(state.range(0));
-  const Dataset data =
-      bench::MakeBenchDataset("ss" + std::to_string(dim) + "d", 100000, 1);
-  const Grid grid(data, Grid::SideFor(bench::kDefaultEps, dim));
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        grid.CellsTouchingBall(data.point(i), bench::kDefaultEps).size());
-    i = (i + 997) % data.size();
-  }
+// Runs fn repeatedly until it has consumed at least min_ms of wall clock,
+// returning (reps, ms per call). The checksum defeats dead-code elimination.
+template <typename Fn>
+std::pair<uint64_t, double> Measure(double min_ms, double* checksum, Fn&& fn) {
+  *checksum += fn();  // warm-up call primes caches and thread pool
+  uint64_t reps = 0;
+  Timer timer;
+  do {
+    *checksum += fn();
+    ++reps;
+  } while (timer.ElapsedSeconds() * 1000.0 < min_ms);
+  return {reps, timer.ElapsedSeconds() * 1000.0 / static_cast<double>(reps)};
 }
-BENCHMARK(BM_GridCellsTouchingBall)->Arg(3)->Arg(7);
+
+void WriteJson(const std::string& path, const std::vector<Result>& results) {
+  bench::EnsureParentDir(path);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_grid\",\n  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"op\": \"%s\", \"dataset\": \"%s\", \"dim\": %d, \"n\": %zu, "
+        "\"layout\": \"%s\", \"ms\": %s, \"reps\": %llu, "
+        "\"speedup_vs_legacy\": %s}%s\n",
+        r.op.c_str(), r.dataset.c_str(), r.dim, r.n, r.layout.c_str(),
+        obs::JsonNumber(r.ms).c_str(), static_cast<unsigned long long>(r.reps),
+        obs::JsonNumber(r.speedup_vs_legacy).c_str(),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::printf("wrote %s\n", path.c_str());
+}
 
 }  // namespace
 }  // namespace adbscan
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace adbscan;
+  Flags flags;
+  flags.DefineString("datasets", "ss3d,ss5d,ss7d",
+                     "comma-separated dataset names (see bench_common.h)")
+      .DefineInt("n", 100000, "points per dataset")
+      .DefineDouble("eps", bench::kDefaultEps, "DBSCAN radius")
+      .DefineInt("min_pts", bench::kDefaultMinPts, "DBSCAN MinPts")
+      .DefineDouble("rho", bench::kDefaultRho, "approximation parameter")
+      .DefineDouble("min_ms", 200.0, "minimum measured wall time per config")
+      .DefineString("out", "",
+                    "output JSON path (default out/BENCH_grid_layout.json)");
+  bench::DefineThreadsFlag(flags);
+  bench::DefineKernelFlag(flags);
+  flags.Parse(argc, argv);
+  bench::ApplyKernelFlag(flags);
+  const size_t n = static_cast<size_t>(flags.GetInt("n"));
+  const double eps = flags.GetDouble("eps");
+  const int min_pts = static_cast<int>(flags.GetInt("min_pts"));
+  const double rho = flags.GetDouble("rho");
+  const double min_ms = flags.GetDouble("min_ms");
+  const int threads = bench::ThreadsFromFlags(flags);
+  std::string out = flags.GetString("out");
+  if (out.empty()) out = bench::OutPath("BENCH_grid_layout.json");
+
+  const Grid::Layout saved_layout = Grid::DefaultLayout();
+  const std::vector<Grid::Layout> layouts = {Grid::Layout::kLegacy,
+                                             Grid::Layout::kCsr};
+  std::vector<Result> results;
+  Table table({"op", "dataset", "layout", "ms", "speedup"});
+  double checksum = 0.0;
+
+  for (const std::string& name : bench::SplitNames(flags.GetString("datasets"))) {
+    const Dataset data = bench::MakeBenchDataset(name, n, 1);
+    const int dim = data.dim();
+    const double side = Grid::SideFor(eps, dim);
+    const DbscanParams params{eps, min_pts, threads};
+
+    // Substrate ops take the layout explicitly; pipelines read the
+    // process-wide default, so each end-to-end measurement brackets its run
+    // with SetDefaultLayout.
+    using BenchFn = std::function<double()>;
+    std::vector<std::pair<std::string, std::function<BenchFn(Grid::Layout)>>>
+        ops;
+    ops.emplace_back("grid_build", [&](Grid::Layout layout) -> BenchFn {
+      return [&, layout] {
+        Grid grid(data, side, layout);
+        return static_cast<double>(grid.NumCells());
+      };
+    });
+    ops.emplace_back("warm_neighbors", [&](Grid::Layout layout) -> BenchFn {
+      return [&, layout] {
+        Grid grid(data, side, layout);
+        grid.WarmNeighborCache(eps, threads);
+        return static_cast<double>(grid.EpsNeighbors(0, eps).size());
+      };
+    });
+    ops.emplace_back("exact_grid", [&](Grid::Layout layout) -> BenchFn {
+      return [&, layout] {
+        Grid::SetDefaultLayout(layout);
+        return static_cast<double>(ExactGridDbscan(data, params).num_clusters);
+      };
+    });
+    ops.emplace_back("approx", [&](Grid::Layout layout) -> BenchFn {
+      return [&, layout] {
+        Grid::SetDefaultLayout(layout);
+        return static_cast<double>(
+            ApproxDbscan(data, params, rho).num_clusters);
+      };
+    });
+    if (dim == 2) {
+      ops.emplace_back("gunawan2d", [&](Grid::Layout layout) -> BenchFn {
+        return [&, layout] {
+          Grid::SetDefaultLayout(layout);
+          return static_cast<double>(
+              Gunawan2dDbscan(data, params).num_clusters);
+        };
+      });
+    }
+
+    for (const auto& [op, make_fn] : ops) {
+      double legacy_ms = 0.0;
+      for (Grid::Layout layout : layouts) {
+        auto [reps, ms] = Measure(min_ms, &checksum, make_fn(layout));
+        if (layout == Grid::Layout::kLegacy) legacy_ms = ms;
+        const double speedup = legacy_ms / ms;
+        results.push_back(
+            {op, name, dim, n, LayoutName(layout), ms, reps, speedup});
+        table.AddRow({op, name, LayoutName(layout), Table::Num(ms),
+                      Table::Num(speedup)});
+      }
+    }
+  }
+  Grid::SetDefaultLayout(saved_layout);
+
+  table.Print(stdout);
+  std::printf("(checksum %.3g)\n", checksum);
+  WriteJson(out, results);
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <deque>
 #include <vector>
 
+#include "geom/kernels.h"
 #include "geom/point.h"
 #include "grid/grid.h"
 #include "util/check.h"
@@ -13,16 +14,26 @@ namespace {
 constexpr int32_t kUnclassified = -2;
 
 // The approximate neighborhood described in the header: own cell taken
-// wholesale, adjacent cells distance-checked.
+// wholesale, adjacent cells distance-checked. In the CSR layout each
+// neighbor cell is a zero-copy SoA block, so the distance filter runs
+// through the batch kernel (same comparisons, same output order).
 std::vector<uint32_t> ApproxNeighborhood(const Dataset& data,
                                          const Grid& grid, uint32_t id,
                                          double eps) {
   const uint32_t ci = grid.CellOfPoint(id);
-  std::vector<uint32_t> out = grid.cell(ci).points;  // no distance check
+  const Grid::IdSpan own = grid.cell_points(ci);
+  std::vector<uint32_t> out(own.begin(), own.end());  // no distance check
   const double eps2 = eps * eps;
   const double* p = data.point(id);
+  const bool use_blocks = grid.layout() == Grid::Layout::kCsr;
   for (uint32_t cj : grid.EpsNeighbors(ci, eps)) {
-    for (uint32_t other : grid.cell(cj).points) {
+    const Grid::IdSpan others = grid.cell_points(cj);
+    if (use_blocks) {
+      simd::CollectWithin(p, grid.CellBlock(cj, nullptr), eps2, others.ptr,
+                          &out);
+      continue;
+    }
+    for (uint32_t other : others) {
       if (SquaredDistance(p, data.point(other), data.dim()) <= eps2) {
         out.push_back(other);
       }

@@ -11,9 +11,6 @@
 namespace adbscan {
 namespace {
 
-// Below this |A|·|B| product a doubly-nested scan beats building a tree.
-constexpr size_t kBruteForceThreshold = 2048;
-
 std::optional<BcpPair> BruteForcePair(const Dataset& data,
                                       const std::vector<uint32_t>& a,
                                       const std::vector<uint32_t>& b) {
@@ -42,7 +39,7 @@ std::optional<BcpPair> BichromaticClosestPair(const Dataset& data,
                                               const std::vector<uint32_t>& b) {
   if (a.empty() || b.empty()) return std::nullopt;
   ADB_COUNT("bcp.pair_tests", 1);
-  if (a.size() * b.size() <= kBruteForceThreshold) {
+  if (a.size() * b.size() <= kBcpBruteForceThreshold) {
     return BruteForcePair(data, a, b);
   }
   // Index the larger set; probe with the smaller. The shrinking bound makes
@@ -67,7 +64,7 @@ bool ExistsPairWithin(const Dataset& data, const std::vector<uint32_t>& a,
   if (a.empty() || b.empty()) return false;
   ADB_COUNT("bcp.pair_tests", 1);
   const double eps2 = eps * eps;
-  if (a.size() * b.size() <= kBruteForceThreshold) {
+  if (a.size() * b.size() <= kBcpBruteForceThreshold) {
     // Gather the larger set once, probe with the smaller through the batch
     // kernel. The existence answer is order-independent, so unlike
     // BruteForcePair we are free to pick the cheaper orientation.
@@ -99,6 +96,25 @@ bool ExistsPairWithin(const Dataset& data, const std::vector<uint32_t>& a,
   }
   ADB_COUNT("bcp.tree_probes", probes);
   return false;
+}
+
+bool ExistsPairWithinBlock(const Dataset& data,
+                           const std::vector<uint32_t>& probe,
+                           const simd::SoaSpan& block, double eps) {
+  if (probe.empty() || block.count == 0) return false;
+  ADB_COUNT("bcp.pair_tests", 1);
+  const double eps2 = eps * eps;
+  size_t dist_evals = 0;
+  bool found = false;
+  for (uint32_t pid : probe) {
+    dist_evals += block.count;
+    if (simd::AnyWithin(data.point(pid), block, eps2)) {
+      found = true;
+      break;
+    }
+  }
+  ADB_COUNT("dist_evals.bcp", dist_evals);
+  return found;
 }
 
 }  // namespace adbscan

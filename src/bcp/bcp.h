@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "geom/dataset.h"
+#include "geom/soa.h"
 
 namespace adbscan {
 
@@ -20,6 +21,12 @@ namespace adbscan {
 //  - large inputs: kd-tree on the larger set, nearest-neighbor query with a
 //    shrinking distance bound for each point of the smaller set.
 // See DESIGN.md's substitution table.
+
+// Below this |A|·|B| product the decision procedures use a doubly-nested
+// batch scan instead of building a kd-tree. Exported so callers holding a
+// prebuilt SoA view of one side (e.g. the grid's per-cell blocks) can pick
+// the gather-free entry point for the same size regime.
+inline constexpr size_t kBcpBruteForceThreshold = 2048;
 
 struct BcpPair {
   uint32_t a = 0;           // id from the first set
@@ -36,6 +43,13 @@ std::optional<BcpPair> BichromaticClosestPair(const Dataset& data,
 // witness pair.
 bool ExistsPairWithin(const Dataset& data, const std::vector<uint32_t>& a,
                       const std::vector<uint32_t>& b, double eps);
+
+// Decision version over a prebuilt SoA view: true iff some point of `probe`
+// is within eps of a point of `block`. Same semantics as the brute path of
+// ExistsPairWithin with `block` as the gathered side, minus the gather.
+bool ExistsPairWithinBlock(const Dataset& data,
+                           const std::vector<uint32_t>& probe,
+                           const simd::SoaSpan& block, double eps);
 
 }  // namespace adbscan
 

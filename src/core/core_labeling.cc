@@ -27,10 +27,10 @@ std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
   ParallelFor(grid.NumCells(), params.num_threads, [&](size_t begin,
                                                        size_t end) {
   for (uint32_t ci = static_cast<uint32_t>(begin); ci < end; ++ci) {
-    const Grid::Cell& cell = grid.cell(ci);
-    if (cell.points.size() >= min_pts) {
+    const Grid::IdSpan pts = grid.cell_points(ci);
+    if (pts.size() >= min_pts) {
       // Dense cell: everything inside is core.
-      for (uint32_t id : cell.points) is_core[id] = 1;
+      for (uint32_t id : pts) is_core[id] = 1;
       continue;
     }
     // Sparse cell: count each point's ε-neighborhood over the neighbor
@@ -39,36 +39,36 @@ std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
     // when neighbor cells hold many points: a box fully inside B(p, ε)
     // contributes its whole count, a box outside contributes nothing, and
     // only the boundary shell needs per-point distances.
-    const std::vector<uint32_t>& neighbors =
-        grid.EpsNeighbors(ci, params.eps);
+    const Grid::IdSpan neighbors = grid.EpsNeighbors(ci, params.eps);
     std::vector<Box> neighbor_boxes;
     neighbor_boxes.reserve(neighbors.size());
     for (uint32_t cj : neighbors) neighbor_boxes.push_back(grid.CellBoxOf(cj));
     // Boundary-shell cells go through the batch kernels. A neighbor cell's
-    // SoA gather is built on first use and shared by every point of this
-    // cell (the gather cost amortizes over the cell's points).
-    std::vector<std::unique_ptr<simd::SoaBlock>> neighbor_soa(neighbors.size());
+    // SoA view is fetched on first use and shared by every point of this
+    // cell: in the CSR layout it is a zero-copy span into the permuted SoA,
+    // in the legacy layout a gather whose cost amortizes over the cell.
+    std::vector<simd::SoaBlock> neighbor_scratch(neighbors.size());
+    std::vector<simd::SoaSpan> neighbor_span(neighbors.size());
     size_t dist_evals = 0;  // batched into the counter once per cell
-    for (uint32_t id : cell.points) {
+    for (uint32_t id : pts) {
       const double* p = data.point(id);
-      size_t count = cell.points.size();  // own cell: all within ε
+      size_t count = pts.size();  // own cell: all within ε
       if (count < min_pts) {
         for (size_t k = 0; k < neighbors.size(); ++k) {
           const Box& box = neighbor_boxes[k];
           if (box.MinSquaredDistToPoint(p) > eps2) continue;
-          const std::vector<uint32_t>& others =
-              grid.cell(neighbors[k]).points;
+          const size_t others = grid.CellSize(neighbors[k]);
           if (box.MaxSquaredDistToPoint(p) <= eps2) {
-            count += others.size();
+            count += others;
           } else {
-            if (!neighbor_soa[k]) {
-              neighbor_soa[k] = std::make_unique<simd::SoaBlock>(
-                  data, others.data(), others.size());
+            if (neighbor_span[k].base == nullptr) {
+              neighbor_span[k] =
+                  grid.CellBlock(neighbors[k], &neighbor_scratch[k]);
             }
-            dist_evals += others.size();
+            dist_evals += others;
             // stop_at caps the count exactly like the scalar early-exit
             // loop (scan in index order, stop on reaching min_pts).
-            count += simd::CountWithin(p, neighbor_soa[k]->span(), eps2,
+            count += simd::CountWithin(p, neighbor_span[k], eps2,
                                        min_pts - count);
           }
           if (count >= min_pts) break;
@@ -87,14 +87,16 @@ CoreCellIndex BuildCoreCellIndex(const Grid& grid,
   CoreCellIndex index;
   index.core_cell_of_grid_cell.assign(grid.NumCells(), CoreCellIndex::kNone);
   for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+    const Grid::IdSpan pts = grid.cell_points(ci);
     std::vector<uint32_t> core_pts;
-    for (uint32_t id : grid.cell(ci).points) {
+    for (uint32_t id : pts) {
       if (is_core[id]) core_pts.push_back(id);
     }
     if (core_pts.empty()) continue;
     index.core_cell_of_grid_cell[ci] =
         static_cast<uint32_t>(index.grid_cell.size());
     index.grid_cell.push_back(ci);
+    index.all_core.push_back(core_pts.size() == pts.size() ? 1 : 0);
     index.core_points.push_back(std::move(core_pts));
   }
   return index;

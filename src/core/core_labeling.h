@@ -31,6 +31,11 @@ struct CoreCellIndex {
   std::vector<uint32_t> grid_cell;
   // Core point ids per core cell (parallel to grid_cell).
   std::vector<std::vector<uint32_t>> core_points;
+  // True when EVERY point of the cell is core (parallel to grid_cell), so
+  // core_points equals the grid's own membership list and consumers may scan
+  // the cell's zero-copy SoA block (Grid::CellBlock) instead of gathering
+  // the core subset.
+  std::vector<char> all_core;
   // Maps grid cell index -> core cell index, or kNone.
   std::vector<uint32_t> core_cell_of_grid_cell;
 

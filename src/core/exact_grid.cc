@@ -13,15 +13,32 @@ Clustering ExactGridDbscan(const Dataset& data, const DbscanParams& params) {
   ADB_COUNT("bcp.pair_tests", 0);
   ADB_COUNT("bcp.tree_probes", 0);
   ADB_COUNT("dist_evals.bcp", 0);
+  const Grid* grid_ptr = nullptr;
   const CoreCellIndex* cells = nullptr;
   GridPipelineHooks hooks;
-  hooks.prepare_cells = [&](const Grid&, const CoreCellIndex& cci) {
+  hooks.prepare_cells = [&](const Grid& grid, const CoreCellIndex& cci) {
+    grid_ptr = &grid;
     cells = &cci;
   };
   hooks.edge_test = [&](uint32_t c1, uint32_t c2) {
     ADB_COUNT("exact.edge_bcp_tests", 1);
-    return ExistsPairWithin(data, cells->core_points[c1],
-                            cells->core_points[c2], params.eps);
+    const std::vector<uint32_t>& a = cells->core_points[c1];
+    const std::vector<uint32_t>& b = cells->core_points[c2];
+    // Gather-free fast path: in the CSR layout a fully-core cell's SoA
+    // block IS its core-point set, so the brute decision can probe the
+    // grid's permuted SoA directly. Probing the larger side keeps the
+    // orientation of ExistsPairWithin's brute branch.
+    if (grid_ptr->layout() == Grid::Layout::kCsr &&
+        a.size() * b.size() <= kBcpBruteForceThreshold) {
+      const bool a_smaller = a.size() <= b.size();
+      const uint32_t big = a_smaller ? c2 : c1;
+      if (cells->all_core[big]) {
+        return ExistsPairWithinBlock(
+            data, a_smaller ? a : b,
+            grid_ptr->CellBlock(cells->grid_cell[big], nullptr), params.eps);
+      }
+    }
+    return ExistsPairWithin(data, a, b, params.eps);
   };
   hooks.edge_test_thread_safe = true;  // BCP is a pure function of the pair
   return RunGridPipeline(data, params, hooks);

@@ -24,7 +24,11 @@ Clustering RunGridPipeline(const Dataset& data, const DbscanParams& params,
   // Register the pipeline's counter set up front so every exported record
   // carries the same names even when a code path never fires (e.g. a run
   // with no core cells has graph.edge_tests = 0, not a missing counter).
-  ADB_COUNT("grid.nonempty_cells", 0);
+  ADB_COUNT("grid.cells", 0);
+  ADB_COUNT("grid.csr_bytes", 0);
+  ADB_COUNT("grid.hash_probes", 0);
+  ADB_COUNT("grid.block_kernel_calls", 0);
+  ADB_COUNT("grid.cache_resets", 0);
   ADB_COUNT("graph.nodes", 0);
   ADB_COUNT("graph.candidate_pairs", 0);
   ADB_COUNT("graph.edge_tests", 0);
@@ -43,7 +47,8 @@ Clustering RunGridPipeline(const Dataset& data, const DbscanParams& params,
     }
   }
   const Grid& grid = *grid_storage;
-  ADB_COUNT("grid.nonempty_cells", grid.NumCells());
+  ADB_COUNT("grid.cells", grid.NumCells());
+  ADB_COUNT("grid.csr_bytes", grid.CsrBytes());
 
   {
     ADB_PHASE("core_labeling");

@@ -30,15 +30,18 @@ Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
   const CoreCellIndex* cells = nullptr;
   // Nearest-neighbor structure over each core cell's core points: either
   // a kd-tree or the Delaunay (Voronoi-dual) structure of [11]. Small cells
-  // skip the tree and keep a gathered SoA block for a flat kernel scan.
+  // skip the tree and use a flat kernel scan over an SoA view — zero-copy
+  // into the grid's permuted SoA when the cell is fully core (CSR layout),
+  // a gathered block otherwise.
   std::vector<std::unique_ptr<KdTree>> kd;
   std::vector<std::unique_ptr<simd::SoaBlock>> blocks;
+  std::vector<simd::SoaSpan> spans;  // valid iff base != nullptr
   std::vector<std::unique_ptr<Delaunay2d>> voronoi;
   const bool use_delaunay =
       options.backend == Gunawan2dOptions::NnBackend::kDelaunay;
 
   GridPipelineHooks hooks;
-  hooks.prepare_cells = [&](const Grid&, const CoreCellIndex& cci) {
+  hooks.prepare_cells = [&](const Grid& grid, const CoreCellIndex& cci) {
     cells = &cci;
     ADB_COUNT("gunawan.nn_structures", cci.size());
     // Per-cell structures are independent, so construction parallelizes.
@@ -52,17 +55,22 @@ Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
                     }
                   });
     } else {
+      const bool zero_copy = grid.layout() == Grid::Layout::kCsr;
       kd.resize(cci.size());
       blocks.resize(cci.size());
+      spans.assign(cci.size(), simd::SoaSpan{});
       ParallelFor(cci.size(), params.num_threads,
                   [&](size_t begin, size_t end) {
                     for (size_t c = begin; c < end; ++c) {
                       const std::vector<uint32_t>& pts = cci.core_points[c];
-                      if (pts.size() <= kBlockScanThreshold) {
+                      if (pts.size() > kBlockScanThreshold) {
+                        kd[c] = std::make_unique<KdTree>(data, pts);
+                      } else if (zero_copy && cci.all_core[c]) {
+                        spans[c] = grid.CellBlock(cci.grid_cell[c], nullptr);
+                      } else {
                         blocks[c] = std::make_unique<simd::SoaBlock>(
                             data, pts.data(), pts.size());
-                      } else {
-                        kd[c] = std::make_unique<KdTree>(data, pts);
+                        spans[c] = blocks[c]->span();
                       }
                     }
                   });
@@ -81,10 +89,10 @@ Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
           found = true;
           break;
         }
-      } else if (blocks[c2]) {
+      } else if (spans[c2].base != nullptr) {
         // Flat batch scan; equivalent to the kd path's "nearest within ε"
         // test since both reduce to min dist² <= eps².
-        if (simd::AnyWithin(data.point(p), blocks[c2]->span(), eps2)) {
+        if (simd::AnyWithin(data.point(p), spans[c2], eps2)) {
           found = true;
           break;
         }

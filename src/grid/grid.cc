@@ -1,50 +1,227 @@
 #include "grid/grid.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
 
+#include "grid/morton.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
 namespace adbscan {
+namespace {
+
+// Process-wide default layout: -1 = read ADBSCAN_GRID_LAYOUT on first use.
+std::atomic<int> g_default_layout{-1};
+
+size_t NextPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
 
 double Grid::SideFor(double eps, int dim) {
   ADB_CHECK(eps > 0.0);
   return eps / std::sqrt(static_cast<double>(dim));
 }
 
-Grid::Grid(const Dataset& data, double side) : data_(&data), side_(side) {
+Grid::Layout Grid::DefaultLayout() {
+  int v = g_default_layout.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("ADBSCAN_GRID_LAYOUT");
+    v = (env != nullptr && std::strcmp(env, "legacy") == 0) ? 1 : 0;
+    g_default_layout.store(v, std::memory_order_relaxed);
+  }
+  return v == 1 ? Layout::kLegacy : Layout::kCsr;
+}
+
+void Grid::SetDefaultLayout(Layout layout) {
+  g_default_layout.store(layout == Layout::kLegacy ? 1 : 0,
+                         std::memory_order_relaxed);
+}
+
+Grid::Grid(const Dataset& data, double side)
+    : Grid(data, side, DefaultLayout()) {}
+
+Grid::Grid(const Dataset& data, double side, Layout layout)
+    : data_(&data), side_(side), layout_(layout) {
   ADB_CHECK(side > 0.0);
-  const size_t n = data.size();
+  if (layout_ == Layout::kCsr) {
+    BuildCsr();
+  } else {
+    BuildLegacy();
+  }
+  BuildCenters();
+}
+
+void Grid::BuildLegacy() {
+  const size_t n = data_->size();
   point_cell_.resize(n);
   coord_to_cell_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    const CellCoord cc = CellCoord::Of(data.point(i), data.dim(), side_);
+    const CellCoord cc = CellCoord::Of(data_->point(i), data_->dim(), side_);
     auto [it, inserted] =
-        coord_to_cell_.try_emplace(cc, static_cast<uint32_t>(cells_.size()));
+        coord_to_cell_.try_emplace(cc, static_cast<uint32_t>(coords_.size()));
     if (inserted) {
-      cells_.push_back(Cell{cc, {}});
+      coords_.push_back(cc);
+      legacy_points_.emplace_back();
     }
-    cells_[it->second].points.push_back(static_cast<uint32_t>(i));
+    legacy_points_[it->second].push_back(static_cast<uint32_t>(i));
     point_cell_[i] = it->second;
   }
+}
 
-  // Cell-center kd-tree for ε-neighbor enumeration.
-  centers_ = std::make_unique<Dataset>(data.dim());
-  centers_->Reserve(cells_.size());
+void Grid::BuildCsr() {
+  const size_t n = data_->size();
+  point_cell_.resize(n);
+
+  // Pass 1: assign every point a provisional dense cell index through an
+  // open-addressing table sized so the load factor stays below 1/2 even if
+  // every point lands in its own cell (no rehash mid-build).
+  std::vector<CellCoord> prov_coords;
+  std::vector<uint32_t> counts;
+  const size_t build_slots = NextPow2(2 * std::max<size_t>(n, 1));
+  const size_t build_mask = build_slots - 1;
+  std::vector<uint32_t> slots(build_slots, kNoCell);
+  const CellCoordHash hasher;
+  for (size_t i = 0; i < n; ++i) {
+    const CellCoord cc = CellCoord::Of(data_->point(i), data_->dim(), side_);
+    size_t h = hasher(cc) & build_mask;
+    uint32_t ci;
+    for (;;) {
+      ci = slots[h];
+      if (ci == kNoCell) {
+        ci = static_cast<uint32_t>(prov_coords.size());
+        slots[h] = ci;
+        prov_coords.push_back(cc);
+        counts.push_back(0);
+        break;
+      }
+      if (prov_coords[ci] == cc) break;
+      h = (h + 1) & build_mask;
+    }
+    ++counts[ci];
+    point_cell_[i] = ci;  // provisional; remapped below
+  }
+  const size_t num_cells = prov_coords.size();
+
+  // Sort cells (not points: cells are far fewer) along the exact Z-order
+  // curve, then remap every provisional index.
+  std::vector<uint32_t> order(num_cells);
+  std::iota(order.begin(), order.end(), 0u);
+  const int dim = data_->dim();
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return MortonLess(prov_coords[a].c.data(), prov_coords[b].c.data(), dim);
+  });
+  std::vector<uint32_t> new_of_old(num_cells);
+  for (uint32_t k = 0; k < num_cells; ++k) new_of_old[order[k]] = k;
+
+  coords_.resize(num_cells);
+  offsets_.assign(num_cells + 1, 0);
+  for (uint32_t k = 0; k < num_cells; ++k) {
+    coords_[k] = prov_coords[order[k]];
+    offsets_[k + 1] = offsets_[k] + counts[order[k]];
+  }
+  for (size_t i = 0; i < n; ++i) point_cell_[i] = new_of_old[point_cell_[i]];
+
+  // Counting fill in ascending point id, so each cell's slice is ascending —
+  // the same within-cell order the legacy per-cell vectors have.
+  point_ids_.resize(n);
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    point_ids_[cursor[point_cell_[i]]++] = static_cast<uint32_t>(i);
+  }
+
+  // Final lookup table sized to the actual cell count; values are the
+  // Morton-ranked indices.
+  hash_slots_.assign(NextPow2(2 * std::max<size_t>(num_cells, 1)), kNoCell);
+  hash_mask_ = hash_slots_.size() - 1;
+  for (uint32_t k = 0; k < num_cells; ++k) {
+    size_t h = hasher(coords_[k]) & hash_mask_;
+    while (hash_slots_[h] != kNoCell) h = (h + 1) & hash_mask_;
+    hash_slots_[h] = k;
+  }
+
+  // Permuted SoA: each cell a lane-aligned block, padding lanes replicating
+  // the cell's last point so kernels can run full-width tails (the SoaBlock
+  // gather implements exactly that for the id list we hand it).
+  soa_begin_.resize(num_cells);
+  std::vector<uint32_t> layout_ids;
+  layout_ids.reserve(simd::PaddedCount(n) + simd::kLaneWidth * num_cells);
+  for (uint32_t k = 0; k < num_cells; ++k) {
+    soa_begin_[k] = static_cast<uint32_t>(layout_ids.size());
+    const uint32_t begin = offsets_[k];
+    const uint32_t end = offsets_[k + 1];
+    for (uint32_t j = begin; j < end; ++j) layout_ids.push_back(point_ids_[j]);
+    const uint32_t last = point_ids_[end - 1];
+    for (size_t j = end - begin; j < simd::PaddedCount(end - begin); ++j) {
+      layout_ids.push_back(last);
+    }
+  }
+  perm_soa_ = simd::SoaBlock(*data_, layout_ids.data(), layout_ids.size());
+}
+
+void Grid::BuildCenters() {
+  centers_ = std::make_unique<Dataset>(data_->dim());
+  centers_->Reserve(coords_.size());
   double center[kMaxDim];
-  for (const Cell& c : cells_) {
-    c.coord.Center(side_, center);
+  for (const CellCoord& cc : coords_) {
+    cc.Center(side_, center);
     centers_->Add(center);
   }
-  if (!cells_.empty()) {
+  if (!coords_.empty()) {
     center_tree_ = std::make_unique<KdTree>(*centers_);
   }
 }
 
+simd::SoaSpan Grid::CellBlock(uint32_t ci, simd::SoaBlock* scratch) const {
+  ADB_COUNT("grid.block_kernel_calls", 1);
+  if (layout_ == Layout::kCsr) {
+    return perm_soa_.span(soa_begin_[ci], offsets_[ci + 1] - offsets_[ci]);
+  }
+  ADB_DCHECK(scratch != nullptr);
+  const std::vector<uint32_t>& pts = legacy_points_[ci];
+  *scratch = simd::SoaBlock(*data_, pts.data(), pts.size());
+  return scratch->span();
+}
+
 uint32_t Grid::FindCell(const CellCoord& cc) const {
-  const auto it = coord_to_cell_.find(cc);
-  return it == coord_to_cell_.end() ? kNoCell : it->second;
+  if (layout_ == Layout::kLegacy) {
+    const auto it = coord_to_cell_.find(cc);
+    return it == coord_to_cell_.end() ? kNoCell : it->second;
+  }
+  if (hash_slots_.empty()) return kNoCell;
+  size_t h = CellCoordHash{}(cc) & hash_mask_;
+  size_t probes = 1;
+  uint32_t found = kNoCell;
+  for (;;) {
+    const uint32_t ci = hash_slots_[h];
+    if (ci == kNoCell) break;
+    if (coords_[ci] == cc) {
+      found = ci;
+      break;
+    }
+    h = (h + 1) & hash_mask_;
+    ++probes;
+  }
+  ADB_COUNT("grid.hash_probes", probes);
+  return found;
+}
+
+size_t Grid::CsrBytes() const {
+  if (layout_ != Layout::kCsr) return 0;
+  return offsets_.size() * sizeof(uint32_t) +
+         point_ids_.size() * sizeof(uint32_t) +
+         soa_begin_.size() * sizeof(uint32_t) +
+         hash_slots_.size() * sizeof(uint32_t) +
+         static_cast<size_t>(perm_soa_.dim()) * perm_soa_.stride() *
+             sizeof(double);
 }
 
 void Grid::ComputeNeighborsInto(uint32_t ci, double eps,
@@ -71,27 +248,39 @@ void Grid::ComputeNeighborsInto(uint32_t ci, double eps,
 }
 
 void Grid::ResetCacheFor(double eps) const {
-  if (cache_eps_ != eps) {
-    cache_eps_ = eps;
-    cache_valid_.assign(cells_.size(), 0);
-    neighbor_cache_.assign(cells_.size(), {});
-  }
+  if (cache_eps_ == eps) return;
+  // Single-eps contract (see grid.h): resetting a warmed cache races with
+  // its concurrent readers and throws away the whole flattened structure.
+  ADB_DCHECK(!warmed_);
+  if (cache_eps_ >= 0.0) ADB_COUNT("grid.cache_resets", 1);
+  cache_eps_ = eps;
+  warmed_ = false;
+  warm_offsets_.clear();
+  warm_ids_.clear();
+  cache_valid_.assign(NumCells(), 0);
+  neighbor_cache_.assign(NumCells(), {});
 }
 
-const std::vector<uint32_t>& Grid::EpsNeighbors(uint32_t ci,
-                                                double eps) const {
-  ADB_DCHECK(ci < cells_.size());
+Grid::IdSpan Grid::EpsNeighbors(uint32_t ci, double eps) const {
+  ADB_DCHECK(ci < NumCells());
+  if (warmed_ && eps == cache_eps_) {
+    // Read-only flat cache: safe under concurrent callers.
+    return {warm_ids_.data() + warm_offsets_[ci],
+            warm_offsets_[ci + 1] - warm_offsets_[ci]};
+  }
   ResetCacheFor(eps);
   if (!cache_valid_[ci]) {
     ComputeNeighborsInto(ci, eps, &neighbor_cache_[ci]);
     cache_valid_[ci] = 1;
   }
-  return neighbor_cache_[ci];
+  return {neighbor_cache_[ci].data(), neighbor_cache_[ci].size()};
 }
 
 void Grid::WarmNeighborCache(double eps, int num_threads) const {
+  if (warmed_ && cache_eps_ == eps) return;
   ResetCacheFor(eps);
-  ParallelFor(cells_.size(), num_threads, [&](size_t begin, size_t end) {
+  const size_t num_cells = NumCells();
+  ParallelFor(num_cells, num_threads, [&](size_t begin, size_t end) {
     for (size_t ci = begin; ci < end; ++ci) {
       if (cache_valid_[ci]) continue;
       ComputeNeighborsInto(static_cast<uint32_t>(ci), eps,
@@ -99,12 +288,29 @@ void Grid::WarmNeighborCache(double eps, int num_threads) const {
       cache_valid_[ci] = 1;
     }
   });
+  // Flatten to CSR and free the per-cell vectors; EpsNeighbors now serves
+  // reads out of two contiguous arrays.
+  warm_offsets_.assign(num_cells + 1, 0);
+  for (size_t ci = 0; ci < num_cells; ++ci) {
+    warm_offsets_[ci + 1] =
+        warm_offsets_[ci] + static_cast<uint32_t>(neighbor_cache_[ci].size());
+  }
+  warm_ids_.resize(warm_offsets_[num_cells]);
+  for (size_t ci = 0; ci < num_cells; ++ci) {
+    std::copy(neighbor_cache_[ci].begin(), neighbor_cache_[ci].end(),
+              warm_ids_.begin() + warm_offsets_[ci]);
+  }
+  neighbor_cache_.clear();
+  neighbor_cache_.shrink_to_fit();
+  cache_valid_.clear();
+  cache_valid_.shrink_to_fit();
+  warmed_ = true;
 }
 
 std::vector<uint32_t> Grid::CellsTouchingBall(const double* q,
                                               double eps) const {
   std::vector<uint32_t> out;
-  if (cells_.empty()) return out;
+  if (coords_.empty()) return out;
   const double diam = side_ * std::sqrt(static_cast<double>(dim()));
   const double radius = eps + 0.5 * diam + 1e-9 * side_;
   std::vector<uint32_t> candidates = center_tree_->RangeQuery(q, radius);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "geom/dataset.h"
+#include "geom/soa.h"
 #include "grid/cell.h"
 #include "index/kdtree.h"
 
@@ -17,6 +18,25 @@ namespace adbscan {
 // the same cell are within distance ε. Only non-empty cells are
 // materialized.
 //
+// Memory layout (Layout::kCsr, the default): non-empty cells are sorted by
+// the Morton (Z-order) code of their integer coordinates, membership is one
+// CSR structure (offsets + point_ids, ids ascending within a cell), and the
+// whole dataset is re-materialized at build time as a permuted SoA in cell
+// order — every cell is a contiguous, lane-aligned block that the batch
+// kernels (geom/kernels.h) consume with zero gather. Coordinate lookup is a
+// flat open-addressing table (linear probing over SplitMix64-mixed keys)
+// instead of std::unordered_map. All public ids are ORIGINAL dataset ids;
+// the permutation is internal to the SoA.
+//
+// Layout::kLegacy reproduces the pre-CSR representation (per-cell heap
+// vectors, unordered_map lookup, per-call SoA gather in CellBlock) and
+// exists as the measured baseline for bench/micro_grid and as the reference
+// side of the layout-equivalence tests. Both layouts produce bit-identical
+// clusterings: cell enumeration order never reaches the output (core counts
+// are order-independent, components are renumbered by first core point in
+// id order, border memberships are sorted), and within-cell point order is
+// ascending id in both.
+//
 // Two cells are ε-neighbors when the minimum distance between their extents
 // is at most ε. Rather than probing all integer offsets within range — their
 // number grows like (2⌈√d⌉+3)^d, ~257k for d = 7 — neighbor enumeration
@@ -25,26 +45,64 @@ namespace adbscan {
 // is what the O(1)-neighbors-per-cell accounting of the paper refers to.
 class Grid {
  public:
-  struct Cell {
-    CellCoord coord;
-    std::vector<uint32_t> points;  // ids of the dataset points it covers
+  enum class Layout { kCsr, kLegacy };
+
+  // A non-owning view over a list of ids (cell membership, ε-neighbor
+  // lists). Valid for the lifetime of the grid, except lazily computed
+  // neighbor lists, which are invalidated by a cache reset (see
+  // EpsNeighbors).
+  struct IdSpan {
+    const uint32_t* ptr = nullptr;
+    size_t count = 0;
+
+    const uint32_t* begin() const { return ptr; }
+    const uint32_t* end() const { return ptr + count; }
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    uint32_t operator[](size_t i) const { return ptr[i]; }
+    uint32_t front() const { return ptr[0]; }
   };
 
   static constexpr uint32_t kNoCell = 0xffffffffu;
 
   // Builds the grid over all points of `data` (which must outlive the grid).
-  Grid(const Dataset& data, double side);
+  explicit Grid(const Dataset& data, double side);
+  Grid(const Dataset& data, double side, Layout layout);
 
   // Side length chosen by the paper's algorithms: ε/√d.
   static double SideFor(double eps, int dim);
 
+  // Layout used when the two-argument constructor runs: ADBSCAN_GRID_LAYOUT
+  // ("csr" | "legacy", default csr), overridable per process for tests and
+  // benches. Not thread-safe against concurrent grid construction.
+  static Layout DefaultLayout();
+  static void SetDefaultLayout(Layout layout);
+
+  Layout layout() const { return layout_; }
   int dim() const { return data_->dim(); }
   double side() const { return side_; }
   const Dataset& data() const { return *data_; }
 
-  size_t NumCells() const { return cells_.size(); }
-  const Cell& cell(uint32_t ci) const { return cells_[ci]; }
-  Box CellBoxOf(uint32_t ci) const { return cells_[ci].coord.ToBox(side_); }
+  size_t NumCells() const { return coords_.size(); }
+  const CellCoord& CellCoordOf(uint32_t ci) const { return coords_[ci]; }
+  Box CellBoxOf(uint32_t ci) const { return coords_[ci].ToBox(side_); }
+
+  // Ids of the points in cell ci, ascending.
+  IdSpan cell_points(uint32_t ci) const {
+    if (layout_ == Layout::kCsr) {
+      return {point_ids_.data() + offsets_[ci], offsets_[ci + 1] - offsets_[ci]};
+    }
+    return {legacy_points_[ci].data(), legacy_points_[ci].size()};
+  }
+  size_t CellSize(uint32_t ci) const { return cell_points(ci).size(); }
+
+  // Lane-aligned SoA view of cell ci's points, in cell_points(ci) order
+  // (lane j holds point cell_points(ci)[j]). CSR layout: a zero-copy span
+  // into the build-time permuted SoA; `scratch` is ignored and may be null.
+  // Legacy layout: gathered into *scratch on every call (the pre-CSR cost
+  // model), so the span is valid until the next CellBlock on the same
+  // scratch. Thread-safe in CSR layout.
+  simd::SoaSpan CellBlock(uint32_t ci, simd::SoaBlock* scratch) const;
 
   // Index of the cell containing point id (always valid).
   uint32_t CellOfPoint(uint32_t id) const { return point_cell_[id]; }
@@ -58,12 +116,19 @@ class Grid {
   //
   // Lists are computed once per cell and cached: the labeling process, the
   // edge generation, and the border assignment all walk the same lists.
-  // The cache is keyed by eps; querying a different eps resets it.
-  const std::vector<uint32_t>& EpsNeighbors(uint32_t ci, double eps) const;
+  //
+  // Single-eps contract: the cache is keyed by ONE eps at a time. Querying
+  // a different eps resets the cache (counted by grid.cache_resets) and —
+  // because resetting would race with concurrent readers of a warmed cache
+  // — is an ADB_DCHECK violation once WarmNeighborCache has run. Every
+  // pipeline queries exactly one eps per grid; build a fresh grid to probe
+  // another.
+  IdSpan EpsNeighbors(uint32_t ci, double eps) const;
 
   // Fills the whole neighbor cache for `eps` using up to num_threads
-  // workers. EpsNeighbors afterwards only reads the cache, making it safe
-  // to call concurrently. Idempotent.
+  // workers, then flattens it into CSR form (one offsets + one ids array).
+  // EpsNeighbors afterwards only reads the flat cache, making it safe to
+  // call concurrently. Idempotent for the same eps.
   void WarmNeighborCache(double eps, int num_threads) const;
 
   // All non-empty cells whose extent intersects the closed ball B(q, eps).
@@ -71,23 +136,48 @@ class Grid {
   // of q.
   std::vector<uint32_t> CellsTouchingBall(const double* q, double eps) const;
 
+  // Bytes held by the CSR representation (offsets, point ids, SoA begins,
+  // hash slots, permuted SoA). 0 in legacy layout.
+  size_t CsrBytes() const;
+
  private:
+  void BuildCsr();
+  void BuildLegacy();
+  void BuildCenters();
   void ComputeNeighborsInto(uint32_t ci, double eps,
                             std::vector<uint32_t>* out) const;
   void ResetCacheFor(double eps) const;
 
   const Dataset* data_;
   double side_;
-  std::vector<Cell> cells_;
-  std::vector<uint32_t> point_cell_;
+  Layout layout_;
+  std::vector<CellCoord> coords_;       // per cell, Morton order under kCsr
+  std::vector<uint32_t> point_cell_;    // per point
+
+  // kCsr: membership CSR + permuted SoA + flat open-addressing hash.
+  std::vector<uint32_t> offsets_;    // NumCells() + 1
+  std::vector<uint32_t> point_ids_;  // n ids, ascending within each cell
+  std::vector<uint32_t> soa_begin_;  // lane-aligned start of each cell's block
+  simd::SoaBlock perm_soa_;          // dataset permuted into cell order
+  std::vector<uint32_t> hash_slots_; // power-of-two, kNoCell = empty
+  size_t hash_mask_ = 0;
+
+  // kLegacy: the pre-CSR representation.
+  std::vector<std::vector<uint32_t>> legacy_points_;
   std::unordered_map<CellCoord, uint32_t, CellCoordHash> coord_to_cell_;
+
   // Cell centers as a dataset + kd-tree for neighbor enumeration.
   std::unique_ptr<Dataset> centers_;
   std::unique_ptr<KdTree> center_tree_;
-  // Lazy per-cell neighbor cache for the eps in cache_eps_.
+
+  // ε-neighbor cache for the eps in cache_eps_: lazy per-cell vectors until
+  // WarmNeighborCache flattens them into warm_offsets_/warm_ids_.
   mutable double cache_eps_ = -1.0;
+  mutable bool warmed_ = false;
   mutable std::vector<char> cache_valid_;
   mutable std::vector<std::vector<uint32_t>> neighbor_cache_;
+  mutable std::vector<uint32_t> warm_offsets_;
+  mutable std::vector<uint32_t> warm_ids_;
 };
 
 }  // namespace adbscan

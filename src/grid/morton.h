@@ -1,0 +1,100 @@
+#ifndef ADBSCAN_GRID_MORTON_H_
+#define ADBSCAN_GRID_MORTON_H_
+
+#include <cstdint>
+
+namespace adbscan {
+
+// Z-order (Morton) utilities over signed integer cell coordinates.
+//
+// The grid sorts its non-empty cells along the Z-order curve so that cells
+// close in space end up close in the CSR membership arrays and in the
+// permuted SoA (see grid.h). Two forms are provided:
+//
+//  - MortonLess: an EXACT comparator over untruncated int64 coordinates,
+//    using the most-significant-differing-bit trick (Chan 2002). This is
+//    what the grid sorts with — it never loses bits, so the order is the
+//    true Z-order for any coordinate range.
+//  - MortonInterleave/MortonDeinterleave: a truncated interleaved key with
+//    B = 64/dim bits per dimension, used by tests and available for
+//    key-based bucketing. Coordinates are biased at bit B-1, so the key is
+//    order-preserving exactly on the window [-2^(B-1), 2^(B-1)) per axis;
+//    coordinates outside the window alias (the comparator does not).
+
+// Bits of one coordinate that fit an interleaved 64-bit key.
+inline constexpr int MortonBitsPerDim(int dim) { return 64 / dim; }
+
+// Truncates coordinate c to `bits` bits of two's complement and flips the
+// top bit, mapping the window [-2^(bits-1), 2^(bits-1)) monotonically onto
+// [0, 2^bits).
+inline uint64_t MortonBias(int64_t c, int bits) {
+  const uint64_t mask =
+      bits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+  return (static_cast<uint64_t>(c) ^ (uint64_t{1} << (bits - 1))) & mask;
+}
+
+// Inverse of MortonBias on the representable window (sign-extends).
+inline int64_t MortonUnbias(uint64_t v, int bits) {
+  const uint64_t flipped = v ^ (uint64_t{1} << (bits - 1));
+  if (bits >= 64) return static_cast<int64_t>(flipped);
+  const uint64_t sign = uint64_t{1} << (bits - 1);
+  return static_cast<int64_t>((flipped ^ sign)) - static_cast<int64_t>(sign);
+}
+
+// Interleaved key over c[0..dim): bit b of dimension i lands at position
+// (b * dim) + (dim - 1 - i), i.e. dimension 0 is the most significant axis
+// of every level — matching MortonLess, which breaks msb ties by the lowest
+// dimension index.
+inline uint64_t MortonInterleave(const int64_t* c, int dim) {
+  const int bits = MortonBitsPerDim(dim);
+  uint64_t key = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < dim; ++i) {
+      key = (key << 1) | ((MortonBias(c[i], bits) >> b) & 1u);
+    }
+  }
+  return key;
+}
+
+// Recovers the coordinates of an interleaved key (exact on the window).
+inline void MortonDeinterleave(uint64_t key, int dim, int64_t* out) {
+  const int bits = MortonBitsPerDim(dim);
+  uint64_t biased[64] = {};
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < dim; ++i) {
+      const int pos = b * dim + (dim - 1 - i);
+      biased[i] = (biased[i] << 1) | ((key >> pos) & 1u);
+    }
+  }
+  for (int i = 0; i < dim; ++i) out[i] = MortonUnbias(biased[i], bits);
+}
+
+// True iff the highest set bit of x is strictly below that of y.
+inline bool MortonLessMsb(uint64_t x, uint64_t y) {
+  return x < y && x < (x ^ y);
+}
+
+// Exact Z-order comparison of two coordinate tuples: find the dimension
+// holding the most significant differing bit (ties to the lowest dimension
+// index) and compare that dimension. Signed coordinates are biased by
+// flipping bit 63; the bias cancels under XOR, so only the final compare
+// needs it.
+inline bool MortonLess(const int64_t* a, const int64_t* b, int dim) {
+  constexpr uint64_t kSignBit = uint64_t{1} << 63;
+  uint64_t best_diff = 0;
+  int msd = 0;
+  for (int i = 0; i < dim; ++i) {
+    const uint64_t diff =
+        static_cast<uint64_t>(a[i]) ^ static_cast<uint64_t>(b[i]);
+    if (MortonLessMsb(best_diff, diff)) {
+      best_diff = diff;
+      msd = i;
+    }
+  }
+  return (static_cast<uint64_t>(a[msd]) ^ kSignBit) <
+         (static_cast<uint64_t>(b[msd]) ^ kSignBit);
+}
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_GRID_MORTON_H_

@@ -402,7 +402,7 @@ uint32_t RTree::SplitNodeQuadratic(uint32_t node_idx) {
 
 void RTree::Insert(uint32_t id) {
   ++num_points_;
-  leaf_soa_valid_ = false;  // leaves are about to mutate
+  leaf_soa_valid_ = false;  // leaves are about to mutate; rebuilt on query
   InsertImpl(id, options_.split == RTreeOptions::Split::kRStar &&
                      options_.reinsert_fraction > 0.0);
 }
@@ -486,6 +486,7 @@ std::vector<uint32_t> RTree::RangeQuery(const double* q,
                                         double radius) const {
   std::vector<uint32_t> out;
   if (root_ == kInvalid) return out;
+  EnsureLeafSoa();
   const double r2 = radius * radius;
   std::vector<uint32_t> stack{root_};
   while (!stack.empty()) {
@@ -493,15 +494,7 @@ std::vector<uint32_t> RTree::RangeQuery(const double* q,
     stack.pop_back();
     if (node.box.MinSquaredDistToPoint(q) > r2) continue;
     if (node.leaf) {
-      if (leaf_soa_valid_) {
-        simd::CollectWithin(q, LeafSpan(node), r2, node.entries.data(), &out);
-      } else {
-        for (uint32_t id : node.entries) {
-          if (SquaredDistance(q, PointOf(id), data_->dim()) <= r2) {
-            out.push_back(id);
-          }
-        }
-      }
+      simd::CollectWithin(q, LeafSpan(node), r2, node.entries.data(), &out);
     } else {
       for (uint32_t child : node.entries) stack.push_back(child);
     }
@@ -512,6 +505,7 @@ std::vector<uint32_t> RTree::RangeQuery(const double* q,
 size_t RTree::CountInBall(const double* q, double radius,
                           size_t stop_at) const {
   if (root_ == kInvalid) return 0;
+  EnsureLeafSoa();
   const double r2 = radius * radius;
   size_t count = 0;
   std::vector<uint32_t> stack{root_};
@@ -520,15 +514,7 @@ size_t RTree::CountInBall(const double* q, double radius,
     stack.pop_back();
     if (node.box.MinSquaredDistToPoint(q) > r2) continue;
     if (node.leaf) {
-      if (leaf_soa_valid_) {
-        count += simd::CountWithin(q, LeafSpan(node), r2, stop_at - count);
-      } else {
-        for (uint32_t id : node.entries) {
-          if (SquaredDistance(q, PointOf(id), data_->dim()) <= r2) {
-            if (++count >= stop_at) break;
-          }
-        }
-      }
+      count += simd::CountWithin(q, LeafSpan(node), r2, stop_at - count);
     } else {
       for (uint32_t child : node.entries) stack.push_back(child);
     }

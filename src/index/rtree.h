@@ -84,10 +84,17 @@ class RTree : public SpatialIndex {
   // Packs every leaf's entries into one shared SoA block, each leaf a
   // lane-aligned segment (padding replicates the leaf's last entry) so leaf
   // scans run through the batch kernels. Called after BulkLoad; Insert()
-  // mutates leaves, so it invalidates the block and queries fall back to
-  // the scalar per-point loop (same IEEE operations, so results are
-  // unchanged either way).
+  // mutates leaves, so it invalidates the block and the next query rebuilds
+  // it (EnsureLeafSoa). Results are unchanged either way: the kernels use
+  // the same IEEE operations as the scalar loop they replaced.
   void BuildLeafSoa();
+  // Rebuild-on-next-query after Insert() invalidated the block. Rebuilding
+  // mutates cached state, so queries are not safe to run concurrently with
+  // the first query after an Insert (bulk-loaded trees are never
+  // invalidated and stay concurrency-safe).
+  void EnsureLeafSoa() const {
+    if (!leaf_soa_valid_) const_cast<RTree*>(this)->BuildLeafSoa();
+  }
   simd::SoaSpan LeafSpan(const Node& node) const {
     return leaf_soa_.span(node.soa_begin, node.entries.size());
   }

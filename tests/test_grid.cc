@@ -2,17 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 #include <vector>
 
 #include "geom/point.h"
+#include "geom/soa.h"
 #include "grid/grid.h"
+#include "grid/morton.h"
 #include "test_helpers.h"
 
 namespace adbscan {
 namespace {
 
 using testing_helpers::RandomDataset;
+
+std::vector<uint32_t> ToVec(Grid::IdSpan s) {
+  return std::vector<uint32_t>(s.begin(), s.end());
+}
+
+// Random points whose coordinates are multiples of `step`, so many land
+// EXACTLY on cell boundaries when step divides the side length.
+Dataset SnappedDataset(int dim, size_t n, double lo, double hi, double step,
+                       uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(dim);
+  data.Reserve(n);
+  std::vector<double> p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      p[j] = std::round(rng.NextDouble(lo, hi) / step) * step;
+    }
+    data.Add(p);
+  }
+  return data;
+}
 
 TEST(Grid, SideForMatchesPaper) {
   EXPECT_DOUBLE_EQ(Grid::SideFor(10.0, 2), 10.0 / std::sqrt(2.0));
@@ -24,8 +48,8 @@ TEST(Grid, EveryPointAssignedToExactlyOneCell) {
   const Grid grid(data, Grid::SideFor(10.0, 3));
   size_t total = 0;
   for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
-    total += grid.cell(ci).points.size();
-    for (uint32_t id : grid.cell(ci).points) {
+    total += grid.CellSize(ci);
+    for (uint32_t id : grid.cell_points(ci)) {
       EXPECT_EQ(grid.CellOfPoint(id), ci);
     }
   }
@@ -37,7 +61,7 @@ TEST(Grid, PointsLieInTheirCellBox) {
   const Grid grid(data, Grid::SideFor(7.0, 4));
   for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
     const Box box = grid.CellBoxOf(ci);
-    for (uint32_t id : grid.cell(ci).points) {
+    for (uint32_t id : grid.cell_points(ci)) {
       EXPECT_LE(box.MinSquaredDistToPoint(data.point(id)), 1e-18);
     }
   }
@@ -48,7 +72,7 @@ TEST(Grid, SameCellPointsWithinEps) {
   const Dataset data = RandomDataset(5, 400, 0.0, 60.0, 3);
   const Grid grid(data, Grid::SideFor(eps, 5));
   for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
-    const auto& pts = grid.cell(ci).points;
+    const Grid::IdSpan pts = grid.cell_points(ci);
     for (size_t i = 0; i < pts.size(); ++i) {
       for (size_t j = i + 1; j < pts.size(); ++j) {
         EXPECT_TRUE(WithinDistance(data.point(pts[i]), data.point(pts[j]), 5,
@@ -79,7 +103,7 @@ TEST(Grid, EpsNeighborsMatchBruteForce2D) {
   const Grid grid(data, Grid::SideFor(eps, 2));
   const auto expected = BruteNeighbors(grid, eps);
   for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
-    std::vector<uint32_t> got = grid.EpsNeighbors(ci, eps);
+    const std::vector<uint32_t> got = ToVec(grid.EpsNeighbors(ci, eps));
     std::set<uint32_t> got_set(got.begin(), got.end());
     EXPECT_EQ(got_set, expected[ci]) << "cell " << ci;
     EXPECT_EQ(got_set.count(ci), 0u) << "self must be excluded";
@@ -92,7 +116,7 @@ TEST(Grid, EpsNeighborsMatchBruteForce5D) {
   const Grid grid(data, Grid::SideFor(eps, 5));
   const auto expected = BruteNeighbors(grid, eps);
   for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
-    std::vector<uint32_t> got = grid.EpsNeighbors(ci, eps);
+    const std::vector<uint32_t> got = ToVec(grid.EpsNeighbors(ci, eps));
     std::set<uint32_t> got_set(got.begin(), got.end());
     EXPECT_EQ(got_set, expected[ci]) << "cell " << ci;
   }
@@ -117,35 +141,176 @@ TEST(Grid, NeighborBoundIn2D) {
   EXPECT_GE(max_neighbors, 15u);  // interior cells should get close to it
 }
 
-TEST(Grid, CellsTouchingBallFindsExactlyIntersectingCells) {
-  const double eps = 15.0;
-  const Dataset data = RandomDataset(3, 400, 0.0, 100.0, 7);
-  const Grid grid(data, Grid::SideFor(eps, 3));
-  Rng rng(8);
+// Brute-force sweep for CellsTouchingBall and FindCell over random datasets
+// in d ∈ {2,3,5,7}, with every coordinate snapped so many points (and query
+// centers) sit exactly on cell boundaries.
+class GridBruteForceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridBruteForceSweep, CellsTouchingBallMatchesBruteForce) {
+  const int dim = GetParam();
+  const double side = 4.0;
+  const double eps = 4.0 * std::sqrt(static_cast<double>(dim));
+  const Dataset data =
+      SnappedDataset(dim, 300, -40.0, 40.0, side / 2, 100 + dim);
+  const Grid grid(data, side);
+  Rng rng(200 + dim);
+  std::vector<double> q(dim);
   for (int trial = 0; trial < 50; ++trial) {
-    double q[3];
-    for (int i = 0; i < 3; ++i) q[i] = rng.NextDouble(0.0, 100.0);
+    for (int i = 0; i < dim; ++i) {
+      // Half the queries on exact cell boundaries.
+      const double v = rng.NextDouble(-40.0, 40.0);
+      q[i] = trial % 2 == 0 ? std::round(v / side) * side : v;
+    }
     std::set<uint32_t> expected;
     for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
-      if (grid.CellBoxOf(ci).MinSquaredDistToPoint(q) <= eps * eps) {
+      if (grid.CellBoxOf(ci).MinSquaredDistToPoint(q.data()) <= eps * eps) {
         expected.insert(ci);
       }
     }
-    std::vector<uint32_t> got = grid.CellsTouchingBall(q, eps);
-    EXPECT_EQ(std::set<uint32_t>(got.begin(), got.end()), expected);
+    const std::vector<uint32_t> got = grid.CellsTouchingBall(q.data(), eps);
+    EXPECT_EQ(std::set<uint32_t>(got.begin(), got.end()), expected)
+        << "dim " << dim << " trial " << trial;
   }
 }
+
+TEST_P(GridBruteForceSweep, FindCellMatchesBruteForceEnumeration) {
+  const int dim = GetParam();
+  const double side = 3.0;
+  const Dataset data =
+      SnappedDataset(dim, 400, -30.0, 30.0, side / 2, 300 + dim);
+  const Grid grid(data, side);
+
+  // Reference map from coordinates to sorted member ids, built straight
+  // from CellCoord::Of — independent of the grid's hash and cell order.
+  const auto coord_less = [](const CellCoord& a, const CellCoord& b) {
+    return std::lexicographical_compare(a.c.begin(), a.c.begin() + a.dim,
+                                        b.c.begin(), b.c.begin() + b.dim);
+  };
+  std::map<CellCoord, std::vector<uint32_t>, decltype(coord_less)> expected(
+      coord_less);
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    expected[CellCoord::Of(data.point(i), dim, side)].push_back(i);
+  }
+
+  ASSERT_EQ(grid.NumCells(), expected.size());
+  for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+    const auto it = expected.find(grid.CellCoordOf(ci));
+    ASSERT_NE(it, expected.end());
+    EXPECT_EQ(ToVec(grid.cell_points(ci)), it->second);
+    EXPECT_EQ(grid.FindCell(grid.CellCoordOf(ci)), ci);
+  }
+  // Probe absent coordinates next to every existing cell: each axis +1.
+  for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+    for (int axis = 0; axis < dim; ++axis) {
+      CellCoord cc = grid.CellCoordOf(ci);
+      cc.c[axis] += 1;
+      const uint32_t found = grid.FindCell(cc);
+      if (expected.count(cc) == 0) {
+        EXPECT_EQ(found, Grid::kNoCell);
+      } else {
+        EXPECT_EQ(grid.CellCoordOf(found), cc);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GridBruteForceSweep,
+                         ::testing::Values(2, 3, 5, 7));
 
 TEST(Grid, FindCellLocatesExistingCells) {
   const Dataset data = RandomDataset(2, 100, 0.0, 50.0, 9);
   const Grid grid(data, 5.0);
   for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
-    EXPECT_EQ(grid.FindCell(grid.cell(ci).coord), ci);
+    EXPECT_EQ(grid.FindCell(grid.CellCoordOf(ci)), ci);
   }
   CellCoord far;
   far.dim = 2;
   far.c = {1000000, 1000000};
   EXPECT_EQ(grid.FindCell(far), Grid::kNoCell);
+}
+
+TEST(Grid, CsrCellsAreMortonSorted) {
+  const Dataset data = RandomDataset(3, 600, -80.0, 80.0, 13);
+  const Grid grid(data, 6.0, Grid::Layout::kCsr);
+  for (uint32_t ci = 1; ci < grid.NumCells(); ++ci) {
+    EXPECT_TRUE(MortonLess(grid.CellCoordOf(ci - 1).c.data(),
+                           grid.CellCoordOf(ci).c.data(), 3))
+        << "cells " << ci - 1 << ", " << ci;
+  }
+}
+
+TEST(Grid, CellPointsAscendWithinEachCell) {
+  for (Grid::Layout layout : {Grid::Layout::kCsr, Grid::Layout::kLegacy}) {
+    const Dataset data = RandomDataset(3, 500, 0.0, 50.0, 14);
+    const Grid grid(data, 4.0, layout);
+    for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+      const std::vector<uint32_t> pts = ToVec(grid.cell_points(ci));
+      EXPECT_TRUE(std::is_sorted(pts.begin(), pts.end()));
+    }
+  }
+}
+
+// Both layouts must expose the same grid: same coord -> members mapping,
+// same point -> cell assignment, same neighbor sets.
+TEST(Grid, CsrAndLegacyLayoutsAgree) {
+  const double eps = 8.0;
+  const Dataset data = RandomDataset(3, 500, -60.0, 60.0, 15);
+  const Grid csr(data, Grid::SideFor(eps, 3), Grid::Layout::kCsr);
+  const Grid legacy(data, Grid::SideFor(eps, 3), Grid::Layout::kLegacy);
+  ASSERT_EQ(csr.NumCells(), legacy.NumCells());
+  for (uint32_t ci = 0; ci < csr.NumCells(); ++ci) {
+    const uint32_t lj = legacy.FindCell(csr.CellCoordOf(ci));
+    ASSERT_NE(lj, Grid::kNoCell);
+    EXPECT_EQ(ToVec(csr.cell_points(ci)), ToVec(legacy.cell_points(lj)));
+    // Neighbor sets agree after mapping cell indices through coordinates.
+    std::set<std::vector<int64_t>> csr_neighbors, legacy_neighbors;
+    const auto key = [](const CellCoord& cc) {
+      return std::vector<int64_t>(cc.c.begin(), cc.c.begin() + cc.dim);
+    };
+    for (uint32_t cj : csr.EpsNeighbors(ci, eps)) {
+      csr_neighbors.insert(key(csr.CellCoordOf(cj)));
+    }
+    for (uint32_t cj : legacy.EpsNeighbors(lj, eps)) {
+      legacy_neighbors.insert(key(legacy.CellCoordOf(cj)));
+    }
+    EXPECT_EQ(csr_neighbors, legacy_neighbors);
+  }
+  for (uint32_t id = 0; id < data.size(); ++id) {
+    EXPECT_EQ(csr.CellCoordOf(csr.CellOfPoint(id)),
+              legacy.CellCoordOf(legacy.CellOfPoint(id)));
+  }
+}
+
+// CellBlock lane contract: count matches the cell, lanes hold the cell's
+// points in cell_points order, and the CSR span starts lane-aligned inside
+// the shared permuted SoA.
+TEST(Grid, CellBlockMatchesCellPoints) {
+  for (Grid::Layout layout : {Grid::Layout::kCsr, Grid::Layout::kLegacy}) {
+    const Dataset data = RandomDataset(5, 400, 0.0, 70.0, 16);
+    const Grid grid(data, 6.0, layout);
+    simd::SoaBlock scratch;
+    for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+      const Grid::IdSpan pts = grid.cell_points(ci);
+      const simd::SoaSpan span = grid.CellBlock(ci, &scratch);
+      ASSERT_EQ(span.count, pts.size());
+      EXPECT_EQ(span.dim, 5);
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(span.base) %
+                    (simd::kLaneWidth * sizeof(double)),
+                0u);
+      for (size_t j = 0; j < span.count; ++j) {
+        for (int i = 0; i < span.dim; ++i) {
+          EXPECT_EQ(span.base[i * span.stride + j], data.point(pts[j])[i]);
+        }
+      }
+      // Padding lanes replicate the last point (finite, same cell).
+      for (size_t j = span.count; j < simd::PaddedCount(span.count); ++j) {
+        for (int i = 0; i < span.dim; ++i) {
+          EXPECT_EQ(span.base[i * span.stride + j],
+                    data.point(pts[pts.size() - 1])[i]);
+        }
+      }
+    }
+  }
 }
 
 TEST(Grid, WarmCacheMatchesLazyEnumeration) {
@@ -155,7 +320,8 @@ TEST(Grid, WarmCacheMatchesLazyEnumeration) {
   const Grid warmed(data, Grid::SideFor(eps, 3));
   warmed.WarmNeighborCache(eps, 4);
   for (uint32_t ci = 0; ci < lazy.NumCells(); ++ci) {
-    EXPECT_EQ(lazy.EpsNeighbors(ci, eps), warmed.EpsNeighbors(ci, eps))
+    EXPECT_EQ(ToVec(lazy.EpsNeighbors(ci, eps)),
+              ToVec(warmed.EpsNeighbors(ci, eps)))
         << "cell " << ci;
   }
 }
@@ -178,12 +344,13 @@ TEST(Grid, NeighborListsSortedByBoxDistance) {
 TEST(Grid, ChangingEpsResetsCacheCorrectly) {
   const Dataset data = RandomDataset(2, 300, 0.0, 60.0, 12);
   const Grid grid(data, Grid::SideFor(5.0, 2));
-  // Query with one eps, then another: results must match fresh grids.
-  const std::vector<uint32_t> small = grid.EpsNeighbors(0, 5.0);
-  const std::vector<uint32_t> large = grid.EpsNeighbors(0, 20.0);
+  // Query with one eps, then another (legal while the cache is lazy; a
+  // WARMED cache must never be reset — see the single-eps contract).
+  const std::vector<uint32_t> small = ToVec(grid.EpsNeighbors(0, 5.0));
+  const std::vector<uint32_t> large = ToVec(grid.EpsNeighbors(0, 20.0));
   EXPECT_GE(large.size(), small.size());
   const Grid fresh(data, Grid::SideFor(5.0, 2));
-  EXPECT_EQ(fresh.EpsNeighbors(0, 20.0), large);
+  EXPECT_EQ(ToVec(fresh.EpsNeighbors(0, 20.0)), large);
 }
 
 TEST(Grid, SinglePointDataset) {
@@ -199,7 +366,26 @@ TEST(Grid, CoincidentPointsShareOneCell) {
   for (int i = 0; i < 10; ++i) data.Add({5.0, 5.0});
   const Grid grid(data, 3.0);
   EXPECT_EQ(grid.NumCells(), 1u);
-  EXPECT_EQ(grid.cell(0).points.size(), 10u);
+  EXPECT_EQ(grid.CellSize(0), 10u);
+}
+
+TEST(Grid, CsrBytesNonZeroOnlyForCsr) {
+  const Dataset data = RandomDataset(2, 200, 0.0, 40.0, 17);
+  const Grid csr(data, 4.0, Grid::Layout::kCsr);
+  const Grid legacy(data, 4.0, Grid::Layout::kLegacy);
+  EXPECT_GT(csr.CsrBytes(), 0u);
+  EXPECT_EQ(legacy.CsrBytes(), 0u);
+}
+
+TEST(Grid, DefaultLayoutOverride) {
+  const Grid::Layout saved = Grid::DefaultLayout();
+  Grid::SetDefaultLayout(Grid::Layout::kLegacy);
+  {
+    const Dataset data = RandomDataset(2, 50, 0.0, 10.0, 18);
+    const Grid grid(data, 2.0);
+    EXPECT_EQ(grid.layout(), Grid::Layout::kLegacy);
+  }
+  Grid::SetDefaultLayout(saved);
 }
 
 }  // namespace

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "grid/morton.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace {
+
+// Random coordinate tuple inside the representable window of the truncated
+// key: [-2^(B-1), 2^(B-1)) per axis, B = 64/dim.
+std::vector<int64_t> RandomCoords(Rng* rng, int dim) {
+  const int bits = MortonBitsPerDim(dim);
+  const int64_t half = int64_t{1} << (bits - 1);
+  std::vector<int64_t> c(dim);
+  for (int i = 0; i < dim; ++i) {
+    c[i] = static_cast<int64_t>(
+        rng->NextDouble(static_cast<double>(-half),
+                        static_cast<double>(half - 1)));
+  }
+  return c;
+}
+
+TEST(Morton, BiasIsMonotoneOnWindow) {
+  const int bits = 9;  // the d = 7 window
+  const int64_t half = int64_t{1} << (bits - 1);
+  uint64_t prev = 0;
+  for (int64_t c = -half; c < half; ++c) {
+    const uint64_t biased = MortonBias(c, bits);
+    if (c > -half) {
+      EXPECT_GT(biased, prev) << "c=" << c;
+    }
+    EXPECT_EQ(MortonUnbias(biased, bits), c);
+    prev = biased;
+  }
+}
+
+TEST(Morton, InterleaveDeinterleaveRoundTrip) {
+  Rng rng(42);
+  for (int dim : {2, 3, 5, 7, 16}) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::vector<int64_t> c = RandomCoords(&rng, dim);
+      const uint64_t key = MortonInterleave(c.data(), dim);
+      std::vector<int64_t> back(dim);
+      MortonDeinterleave(key, dim, back.data());
+      EXPECT_EQ(back, c) << "dim " << dim;
+    }
+  }
+}
+
+TEST(Morton, RoundTripAtWindowEdgesAndNegatives) {
+  for (int dim : {2, 3, 5, 7}) {
+    const int bits = MortonBitsPerDim(dim);
+    const int64_t half = int64_t{1} << (bits - 1);
+    for (int64_t v : {-half, -half + 1, int64_t{-1}, int64_t{0}, int64_t{1},
+                      half - 2, half - 1}) {
+      std::vector<int64_t> c(dim, v);
+      c[0] = -v - 1;  // mix signs across axes
+      std::vector<int64_t> back(dim);
+      MortonDeinterleave(MortonInterleave(c.data(), dim), dim, back.data());
+      EXPECT_EQ(back, c) << "dim " << dim << " v " << v;
+    }
+  }
+}
+
+TEST(Morton, LessAgreesWithInterleavedKeysOnWindow) {
+  Rng rng(7);
+  for (int dim : {2, 3, 5, 7}) {
+    for (int trial = 0; trial < 500; ++trial) {
+      const std::vector<int64_t> a = RandomCoords(&rng, dim);
+      const std::vector<int64_t> b = RandomCoords(&rng, dim);
+      const uint64_t ka = MortonInterleave(a.data(), dim);
+      const uint64_t kb = MortonInterleave(b.data(), dim);
+      EXPECT_EQ(MortonLess(a.data(), b.data(), dim), ka < kb)
+          << "dim " << dim;
+    }
+  }
+}
+
+TEST(Morton, LessIsIrreflexiveAndHandlesHugeCoordinates) {
+  // Coordinates way outside any truncated window: the comparator is exact.
+  const std::vector<int64_t> a = {int64_t{1} << 40, -(int64_t{1} << 50), 3};
+  const std::vector<int64_t> b = {int64_t{1} << 40, -(int64_t{1} << 50), 4};
+  EXPECT_FALSE(MortonLess(a.data(), a.data(), 3));
+  EXPECT_TRUE(MortonLess(a.data(), b.data(), 3));
+  EXPECT_FALSE(MortonLess(b.data(), a.data(), 3));
+  // Negative < positive on the most significant differing axis.
+  const std::vector<int64_t> neg = {-1, int64_t{1} << 60};
+  const std::vector<int64_t> pos = {0, -(int64_t{1} << 60)};
+  EXPECT_TRUE(MortonLess(neg.data(), pos.data(), 2));
+}
+
+TEST(Morton, SortIsAStrictWeakOrder) {
+  Rng rng(11);
+  std::vector<std::vector<int64_t>> coords;
+  for (int trial = 0; trial < 300; ++trial) {
+    coords.push_back(RandomCoords(&rng, 3));
+  }
+  std::sort(coords.begin(), coords.end(),
+            [](const std::vector<int64_t>& a, const std::vector<int64_t>& b) {
+              return MortonLess(a.data(), b.data(), 3);
+            });
+  for (size_t i = 1; i < coords.size(); ++i) {
+    EXPECT_FALSE(MortonLess(coords[i].data(), coords[i - 1].data(), 3));
+    EXPECT_EQ(MortonLess(coords[i - 1].data(), coords[i].data(), 3),
+              MortonInterleave(coords[i - 1].data(), 3) <
+                  MortonInterleave(coords[i].data(), 3));
+  }
+}
+
+}  // namespace
+}  // namespace adbscan
