@@ -1,0 +1,265 @@
+// Streaming benchmark: amortized cost of maintaining the ρ-approximate
+// clustering incrementally (DynamicClusterer) versus re-running ApproxDbscan
+// from scratch after every update batch. Each round applies one batch of
+// update_ratio * n updates (half removals of random surviving points, half
+// fresh insertions), re-derives labels incrementally, then times the
+// from-scratch run over the same surviving points and verifies the two
+// clusterings are identical. Writes BENCH_stream.json with per-round wall
+// times, the incremental speedup, and the stream.rebuilds counter.
+//
+//   ./build/bench/micro_stream                        # defaults (n=1e5, 1%)
+//   ./build/bench/micro_stream --n=200000 --update_ratio=0.02 --rounds=8
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/approx_dbscan.h"
+#include "io/table.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "stream/dynamic_clusterer.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace adbscan {
+namespace {
+
+struct Result {
+  std::string dataset;
+  int dim;
+  size_t n;
+  int round;  // -1 for the summary row
+  size_t updates;
+  double incr_ms;
+  double scratch_ms;
+  double speedup;
+  uint64_t rebuilds;
+  uint64_t cells_touched;
+  uint64_t recompute_frontier;
+};
+
+// Re-registers the stream counter schema after a registry Reset() so every
+// emitted record carries the same counter names.
+void RegisterStreamCounters() {
+  ADB_COUNT("stream.updates", 0);
+  ADB_COUNT("stream.inserts", 0);
+  ADB_COUNT("stream.removes", 0);
+  ADB_COUNT("stream.batches", 0);
+  ADB_COUNT("stream.cells_touched", 0);
+  ADB_COUNT("stream.rebuilds", 0);
+  ADB_COUNT("stream.recompute_frontier", 0);
+  ADB_COUNT("stream.frontier_fallbacks", 0);
+  ADB_COUNT("stream.edge_probes", 0);
+  ADB_COUNT("stream.counter_rebuilds", 0);
+}
+
+uint64_t CounterOr0(const obs::MetricsSnapshot& snap, const char* name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+void WriteJson(const std::string& path, const std::vector<Result>& results) {
+  bench::EnsureParentDir(path);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_stream\",\n  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"dataset\": \"%s\", \"dim\": %d, \"n\": %zu, \"round\": %d, "
+        "\"updates\": %zu, \"incr_ms\": %s, \"scratch_ms\": %s, "
+        "\"speedup\": %s, \"rebuilds\": %llu, \"cells_touched\": %llu, "
+        "\"recompute_frontier\": %llu}%s\n",
+        r.dataset.c_str(), r.dim, r.n, r.round, r.updates,
+        obs::JsonNumber(r.incr_ms).c_str(),
+        obs::JsonNumber(r.scratch_ms).c_str(),
+        obs::JsonNumber(r.speedup).c_str(),
+        static_cast<unsigned long long>(r.rebuilds),
+        static_cast<unsigned long long>(r.cells_touched),
+        static_cast<unsigned long long>(r.recompute_frontier),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace adbscan
+
+int main(int argc, char** argv) {
+  using namespace adbscan;
+  Flags flags;
+  flags.DefineString("datasets", "ss3d",
+                     "comma-separated dataset names (see bench_common.h)")
+      .DefineInt("n", 100000, "initial points per dataset")
+      .DefineDouble("eps", bench::kDefaultEps, "DBSCAN radius")
+      .DefineInt("min_pts", bench::kDefaultMinPts, "DBSCAN MinPts")
+      .DefineDouble("rho", bench::kDefaultRho, "approximation parameter")
+      .DefineDouble("update_ratio", 0.01,
+                    "updates per round as a fraction of n (half removals, "
+                    "half insertions)")
+      .DefineInt("rounds", 5, "number of update rounds")
+      .DefineString("out", "",
+                    "output JSON path (default out/BENCH_stream.json)")
+      .DefineString("metrics_json", "",
+                    "append one JSON metrics record per measured step "
+                    "(empty: off)");
+  bench::DefineThreadsFlag(flags);
+  bench::DefineKernelFlag(flags);
+  flags.Parse(argc, argv);
+  bench::ApplyKernelFlag(flags);
+  const size_t n = static_cast<size_t>(flags.GetInt("n"));
+  const int rounds = static_cast<int>(flags.GetInt("rounds"));
+  const double ratio = flags.GetDouble("update_ratio");
+  const double rho = flags.GetDouble("rho");
+  DbscanParams params{flags.GetDouble("eps"),
+                      static_cast<int>(flags.GetInt("min_pts")),
+                      bench::ThreadsFromFlags(flags)};
+  std::string out = flags.GetString("out");
+  if (out.empty()) out = bench::OutPath("BENCH_stream.json");
+  const std::string metrics_json = flags.GetString("metrics_json");
+
+  // The stream counters double as the benchmark's reorganization report, so
+  // metrics are always on here (both measured sides pay the same overhead).
+  obs::MetricsRegistry::SetEnabled(true);
+
+  const size_t half_batch = std::max<size_t>(1, static_cast<size_t>(
+                                                    ratio * double(n) / 2.0));
+  std::vector<Result> results;
+  Table table(
+      {"dataset", "round", "updates", "incr_ms", "scratch_ms", "speedup"});
+
+  auto emit_record = [&](const std::string& dataset, const char* step,
+                         size_t count, double total_ms) {
+    if (metrics_json.empty()) return;
+    obs::RunRecord rec;
+    rec.run = "micro_stream";
+    rec.dataset = dataset;
+    rec.algo = "stream";
+    rec.params = {{"step", step},
+                  {"n", std::to_string(count)},
+                  {"min_pts", std::to_string(params.min_pts)}};
+    rec.total_ms = total_ms;
+    rec.metrics = obs::MetricsRegistry::Global().Snapshot();
+    if (!obs::AppendJsonLine(metrics_json, rec)) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_json.c_str());
+      std::exit(1);
+    }
+  };
+
+  for (const std::string& name :
+       bench::SplitNames(flags.GetString("datasets"))) {
+    // One generator run provides both the initial load and every later
+    // insertion batch, so rounds draw from the same distribution.
+    const size_t total_points = n + half_batch * static_cast<size_t>(rounds);
+    const Dataset pool = bench::MakeBenchDataset(name, total_points, 1);
+    const int dim = pool.dim();
+
+    obs::MetricsRegistry::Global().Reset();
+    RegisterStreamCounters();
+    DynamicClusterer dyn(dim, params);
+    Dataset initial(dim);
+    initial.Reserve(n);
+    for (uint32_t id = 0; id < n; ++id) initial.Add(pool.point(id));
+    Timer load_timer;
+    dyn.Insert(initial);
+    dyn.Labels();
+    const double load_ms = load_timer.ElapsedSeconds() * 1000.0;
+    std::printf("%s: loaded %zu points in %.1f ms (%d clusters)\n",
+                name.c_str(), n, load_ms, dyn.Labels().num_clusters);
+    emit_record(name, "load", n, load_ms);
+
+    Rng rng(0xbe1l + dim);
+    size_t next_insert = n;
+    double incr_sum = 0.0;
+    double scratch_sum = 0.0;
+    uint64_t rebuilds_total = 0;
+    for (int round = 0; round < rounds; ++round) {
+      // Half the batch tombstones random survivors...
+      std::vector<uint32_t> alive;
+      alive.reserve(dyn.num_alive());
+      for (uint32_t id = 0; id < dyn.num_points(); ++id) {
+        if (dyn.alive(id)) alive.push_back(id);
+      }
+      std::vector<uint32_t> removals(half_batch);
+      for (size_t i = 0; i < half_batch; ++i) {
+        const size_t j = i + rng.NextBounded(alive.size() - i);
+        std::swap(alive[i], alive[j]);
+        removals[i] = alive[i];
+      }
+      // ...and the other half inserts fresh points from the pool.
+      Dataset batch(dim);
+      batch.Reserve(half_batch);
+      for (size_t i = 0; i < half_batch; ++i) {
+        batch.Add(pool.point(static_cast<uint32_t>(next_insert + i)));
+      }
+      next_insert += half_batch;
+
+      obs::MetricsRegistry::Global().Reset();
+      RegisterStreamCounters();
+      Timer incr_timer;
+      dyn.Remove(removals);
+      dyn.Insert(batch);
+      const Clustering& incremental = dyn.Labels();
+      const double incr_ms = incr_timer.ElapsedSeconds() * 1000.0;
+      const obs::MetricsSnapshot counters =
+          obs::MetricsRegistry::Global().Snapshot();
+      emit_record(name, "update", 2 * half_batch, incr_ms);
+
+      DynamicClusterer::SnapshotView snap = dyn.Snapshot();
+      obs::MetricsRegistry::Global().Reset();
+      Timer scratch_timer;
+      const Clustering scratch = ApproxDbscan(snap.points, params, rho);
+      const double scratch_ms = scratch_timer.ElapsedSeconds() * 1000.0;
+      if (scratch.label != snap.clustering.label ||
+          scratch.is_core != snap.clustering.is_core) {
+        std::fprintf(stderr,
+                     "FATAL: incremental clustering diverged from scratch "
+                     "(%s round %d)\n",
+                     name.c_str(), round);
+        return 1;
+      }
+      (void)incremental;
+
+      const double speedup = scratch_ms / incr_ms;
+      const uint64_t rebuilds = CounterOr0(counters, "stream.rebuilds");
+      rebuilds_total += rebuilds;
+      incr_sum += incr_ms;
+      scratch_sum += scratch_ms;
+      results.push_back({name, dim, n, round, 2 * half_batch, incr_ms,
+                         scratch_ms, speedup, rebuilds,
+                         CounterOr0(counters, "stream.cells_touched"),
+                         CounterOr0(counters, "stream.recompute_frontier")});
+      char round_label[16], updates_label[24];
+      std::snprintf(round_label, sizeof(round_label), "%d", round);
+      std::snprintf(updates_label, sizeof(updates_label), "%zu",
+                    2 * half_batch);
+      table.AddRow({name, round_label, updates_label,
+                    Table::Num(incr_ms, 2), Table::Num(scratch_ms, 2),
+                    Table::Num(speedup, 1)});
+    }
+    const double mean_speedup =
+        incr_sum > 0.0 ? scratch_sum / incr_sum : 0.0;
+    results.push_back({name, dim, n, -1,
+                       2 * half_batch * static_cast<size_t>(rounds),
+                       incr_sum / rounds, scratch_sum / rounds, mean_speedup,
+                       rebuilds_total, 0, 0});
+    table.AddRow({name, "mean", "-", Table::Num(incr_sum / rounds, 2),
+                  Table::Num(scratch_sum / rounds, 2),
+                  Table::Num(mean_speedup, 1)});
+  }
+
+  table.Print();
+  WriteJson(out, results);
+  return 0;
+}

@@ -13,6 +13,24 @@ UnionFind::UnionFind(uint32_t n) : parent_(n), size_(n, 1), num_sets_(n) {
   }
 }
 
+void UnionFind::Grow(uint32_t n) {
+  const uint32_t old = size();
+  if (n <= old) return;
+  // std::atomic is neither copyable nor movable, so growth swaps in a fresh
+  // parent array rather than resizing in place.
+  std::vector<std::atomic<uint32_t>> grown(n);
+  for (uint32_t i = 0; i < old; ++i) {
+    grown[i].store(parent_[i].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+  for (uint32_t i = old; i < n; ++i) {
+    grown[i].store(i, std::memory_order_relaxed);
+  }
+  parent_ = std::move(grown);
+  size_.resize(n, 1);
+  num_sets_.fetch_add(n - old, std::memory_order_relaxed);
+}
+
 uint32_t UnionFind::Find(uint32_t x) {
   ADB_DCHECK(x < parent_.size());
   ADB_COUNT("unionfind.finds", 1);

@@ -38,6 +38,12 @@ class UnionFind {
 
   uint32_t size() const { return static_cast<uint32_t>(parent_.size()); }
 
+  // Appends fresh singleton elements until size() == n; no-op when the
+  // structure is already that large. Existing sets are preserved. Must not
+  // overlap in time with any other operation (the parent array reallocates),
+  // which the dynamic clusterer guarantees by growing between batches.
+  void Grow(uint32_t n);
+
   // Representative of x's set. Sequential callers only.
   uint32_t Find(uint32_t x);
 

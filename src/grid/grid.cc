@@ -307,6 +307,26 @@ void Grid::WarmNeighborCache(double eps, int num_threads) const {
   warmed_ = true;
 }
 
+std::vector<uint32_t> Grid::CellsNearCoord(const CellCoord& cc,
+                                           double eps) const {
+  std::vector<uint32_t> out;
+  if (coords_.empty()) return out;
+  // Same candidate radius as ComputeNeighborsInto: centers of ε-neighbor
+  // cells lie within eps plus a full cell diameter of cc's center.
+  const double diam = side_ * std::sqrt(static_cast<double>(dim()));
+  const double radius = eps + diam + 1e-9 * side_;
+  double center[kMaxDim];
+  cc.Center(side_, center);
+  std::vector<uint32_t> candidates = center_tree_->RangeQuery(center, radius);
+  const Box my_box = cc.ToBox(side_);
+  out.reserve(candidates.size());
+  const double eps2 = eps * eps;
+  for (uint32_t cj : candidates) {
+    if (my_box.MinSquaredDistToBox(CellBoxOf(cj)) <= eps2) out.push_back(cj);
+  }
+  return out;
+}
+
 std::vector<uint32_t> Grid::CellsTouchingBall(const double* q,
                                               double eps) const {
   std::vector<uint32_t> out;

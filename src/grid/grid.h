@@ -136,6 +136,13 @@ class Grid {
   // of q.
   std::vector<uint32_t> CellsTouchingBall(const double* q, double eps) const;
 
+  // All non-empty cells whose extent is within eps (exact box-to-box
+  // distance) of the hyper-square at coordinates cc — the ε-neighbor set of
+  // a cell that need not be materialized in this grid. If cc itself is a
+  // cell of the grid, it is included (distance 0); callers filter it. Used
+  // by the dynamic clusterer to relate overlay cells to snapshot cells.
+  std::vector<uint32_t> CellsNearCoord(const CellCoord& cc, double eps) const;
+
   // Bytes held by the CSR representation (offsets, point ids, SoA begins,
   // hash slots, permuted SoA). 0 in legacy layout.
   size_t CsrBytes() const;

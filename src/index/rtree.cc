@@ -61,7 +61,7 @@ void RTree::BuildLeafSoa() {
     }
   }
   leaf_soa_ = simd::SoaBlock(*data_, layout.data(), layout.size());
-  leaf_soa_valid_ = true;
+  leaf_soa_sync_->valid.store(true, std::memory_order_release);
 }
 
 std::vector<uint32_t> RTree::PackLevel(std::vector<uint32_t> items,
@@ -402,7 +402,8 @@ uint32_t RTree::SplitNodeQuadratic(uint32_t node_idx) {
 
 void RTree::Insert(uint32_t id) {
   ++num_points_;
-  leaf_soa_valid_ = false;  // leaves are about to mutate; rebuilt on query
+  // Leaves are about to mutate; the block is rebuilt on the next query.
+  leaf_soa_sync_->valid.store(false, std::memory_order_relaxed);
   InsertImpl(id, options_.split == RTreeOptions::Split::kRStar &&
                      options_.reinsert_fraction > 0.0);
 }

@@ -1,7 +1,10 @@
 #ifndef ADBSCAN_INDEX_RTREE_H_
 #define ADBSCAN_INDEX_RTREE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "geom/box.h"
@@ -88,12 +91,17 @@ class RTree : public SpatialIndex {
   // it (EnsureLeafSoa). Results are unchanged either way: the kernels use
   // the same IEEE operations as the scalar loop they replaced.
   void BuildLeafSoa();
-  // Rebuild-on-next-query after Insert() invalidated the block. Rebuilding
-  // mutates cached state, so queries are not safe to run concurrently with
-  // the first query after an Insert (bulk-loaded trees are never
-  // invalidated and stay concurrency-safe).
+  // Rebuild-on-next-query after Insert() invalidated the block. Any number
+  // of queries may race here: the first through the mutex rebuilds, the
+  // rest wait, and once the flag is set (release store) the fast path reads
+  // the published block with an acquire load. Inserts themselves still must
+  // not overlap with queries — the usual container rule; this only makes
+  // concurrent READS safe, including the first ones after an Insert.
   void EnsureLeafSoa() const {
-    if (!leaf_soa_valid_) const_cast<RTree*>(this)->BuildLeafSoa();
+    if (leaf_soa_sync_->valid.load(std::memory_order_acquire)) return;
+    const std::lock_guard<std::mutex> lock(leaf_soa_sync_->rebuild_mutex);
+    if (leaf_soa_sync_->valid.load(std::memory_order_relaxed)) return;
+    const_cast<RTree*>(this)->BuildLeafSoa();
   }
   simd::SoaSpan LeafSpan(const Node& node) const {
     return leaf_soa_.span(node.soa_begin, node.entries.size());
@@ -122,7 +130,14 @@ class RTree : public SpatialIndex {
   uint32_t root_ = kInvalid;
   size_t num_points_ = 0;
   simd::SoaBlock leaf_soa_;
-  bool leaf_soa_valid_ = false;
+  // Held behind a unique_ptr so the tree stays movable (CreateEmpty returns
+  // by value; atomics and mutexes are neither copyable nor movable).
+  struct LeafSoaSync {
+    std::atomic<bool> valid{false};
+    std::mutex rebuild_mutex;
+  };
+  std::unique_ptr<LeafSoaSync> leaf_soa_sync_ =
+      std::make_unique<LeafSoaSync>();
 
   static constexpr uint32_t kInvalid = 0xffffffffu;
 };

@@ -1,0 +1,875 @@
+#include "stream/dynamic_clusterer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <unordered_set>
+#include <utility>
+
+#include "geom/box.h"
+#include "geom/kernels.h"
+#include "geom/point.h"
+#include "geom/soa.h"
+#include "grid/morton.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace adbscan {
+namespace {
+
+bool ContainsSorted(const std::vector<uint32_t>& v, uint32_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+void InsertSorted(std::vector<uint32_t>* v, uint32_t x) {
+  v->insert(std::lower_bound(v->begin(), v->end(), x), x);
+}
+
+void EraseSorted(std::vector<uint32_t>* v, uint32_t x) {
+  auto it = std::lower_bound(v->begin(), v->end(), x);
+  ADB_DCHECK(it != v->end() && *it == x);
+  v->erase(it);
+}
+
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+DynamicClusterer::DynamicClusterer(int dim, const DbscanParams& params,
+                                   const DynamicClustererOptions& options)
+    : dim_(dim),
+      params_(params),
+      opts_(options),
+      side_(Grid::SideFor(params.eps, dim)),
+      eps2_(params.eps * params.eps),
+      band_eps2_((1.0 + options.rho) * params.eps * (1.0 + options.rho) *
+                 params.eps),
+      min_pts_(static_cast<size_t>(params.min_pts)),
+      points_(dim),
+      uf_(std::make_unique<UnionFind>(0)) {
+  ADB_CHECK(dim >= 1 && dim <= kMaxDim);
+  ADB_CHECK(params.eps > 0.0);
+  ADB_CHECK(params.min_pts >= 1);
+  ADB_CHECK(opts_.rho > 0.0);
+  ADB_CHECK(opts_.rebuild_threshold > 0.0);
+  ADB_CHECK(opts_.recompute_frontier_limit >= 0.0);
+  // Register the stream counter schema up front so every exported record
+  // carries the same names even before the corresponding path first fires.
+  ADB_COUNT("stream.updates", 0);
+  ADB_COUNT("stream.inserts", 0);
+  ADB_COUNT("stream.removes", 0);
+  ADB_COUNT("stream.batches", 0);
+  ADB_COUNT("stream.cells_touched", 0);
+  ADB_COUNT("stream.rebuilds", 0);
+  ADB_COUNT("stream.recompute_frontier", 0);
+  ADB_COUNT("stream.frontier_fallbacks", 0);
+  ADB_COUNT("stream.edge_probes", 0);
+  ADB_COUNT("stream.counter_rebuilds", 0);
+}
+
+DynamicClusterer::~DynamicClusterer() = default;
+
+uint32_t DynamicClusterer::GetOrCreateCell(const CellCoord& cc) {
+  const uint32_t next_id = static_cast<uint32_t>(cells_.size());
+  auto [it, inserted] = cell_ids_.try_emplace(cc, next_id);
+  const uint32_t id = it->second;
+  if (inserted) {
+    cells_.emplace_back();
+    cells_.back().coord = cc;
+    cells_.back().in_overlay = true;
+    overlay_cells_.push_back(id);
+  } else if (!cells_[id].in_overlay && cells_[id].snap_cell == Grid::kNoCell) {
+    // The cell existed before, emptied out, and a compaction ran while it
+    // was empty (dropping it from both the snapshot and the overlay list).
+    // Now it is being refilled, so it must be reachable again.
+    cells_[id].in_overlay = true;
+    overlay_cells_.push_back(id);
+  }
+  return id;
+}
+
+void DynamicClusterer::TouchingCells(const double* q,
+                                     std::vector<uint32_t>* out) const {
+  out->clear();
+  if (snap_grid_) {
+    for (uint32_t sc : snap_grid_->CellsTouchingBall(q, params_.eps)) {
+      const uint32_t dc = snap_to_dyn_[sc];
+      if (!cells_[dc].members.empty()) out->push_back(dc);
+    }
+  }
+  auto consider = [&](uint32_t dc) {
+    if (cells_[dc].members.empty()) return;
+    if (cells_[dc].coord.ToBox(side_).MinSquaredDistToPoint(q) <= eps2_) {
+      out->push_back(dc);
+    }
+  };
+  if (overlay_tree_) {
+    // Same candidate radius as Grid::CellsTouchingBall, then the same exact
+    // box filter inside consider().
+    const double diam = side_ * std::sqrt(static_cast<double>(dim_));
+    const double radius = params_.eps + 0.5 * diam + 1e-9 * side_;
+    for (uint32_t row : overlay_tree_->RangeQuery(q, radius)) {
+      consider(overlay_cells_[row]);
+    }
+  }
+  for (size_t k = overlay_indexed_; k < overlay_cells_.size(); ++k) {
+    consider(overlay_cells_[k]);
+  }
+}
+
+void DynamicClusterer::NeighborCells(uint32_t ci,
+                                     std::vector<uint32_t>* out) const {
+  out->clear();
+  const Cell& cell = cells_[ci];
+  if (snap_grid_) {
+    if (cell.snap_cell != Grid::kNoCell) {
+      for (uint32_t sc :
+           snap_grid_->EpsNeighbors(cell.snap_cell, params_.eps)) {
+        const uint32_t dc = snap_to_dyn_[sc];
+        if (!cells_[dc].members.empty()) out->push_back(dc);
+      }
+    } else {
+      for (uint32_t sc : snap_grid_->CellsNearCoord(cell.coord, params_.eps)) {
+        const uint32_t dc = snap_to_dyn_[sc];
+        if (dc != ci && !cells_[dc].members.empty()) out->push_back(dc);
+      }
+    }
+  }
+  const Box my_box = cell.coord.ToBox(side_);
+  auto consider = [&](uint32_t dc) {
+    if (dc == ci || cells_[dc].members.empty()) return;
+    if (my_box.MinSquaredDistToBox(cells_[dc].coord.ToBox(side_)) <= eps2_) {
+      out->push_back(dc);
+    }
+  };
+  if (overlay_tree_) {
+    const double diam = side_ * std::sqrt(static_cast<double>(dim_));
+    const double radius = params_.eps + diam + 1e-9 * side_;
+    double center[kMaxDim];
+    cell.coord.Center(side_, center);
+    for (uint32_t row : overlay_tree_->RangeQuery(center, radius)) {
+      consider(overlay_cells_[row]);
+    }
+  }
+  for (size_t k = overlay_indexed_; k < overlay_cells_.size(); ++k) {
+    consider(overlay_cells_[k]);
+  }
+}
+
+bool DynamicClusterer::CellPrecedes(uint32_t a, uint32_t b) const {
+  if (opts_.layout == Grid::Layout::kCsr) {
+    return MortonLess(cells_[a].coord.c.data(), cells_[b].coord.c.data(),
+                      dim_);
+  }
+  // Legacy grids enumerate cells in first-encounter order over ascending
+  // point ids, i.e. by minimum surviving member id. Global ids are assigned
+  // in ascending order, so the order is preserved by compaction.
+  ADB_DCHECK(!cells_[a].members.empty() && !cells_[b].members.empty());
+  return cells_[a].members.front() < cells_[b].members.front();
+}
+
+void DynamicClusterer::EnsureCounter(uint32_t ci) {
+  Cell& cell = cells_[ci];
+  if (cell.counter != nullptr && cell.counter_version == cell.core_version) {
+    return;
+  }
+  // The structure depends only on the coordinate multiset of the core set
+  // (cells are origin-aligned), so building it over global ids answers
+  // queries identically to the from-scratch structure over compacted ids.
+  cell.counter = std::make_unique<ApproxRangeCounter>(points_, cell.core,
+                                                      params_.eps, opts_.rho);
+  cell.counter_version = cell.core_version;
+  ADB_COUNT("stream.counter_rebuilds", 1);
+}
+
+int DynamicClusterer::ExactEdgeCertificate(uint32_t a, uint32_t b) const {
+  // Distance evaluations allowed per pair before giving up on the exact
+  // scan. Intra-cluster neighbor cells hit within a handful of probes; the
+  // budget only matters for large, genuinely-far cell pairs, which fall
+  // back to the counter.
+  constexpr size_t kBudget = 4096;
+  const std::vector<uint32_t>& pa = cells_[a].core;
+  const std::vector<uint32_t>& pb = cells_[b].core;
+  size_t budget = kBudget;
+  bool marginal = false;
+  for (uint32_t p : pa) {
+    const double* pp = points_.point(p);
+    for (uint32_t q : pb) {
+      const double d2 = SquaredDistance(pp, points_.point(q), dim_);
+      if (d2 <= eps2_) return 1;
+      if (d2 <= band_eps2_) marginal = true;
+      if (--budget == 0) return -1;
+    }
+  }
+  return marginal ? -1 : 0;
+}
+
+bool DynamicClusterer::EdgeProbe(uint32_t a, uint32_t b) const {
+  // Replicates the from-scratch edge_test direction: the pipeline visits
+  // pairs (c1, c2) with c1 < c2 in core-cell index order — which is the
+  // grid's cell order — and probes c1's core points against c2's structure.
+  const uint32_t lo = CellPrecedes(a, b) ? a : b;
+  const uint32_t hi = lo == a ? b : a;
+  ADB_DCHECK(cells_[hi].counter != nullptr &&
+             cells_[hi].counter_version == cells_[hi].core_version);
+  const ApproxRangeCounter& counter = *cells_[hi].counter;
+  for (uint32_t p : cells_[lo].core) {
+    if (counter.QueryNonzero(points_.point(p))) return true;
+  }
+  return false;
+}
+
+void DynamicClusterer::MaybeCompact() {
+  const double threshold =
+      std::max(static_cast<double>(opts_.min_rebuild_ops),
+               opts_.rebuild_threshold * static_cast<double>(num_alive_));
+  if (static_cast<double>(ops_since_snapshot_) <= threshold) return;
+  Compact();
+}
+
+void DynamicClusterer::Compact() {
+  ADB_PHASE("stream.compact");
+  ADB_COUNT("stream.rebuilds", 1);
+  ops_since_snapshot_ = 0;
+  for (Cell& cell : cells_) {
+    cell.snap_cell = Grid::kNoCell;
+    cell.in_overlay = false;
+  }
+  overlay_cells_.clear();
+  overlay_tree_.reset();
+  overlay_centers_.reset();
+  overlay_indexed_ = 0;
+  if (num_alive_ == 0) {
+    snap_grid_.reset();
+    snap_data_.reset();
+    snap_to_dyn_.clear();
+    return;
+  }
+  auto data = std::make_unique<Dataset>(dim_);
+  data->Reserve(num_alive_);
+  for (uint32_t id = 0; id < points_.size(); ++id) {
+    if (alive_[id]) data->Add(points_.point(id));
+  }
+  auto grid = std::make_unique<Grid>(*data, side_, opts_.layout);
+  snap_to_dyn_.assign(grid->NumCells(), 0);
+  for (uint32_t sc = 0; sc < static_cast<uint32_t>(grid->NumCells()); ++sc) {
+    auto it = cell_ids_.find(grid->CellCoordOf(sc));
+    ADB_DCHECK(it != cell_ids_.end());
+    snap_to_dyn_[sc] = it->second;
+    cells_[it->second].snap_cell = sc;
+  }
+  // The old snapshot grid (if any) is destroyed after the new one exists, so
+  // the dataset a grid points at always outlives it.
+  snap_grid_ = std::move(grid);
+  snap_data_ = std::move(data);
+  if (params_.num_threads > 1) {
+    snap_grid_->WarmNeighborCache(params_.eps, params_.num_threads);
+  }
+}
+
+void DynamicClusterer::MaybeRebuildOverlayIndex() {
+  const size_t unindexed = overlay_cells_.size() - overlay_indexed_;
+  if (unindexed <= std::max<size_t>(64, overlay_indexed_ / 4)) return;
+  overlay_centers_ = std::make_unique<Dataset>(dim_);
+  overlay_centers_->Reserve(overlay_cells_.size());
+  double center[kMaxDim];
+  for (uint32_t dc : overlay_cells_) {
+    cells_[dc].coord.Center(side_, center);
+    overlay_centers_->Add(center);
+  }
+  overlay_tree_ = std::make_unique<KdTree>(*overlay_centers_);
+  overlay_indexed_ = overlay_cells_.size();
+}
+
+uint32_t DynamicClusterer::Insert(const Dataset& batch) {
+  ADB_CHECK(batch.dim() == dim_);
+  MaybeCompact();
+  const uint32_t first = static_cast<uint32_t>(points_.size());
+  const size_t bn = batch.size();
+  if (bn == 0) return first;
+  ADB_PHASE("stream.insert");
+  ADB_COUNT("stream.batches", 1);
+  ADB_COUNT("stream.updates", bn);
+  ADB_COUNT("stream.inserts", bn);
+  labels_valid_ = false;
+
+  points_.Reserve(points_.size() + bn);
+  for (size_t i = 0; i < bn; ++i) {
+    const uint32_t id = points_.Add(batch.point(i));
+    alive_.push_back(1);
+    count_.push_back(0);
+    is_core_.push_back(0);
+    const uint32_t dc =
+        GetOrCreateCell(CellCoord::Of(batch.point(i), dim_, side_));
+    cells_[dc].members.push_back(id);  // ids are assigned ascending
+    cell_of_.push_back(dc);
+  }
+  num_alive_ += bn;
+
+  // Cells whose members may gain neighbors: everything intersecting
+  // B(p, ε) for each new point p. Read-only against the cell table, so the
+  // enumeration fans out over the task pool.
+  std::vector<std::vector<uint32_t>> touch(bn);
+  ParallelFor(bn, params_.num_threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      TouchingCells(points_.point(first + static_cast<uint32_t>(i)),
+                    &touch[i]);
+    }
+  });
+  size_t touched_total = 0;
+  for (const auto& t : touch) touched_total += t.size();
+  ADB_COUNT("stream.cells_touched", touched_total);
+
+  // Invert to per-cell work so the count updates write disjoint slots (a
+  // point's count is only ever written by its own cell's work item). Batch
+  // indices stay ascending per cell, and the member scan stops at ids >= p:
+  // each unordered pair is counted exactly once, from its larger id.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> by_cell;
+  for (size_t i = 0; i < bn; ++i) {
+    for (uint32_t dc : touch[i]) {
+      by_cell[dc].push_back(static_cast<uint32_t>(i));
+    }
+  }
+  std::vector<std::pair<uint32_t, std::vector<uint32_t>>> cell_work;
+  cell_work.reserve(by_cell.size());
+  for (auto& entry : by_cell) {
+    cell_work.emplace_back(entry.first, std::move(entry.second));
+  }
+  std::vector<size_t> offset(cell_work.size() + 1, 0);
+  for (size_t k = 0; k < cell_work.size(); ++k) {
+    offset[k + 1] = offset[k] + cell_work[k].second.size();
+  }
+  std::vector<uint32_t> gained(offset.back(), 0);
+
+  ParallelFor(cell_work.size(), params_.num_threads,
+              [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      const uint32_t dc = cell_work[k].first;
+      const Cell& cell = cells_[dc];
+      const Box box = cell.coord.ToBox(side_);
+      for (size_t j = 0; j < cell_work[k].second.size(); ++j) {
+        const uint32_t pid = first + cell_work[k].second[j];
+        const double* p = points_.point(pid);
+        // Same-cell pairs count unconditionally (the pipeline's
+        // count = pts.size() rule); a box fully inside B(p, ε) counts
+        // whole; both shortcuts are FP-monotone consistent with the
+        // per-point predicate, so the effective pair relation is exactly
+        // the one the from-scratch labeling evaluates.
+        const bool own = cell_of_[pid] == dc;
+        const bool full = !own && box.MaxSquaredDistToPoint(p) <= eps2_;
+        uint32_t g = 0;
+        for (uint32_t q : cell.members) {
+          if (q >= pid) break;
+          if (own || full ||
+              SquaredDistance(p, points_.point(q), dim_) <= eps2_) {
+            ++count_[q];
+            ++g;
+          }
+        }
+        gained[offset[k] + j] = g;
+      }
+    }
+  });
+  for (size_t k = 0; k < cell_work.size(); ++k) {
+    for (size_t j = 0; j < cell_work[k].second.size(); ++j) {
+      count_[first + cell_work[k].second[j]] += gained[offset[k] + j];
+    }
+  }
+  for (size_t i = 0; i < bn; ++i) {
+    count_[first + i] += 1;  // a point is its own ε-neighbor
+  }
+
+  std::vector<uint32_t> touched;
+  touched.reserve(cell_work.size());
+  for (const auto& entry : cell_work) touched.push_back(entry.first);
+  std::sort(touched.begin(), touched.end());
+
+  ops_since_snapshot_ += bn;
+  Refresh(std::move(touched), {}, {});
+  MaybeRebuildOverlayIndex();
+  return first;
+}
+
+void DynamicClusterer::Remove(const std::vector<uint32_t>& ids) {
+  if (ids.empty()) return;
+  MaybeCompact();
+  ADB_PHASE("stream.remove");
+  ADB_COUNT("stream.batches", 1);
+  ADB_COUNT("stream.updates", ids.size());
+  ADB_COUNT("stream.removes", ids.size());
+  labels_valid_ = false;
+
+  std::vector<uint32_t> forced_core_dirty;
+  std::vector<uint32_t> order_dirty;
+  std::vector<uint32_t> removal_cells;
+  for (uint32_t id : ids) {
+    ADB_CHECK(id < points_.size());
+    ADB_CHECK_MSG(alive_[id] != 0, "Remove: id is dead or duplicated");
+    const uint32_t dc = cell_of_[id];
+    Cell& cell = cells_[dc];
+    if (opts_.layout == Grid::Layout::kLegacy && cell.members.front() == id &&
+        cell.members.size() > 1) {
+      // The cell's first-encounter order key changes, which can flip the
+      // edge-probe direction of its pairs under the legacy layout.
+      order_dirty.push_back(dc);
+    }
+    EraseSorted(&cell.members, id);
+    alive_[id] = 0;
+    count_[id] = 0;
+    if (is_core_[id]) {
+      is_core_[id] = 0;
+      forced_core_dirty.push_back(dc);
+    }
+    removal_cells.push_back(dc);
+  }
+  num_alive_ -= ids.size();
+
+  // Tombstoned first, decremented second: pairs between two removed points
+  // never touch a surviving count, and every (removed, surviving) pair
+  // decrements the survivor exactly once.
+  const size_t bn = ids.size();
+  std::vector<std::vector<uint32_t>> touch(bn);
+  ParallelFor(bn, params_.num_threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      TouchingCells(points_.point(ids[i]), &touch[i]);
+    }
+  });
+  size_t touched_total = 0;
+  for (const auto& t : touch) touched_total += t.size();
+  ADB_COUNT("stream.cells_touched", touched_total);
+
+  std::unordered_map<uint32_t, std::vector<uint32_t>> by_cell;
+  for (size_t i = 0; i < bn; ++i) {
+    for (uint32_t dc : touch[i]) {
+      by_cell[dc].push_back(static_cast<uint32_t>(i));
+    }
+  }
+  std::vector<std::pair<uint32_t, std::vector<uint32_t>>> cell_work;
+  cell_work.reserve(by_cell.size());
+  for (auto& entry : by_cell) {
+    cell_work.emplace_back(entry.first, std::move(entry.second));
+  }
+  ParallelFor(cell_work.size(), params_.num_threads,
+              [&](size_t begin, size_t end) {
+    std::vector<uint32_t> others;
+    for (size_t k = begin; k < end; ++k) {
+      const uint32_t dc = cell_work[k].first;
+      const Cell& cell = cells_[dc];
+      // Same-cell pairs count unconditionally (the pipeline's own-cell
+      // rule); the rest are plain ε tests, symmetric in IEEE, so counting
+      // dead points around each survivor decrements exactly the pairs the
+      // insert path incremented.
+      uint32_t own_count = 0;
+      others.clear();
+      for (uint32_t i : cell_work[k].second) {
+        const uint32_t pid = ids[i];
+        if (cell_of_[pid] == dc) {
+          ++own_count;
+        } else {
+          others.push_back(pid);
+        }
+      }
+      if (others.size() >= 2 * simd::kLaneWidth) {
+        const simd::SoaBlock dead(points_, others.data(), others.size());
+        const simd::SoaSpan span = dead.span();
+        for (uint32_t q : cell.members) {
+          const uint32_t dec =
+              own_count + static_cast<uint32_t>(CountWithin(
+                              points_.point(q), span, eps2_, SIZE_MAX));
+          if (dec != 0) count_[q] -= dec;
+        }
+      } else {
+        for (uint32_t q : cell.members) {
+          const double* pq = points_.point(q);
+          uint32_t dec = own_count;
+          for (uint32_t pid : others) {
+            if (SquaredDistance(pq, points_.point(pid), dim_) <= eps2_) {
+              ++dec;
+            }
+          }
+          if (dec != 0) count_[q] -= dec;
+        }
+      }
+    }
+  });
+
+  std::vector<uint32_t> touched;
+  touched.reserve(cell_work.size() + removal_cells.size());
+  for (const auto& entry : cell_work) touched.push_back(entry.first);
+  // A removed point's own cell may have become empty (and so absent from
+  // every touch list), but its core vector still needs the fixup pass.
+  touched.insert(touched.end(), removal_cells.begin(), removal_cells.end());
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  ops_since_snapshot_ += bn;
+  Refresh(std::move(touched), forced_core_dirty, order_dirty);
+  MaybeRebuildOverlayIndex();
+}
+
+void DynamicClusterer::Refresh(std::vector<uint32_t> touched,
+                               const std::vector<uint32_t>& forced_core_dirty,
+                               const std::vector<uint32_t>& order_dirty) {
+  ADB_PHASE("stream.refresh");
+
+  // Core flag flips. Each work item writes only its own cell's members'
+  // flags — a point belongs to exactly one cell — so the scan fans out.
+  std::vector<char> flipped(touched.size(), 0);
+  ParallelFor(touched.size(), params_.num_threads,
+              [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      bool any = false;
+      for (uint32_t q : cells_[touched[k]].members) {
+        const char now_core = count_[q] >= min_pts_ ? 1 : 0;
+        if (now_core != is_core_[q]) {
+          is_core_[q] = now_core;
+          any = true;
+        }
+      }
+      flipped[k] = any;
+    }
+  });
+
+  // Rebuild core vectors where a flag flipped or a core member left.
+  std::vector<uint32_t> candidates;
+  for (size_t k = 0; k < touched.size(); ++k) {
+    if (flipped[k]) candidates.push_back(touched[k]);
+  }
+  candidates.insert(candidates.end(), forced_core_dirty.begin(),
+                    forced_core_dirty.end());
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<std::vector<uint32_t>> new_core(candidates.size());
+  std::vector<char> core_changed(candidates.size(), 0);
+  ParallelFor(candidates.size(), params_.num_threads,
+              [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      const Cell& cell = cells_[candidates[k]];
+      for (uint32_t q : cell.members) {
+        if (is_core_[q]) new_core[k].push_back(q);
+      }
+      core_changed[k] = new_core[k] != cell.core ? 1 : 0;
+    }
+  });
+
+  // The edge-dirty set: cells whose core set changed (their pairs must be
+  // re-certified) plus cells whose legacy order key changed (their pairs'
+  // probe direction may have flipped).
+  std::vector<uint32_t> dirty;
+  std::vector<char> dirty_was_core;
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    if (!core_changed[k]) continue;
+    Cell& cell = cells_[candidates[k]];
+    dirty.push_back(candidates[k]);
+    dirty_was_core.push_back(cell.core.empty() ? 0 : 1);
+    cell.core = std::move(new_core[k]);
+    ++cell.core_version;
+  }
+  for (uint32_t dc : order_dirty) {
+    if (std::find(dirty.begin(), dirty.end(), dc) != dirty.end()) continue;
+    dirty.push_back(dc);
+    dirty_was_core.push_back(cells_[dc].core.empty() ? 0 : 1);
+  }
+
+  uf_->Grow(static_cast<uint32_t>(cells_.size()));
+  if (dirty.empty()) return;
+
+  // Cells that ceased to be core retract all their edges.
+  bool edge_removed = false;
+  std::vector<std::pair<uint32_t, uint32_t>> removed_edges;
+  std::vector<std::pair<uint32_t, uint32_t>> added_edges;
+  for (size_t k = 0; k < dirty.size(); ++k) {
+    Cell& cell = cells_[dirty[k]];
+    if (!cell.core.empty() || !dirty_was_core[k]) continue;
+    for (uint32_t other : cell.adj) {
+      EraseSorted(&cells_[other].adj, dirty[k]);
+      removed_edges.emplace_back(dirty[k], other);
+      edge_removed = true;
+    }
+    cell.adj.clear();
+  }
+
+  // Re-probe every pair incident to a still-core dirty cell. A certified
+  // edge only ever exists between geometric ε-neighbor cells, so the
+  // neighbor enumeration covers every stale adjacency entry too.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  std::unordered_set<uint64_t> pair_seen;
+  std::vector<uint32_t> nbr;
+  for (uint32_t dc : dirty) {
+    if (cells_[dc].core.empty()) continue;
+    NeighborCells(dc, &nbr);
+    for (uint32_t other : nbr) {
+      if (cells_[other].core.empty()) continue;
+      if (pair_seen.insert(PairKey(dc, other)).second) {
+        pairs.emplace_back(std::min(dc, other), std::max(dc, other));
+      }
+    }
+  }
+  ADB_COUNT("stream.edge_probes", pairs.size());
+
+  // Most pairs are decided by the exact certificate; only pairs landing
+  // inside the approximation band (or too large to scan) pay for a Lemma 5
+  // structure rebuild.
+  std::vector<char> has_edge(pairs.size(), 0);
+  std::vector<uint32_t> undecided;
+  {
+    ADB_PHASE("stream.refresh.certify");
+    std::vector<signed char> cert(pairs.size(), -1);
+    ParallelFor(pairs.size(), params_.num_threads,
+                [&](size_t begin, size_t end) {
+      for (size_t k = begin; k < end; ++k) {
+        cert[k] = static_cast<signed char>(
+            ExactEdgeCertificate(pairs[k].first, pairs[k].second));
+      }
+    });
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      if (cert[k] < 0) {
+        undecided.push_back(static_cast<uint32_t>(k));
+      } else {
+        has_edge[k] = static_cast<char>(cert[k]);
+      }
+    }
+  }
+  if (!undecided.empty()) {
+    // Fresh Lemma 5 structures for every undecided probe target, rebuilt in
+    // parallel (each work item owns one cell).
+    ADB_PHASE("stream.refresh.counters");
+    std::vector<uint32_t> need_counter;
+    need_counter.reserve(undecided.size());
+    for (uint32_t k : undecided) {
+      const auto [a, b] = pairs[k];
+      need_counter.push_back(CellPrecedes(a, b) ? b : a);
+    }
+    std::sort(need_counter.begin(), need_counter.end());
+    need_counter.erase(std::unique(need_counter.begin(), need_counter.end()),
+                       need_counter.end());
+    ParallelFor(need_counter.size(), params_.num_threads,
+                [&](size_t begin, size_t end) {
+      for (size_t k = begin; k < end; ++k) EnsureCounter(need_counter[k]);
+    });
+    ParallelFor(undecided.size(), params_.num_threads,
+                [&](size_t begin, size_t end) {
+      for (size_t k = begin; k < end; ++k) {
+        const uint32_t pk = undecided[k];
+        has_edge[pk] =
+            EdgeProbe(pairs[pk].first, pairs[pk].second) ? 1 : 0;
+      }
+    });
+  }
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    const auto [a, b] = pairs[k];
+    const bool had = ContainsSorted(cells_[a].adj, b);
+    if (has_edge[k] && !had) {
+      InsertSorted(&cells_[a].adj, b);
+      InsertSorted(&cells_[b].adj, a);
+      added_edges.emplace_back(a, b);
+    } else if (!has_edge[k] && had) {
+      EraseSorted(&cells_[a].adj, b);
+      EraseSorted(&cells_[b].adj, a);
+      removed_edges.emplace_back(a, b);
+      edge_removed = true;
+    }
+  }
+
+  if (!edge_removed) {
+    // Pure growth (every insertion batch lands here: core sets only grow,
+    // probes are monotone, and Morton order is static): the union-find
+    // absorbs the new edges in place and components can only merge.
+    for (const auto& [a, b] : added_edges) uf_->Union(a, b);
+    ADB_COUNT("stream.recompute_frontier", dirty.size());
+    return;
+  }
+
+  ADB_PHASE("stream.refresh.uf");
+  // Localized component recompute. The affected component set is closed:
+  // every changed edge is incident to a dirty cell, and every unchanged
+  // edge stays inside its old component, so components that contain no
+  // dirty cell and no changed-edge endpoint are untouched and can be
+  // re-seeded wholesale from their old root.
+  std::unordered_set<uint32_t> affected;
+  for (size_t k = 0; k < dirty.size(); ++k) {
+    if (dirty_was_core[k]) affected.insert(uf_->Find(dirty[k]));
+    if (!cells_[dirty[k]].core.empty()) affected.insert(uf_->Find(dirty[k]));
+  }
+  for (const auto& [a, b] : removed_edges) {
+    affected.insert(uf_->Find(a));
+    affected.insert(uf_->Find(b));
+  }
+  for (const auto& [a, b] : added_edges) {
+    affected.insert(uf_->Find(a));
+    affected.insert(uf_->Find(b));
+  }
+  std::vector<uint32_t> collect;
+  std::vector<std::pair<uint32_t, uint32_t>> keep;  // (cell, old root)
+  size_t num_core_cells = 0;
+  for (uint32_t dc = 0; dc < static_cast<uint32_t>(cells_.size()); ++dc) {
+    if (cells_[dc].core.empty()) continue;
+    ++num_core_cells;
+    const uint32_t root = uf_->Find(dc);
+    if (affected.count(root) != 0) {
+      collect.push_back(dc);
+    } else {
+      keep.emplace_back(dc, root);
+    }
+  }
+  if (static_cast<double>(collect.size()) >
+      opts_.recompute_frontier_limit * static_cast<double>(num_core_cells)) {
+    // Past the threshold the bookkeeping costs more than it saves: rebuild
+    // the components of every core cell from the maintained adjacency.
+    ADB_COUNT("stream.frontier_fallbacks", 1);
+    collect.clear();
+    keep.clear();
+    for (uint32_t dc = 0; dc < static_cast<uint32_t>(cells_.size()); ++dc) {
+      if (!cells_[dc].core.empty()) collect.push_back(dc);
+    }
+  }
+  ADB_COUNT("stream.recompute_frontier", collect.size());
+  auto fresh = std::make_unique<UnionFind>(static_cast<uint32_t>(cells_.size()));
+  for (const auto& [dc, root] : keep) fresh->Union(dc, root);
+  for (uint32_t dc : collect) {
+    for (uint32_t other : cells_[dc].adj) fresh->Union(dc, other);
+  }
+  uf_ = std::move(fresh);
+}
+
+const Clustering& DynamicClusterer::Labels() {
+  if (labels_valid_) return labels_;
+  ADB_PHASE("stream.labels");
+  const size_t n = points_.size();
+  labels_ = Clustering{};
+  labels_.label.assign(n, kNoise);
+  labels_.is_core.assign(n, 0);
+  uf_->Grow(static_cast<uint32_t>(cells_.size()));
+
+  // Cluster numbering by first core point in ascending id order — the exact
+  // rule of the from-scratch pipeline, preserved under compaction because
+  // tombstoning keeps the relative id order of survivors.
+  std::vector<int32_t> root_cluster(cells_.size(), kNoise);
+  int32_t next_cluster = 0;
+  for (uint32_t id = 0; id < static_cast<uint32_t>(n); ++id) {
+    if (!alive_[id] || !is_core_[id]) continue;
+    labels_.is_core[id] = 1;
+    const uint32_t root = uf_->Find(cell_of_[id]);
+    int32_t& cluster = root_cluster[root];
+    if (cluster == kNoise) cluster = next_cluster++;
+    labels_.label[id] = cluster;
+  }
+  labels_.num_clusters = next_cluster;
+  if (next_cluster == 0) {
+    labels_valid_ = true;
+    return labels_;
+  }
+
+  // Border assignment, mirroring core/border.cc over the dynamic cell
+  // table: candidate core cells are the point's own cell plus its
+  // ε-neighbors; a box fully outside ε contributes nothing, fully inside
+  // hits without a distance evaluation, and the boundary shell scans the
+  // candidate's core points with the scalar early-exit loop.
+  std::vector<int32_t> cell_cluster(cells_.size(), kNoise);
+  for (uint32_t dc = 0; dc < static_cast<uint32_t>(cells_.size()); ++dc) {
+    if (!cells_[dc].core.empty()) {
+      cell_cluster[dc] = root_cluster[uf_->Find(dc)];
+    }
+  }
+  if (params_.num_threads > 1 && snap_grid_) {
+    snap_grid_->WarmNeighborCache(params_.eps, params_.num_threads);
+  }
+  std::mutex extras_mutex;
+  ParallelFor(cells_.size(), params_.num_threads,
+              [&](size_t begin, size_t end) {
+    std::vector<int32_t> memberships;
+    std::vector<uint32_t> nbr;
+    std::vector<uint32_t> cand;
+    std::vector<Box> cand_box;
+    std::vector<std::pair<uint32_t, int32_t>> local_extras;
+    for (uint32_t dc = static_cast<uint32_t>(begin); dc < end; ++dc) {
+      const Cell& cell = cells_[dc];
+      // core is a subset of members, so equal sizes == no non-core member.
+      if (cell.members.size() == cell.core.size()) continue;
+      NeighborCells(dc, &nbr);
+      cand.clear();
+      cand_box.clear();
+      auto add_candidate = [&](uint32_t other) {
+        if (cells_[other].core.empty()) return;
+        cand.push_back(other);
+        cand_box.push_back(cells_[other].coord.ToBox(side_));
+      };
+      for (uint32_t other : nbr) add_candidate(other);
+      add_candidate(dc);
+      if (cand.empty()) continue;
+      for (uint32_t id : cell.members) {
+        if (is_core_[id]) continue;
+        const double* q = points_.point(id);
+        memberships.clear();
+        for (size_t k = 0; k < cand.size(); ++k) {
+          const int32_t cluster = cell_cluster[cand[k]];
+          // A cluster already collected needs no second witness.
+          if (std::find(memberships.begin(), memberships.end(), cluster) !=
+              memberships.end()) {
+            continue;
+          }
+          if (cand_box[k].MinSquaredDistToPoint(q) > eps2_) continue;
+          bool hit = cand_box[k].MaxSquaredDistToPoint(q) <= eps2_;
+          if (!hit) {
+            for (uint32_t core_id : cells_[cand[k]].core) {
+              if (SquaredDistance(q, points_.point(core_id), dim_) <= eps2_) {
+                hit = true;
+                break;
+              }
+            }
+          }
+          if (hit) memberships.push_back(cluster);
+        }
+        if (memberships.empty()) continue;
+        std::sort(memberships.begin(), memberships.end());
+        labels_.label[id] = memberships.front();
+        for (size_t k = 1; k < memberships.size(); ++k) {
+          local_extras.emplace_back(id, memberships[k]);
+        }
+      }
+    }
+    if (!local_extras.empty()) {
+      const std::lock_guard<std::mutex> lock(extras_mutex);
+      labels_.extra_memberships.insert(labels_.extra_memberships.end(),
+                                       local_extras.begin(),
+                                       local_extras.end());
+    }
+  });
+  std::sort(labels_.extra_memberships.begin(), labels_.extra_memberships.end());
+  labels_valid_ = true;
+  return labels_;
+}
+
+DynamicClusterer::SnapshotView DynamicClusterer::Snapshot() {
+  SnapshotView view(dim_);
+  const Clustering& all = Labels();
+  view.ids.reserve(num_alive_);
+  view.points.Reserve(num_alive_);
+  std::vector<uint32_t> compact(points_.size(), 0);
+  for (uint32_t id = 0; id < static_cast<uint32_t>(points_.size()); ++id) {
+    if (!alive_[id]) continue;
+    compact[id] = static_cast<uint32_t>(view.ids.size());
+    view.ids.push_back(id);
+    view.points.Add(points_.point(id));
+  }
+  view.clustering.num_clusters = all.num_clusters;
+  view.clustering.label.resize(view.ids.size());
+  view.clustering.is_core.resize(view.ids.size());
+  for (size_t i = 0; i < view.ids.size(); ++i) {
+    view.clustering.label[i] = all.label[view.ids[i]];
+    view.clustering.is_core[i] = all.is_core[view.ids[i]];
+  }
+  view.clustering.extra_memberships.reserve(all.extra_memberships.size());
+  for (const auto& [gid, cluster] : all.extra_memberships) {
+    // Sorted order survives the remap: compaction is monotone in id.
+    view.clustering.extra_memberships.emplace_back(compact[gid], cluster);
+  }
+  return view;
+}
+
+}  // namespace adbscan

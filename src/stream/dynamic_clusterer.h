@@ -1,0 +1,222 @@
+#ifndef ADBSCAN_STREAM_DYNAMIC_CLUSTERER_H_
+#define ADBSCAN_STREAM_DYNAMIC_CLUSTERER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dbscan_types.h"
+#include "ds/union_find.h"
+#include "geom/dataset.h"
+#include "grid/cell.h"
+#include "grid/grid.h"
+#include "index/kdtree.h"
+#include "rangecount/approx_range_counter.h"
+
+namespace adbscan {
+
+// Tuning knobs of the incremental maintenance. The defaults keep every
+// supported workload correct; they only trade update latency against the
+// cost of the periodic reorganizations.
+struct DynamicClustererOptions {
+  // Approximation parameter of the maintained clustering (Theorem 4 / the
+  // Lemma 5 counting structures), identical in meaning to the rho argument
+  // of ApproxDbscan.
+  double rho = 0.001;
+
+  // Grid layout of the compacted snapshot. Also selects the edge-probe
+  // direction convention so that Labels() is bit-identical to a from-scratch
+  // ApproxDbscan run under the same layout: kCsr orders cells by Morton
+  // code, kLegacy by first-encounter (= minimum surviving member id).
+  Grid::Layout layout = Grid::Layout::kCsr;
+
+  // Snapshot rebuild threshold: when the number of applied updates since the
+  // last compaction exceeds this fraction of the surviving points, the next
+  // batch first compacts the overlay into a fresh Morton/CSR snapshot
+  // (counted by stream.rebuilds).
+  double rebuild_threshold = 0.25;
+
+  // Localized-recompute threshold: when a deletion batch would have to
+  // revisit more than this fraction of the core cells to re-derive the
+  // affected components, fall back to one full component rebuild instead
+  // (counted by stream.frontier_fallbacks).
+  double recompute_frontier_limit = 0.5;
+
+  // Floor (in applied updates) under which rebuild_threshold never
+  // triggers, so tiny collections are not compacted on every batch.
+  size_t min_rebuild_ops = 64;
+};
+
+// Incremental ρ-approximate DBSCAN (the Theorem 4 pipeline) under point
+// insertions and tombstone deletions.
+//
+// Contract: after any interleaving of Insert/Remove batches, Labels() — and
+// therefore Snapshot().clustering — is IDENTICAL (bit-for-bit: labels,
+// core flags, extra memberships, cluster numbering) to a from-scratch
+// ApproxDbscan run over the surviving points with the same eps / MinPts /
+// rho / layout, for every thread count. This works because every quantity
+// the pipeline derives is a deterministic function of the surviving
+// coordinate multiset:
+//
+//  - Exact core status depends only on the ε-neighborhood count, and the
+//    pipeline's per-cell box shortcuts are FP-monotone consistent with the
+//    per-point predicate d²(p,q) <= eps², so maintaining exact counts under
+//    commutative increments reproduces the flags.
+//  - The Lemma 5 range-count structures depend only on coordinates (cells
+//    are origin-aligned), so an edge probe gives the same answer whether the
+//    structure was built over global or compacted ids. Probe direction (the
+//    lower-ordered cell probes its core points against the higher-ordered
+//    cell's structure) is replicated per layout.
+//  - Connected components of the certified edge relation, cluster numbering
+//    by first core point in ascending id order, and the border predicates
+//    are all id-order preserving under tombstone compaction.
+//
+// Structure: an append-only point log with an alive bitmap; a coordinate-
+// keyed dynamic cell table acting as a mutable overlay over a compacted
+// Morton/CSR Grid snapshot (rebuilt past rebuild_threshold); per-core-cell
+// ApproxRangeCounter structures rebuilt lazily by version; an explicit
+// core-cell adjacency maintained through the concurrent union-find for
+// edge additions and a bounded localized component recompute for deletions.
+// Batches are routed through the task pool (ParallelFor) in every
+// order-insensitive phase. Only exact core counting is supported (the
+// ApproxDbscanOptions default).
+//
+// Not thread-safe: one mutator at a time, like any container.
+class DynamicClusterer {
+ public:
+  DynamicClusterer(int dim, const DbscanParams& params,
+                   const DynamicClustererOptions& options = {});
+  ~DynamicClusterer();
+
+  DynamicClusterer(const DynamicClusterer&) = delete;
+  DynamicClusterer& operator=(const DynamicClusterer&) = delete;
+
+  // Appends every point of `batch` (batch.dim() must match) and returns the
+  // id assigned to the first one; ids are dense, ascending, and never
+  // recycled. O(batch · ε-shell) plus amortized reorganization.
+  uint32_t Insert(const Dataset& batch);
+
+  // Tombstones the given ids, which must be alive and distinct. The points'
+  // coordinates remain addressable (point ids are stable) but they no
+  // longer participate in the clustering.
+  void Remove(const std::vector<uint32_t>& ids);
+
+  int dim() const { return dim_; }
+  const DbscanParams& params() const { return params_; }
+  const DynamicClustererOptions& options() const { return opts_; }
+  size_t num_points() const { return points_.size(); }
+  size_t num_alive() const { return num_alive_; }
+  bool alive(uint32_t id) const { return alive_[id] != 0; }
+  const double* point(uint32_t id) const { return points_.point(id); }
+
+  // The maintained clustering over the GLOBAL id space [0, num_points()):
+  // dead points are noise and not core. Valid until the next Insert/Remove.
+  const Clustering& Labels();
+
+  // The surviving points compacted to dense ids (ascending global order)
+  // plus the clustering re-indexed to match — directly comparable to
+  // ApproxDbscan(points, params, rho) on the same layout.
+  struct SnapshotView {
+    std::vector<uint32_t> ids;  // surviving global ids, ascending
+    Dataset points;             // row i = point(ids[i])
+    Clustering clustering;      // over compacted indices
+    explicit SnapshotView(int dim) : points(dim) {}
+  };
+  SnapshotView Snapshot();
+
+ private:
+  struct Cell {
+    CellCoord coord;
+    std::vector<uint32_t> members;  // alive ids, ascending
+    std::vector<uint32_t> core;     // alive core ids, ascending
+    uint64_t core_version = 0;
+    uint64_t counter_version = ~uint64_t{0};  // version counter was built at
+    std::unique_ptr<ApproxRangeCounter> counter;
+    std::vector<uint32_t> adj;  // certified edges to other core cells, sorted
+    uint32_t snap_cell = Grid::kNoCell;  // index in snap_grid_, if any
+    bool in_overlay = false;
+  };
+
+  uint32_t GetOrCreateCell(const CellCoord& cc);
+  // Non-empty cells whose extent intersects B(q, eps): snapshot cells via
+  // the snapshot's center tree, overlay cells by exact box filter.
+  void TouchingCells(const double* q, std::vector<uint32_t>* out) const;
+  // Non-empty cells other than ci whose extent is within eps of ci's
+  // extent (the ε-neighbor cells a from-scratch grid would enumerate).
+  void NeighborCells(uint32_t ci, std::vector<uint32_t>* out) const;
+  // True when cell a precedes cell b in the order the selected grid layout
+  // would enumerate them (Morton for kCsr, min member id for kLegacy) —
+  // which fixes the edge-probe direction.
+  bool CellPrecedes(uint32_t a, uint32_t b) const;
+  // Rebuilds ci's counter if its core set changed since the last build.
+  void EnsureCounter(uint32_t ci);
+  // Probes the pair exactly like the from-scratch edge_test hook. Requires
+  // the probe target's counter to be fresh (EnsureCounter).
+  bool EdgeProbe(uint32_t a, uint32_t b) const;
+  // Decides the (a, b) edge by exact geometry when that is conclusive:
+  // returns 1 (some core pair within eps — the counter probe cannot miss
+  // it), 0 (a completed scan found no core pair within (1+rho)*eps — the
+  // counter probe cannot count one), or -1 (a pair landed inside the
+  // approximation band, or the scan ran over budget: only the real counter
+  // reproduces the from-scratch decision). Lets most probes skip the
+  // counter rebuild entirely.
+  int ExactEdgeCertificate(uint32_t a, uint32_t b) const;
+
+  void MaybeCompact();
+  void Compact();
+  void MaybeRebuildOverlayIndex();
+
+  // Re-derives core flags, core sets, counters, adjacency, and components
+  // after a batch touched `touched_cells` (cells whose members' counts may
+  // have changed). `forced_core_dirty` cells rebuild their core vector even
+  // without a flag flip (a core member was tombstoned); `order_dirty` cells
+  // re-probe their pairs because their legacy order key changed.
+  void Refresh(std::vector<uint32_t> touched_cells,
+               const std::vector<uint32_t>& forced_core_dirty,
+               const std::vector<uint32_t>& order_dirty);
+
+  int dim_;
+  DbscanParams params_;
+  DynamicClustererOptions opts_;
+  double side_;
+  double eps2_;
+  double band_eps2_;  // ((1+rho) * eps)^2, upper edge of the probe band
+  size_t min_pts_;
+
+  // Append-only point log; ids are stable forever.
+  Dataset points_;
+  std::vector<char> alive_;
+  std::vector<uint32_t> count_;  // |B(p, ε)| over alive points, self included
+  std::vector<char> is_core_;
+  std::vector<uint32_t> cell_of_;  // dynamic cell id per point
+  size_t num_alive_ = 0;
+
+  // Dynamic cell table; ids are stable (never recycled, survive compaction).
+  std::vector<Cell> cells_;
+  std::unordered_map<CellCoord, uint32_t, CellCoordHash> cell_ids_;
+
+  // Compacted snapshot (spatial accelerator only; membership lives in
+  // cells_) plus the post-snapshot overlay and its center index.
+  std::unique_ptr<Dataset> snap_data_;
+  std::unique_ptr<Grid> snap_grid_;
+  std::vector<uint32_t> snap_to_dyn_;    // snapshot cell -> dynamic cell
+  std::vector<uint32_t> overlay_cells_;  // dynamic ids not in the snapshot
+  std::unique_ptr<Dataset> overlay_centers_;
+  std::unique_ptr<KdTree> overlay_tree_;
+  size_t overlay_indexed_ = 0;  // prefix of overlay_cells_ in the tree
+  size_t ops_since_snapshot_ = 0;
+
+  // Components of the core-cell graph over dynamic cell ids. Invariant:
+  // only currently-core cells are ever united, so every non-core cell is a
+  // singleton (deletion batches rebuild; insertion batches only add edges
+  // between core cells).
+  std::unique_ptr<UnionFind> uf_;
+
+  bool labels_valid_ = false;
+  Clustering labels_;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_STREAM_DYNAMIC_CLUSTERER_H_

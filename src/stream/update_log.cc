@@ -1,0 +1,102 @@
+#include "stream/update_log.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace adbscan {
+namespace {
+
+bool ParseStrictDouble(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseStrictU32(const std::string& token, uint32_t* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || token[0] == '-') return false;
+  if (v > 0xffffffffull) return false;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+std::optional<UpdateLog> Fail(std::string* error, size_t line_no,
+                              const std::string& what) {
+  std::ostringstream os;
+  os << "update log line " << line_no << ": " << what;
+  *error = os.str();
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<UpdateLog> TryReadUpdateLog(const std::string& path, int dim,
+                                          std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open update log: " + path;
+    return std::nullopt;
+  }
+  UpdateLog log;
+  log.dim = dim;
+  std::vector<char> removed;  // per assigned insert id
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    std::string op;
+    if (!(tokens >> op) || op[0] == '#') continue;
+    if (op == "a") {
+      UpdateOp add;
+      add.kind = UpdateOp::Kind::kInsert;
+      add.coords.resize(dim);
+      std::string token;
+      for (int i = 0; i < dim; ++i) {
+        if (!(tokens >> token) || !ParseStrictDouble(token, &add.coords[i])) {
+          return Fail(error, line_no, "expected " + std::to_string(dim) +
+                                          " numeric coordinates after 'a'");
+        }
+      }
+      if (tokens >> token) {
+        return Fail(error, line_no, "trailing tokens after coordinates");
+      }
+      removed.push_back(0);
+      ++log.num_inserts;
+      log.ops.push_back(std::move(add));
+    } else if (op == "r") {
+      UpdateOp rm;
+      rm.kind = UpdateOp::Kind::kRemove;
+      std::string token;
+      if (!(tokens >> token) || !ParseStrictU32(token, &rm.id)) {
+        return Fail(error, line_no, "expected a non-negative id after 'r'");
+      }
+      if (rm.id >= removed.size()) {
+        return Fail(error, line_no,
+                    "id " + std::to_string(rm.id) + " not inserted yet");
+      }
+      if (removed[rm.id]) {
+        return Fail(error, line_no,
+                    "id " + std::to_string(rm.id) + " removed twice");
+      }
+      removed[rm.id] = 1;
+      ++log.num_removes;
+      log.ops.push_back(std::move(rm));
+    } else if (op == "f") {
+      UpdateOp flush;
+      flush.kind = UpdateOp::Kind::kFlush;
+      log.ops.push_back(flush);
+    } else {
+      return Fail(error, line_no, "unknown op '" + op + "' (want a, r, or f)");
+    }
+  }
+  return log;
+}
+
+}  // namespace adbscan

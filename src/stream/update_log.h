@@ -1,0 +1,45 @@
+#ifndef ADBSCAN_STREAM_UPDATE_LOG_H_
+#define ADBSCAN_STREAM_UPDATE_LOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adbscan {
+
+// One parsed update-log operation. Insertions carry an inline coordinate
+// row; removals reference the global id that a previous insertion was
+// assigned (ids are handed out densely, in file order, starting at 0, so a
+// log is self-contained). A flush marks a batch boundary: the replay driver
+// applies everything buffered since the previous flush as one batch.
+struct UpdateOp {
+  enum class Kind { kInsert, kRemove, kFlush };
+  Kind kind = Kind::kInsert;
+  std::vector<double> coords;  // kInsert: exactly dim values
+  uint32_t id = 0;             // kRemove: global id to tombstone
+};
+
+struct UpdateLog {
+  int dim = 0;
+  std::vector<UpdateOp> ops;
+  size_t num_inserts = 0;
+  size_t num_removes = 0;
+};
+
+// Parses a textual update log:
+//
+//   a <x1> ... <xd>   insert a point (d = dim values)
+//   r <id>            remove the point the id-th insertion created
+//   f                 flush (batch boundary)
+//
+// Blank lines and lines starting with '#' are skipped. Returns nullopt and
+// fills *error (with a line number) on any malformed line, unreadable file,
+// removal of an id never inserted, or duplicate removal — it never aborts,
+// so CLI callers can report and exit cleanly.
+std::optional<UpdateLog> TryReadUpdateLog(const std::string& path, int dim,
+                                          std::string* error);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_STREAM_UPDATE_LOG_H_

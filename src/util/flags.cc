@@ -1,5 +1,7 @@
 #include "util/flags.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
@@ -102,6 +104,31 @@ const Flags::Flag& Flags::Lookup(const std::string& name, Type type) const {
 
 int64_t Flags::GetInt(const std::string& name) const {
   return std::strtoll(Lookup(name, Type::kInt).value.c_str(), nullptr, 10);
+}
+
+bool Flags::TryGetInt(const std::string& name, int64_t* out) const {
+  const std::string& text = Lookup(name, Type::kInt).value;
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool Flags::TryGetDouble(const std::string& name, double* out) const {
+  const std::string& text = Lookup(name, Type::kDouble).value;
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE ||
+      !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
 }
 
 double Flags::GetDouble(const std::string& name) const {

@@ -40,6 +40,14 @@ class Flags {
   bool GetBool(const std::string& name) const;
   const std::string& GetString(const std::string& name) const;
 
+  // Strict accessors: false unless the flag's textual value is a single,
+  // fully-consumed numeric token ("0.5" yes; "0.5x", "", "1e999" no — the
+  // plain getters above delegate to strtod/strtoll, which silently accept
+  // trailing garbage). CLI front-ends use these to reject malformed values
+  // with a message instead of clustering under a half-parsed parameter.
+  bool TryGetInt(const std::string& name, int64_t* out) const;
+  bool TryGetDouble(const std::string& name, double* out) const;
+
   // Parses a comma-separated list flag, e.g. --eps=5000,10000,15000.
   std::vector<double> GetDoubleList(const std::string& name) const;
   std::vector<int64_t> GetIntList(const std::string& name) const;

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <set>
 #include <vector>
 
 #include "index/brute_force.h"
 #include "index/rtree.h"
 #include "test_helpers.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace adbscan {
@@ -193,6 +196,51 @@ TEST(RTree, MixedBulkAndInsert) {
   const BruteForceIndex brute(data);
   const double q[] = {25.0, 25.0, 25.0};
   EXPECT_EQ(AsSet(tree.RangeQuery(q, 20.0)), AsSet(brute.RangeQuery(q, 20.0)));
+}
+
+// The leaf SoA block is invalidated by Insert() and lazily rebuilt by the
+// next query. Interleaving serial insert phases with multi-threaded query
+// phases makes many threads race into EnsureLeafSoa right after each
+// invalidation — under TSan this is the regression test for the
+// double-checked rebuild; everywhere it also verifies results against
+// brute force.
+TEST(RTree, ConcurrentQueriesAfterInsertRebuildLeafSoaOnce) {
+  const int dim = 3;
+  const Dataset data = ClusteredDataset(dim, 600, 4, 100.0, 5.0, 97);
+  RTree tree = RTree::CreateEmpty(data);
+  const int threads = std::max(2, HardwareThreads());
+  uint32_t inserted = 0;
+  for (int phase = 0; phase < 6; ++phase) {
+    // Serial mutation phase: grow the tree (invalidates the SoA block).
+    const uint32_t grow = phase == 0 ? 150 : 90;
+    for (uint32_t i = 0; i < grow && inserted < data.size(); ++i) {
+      tree.Insert(inserted++);
+    }
+    // Parallel read phase: every worker's first query may hit the rebuild.
+    std::vector<uint32_t> ids(inserted);
+    for (uint32_t i = 0; i < inserted; ++i) ids[i] = i;
+    const BruteForceIndex brute(data, ids);
+    std::atomic<int> mismatches{0};
+    ParallelFor(64, threads, [&](size_t begin, size_t end) {
+      Rng rng(1000 + begin);
+      for (size_t trial = begin; trial < end; ++trial) {
+        double q[kMaxDim];
+        for (int i = 0; i < dim; ++i) q[i] = rng.NextDouble(0.0, 100.0);
+        const double radius = rng.NextDouble(2.0, 25.0);
+        if (AsSet(tree.RangeQuery(q, radius)) !=
+            AsSet(brute.RangeQuery(q, radius))) {
+          mismatches.fetch_add(1);
+        }
+        const size_t count = tree.CountInBall(q, radius, data.size());
+        if (count != brute.RangeQuery(q, radius).size()) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+    ASSERT_EQ(mismatches.load(), 0) << "phase " << phase;
+  }
+  EXPECT_EQ(tree.size(), data.size());
+  tree.CheckInvariants();
 }
 
 }  // namespace

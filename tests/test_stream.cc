@@ -1,0 +1,285 @@
+// Differential validation of the dynamic clustering subsystem: after any
+// random interleaving of Insert/Remove batches, DynamicClusterer::Snapshot()
+// must be IDENTICAL — raw labels, core flags, extra memberships, cluster
+// numbering — to a from-scratch ApproxDbscan run over the surviving points
+// with the same eps / MinPts / rho / layout / thread count.
+//
+// The sequence count per (threads, layout) block is tunable through the
+// STREAM_DIFF_SEQUENCES environment variable (default 50, giving the
+// documented 200 interleavings per dimension across the four blocks);
+// sanitizer CI jobs set it lower.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/approx_dbscan.h"
+#include "geom/dataset.h"
+#include "grid/grid.h"
+#include "stream/dynamic_clusterer.h"
+#include "stream/update_log.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace {
+
+int SequencesPerBlock() {
+  const char* env = std::getenv("STREAM_DIFF_SEQUENCES");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 50;
+}
+
+// Mixture of Gaussian blobs plus uniform background noise in [0, 1]^d —
+// dense cores, sparse borders, and isolated noise all show up, which is
+// what exercises every labeling path.
+void AddRandomPoints(Rng* rng, int dim, size_t count, Dataset* out) {
+  std::vector<double> centers(3 * static_cast<size_t>(dim));
+  for (double& c : centers) c = rng->NextDouble();
+  std::vector<double> p(static_cast<size_t>(dim));
+  for (size_t i = 0; i < count; ++i) {
+    if (rng->NextBernoulli(0.2)) {
+      for (int k = 0; k < dim; ++k) p[k] = rng->NextDouble();
+    } else {
+      const size_t blob = rng->NextBounded(3);
+      for (int k = 0; k < dim; ++k) {
+        p[k] = centers[blob * dim + k] + 0.05 * rng->NextGaussian();
+      }
+    }
+    out->Add(p.data());
+  }
+}
+
+void ExpectIdentical(const Clustering& want, const Clustering& got,
+                     const std::string& context) {
+  ASSERT_EQ(want.num_clusters, got.num_clusters) << context;
+  ASSERT_EQ(want.is_core, got.is_core) << context;
+  ASSERT_EQ(want.label, got.label) << context;
+  ASSERT_EQ(want.extra_memberships, got.extra_memberships) << context;
+}
+
+void RunDifferentialBlock(Grid::Layout layout, int threads) {
+  const Grid::Layout saved = Grid::DefaultLayout();
+  Grid::SetDefaultLayout(layout);
+  const int sequences = SequencesPerBlock();
+  const char* layout_name = layout == Grid::Layout::kCsr ? "csr" : "legacy";
+  for (int dim : {2, 3, 5, 7}) {
+    for (int seq = 0; seq < sequences; ++seq) {
+      Rng rng(0x5eedull * 1000003 + static_cast<uint64_t>(dim) * 7919 +
+              static_cast<uint64_t>(seq) * 31 +
+              (layout == Grid::Layout::kCsr ? 0 : 1) +
+              static_cast<uint64_t>(threads) * 2);
+      DbscanParams params;
+      params.eps = rng.NextDouble(0.08, 0.25);
+      params.min_pts = 2 + static_cast<int>(rng.NextBounded(6));
+      params.num_threads = threads;
+      DynamicClustererOptions opts;
+      opts.layout = layout;
+      // Randomize the reorganization knobs so compaction, the overlay
+      // index, the localized recompute, and its full-rebuild fallback all
+      // fire across the block.
+      opts.rho = rng.NextBernoulli(0.5) ? 0.001 : 0.1;
+      opts.rebuild_threshold = rng.NextDouble(0.05, 0.5);
+      opts.min_rebuild_ops = 1 + rng.NextBounded(32);
+      opts.recompute_frontier_limit = rng.NextDouble() < 0.34 ? 0.0 : rng.NextDouble();
+      DynamicClusterer dyn(dim, params, opts);
+
+      const int steps = 4 + static_cast<int>(rng.NextBounded(3));
+      for (int step = 0; step < steps; ++step) {
+        const bool removing =
+            step > 0 && dyn.num_alive() > 20 && rng.NextBernoulli(0.45);
+        if (removing) {
+          std::vector<uint32_t> alive;
+          for (uint32_t id = 0; id < dyn.num_points(); ++id) {
+            if (dyn.alive(id)) alive.push_back(id);
+          }
+          // Random distinct subset via partial Fisher-Yates.
+          const size_t take = 1 + rng.NextBounded(alive.size() / 2);
+          for (size_t i = 0; i < take; ++i) {
+            const size_t j = i + rng.NextBounded(alive.size() - i);
+            std::swap(alive[i], alive[j]);
+          }
+          alive.resize(take);
+          dyn.Remove(alive);
+        } else {
+          Dataset batch(dim);
+          const size_t count =
+              step == 0 ? 60 + rng.NextBounded(90) : 10 + rng.NextBounded(30);
+          AddRandomPoints(&rng, dim, count, &batch);
+          dyn.Insert(batch);
+        }
+
+        DynamicClusterer::SnapshotView snap = dyn.Snapshot();
+        ASSERT_EQ(snap.points.size(), dyn.num_alive());
+        const Clustering scratch = ApproxDbscan(snap.points, params, opts.rho);
+        char context[160];
+        std::snprintf(context, sizeof(context),
+                      "layout=%s threads=%d dim=%d seq=%d step=%d n=%zu "
+                      "eps=%.6g min_pts=%d",
+                      layout_name, threads, dim, seq, step,
+                      snap.points.size(), params.eps, params.min_pts);
+        ExpectIdentical(scratch, snap.clustering, context);
+        if (::testing::Test::HasFatalFailure()) {
+          Grid::SetDefaultLayout(saved);
+          return;
+        }
+
+        // The global-id view agrees with the compacted one: dead points are
+        // noise and never core, survivors carry the compacted labels.
+        const Clustering& global = dyn.Labels();
+        size_t row = 0;
+        for (uint32_t id = 0; id < dyn.num_points(); ++id) {
+          if (dyn.alive(id)) {
+            ASSERT_EQ(global.label[id], snap.clustering.label[row]) << context;
+            ASSERT_EQ(global.is_core[id], snap.clustering.is_core[row])
+                << context;
+            ++row;
+          } else {
+            ASSERT_EQ(global.label[id], kNoise) << context;
+            ASSERT_FALSE(global.is_core[id]) << context;
+          }
+        }
+      }
+    }
+  }
+  Grid::SetDefaultLayout(saved);
+}
+
+TEST(StreamDifferential, CsrSingleThread) {
+  RunDifferentialBlock(Grid::Layout::kCsr, 1);
+}
+
+TEST(StreamDifferential, CsrParallel) {
+  RunDifferentialBlock(Grid::Layout::kCsr, HardwareThreads());
+}
+
+TEST(StreamDifferential, LegacySingleThread) {
+  RunDifferentialBlock(Grid::Layout::kLegacy, 1);
+}
+
+TEST(StreamDifferential, LegacyParallel) {
+  RunDifferentialBlock(Grid::Layout::kLegacy, HardwareThreads());
+}
+
+TEST(DynamicClusterer, EmptyAndFullDrain) {
+  DbscanParams params;
+  params.eps = 0.1;
+  params.min_pts = 3;
+  DynamicClusterer dyn(2, params);
+  EXPECT_EQ(dyn.num_points(), 0u);
+  EXPECT_EQ(dyn.Labels().num_clusters, 0);
+  EXPECT_TRUE(dyn.Snapshot().ids.empty());
+
+  Dataset batch(2);
+  Rng rng(7);
+  AddRandomPoints(&rng, 2, 80, &batch);
+  const uint32_t first = dyn.Insert(batch);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(dyn.num_alive(), 80u);
+
+  std::vector<uint32_t> all(80);
+  for (uint32_t id = 0; id < 80; ++id) all[id] = id;
+  dyn.Remove(all);
+  EXPECT_EQ(dyn.num_alive(), 0u);
+  EXPECT_EQ(dyn.num_points(), 80u);  // ids are never recycled
+  const Clustering& labels = dyn.Labels();
+  EXPECT_EQ(labels.num_clusters, 0);
+  for (uint32_t id = 0; id < 80; ++id) {
+    EXPECT_EQ(labels.label[id], kNoise);
+    EXPECT_FALSE(labels.is_core[id]);
+  }
+
+  // Refill after the drain (a compaction may have run in between): the
+  // structure must come back to life on the same id space.
+  Dataset again(2);
+  AddRandomPoints(&rng, 2, 50, &again);
+  EXPECT_EQ(dyn.Insert(again), 80u);
+  EXPECT_EQ(dyn.num_alive(), 50u);
+  DynamicClusterer::SnapshotView snap = dyn.Snapshot();
+  const Clustering scratch =
+      ApproxDbscan(snap.points, params, dyn.options().rho);
+  EXPECT_EQ(scratch.label, snap.clustering.label);
+  EXPECT_EQ(scratch.is_core, snap.clustering.is_core);
+}
+
+TEST(DynamicClusterer, IdsAreDenseAndStable) {
+  DbscanParams params;
+  params.eps = 0.2;
+  params.min_pts = 2;
+  DynamicClusterer dyn(3, params);
+  Dataset a(3);
+  Rng rng(11);
+  AddRandomPoints(&rng, 3, 10, &a);
+  EXPECT_EQ(dyn.Insert(a), 0u);
+  Dataset b(3);
+  AddRandomPoints(&rng, 3, 5, &b);
+  EXPECT_EQ(dyn.Insert(b), 10u);
+  dyn.Remove({3, 7});
+  EXPECT_FALSE(dyn.alive(3));
+  EXPECT_TRUE(dyn.alive(4));
+  // Tombstoned coordinates stay addressable.
+  EXPECT_EQ(dyn.point(3)[0], a.point(3)[0]);
+  Dataset c(3);
+  AddRandomPoints(&rng, 3, 2, &c);
+  EXPECT_EQ(dyn.Insert(c), 15u);
+  const DynamicClusterer::SnapshotView snap = dyn.Snapshot();
+  EXPECT_EQ(snap.ids.size(), 15u);
+  EXPECT_TRUE(std::is_sorted(snap.ids.begin(), snap.ids.end()));
+}
+
+TEST(UpdateLogParser, ParsesAllOps) {
+  const std::string path = ::testing::TempDir() + "/stream_ops.log";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# comment\n\na 0.5 0.25\na 1 2\nf\nr 0\na 3.5e-1 .75\nf\n", f);
+  std::fclose(f);
+  std::string error;
+  std::optional<UpdateLog> log = TryReadUpdateLog(path, 2, &error);
+  ASSERT_TRUE(log.has_value()) << error;
+  EXPECT_EQ(log->num_inserts, 3u);
+  EXPECT_EQ(log->num_removes, 1u);
+  ASSERT_EQ(log->ops.size(), 6u);
+  EXPECT_EQ(log->ops[0].kind, UpdateOp::Kind::kInsert);
+  EXPECT_EQ(log->ops[0].coords, (std::vector<double>{0.5, 0.25}));
+  EXPECT_EQ(log->ops[2].kind, UpdateOp::Kind::kFlush);
+  EXPECT_EQ(log->ops[3].kind, UpdateOp::Kind::kRemove);
+  EXPECT_EQ(log->ops[3].id, 0u);
+}
+
+TEST(UpdateLogParser, RejectsMalformedInput) {
+  const struct {
+    const char* content;
+    const char* reason;
+  } kCases[] = {
+      {"a 0.5\n", "missing coordinate"},
+      {"a 0.5 abc\n", "non-numeric coordinate"},
+      {"a 0.5 0.5 0.5\n", "trailing token"},
+      {"r 0\n", "remove before insert"},
+      {"a 1 1\nr 0\nr 0\n", "duplicate removal"},
+      {"a 1 1\nr -1\n", "negative id"},
+      {"x 1 1\n", "unknown op"},
+  };
+  for (const auto& c : kCases) {
+    const std::string path = ::testing::TempDir() + "/stream_bad.log";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(c.content, f);
+    std::fclose(f);
+    std::string error;
+    EXPECT_FALSE(TryReadUpdateLog(path, 2, &error).has_value()) << c.reason;
+    EXPECT_FALSE(error.empty()) << c.reason;
+  }
+  std::string error;
+  EXPECT_FALSE(TryReadUpdateLog("/nonexistent/stream.log", 2, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "util/flags.h"
@@ -218,6 +219,56 @@ TEST(Flags, ParsesLists) {
   const std::vector<int64_t> ints = flags.GetIntList("eps");
   ASSERT_EQ(ints.size(), 3u);
   EXPECT_EQ(ints[2], 10);
+}
+
+TEST(Flags, TryGetDoubleRejectsMalformedValues) {
+  auto parse_as_eps = [](const char* text, double* out) {
+    Flags flags;
+    flags.DefineDouble("eps", 0.0, "");
+    char prog[] = "prog";
+    std::string arg = std::string("--eps=") + text;
+    std::vector<char> arg_buf(arg.begin(), arg.end());
+    arg_buf.push_back('\0');
+    char* argv[] = {prog, arg_buf.data()};
+    flags.Parse(2, argv);
+    return flags.TryGetDouble("eps", out);
+  };
+  double v = -1.0;
+  EXPECT_TRUE(parse_as_eps("0.5", &v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(parse_as_eps("3.5e-2", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5e-2);
+  EXPECT_TRUE(parse_as_eps("-4", &v));
+  EXPECT_DOUBLE_EQ(v, -4.0);
+  // The plain getter half-parses these; the strict one must not.
+  EXPECT_FALSE(parse_as_eps("0.5x", &v));
+  EXPECT_FALSE(parse_as_eps("x", &v));
+  EXPECT_FALSE(parse_as_eps("1e999", &v));  // overflows to infinity
+  EXPECT_FALSE(parse_as_eps("nan", &v));
+  EXPECT_FALSE(parse_as_eps("1,5", &v));
+}
+
+TEST(Flags, TryGetIntRejectsMalformedValues) {
+  auto parse_as_min_pts = [](const char* text, int64_t* out) {
+    Flags flags;
+    flags.DefineInt("min_pts", 0, "");
+    char prog[] = "prog";
+    std::string arg = std::string("--min_pts=") + text;
+    std::vector<char> arg_buf(arg.begin(), arg.end());
+    arg_buf.push_back('\0');
+    char* argv[] = {prog, arg_buf.data()};
+    flags.Parse(2, argv);
+    return flags.TryGetInt("min_pts", out);
+  };
+  int64_t v = -1;
+  EXPECT_TRUE(parse_as_min_pts("100", &v));
+  EXPECT_EQ(v, 100);
+  EXPECT_TRUE(parse_as_min_pts("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(parse_as_min_pts("100x", &v));
+  EXPECT_FALSE(parse_as_min_pts("1.5", &v));
+  EXPECT_FALSE(parse_as_min_pts("ten", &v));
+  EXPECT_FALSE(parse_as_min_pts("99999999999999999999", &v));  // overflow
 }
 
 }  // namespace

@@ -9,19 +9,27 @@
 //   adbscan_cli --input points.csv --dim 3 --eps 5000 --min_pts 100
 //
 //   # exact clustering, labels to a new CSV
-//   adbscan_cli --input points.csv --dim 3 --algo exact --eps 5000 \
+//   adbscan_cli --input points.csv --dim 3 --algo exact --eps 5000
 //               --min_pts 100 --out labeled.csv
 //
 //   # pick eps automatically from the k-distance plot
 //   adbscan_cli --input points.bin --eps 0
 //
+//   # replay an update log through the dynamic clusterer
+//   adbscan_cli stream --input updates.log --dim 2 --eps 0.05 --min_pts 10
+//
 // Algorithms: approx (Theorem 4, default), exact (Theorem 2), kdd96,
 // gridbscan (CIT'08), gunawan2d (2D inputs only).
+//
+// The stream subcommand replays a textual update log ("a x1..xd" insert,
+// "r id" remove, "f" batch boundary — see src/stream/update_log.h) through
+// DynamicClusterer and reports the final clustering.
 
 #include <cstdio>
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/adbscan.h"
 #include "eval/kdist.h"
@@ -30,6 +38,8 @@
 #include "io/dataset_io.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "stream/dynamic_clusterer.h"
+#include "stream/update_log.h"
 #include "util/flags.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -44,9 +54,234 @@ bool EndsWith(const std::string& text, const std::string& suffix) {
              0;
 }
 
+// Strictly parsed, range-checked numeric flags shared by both modes. Any
+// violation prints a message and fails the call — the caller exits 2 — so a
+// malformed value can never half-parse into a plausible clustering run.
+//
+// When `require_positive_eps` is false, eps = 0 keeps its "suggest from the
+// k-distance plot" meaning; the stream mode has no dataset to suggest from
+// up front, so there it must be positive outright.
+bool ValidateCommonFlags(const Flags& flags, bool require_positive_eps,
+                         double* eps, int* min_pts, double* rho,
+                         int* threads) {
+  if (!flags.TryGetDouble("eps", eps) || *eps < 0.0 ||
+      (require_positive_eps && *eps == 0.0)) {
+    std::fprintf(stderr,
+                 require_positive_eps
+                     ? "--eps must be a positive number\n"
+                     : "--eps must be a non-negative number (0 = suggest "
+                       "from the k-distance plot)\n");
+    return false;
+  }
+  int64_t min_pts64 = 0;
+  if (!flags.TryGetInt("min_pts", &min_pts64) || min_pts64 < 1 ||
+      min_pts64 > 0x7fffffff) {
+    std::fprintf(stderr, "--min_pts must be a positive integer\n");
+    return false;
+  }
+  *min_pts = static_cast<int>(min_pts64);
+  if (!flags.TryGetDouble("rho", rho) || *rho <= 0.0 || *rho > 1.0) {
+    std::fprintf(stderr, "--rho must be a number in (0, 1]\n");
+    return false;
+  }
+  int64_t threads64 = 0;
+  if (!flags.TryGetInt("threads", &threads64) || threads64 < 0 ||
+      threads64 > 0x7fffffff) {
+    std::fprintf(stderr, "--threads must be a non-negative integer\n");
+    return false;
+  }
+  *threads = ResolveNumThreads(static_cast<int>(threads64));
+  return true;
+}
+
+void EmitMetricsRecord(const std::string& path, const std::string& run,
+                       const std::string& dataset, const std::string& algo,
+                       std::vector<std::pair<std::string, std::string>> params,
+                       double total_ms) {
+  obs::RunRecord rec;
+  rec.run = run;
+  rec.dataset = dataset;
+  rec.algo = algo;
+  rec.params = std::move(params);
+  rec.total_ms = total_ms;
+  rec.metrics = obs::MetricsRegistry::Global().Snapshot();
+  if (obs::AppendJsonLine(path, rec)) {
+    std::printf("metrics record appended to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write metrics to %s\n", path.c_str());
+  }
+}
+
+int RunStream(int argc, char** argv) {
+  Flags flags;
+  flags.DefineString("input", "", "update log path (required)")
+      .DefineInt("dim", 0, "dimensionality (required)")
+      .DefineDouble("eps", 0.0, "radius (must be positive)")
+      .DefineInt("min_pts", 100, "MinPts")
+      .DefineDouble("rho", 0.001, "approximation ratio, in (0, 1]")
+      .DefineString("layout", "csr", "grid layout: csr | legacy")
+      .DefineInt("batch", 0,
+                 "auto-flush after this many buffered ops (0 = only at 'f' "
+                 "lines and end of log)")
+      .DefineDouble("rebuild_threshold", 0.25,
+                    "compact the overlay after updates exceed this fraction "
+                    "of the surviving points")
+      .DefineDouble("frontier_limit", 0.5,
+                    "fall back to a full component rebuild past this "
+                    "fraction of core cells")
+      .DefineString("out", "", "write final labeled CSV here (optional)")
+      .DefineInt("stats_rows", 20, "max clusters in the summary table")
+      .DefineInt("threads", 0,
+                 "worker threads (0 = auto: ADBSCAN_THREADS env, else "
+                 "hardware count)")
+      .DefineString("metrics_json", "",
+                    "append one JSON metrics record for the replay "
+                    "(empty: off)");
+  flags.Parse(argc, argv);
+
+  const std::string input = flags.GetString("input");
+  if (input.empty()) {
+    std::fprintf(stderr, "--input is required\n");
+    flags.PrintUsage(argv[0]);
+    return 2;
+  }
+  const int dim = static_cast<int>(flags.GetInt("dim"));
+  if (dim < 1 || dim > kMaxDim) {
+    std::fprintf(stderr, "--dim must be in [1, %d]\n", kMaxDim);
+    return 2;
+  }
+  DbscanParams params;
+  double rho = 0.0;
+  if (!ValidateCommonFlags(flags, /*require_positive_eps=*/true, &params.eps,
+                           &params.min_pts, &rho, &params.num_threads)) {
+    return 2;
+  }
+  DynamicClustererOptions opts;
+  opts.rho = rho;
+  int64_t batch_limit = 0;
+  if (!flags.TryGetInt("batch", &batch_limit) || batch_limit < 0) {
+    std::fprintf(stderr, "--batch must be a non-negative integer\n");
+    return 2;
+  }
+  if (!flags.TryGetDouble("rebuild_threshold", &opts.rebuild_threshold) ||
+      opts.rebuild_threshold <= 0.0) {
+    std::fprintf(stderr, "--rebuild_threshold must be a positive number\n");
+    return 2;
+  }
+  if (!flags.TryGetDouble("frontier_limit", &opts.recompute_frontier_limit) ||
+      opts.recompute_frontier_limit < 0.0) {
+    std::fprintf(stderr, "--frontier_limit must be a non-negative number\n");
+    return 2;
+  }
+  {
+    const std::string layout = flags.GetString("layout");
+    if (layout == "csr") {
+      opts.layout = Grid::Layout::kCsr;
+    } else if (layout == "legacy") {
+      opts.layout = Grid::Layout::kLegacy;
+    } else {
+      std::fprintf(stderr, "unknown --layout '%s' (want csr|legacy)\n",
+                   layout.c_str());
+      return 2;
+    }
+  }
+
+  std::string error;
+  std::optional<UpdateLog> log = TryReadUpdateLog(input, dim, &error);
+  if (!log.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  std::printf("replaying %zu ops (%zu inserts, %zu removes) in %dD from %s\n",
+              log->ops.size(), log->num_inserts, log->num_removes, dim,
+              input.c_str());
+
+  const std::string metrics_json = flags.GetString("metrics_json");
+  if (!metrics_json.empty()) {
+    obs::MetricsRegistry::SetEnabled(true);
+    obs::MetricsRegistry::Global().Reset();
+  }
+
+  Timer replay_timer;
+  DynamicClusterer dyn(dim, params, opts);
+  // Ops apply in log order; contiguous runs of the same kind coalesce into
+  // one batch, cut early at 'f' lines and at --batch buffered ops.
+  Dataset pending_inserts(dim);
+  std::vector<uint32_t> pending_removes;
+  size_t batches = 0;
+  auto flush = [&] {
+    if (pending_inserts.size() > 0) {
+      dyn.Insert(pending_inserts);
+      pending_inserts = Dataset(dim);
+      ++batches;
+    }
+    if (!pending_removes.empty()) {
+      dyn.Remove(pending_removes);
+      pending_removes.clear();
+      ++batches;
+    }
+  };
+  for (const UpdateOp& op : log->ops) {
+    switch (op.kind) {
+      case UpdateOp::Kind::kInsert:
+        if (!pending_removes.empty()) flush();
+        pending_inserts.Add(op.coords.data());
+        break;
+      case UpdateOp::Kind::kRemove:
+        if (pending_inserts.size() > 0) flush();
+        pending_removes.push_back(op.id);
+        break;
+      case UpdateOp::Kind::kFlush:
+        flush();
+        break;
+    }
+    if (batch_limit > 0 &&
+        pending_inserts.size() + pending_removes.size() >=
+            static_cast<size_t>(batch_limit)) {
+      flush();
+    }
+  }
+  flush();
+  DynamicClusterer::SnapshotView snap = dyn.Snapshot();
+  const double replay_sec = replay_timer.ElapsedSeconds();
+  std::printf(
+      "stream: eps=%.6g MinPts=%d rho=%.6g -> %d clusters over %zu "
+      "surviving points, %zu batches in %.3fs\n\n",
+      params.eps, params.min_pts, opts.rho, snap.clustering.num_clusters,
+      snap.points.size(), batches, replay_sec);
+
+  if (!metrics_json.empty()) {
+    char num[32];
+    std::vector<std::pair<std::string, std::string>> rec_params = {
+        {"n", std::to_string(snap.points.size())},
+        {"min_pts", std::to_string(params.min_pts)},
+        {"batches", std::to_string(batches)}};
+    std::snprintf(num, sizeof(num), "%.6g", params.eps);
+    rec_params.emplace_back("eps", num);
+    std::snprintf(num, sizeof(num), "%.6g", opts.rho);
+    rec_params.emplace_back("rho", num);
+    EmitMetricsRecord(metrics_json, "adbscan_stream", input, "stream",
+                      std::move(rec_params), replay_sec * 1000.0);
+  }
+
+  if (snap.points.size() > 0) {
+    PrintStats(ComputeStats(snap.points, snap.clustering),
+               static_cast<int>(flags.GetInt("stats_rows")));
+  }
+  const std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    WriteLabeledCsv(snap.points, snap.clustering, out);
+    std::printf("\nlabeled CSV written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "stream") {
+    return RunStream(argc - 1, argv + 1);
+  }
   Flags flags;
   flags.DefineString("input", "", "input path (.csv or .bin; required)")
       .DefineInt("dim", 0, "dimensionality (required for CSV input)")
@@ -73,6 +308,12 @@ int main(int argc, char** argv) {
   if (input.empty()) {
     std::fprintf(stderr, "--input is required\n");
     flags.PrintUsage(argv[0]);
+    return 2;
+  }
+  DbscanParams params;
+  double rho = 0.0;
+  if (!ValidateCommonFlags(flags, /*require_positive_eps=*/false, &params.eps,
+                           &params.min_pts, &rho, &params.num_threads)) {
     return 2;
   }
 
@@ -115,10 +356,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  DbscanParams params{
-      flags.GetDouble("eps"), static_cast<int>(flags.GetInt("min_pts")),
-      ResolveNumThreads(static_cast<int>(flags.GetInt("threads")))};
-  if (params.eps <= 0.0) {
+  if (params.eps == 0.0) {
     Timer kdist_timer;
     params.eps = SuggestEps(data, params.min_pts);
     std::printf("eps suggested from the %d-distance plot: %.6g (%.3fs)\n",
@@ -134,7 +372,7 @@ int main(int argc, char** argv) {
   Timer cluster_timer;
   Clustering result = [&] {
     if (algo == "approx") {
-      return ApproxDbscan(data, params, flags.GetDouble("rho"));
+      return ApproxDbscan(data, params, rho);
     }
     if (algo == "exact") return ExactGridDbscan(data, params);
     if (algo == "kdd96") return Kdd96Dbscan(data, params);
@@ -148,27 +386,18 @@ int main(int argc, char** argv) {
               algo.c_str(), params.eps, params.min_pts, result.num_clusters,
               cluster_sec);
   if (!metrics_json.empty()) {
-    obs::RunRecord rec;
-    rec.run = "adbscan_cli";
-    rec.dataset = input;
-    rec.algo = algo;
     char num[32];
+    std::vector<std::pair<std::string, std::string>> rec_params = {
+        {"n", std::to_string(data.size())},
+        {"min_pts", std::to_string(params.min_pts)}};
     std::snprintf(num, sizeof(num), "%.6g", params.eps);
-    rec.params = {{"n", std::to_string(data.size())},
-                  {"eps", num},
-                  {"min_pts", std::to_string(params.min_pts)}};
+    rec_params.emplace_back("eps", num);
     if (algo == "approx") {
-      std::snprintf(num, sizeof(num), "%.6g", flags.GetDouble("rho"));
-      rec.params.emplace_back("rho", num);
+      std::snprintf(num, sizeof(num), "%.6g", rho);
+      rec_params.emplace_back("rho", num);
     }
-    rec.total_ms = cluster_sec * 1000.0;
-    rec.metrics = obs::MetricsRegistry::Global().Snapshot();
-    if (obs::AppendJsonLine(metrics_json, rec)) {
-      std::printf("metrics record appended to %s\n", metrics_json.c_str());
-    } else {
-      std::fprintf(stderr, "failed to write metrics to %s\n",
-                   metrics_json.c_str());
-    }
+    EmitMetricsRecord(metrics_json, "adbscan_cli", input, algo,
+                      std::move(rec_params), cluster_sec * 1000.0);
   }
 
   PrintStats(ComputeStats(data, result),

@@ -50,6 +50,7 @@ run_one fig11_scale_n 8 --sizes=2000,4000 --datasets=ss3d --min_pts=10
 run_one fig12_vary_eps 8 --n=2000 --steps=2 --datasets=ss3d
 run_one fig13_vary_rho 2 --n=2000 --rhos=0.01,0.1 --datasets=ss3d
 run_one table1_parameters 6 --n=1500
+run_one micro_stream 4 --n=6000 --rounds=3 --out="$WORKDIR/BENCH_stream.json"
 
 if [ "$failures" -ne 0 ]; then
   echo "bench_smoke: $failures harness(es) failed"
