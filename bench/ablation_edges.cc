@@ -83,7 +83,9 @@ int main(int argc, char** argv) {
       .DefineInt("seed", 2025, "generator seed");
   bench::DefineThreadsFlag(flags);
   bench::DefineKernelFlag(flags);
+  bench::DefineTraceFlag(flags);
   flags.Parse(argc, argv);
+  const std::string trace_path = bench::ApplyTraceFlag(flags);
   bench::ApplyKernelFlag(flags);
 
   const DbscanParams params{flags.GetDouble("eps"),
@@ -117,5 +119,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nNote: allpairs and bcp produce identical (exact) clusterings; the\n"
       "counter column is the rho-approximate edge rule.\n");
+  if (!trace_path.empty()) obs::ExportTrace(trace_path);
   return 0;
 }

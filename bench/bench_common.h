@@ -23,6 +23,7 @@
 #include "gen/seed_spreader.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace_export.h"
 #include "util/check.h"
 #include "util/flags.h"
 #include "util/parallel.h"
@@ -72,6 +73,26 @@ inline void ApplyKernelFlag(const Flags& flags) {
                  name.c_str());
     std::exit(2);
   }
+}
+
+// Registers the shared --trace_json knob (see obs/trace_export.h).
+inline Flags& DefineTraceFlag(Flags& flags) {
+  return flags.DefineString(
+      "trace_json", "",
+      "write a Chrome trace-event JSON timeline here (Perfetto-loadable; "
+      "empty = ADBSCAN_TRACE env, else tracing off)");
+}
+
+// Resolves --trace_json (falling back to the ADBSCAN_TRACE environment
+// variable) and, when a path results, enables trace recording. Call before
+// ApplyKernelFlag so the kernel-dispatch instant lands on the timeline.
+// Returns the path to hand to obs::ExportTrace() after the measured work
+// ("" = tracing off).
+inline std::string ApplyTraceFlag(const Flags& flags) {
+  const std::string path =
+      obs::ResolveTracePath(flags.GetString("trace_json"));
+  if (!path.empty()) obs::StartTracing();
+  return path;
 }
 
 // Creates the parent directory of `path` (if any) so writes to flag-chosen

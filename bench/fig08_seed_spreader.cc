@@ -25,7 +25,9 @@ int main(int argc, char** argv) {
                     "append one JSON metrics record per run (empty: off)");
   adbscan::bench::DefineThreadsFlag(flags);
   adbscan::bench::DefineKernelFlag(flags);
+  adbscan::bench::DefineTraceFlag(flags);
   flags.Parse(argc, argv);
+  const std::string trace_path = adbscan::bench::ApplyTraceFlag(flags);
   adbscan::bench::ApplyKernelFlag(flags);
   adbscan::bench::MetricsLogger metrics(flags.GetString("metrics_json"),
                                         "fig08_seed_spreader");
@@ -71,5 +73,6 @@ int main(int argc, char** argv) {
       "\nPaper reference: Figure 8 shows 4 snake-shaped clusters generated\n"
       "by a random walk with restart; the clustering above recovers the\n"
       "same number of groups.\n");
+  if (!trace_path.empty()) adbscan::obs::ExportTrace(trace_path);
   return 0;
 }

@@ -38,7 +38,9 @@ int main(int argc, char** argv) {
                     "append one JSON metrics record per run (empty: off)");
   bench::DefineThreadsFlag(flags);
   bench::DefineKernelFlag(flags);
+  bench::DefineTraceFlag(flags);
   flags.Parse(argc, argv);
+  const std::string trace_path = bench::ApplyTraceFlag(flags);
   bench::ApplyKernelFlag(flags);
   bench::MetricsLogger metrics(flags.GetString("metrics_json"),
                                "fig09_visualization");
@@ -120,5 +122,6 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper, Fig. 9): at the stable radius every rho\n"
       "matches exact; near merge boundaries large rho (0.1, then 0.01)\n"
       "deviates while rho=0.001 keeps matching.\n");
+  if (!trace_path.empty()) obs::ExportTrace(trace_path);
   return 0;
 }

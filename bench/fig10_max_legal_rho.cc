@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
                     "append one JSON metrics record per run (empty: off)");
   bench::DefineThreadsFlag(flags);
   bench::DefineKernelFlag(flags);
+  bench::DefineTraceFlag(flags);
   flags.Parse(argc, argv);
+  const std::string trace_path = bench::ApplyTraceFlag(flags);
   bench::ApplyKernelFlag(flags);
 
   const size_t n = flags.GetBool("full")
@@ -94,5 +96,6 @@ int main(int argc, char** argv) {
       "Expected shape (paper, Fig. 10): sawtooth — max legal rho far above\n"
       "0.1 for most eps, dipping near cluster-merge boundaries; rho=0.001\n"
       "legal almost everywhere.\n");
+  if (!trace_path.empty()) obs::ExportTrace(trace_path);
   return 0;
 }

@@ -39,7 +39,9 @@ int main(int argc, char** argv) {
                     "append one JSON metrics record per run (empty: off)");
   bench::DefineThreadsFlag(flags);
   bench::DefineKernelFlag(flags);
+  bench::DefineTraceFlag(flags);
   flags.Parse(argc, argv);
+  const std::string trace_path = bench::ApplyTraceFlag(flags);
   bench::ApplyKernelFlag(flags);
 
   std::vector<int64_t> sizes = flags.GetIntList("sizes");
@@ -105,5 +107,6 @@ int main(int argc, char** argv) {
       "Expected shape (paper, Fig. 11): OurApprox fastest and ~linear in n;"
       "\nOurExact finishes everywhere but grows super-linearly; KDD96/CIT08"
       "\nhit the budget first (the paper's >12h points).\n");
+  if (!trace_path.empty()) obs::ExportTrace(trace_path);
   return 0;
 }

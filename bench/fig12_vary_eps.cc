@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
                     "append one JSON metrics record per run (empty: off)");
   bench::DefineThreadsFlag(flags);
   bench::DefineKernelFlag(flags);
+  bench::DefineTraceFlag(flags);
   flags.Parse(argc, argv);
+  const std::string trace_path = bench::ApplyTraceFlag(flags);
   bench::ApplyKernelFlag(flags);
 
   const size_t n = flags.GetBool("full")
@@ -102,5 +104,6 @@ int main(int argc, char** argv) {
       "Expected shape (paper, Fig. 12): KDD96/CIT08 cost grows with eps\n"
       "(bigger range-query outputs); OurExact/OurApprox non-monotone;\n"
       "OurApprox consistently fastest.\n");
+  if (!trace_path.empty()) obs::ExportTrace(trace_path);
   return 0;
 }

@@ -33,7 +33,9 @@ int main(int argc, char** argv) {
                     "append one JSON metrics record per run (empty: off)");
   bench::DefineThreadsFlag(flags);
   bench::DefineKernelFlag(flags);
+  bench::DefineTraceFlag(flags);
   flags.Parse(argc, argv);
+  const std::string trace_path = bench::ApplyTraceFlag(flags);
   bench::ApplyKernelFlag(flags);
 
   const size_t n = flags.GetBool("full")
@@ -77,5 +79,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape (paper, Fig. 13): running time decreases as rho\n"
       "increases (less precision demanded).\n");
+  if (!trace_path.empty()) obs::ExportTrace(trace_path);
   return 0;
 }

@@ -92,7 +92,9 @@ int main(int argc, char** argv) {
                     "output JSON path (default out/BENCH_grid_layout.json)");
   bench::DefineThreadsFlag(flags);
   bench::DefineKernelFlag(flags);
+  bench::DefineTraceFlag(flags);
   flags.Parse(argc, argv);
+  const std::string trace_path = bench::ApplyTraceFlag(flags);
   bench::ApplyKernelFlag(flags);
   const size_t n = static_cast<size_t>(flags.GetInt("n"));
   const double eps = flags.GetDouble("eps");
@@ -176,5 +178,6 @@ int main(int argc, char** argv) {
   table.Print(stdout);
   std::printf("(checksum %.3g)\n", checksum);
   WriteJson(out, results);
+  if (!trace_path.empty()) obs::ExportTrace(trace_path);
   return 0;
 }

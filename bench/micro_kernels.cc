@@ -119,7 +119,9 @@ int main(int argc, char** argv) {
       .DefineInt("block_rows", 32, "query rows per block-vs-block tile")
       .DefineDouble("min_ms", 50.0, "minimum measured wall time per config")
       .DefineString("out", "", "output JSON path (default out/BENCH_kernels.json)");
+  bench::DefineTraceFlag(flags);
   flags.Parse(argc, argv);
+  const std::string trace_path = bench::ApplyTraceFlag(flags);
   const double min_ms = flags.GetDouble("min_ms");
   const size_t block_rows =
       static_cast<size_t>(flags.GetInt("block_rows"));
@@ -188,5 +190,6 @@ int main(int argc, char** argv) {
   table.Print(stdout);
   std::printf("(checksum %.3g)\n", checksum);
   WriteJson(out, results);
+  if (!trace_path.empty()) obs::ExportTrace(trace_path);
   return 0;
 }

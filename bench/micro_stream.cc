@@ -115,7 +115,9 @@ int main(int argc, char** argv) {
                     "(empty: off)");
   bench::DefineThreadsFlag(flags);
   bench::DefineKernelFlag(flags);
+  bench::DefineTraceFlag(flags);
   flags.Parse(argc, argv);
+  const std::string trace_path = bench::ApplyTraceFlag(flags);
   bench::ApplyKernelFlag(flags);
   const size_t n = static_cast<size_t>(flags.GetInt("n"));
   const int rounds = static_cast<int>(flags.GetInt("rounds"));
@@ -261,5 +263,6 @@ int main(int argc, char** argv) {
 
   table.Print();
   WriteJson(out, results);
+  if (!trace_path.empty()) obs::ExportTrace(trace_path);
   return 0;
 }

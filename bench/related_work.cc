@@ -33,7 +33,9 @@ int main(int argc, char** argv) {
       .DefineInt("seed", 2025, "generator seed");
   bench::DefineThreadsFlag(flags);
   bench::DefineKernelFlag(flags);
+  bench::DefineTraceFlag(flags);
   flags.Parse(argc, argv);
+  const std::string trace_path = bench::ApplyTraceFlag(flags);
   bench::ApplyKernelFlag(flags);
 
   const Dataset data = MakeBenchDataset(
@@ -120,5 +122,6 @@ int main(int argc, char** argv) {
       "points but assigns each border point to one cluster only; 'NO' rows\n"
       "substantiate the Section 1.1 claim that the historical fast variants\n"
       "do not compute the DBSCAN clustering.\n");
+  if (!trace_path.empty()) obs::ExportTrace(trace_path);
   return 0;
 }

@@ -23,7 +23,9 @@ int main(int argc, char** argv) {
                     "append one JSON metrics record per run (empty: off)");
   bench::DefineThreadsFlag(flags);
   bench::DefineKernelFlag(flags);
+  bench::DefineTraceFlag(flags);
   flags.Parse(argc, argv);
+  const std::string trace_path = bench::ApplyTraceFlag(flags);
   bench::ApplyKernelFlag(flags);
   bench::MetricsLogger metrics(flags.GetString("metrics_json"),
                                "table1_parameters");
@@ -62,5 +64,6 @@ int main(int argc, char** argv) {
       "\n(The paper's radii — e.g. 28.5k for SS3D at n=2m — depend on\n"
       "cardinality and the generator instance; what matters is that the\n"
       "radius grows with d, as above.)\n");
+  if (!trace_path.empty()) obs::ExportTrace(trace_path);
   return 0;
 }

@@ -42,6 +42,7 @@ Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
 
   GridPipelineHooks hooks;
   hooks.prepare_cells = [&](const Grid& grid, const CoreCellIndex& cci) {
+    ADB_PHASE("gunawan.nn_build");
     cells = &cci;
     ADB_COUNT("gunawan.nn_structures", cci.size());
     // Per-cell structures are independent, so construction parallelizes.

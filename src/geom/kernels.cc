@@ -45,6 +45,24 @@ BatchDistFn FnFor(KernelKind kind) {
   }
 }
 
+// Marks a dispatch decision on the trace timeline, so a profile shows
+// which kernel the run selected (and when an override flipped it).
+void TraceDispatchDecision(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar:
+      ADB_TRACE_INSTANT("kernel.dispatch.scalar");
+      break;
+    case KernelKind::kAvx2:
+      ADB_TRACE_INSTANT("kernel.dispatch.avx2");
+      break;
+    case KernelKind::kNeon:
+      ADB_TRACE_INSTANT("kernel.dispatch.neon");
+      break;
+    case KernelKind::kAuto:
+      break;  // never stored as the active kind
+  }
+}
+
 KernelKind ResolveAuto() {
 #if defined(__x86_64__) || defined(_M_X64)
   if (__builtin_cpu_supports("avx2")) return KernelKind::kAvx2;
@@ -78,6 +96,7 @@ Dispatch& GlobalDispatch() {
     }
     dispatch.kind.store(kind, std::memory_order_relaxed);
     dispatch.fn.store(FnFor(kind), std::memory_order_relaxed);
+    TraceDispatchDecision(kind);
     return true;
   }();
   (void)initialized;
@@ -117,6 +136,7 @@ bool SetKernel(KernelKind kind) {
   Dispatch& d = GlobalDispatch();
   d.kind.store(resolved, std::memory_order_relaxed);
   d.fn.store(FnFor(resolved), std::memory_order_relaxed);
+  TraceDispatchDecision(resolved);
   return true;
 }
 

@@ -61,6 +61,7 @@ Grid::Grid(const Dataset& data, double side, Layout layout)
 }
 
 void Grid::BuildLegacy() {
+  ADB_PHASE("grid.legacy.build");
   const size_t n = data_->size();
   point_cell_.resize(n);
   coord_to_cell_.reserve(n);
@@ -78,6 +79,7 @@ void Grid::BuildLegacy() {
 }
 
 void Grid::BuildCsr() {
+  ADB_PHASE("grid.csr.build");
   const size_t n = data_->size();
   point_cell_.resize(n);
 
@@ -86,85 +88,100 @@ void Grid::BuildCsr() {
   // every point lands in its own cell (no rehash mid-build).
   std::vector<CellCoord> prov_coords;
   std::vector<uint32_t> counts;
-  const size_t build_slots = NextPow2(2 * std::max<size_t>(n, 1));
-  const size_t build_mask = build_slots - 1;
-  std::vector<uint32_t> slots(build_slots, kNoCell);
   const CellCoordHash hasher;
-  for (size_t i = 0; i < n; ++i) {
-    const CellCoord cc = CellCoord::Of(data_->point(i), data_->dim(), side_);
-    size_t h = hasher(cc) & build_mask;
-    uint32_t ci;
-    for (;;) {
-      ci = slots[h];
-      if (ci == kNoCell) {
-        ci = static_cast<uint32_t>(prov_coords.size());
-        slots[h] = ci;
-        prov_coords.push_back(cc);
-        counts.push_back(0);
-        break;
+  {
+    ADB_PHASE("grid.csr.assign");
+    const size_t build_slots = NextPow2(2 * std::max<size_t>(n, 1));
+    const size_t build_mask = build_slots - 1;
+    std::vector<uint32_t> slots(build_slots, kNoCell);
+    for (size_t i = 0; i < n; ++i) {
+      const CellCoord cc = CellCoord::Of(data_->point(i), data_->dim(), side_);
+      size_t h = hasher(cc) & build_mask;
+      uint32_t ci;
+      for (;;) {
+        ci = slots[h];
+        if (ci == kNoCell) {
+          ci = static_cast<uint32_t>(prov_coords.size());
+          slots[h] = ci;
+          prov_coords.push_back(cc);
+          counts.push_back(0);
+          break;
+        }
+        if (prov_coords[ci] == cc) break;
+        h = (h + 1) & build_mask;
       }
-      if (prov_coords[ci] == cc) break;
-      h = (h + 1) & build_mask;
+      ++counts[ci];
+      point_cell_[i] = ci;  // provisional; remapped below
     }
-    ++counts[ci];
-    point_cell_[i] = ci;  // provisional; remapped below
   }
   const size_t num_cells = prov_coords.size();
 
   // Sort cells (not points: cells are far fewer) along the exact Z-order
   // curve, then remap every provisional index.
   std::vector<uint32_t> order(num_cells);
-  std::iota(order.begin(), order.end(), 0u);
-  const int dim = data_->dim();
-  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    return MortonLess(prov_coords[a].c.data(), prov_coords[b].c.data(), dim);
-  });
+  {
+    ADB_PHASE("grid.csr.sort");
+    std::iota(order.begin(), order.end(), 0u);
+    const int dim = data_->dim();
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return MortonLess(prov_coords[a].c.data(), prov_coords[b].c.data(), dim);
+    });
+  }
   std::vector<uint32_t> new_of_old(num_cells);
   for (uint32_t k = 0; k < num_cells; ++k) new_of_old[order[k]] = k;
 
-  coords_.resize(num_cells);
-  offsets_.assign(num_cells + 1, 0);
-  for (uint32_t k = 0; k < num_cells; ++k) {
-    coords_[k] = prov_coords[order[k]];
-    offsets_[k + 1] = offsets_[k] + counts[order[k]];
-  }
-  for (size_t i = 0; i < n; ++i) point_cell_[i] = new_of_old[point_cell_[i]];
+  {
+    ADB_PHASE("grid.csr.fill");
+    coords_.resize(num_cells);
+    offsets_.assign(num_cells + 1, 0);
+    for (uint32_t k = 0; k < num_cells; ++k) {
+      coords_[k] = prov_coords[order[k]];
+      offsets_[k + 1] = offsets_[k] + counts[order[k]];
+    }
+    for (size_t i = 0; i < n; ++i) point_cell_[i] = new_of_old[point_cell_[i]];
 
-  // Counting fill in ascending point id, so each cell's slice is ascending —
-  // the same within-cell order the legacy per-cell vectors have.
-  point_ids_.resize(n);
-  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (size_t i = 0; i < n; ++i) {
-    point_ids_[cursor[point_cell_[i]]++] = static_cast<uint32_t>(i);
-  }
+    // Counting fill in ascending point id, so each cell's slice is
+    // ascending — the same within-cell order the legacy per-cell vectors
+    // have.
+    point_ids_.resize(n);
+    std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (size_t i = 0; i < n; ++i) {
+      point_ids_[cursor[point_cell_[i]]++] = static_cast<uint32_t>(i);
+    }
 
-  // Final lookup table sized to the actual cell count; values are the
-  // Morton-ranked indices.
-  hash_slots_.assign(NextPow2(2 * std::max<size_t>(num_cells, 1)), kNoCell);
-  hash_mask_ = hash_slots_.size() - 1;
-  for (uint32_t k = 0; k < num_cells; ++k) {
-    size_t h = hasher(coords_[k]) & hash_mask_;
-    while (hash_slots_[h] != kNoCell) h = (h + 1) & hash_mask_;
-    hash_slots_[h] = k;
+    // Final lookup table sized to the actual cell count; values are the
+    // Morton-ranked indices.
+    hash_slots_.assign(NextPow2(2 * std::max<size_t>(num_cells, 1)), kNoCell);
+    hash_mask_ = hash_slots_.size() - 1;
+    for (uint32_t k = 0; k < num_cells; ++k) {
+      size_t h = hasher(coords_[k]) & hash_mask_;
+      while (hash_slots_[h] != kNoCell) h = (h + 1) & hash_mask_;
+      hash_slots_[h] = k;
+    }
   }
 
   // Permuted SoA: each cell a lane-aligned block, padding lanes replicating
   // the cell's last point so kernels can run full-width tails (the SoaBlock
   // gather implements exactly that for the id list we hand it).
-  soa_begin_.resize(num_cells);
-  std::vector<uint32_t> layout_ids;
-  layout_ids.reserve(simd::PaddedCount(n) + simd::kLaneWidth * num_cells);
-  for (uint32_t k = 0; k < num_cells; ++k) {
-    soa_begin_[k] = static_cast<uint32_t>(layout_ids.size());
-    const uint32_t begin = offsets_[k];
-    const uint32_t end = offsets_[k + 1];
-    for (uint32_t j = begin; j < end; ++j) layout_ids.push_back(point_ids_[j]);
-    const uint32_t last = point_ids_[end - 1];
-    for (size_t j = end - begin; j < simd::PaddedCount(end - begin); ++j) {
-      layout_ids.push_back(last);
+  {
+    ADB_PHASE("grid.csr.soa");
+    soa_begin_.resize(num_cells);
+    std::vector<uint32_t> layout_ids;
+    layout_ids.reserve(simd::PaddedCount(n) + simd::kLaneWidth * num_cells);
+    for (uint32_t k = 0; k < num_cells; ++k) {
+      soa_begin_[k] = static_cast<uint32_t>(layout_ids.size());
+      const uint32_t begin = offsets_[k];
+      const uint32_t end = offsets_[k + 1];
+      for (uint32_t j = begin; j < end; ++j) {
+        layout_ids.push_back(point_ids_[j]);
+      }
+      const uint32_t last = point_ids_[end - 1];
+      for (size_t j = end - begin; j < simd::PaddedCount(end - begin); ++j) {
+        layout_ids.push_back(last);
+      }
     }
+    perm_soa_ = simd::SoaBlock(*data_, layout_ids.data(), layout_ids.size());
   }
-  perm_soa_ = simd::SoaBlock(*data_, layout_ids.data(), layout_ids.size());
 }
 
 void Grid::BuildCenters() {

@@ -105,7 +105,9 @@ std::string ToJson(const RunRecord& record) {
     out += "\"" + JsonEscape(name) + "\":{\"count\":" +
            std::to_string(d.count) + ",\"sum\":" + JsonNumber(d.sum) +
            ",\"min\":" + JsonNumber(d.min) + ",\"max\":" + JsonNumber(d.max) +
-           "}";
+           ",\"p50\":" + JsonNumber(d.Quantile(0.50)) +
+           ",\"p95\":" + JsonNumber(d.Quantile(0.95)) +
+           ",\"p99\":" + JsonNumber(d.Quantile(0.99)) + "}";
   }
   out += "}}";
   return out;
@@ -169,6 +171,16 @@ std::optional<RunRecord> RunRecordFromJson(const std::string& json) {
       d.sum = sum->number;
       d.min = min->number;
       d.max = max->number;
+      const JsonValue* p50 = value.Find("p50");
+      const JsonValue* p95 = value.Find("p95");
+      const JsonValue* p99 = value.Find("p99");
+      if (p50 != nullptr && p50->IsNumber() && p95 != nullptr &&
+          p95->IsNumber() && p99 != nullptr && p99->IsNumber()) {
+        d.p50 = p50->number;
+        d.p95 = p95->number;
+        d.p99 = p99->number;
+        d.has_quantiles = true;
+      }
       record.metrics.distributions.emplace(name, d);
     }
   }
@@ -199,6 +211,12 @@ std::string ToCsv(const RunRecord& record) {
            JsonNumber(d.min) + '\n';
     out += row_head + ",distribution," + CsvField(name) + ".max," +
            JsonNumber(d.max) + '\n';
+    out += row_head + ",distribution," + CsvField(name) + ".p50," +
+           JsonNumber(d.Quantile(0.50)) + '\n';
+    out += row_head + ",distribution," + CsvField(name) + ".p95," +
+           JsonNumber(d.Quantile(0.95)) + '\n';
+    out += row_head + ",distribution," + CsvField(name) + ".p99," +
+           JsonNumber(d.Quantile(0.99)) + '\n';
   }
   return out;
 }

@@ -1,11 +1,39 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <thread>
 
 #include "util/check.h"
 
 namespace adbscan {
 namespace obs {
+namespace {
+
+// Histogram bucket for a sample: 0 for non-positive values, else the
+// quarter-octave log2 bucket, clamped to the covered range.
+int HistBucket(double value) {
+  if (!(value > 0.0)) return 0;
+  const int quarters = static_cast<int>(std::floor(
+      std::log2(value) * DistStats::kHistPerOctave));
+  const int idx = quarters - DistStats::kHistMinQuarters + 1;
+  return std::clamp(idx, 1, DistStats::kHistBuckets - 1);
+}
+
+// Geometric midpoint of a log bucket (the estimate reported for samples
+// that landed in it).
+double HistRepresentative(int bucket) {
+  const double quarters = static_cast<double>(
+      bucket - 1 + DistStats::kHistMinQuarters) + 0.5;
+  return std::exp2(quarters / DistStats::kHistPerOctave);
+}
+
+std::string ThisThreadIdString() {
+  return std::to_string(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+}  // namespace
 
 void DistStats::Merge(const DistStats& other) {
   if (other.count == 0) return;
@@ -17,6 +45,7 @@ void DistStats::Merge(const DistStats& other) {
   sum += other.sum;
   min = std::min(min, other.min);
   max = std::max(max, other.max);
+  for (int i = 0; i < kHistBuckets; ++i) hist[i] += other.hist[i];
 }
 
 void DistStats::Record(double value) {
@@ -28,6 +57,32 @@ void DistStats::Record(double value) {
   }
   ++count;
   sum += value;
+  ++hist[HistBucket(value)];
+}
+
+double DistStats::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  uint64_t hist_total = 0;
+  for (const uint64_t c : hist) hist_total += c;
+  if (hist_total == 0) {
+    // Parsed record: the histogram did not survive the JSON round trip,
+    // only the canned quantiles did.
+    if (!has_quantiles) return 0.0;
+    if (q <= 0.75) return p50;
+    if (q <= 0.97) return p95;
+    return p99;
+  }
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(hist_total))));
+  uint64_t cum = 0;
+  for (int b = 0; b < kHistBuckets; ++b) {
+    cum += hist[b];
+    if (cum >= rank) {
+      const double rep = b == 0 ? min : HistRepresentative(b);
+      return std::clamp(rep, min, max);
+    }
+  }
+  return max;
 }
 
 double MetricsSnapshot::TotalPhaseMs() const {
@@ -152,8 +207,14 @@ void MetricsRegistry::MergeShardLocked(Shard& shard) {
 
 void MetricsRegistry::Reset() {
   const std::lock_guard<std::mutex> lock(mu_);
-  ADB_CHECK_MSG(tls_current_phase == nullptr,
-                "MetricsRegistry::Reset with an open phase span");
+  if (!open_spans_.empty()) {
+    std::string msg = "MetricsRegistry::Reset with " +
+                      std::to_string(open_spans_.size()) +
+                      " open phase span(s); first: '" +
+                      open_spans_.front().first->name + "' opened on thread " +
+                      open_spans_.front().second;
+    ADB_CHECK_MSG(false, msg.c_str());
+  }
   std::fill(counter_totals_.begin(), counter_totals_.end(), 0);
   std::fill(dist_totals_.begin(), dist_totals_.end(), DistStats());
   for (Shard* shard : live_shards_) {
@@ -210,6 +271,7 @@ void* MetricsRegistry::EnterPhase(const char* name) {
   }
   ++node->count;
   tls_current_phase = node;
+  open_spans_.emplace_back(node, ThisThreadIdString());
   return node;
 }
 
@@ -218,15 +280,31 @@ void MetricsRegistry::ExitPhase(void* token, double elapsed_ms) {
   PhaseNodeImpl* node = static_cast<PhaseNodeImpl*>(token);
   node->ms += elapsed_ms;
   tls_current_phase = node->parent;
+  // Phases close LIFO per thread, so the last entry for this node is ours.
+  for (auto it = open_spans_.rbegin(); it != open_spans_.rend(); ++it) {
+    if (it->first == node) {
+      open_spans_.erase(std::next(it).base());
+      break;
+    }
+  }
 }
 
 ScopedPhase::ScopedPhase(const char* name) {
+  if (TraceRecorder::Enabled()) {
+    trace_name_ = name;
+    trace_start_ns_ = TraceRecorder::NowNs();
+  }
   if (!MetricsRegistry::Enabled()) return;
   token_ = MetricsRegistry::Global().EnterPhase(name);
   start_ = Clock::now();
 }
 
 ScopedPhase::~ScopedPhase() {
+  if (trace_name_ != nullptr) {
+    TraceRecorder::Global().RecordSpan(
+        trace_name_, trace_start_ns_,
+        TraceRecorder::NowNs() - trace_start_ns_);
+  }
   if (token_ == nullptr) return;
   const double elapsed_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - start_).count();

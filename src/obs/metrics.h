@@ -27,6 +27,7 @@
 #define ADBSCAN_METRICS 1
 #endif
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -35,18 +36,45 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace adbscan {
 namespace obs {
 
-// Aggregate statistics of a value distribution (ADB_RECORD sites).
+// Aggregate statistics of a value distribution (ADB_RECORD sites):
+// count/sum/min/max plus a fixed-bucket log histogram for streaming
+// quantile estimates (p50/p95/p99 in the export, tail latency for
+// stream/server-style workloads).
+//
+// The histogram has 128 quarter-octave buckets covering [2^-8, 2^24)
+// (bucket ratio 2^0.25, so a quantile estimate is within ~9% of the true
+// value) plus one bucket for non-positive samples; out-of-range values
+// clamp into the edge buckets, and estimates are clamped to [min, max].
 struct DistStats {
+  static constexpr int kHistBuckets = 129;   // [0]: v <= 0; [1..128]: log
+  static constexpr int kHistPerOctave = 4;   // quarter-octave resolution
+  static constexpr int kHistMinQuarters = -32;  // bucket 1 floor: 2^(-8)
+
   uint64_t count = 0;
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+  std::array<uint64_t, kHistBuckets> hist{};
+
+  // Parsed-record quantiles (RunRecordFromJson); live stats estimate from
+  // the histogram instead (see Quantile).
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  bool has_quantiles = false;
 
   void Merge(const DistStats& other);
   void Record(double value);
+
+  // Histogram quantile estimate, clamped to [min, max]. For records parsed
+  // back from JSON (empty histogram), returns the stored p50/p95/p99 field
+  // nearest to q. Returns 0 when empty.
+  double Quantile(double q) const;
 };
 
 // One node of the per-run phase tree: accumulated wall-clock milliseconds
@@ -95,7 +123,8 @@ class MetricsRegistry {
   void Record(uint32_t dist_id, double value);
 
   // Zeroes every counter, distribution, and the phase tree. Requires
-  // quiescence and no open phase spans.
+  // quiescence and no open phase spans; aborts naming the offending phase
+  // (and its thread) when a span is still open.
   void Reset();
 
   // Aggregates totals + all live thread shards. Requires quiescence.
@@ -126,11 +155,18 @@ class MetricsRegistry {
   std::vector<DistStats> dist_totals_;
   std::vector<Shard*> live_shards_;
   std::vector<PhaseNodeImpl*> phase_roots_;  // owned
+
+  // Currently open phase spans across all threads, for Reset()'s
+  // open-phase diagnostic: (node, human-readable thread id).
+  std::vector<std::pair<PhaseNodeImpl*, std::string>> open_spans_;
 };
 
 // RAII phase span. Nesting follows C++ scope; spans opened while another
 // span is active on the same thread become its children in the phase tree.
-// Inactive (and free) when metrics are runtime-disabled at entry.
+// Also records a trace duration span under the same name when tracing is
+// enabled (obs/trace.h), so trace timelines and metrics phase totals share
+// one vocabulary. Inactive (and free) when both layers are
+// runtime-disabled at entry.
 class ScopedPhase {
  public:
   explicit ScopedPhase(const char* name);
@@ -143,6 +179,8 @@ class ScopedPhase {
   using Clock = std::chrono::steady_clock;
   void* token_ = nullptr;  // null when runtime-disabled at entry
   Clock::time_point start_;
+  const char* trace_name_ = nullptr;  // null when tracing disabled at entry
+  uint64_t trace_start_ns_ = 0;
 };
 
 }  // namespace obs
@@ -191,9 +229,10 @@ class ScopedPhase {
 #define ADB_RECORD(name, value) \
   do {                          \
   } while (0)
-#define ADB_PHASE(name) \
-  do {                  \
-  } while (0)
+// Tracing is always compiled (obs/trace.h has no compile-time toggle), so
+// phase sites keep emitting trace spans even with metrics compiled out —
+// only the metrics side of ADB_PHASE disappears.
+#define ADB_PHASE(name) ADB_TRACE_SPAN(name)
 
 #endif  // ADBSCAN_METRICS
 

@@ -1,0 +1,226 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+namespace adbscan {
+namespace obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+size_t NextPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// Label requested via SetTraceThreadLabel before the thread's buffer
+// exists; applied at buffer creation.
+thread_local std::string tls_pending_label;
+
+}  // namespace
+
+namespace {
+// The calling thread's buffer, if one has been created (set by the Buffer
+// constructor, cleared by its destructor). Lets SetTraceThreadLabel
+// re-label an existing buffer without forcing creation.
+thread_local TraceRecorder::Buffer* tls_buffer = nullptr;
+}  // namespace
+
+uint64_t TraceSnapshot::TotalDropped() const {
+  uint64_t total = 0;
+  for (const ThreadTrace& t : threads) total += t.dropped;
+  return total;
+}
+
+size_t TraceSnapshot::TotalEvents() const {
+  size_t total = 0;
+  for (const ThreadTrace& t : threads) total += t.events.size();
+  return total;
+}
+
+// Registry state shared by all buffers. Kept out of the header (and out of
+// the TraceRecorder object layout) so the header needs no <mutex>.
+struct RecorderState {
+  std::mutex mu;
+  Clock::time_point epoch = Clock::now();
+  size_t capacity = TraceRecorder::kDefaultCapacity;
+  int next_tid = 0;
+  std::vector<TraceRecorder::Buffer*> live;
+  std::vector<ThreadTrace> retired;  // buffers of exited threads
+};
+
+namespace {
+
+RecorderState& State() {
+  // Leaked for the same reason as the recorder itself.
+  static RecorderState* const s = new RecorderState();
+  return *s;
+}
+
+}  // namespace
+
+// One thread's fixed-capacity ring. Single-writer (the owning thread);
+// readers (Reset/Snapshot) run under quiescence, so head and the payload
+// need no atomics — the happens-before edge is the caller's (thread join,
+// or the task pool's end-of-region protocol).
+struct TraceRecorder::Buffer {
+  Buffer() {
+    RecorderState& s = State();
+    const std::lock_guard<std::mutex> lock(s.mu);
+    tid = s.next_tid++;
+    label = tls_pending_label.empty() ? "thread-" + std::to_string(tid)
+                                      : tls_pending_label;
+    ring.resize(s.capacity);
+    mask = s.capacity - 1;
+    s.live.push_back(this);
+    tls_buffer = this;
+  }
+
+  ~Buffer() {
+    RecorderState& s = State();
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.retired.push_back(Extract());
+    s.live.erase(std::remove(s.live.begin(), s.live.end(), this),
+                 s.live.end());
+    tls_buffer = nullptr;
+  }
+
+  void Push(const TraceEvent& event) {
+    ring[static_cast<size_t>(head) & mask] = event;
+    ++head;
+  }
+
+  // Copies out the ring contents in record order (requires quiescence or
+  // the owning thread itself).
+  ThreadTrace Extract() const {
+    ThreadTrace out;
+    out.tid = tid;
+    out.label = label;
+    const uint64_t cap = static_cast<uint64_t>(ring.size());
+    out.dropped = head > cap ? head - cap : 0;
+    const uint64_t begin = head > cap ? head - cap : 0;
+    out.events.reserve(static_cast<size_t>(head - begin));
+    for (uint64_t i = begin; i < head; ++i) {
+      out.events.push_back(ring[static_cast<size_t>(i) & mask]);
+    }
+    return out;
+  }
+
+  int tid = 0;
+  std::string label;
+  std::vector<TraceEvent> ring;
+  size_t mask = 0;
+  uint64_t head = 0;  // total events ever pushed since the last Reset
+};
+
+TraceRecorder::TraceRecorder() {
+  if (const char* env = std::getenv("ADBSCAN_TRACE_BUFFER")) {
+    const long long v = std::atoll(env);
+    if (v > 0) State().capacity = NextPow2(static_cast<size_t>(v));
+  }
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked so thread_local Buffer destructors can always reach State().
+  static TraceRecorder* const g = new TraceRecorder();
+  return *g;
+}
+
+uint64_t TraceRecorder::NowNs() {
+  Global();  // ensure the epoch (in State()) is initialized
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           State().epoch)
+          .count());
+}
+
+TraceRecorder::Buffer& TraceRecorder::LocalBuffer() {
+  thread_local Buffer buffer;
+  return buffer;
+}
+
+void TraceRecorder::RecordSpan(const char* name, uint64_t start_ns,
+                               uint64_t dur_ns) {
+  if (!Enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.ts_ns = start_ns;
+  e.dur_ns = dur_ns;
+  e.kind = TraceEventKind::kSpan;
+  LocalBuffer().Push(e);
+}
+
+void TraceRecorder::RecordInstant(const char* name) {
+  if (!Enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.ts_ns = NowNs();
+  e.kind = TraceEventKind::kInstant;
+  LocalBuffer().Push(e);
+}
+
+void TraceRecorder::RecordCounter(const char* name, double value) {
+  if (!Enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.ts_ns = NowNs();
+  e.value = value;
+  e.kind = TraceEventKind::kCounter;
+  LocalBuffer().Push(e);
+}
+
+void TraceRecorder::Reset() {
+  RecorderState& s = State();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.retired.clear();
+  for (Buffer* b : s.live) {
+    b->head = 0;
+    if (b->ring.size() != s.capacity) {
+      b->ring.assign(s.capacity, TraceEvent());
+      b->mask = s.capacity - 1;
+    }
+  }
+  s.epoch = Clock::now();
+}
+
+TraceSnapshot TraceRecorder::Snapshot() {
+  RecorderState& s = State();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  TraceSnapshot snap;
+  snap.threads = s.retired;
+  for (const Buffer* b : s.live) snap.threads.push_back(b->Extract());
+  std::sort(snap.threads.begin(), snap.threads.end(),
+            [](const ThreadTrace& a, const ThreadTrace& b) {
+              return a.tid < b.tid;
+            });
+  return snap;
+}
+
+void TraceRecorder::SetCapacity(size_t events_per_thread) {
+  RecorderState& s = State();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.capacity = NextPow2(std::max<size_t>(events_per_thread, 2));
+}
+
+size_t TraceRecorder::capacity() const {
+  RecorderState& s = State();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.capacity;
+}
+
+void SetTraceThreadLabel(std::string label) {
+  tls_pending_label = std::move(label);
+  if (tls_buffer == nullptr) return;
+  // Re-label the already-created buffer in place, under the registry lock
+  // because Snapshot reads labels under the same lock.
+  RecorderState& s = State();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  tls_buffer->label = tls_pending_label;
+}
+
+}  // namespace obs
+}  // namespace adbscan

@@ -1,0 +1,193 @@
+#ifndef ADBSCAN_OBS_TRACE_H_
+#define ADBSCAN_OBS_TRACE_H_
+
+// Event tracing layer: timestamped duration spans, instant events, and
+// counter-track samples, recorded into lock-free per-thread ring buffers
+// and exported as Chrome trace-event JSON (see obs/trace_export.h), which
+// Perfetto and chrome://tracing load directly.
+//
+// Where the metrics layer (obs/metrics.h) answers *how much* — aggregate
+// counters, distributions, phase totals — this layer answers *when* and
+// *on which thread*: every recorded event carries a nanosecond timestamp
+// and the recording thread's id, so a run can be replayed as a timeline
+// (per-worker task spans, steal instants, pool queue depth, pipeline
+// phases, per-batch DynamicClusterer work).
+//
+// Design constraints (see DESIGN.md "Tracing"):
+//   - Always compiled, runtime-gated: ADB_TRACE_* sites cost one relaxed
+//     atomic load + branch when tracing is off, in every build
+//     configuration (there is no compile-time toggle; the sites are cheap
+//     enough to keep).
+//   - Recording is lock-free and allocation-free on the hot path: each
+//     thread owns a fixed-capacity ring buffer (created on its first
+//     recorded event) and writes with plain stores. When the ring is full
+//     the oldest events are overwritten (drop-oldest); the drop count is
+//     reported per thread and as the `trace.dropped_events` metrics
+//     counter at export time.
+//   - Event names must be string literals (or otherwise live for the
+//     process): the ring stores the pointer, never a copy.
+//
+// Threading contract: recording is safe from any thread. Reset() and
+// Snapshot() require quiescence — no instrumented threads concurrently
+// recording — which every caller in this repo satisfies because the task
+// pool's Run() returns only after all workers have left the region (the
+// worker's deregistration under the job mutex gives the happens-before
+// edge), and harness export happens after the measured work.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adbscan {
+namespace obs {
+
+enum class TraceEventKind : uint8_t {
+  kSpan,     // duration: [ts_ns, ts_ns + dur_ns)
+  kInstant,  // point event at ts_ns
+  kCounter,  // counter-track sample: value at ts_ns
+};
+
+// One recorded event. 40 bytes; the ring buffer is an array of these.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t ts_ns = 0;   // nanoseconds since the recorder epoch (last Reset)
+  uint64_t dur_ns = 0;  // spans only
+  double value = 0.0;   // counters only
+  TraceEventKind kind = TraceEventKind::kInstant;
+};
+
+// Everything one thread recorded (still alive or already exited).
+struct ThreadTrace {
+  int tid = 0;
+  std::string label;     // e.g. "main", "pool-worker-3"
+  uint64_t dropped = 0;  // events overwritten by ring wraparound
+  std::vector<TraceEvent> events;  // oldest first
+};
+
+// Point-in-time copy of every thread's ring since the last Reset().
+struct TraceSnapshot {
+  std::vector<ThreadTrace> threads;  // sorted by tid
+
+  uint64_t TotalDropped() const;
+  size_t TotalEvents() const;
+};
+
+// Process-global trace recorder. All ADB_TRACE_* macros go through it.
+class TraceRecorder {
+ public:
+  // Default per-thread ring capacity in events (~1.3 MiB per thread);
+  // override process-wide with the ADBSCAN_TRACE_BUFFER environment
+  // variable or per run with SetCapacity().
+  static constexpr size_t kDefaultCapacity = size_t{1} << 15;
+
+  // The singleton every macro goes through. Leaked on purpose so that
+  // thread_local buffer destructors can retire into it at any thread's
+  // exit.
+  static TraceRecorder& Global();
+
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+  static void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Nanoseconds since the recorder epoch (process start / last Reset).
+  static uint64_t NowNs();
+
+  // Lock-free recording into the calling thread's ring buffer.
+  void RecordSpan(const char* name, uint64_t start_ns, uint64_t dur_ns);
+  void RecordInstant(const char* name);
+  void RecordCounter(const char* name, double value);
+
+  // Clears every ring (live and retired) and re-arms the epoch so the next
+  // trace starts at ts 0. Requires quiescence. Applies a pending
+  // SetCapacity() to live rings.
+  void Reset();
+
+  // Copies out every thread's events in record order. Requires quiescence.
+  TraceSnapshot Snapshot();
+
+  // Ring capacity (events per thread) for buffers created after this call
+  // and for all live buffers at the next Reset(). Rounded up to a power of
+  // two. Intended for tests; production sizing uses ADBSCAN_TRACE_BUFFER.
+  void SetCapacity(size_t events_per_thread);
+  size_t capacity() const;
+
+  // Implementation type; public only so the thread_local holder in
+  // trace.cc can name it.
+  struct Buffer;
+
+ private:
+  TraceRecorder();
+  Buffer& LocalBuffer();
+  friend void SetTraceThreadLabel(std::string label);
+
+  inline static std::atomic<bool> enabled_{false};
+};
+
+// Labels the calling thread in trace snapshots ("main", "pool-worker-2").
+// Cheap and always safe to call, even with tracing disabled or before the
+// thread has recorded anything; the label sticks to the thread's buffer
+// when (and if) one is created.
+void SetTraceThreadLabel(std::string label);
+
+// RAII duration span: records one kSpan event covering its scope when
+// tracing was enabled at construction. Free (two untaken branches) when
+// disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceRecorder::Enabled()) {
+      name_ = name;
+      start_ = TraceRecorder::NowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder::Global().RecordSpan(name_, start_,
+                                         TraceRecorder::NowNs() - start_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ = 0;
+};
+
+}  // namespace obs
+}  // namespace adbscan
+
+// Instrumentation macros. `name` must be a string literal (or otherwise
+// live for the process). Always compiled; runtime-gated on
+// TraceRecorder::Enabled().
+
+#define ADB_TRACE_CONCAT_INNER_(a, b) a##b
+#define ADB_TRACE_CONCAT_(a, b) ADB_TRACE_CONCAT_INNER_(a, b)
+
+// Opens a duration span for the rest of the enclosing scope.
+#define ADB_TRACE_SPAN(name) \
+  ::adbscan::obs::TraceSpan ADB_TRACE_CONCAT_(adb_trace_span_, __LINE__)(name)
+
+// Records a point event at the current time on the calling thread.
+#define ADB_TRACE_INSTANT(name)                                   \
+  do {                                                            \
+    if (::adbscan::obs::TraceRecorder::Enabled()) {               \
+      ::adbscan::obs::TraceRecorder::Global().RecordInstant(name); \
+    }                                                             \
+  } while (0)
+
+// Records one sample of the counter track `name` (rendered by Perfetto as
+// a stepped value-over-time track).
+#define ADB_TRACE_COUNTER(name, value)                            \
+  do {                                                            \
+    if (::adbscan::obs::TraceRecorder::Enabled()) {               \
+      ::adbscan::obs::TraceRecorder::Global().RecordCounter(      \
+          name, static_cast<double>(value));                      \
+    }                                                             \
+  } while (0)
+
+#endif  // ADBSCAN_OBS_TRACE_H_

@@ -1,0 +1,122 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace adbscan {
+namespace obs {
+namespace {
+
+// Microseconds with nanosecond resolution, Chrome's time unit.
+std::string Us(uint64_t ns) {
+  return JsonNumber(static_cast<double>(ns) / 1000.0);
+}
+
+void AppendEvent(const TraceEvent& e, int tid, std::string* out) {
+  switch (e.kind) {
+    case TraceEventKind::kSpan:
+      *out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+              ",\"ts\":" + Us(e.ts_ns) + ",\"dur\":" + Us(e.dur_ns) +
+              ",\"cat\":\"adbscan\",\"name\":\"" + JsonEscape(e.name) +
+              "\"}";
+      break;
+    case TraceEventKind::kInstant:
+      *out += "{\"ph\":\"i\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+              ",\"ts\":" + Us(e.ts_ns) + ",\"s\":\"t\",\"name\":\"" +
+              JsonEscape(e.name) + "\"}";
+      break;
+    case TraceEventKind::kCounter:
+      *out += "{\"ph\":\"C\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+              ",\"ts\":" + Us(e.ts_ns) + ",\"name\":\"" + JsonEscape(e.name) +
+              "\",\"args\":{\"value\":" + JsonNumber(e.value) + "}}";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const TraceSnapshot& snapshot) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+  emit("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"adbscan\"}}");
+  for (const ThreadTrace& t : snapshot.threads) {
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(t.tid) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+         JsonEscape(t.label) + "\"}}");
+  }
+  for (const ThreadTrace& t : snapshot.threads) {
+    // Spans are recorded at scope exit, so a parent lands after its
+    // children in ring order; re-sort by (ts, dur desc) so per-tid
+    // timestamps are monotone and enclosing spans come first.
+    std::vector<TraceEvent> events = t.events;
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                       return a.dur_ns > b.dur_ns;
+                     });
+    for (const TraceEvent& e : events) {
+      std::string line;
+      AppendEvent(e, t.tid, &line);
+      emit(line);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool WriteChromeTraceJson(const std::string& path,
+                          const TraceSnapshot& snapshot) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = ToChromeTraceJson(snapshot);
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  ADB_COUNT("trace.dropped_events", snapshot.TotalDropped());
+  return true;
+}
+
+std::string ResolveTracePath(const std::string& flag_value) {
+  if (!flag_value.empty()) return flag_value;
+  if (const char* env = std::getenv("ADBSCAN_TRACE");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return "";
+}
+
+void StartTracing() {
+  SetTraceThreadLabel("main");
+  TraceRecorder::SetEnabled(true);
+  TraceRecorder::Global().Reset();
+}
+
+bool ExportTrace(const std::string& path) {
+  const TraceSnapshot snapshot = TraceRecorder::Global().Snapshot();
+  if (!WriteChromeTraceJson(path, snapshot)) {
+    std::fprintf(stderr, "failed to write trace to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("trace written to %s (%zu events across %zu threads)\n",
+              path.c_str(), snapshot.TotalEvents(),
+              snapshot.threads.size());
+  if (const uint64_t dropped = snapshot.TotalDropped(); dropped > 0) {
+    std::fprintf(stderr,
+                 "warning: %llu trace events dropped (ring buffers "
+                 "wrapped); raise ADBSCAN_TRACE_BUFFER\n",
+                 static_cast<unsigned long long>(dropped));
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace adbscan

@@ -1,0 +1,61 @@
+#ifndef ADBSCAN_OBS_TRACE_EXPORT_H_
+#define ADBSCAN_OBS_TRACE_EXPORT_H_
+
+// Chrome trace-event JSON exporter for obs::TraceSnapshot, plus the small
+// amount of flag/env plumbing every binary shares (--trace_json and the
+// ADBSCAN_TRACE environment variable).
+//
+// Output schema (the "JSON Object Format" that Perfetto and
+// chrome://tracing load):
+//   {
+//     "displayTimeUnit": "ms",
+//     "traceEvents": [
+//       {"ph":"M","pid":1,"tid":0,"name":"process_name",
+//        "args":{"name":"adbscan"}},
+//       {"ph":"M","pid":1,"tid":0,"name":"thread_name",
+//        "args":{"name":"main"}},
+//       {"ph":"X","pid":1,"tid":0,"ts":12.3,"dur":4.5,
+//        "cat":"adbscan","name":"grid_build"},
+//       {"ph":"i","pid":1,"tid":2,"ts":20.1,"s":"t","name":"pool.steal"},
+//       {"ph":"C","pid":1,"tid":0,"ts":21.0,"name":"pool.queue_depth",
+//        "args":{"value":7}}
+//     ]
+//   }
+// Timestamps and durations are microseconds since the recorder epoch
+// (Chrome's convention). Within each tid, non-metadata events are sorted
+// by (ts, dur descending), so timestamps are monotone per thread and a
+// parent span always precedes the children it encloses.
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace adbscan {
+namespace obs {
+
+// Serializes a snapshot as one Chrome trace-event JSON document.
+std::string ToChromeTraceJson(const TraceSnapshot& snapshot);
+
+// Writes ToChromeTraceJson(snapshot) to `path` (truncating), and bumps the
+// `trace.dropped_events` metrics counter by the snapshot's total drops.
+// Returns false and leaves no partial file behind on open failure.
+bool WriteChromeTraceJson(const std::string& path,
+                          const TraceSnapshot& snapshot);
+
+// The effective trace output path: `flag_value` when non-empty, else the
+// ADBSCAN_TRACE environment variable, else "" (tracing off).
+std::string ResolveTracePath(const std::string& flag_value);
+
+// Labels the calling thread "main", enables the recorder, and clears any
+// previously buffered events so the trace starts at ts 0.
+void StartTracing();
+
+// Snapshots the recorder and writes the trace to `path`, printing a
+// one-line confirmation (plus a warning when events were dropped — raise
+// ADBSCAN_TRACE_BUFFER if that happens). Returns false on write failure.
+bool ExportTrace(const std::string& path);
+
+}  // namespace obs
+}  // namespace adbscan
+
+#endif  // ADBSCAN_OBS_TRACE_EXPORT_H_

@@ -233,6 +233,7 @@ void DynamicClusterer::MaybeCompact() {
 
 void DynamicClusterer::Compact() {
   ADB_PHASE("stream.compact");
+  ADB_TRACE_INSTANT("stream.rebuild");
   ADB_COUNT("stream.rebuilds", 1);
   ops_since_snapshot_ = 0;
   for (Cell& cell : cells_) {
@@ -323,6 +324,7 @@ uint32_t DynamicClusterer::Insert(const Dataset& batch) {
   size_t touched_total = 0;
   for (const auto& t : touch) touched_total += t.size();
   ADB_COUNT("stream.cells_touched", touched_total);
+  ADB_TRACE_COUNTER("stream.cells_touched", touched_total);
 
   // Invert to per-cell work so the count updates write disjoint slots (a
   // point's count is only ever written by its own cell's work item). Batch
@@ -441,6 +443,7 @@ void DynamicClusterer::Remove(const std::vector<uint32_t>& ids) {
   size_t touched_total = 0;
   for (const auto& t : touch) touched_total += t.size();
   ADB_COUNT("stream.cells_touched", touched_total);
+  ADB_TRACE_COUNTER("stream.cells_touched", touched_total);
 
   std::unordered_map<uint32_t, std::vector<uint32_t>> by_cell;
   for (size_t i = 0; i < bn; ++i) {
@@ -722,6 +725,7 @@ void DynamicClusterer::Refresh(std::vector<uint32_t> touched,
     // Past the threshold the bookkeeping costs more than it saves: rebuild
     // the components of every core cell from the maintained adjacency.
     ADB_COUNT("stream.frontier_fallbacks", 1);
+    ADB_TRACE_INSTANT("stream.frontier_fallback");
     collect.clear();
     keep.clear();
     for (uint32_t dc = 0; dc < static_cast<uint32_t>(cells_.size()); ++dc) {

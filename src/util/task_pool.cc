@@ -125,11 +125,13 @@ int TaskPool::NumSpawnedWorkers() {
 void TaskPool::EnsureWorkersLocked(int wanted) {
   const int target = std::min(wanted, kMaxWorkers - 1);
   while (static_cast<int>(workers_.size()) < target) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    const int index = static_cast<int>(workers_.size());
+    workers_.emplace_back([this, index] { WorkerLoop(index); });
   }
 }
 
-void TaskPool::WorkerLoop() {
+void TaskPool::WorkerLoop(int worker_index) {
+  obs::SetTraceThreadLabel("pool-worker-" + std::to_string(worker_index));
   uint64_t seen_generation = 0;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
@@ -189,6 +191,7 @@ void TaskPool::Participate(Job& job, int slot) {
             if (victim.Steal(&chunk)) {
               have = true;
               ++stolen;
+              ADB_TRACE_INSTANT("pool.steal");
             } else {
               contended = true;
             }
@@ -199,17 +202,22 @@ void TaskPool::Participate(Job& job, int slot) {
     }
     const size_t begin = chunk * job.grain;
     const size_t end = std::min(job.n, begin + job.grain);
-    if (job.timed) {
-      const auto t0 = std::chrono::steady_clock::now();
-      (*job.chunk_fn)(begin, end);
-      busy_ns += static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - t0)
-              .count());
-    } else {
-      (*job.chunk_fn)(begin, end);
+    {
+      obs::TraceSpan chunk_span("pool.chunk");
+      if (job.timed) {
+        const auto t0 = std::chrono::steady_clock::now();
+        (*job.chunk_fn)(begin, end);
+        busy_ns += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      } else {
+        (*job.chunk_fn)(begin, end);
+      }
     }
-    if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    const size_t before = job.remaining.fetch_sub(1, std::memory_order_acq_rel);
+    ADB_TRACE_COUNTER("pool.queue_depth", before - 1);
+    if (before == 1) {
       // Notify under job.mu (see WorkerLoop) so the Job outlives the call.
       const std::lock_guard<std::mutex> done_lock(job.mu);
       job.done_cv.notify_all();
@@ -219,6 +227,10 @@ void TaskPool::Participate(Job& job, int slot) {
     job.steals.fetch_add(stolen, std::memory_order_relaxed);
     job.busy_ns.fetch_add(busy_ns, std::memory_order_relaxed);
   }
+  // All of this thread's trace writes for the region land before the park
+  // instant, which itself lands before the worker deregisters under
+  // job.mu — the happens-before edge Snapshot() relies on.
+  if (slot != 0) ADB_TRACE_INSTANT("pool.park");
   tls_in_parallel_region = false;
 }
 
@@ -246,6 +258,7 @@ void TaskPool::Run(size_t n, int max_threads,
       static_cast<int>(std::min<size_t>(effective, num_chunks));
 
   const std::lock_guard<std::mutex> submit(submit_mu_);
+  obs::TraceSpan region_span("pool.region");
   Job job(chunk_fn, n, grain, num_chunks, participants);
   job.timed = obs::MetricsRegistry::Enabled();
   const auto wall0 = std::chrono::steady_clock::now();

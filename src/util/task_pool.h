@@ -83,7 +83,7 @@ class TaskPool {
 
   TaskPool() = default;
   void EnsureWorkersLocked(int wanted);
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
   static void Participate(Job& job, int slot);
 
   std::mutex mu_;  // guards workers_, current_job_, generation_

@@ -119,6 +119,21 @@ TEST_F(ObsTest, ReenteredPhaseAccumulatesIntoOneNode) {
   EXPECT_GE(snap.phases[0].ms, 0.0);
 }
 
+#if GTEST_HAS_DEATH_TEST
+// Resetting while a ScopedPhase is still open would leave the destructor
+// with a dangling node pointer; the abort message must name the offending
+// phase so the bug is debuggable from CI logs alone.
+TEST_F(ObsTest, ResetWithOpenPhaseAbortsNamingThePhase) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ADB_PHASE("doomed_phase");
+        MetricsRegistry::Global().Reset();
+      },
+      "open phase span.*'doomed_phase' opened on thread");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
 #endif  // ADBSCAN_METRICS
 
 TEST_F(ObsTest, TotalPhaseMsSumsRootsOnly) {

@@ -1,0 +1,383 @@
+// Tests for the event-tracing layer (obs/trace.h, obs/trace_export.h):
+// ring-buffer wraparound semantics, nested span containment, multi-thread
+// recording (the TSan CI job runs this binary under
+// -fsanitize=thread), disabled-mode zero recording, Chrome trace-event
+// export shape, and the parity contract that every metrics phase name
+// also appears as a trace span name.
+//
+// The container running these tests may report a single hardware thread,
+// so every pool test passes an explicit num_threads — ParallelFor would
+// otherwise take the inline path and record no pool events at all.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/approx_dbscan.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "stream/dynamic_clusterer.h"
+#include "test_helpers.h"
+#include "util/parallel.h"
+
+namespace adbscan {
+namespace obs {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+
+// The recorder is process-global; every test starts from a clean, enabled
+// recorder at default capacity and leaves tracing off behind itself.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().SetCapacity(TraceRecorder::kDefaultCapacity);
+    TraceRecorder::SetEnabled(true);
+    TraceRecorder::Global().Reset();
+  }
+  void TearDown() override {
+    TraceRecorder::SetEnabled(false);
+    TraceRecorder::Global().SetCapacity(TraceRecorder::kDefaultCapacity);
+    TraceRecorder::Global().Reset();
+  }
+
+  // The calling thread's slice of a fresh snapshot (the only non-empty one
+  // in single-threaded tests).
+  static ThreadTrace OwnEvents() {
+    TraceSnapshot snap = TraceRecorder::Global().Snapshot();
+    for (ThreadTrace& t : snap.threads) {
+      if (!t.events.empty()) return std::move(t);
+    }
+    return {};
+  }
+
+  static std::set<std::string> SpanNames(const TraceSnapshot& snap) {
+    std::set<std::string> names;
+    for (const ThreadTrace& t : snap.threads) {
+      for (const TraceEvent& e : t.events) {
+        if (e.kind == TraceEventKind::kSpan) names.insert(e.name);
+      }
+    }
+    return names;
+  }
+};
+
+TEST_F(TraceTest, RecordsSpansInstantsAndCounters) {
+  {
+    ADB_TRACE_SPAN("unit.span");
+    ADB_TRACE_INSTANT("unit.instant");
+    ADB_TRACE_COUNTER("unit.counter", 42);
+  }
+  const ThreadTrace own = OwnEvents();
+  ASSERT_EQ(own.events.size(), 3u);
+  EXPECT_EQ(own.dropped, 0u);
+  // The span closes after the instant and counter, so it is recorded last.
+  EXPECT_EQ(std::string(own.events[0].name), "unit.instant");
+  EXPECT_EQ(own.events[0].kind, TraceEventKind::kInstant);
+  EXPECT_EQ(std::string(own.events[1].name), "unit.counter");
+  EXPECT_EQ(own.events[1].kind, TraceEventKind::kCounter);
+  EXPECT_DOUBLE_EQ(own.events[1].value, 42.0);
+  EXPECT_EQ(std::string(own.events[2].name), "unit.span");
+  EXPECT_EQ(own.events[2].kind, TraceEventKind::kSpan);
+  // Span covers both point events.
+  EXPECT_LE(own.events[2].ts_ns, own.events[0].ts_ns);
+  EXPECT_GE(own.events[2].ts_ns + own.events[2].dur_ns, own.events[1].ts_ns);
+}
+
+TEST_F(TraceTest, RingBufferDropsOldestAndCountsDrops) {
+  TraceRecorder::Global().SetCapacity(8);
+  TraceRecorder::Global().Reset();  // applies the capacity to live rings
+  EXPECT_EQ(TraceRecorder::Global().capacity(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    ADB_TRACE_COUNTER("wrap.counter", i);
+  }
+  const ThreadTrace own = OwnEvents();
+  ASSERT_EQ(own.events.size(), 8u);
+  EXPECT_EQ(own.dropped, 12u);
+  // Drop-oldest: the survivors are the last 8 samples, oldest first.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(own.events[i].value, 12.0 + i) << "slot " << i;
+  }
+  TraceSnapshot snap = TraceRecorder::Global().Snapshot();
+  EXPECT_EQ(snap.TotalDropped(), 12u);
+}
+
+TEST_F(TraceTest, CapacityRoundsUpToPowerOfTwo) {
+  TraceRecorder::Global().SetCapacity(5);
+  TraceRecorder::Global().Reset();
+  EXPECT_EQ(TraceRecorder::Global().capacity(), 8u);
+}
+
+TEST_F(TraceTest, NestedSpansAreContainedInTheirParent) {
+  {
+    ADB_TRACE_SPAN("outer");
+    {
+      ADB_TRACE_SPAN("inner");
+    }
+  }
+  const ThreadTrace own = OwnEvents();
+  ASSERT_EQ(own.events.size(), 2u);
+  // Spans record at scope exit: inner first.
+  const TraceEvent& inner = own.events[0];
+  const TraceEvent& outer = own.events[1];
+  EXPECT_EQ(std::string(inner.name), "inner");
+  EXPECT_EQ(std::string(outer.name), "outer");
+  EXPECT_LE(outer.ts_ns, inner.ts_ns);
+  EXPECT_GE(outer.ts_ns + outer.dur_ns, inner.ts_ns + inner.dur_ns);
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  TraceRecorder::SetEnabled(false);
+  {
+    ADB_TRACE_SPAN("off.span");
+    ADB_TRACE_INSTANT("off.instant");
+    ADB_TRACE_COUNTER("off.counter", 1);
+  }
+  TraceSnapshot snap = TraceRecorder::Global().Snapshot();
+  EXPECT_EQ(snap.TotalEvents(), 0u);
+  EXPECT_EQ(snap.TotalDropped(), 0u);
+}
+
+TEST_F(TraceTest, ResetClearsEventsAndRearmsEpoch) {
+  ADB_TRACE_INSTANT("before.reset");
+  TraceRecorder::Global().Reset();
+  EXPECT_EQ(TraceRecorder::Global().Snapshot().TotalEvents(), 0u);
+  ADB_TRACE_INSTANT("after.reset");
+  const ThreadTrace own = OwnEvents();
+  ASSERT_EQ(own.events.size(), 1u);
+  EXPECT_EQ(std::string(own.events[0].name), "after.reset");
+  // The epoch re-armed: the post-Reset event's timestamp is near zero
+  // (well under a second, even on a loaded machine).
+  EXPECT_LT(own.events[0].ts_ns, uint64_t{1} * 1000 * 1000 * 1000);
+}
+
+// The TSan CI job runs this binary with -fsanitize=thread; this test is
+// the data-race probe for concurrent recording plus the retired-buffer
+// path (all four threads exit before the snapshot).
+TEST_F(TraceTest, MultiThreadRecordingKeepsPerThreadStreamsAndLabels) {
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      SetTraceThreadLabel("probe-" + std::to_string(t));
+      for (int i = 0; i < kEvents; ++i) {
+        ADB_TRACE_COUNTER("mt.counter", t * kEvents + i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  TraceSnapshot snap = TraceRecorder::Global().Snapshot();
+  int probes = 0;
+  for (const ThreadTrace& t : snap.threads) {
+    if (t.label.rfind("probe-", 0) != 0) continue;
+    ++probes;
+    EXPECT_EQ(t.events.size(), static_cast<size_t>(kEvents)) << t.label;
+    EXPECT_EQ(t.dropped, 0u) << t.label;
+    // Single-writer ring: each thread's samples survive in record order.
+    for (size_t i = 1; i < t.events.size(); ++i) {
+      EXPECT_EQ(t.events[i].value, t.events[i - 1].value + 1.0);
+      EXPECT_GE(t.events[i].ts_ns, t.events[i - 1].ts_ns);
+    }
+  }
+  EXPECT_EQ(probes, kThreads);
+  // Snapshot is sorted by tid.
+  for (size_t i = 1; i < snap.threads.size(); ++i) {
+    EXPECT_LT(snap.threads[i - 1].tid, snap.threads[i].tid);
+  }
+}
+
+TEST_F(TraceTest, PoolWorkersRecordChunkSpansUnderExplicitThreadCount) {
+  // On a single-core machine the main thread can drain every chunk before
+  // a freshly woken worker claims one, so a single region recording no
+  // worker span is a legal schedule. Chunks sleep ~1ms to give workers a
+  // window, and the region retries a few times before the test concludes
+  // workers really never recorded.
+  std::vector<std::atomic<uint32_t>> out(256);
+  bool worker_recorded = false;
+  for (int attempt = 0; attempt < 10 && !worker_recorded; ++attempt) {
+    ParallelFor(out.size(), /*num_threads=*/4,
+                [&](size_t begin, size_t end) {
+                  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                  for (size_t i = begin; i < end; ++i) {
+                    out[i].store(static_cast<uint32_t>(i),
+                                 std::memory_order_relaxed);
+                  }
+                });
+    for (const ThreadTrace& t : TraceRecorder::Global().Snapshot().threads) {
+      if (t.label.rfind("pool-worker-", 0) == 0 && !t.events.empty()) {
+        worker_recorded = true;
+      }
+    }
+  }
+  TraceSnapshot snap = TraceRecorder::Global().Snapshot();
+  const std::set<std::string> names = SpanNames(snap);
+  EXPECT_TRUE(names.count("pool.region"));
+  EXPECT_TRUE(names.count("pool.chunk"));
+  EXPECT_TRUE(worker_recorded);
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i].load(std::memory_order_relaxed),
+              static_cast<uint32_t>(i));
+  }
+}
+
+TEST_F(TraceTest, DynamicClustererEmitsPerBatchSpansAndCounters) {
+  DbscanParams params;
+  params.eps = 0.15;
+  params.min_pts = 4;
+  DynamicClusterer dyn(2, params, {});
+  dyn.Insert(ClusteredDataset(2, 400, 3, 1.0, 0.03, 77));
+  std::vector<uint32_t> victims;
+  for (uint32_t id = 0; id < 50; ++id) victims.push_back(id);
+  dyn.Remove(victims);
+
+  TraceSnapshot snap = TraceRecorder::Global().Snapshot();
+  const std::set<std::string> names = SpanNames(snap);
+  EXPECT_TRUE(names.count("stream.insert"));
+  EXPECT_TRUE(names.count("stream.remove"));
+  EXPECT_TRUE(names.count("stream.refresh"));
+  bool cells_counter = false;
+  for (const ThreadTrace& t : snap.threads) {
+    for (const TraceEvent& e : t.events) {
+      if (e.kind == TraceEventKind::kCounter &&
+          std::string(e.name) == "stream.cells_touched" && e.value > 0.0) {
+        cells_counter = true;
+      }
+    }
+  }
+  EXPECT_TRUE(cells_counter);
+}
+
+TEST_F(TraceTest, ChromeExportIsWellFormedJson) {
+  {
+    ADB_TRACE_SPAN("export.span");
+    ADB_TRACE_INSTANT("export.instant");
+    ADB_TRACE_COUNTER("export.counter", 7);
+  }
+  SetTraceThreadLabel("export-test");
+  TraceSnapshot snap = TraceRecorder::Global().Snapshot();
+  const std::string json = ToChromeTraceJson(snap);
+  const std::optional<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->IsObject());
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+
+  bool process_meta = false;
+  bool thread_meta = false;
+  bool saw_span = false;
+  bool saw_instant = false;
+  bool saw_counter = false;
+  double last_ts = -1.0;
+  for (const JsonValue& e : events->array) {
+    ASSERT_TRUE(e.IsObject());
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_TRUE(ph->IsString());
+    const JsonValue* name = e.Find("name");
+    ASSERT_NE(name, nullptr);
+    if (ph->string == "M") {
+      if (name->string == "process_name") process_meta = true;
+      if (name->string == "thread_name") thread_meta = true;
+      continue;
+    }
+    const JsonValue* ts = e.Find("ts");
+    ASSERT_NE(ts, nullptr);
+    ASSERT_TRUE(ts->IsNumber());
+    // Single-thread snapshot: ts must be monotone across the whole array.
+    EXPECT_GE(ts->number, last_ts);
+    last_ts = ts->number;
+    if (ph->string == "X" && name->string == "export.span") {
+      saw_span = true;
+      const JsonValue* dur = e.Find("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->number, 0.0);
+    }
+    if (ph->string == "i" && name->string == "export.instant") {
+      saw_instant = true;
+    }
+    if (ph->string == "C" && name->string == "export.counter") {
+      saw_counter = true;
+      const JsonValue* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      const JsonValue* value = args->Find("value");
+      ASSERT_NE(value, nullptr);
+      EXPECT_DOUBLE_EQ(value->number, 7.0);
+    }
+  }
+  EXPECT_TRUE(process_meta);
+  EXPECT_TRUE(thread_meta);
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST_F(TraceTest, TracingDoesNotChangeClusteringOutput) {
+  const Dataset data = ClusteredDataset(2, 600, 4, 1.0, 0.03, 13);
+  DbscanParams params;
+  params.eps = 0.1;
+  params.min_pts = 5;
+
+  TraceRecorder::SetEnabled(false);
+  const Clustering off = ApproxDbscan(data, params, 0.01);
+  TraceRecorder::SetEnabled(true);
+  TraceRecorder::Global().Reset();
+  const Clustering on = ApproxDbscan(data, params, 0.01);
+
+  EXPECT_EQ(off.num_clusters, on.num_clusters);
+  EXPECT_EQ(off.label, on.label);
+  EXPECT_EQ(off.is_core, on.is_core);
+  EXPECT_GT(TraceRecorder::Global().Snapshot().TotalEvents(), 0u);
+}
+
+#if ADBSCAN_METRICS
+void CollectPhaseNames(const PhaseNode& node, std::set<std::string>* out) {
+  out->insert(node.name);
+  for (const PhaseNode& child : node.children) CollectPhaseNames(child, out);
+}
+
+// Dual emission contract: ADB_PHASE records the same literal into both the
+// metrics tree and the trace, so a timeline span can always be matched to
+// its aggregate row. Run a real pipeline with both layers on and check
+// every metrics phase name shows up as a trace span name.
+TEST_F(TraceTest, MetricsPhaseNamesAppearAsTraceSpans) {
+  MetricsRegistry::SetEnabled(true);
+  MetricsRegistry::Global().Reset();
+  const Dataset data = ClusteredDataset(3, 800, 4, 1.0, 0.03, 29);
+  DbscanParams params;
+  params.eps = 0.1;
+  params.min_pts = 5;
+  ApproxDbscan(data, params, 0.01);
+
+  const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+  std::set<std::string> phase_names;
+  for (const PhaseNode& root : metrics.phases) {
+    CollectPhaseNames(root, &phase_names);
+  }
+  ASSERT_FALSE(phase_names.empty());
+
+  const std::set<std::string> span_names =
+      SpanNames(TraceRecorder::Global().Snapshot());
+  for (const std::string& phase : phase_names) {
+    EXPECT_TRUE(span_names.count(phase))
+        << "metrics phase '" << phase << "' has no trace span";
+  }
+  MetricsRegistry::Global().Reset();
+  MetricsRegistry::SetEnabled(false);
+}
+#endif  // ADBSCAN_METRICS
+
+}  // namespace
+}  // namespace obs
+}  // namespace adbscan

@@ -38,6 +38,7 @@
 #include "io/dataset_io.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace_export.h"
 #include "stream/dynamic_clusterer.h"
 #include "stream/update_log.h"
 #include "util/flags.h"
@@ -136,7 +137,11 @@ int RunStream(int argc, char** argv) {
                  "hardware count)")
       .DefineString("metrics_json", "",
                     "append one JSON metrics record for the replay "
-                    "(empty: off)");
+                    "(empty: off)")
+      .DefineString("trace_json", "",
+                    "write a Chrome trace-event JSON timeline here "
+                    "(Perfetto-loadable; empty = ADBSCAN_TRACE env, else "
+                    "tracing off)");
   flags.Parse(argc, argv);
 
   const std::string input = flags.GetString("input");
@@ -201,6 +206,9 @@ int RunStream(int argc, char** argv) {
     obs::MetricsRegistry::SetEnabled(true);
     obs::MetricsRegistry::Global().Reset();
   }
+  const std::string trace_json =
+      obs::ResolveTracePath(flags.GetString("trace_json"));
+  if (!trace_json.empty()) obs::StartTracing();
 
   Timer replay_timer;
   DynamicClusterer dyn(dim, params, opts);
@@ -263,6 +271,7 @@ int RunStream(int argc, char** argv) {
     EmitMetricsRecord(metrics_json, "adbscan_stream", input, "stream",
                       std::move(rec_params), replay_sec * 1000.0);
   }
+  if (!trace_json.empty()) obs::ExportTrace(trace_json);
 
   if (snap.points.size() > 0) {
     PrintStats(ComputeStats(snap.points, snap.clustering),
@@ -301,7 +310,11 @@ int main(int argc, char** argv) {
                     "supported)")
       .DefineString("metrics_json", "",
                     "append one JSON metrics record for the clustering run "
-                    "(empty: off)");
+                    "(empty: off)")
+      .DefineString("trace_json", "",
+                    "write a Chrome trace-event JSON timeline here "
+                    "(Perfetto-loadable; empty = ADBSCAN_TRACE env, else "
+                    "tracing off)");
   flags.Parse(argc, argv);
 
   const std::string input = flags.GetString("input");
@@ -369,6 +382,9 @@ int main(int argc, char** argv) {
     obs::MetricsRegistry::SetEnabled(true);
     obs::MetricsRegistry::Global().Reset();
   }
+  const std::string trace_json =
+      obs::ResolveTracePath(flags.GetString("trace_json"));
+  if (!trace_json.empty()) obs::StartTracing();
   Timer cluster_timer;
   Clustering result = [&] {
     if (algo == "approx") {
@@ -399,6 +415,7 @@ int main(int argc, char** argv) {
     EmitMetricsRecord(metrics_json, "adbscan_cli", input, algo,
                       std::move(rec_params), cluster_sec * 1000.0);
   }
+  if (!trace_json.empty()) obs::ExportTrace(trace_json);
 
   PrintStats(ComputeStats(data, result),
              static_cast<int>(flags.GetInt("stats_rows")));

@@ -1,0 +1,236 @@
+// bench_compare — tolerance-aware diff of two micro-benchmark JSON files
+// ({"bench": name, "results": [...]}, written by bench/micro_*.cc), for
+// the regression gate in tools/bench_smoke.sh and CI.
+//
+// Rows are matched by a key built from identity fields (--key, default
+// "op,dataset,dim,n,layout,round,kernel,batch,step" — fields absent from a
+// row are skipped). For each matched row the chosen --metrics are
+// compared as current/baseline ratios; a metric whose ratio drops below
+// 1 - --max_regression fails the gate. The default metrics are the
+// machine-independent ratio columns (speedup, speedup_vs_legacy,
+// speedup_vs_scalar), so a baseline recorded on different hardware still
+// gates structure-level regressions; pass absolute columns (e.g.
+// incr_ms, ns_per_dist) explicitly for a same-machine gate (for "ms"-like
+// metrics, where smaller is better, the ratio check flips automatically
+// via --lower_is_better metric suffixes: any metric ending in ms, _ns, or
+// ns_per_dist).
+//
+// --filter drops rows before matching: "field=value" removes every row
+// whose field equals the value (e.g. --filter=round=-1 to skip the
+// summary rows micro_stream emits).
+//
+// Exit codes: 0 = within tolerance, 1 = regression detected, 2 = usage or
+// parse error. Baseline rows missing from current (or vice versa) warn but
+// do not fail, so bench config drift does not hard-break CI.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/table.h"
+#include "obs/json.h"
+#include "util/flags.h"
+
+using namespace adbscan;
+
+namespace {
+
+std::vector<std::string> SplitList(const std::string& text) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma > pos) out.push_back(text.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string FieldAsText(const obs::JsonValue& row, const std::string& field) {
+  const obs::JsonValue* v = row.Find(field);
+  if (v == nullptr) return "";
+  if (v->IsString()) return v->string;
+  if (v->IsNumber()) return obs::JsonNumber(v->number);
+  if (v->IsBool()) return v->bool_value ? "true" : "false";
+  return "";
+}
+
+// Loads {"bench": ..., "results": [...]} and returns the rows.
+std::optional<std::vector<obs::JsonValue>> LoadRows(const std::string& path,
+                                                    std::string* bench_name) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::optional<obs::JsonValue> doc = obs::ParseJson(buffer.str());
+  if (!doc.has_value() || !doc->IsObject()) {
+    std::fprintf(stderr, "%s: not a JSON object\n", path.c_str());
+    return std::nullopt;
+  }
+  const obs::JsonValue* results = doc->Find("results");
+  if (results == nullptr || !results->IsArray()) {
+    std::fprintf(stderr, "%s: missing results array\n", path.c_str());
+    return std::nullopt;
+  }
+  if (const obs::JsonValue* bench = doc->Find("bench");
+      bench != nullptr && bench->IsString()) {
+    *bench_name = bench->string;
+  }
+  return results->array;
+}
+
+// True for metrics where smaller is better (latency-style columns); the
+// regression ratio flips for these.
+bool LowerIsBetter(const std::string& metric) {
+  auto ends_with = [&](const char* suffix) {
+    const size_t len = std::char_traits<char>::length(suffix);
+    return metric.size() >= len &&
+           metric.compare(metric.size() - len, len, suffix) == 0;
+  };
+  return ends_with("ms") || ends_with("_ns") || ends_with("ns_per_dist");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags
+      .DefineString("current", "",
+                    "bench JSON produced by this run (required)")
+      .DefineString("baseline", "",
+                    "committed baseline bench JSON (required)")
+      .DefineString("metrics",
+                    "speedup,speedup_vs_legacy,speedup_vs_scalar",
+                    "comma list of numeric row fields to gate on (fields "
+                    "absent from a row are skipped)")
+      .DefineString("key", "op,dataset,dim,n,layout,round,kernel,batch,step",
+                    "identity fields used to match rows")
+      .DefineString("filter", "",
+                    "drop rows where field=value (e.g. round=-1), comma "
+                    "list")
+      .DefineDouble("max_regression", 0.3,
+                    "fail when a metric worsens by more than this fraction "
+                    "vs baseline");
+  flags.Parse(argc, argv);
+
+  const std::string current_path = flags.GetString("current");
+  const std::string baseline_path = flags.GetString("baseline");
+  if (current_path.empty() || baseline_path.empty()) {
+    std::fprintf(stderr, "--current and --baseline are required\n");
+    flags.PrintUsage(argv[0]);
+    return 2;
+  }
+  const double max_regression = flags.GetDouble("max_regression");
+  const std::vector<std::string> metrics =
+      SplitList(flags.GetString("metrics"));
+  const std::vector<std::string> key_fields =
+      SplitList(flags.GetString("key"));
+
+  std::vector<std::pair<std::string, std::string>> filters;
+  for (const std::string& item : SplitList(flags.GetString("filter"))) {
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad --filter item '%s' (want field=value)\n",
+                   item.c_str());
+      return 2;
+    }
+    filters.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+  }
+
+  std::string current_bench;
+  std::string baseline_bench;
+  const auto current = LoadRows(current_path, &current_bench);
+  const auto baseline = LoadRows(baseline_path, &baseline_bench);
+  if (!current.has_value() || !baseline.has_value()) return 2;
+  if (!current_bench.empty() && !baseline_bench.empty() &&
+      current_bench != baseline_bench) {
+    std::fprintf(stderr, "bench mismatch: current '%s' vs baseline '%s'\n",
+                 current_bench.c_str(), baseline_bench.c_str());
+    return 2;
+  }
+
+  auto keep = [&](const obs::JsonValue& row) {
+    for (const auto& [field, value] : filters) {
+      if (FieldAsText(row, field) == value) return false;
+    }
+    return true;
+  };
+  auto key_of = [&](const obs::JsonValue& row) {
+    std::string key;
+    for (const std::string& field : key_fields) {
+      const std::string text = FieldAsText(row, field);
+      if (text.empty()) continue;
+      key += field + "=" + text + " ";
+    }
+    return key;
+  };
+
+  std::map<std::string, const obs::JsonValue*> baseline_rows;
+  for (const obs::JsonValue& row : *baseline) {
+    if (row.IsObject() && keep(row)) baseline_rows[key_of(row)] = &row;
+  }
+
+  int regressions = 0;
+  int compared = 0;
+  size_t matched = 0;
+  Table table({"row", "metric", "baseline", "current", "ratio", "verdict"});
+  for (const obs::JsonValue& row : *current) {
+    if (!row.IsObject() || !keep(row)) continue;
+    const std::string key = key_of(row);
+    const auto base_it = baseline_rows.find(key);
+    if (base_it == baseline_rows.end()) {
+      std::fprintf(stderr, "warning: no baseline row for %s\n", key.c_str());
+      continue;
+    }
+    ++matched;
+    const obs::JsonValue& base = *base_it->second;
+    baseline_rows.erase(base_it);
+    for (const std::string& metric : metrics) {
+      const obs::JsonValue* cur_v = row.Find(metric);
+      const obs::JsonValue* base_v = base.Find(metric);
+      if (cur_v == nullptr || !cur_v->IsNumber() || base_v == nullptr ||
+          !base_v->IsNumber()) {
+        continue;
+      }
+      if (base_v->number <= 0.0 || cur_v->number <= 0.0) continue;
+      ++compared;
+      // Normalize to "improvement ratio": > 1 is better than baseline.
+      const double ratio = LowerIsBetter(metric)
+                               ? base_v->number / cur_v->number
+                               : cur_v->number / base_v->number;
+      const bool regressed = ratio < 1.0 - max_regression;
+      if (regressed) ++regressions;
+      if (regressed || ratio < 1.0) {
+        table.AddRow({key, metric, Table::Num(base_v->number),
+                      Table::Num(cur_v->number), Table::Num(ratio),
+                      regressed ? "REGRESSED" : "ok"});
+      }
+    }
+  }
+  for (const auto& [key, row] : baseline_rows) {
+    (void)row;
+    std::fprintf(stderr, "warning: baseline row not in current: %s\n",
+                 key.c_str());
+  }
+
+  if (matched == 0) {
+    std::fprintf(stderr, "no rows matched between %s and %s\n",
+                 current_path.c_str(), baseline_path.c_str());
+    return 2;
+  }
+  table.Print(stdout);
+  std::printf(
+      "%zu rows matched, %d metric comparisons, %d regression(s) beyond "
+      "%.0f%%\n",
+      matched, compared, regressions, max_regression * 100.0);
+  return regressions == 0 ? 0 : 1;
+}

@@ -3,10 +3,14 @@
 # --metrics_json, then validates the emitted records with metrics_validate.
 #
 # Environment:
-#   BENCH_DIR  — directory containing the fig*/table1 binaries
-#                (default: ./bench relative to the working directory)
-#   VALIDATOR  — path to metrics_validate
-#                (default: ./tools/metrics_validate)
+#   BENCH_DIR    — directory containing the fig*/table1 binaries
+#                  (default: ./bench relative to the working directory)
+#   VALIDATOR    — path to metrics_validate
+#                  (default: ./tools/metrics_validate)
+#   COMPARE      — path to bench_compare (default: ./tools/bench_compare)
+#   BASELINE_DIR — committed bench baselines (default: unset; the
+#                  micro_stream regression gate is skipped when the smoke
+#                  baseline file is absent)
 #
 # Runs are deliberately small (hundreds to a few thousand points) so the
 # whole sweep finishes in seconds; the phase-coverage tolerance is loose
@@ -16,6 +20,8 @@ set -u
 
 BENCH_DIR="${BENCH_DIR:-./bench}"
 VALIDATOR="${VALIDATOR:-./tools/metrics_validate}"
+COMPARE="${COMPARE:-./tools/bench_compare}"
+BASELINE_DIR="${BASELINE_DIR:-}"
 WORKDIR="$(mktemp -d "${TMPDIR:-/tmp}/bench_smoke.XXXXXX")"
 trap 'rm -rf "$WORKDIR"' EXIT
 
@@ -46,11 +52,37 @@ run_one() {
 run_one fig08_seed_spreader 1 --n=500 --out=
 run_one fig09_visualization 4 --n=500
 run_one fig10_max_legal_rho 2 --n=1500 --steps=2 --datasets=ss3d
-run_one fig11_scale_n 8 --sizes=2000,4000 --datasets=ss3d --min_pts=10
+run_one fig11_scale_n 8 --sizes=2000,4000 --datasets=ss3d --min_pts=10 \
+    --trace_json="$WORKDIR/fig11_trace.json"
 run_one fig12_vary_eps 8 --n=2000 --steps=2 --datasets=ss3d
 run_one fig13_vary_rho 2 --n=2000 --rhos=0.01,0.1 --datasets=ss3d
 run_one table1_parameters 6 --n=1500
 run_one micro_stream 4 --n=6000 --rounds=3 --out="$WORKDIR/BENCH_stream.json"
+
+# The fig11 run above doubled as a tracing smoke: the trace must be
+# well-formed Chrome trace-event JSON (monotone per-tid timestamps etc.).
+echo "=== fig11 trace validation ==="
+if ! "$VALIDATOR" --trace_json="$WORKDIR/fig11_trace.json"; then
+  echo "FAIL: fig11 trace validation"
+  failures=$((failures + 1))
+fi
+
+# Regression gate: compare the micro_stream smoke run against the
+# committed baseline on the machine-independent speedup column. The
+# tolerance is deliberately generous — at smoke sizes the incremental/
+# scratch ratio is noisy — so only structural regressions (e.g. the
+# incremental path silently degrading to scratch) trip it.
+if [ -n "$BASELINE_DIR" ] && [ -f "$BASELINE_DIR/smoke/BENCH_stream.json" ]; then
+  echo "=== micro_stream regression gate ==="
+  if ! "$COMPARE" --current="$WORKDIR/BENCH_stream.json" \
+      --baseline="$BASELINE_DIR/smoke/BENCH_stream.json" \
+      --metrics=speedup --filter=round=-1 --max_regression=0.75; then
+    echo "FAIL: micro_stream regressed vs $BASELINE_DIR/smoke/BENCH_stream.json"
+    failures=$((failures + 1))
+  fi
+else
+  echo "=== micro_stream regression gate skipped (no baseline) ==="
+fi
 
 if [ "$failures" -ne 0 ]; then
   echo "bench_smoke: $failures harness(es) failed"

@@ -1,30 +1,162 @@
-// metrics_validate — sanity-checks a --metrics_json output file (JSON
-// Lines of obs::RunRecord). Used by tools/bench_smoke.sh as a ctest entry.
+// metrics_validate — sanity-checks observability artifacts. Used by
+// tools/bench_smoke.sh and CI as a ctest entry.
 //
-// Checks, per record:
+// --input (JSON Lines of obs::RunRecord) checks, per record:
 //   - the line parses as a RunRecord (schema fields present);
 //   - records with metrics_enabled=true carry at least --min_counters
 //     distinct counters;
 //   - for runs slower than --min_total_ms, the root-level phase times sum
 //     to within --phase_sum_tol of total_ms (faster runs are dominated by
-//     scheduler noise and are exempt from the coverage check).
+//     scheduler noise and are exempt from the coverage check);
+//   - distribution quantiles are ordered: min <= p50 <= p95 <= p99 <= max
+//     (small slack for JSON number rounding).
 //
-// Exits 0 when every record passes, 1 otherwise, 2 on usage errors.
+// --trace_json (Chrome trace-event JSON, obs/trace_export.h) checks:
+//   - the document parses and has a traceEvents array;
+//   - every event carries ph/pid/tid/name, plus ts for non-metadata
+//     events, dur >= 0 for "X", and args.value for "C";
+//   - timestamps are non-decreasing within each tid (metadata exempt);
+//   - "B"/"E" begin/end events balance per tid in LIFO order.
+//
+// Either input alone is fine; at least one is required. Exits 0 when every
+// check passes, 1 otherwise, 2 on usage errors.
 
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/export.h"
+#include "obs/json.h"
 #include "util/flags.h"
 
 using namespace adbscan;
 
+namespace {
+
+// Validates a Chrome trace-event JSON file; returns the number of failed
+// checks (0 = valid).
+int ValidateTraceJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::optional<obs::JsonValue> doc = obs::ParseJson(buffer.str());
+  if (!doc.has_value() || !doc->IsObject()) {
+    std::fprintf(stderr, "%s: not a JSON object\n", path.c_str());
+    return 1;
+  }
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->IsArray()) {
+    std::fprintf(stderr, "%s: missing traceEvents array\n", path.c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  auto fail = [&](size_t index, const char* what) {
+    std::fprintf(stderr, "%s: event %zu: %s\n", path.c_str(), index, what);
+    ++failures;
+  };
+  std::map<double, double> last_ts;                      // tid -> latest ts
+  std::map<double, std::vector<std::string>> open_begins;  // tid -> B stack
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const obs::JsonValue& e = events->array[i];
+    if (!e.IsObject()) {
+      fail(i, "not an object");
+      continue;
+    }
+    const obs::JsonValue* ph = e.Find("ph");
+    const obs::JsonValue* pid = e.Find("pid");
+    const obs::JsonValue* tid = e.Find("tid");
+    const obs::JsonValue* name = e.Find("name");
+    if (ph == nullptr || !ph->IsString() || ph->string.size() != 1) {
+      fail(i, "missing one-character ph");
+      continue;
+    }
+    if (pid == nullptr || !pid->IsNumber()) fail(i, "missing numeric pid");
+    if (tid == nullptr || !tid->IsNumber()) {
+      fail(i, "missing numeric tid");
+      continue;
+    }
+    if (name == nullptr || !name->IsString()) fail(i, "missing name");
+    const char kind = ph->string[0];
+    if (kind == 'M') continue;  // metadata carries no timestamp
+
+    const obs::JsonValue* ts = e.Find("ts");
+    if (ts == nullptr || !ts->IsNumber()) {
+      fail(i, "missing numeric ts");
+      continue;
+    }
+    const auto [it, fresh] = last_ts.try_emplace(tid->number, ts->number);
+    if (!fresh) {
+      if (ts->number < it->second) fail(i, "ts decreases within tid");
+      it->second = std::max(it->second, ts->number);
+    }
+    switch (kind) {
+      case 'X': {
+        const obs::JsonValue* dur = e.Find("dur");
+        if (dur == nullptr || !dur->IsNumber() || dur->number < 0.0) {
+          fail(i, "X event without non-negative dur");
+        }
+        break;
+      }
+      case 'C': {
+        const obs::JsonValue* args = e.Find("args");
+        const obs::JsonValue* value =
+            args != nullptr ? args->Find("value") : nullptr;
+        if (value == nullptr || !value->IsNumber()) {
+          fail(i, "C event without numeric args.value");
+        }
+        break;
+      }
+      case 'B':
+        if (name != nullptr && name->IsString()) {
+          open_begins[tid->number].push_back(name->string);
+        }
+        break;
+      case 'E': {
+        std::vector<std::string>& stack = open_begins[tid->number];
+        if (stack.empty()) {
+          fail(i, "E event without matching B");
+        } else {
+          if (name != nullptr && name->IsString() && !name->string.empty() &&
+              name->string != stack.back()) {
+            fail(i, "E event name does not match innermost B");
+          }
+          stack.pop_back();
+        }
+        break;
+      }
+      default:
+        break;  // other phases (i, s, ...) need only the common fields
+    }
+  }
+  for (const auto& [tid, stack] : open_begins) {
+    if (!stack.empty()) {
+      std::fprintf(stderr, "%s: tid %g: %zu unclosed B event(s), first '%s'\n",
+                   path.c_str(), tid, stack.size(), stack.front().c_str());
+      ++failures;
+    }
+  }
+  std::printf("%s: %zu trace events, %d failures\n", path.c_str(),
+              events->array.size(), failures);
+  return failures;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Flags flags;
-  flags.DefineString("input", "", "metrics JSON-lines file (required)")
+  flags.DefineString("input", "", "metrics JSON-lines file")
+      .DefineString("trace_json", "",
+                    "Chrome trace-event JSON file to validate")
       .DefineInt("min_records", 1, "minimum number of records expected")
       .DefineInt("min_counters", 6,
                  "minimum distinct counters per enabled record")
@@ -35,10 +167,14 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
 
   const std::string input = flags.GetString("input");
-  if (input.empty()) {
-    std::fprintf(stderr, "--input is required\n");
+  const std::string trace_json = flags.GetString("trace_json");
+  if (input.empty() && trace_json.empty()) {
+    std::fprintf(stderr, "--input and/or --trace_json is required\n");
     flags.PrintUsage(argv[0]);
     return 2;
+  }
+  if (input.empty()) {
+    return ValidateTraceJson(trace_json) == 0 ? 0 : 1;
   }
   std::ifstream in(input);
   if (!in) {
@@ -73,6 +209,22 @@ int main(int argc, char** argv) {
                    rec->metrics.counters.size(), min_counters);
       ++failures;
     }
+    for (const auto& [name, d] : rec->metrics.distributions) {
+      if (!d.has_quantiles) continue;
+      // Slack absorbs the %.6g rounding of the JSON number formatter.
+      const double slack =
+          1e-5 * (std::abs(d.max) + std::abs(d.min) + 1.0);
+      const bool ordered = d.min <= d.p50 + slack && d.p50 <= d.p95 + slack &&
+                           d.p95 <= d.p99 + slack && d.p99 <= d.max + slack;
+      if (!ordered) {
+        std::fprintf(stderr,
+                     "%s:%d: %s distribution '%s' quantiles out of order: "
+                     "min=%g p50=%g p95=%g p99=%g max=%g\n",
+                     input.c_str(), lineno, id.c_str(), name.c_str(), d.min,
+                     d.p50, d.p95, d.p99, d.max);
+        ++failures;
+      }
+    }
     if (rec->metrics_enabled && rec->total_ms >= min_total_ms) {
       const double phase_ms = rec->metrics.TotalPhaseMs();
       const double gap = rec->total_ms > 0.0
@@ -97,5 +249,6 @@ int main(int argc, char** argv) {
   }
   std::printf("%s: %d records, %d failures\n", input.c_str(), records,
               failures);
+  if (!trace_json.empty()) failures += ValidateTraceJson(trace_json);
   return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,203 @@
+// trace_report — summarizes a Chrome trace-event JSON file (written by
+// --trace_json / ADBSCAN_TRACE, see obs/trace_export.h) in the terminal:
+//
+//   - per-span-name totals: count, cpu time (sum of durations across all
+//     threads), wall time (union of the spans' intervals, so nested or
+//     concurrent spans are not double-counted), and cpu/wall parallelism;
+//   - per-thread utilization: fraction of the trace's wall clock the
+//     thread spent inside spans, plus its steal count (pool.steal
+//     instants);
+//   - the --top longest individual spans, for eyeballing stragglers.
+//
+// Usage:
+//   trace_report --input out/trace.json [--top 10]
+//
+// Exits 0 on success, 1 on a malformed trace, 2 on usage errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/table.h"
+#include "obs/json.h"
+#include "util/flags.h"
+
+using namespace adbscan;
+
+namespace {
+
+struct Span {
+  std::string name;
+  double tid = 0.0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+// Sum of the lengths of the union of [begin, end) intervals.
+double IntervalUnionUs(std::vector<std::pair<double, double>> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  double total = 0.0;
+  double cur_begin = 0.0;
+  double cur_end = -1.0;
+  for (const auto& [begin, end] : intervals) {
+    if (end <= cur_end) continue;
+    if (begin > cur_end) {
+      if (cur_end > cur_begin) total += cur_end - cur_begin;
+      cur_begin = begin;
+    }
+    cur_end = end;
+  }
+  if (cur_end > cur_begin) total += cur_end - cur_begin;
+  return total;
+}
+
+std::string Ms(double us) { return Table::Num(us / 1000.0); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineString("input", "", "Chrome trace-event JSON file (required)")
+      .DefineInt("top", 10, "longest individual spans to list");
+  flags.Parse(argc, argv);
+
+  const std::string input = flags.GetString("input");
+  if (input.empty()) {
+    std::fprintf(stderr, "--input is required\n");
+    flags.PrintUsage(argv[0]);
+    return 2;
+  }
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", input.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::optional<obs::JsonValue> doc = obs::ParseJson(buffer.str());
+  if (!doc.has_value() || !doc->IsObject()) {
+    std::fprintf(stderr, "%s: not a JSON object\n", input.c_str());
+    return 1;
+  }
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->IsArray()) {
+    std::fprintf(stderr, "%s: missing traceEvents array\n", input.c_str());
+    return 1;
+  }
+
+  std::vector<Span> spans;
+  std::map<double, std::string> thread_labels;
+  std::map<double, size_t> steals;
+  std::map<double, size_t> instants;
+  double trace_end_us = 0.0;
+  for (const obs::JsonValue& e : events->array) {
+    if (!e.IsObject()) continue;
+    const obs::JsonValue* ph = e.Find("ph");
+    const obs::JsonValue* tid = e.Find("tid");
+    const obs::JsonValue* name = e.Find("name");
+    if (ph == nullptr || !ph->IsString() || tid == nullptr ||
+        !tid->IsNumber() || name == nullptr || !name->IsString()) {
+      continue;
+    }
+    if (ph->string == "M") {
+      if (name->string == "thread_name") {
+        if (const obs::JsonValue* args = e.Find("args")) {
+          if (const obs::JsonValue* label = args->Find("name")) {
+            if (label->IsString()) thread_labels[tid->number] = label->string;
+          }
+        }
+      }
+      continue;
+    }
+    const obs::JsonValue* ts = e.Find("ts");
+    if (ts == nullptr || !ts->IsNumber()) continue;
+    trace_end_us = std::max(trace_end_us, ts->number);
+    if (ph->string == "X") {
+      const obs::JsonValue* dur = e.Find("dur");
+      if (dur == nullptr || !dur->IsNumber()) continue;
+      spans.push_back(
+          {name->string, tid->number, ts->number, dur->number});
+      trace_end_us = std::max(trace_end_us, ts->number + dur->number);
+    } else if (ph->string == "i") {
+      ++instants[tid->number];
+      if (name->string == "pool.steal") ++steals[tid->number];
+    }
+  }
+  if (spans.empty()) {
+    std::printf("%s: no duration spans recorded\n", input.c_str());
+    return 0;
+  }
+
+  // Per-name aggregation: cpu = plain sum, wall = interval union across
+  // every thread (so "pool.chunk" running 4-wide counts the wall once).
+  struct NameStats {
+    size_t count = 0;
+    double cpu_us = 0.0;
+    std::vector<std::pair<double, double>> intervals;
+  };
+  std::map<std::string, NameStats> by_name;
+  std::map<double, std::vector<std::pair<double, double>>> by_tid;
+  for (const Span& s : spans) {
+    NameStats& stats = by_name[s.name];
+    ++stats.count;
+    stats.cpu_us += s.dur_us;
+    stats.intervals.emplace_back(s.ts_us, s.ts_us + s.dur_us);
+    by_tid[s.tid].emplace_back(s.ts_us, s.ts_us + s.dur_us);
+  }
+
+  std::printf("%s: %zu spans, %.3f ms trace\n\n", input.c_str(), spans.size(),
+              trace_end_us / 1000.0);
+
+  Table phases({"span", "count", "cpu ms", "wall ms", "cpu/wall"});
+  std::vector<std::pair<std::string, NameStats>> ordered(by_name.begin(),
+                                                         by_name.end());
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    return a.second.cpu_us > b.second.cpu_us;
+  });
+  for (auto& [name, stats] : ordered) {
+    const double wall_us = IntervalUnionUs(std::move(stats.intervals));
+    phases.AddRow({name, std::to_string(stats.count), Ms(stats.cpu_us),
+                   Ms(wall_us),
+                   wall_us > 0.0 ? Table::Num(stats.cpu_us / wall_us) : "-"});
+  }
+  phases.Print(stdout);
+
+  std::printf("\n");
+  Table threads({"tid", "label", "busy ms", "util", "spans", "steals"});
+  for (auto& [tid, intervals] : by_tid) {
+    const double busy_us = IntervalUnionUs(std::move(intervals));
+    size_t count = 0;
+    for (const Span& s : spans) count += s.tid == tid ? 1 : 0;
+    const auto label = thread_labels.find(tid);
+    threads.AddRow(
+        {Table::Num(tid, 0),
+         label != thread_labels.end() ? label->second : "?",
+         Ms(busy_us),
+         trace_end_us > 0.0 ? Table::Num(busy_us / trace_end_us) : "-",
+         std::to_string(count), std::to_string(steals[tid])});
+  }
+  threads.Print(stdout);
+
+  const size_t top = static_cast<size_t>(std::max<int64_t>(
+      0, flags.GetInt("top")));
+  if (top > 0) {
+    std::printf("\n");
+    std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+      return a.dur_us > b.dur_us;
+    });
+    Table longest({"span", "tid", "start ms", "dur ms"});
+    for (size_t i = 0; i < std::min(top, spans.size()); ++i) {
+      const Span& s = spans[i];
+      longest.AddRow({s.name, Table::Num(s.tid, 0), Ms(s.ts_us),
+                      Ms(s.dur_us)});
+    }
+    longest.Print(stdout);
+  }
+  return 0;
+}
