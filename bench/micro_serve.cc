@@ -1,0 +1,328 @@
+// Serving-layer load benchmark: N concurrent tenant sessions ingesting
+// deterministic update streams through the SessionManager (async queues +
+// background drainer + epoch snapshots), versus the same total work applied
+// to plain solo DynamicClusterer instances with no serving machinery.
+//
+// Reported per configuration:
+//   - serve_wall_ms / direct_wall_ms and their ratio `efficiency`
+//     (direct/serve, higher is better, ~1.0 = the serving layer adds no
+//     overhead beyond the clustering itself). Machine-independent enough to
+//     gate in CI (tools/bench_compare --metrics=efficiency).
+//   - sustained updates/sec across all sessions during the serve phase.
+//   - p50/p95/p99 snapshot-query latency, measured on reads issued while
+//     the background drainer is applying batches (the reads-never-block
+//     property under real write load).
+//
+// Every session's final labels are verified bit-identical to its solo
+// replay before anything is written — a mismatch is a hard failure.
+//
+//   ./build/bench/micro_serve                           # defaults
+//   ./build/bench/micro_serve --sessions=8 --n=20000 --out=BENCH_serve.json
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "io/table.h"
+#include "obs/json.h"
+#include "serve/session_manager.h"
+#include "stream/dynamic_clusterer.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace adbscan {
+namespace {
+
+struct OpBatch {
+  std::vector<double> coords;
+  std::vector<uint32_t> removes;
+};
+
+struct Result {
+  std::string dataset;
+  int dim;
+  size_t n;  // points per session
+  size_t sessions;
+  size_t total_ops;
+  double serve_wall_ms;
+  double direct_wall_ms;
+  double efficiency;  // direct / serve, higher is better
+  double updates_per_sec;
+  size_t queries;
+  double query_p50_ms;
+  double query_p95_ms;
+  double query_p99_ms;
+};
+
+double Quantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(q * double(sorted.size() - 1));
+  return sorted[idx];
+}
+
+// Deterministic per-session update stream: batches of `batch` fresh points
+// from the pool slice, each followed (after warm-up) by a wave tombstoning
+// a quarter of the batch among the session's survivors. Identical replay
+// input for the serve and the direct phase.
+std::vector<OpBatch> MakeStream(const Dataset& pool, size_t first,
+                                size_t n, size_t batch, uint64_t seed) {
+  const int dim = pool.dim();
+  std::vector<OpBatch> stream;
+  std::vector<uint32_t> alive;
+  Rng rng(seed);
+  uint32_t next_id = 0;
+  for (size_t produced = 0; produced < n;) {
+    const size_t take = std::min(batch, n - produced);
+    OpBatch b;
+    b.coords.reserve(take * dim);
+    for (size_t i = 0; i < take; ++i) {
+      const double* p = pool.point(first + produced + i);
+      b.coords.insert(b.coords.end(), p, p + dim);
+    }
+    const size_t n_remove = alive.empty() ? 0 : take / 4;
+    for (size_t i = 0; i < n_remove; ++i) {
+      const size_t pick = rng.NextBounded(alive.size());
+      b.removes.push_back(alive[pick]);
+      alive[pick] = alive.back();
+      alive.pop_back();
+    }
+    for (size_t i = 0; i < take; ++i) {
+      alive.push_back(next_id + static_cast<uint32_t>(i));
+    }
+    next_id += static_cast<uint32_t>(take);
+    produced += take;
+    stream.push_back(std::move(b));
+  }
+  return stream;
+}
+
+void WriteJson(const std::string& path, const std::vector<Result>& results) {
+  bench::EnsureParentDir(path);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_serve\",\n  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"dataset\": \"%s\", \"dim\": %d, \"n\": %zu, "
+        "\"sessions\": %zu, \"total_ops\": %zu, \"serve_wall_ms\": %s, "
+        "\"direct_wall_ms\": %s, \"efficiency\": %s, "
+        "\"updates_per_sec\": %s, \"queries\": %zu, \"query_p50_ms\": %s, "
+        "\"query_p95_ms\": %s, \"query_p99_ms\": %s}%s\n",
+        r.dataset.c_str(), r.dim, r.n, r.sessions, r.total_ops,
+        obs::JsonNumber(r.serve_wall_ms).c_str(),
+        obs::JsonNumber(r.direct_wall_ms).c_str(),
+        obs::JsonNumber(r.efficiency).c_str(),
+        obs::JsonNumber(r.updates_per_sec).c_str(), r.queries,
+        obs::JsonNumber(r.query_p50_ms).c_str(),
+        obs::JsonNumber(r.query_p95_ms).c_str(),
+        obs::JsonNumber(r.query_p99_ms).c_str(),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace adbscan
+
+int main(int argc, char** argv) {
+  using namespace adbscan;
+  Flags flags;
+  flags.DefineString("datasets", "ss3d",
+                     "comma-separated dataset names (see bench_common.h)")
+      .DefineInt("sessions", 8, "concurrent tenant sessions")
+      .DefineInt("n", 20000, "points ingested per session")
+      .DefineInt("batch", 512, "points per ingest batch")
+      .DefineDouble("eps", bench::kDefaultEps, "DBSCAN radius")
+      .DefineInt("min_pts", bench::kDefaultMinPts, "DBSCAN MinPts")
+      .DefineDouble("rho", bench::kDefaultRho, "approximation parameter")
+      .DefineInt("query_every", 4,
+                 "issue one timed snapshot query per this many ingests")
+      .DefineString("out", "",
+                    "output JSON path (default out/BENCH_serve.json)")
+      .DefineString("metrics_json", "",
+                    "append one JSON metrics record per phase (empty: off)");
+  bench::DefineThreadsFlag(flags);
+  bench::DefineKernelFlag(flags);
+  bench::DefineTraceFlag(flags);
+  flags.Parse(argc, argv);
+  const std::string trace_path = bench::ApplyTraceFlag(flags);
+  bench::ApplyKernelFlag(flags);
+
+  const size_t sessions = static_cast<size_t>(flags.GetInt("sessions"));
+  const size_t n = static_cast<size_t>(flags.GetInt("n"));
+  const size_t batch = static_cast<size_t>(flags.GetInt("batch"));
+  const size_t query_every =
+      std::max<size_t>(1, static_cast<size_t>(flags.GetInt("query_every")));
+  const double rho = flags.GetDouble("rho");
+  DbscanParams params{flags.GetDouble("eps"),
+                      static_cast<int>(flags.GetInt("min_pts")),
+                      bench::ThreadsFromFlags(flags)};
+  std::string out = flags.GetString("out");
+  if (out.empty()) out = bench::OutPath("BENCH_serve.json");
+  const std::string metrics_json = flags.GetString("metrics_json");
+  bench::MetricsLogger logger(metrics_json, "micro_serve");
+
+  std::vector<Result> results;
+  Table table({"dataset", "sessions", "n", "serve_ms", "direct_ms",
+               "efficiency", "upd/s", "q_p50_ms", "q_p99_ms"});
+
+  for (const std::string& name :
+       bench::SplitNames(flags.GetString("datasets"))) {
+    const Dataset pool = bench::MakeBenchDataset(name, sessions * n, 1);
+    const int dim = pool.dim();
+
+    // Pre-generate every session's stream so both phases replay byte-equal
+    // inputs and generation cost stays out of the measurement.
+    std::vector<std::vector<OpBatch>> streams;
+    size_t total_ops = 0;
+    size_t max_batches = 0;
+    for (size_t s = 0; s < sessions; ++s) {
+      streams.push_back(MakeStream(pool, s * n, n, batch, 0x5e41e + s));
+      max_batches = std::max(max_batches, streams.back().size());
+      for (const OpBatch& b : streams.back()) {
+        total_ops += b.coords.size() / dim + b.removes.size();
+      }
+    }
+
+    // --- Direct phase: solo DynamicClusterer per stream, no serving. ----
+    logger.BeginRun();
+    std::vector<Clustering> want;
+    Timer direct_timer;
+    for (size_t s = 0; s < sessions; ++s) {
+      DynamicClustererOptions dyn;
+      dyn.rho = rho;
+      DynamicClusterer solo(dim, params, dyn);
+      for (const OpBatch& b : streams[s]) {
+        solo.Insert(Dataset(dim, b.coords));
+        if (!b.removes.empty()) solo.Remove(b.removes);
+      }
+      want.push_back(solo.Labels());
+    }
+    const double direct_ms = direct_timer.ElapsedMillis();
+    logger.EndRun(name, "direct",
+                  {{"sessions", std::to_string(sessions)},
+                   {"n", std::to_string(n)}},
+                  direct_ms / 1000.0);
+
+    // --- Serve phase: the full SessionManager path, background drainer
+    // on, timed snapshot reads racing the drains. ------------------------
+    logger.BeginRun();
+    serve::ServeOptions opts;
+    opts.num_threads = params.num_threads;
+    std::vector<double> query_ms;
+    Timer serve_timer;
+    {
+      serve::SessionManager mgr(opts);
+      std::vector<uint64_t> ids;
+      for (size_t s = 0; s < sessions; ++s) {
+        serve::ErrorCode code;
+        std::string error;
+        const uint64_t id =
+            mgr.CreateSession(dim, params, rho, &code, &error);
+        if (id == 0) {
+          std::fprintf(stderr, "create failed: %s\n", error.c_str());
+          return 1;
+        }
+        ids.push_back(id);
+      }
+      // Round-robin over sessions so all queues stay hot concurrently.
+      size_t ingests = 0;
+      for (size_t r = 0; r < max_batches; ++r) {
+        for (size_t s = 0; s < sessions; ++s) {
+          if (r >= streams[s].size()) continue;
+          const OpBatch& b = streams[s][r];
+          serve::ErrorCode code;
+          std::string error;
+          uint32_t first_id = 0;
+          uint64_t pending = 0;
+          while (!mgr.Ingest(ids[s], b.coords, static_cast<uint32_t>(dim),
+                             b.removes, &first_id, &pending, &code,
+                             &error)) {
+            if (code != serve::ErrorCode::kBackpressure) {
+              std::fprintf(stderr, "ingest failed: %s\n", error.c_str());
+              return 1;
+            }
+            mgr.DrainDirtySessions();  // help out instead of spinning
+          }
+          if (++ingests % query_every == 0) {
+            const uint64_t target = ids[ingests % sessions];
+            Timer q;
+            std::shared_ptr<const serve::ServeSnapshot> snap =
+                mgr.Read(target);
+            // Touch the labels so lazy page faults count as query cost.
+            volatile int32_t sink =
+                snap->labels.label.empty() ? 0 : snap->labels.label.back();
+            (void)sink;
+            query_ms.push_back(q.ElapsedMillis());
+          }
+        }
+      }
+      for (size_t s = 0; s < sessions; ++s) {
+        serve::ErrorCode code;
+        std::string error;
+        uint64_t epoch = 0, applied = 0;
+        if (!mgr.Flush(ids[s], &epoch, &applied, &code, &error)) {
+          std::fprintf(stderr, "flush failed: %s\n", error.c_str());
+          return 1;
+        }
+      }
+      const double serve_ms = serve_timer.ElapsedMillis();
+      logger.EndRun(name, "serve",
+                    {{"sessions", std::to_string(sessions)},
+                     {"n", std::to_string(n)}},
+                    serve_ms / 1000.0);
+
+      // Bit-identical check against the solo replays before reporting.
+      for (size_t s = 0; s < sessions; ++s) {
+        std::shared_ptr<const serve::ServeSnapshot> snap = mgr.Read(ids[s]);
+        if (snap == nullptr || snap->labels.label != want[s].label ||
+            snap->labels.is_core != want[s].is_core) {
+          std::fprintf(stderr,
+                       "FATAL: session %zu diverged from its solo replay "
+                       "(%s)\n",
+                       s, name.c_str());
+          return 1;
+        }
+      }
+
+      std::sort(query_ms.begin(), query_ms.end());
+      Result res;
+      res.dataset = name;
+      res.dim = dim;
+      res.n = n;
+      res.sessions = sessions;
+      res.total_ops = total_ops;
+      res.serve_wall_ms = serve_ms;
+      res.direct_wall_ms = direct_ms;
+      res.efficiency = serve_ms > 0.0 ? direct_ms / serve_ms : 0.0;
+      res.updates_per_sec =
+          serve_ms > 0.0 ? double(total_ops) / (serve_ms / 1000.0) : 0.0;
+      res.queries = query_ms.size();
+      res.query_p50_ms = Quantile(query_ms, 0.50);
+      res.query_p95_ms = Quantile(query_ms, 0.95);
+      res.query_p99_ms = Quantile(query_ms, 0.99);
+      results.push_back(res);
+      table.AddRow({name, std::to_string(sessions), std::to_string(n),
+                    Table::Num(res.serve_wall_ms, 1),
+                    Table::Num(res.direct_wall_ms, 1),
+                    Table::Num(res.efficiency, 2),
+                    Table::Num(res.updates_per_sec, 0),
+                    Table::Num(res.query_p50_ms, 3),
+                    Table::Num(res.query_p99_ms, 3)});
+    }
+  }
+
+  table.Print();
+  WriteJson(out, results);
+  if (!trace_path.empty()) obs::ExportTrace(trace_path);
+  return 0;
+}

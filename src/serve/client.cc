@@ -1,0 +1,230 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace adbscan {
+namespace serve {
+
+namespace {
+
+bool SendAll(int fd, const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+}  // namespace
+
+WireClient::~WireClient() { Close(); }
+
+bool WireClient::Connect(int port, std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    SetError(error, std::string("socket: ") + std::strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    SetError(error, "connect 127.0.0.1:" + std::to_string(port) + ": " +
+                        std::strerror(errno));
+    Close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+void WireClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  assembler_ = FrameAssembler();
+}
+
+bool WireClient::RoundTrip(const std::vector<uint8_t>& request,
+                           Frame* response, std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "not connected");
+    return false;
+  }
+  if (!SendAll(fd_, request.data(), request.size())) {
+    SetError(error, std::string("send: ") + std::strerror(errno));
+    Close();
+    return false;
+  }
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    std::string frame_error;
+    const FrameStatus status = assembler_.Next(response, &frame_error);
+    if (status == FrameStatus::kFrame) return true;
+    if (status == FrameStatus::kError) {
+      SetError(error, "malformed server frame: " + frame_error);
+      Close();
+      return false;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, std::string("recv: ") + std::strerror(errno));
+      Close();
+      return false;
+    }
+    if (n == 0) {
+      SetError(error, "server closed the connection");
+      Close();
+      return false;
+    }
+    assembler_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+template <typename Resp, typename DecodeFn>
+bool WireClient::Call(const std::vector<uint8_t>& request, MsgType expect,
+                      Resp* resp, DecodeFn decode, ErrorCode* code,
+                      std::string* error) {
+  if (code != nullptr) *code = ErrorCode::kInternal;
+  Frame frame;
+  if (!RoundTrip(request, &frame, error)) return false;
+  if (frame.type == MsgType::kErrorResp) {
+    ErrorResp err;
+    std::string decode_error;
+    if (!DecodeErrorResp(frame, &err, &decode_error)) {
+      SetError(error, "malformed ErrorResp: " + decode_error);
+      Close();
+      return false;
+    }
+    if (code != nullptr) *code = err.code;
+    SetError(error, err.message);
+    return false;
+  }
+  if (frame.type != expect) {
+    SetError(error, "unexpected response type " +
+                        std::to_string(static_cast<int>(frame.type)));
+    Close();
+    return false;
+  }
+  std::string decode_error;
+  if (!decode(frame, resp, &decode_error)) {
+    SetError(error, "malformed response: " + decode_error);
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool WireClient::Create(const CreateReq& req, uint64_t* session,
+                        ErrorCode* code, std::string* error) {
+  std::vector<uint8_t> wire;
+  EncodeCreateReq(req, &wire);
+  CreateResp resp;
+  if (!Call(wire, MsgType::kCreateResp, &resp, DecodeCreateResp, code,
+            error)) {
+    return false;
+  }
+  if (session != nullptr) *session = resp.session;
+  return true;
+}
+
+bool WireClient::Ingest(const IngestReq& req, IngestResp* resp,
+                        ErrorCode* code, std::string* error) {
+  std::vector<uint8_t> wire;
+  EncodeIngestReq(req, &wire);
+  IngestResp local;
+  if (resp == nullptr) resp = &local;
+  return Call(wire, MsgType::kIngestResp, resp, DecodeIngestResp, code,
+              error);
+}
+
+bool WireClient::Flush(uint64_t session, FlushResp* resp, ErrorCode* code,
+                       std::string* error) {
+  FlushReq req;
+  req.session = session;
+  std::vector<uint8_t> wire;
+  EncodeFlushReq(req, &wire);
+  FlushResp local;
+  if (resp == nullptr) resp = &local;
+  return Call(wire, MsgType::kFlushResp, resp, DecodeFlushResp, code, error);
+}
+
+bool WireClient::Query(uint64_t session, const std::vector<uint32_t>& ids,
+                       QueryResp* resp, ErrorCode* code, std::string* error) {
+  QueryReq req;
+  req.session = session;
+  req.ids = ids;
+  std::vector<uint8_t> wire;
+  EncodeQueryReq(req, &wire);
+  return Call(wire, MsgType::kQueryResp, resp, DecodeQueryResp, code, error);
+}
+
+bool WireClient::Snapshot(uint64_t session, SnapshotResp* resp,
+                          ErrorCode* code, std::string* error) {
+  SnapshotReq req;
+  req.session = session;
+  std::vector<uint8_t> wire;
+  EncodeSnapshotReq(req, &wire);
+  return Call(wire, MsgType::kSnapshotResp, resp, DecodeSnapshotResp, code,
+              error);
+}
+
+bool WireClient::Drop(uint64_t session, ErrorCode* code, std::string* error) {
+  DropReq req;
+  req.session = session;
+  std::vector<uint8_t> wire;
+  EncodeDropReq(req, &wire);
+  if (code != nullptr) *code = ErrorCode::kInternal;
+  Frame frame;
+  if (!RoundTrip(wire, &frame, error)) return false;
+  if (frame.type == MsgType::kErrorResp) {
+    ErrorResp err;
+    std::string decode_error;
+    if (!DecodeErrorResp(frame, &err, &decode_error)) {
+      SetError(error, "malformed ErrorResp: " + decode_error);
+      Close();
+      return false;
+    }
+    if (code != nullptr) *code = err.code;
+    SetError(error, err.message);
+    return false;
+  }
+  if (frame.type != MsgType::kDropResp) {
+    SetError(error, "unexpected response type " +
+                        std::to_string(static_cast<int>(frame.type)));
+    Close();
+    return false;
+  }
+  std::string decode_error;
+  if (!DecodeDropResp(frame, &decode_error)) {
+    SetError(error, "malformed DropResp: " + decode_error);
+    Close();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace serve
+}  // namespace adbscan

@@ -1,0 +1,66 @@
+#ifndef ADBSCAN_SERVE_CLIENT_H_
+#define ADBSCAN_SERVE_CLIENT_H_
+
+// Blocking single-connection client of the clustering server. One request
+// in flight at a time per client (the protocol answers in request order);
+// run several clients for concurrency — they are cheap, one fd each.
+//
+// Every RPC returns false on failure with *error set; when the failure was
+// an ErrorResp from the server, *code carries its category (transport
+// failures leave it at kInternal). The client never aborts on malformed
+// server bytes — a framing error closes the connection and fails every
+// later call.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace adbscan {
+namespace serve {
+
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  // Connects to 127.0.0.1:port.
+  bool Connect(int port, std::string* error);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  bool Create(const CreateReq& req, uint64_t* session, ErrorCode* code,
+              std::string* error);
+  bool Ingest(const IngestReq& req, IngestResp* resp, ErrorCode* code,
+              std::string* error);
+  bool Flush(uint64_t session, FlushResp* resp, ErrorCode* code,
+             std::string* error);
+  bool Query(uint64_t session, const std::vector<uint32_t>& ids,
+             QueryResp* resp, ErrorCode* code, std::string* error);
+  bool Snapshot(uint64_t session, SnapshotResp* resp, ErrorCode* code,
+                std::string* error);
+  bool Drop(uint64_t session, ErrorCode* code, std::string* error);
+
+ private:
+  // Sends `request` and reads exactly one response frame. False on
+  // transport or framing failure (the connection is closed in that case).
+  bool RoundTrip(const std::vector<uint8_t>& request, Frame* response,
+                 std::string* error);
+  // Shared tail of every RPC: round-trips, then either decodes the
+  // expected type via `decode` or surfaces a received ErrorResp.
+  template <typename Resp, typename DecodeFn>
+  bool Call(const std::vector<uint8_t>& request, MsgType expect, Resp* resp,
+            DecodeFn decode, ErrorCode* code, std::string* error);
+
+  int fd_ = -1;
+  FrameAssembler assembler_;
+};
+
+}  // namespace serve
+}  // namespace adbscan
+
+#endif  // ADBSCAN_SERVE_CLIENT_H_

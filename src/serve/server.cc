@@ -1,0 +1,321 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace adbscan {
+namespace serve {
+
+namespace {
+
+bool SendAll(int fd, const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void AppendError(ErrorCode code, const std::string& message,
+                 std::vector<uint8_t>* out) {
+  ErrorResp resp;
+  resp.code = code;
+  resp.message = message;
+  EncodeErrorResp(resp, out);
+}
+
+}  // namespace
+
+WireServer::WireServer(const ServerOptions& options)
+    : options_(options), manager_(options.serve) {}
+
+WireServer::~WireServer() { Stop(); }
+
+bool WireServer::Start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = what + ": " + std::strerror(errno);
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return fail("bind 127.0.0.1:" + std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) return fail("listen");
+
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void WireServer::Stop() {
+  if (stopping_.exchange(true, std::memory_order_relaxed)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // shutdown() unblocks the accept loop even on platforms where close()
+    // alone does not.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) t.join();
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (int fd : conn_fds_) ::close(fd);
+    conn_fds_.clear();
+  }
+}
+
+void WireServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (Stop) or fatally broken
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void WireServer::ServeConnection(int fd) {
+  FrameAssembler assembler;
+  uint8_t buf[64 * 1024];
+  bool open = true;
+  while (open && !stopping_.load(std::memory_order_relaxed)) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // peer closed
+    assembler.Feed(buf, static_cast<size_t>(n));
+
+    std::vector<uint8_t> out;
+    for (;;) {
+      Frame frame;
+      std::string error;
+      const FrameStatus status = assembler.Next(&frame, &error);
+      if (status == FrameStatus::kNeedMore) break;
+      if (status == FrameStatus::kError) {
+        AppendError(ErrorCode::kBadFrame, error, &out);
+        open = false;
+        break;
+      }
+      if (!HandleFrame(frame, &out)) {
+        open = false;
+        break;
+      }
+    }
+    if (!out.empty() && !SendAll(fd, out.data(), out.size())) break;
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  // The fd itself is closed by Stop() (it stays in conn_fds_ so Stop can
+  // unblock a recv that is still parked in the kernel).
+}
+
+bool WireServer::HandleFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  ADB_TRACE_SPAN("serve.request");
+  std::string error;
+  ErrorCode code = ErrorCode::kInternal;
+  switch (frame.type) {
+    case MsgType::kCreateReq: {
+      CreateReq req;
+      if (!DecodeCreateReq(frame, &req, &error)) {
+        AppendError(ErrorCode::kBadFrame, error, out);
+        return false;
+      }
+      DbscanParams params;
+      params.eps = req.eps;
+      params.min_pts = static_cast<int>(req.min_pts);
+      const uint64_t id = manager_.CreateSession(
+          static_cast<int>(req.dim), params, req.rho, &code, &error);
+      if (id == 0) {
+        AppendError(code, error, out);
+        return true;
+      }
+      CreateResp resp;
+      resp.session = id;
+      EncodeCreateResp(resp, out);
+      return true;
+    }
+    case MsgType::kIngestReq: {
+      IngestReq req;
+      if (!DecodeIngestReq(frame, &req, &error)) {
+        AppendError(ErrorCode::kBadFrame, error, out);
+        return false;
+      }
+      IngestResp resp;
+      if (!manager_.Ingest(req.session, req.coords, req.dim, req.removes,
+                           &resp.first_id, &resp.pending_ops, &code,
+                           &error)) {
+        AppendError(code, error, out);
+        return true;
+      }
+      EncodeIngestResp(resp, out);
+      return true;
+    }
+    case MsgType::kFlushReq: {
+      FlushReq req;
+      if (!DecodeFlushReq(frame, &req, &error)) {
+        AppendError(ErrorCode::kBadFrame, error, out);
+        return false;
+      }
+      FlushResp resp;
+      if (!manager_.Flush(req.session, &resp.epoch, &resp.applied_updates,
+                          &code, &error)) {
+        AppendError(code, error, out);
+        return true;
+      }
+      EncodeFlushResp(resp, out);
+      return true;
+    }
+    case MsgType::kQueryReq: {
+      QueryReq req;
+      if (!DecodeQueryReq(frame, &req, &error)) {
+        AppendError(ErrorCode::kBadFrame, error, out);
+        return false;
+      }
+      Timer timer;
+      std::shared_ptr<const ServeSnapshot> snap = manager_.Read(req.session);
+      if (snap == nullptr) {
+        AppendError(ErrorCode::kUnknownSession,
+                    "unknown session " + std::to_string(req.session), out);
+        return true;
+      }
+      QueryResp resp;
+      resp.epoch = snap->epoch;
+      resp.num_points = snap->num_points;
+      resp.num_alive = snap->num_alive;
+      resp.num_clusters = static_cast<uint32_t>(snap->labels.num_clusters);
+      resp.labels.reserve(req.ids.size());
+      resp.is_core.reserve(req.ids.size());
+      for (uint32_t id : req.ids) {
+        if (id >= snap->num_points) {
+          // Not yet applied at this epoch: reported as noise, not an
+          // error — the client may know ids from an un-flushed ingest.
+          resp.labels.push_back(kNoise);
+          resp.is_core.push_back(0);
+        } else {
+          resp.labels.push_back(snap->labels.label[id]);
+          resp.is_core.push_back(snap->labels.is_core[id] ? 1 : 0);
+        }
+      }
+      EncodeQueryResp(resp, out);
+      ADB_RECORD("serve.query_latency_ms", timer.ElapsedMillis());
+      ADB_COUNT("serve.queries", 1);
+      return true;
+    }
+    case MsgType::kSnapshotReq: {
+      SnapshotReq req;
+      if (!DecodeSnapshotReq(frame, &req, &error)) {
+        AppendError(ErrorCode::kBadFrame, error, out);
+        return false;
+      }
+      Timer timer;
+      std::shared_ptr<const ServeSnapshot> snap = manager_.Read(req.session);
+      if (snap == nullptr) {
+        AppendError(ErrorCode::kUnknownSession,
+                    "unknown session " + std::to_string(req.session), out);
+        return true;
+      }
+      SnapshotResp resp;
+      resp.epoch = snap->epoch;
+      resp.num_clusters = static_cast<uint32_t>(snap->labels.num_clusters);
+      resp.ids.reserve(snap->num_alive);
+      resp.labels.reserve(snap->num_alive);
+      resp.is_core.reserve(snap->num_alive);
+      for (size_t i = 0; i < snap->num_points; ++i) {
+        if (!snap->alive[i]) continue;
+        resp.ids.push_back(static_cast<uint32_t>(i));
+        resp.labels.push_back(snap->labels.label[i]);
+        resp.is_core.push_back(snap->labels.is_core[i] ? 1 : 0);
+      }
+      EncodeSnapshotResp(resp, out);
+      ADB_RECORD("serve.snapshot_latency_ms", timer.ElapsedMillis());
+      ADB_COUNT("serve.snapshots", 1);
+      return true;
+    }
+    case MsgType::kDropReq: {
+      DropReq req;
+      if (!DecodeDropReq(frame, &req, &error)) {
+        AppendError(ErrorCode::kBadFrame, error, out);
+        return false;
+      }
+      if (!manager_.DropSession(req.session)) {
+        AppendError(ErrorCode::kUnknownSession,
+                    "unknown session " + std::to_string(req.session), out);
+        return true;
+      }
+      EncodeDropResp(out);
+      return true;
+    }
+    default:
+      // A response type (or future request) arriving at the server is a
+      // protocol violation; answer and drop the connection.
+      AppendError(ErrorCode::kBadFrame,
+                  "unexpected message type " +
+                      std::to_string(static_cast<int>(frame.type)) +
+                      " on the server side",
+                  out);
+      return false;
+  }
+}
+
+}  // namespace serve
+}  // namespace adbscan

@@ -1,0 +1,82 @@
+#ifndef ADBSCAN_SERVE_SERVER_H_
+#define ADBSCAN_SERVE_SERVER_H_
+
+// Loopback TCP front-end of the SessionManager: accepts connections on
+// 127.0.0.1, speaks the length-prefixed protocol of serve/wire.h, and maps
+// each request onto the manager. One OS thread per connection (connections
+// are few — clients multiplex sessions over one connection; all heavy
+// lifting happens on the shared task pool inside the manager).
+//
+// Error handling mirrors the wire contract: a malformed frame gets an
+// ErrorResp{kBadFrame} and the connection is closed (the stream is
+// unrecoverable once framing is lost); application-level failures
+// (unknown session, backpressure, bad arguments) get an ErrorResp with the
+// matching code and the connection stays up.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/session_manager.h"
+
+namespace adbscan {
+namespace serve {
+
+struct ServerOptions {
+  ServeOptions serve;
+  int port = 0;  // 0 = pick a free port; port() reports the actual one
+  int backlog = 64;
+};
+
+class WireServer {
+ public:
+  explicit WireServer(const ServerOptions& options = {});
+  ~WireServer();  // implies Stop()
+
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+
+  // Binds 127.0.0.1:port and starts the accept loop. False + *error on
+  // failure (port in use, out of fds).
+  bool Start(std::string* error);
+
+  // Stops accepting, closes every connection, and joins all threads.
+  // Idempotent; sessions and their snapshots survive until the manager
+  // (and therefore this object) is destroyed.
+  void Stop();
+
+  // The bound port; valid after a successful Start().
+  int port() const { return port_; }
+
+  SessionManager& manager() { return manager_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  // Dispatches one request frame; appends the response frame(s) to *out.
+  // Returns false when the connection must close (framing poisoned).
+  bool HandleFrame(const Frame& frame, std::vector<uint8_t>* out);
+
+  ServerOptions options_;
+  SessionManager manager_;
+
+  // Written by Start()/Stop(), read by the accept loop; atomic so Stop()
+  // can invalidate it while accept() is parked in the kernel.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace serve
+}  // namespace adbscan
+
+#endif  // ADBSCAN_SERVE_SERVER_H_

@@ -1,0 +1,416 @@
+#include "serve/session_manager.h"
+
+#include <atomic>
+#include <unordered_set>
+#include <utility>
+
+#include "geom/point.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace adbscan {
+namespace serve {
+
+namespace {
+
+// Touch every serve.* metric once so snapshots list them even before the
+// first session exists (same idiom as the stream/grid subsystems).
+void DeclareMetrics() {
+  static const bool declared = [] {
+    ADB_COUNT("serve.sessions_created", 0);
+    ADB_COUNT("serve.sessions_dropped", 0);
+    ADB_COUNT("serve.ingest_batches", 0);
+    ADB_COUNT("serve.ingest_ops", 0);
+    ADB_COUNT("serve.backpressure_rejects", 0);
+    ADB_COUNT("serve.drains", 0);
+    ADB_COUNT("serve.flushes", 0);
+    ADB_COUNT("serve.reads", 0);
+    return true;
+  }();
+  (void)declared;
+}
+
+}  // namespace
+
+// One tenant. Three lock layers, acquired only in the order
+// queue_mu -> (released) -> apply_mu -> snap_mu; no code path holds
+// queue_mu together with either of the others except the drain's
+// pop-one-batch step, which takes queue_mu while holding apply_mu
+// (never the reverse), so the order apply_mu -> queue_mu -> snap_mu is
+// acyclic too.
+struct SessionManager::Session {
+  Session(uint64_t id_in, int dim_in, const DbscanParams& params_in,
+          const DynamicClustererOptions& dyn_opts)
+      : id(id_in),
+        dim(dim_in),
+        params(params_in),
+        rho(dyn_opts.rho),
+        clusterer(dim_in, params_in, dyn_opts) {}
+
+  const uint64_t id;
+  const int dim;
+  const DbscanParams params;
+  const double rho;
+
+  // --- queue_mu: the enqueue side -------------------------------------
+  // A batch is homogeneous (inserts or removes); one Ingest() call with
+  // both parts enqueues two batches, inserts first. Coordinates stay a
+  // flat vector until apply time, when Dataset(dim, move(coords)) takes
+  // them over without a copy.
+  struct PendingBatch {
+    std::vector<double> coords;    // row-major inserts, or empty
+    std::vector<uint32_t> removes;  // tombstones, or empty
+  };
+  std::mutex queue_mu;
+  std::deque<PendingBatch> queue;
+  // Predicted id assignment: DynamicClusterer hands out dense ascending
+  // ids in apply order, and batches apply in enqueue order, so the id of
+  // the next inserted point is computable at enqueue time.
+  uint32_t next_id = 0;
+  // Enqueue-side alive view (ids >= size are alive-if-assigned): lets
+  // Ingest() reject a remove of a dead/unknown id immediately, so the
+  // clusterer's Remove() preconditions can never trip on client input.
+  std::vector<char> tombstoned;
+
+  // Queue depth in ops; written under queue_mu (enqueue) and by the
+  // drainer (decrement after apply), read lock-free for backpressure
+  // reporting and ListSessions().
+  std::atomic<uint64_t> pending_ops{0};
+
+  // --- apply_mu: the clusterer ----------------------------------------
+  std::mutex apply_mu;
+  DynamicClusterer clusterer;
+  uint64_t epoch = 0;
+  uint64_t applied_updates = 0;
+
+  // --- snap_mu: the published snapshot --------------------------------
+  std::mutex snap_mu;
+  std::shared_ptr<const ServeSnapshot> snapshot =
+      std::make_shared<const ServeSnapshot>();
+};
+
+SessionManager::SessionManager(const ServeOptions& options)
+    : options_(options) {
+  DeclareMetrics();
+  options_.num_threads = ResolveNumThreads(options.num_threads);
+  if (options_.drain_batch_ops == 0) options_.drain_batch_ops = 1;
+  if (options_.start_drainer) {
+    drainer_ = std::thread([this] { DrainerLoop(); });
+  }
+}
+
+SessionManager::~SessionManager() {
+  if (drainer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(drainer_mu_);
+      stop_ = true;
+    }
+    drainer_cv_.notify_all();
+    drainer_.join();
+  }
+}
+
+uint64_t SessionManager::CreateSession(int dim, const DbscanParams& params,
+                                       double rho, ErrorCode* code,
+                                       std::string* error) {
+  auto fail = [&](ErrorCode c, const std::string& msg) -> uint64_t {
+    if (code != nullptr) *code = c;
+    if (error != nullptr) *error = msg;
+    return 0;
+  };
+  if (dim < 1 || dim > kMaxDim) {
+    return fail(ErrorCode::kBadArgument,
+                "dim must be in [1, " + std::to_string(kMaxDim) + "]");
+  }
+  if (!(params.eps > 0.0)) {
+    return fail(ErrorCode::kBadArgument, "eps must be positive");
+  }
+  if (params.min_pts < 1) {
+    return fail(ErrorCode::kBadArgument, "min_pts must be >= 1");
+  }
+  if (!(rho > 0.0) || rho >= 1.0) {
+    return fail(ErrorCode::kBadArgument, "rho must be in (0, 1)");
+  }
+
+  DbscanParams p = params;
+  p.num_threads = options_.num_threads;
+  DynamicClustererOptions dyn;
+  dyn.rho = rho;
+  dyn.layout = options_.layout;
+
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  if (sessions_.size() >= options_.max_sessions) {
+    return fail(ErrorCode::kTooManySessions,
+                "session limit (" + std::to_string(options_.max_sessions) +
+                    ") reached");
+  }
+  const uint64_t id = next_session_id_++;
+  sessions_.emplace(id, std::make_shared<Session>(id, dim, p, dyn));
+  ADB_COUNT("serve.sessions_created", 1);
+  ADB_RECORD("serve.sessions", static_cast<double>(sessions_.size()));
+  return id;
+}
+
+bool SessionManager::DropSession(uint64_t session) {
+  std::shared_ptr<Session> s;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) return false;
+    s = std::move(it->second);
+    sessions_.erase(it);
+    ADB_COUNT("serve.sessions_dropped", 1);
+    ADB_RECORD("serve.sessions", static_cast<double>(sessions_.size()));
+  }
+  // If a drain is mid-flight it holds its own shared_ptr; the session is
+  // destroyed once the last holder lets go. Nothing to join here.
+  return true;
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::FindSession(
+    uint64_t id) {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool SessionManager::Ingest(uint64_t session,
+                            const std::vector<double>& coords, uint32_t dim,
+                            const std::vector<uint32_t>& removes,
+                            uint32_t* first_id, uint64_t* pending,
+                            ErrorCode* code, std::string* error) {
+  auto fail = [&](ErrorCode c, const std::string& msg) {
+    if (code != nullptr) *code = c;
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::shared_ptr<Session> s = FindSession(session);
+  if (s == nullptr) {
+    return fail(ErrorCode::kUnknownSession,
+                "unknown session " + std::to_string(session));
+  }
+  if (!coords.empty()) {
+    if (dim != static_cast<uint32_t>(s->dim)) {
+      return fail(ErrorCode::kBadArgument,
+                  "dim mismatch: session has dim " + std::to_string(s->dim) +
+                      ", ingest has dim " + std::to_string(dim));
+    }
+    if (coords.size() % dim != 0) {
+      return fail(ErrorCode::kBadArgument,
+                  "coords length is not a multiple of dim");
+    }
+  }
+  const size_t n_insert = coords.empty() ? 0 : coords.size() / dim;
+  const uint64_t new_ops = n_insert + removes.size();
+
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lk(s->queue_mu);
+    const uint64_t depth = s->pending_ops.load(std::memory_order_relaxed);
+    if (depth + new_ops > options_.max_pending_ops) {
+      ADB_COUNT("serve.backpressure_rejects", 1);
+      if (pending != nullptr) *pending = depth;
+      return fail(ErrorCode::kBackpressure,
+                  "ingest queue full (" + std::to_string(depth) + " of " +
+                      std::to_string(options_.max_pending_ops) +
+                      " pending ops); flush or retry");
+    }
+
+    // Validate the whole request before enqueueing any of it, so a bad
+    // remove never leaves half an ingest behind. Removes may target ids
+    // inserted earlier in this same request.
+    const uint64_t id_limit = s->next_id + n_insert;
+    std::unordered_set<uint32_t> batch_dups;
+    for (uint32_t id : removes) {
+      if (id >= id_limit) {
+        return fail(ErrorCode::kBadArgument,
+                    "remove of id " + std::to_string(id) +
+                        " which was never inserted");
+      }
+      if ((id < s->tombstoned.size() && s->tombstoned[id]) ||
+          !batch_dups.insert(id).second) {
+        return fail(ErrorCode::kBadArgument,
+                    "remove of id " + std::to_string(id) +
+                        " which is already removed");
+      }
+    }
+
+    if (first_id != nullptr) *first_id = s->next_id;
+    if (n_insert > 0) {
+      Session::PendingBatch b;
+      b.coords = coords;
+      s->queue.push_back(std::move(b));
+      s->next_id += static_cast<uint32_t>(n_insert);
+    }
+    if (!removes.empty()) {
+      if (s->tombstoned.size() < id_limit) s->tombstoned.resize(id_limit, 0);
+      for (uint32_t id : removes) s->tombstoned[id] = 1;
+      Session::PendingBatch b;
+      b.removes = removes;
+      s->queue.push_back(std::move(b));
+    }
+    const uint64_t now_pending =
+        s->pending_ops.fetch_add(new_ops, std::memory_order_relaxed) +
+        new_ops;
+    if (pending != nullptr) *pending = now_pending;
+    wake = now_pending >= options_.drain_batch_ops;
+  }
+
+  ADB_COUNT("serve.ingest_batches", 1);
+  ADB_COUNT("serve.ingest_ops", static_cast<int64_t>(new_ops));
+  ADB_RECORD("serve.ingest_batch_ops", static_cast<double>(new_ops));
+
+  if (wake && options_.start_drainer) {
+    {
+      std::lock_guard<std::mutex> lk(drainer_mu_);
+      drainer_wake_ = true;
+    }
+    drainer_cv_.notify_one();
+  }
+  return true;
+}
+
+void SessionManager::DrainSession(Session& s) {
+  std::lock_guard<std::mutex> apply_lk(s.apply_mu);
+  if (s.pending_ops.load(std::memory_order_relaxed) == 0) return;
+
+  ADB_TRACE_SPAN("serve.drain");
+  Timer timer;
+  uint64_t drained_ops = 0;
+  for (;;) {
+    Session::PendingBatch batch;
+    {
+      std::lock_guard<std::mutex> queue_lk(s.queue_mu);
+      if (s.queue.empty()) break;
+      batch = std::move(s.queue.front());
+      s.queue.pop_front();
+    }
+    uint64_t ops = 0;
+    if (!batch.coords.empty()) {
+      Dataset ds(s.dim, std::move(batch.coords));
+      ops = ds.size();
+      s.clusterer.Insert(ds);
+    } else if (!batch.removes.empty()) {
+      ops = batch.removes.size();
+      s.clusterer.Remove(batch.removes);
+    }
+    s.applied_updates += ops;
+    drained_ops += ops;
+    s.pending_ops.fetch_sub(ops, std::memory_order_relaxed);
+  }
+  if (drained_ops == 0) return;
+
+  // Materialize labels (the last mutator touch), then build the immutable
+  // snapshot and publish it with a pointer swap.
+  auto snap = std::make_shared<ServeSnapshot>();
+  snap->labels = s.clusterer.Labels();  // copy of the global-id clustering
+  snap->epoch = ++s.epoch;
+  snap->applied_updates = s.applied_updates;
+  snap->num_points = s.clusterer.num_points();
+  snap->num_alive = s.clusterer.num_alive();
+  snap->alive.resize(snap->num_points);
+  for (size_t i = 0; i < snap->num_points; ++i) {
+    snap->alive[i] = s.clusterer.alive(static_cast<uint32_t>(i)) ? 1 : 0;
+  }
+  {
+    std::lock_guard<std::mutex> snap_lk(s.snap_mu);
+    s.snapshot = std::move(snap);
+  }
+
+  ADB_COUNT("serve.drains", 1);
+  ADB_RECORD("serve.drain_ops", static_cast<double>(drained_ops));
+  ADB_RECORD("serve.drain_latency_ms", timer.ElapsedMillis());
+}
+
+bool SessionManager::Flush(uint64_t session, uint64_t* epoch,
+                           uint64_t* applied, ErrorCode* code,
+                           std::string* error) {
+  std::shared_ptr<Session> s = FindSession(session);
+  if (s == nullptr) {
+    if (code != nullptr) *code = ErrorCode::kUnknownSession;
+    if (error != nullptr) {
+      *error = "unknown session " + std::to_string(session);
+    }
+    return false;
+  }
+  ADB_COUNT("serve.flushes", 1);
+  DrainSession(*s);
+  std::lock_guard<std::mutex> lk(s->apply_mu);
+  if (epoch != nullptr) *epoch = s->epoch;
+  if (applied != nullptr) *applied = s->applied_updates;
+  return true;
+}
+
+std::shared_ptr<const ServeSnapshot> SessionManager::Read(uint64_t session) {
+  std::shared_ptr<Session> s = FindSession(session);
+  if (s == nullptr) return nullptr;
+  ADB_COUNT("serve.reads", 1);
+  std::lock_guard<std::mutex> lk(s->snap_mu);
+  return s->snapshot;
+}
+
+void SessionManager::DrainDirtySessions() {
+  std::vector<std::shared_ptr<Session>> dirty;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (auto& [id, s] : sessions_) {
+      if (s->pending_ops.load(std::memory_order_relaxed) > 0) {
+        dirty.push_back(s);
+      }
+    }
+  }
+  // Sessions drain one at a time: each drain already fans out over the
+  // task pool through the clusterer's own ParallelFor phases, and draining
+  // N sessions inside an outer ParallelFor would hold the pool's submit
+  // lock while blocking on a session's apply_mu — the exact inverse of a
+  // concurrent Flush (apply_mu, then the pool inside Insert), i.e. a
+  // deadlock. The lock order is apply_mu -> pool, everywhere.
+  for (const std::shared_ptr<Session>& s : dirty) DrainSession(*s);
+}
+
+size_t SessionManager::num_sessions() {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  return sessions_.size();
+}
+
+std::vector<SessionInfo> SessionManager::ListSessions() {
+  std::vector<std::shared_ptr<Session>> live;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    live.reserve(sessions_.size());
+    for (auto& [id, s] : sessions_) live.push_back(s);
+  }
+  std::vector<SessionInfo> out;
+  out.reserve(live.size());
+  for (const auto& s : live) {
+    SessionInfo info;
+    info.id = s->id;
+    info.dim = s->dim;
+    info.params = s->params;
+    info.rho = s->rho;
+    info.pending_ops = s->pending_ops.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(s->snap_mu);
+      info.epoch = s->snapshot->epoch;
+    }
+    out.push_back(info);
+  }
+  return out;
+}
+
+void SessionManager::DrainerLoop() {
+  std::unique_lock<std::mutex> lk(drainer_mu_);
+  for (;;) {
+    drainer_cv_.wait(lk, [this] { return drainer_wake_ || stop_; });
+    if (stop_) return;
+    drainer_wake_ = false;
+    lk.unlock();
+    DrainDirtySessions();
+    lk.lock();
+  }
+}
+
+}  // namespace serve
+}  // namespace adbscan

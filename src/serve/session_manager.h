@@ -1,0 +1,181 @@
+#ifndef ADBSCAN_SERVE_SESSION_MANAGER_H_
+#define ADBSCAN_SERVE_SESSION_MANAGER_H_
+
+// Multi-tenant serving core: many independent DynamicClusterer instances
+// (one per session/tenant/stream), asynchronous batched ingest queues, and
+// epoch-versioned read snapshots that never block behind writers.
+//
+// Concurrency model (see DESIGN.md "Serving runtime"):
+//
+//   - Each session owns three independently locked layers:
+//       queue_mu  — the pending-update queue (enqueue side of ingest).
+//       apply_mu  — the DynamicClusterer plus drain bookkeeping. Exactly
+//                   one drainer at a time per session; the clusterer is
+//                   only ever touched under this mutex, which satisfies
+//                   its exclusive-mutator contract.
+//       snap_mu   — a single shared_ptr swap. Writers publish a freshly
+//                   built immutable ServeSnapshot here; readers copy the
+//                   pointer out. Both critical sections are a pointer
+//                   assignment, so a reader can never block a writer for
+//                   longer than that, and a reader holding a snapshot
+//                   keeps it alive for free after the writer moves on.
+//   - Ingest is asynchronous: Ingest() validates, appends to the queue,
+//     and returns. A background drainer thread wakes when any session's
+//     queue crosses drain_batch_ops (or on shutdown) and drains every
+//     dirty session, one session at a time, each batch applying in
+//     enqueue order under the session's apply_mu. Per-session drains fan
+//     out over the work-stealing task pool through the clusterer's own
+//     ParallelFor phases (sessions are NOT drained inside an outer
+//     ParallelFor: that would hold the pool while blocking on apply_mu,
+//     inverting the apply_mu -> pool order a concurrent Flush uses).
+//   - Flush() drains the calling session synchronously (racing drains are
+//     harmless: both serialize on apply_mu and draining an empty queue is
+//     a no-op), so "everything enqueued before the flush is applied and
+//     published" holds on return without waiting for the drainer.
+//   - Reads (Read()) are wait-free with respect to drains apart from the
+//     pointer-copy critical section, and a returned snapshot is immutable:
+//     labels computed at epoch E stay bit-identical to a from-scratch
+//     ApproxDbscan over the session's surviving points at E (the
+//     DynamicClusterer contract), no matter how many batches apply later.
+//
+// Determinism: sessions share only the process-wide task pool, which the
+// pipelines are bit-identical across; interleaving tenants therefore
+// yields exactly the labels a solo DynamicClusterer replay would (tested
+// by tests/test_serve.cc SessionIsolation).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+#include "serve/wire.h"
+#include "stream/dynamic_clusterer.h"
+
+namespace adbscan {
+namespace serve {
+
+struct ServeOptions {
+  // Worker threads for drains (and the clusterers' internal phases);
+  // <= 0 resolves via ResolveNumThreads (ADBSCAN_THREADS, else hardware).
+  int num_threads = 0;
+
+  // Background drain trigger: the drainer wakes once a session's queue
+  // holds at least this many pending ops. Flush() ignores it.
+  size_t drain_batch_ops = 2048;
+
+  // Backpressure cap: Ingest() rejects (kBackpressure) when a session's
+  // queue already holds this many pending ops.
+  size_t max_pending_ops = 1 << 20;
+
+  size_t max_sessions = 1024;
+
+  // Tests drive drains deterministically by disabling the background
+  // drainer and calling Flush()/DrainDirtySessions() themselves.
+  bool start_drainer = true;
+
+  // Forwarded to every session's DynamicClusterer.
+  Grid::Layout layout = Grid::Layout::kCsr;
+};
+
+// Immutable label snapshot of one session at one epoch. Published by value
+// behind a shared_ptr; everything in it is safe to read concurrently.
+struct ServeSnapshot {
+  uint64_t epoch = 0;            // 0 = pre-first-drain empty snapshot
+  uint64_t applied_updates = 0;  // ops applied up to this epoch
+  size_t num_points = 0;         // global id space size (incl. tombstones)
+  size_t num_alive = 0;
+  // Over the GLOBAL id space [0, num_points): dead points are noise.
+  Clustering labels;
+  // Alive bitmap at this epoch (distinguishes alive noise from tombstones).
+  std::vector<char> alive;
+};
+
+struct SessionInfo {
+  uint64_t id = 0;
+  int dim = 0;
+  DbscanParams params;
+  double rho = 0.0;
+  uint64_t pending_ops = 0;
+  uint64_t epoch = 0;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(const ServeOptions& options = {});
+  ~SessionManager();  // stops the drainer; outstanding snapshots survive
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // Creates an empty session; returns its id (never 0). On failure returns
+  // 0 with *code/*error describing why (bad params, session cap).
+  uint64_t CreateSession(int dim, const DbscanParams& params, double rho,
+                         ErrorCode* code, std::string* error);
+
+  // Drops the session: its queue, clusterer, and snapshot pointer go away;
+  // snapshots already handed to readers stay valid. False when unknown.
+  bool DropSession(uint64_t session);
+
+  // Asynchronous batched ingest: validates and enqueues coords (row-major,
+  // coords.size()/dim points) then removes, in that order, and returns
+  // without applying. *first_id receives the global id the first inserted
+  // point will get (exact: ids are handed out densely in enqueue order);
+  // *pending the queue depth after the call. Rejects with kBackpressure
+  // when the queue is full, kBadArgument on a dim mismatch or a remove of
+  // an id never inserted / already removed (validated against the
+  // enqueue-side view, so the clusterer's preconditions can never trip).
+  bool Ingest(uint64_t session, const std::vector<double>& coords,
+              uint32_t dim, const std::vector<uint32_t>& removes,
+              uint32_t* first_id, uint64_t* pending, ErrorCode* code,
+              std::string* error);
+
+  // Synchronously applies everything enqueued before the call and
+  // publishes a fresh snapshot. *epoch/*applied report the published
+  // state. Cheap when the queue is already drained.
+  bool Flush(uint64_t session, uint64_t* epoch, uint64_t* applied,
+             ErrorCode* code, std::string* error);
+
+  // The last published snapshot (epoch 0 + empty labels before the first
+  // drain). Never blocks behind a drain; nullptr for an unknown session.
+  std::shared_ptr<const ServeSnapshot> Read(uint64_t session);
+
+  // One synchronous drain pass over every session with pending ops —
+  // what the background drainer runs; a test hook when start_drainer is
+  // false.
+  void DrainDirtySessions();
+
+  size_t num_sessions();
+  std::vector<SessionInfo> ListSessions();
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Session;
+
+  std::shared_ptr<Session> FindSession(uint64_t id);
+  void DrainSession(Session& s);
+  void DrainerLoop();
+
+  ServeOptions options_;
+
+  std::mutex sessions_mu_;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+
+  std::mutex drainer_mu_;
+  std::condition_variable drainer_cv_;
+  bool drainer_wake_ = false;
+  bool stop_ = false;
+  std::thread drainer_;
+};
+
+}  // namespace serve
+}  // namespace adbscan
+
+#endif  // ADBSCAN_SERVE_SESSION_MANAGER_H_

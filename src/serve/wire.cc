@@ -1,0 +1,410 @@
+#include "serve/wire.h"
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+namespace adbscan {
+namespace serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitive writer: appends little-endian fixed-width fields to a buffer.
+// (Host is assumed little-endian; see the header comment.)
+
+template <typename T>
+void Put(std::vector<uint8_t>* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &value, sizeof(T));
+}
+
+void PutBytes(std::vector<uint8_t>* out, const void* data, size_t len) {
+  const size_t at = out->size();
+  out->resize(at + len);
+  if (len > 0) std::memcpy(out->data() + at, data, len);
+}
+
+// Frames `payload` (writing the length prefix + type) onto `out`.
+void PutFrame(MsgType type, const std::vector<uint8_t>& payload,
+              std::vector<uint8_t>* out) {
+  Put<uint32_t>(out, static_cast<uint32_t>(1 + payload.size()));
+  Put<uint8_t>(out, static_cast<uint8_t>(type));
+  PutBytes(out, payload.data(), payload.size());
+}
+
+// ---------------------------------------------------------------------------
+// Primitive reader: a bounds-checked cursor over a frame payload. Any
+// overrun latches ok() to false and subsequent reads return zero values,
+// so decoders can read a whole message and check once at the end.
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    if (!ok_ || len_ - pos_ < sizeof(T)) {
+      ok_ = false;
+      return value;
+    }
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  // Reads a u32 count followed by that many T elements. The count is
+  // validated against the remaining payload BEFORE allocating, so a forged
+  // count can never provoke an oversized allocation.
+  template <typename T>
+  std::vector<T> GetArray() {
+    const uint32_t count = Get<uint32_t>();
+    if (!ok_ || remaining() / sizeof(T) < count) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<T> out(count);
+    if (count > 0) {
+      std::memcpy(out.data(), data_ + pos_, count * sizeof(T));
+      pos_ += count * sizeof(T);
+    }
+    return out;
+  }
+
+  std::string GetString() {
+    const uint32_t count = Get<uint32_t>();
+    if (!ok_ || remaining() < count) {
+      ok_ = false;
+      return {};
+    }
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), count);
+    pos_ += count;
+    return out;
+  }
+
+  size_t remaining() const { return ok_ ? len_ - pos_ : 0; }
+  bool ok() const { return ok_; }
+
+  // True iff every byte was consumed and no read overran.
+  bool Done(const char* what, std::string* error) const {
+    if (ok_ && pos_ == len_) return true;
+    *error = std::string(what) +
+             (ok_ ? ": trailing bytes after message" : ": truncated payload");
+    return false;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+bool WrongType(const Frame& frame, MsgType want, const char* what,
+               std::string* error) {
+  if (frame.type == want) return false;
+  *error = std::string(what) + ": unexpected frame type " +
+           std::to_string(static_cast<int>(frame.type));
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Encoders.
+
+void EncodeCreateReq(const CreateReq& msg, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> p;
+  Put<uint32_t>(&p, msg.dim);
+  Put<double>(&p, msg.eps);
+  Put<uint32_t>(&p, msg.min_pts);
+  Put<double>(&p, msg.rho);
+  PutFrame(MsgType::kCreateReq, p, out);
+}
+
+void EncodeCreateResp(const CreateResp& msg, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> p;
+  Put<uint64_t>(&p, msg.session);
+  PutFrame(MsgType::kCreateResp, p, out);
+}
+
+void EncodeIngestReq(const IngestReq& msg, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> p;
+  Put<uint64_t>(&p, msg.session);
+  Put<uint32_t>(&p, msg.dim);
+  Put<uint32_t>(&p, static_cast<uint32_t>(msg.coords.size()));
+  PutBytes(&p, msg.coords.data(), msg.coords.size() * sizeof(double));
+  Put<uint32_t>(&p, static_cast<uint32_t>(msg.removes.size()));
+  PutBytes(&p, msg.removes.data(), msg.removes.size() * sizeof(uint32_t));
+  PutFrame(MsgType::kIngestReq, p, out);
+}
+
+void EncodeIngestResp(const IngestResp& msg, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> p;
+  Put<uint32_t>(&p, msg.first_id);
+  Put<uint64_t>(&p, msg.pending_ops);
+  PutFrame(MsgType::kIngestResp, p, out);
+}
+
+void EncodeFlushReq(const FlushReq& msg, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> p;
+  Put<uint64_t>(&p, msg.session);
+  PutFrame(MsgType::kFlushReq, p, out);
+}
+
+void EncodeFlushResp(const FlushResp& msg, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> p;
+  Put<uint64_t>(&p, msg.epoch);
+  Put<uint64_t>(&p, msg.applied_updates);
+  PutFrame(MsgType::kFlushResp, p, out);
+}
+
+void EncodeQueryReq(const QueryReq& msg, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> p;
+  Put<uint64_t>(&p, msg.session);
+  Put<uint32_t>(&p, static_cast<uint32_t>(msg.ids.size()));
+  PutBytes(&p, msg.ids.data(), msg.ids.size() * sizeof(uint32_t));
+  PutFrame(MsgType::kQueryReq, p, out);
+}
+
+void EncodeQueryResp(const QueryResp& msg, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> p;
+  Put<uint64_t>(&p, msg.epoch);
+  Put<uint64_t>(&p, msg.num_points);
+  Put<uint64_t>(&p, msg.num_alive);
+  Put<uint32_t>(&p, msg.num_clusters);
+  Put<uint32_t>(&p, static_cast<uint32_t>(msg.labels.size()));
+  PutBytes(&p, msg.labels.data(), msg.labels.size() * sizeof(int32_t));
+  Put<uint32_t>(&p, static_cast<uint32_t>(msg.is_core.size()));
+  PutBytes(&p, msg.is_core.data(), msg.is_core.size());
+  PutFrame(MsgType::kQueryResp, p, out);
+}
+
+void EncodeSnapshotReq(const SnapshotReq& msg, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> p;
+  Put<uint64_t>(&p, msg.session);
+  PutFrame(MsgType::kSnapshotReq, p, out);
+}
+
+void EncodeSnapshotResp(const SnapshotResp& msg, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> p;
+  Put<uint64_t>(&p, msg.epoch);
+  Put<uint32_t>(&p, msg.num_clusters);
+  Put<uint32_t>(&p, static_cast<uint32_t>(msg.ids.size()));
+  PutBytes(&p, msg.ids.data(), msg.ids.size() * sizeof(uint32_t));
+  Put<uint32_t>(&p, static_cast<uint32_t>(msg.labels.size()));
+  PutBytes(&p, msg.labels.data(), msg.labels.size() * sizeof(int32_t));
+  Put<uint32_t>(&p, static_cast<uint32_t>(msg.is_core.size()));
+  PutBytes(&p, msg.is_core.data(), msg.is_core.size());
+  PutFrame(MsgType::kSnapshotResp, p, out);
+}
+
+void EncodeDropReq(const DropReq& msg, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> p;
+  Put<uint64_t>(&p, msg.session);
+  PutFrame(MsgType::kDropReq, p, out);
+}
+
+void EncodeDropResp(std::vector<uint8_t>* out) {
+  PutFrame(MsgType::kDropResp, {}, out);
+}
+
+void EncodeErrorResp(const ErrorResp& msg, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> p;
+  Put<uint32_t>(&p, static_cast<uint32_t>(msg.code));
+  Put<uint32_t>(&p, static_cast<uint32_t>(msg.message.size()));
+  PutBytes(&p, msg.message.data(), msg.message.size());
+  PutFrame(MsgType::kErrorResp, p, out);
+}
+
+// ---------------------------------------------------------------------------
+// Decoders.
+
+bool DecodeCreateReq(const Frame& frame, CreateReq* msg, std::string* error) {
+  if (WrongType(frame, MsgType::kCreateReq, "CreateReq", error)) return false;
+  Reader r(frame.payload.data(), frame.payload.size());
+  msg->dim = r.Get<uint32_t>();
+  msg->eps = r.Get<double>();
+  msg->min_pts = r.Get<uint32_t>();
+  msg->rho = r.Get<double>();
+  return r.Done("CreateReq", error);
+}
+
+bool DecodeCreateResp(const Frame& frame, CreateResp* msg,
+                      std::string* error) {
+  if (WrongType(frame, MsgType::kCreateResp, "CreateResp", error)) {
+    return false;
+  }
+  Reader r(frame.payload.data(), frame.payload.size());
+  msg->session = r.Get<uint64_t>();
+  return r.Done("CreateResp", error);
+}
+
+bool DecodeIngestReq(const Frame& frame, IngestReq* msg, std::string* error) {
+  if (WrongType(frame, MsgType::kIngestReq, "IngestReq", error)) return false;
+  Reader r(frame.payload.data(), frame.payload.size());
+  msg->session = r.Get<uint64_t>();
+  msg->dim = r.Get<uint32_t>();
+  msg->coords = r.GetArray<double>();
+  msg->removes = r.GetArray<uint32_t>();
+  if (!r.Done("IngestReq", error)) return false;
+  if (msg->dim == 0 || msg->coords.size() % msg->dim != 0) {
+    *error = "IngestReq: coords not a multiple of dim";
+    return false;
+  }
+  return true;
+}
+
+bool DecodeIngestResp(const Frame& frame, IngestResp* msg,
+                      std::string* error) {
+  if (WrongType(frame, MsgType::kIngestResp, "IngestResp", error)) {
+    return false;
+  }
+  Reader r(frame.payload.data(), frame.payload.size());
+  msg->first_id = r.Get<uint32_t>();
+  msg->pending_ops = r.Get<uint64_t>();
+  return r.Done("IngestResp", error);
+}
+
+bool DecodeFlushReq(const Frame& frame, FlushReq* msg, std::string* error) {
+  if (WrongType(frame, MsgType::kFlushReq, "FlushReq", error)) return false;
+  Reader r(frame.payload.data(), frame.payload.size());
+  msg->session = r.Get<uint64_t>();
+  return r.Done("FlushReq", error);
+}
+
+bool DecodeFlushResp(const Frame& frame, FlushResp* msg, std::string* error) {
+  if (WrongType(frame, MsgType::kFlushResp, "FlushResp", error)) return false;
+  Reader r(frame.payload.data(), frame.payload.size());
+  msg->epoch = r.Get<uint64_t>();
+  msg->applied_updates = r.Get<uint64_t>();
+  return r.Done("FlushResp", error);
+}
+
+bool DecodeQueryReq(const Frame& frame, QueryReq* msg, std::string* error) {
+  if (WrongType(frame, MsgType::kQueryReq, "QueryReq", error)) return false;
+  Reader r(frame.payload.data(), frame.payload.size());
+  msg->session = r.Get<uint64_t>();
+  msg->ids = r.GetArray<uint32_t>();
+  return r.Done("QueryReq", error);
+}
+
+bool DecodeQueryResp(const Frame& frame, QueryResp* msg, std::string* error) {
+  if (WrongType(frame, MsgType::kQueryResp, "QueryResp", error)) return false;
+  Reader r(frame.payload.data(), frame.payload.size());
+  msg->epoch = r.Get<uint64_t>();
+  msg->num_points = r.Get<uint64_t>();
+  msg->num_alive = r.Get<uint64_t>();
+  msg->num_clusters = r.Get<uint32_t>();
+  msg->labels = r.GetArray<int32_t>();
+  msg->is_core = r.GetArray<uint8_t>();
+  if (!r.Done("QueryResp", error)) return false;
+  if (msg->labels.size() != msg->is_core.size()) {
+    *error = "QueryResp: labels/is_core length mismatch";
+    return false;
+  }
+  return true;
+}
+
+bool DecodeSnapshotReq(const Frame& frame, SnapshotReq* msg,
+                       std::string* error) {
+  if (WrongType(frame, MsgType::kSnapshotReq, "SnapshotReq", error)) {
+    return false;
+  }
+  Reader r(frame.payload.data(), frame.payload.size());
+  msg->session = r.Get<uint64_t>();
+  return r.Done("SnapshotReq", error);
+}
+
+bool DecodeSnapshotResp(const Frame& frame, SnapshotResp* msg,
+                        std::string* error) {
+  if (WrongType(frame, MsgType::kSnapshotResp, "SnapshotResp", error)) {
+    return false;
+  }
+  Reader r(frame.payload.data(), frame.payload.size());
+  msg->epoch = r.Get<uint64_t>();
+  msg->num_clusters = r.Get<uint32_t>();
+  msg->ids = r.GetArray<uint32_t>();
+  msg->labels = r.GetArray<int32_t>();
+  msg->is_core = r.GetArray<uint8_t>();
+  if (!r.Done("SnapshotResp", error)) return false;
+  if (msg->labels.size() != msg->ids.size() ||
+      msg->is_core.size() != msg->ids.size()) {
+    *error = "SnapshotResp: parallel array length mismatch";
+    return false;
+  }
+  return true;
+}
+
+bool DecodeDropReq(const Frame& frame, DropReq* msg, std::string* error) {
+  if (WrongType(frame, MsgType::kDropReq, "DropReq", error)) return false;
+  Reader r(frame.payload.data(), frame.payload.size());
+  msg->session = r.Get<uint64_t>();
+  return r.Done("DropReq", error);
+}
+
+bool DecodeDropResp(const Frame& frame, std::string* error) {
+  if (WrongType(frame, MsgType::kDropResp, "DropResp", error)) return false;
+  Reader r(frame.payload.data(), frame.payload.size());
+  return r.Done("DropResp", error);
+}
+
+bool DecodeErrorResp(const Frame& frame, ErrorResp* msg, std::string* error) {
+  if (WrongType(frame, MsgType::kErrorResp, "ErrorResp", error)) return false;
+  Reader r(frame.payload.data(), frame.payload.size());
+  msg->code = static_cast<ErrorCode>(r.Get<uint32_t>());
+  msg->message = r.GetString();
+  return r.Done("ErrorResp", error);
+}
+
+// ---------------------------------------------------------------------------
+// FrameAssembler.
+
+void FrameAssembler::Feed(const uint8_t* data, size_t len) {
+  if (!poison_.empty()) return;  // stream already unrecoverable
+  // Compact lazily: drop the consumed prefix once it dominates the buffer,
+  // so a long-lived connection does not grow its buffer forever.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + len);
+}
+
+FrameStatus FrameAssembler::Next(Frame* out, std::string* error) {
+  if (!poison_.empty()) {
+    *error = poison_;
+    return FrameStatus::kError;
+  }
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return FrameStatus::kNeedMore;
+  uint32_t length = 0;
+  std::memcpy(&length, buffer_.data() + consumed_, 4);
+  if (length < 1 || length > kMaxFrameBytes) {
+    poison_ = "frame length " + std::to_string(length) +
+              " outside [1, " + std::to_string(kMaxFrameBytes) + "]";
+    *error = poison_;
+    return FrameStatus::kError;
+  }
+  if (avail - 4 < length) return FrameStatus::kNeedMore;
+  const uint8_t type = buffer_[consumed_ + 4];
+  if (type < static_cast<uint8_t>(MsgType::kCreateReq) ||
+      type > static_cast<uint8_t>(MsgType::kErrorResp)) {
+    poison_ = "unknown frame type " + std::to_string(type);
+    *error = poison_;
+    return FrameStatus::kError;
+  }
+  out->type = static_cast<MsgType>(type);
+  out->payload.assign(buffer_.begin() + static_cast<ptrdiff_t>(consumed_ + 5),
+                      buffer_.begin() +
+                          static_cast<ptrdiff_t>(consumed_ + 4 + length));
+  consumed_ += 4 + length;
+  return FrameStatus::kFrame;
+}
+
+}  // namespace serve
+}  // namespace adbscan

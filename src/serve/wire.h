@@ -1,0 +1,222 @@
+#ifndef ADBSCAN_SERVE_WIRE_H_
+#define ADBSCAN_SERVE_WIRE_H_
+
+// Length-prefixed binary wire protocol of the clustering server.
+//
+// Framing: every message on the stream is
+//
+//   u32 length   (little-endian; bytes that follow, including the type)
+//   u8  type     (MsgType)
+//   payload      (length - 1 bytes, message-specific little-endian fields)
+//
+// Variable-length fields are a u32 element count followed by that many
+// fixed-width elements; strings are u32 byte count + raw bytes. The
+// framing layer caps `length` at kMaxFrameBytes so a garbage prefix can
+// never provoke a multi-gigabyte allocation.
+//
+// Parsing is strict and non-aborting, mirroring stream/update_log.cc: a
+// truncated, oversized, or malformed frame produces an error string for
+// the caller to report (and, server-side, an ErrorResp on the connection)
+// — never an abort, crash, or a silently half-parsed message. Every
+// decoder consumes its payload exactly; trailing bytes are an error.
+//
+// The byte order is little-endian on the wire and the codec assumes a
+// little-endian host (x86-64 / aarch64 — the same assumption io/dataset_io
+// makes for the binary dataset format).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adbscan {
+namespace serve {
+
+// Hard cap on a frame's length field (type byte + payload).
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class MsgType : uint8_t {
+  kCreateReq = 1,
+  kCreateResp = 2,
+  kIngestReq = 3,
+  kIngestResp = 4,
+  kFlushReq = 5,
+  kFlushResp = 6,
+  kQueryReq = 7,
+  kQueryResp = 8,
+  kSnapshotReq = 9,
+  kSnapshotResp = 10,
+  kDropReq = 11,
+  kDropResp = 12,
+  kErrorResp = 13,
+};
+
+// Machine-readable error categories carried by ErrorResp.
+enum class ErrorCode : uint32_t {
+  kBadFrame = 1,        // malformed or unparseable request
+  kUnknownSession = 2,  // session id not live on this server
+  kBadArgument = 3,     // well-formed but invalid (dim mismatch, dead id…)
+  kBackpressure = 4,    // ingest queue full; flush or retry later
+  kTooManySessions = 5,
+  kInternal = 6,
+};
+
+// One complete frame, assembled from the stream.
+struct Frame {
+  MsgType type = MsgType::kErrorResp;
+  std::vector<uint8_t> payload;
+};
+
+// ---------------------------------------------------------------------------
+// Messages. Each struct has an EncodeX free function producing a full frame
+// (length prefix included) and a DecodeX that parses a Frame's payload,
+// returning false with *error set on any malformation.
+
+struct CreateReq {
+  uint32_t dim = 0;
+  double eps = 0.0;
+  uint32_t min_pts = 1;
+  double rho = 0.001;
+};
+
+struct CreateResp {
+  uint64_t session = 0;
+};
+
+// Appends coords.size()/dim fresh points, then tombstones `removes` (global
+// ids of earlier inserts). Either part may be empty. `dim` repeats the
+// session's dimensionality so the message is self-describing to the codec;
+// the server rejects a mismatch with kBadArgument.
+struct IngestReq {
+  uint64_t session = 0;
+  uint32_t dim = 0;
+  std::vector<double> coords;
+  std::vector<uint32_t> removes;
+};
+
+// Ingest is asynchronous: the response acknowledges enqueueing, not
+// application. `first_id` is the global id the first inserted point WILL
+// receive (ids are assigned densely in enqueue order, so it is exact);
+// `pending_ops` is the session's queue depth after this request.
+struct IngestResp {
+  uint32_t first_id = 0;
+  uint64_t pending_ops = 0;
+};
+
+struct FlushReq {
+  uint64_t session = 0;
+};
+
+// Everything enqueued before the flush has been applied and published.
+struct FlushResp {
+  uint64_t epoch = 0;
+  uint64_t applied_updates = 0;
+};
+
+// Point label lookup against the last published snapshot (ids.empty() is a
+// pure stats probe). Never blocks behind writers.
+struct QueryReq {
+  uint64_t session = 0;
+  std::vector<uint32_t> ids;
+};
+
+struct QueryResp {
+  uint64_t epoch = 0;
+  uint64_t num_points = 0;  // global id space size at the snapshot epoch
+  uint64_t num_alive = 0;
+  uint32_t num_clusters = 0;
+  // Parallel to the requested ids. Ids at or beyond num_points (not yet
+  // applied at the snapshot epoch) and dead ids report noise / not core.
+  std::vector<int32_t> labels;
+  std::vector<uint8_t> is_core;
+};
+
+struct SnapshotReq {
+  uint64_t session = 0;
+};
+
+// Full dump of the published snapshot: every alive point's global id with
+// its label and core flag, in ascending id order.
+struct SnapshotResp {
+  uint64_t epoch = 0;
+  uint32_t num_clusters = 0;
+  std::vector<uint32_t> ids;
+  std::vector<int32_t> labels;
+  std::vector<uint8_t> is_core;
+};
+
+struct DropReq {
+  uint64_t session = 0;
+};
+
+struct DropResp {};
+
+struct ErrorResp {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+// Encoders append one complete frame (length prefix + type + payload).
+void EncodeCreateReq(const CreateReq& msg, std::vector<uint8_t>* out);
+void EncodeCreateResp(const CreateResp& msg, std::vector<uint8_t>* out);
+void EncodeIngestReq(const IngestReq& msg, std::vector<uint8_t>* out);
+void EncodeIngestResp(const IngestResp& msg, std::vector<uint8_t>* out);
+void EncodeFlushReq(const FlushReq& msg, std::vector<uint8_t>* out);
+void EncodeFlushResp(const FlushResp& msg, std::vector<uint8_t>* out);
+void EncodeQueryReq(const QueryReq& msg, std::vector<uint8_t>* out);
+void EncodeQueryResp(const QueryResp& msg, std::vector<uint8_t>* out);
+void EncodeSnapshotReq(const SnapshotReq& msg, std::vector<uint8_t>* out);
+void EncodeSnapshotResp(const SnapshotResp& msg, std::vector<uint8_t>* out);
+void EncodeDropReq(const DropReq& msg, std::vector<uint8_t>* out);
+void EncodeDropResp(std::vector<uint8_t>* out);
+void EncodeErrorResp(const ErrorResp& msg, std::vector<uint8_t>* out);
+
+// Decoders parse frame.payload; the frame's type must match the message
+// (callers dispatch on frame.type first). False + *error on malformation.
+bool DecodeCreateReq(const Frame& frame, CreateReq* msg, std::string* error);
+bool DecodeCreateResp(const Frame& frame, CreateResp* msg,
+                      std::string* error);
+bool DecodeIngestReq(const Frame& frame, IngestReq* msg, std::string* error);
+bool DecodeIngestResp(const Frame& frame, IngestResp* msg,
+                      std::string* error);
+bool DecodeFlushReq(const Frame& frame, FlushReq* msg, std::string* error);
+bool DecodeFlushResp(const Frame& frame, FlushResp* msg, std::string* error);
+bool DecodeQueryReq(const Frame& frame, QueryReq* msg, std::string* error);
+bool DecodeQueryResp(const Frame& frame, QueryResp* msg, std::string* error);
+bool DecodeSnapshotReq(const Frame& frame, SnapshotReq* msg,
+                       std::string* error);
+bool DecodeSnapshotResp(const Frame& frame, SnapshotResp* msg,
+                        std::string* error);
+bool DecodeDropReq(const Frame& frame, DropReq* msg, std::string* error);
+bool DecodeDropResp(const Frame& frame, std::string* error);
+bool DecodeErrorResp(const Frame& frame, ErrorResp* msg, std::string* error);
+
+// ---------------------------------------------------------------------------
+// Incremental frame assembly over a byte stream.
+
+enum class FrameStatus {
+  kFrame,     // *out holds a complete frame
+  kNeedMore,  // not enough buffered bytes yet
+  kError,     // stream is unrecoverable (oversized/underflowed length or
+              // unknown type); *error describes why
+};
+
+// Feeds raw socket bytes and pops complete frames. After kError the stream
+// is poisoned: every further Next() reports the same error (the transport
+// should answer with ErrorResp{kBadFrame} and close).
+class FrameAssembler {
+ public:
+  void Feed(const uint8_t* data, size_t len);
+  FrameStatus Next(Frame* out, std::string* error);
+
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already handed out as frames
+  std::string poison_;   // non-empty once the stream is unrecoverable
+};
+
+}  // namespace serve
+}  // namespace adbscan
+
+#endif  // ADBSCAN_SERVE_WIRE_H_

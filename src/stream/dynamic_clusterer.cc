@@ -741,6 +741,13 @@ void DynamicClusterer::Refresh(std::vector<uint32_t> touched,
   uf_ = std::move(fresh);
 }
 
+const Clustering& DynamicClusterer::Labels() const {
+  ADB_CHECK_MSG(labels_valid_,
+                "const Labels(): labels are stale; run the non-const "
+                "Labels() after the last Insert/Remove first");
+  return labels_;
+}
+
 const Clustering& DynamicClusterer::Labels() {
   if (labels_valid_) return labels_;
   ADB_PHASE("stream.labels");
@@ -850,6 +857,11 @@ const Clustering& DynamicClusterer::Labels() {
 }
 
 DynamicClusterer::SnapshotView DynamicClusterer::Snapshot() {
+  Labels();  // materialize lazily (mutator path), then read
+  return static_cast<const DynamicClusterer&>(*this).Snapshot();
+}
+
+DynamicClusterer::SnapshotView DynamicClusterer::Snapshot() const {
   SnapshotView view(dim_);
   const Clustering& all = Labels();
   view.ids.reserve(num_alive_);

@@ -82,7 +82,22 @@ struct DynamicClustererOptions {
 // order-insensitive phase. Only exact core counting is supported (the
 // ApproxDbscanOptions default).
 //
-// Not thread-safe: one mutator at a time, like any container.
+// Synchronization boundaries (the contract the serving layer builds on):
+//   - Mutators — Insert, Remove, and the non-const Labels()/Snapshot()
+//     overloads (which may lazily recompute labels) — require exclusive
+//     access, like any container: one mutator at a time, no concurrent
+//     readers.
+//   - After a non-const Labels() (or Snapshot()) call returns, the object
+//     is in a "published" state: labels are materialized and every const
+//     member — dim/params/options, num_points/num_alive/alive/point, and
+//     the const Labels()/Snapshot() overloads — only reads, so any number
+//     of threads may call them concurrently until the next mutator runs.
+//     The caller provides the happens-before edge between the publishing
+//     mutator and the readers (e.g. a mutex release, or publishing an
+//     epoch snapshot pointer as src/serve/session_manager.cc does).
+//   - The const overloads never recompute: calling one while labels are
+//     stale (mutated since the last non-const Labels()) aborts rather than
+//     returning stale data.
 class DynamicClusterer {
  public:
   DynamicClusterer(int dim, const DbscanParams& params,
@@ -112,7 +127,18 @@ class DynamicClusterer {
 
   // The maintained clustering over the GLOBAL id space [0, num_points()):
   // dead points are noise and not core. Valid until the next Insert/Remove.
+  // Recomputes lazily, so this overload is a mutator (exclusive access).
   const Clustering& Labels();
+
+  // Read-only view of the already-materialized clustering: requires that a
+  // non-const Labels()/Snapshot() ran after the last Insert/Remove (aborts
+  // otherwise — it never recomputes and never returns stale labels). Safe
+  // to call from many threads concurrently; see the class comment.
+  const Clustering& Labels() const;
+
+  // True when the const read path is currently usable (labels materialized
+  // since the last mutation).
+  bool labels_current() const { return labels_valid_; }
 
   // The surviving points compacted to dense ids (ascending global order)
   // plus the clustering re-indexed to match — directly comparable to
@@ -124,6 +150,10 @@ class DynamicClusterer {
     explicit SnapshotView(int dim) : points(dim) {}
   };
   SnapshotView Snapshot();
+
+  // Const counterpart of Snapshot() with the same contract as the const
+  // Labels() overload: requires materialized labels, reads only.
+  SnapshotView Snapshot() const;
 
  private:
   struct Cell {

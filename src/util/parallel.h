@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 
 namespace adbscan {
 
@@ -16,6 +17,20 @@ int DefaultThreads();
 // Maps a user-facing thread-count knob to an actual count: positive values
 // pass through, zero or negative mean "auto" (DefaultThreads()).
 int ResolveNumThreads(int requested);
+
+// Strict variant for CLI front-ends: validates the MERGED thread-count view
+// — the already range-checked flag value plus the ADBSCAN_THREADS
+// environment variable that the "auto" fallback reads. DefaultThreads()
+// silently ignores a malformed ADBSCAN_THREADS (atoi("8x") half-parses,
+// atoi("abc") turns into the hardware count), so a typo'd environment runs
+// under a surprising thread count; this function instead fails with a
+// message whenever the variable is set but is not a single positive
+// integer. Unlike DefaultThreads() the environment is re-read on every
+// call (no cache), so the answer always reflects the current process
+// environment. On success *out holds the resolved count (positive
+// `requested` passes through; otherwise the validated env value capped at
+// TaskPool::kMaxWorkers, else the hardware count).
+bool TryResolveNumThreads(int requested, int* out, std::string* error);
 
 // Runs chunk_fn(begin, end) over a dynamic partition of [0, n) using the
 // persistent work-stealing pool (util/task_pool.h) with up to num_threads

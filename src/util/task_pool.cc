@@ -1,8 +1,10 @@
 #include "util/task_pool.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 
 #include "obs/metrics.h"
 #include "util/parallel.h"
@@ -328,6 +330,42 @@ int DefaultThreads() {
 
 int ResolveNumThreads(int requested) {
   return requested > 0 ? requested : DefaultThreads();
+}
+
+bool TryResolveNumThreads(int requested, int* out, std::string* error) {
+  // Validate the environment half of the merged view unconditionally: a
+  // malformed ADBSCAN_THREADS is a configuration error even when an
+  // explicit positive flag value would shadow it this run, and reporting
+  // it here keeps the behaviour independent of which knob the caller set.
+  const char* env = std::getenv("ADBSCAN_THREADS");
+  int env_threads = 0;
+  if (env != nullptr) {
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(env, &end, 10);
+    // Digits only: strtol's leading-whitespace and sign tolerance would let
+    // " 4" or "+4" through, which the textual contract does not promise.
+    const bool starts_with_digit = *env >= '0' && *env <= '9';
+    if (!starts_with_digit || end != env + std::strlen(env) ||
+        errno == ERANGE || v <= 0 || v > 0x7fffffff) {
+      if (error != nullptr) {
+        *error = std::string("ADBSCAN_THREADS must be a positive integer "
+                             "(got \"") +
+                 env + "\")";
+      }
+      return false;
+    }
+    env_threads = static_cast<int>(
+        std::min<long>(v, TaskPool::kMaxWorkers));
+  }
+  if (requested > 0) {
+    *out = requested;
+  } else if (env_threads > 0) {
+    *out = env_threads;
+  } else {
+    *out = HardwareThreads();
+  }
+  return true;
 }
 
 void ParallelFor(size_t n, int num_threads,

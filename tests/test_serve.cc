@@ -1,0 +1,803 @@
+// Serving-runtime tests (src/serve/): wire-protocol round-trips and fuzz
+// robustness, multi-tenant session isolation (interleaved tenants must be
+// bit-identical to solo DynamicClusterer replays), snapshot-vs-writer
+// races (the file is valuable under the tsan preset), ingest backpressure,
+// and the full TCP server/client loop on a loopback socket.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/session_manager.h"
+#include "serve/wire.h"
+#include "stream/dynamic_clusterer.h"
+#include "util/rng.h"
+
+namespace adbscan {
+namespace serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+
+// Feeds `bytes` to an assembler in chunks of `chunk` and expects exactly
+// one clean frame.
+Frame AssembleOne(const std::vector<uint8_t>& bytes, size_t chunk) {
+  FrameAssembler assembler;
+  Frame frame;
+  std::string error;
+  size_t fed = 0;
+  while (fed < bytes.size()) {
+    const size_t take = std::min(chunk, bytes.size() - fed);
+    assembler.Feed(bytes.data() + fed, take);
+    fed += take;
+    const FrameStatus status = assembler.Next(&frame, &error);
+    if (fed < bytes.size()) {
+      EXPECT_EQ(status, FrameStatus::kNeedMore) << error;
+    } else {
+      EXPECT_EQ(status, FrameStatus::kFrame) << error;
+    }
+  }
+  EXPECT_EQ(assembler.buffered_bytes(), 0u);
+  return frame;
+}
+
+TEST(Wire, RoundTripAllMessageTypes) {
+  // One frame of every type on a single stream, assembled byte-by-byte:
+  // the hardest framing case must still produce exact decodes.
+  CreateReq create{3, 0.25, 7, 0.01};
+  IngestReq ingest;
+  ingest.session = 0x1122334455667788ull;
+  ingest.dim = 2;
+  ingest.coords = {1.5, -2.5, 3.25, 4.0};
+  ingest.removes = {0, 3, 17};
+  QueryReq query;
+  query.session = 9;
+  query.ids = {5, 0, 1000000};
+  QueryResp query_resp;
+  query_resp.epoch = 12;
+  query_resp.num_points = 100;
+  query_resp.num_alive = 90;
+  query_resp.num_clusters = 4;
+  query_resp.labels = {0, -1, 3};
+  query_resp.is_core = {1, 0, 0};
+  SnapshotResp snap_resp;
+  snap_resp.epoch = 2;
+  snap_resp.num_clusters = 1;
+  snap_resp.ids = {0, 2};
+  snap_resp.labels = {0, 0};
+  snap_resp.is_core = {1, 1};
+  ErrorResp err;
+  err.code = ErrorCode::kBackpressure;
+  err.message = "queue full";
+
+  std::vector<uint8_t> stream;
+  EncodeCreateReq(create, &stream);
+  EncodeCreateResp(CreateResp{42}, &stream);
+  EncodeIngestReq(ingest, &stream);
+  EncodeIngestResp(IngestResp{7, 512}, &stream);
+  EncodeFlushReq(FlushReq{42}, &stream);
+  EncodeFlushResp(FlushResp{3, 1000}, &stream);
+  EncodeQueryReq(query, &stream);
+  EncodeQueryResp(query_resp, &stream);
+  EncodeSnapshotReq(SnapshotReq{42}, &stream);
+  EncodeSnapshotResp(snap_resp, &stream);
+  EncodeDropReq(DropReq{42}, &stream);
+  EncodeDropResp(&stream);
+  EncodeErrorResp(err, &stream);
+
+  FrameAssembler assembler;
+  // Byte-at-a-time feed; collect all 13 frames.
+  std::vector<Frame> frames;
+  for (uint8_t b : stream) {
+    assembler.Feed(&b, 1);
+    Frame frame;
+    std::string error;
+    while (assembler.Next(&frame, &error) == FrameStatus::kFrame) {
+      frames.push_back(frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 13u);
+
+  std::string error;
+  CreateReq create2;
+  ASSERT_TRUE(DecodeCreateReq(frames[0], &create2, &error)) << error;
+  EXPECT_EQ(create2.dim, create.dim);
+  EXPECT_EQ(create2.eps, create.eps);
+  EXPECT_EQ(create2.min_pts, create.min_pts);
+  EXPECT_EQ(create2.rho, create.rho);
+
+  CreateResp created;
+  ASSERT_TRUE(DecodeCreateResp(frames[1], &created, &error)) << error;
+  EXPECT_EQ(created.session, 42u);
+
+  IngestReq ingest2;
+  ASSERT_TRUE(DecodeIngestReq(frames[2], &ingest2, &error)) << error;
+  EXPECT_EQ(ingest2.session, ingest.session);
+  EXPECT_EQ(ingest2.dim, ingest.dim);
+  EXPECT_EQ(ingest2.coords, ingest.coords);
+  EXPECT_EQ(ingest2.removes, ingest.removes);
+
+  IngestResp acked;
+  ASSERT_TRUE(DecodeIngestResp(frames[3], &acked, &error)) << error;
+  EXPECT_EQ(acked.first_id, 7u);
+  EXPECT_EQ(acked.pending_ops, 512u);
+
+  FlushReq flush2;
+  ASSERT_TRUE(DecodeFlushReq(frames[4], &flush2, &error)) << error;
+  EXPECT_EQ(flush2.session, 42u);
+
+  FlushResp flushed;
+  ASSERT_TRUE(DecodeFlushResp(frames[5], &flushed, &error)) << error;
+  EXPECT_EQ(flushed.epoch, 3u);
+  EXPECT_EQ(flushed.applied_updates, 1000u);
+
+  QueryReq query2;
+  ASSERT_TRUE(DecodeQueryReq(frames[6], &query2, &error)) << error;
+  EXPECT_EQ(query2.session, query.session);
+  EXPECT_EQ(query2.ids, query.ids);
+
+  QueryResp qresp2;
+  ASSERT_TRUE(DecodeQueryResp(frames[7], &qresp2, &error)) << error;
+  EXPECT_EQ(qresp2.epoch, query_resp.epoch);
+  EXPECT_EQ(qresp2.num_points, query_resp.num_points);
+  EXPECT_EQ(qresp2.num_alive, query_resp.num_alive);
+  EXPECT_EQ(qresp2.num_clusters, query_resp.num_clusters);
+  EXPECT_EQ(qresp2.labels, query_resp.labels);
+  EXPECT_EQ(qresp2.is_core, query_resp.is_core);
+
+  SnapshotReq sreq2;
+  ASSERT_TRUE(DecodeSnapshotReq(frames[8], &sreq2, &error)) << error;
+  EXPECT_EQ(sreq2.session, 42u);
+
+  SnapshotResp sresp2;
+  ASSERT_TRUE(DecodeSnapshotResp(frames[9], &sresp2, &error)) << error;
+  EXPECT_EQ(sresp2.epoch, snap_resp.epoch);
+  EXPECT_EQ(sresp2.ids, snap_resp.ids);
+  EXPECT_EQ(sresp2.labels, snap_resp.labels);
+  EXPECT_EQ(sresp2.is_core, snap_resp.is_core);
+
+  DropReq drop2;
+  ASSERT_TRUE(DecodeDropReq(frames[10], &drop2, &error)) << error;
+  EXPECT_EQ(drop2.session, 42u);
+  ASSERT_TRUE(DecodeDropResp(frames[11], &error)) << error;
+
+  ErrorResp err2;
+  ASSERT_TRUE(DecodeErrorResp(frames[12], &err2, &error)) << error;
+  EXPECT_EQ(err2.code, err.code);
+  EXPECT_EQ(err2.message, err.message);
+}
+
+TEST(Wire, AssemblerChunkSizesAgree) {
+  IngestReq ingest;
+  ingest.session = 5;
+  ingest.dim = 3;
+  for (int i = 0; i < 99; ++i) ingest.coords.push_back(i * 0.5);
+  std::vector<uint8_t> bytes;
+  EncodeIngestReq(ingest, &bytes);
+  for (size_t chunk : {size_t{1}, size_t{2}, size_t{7}, bytes.size()}) {
+    const Frame frame = AssembleOne(bytes, chunk);
+    IngestReq out;
+    std::string error;
+    ASSERT_TRUE(DecodeIngestReq(frame, &out, &error)) << error;
+    EXPECT_EQ(out.coords, ingest.coords);
+  }
+}
+
+TEST(Wire, TruncatedPayloadsFailCleanly) {
+  // Every strict prefix of a valid frame, when terminated by a fresh valid
+  // frame header claiming the remaining length, must decode-fail without
+  // crashing; a bare prefix must report kNeedMore.
+  QueryResp resp;
+  resp.epoch = 1;
+  resp.num_points = 3;
+  resp.num_alive = 3;
+  resp.num_clusters = 1;
+  resp.labels = {0, 0, -1};
+  resp.is_core = {1, 1, 0};
+  std::vector<uint8_t> bytes;
+  EncodeQueryResp(resp, &bytes);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameAssembler assembler;
+    assembler.Feed(bytes.data(), cut);
+    Frame frame;
+    std::string error;
+    EXPECT_EQ(assembler.Next(&frame, &error), FrameStatus::kNeedMore);
+  }
+  // Truncate the PAYLOAD but fix up the length prefix: the frame assembles
+  // but the decoder must reject it (truncated array / trailing garbage).
+  for (size_t cut = 5; cut + 1 < bytes.size(); ++cut) {
+    std::vector<uint8_t> clipped(bytes.begin(), bytes.begin() + cut);
+    const uint32_t new_len = static_cast<uint32_t>(clipped.size() - 4);
+    std::memcpy(clipped.data(), &new_len, 4);
+    FrameAssembler assembler;
+    assembler.Feed(clipped.data(), clipped.size());
+    Frame frame;
+    std::string error;
+    ASSERT_EQ(assembler.Next(&frame, &error), FrameStatus::kFrame);
+    QueryResp out;
+    EXPECT_FALSE(DecodeQueryResp(frame, &out, &error));
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Wire, GarbagePoisonsTheStream) {
+  // Unknown type byte.
+  {
+    FrameAssembler assembler;
+    const uint8_t bad_type[] = {2, 0, 0, 0, 0xee, 0x00};
+    assembler.Feed(bad_type, sizeof(bad_type));
+    Frame frame;
+    std::string error;
+    EXPECT_EQ(assembler.Next(&frame, &error), FrameStatus::kError);
+    EXPECT_FALSE(error.empty());
+    // Poisoned: even a now-valid frame is rejected with the same error.
+    std::vector<uint8_t> good;
+    EncodeFlushReq(FlushReq{1}, &good);
+    assembler.Feed(good.data(), good.size());
+    EXPECT_EQ(assembler.Next(&frame, &error), FrameStatus::kError);
+  }
+  // Zero length (cannot even hold the type byte).
+  {
+    FrameAssembler assembler;
+    const uint8_t zero_len[] = {0, 0, 0, 0};
+    assembler.Feed(zero_len, sizeof(zero_len));
+    Frame frame;
+    std::string error;
+    EXPECT_EQ(assembler.Next(&frame, &error), FrameStatus::kError);
+  }
+  // Oversized length: rejected before any allocation happens.
+  {
+    FrameAssembler assembler;
+    const uint32_t huge = kMaxFrameBytes + 1;
+    uint8_t header[5] = {0, 0, 0, 0, 1};
+    std::memcpy(header, &huge, 4);
+    assembler.Feed(header, sizeof(header));
+    Frame frame;
+    std::string error;
+    EXPECT_EQ(assembler.Next(&frame, &error), FrameStatus::kError);
+  }
+}
+
+TEST(Wire, FuzzRandomCorruption) {
+  // Random single-byte corruptions of valid frames: every outcome is
+  // acceptable except a crash — clean frame + decode success (the byte was
+  // benign or in a value field), clean decode failure, or a poisoned
+  // stream. Under asan/ubsan this hunts parser overruns.
+  IngestReq ingest;
+  ingest.session = 77;
+  ingest.dim = 2;
+  for (int i = 0; i < 40; ++i) ingest.coords.push_back(i * 1.25);
+  ingest.removes = {1, 2, 3};
+  std::vector<uint8_t> bytes;
+  EncodeIngestReq(ingest, &bytes);
+
+  Rng rng(0xf022);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> corrupt = bytes;
+    const size_t pos = rng.NextBounded(corrupt.size());
+    corrupt[pos] ^= static_cast<uint8_t>(1 + rng.NextBounded(255));
+    FrameAssembler assembler;
+    assembler.Feed(corrupt.data(), corrupt.size());
+    Frame frame;
+    std::string error;
+    const FrameStatus status = assembler.Next(&frame, &error);
+    if (status == FrameStatus::kFrame) {
+      IngestReq out;
+      (void)DecodeIngestReq(frame, &out, &error);  // must not crash
+    }
+  }
+  // Pure random byte soup.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> soup(rng.NextBounded(200));
+    for (auto& b : soup) b = static_cast<uint8_t>(rng.NextBounded(256));
+    FrameAssembler assembler;
+    assembler.Feed(soup.data(), soup.size());
+    Frame frame;
+    std::string error;
+    for (int i = 0; i < 8; ++i) {
+      if (assembler.Next(&frame, &error) != FrameStatus::kFrame) break;
+      IngestReq out;
+      (void)DecodeIngestReq(frame, &out, &error);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager
+
+// Deterministic clustered batch around a few fixed centers.
+std::vector<double> MakeBatch(Rng& rng, int dim, size_t n) {
+  std::vector<double> coords;
+  coords.reserve(n * dim);
+  for (size_t i = 0; i < n; ++i) {
+    const double cx = 10.0 * double(rng.NextBounded(4));
+    for (int d = 0; d < dim; ++d) {
+      coords.push_back(cx + rng.NextGaussian() * 1.5);
+    }
+  }
+  return coords;
+}
+
+DbscanParams TestParams() {
+  DbscanParams p;
+  p.eps = 2.0;
+  p.min_pts = 4;
+  p.num_threads = 2;
+  return p;
+}
+
+TEST(SessionManager, InterleavedTenantsMatchSoloReplayBitIdentically) {
+  // 4 tenants with distinct streams, ingested round-robin in interleaved
+  // batches through one manager; every tenant's final labels must equal a
+  // solo DynamicClusterer replay of its own stream, bit for bit.
+  const int kTenants = 4;
+  const int kRounds = 6;
+  const size_t kBatch = 60;
+  ServeOptions opts;
+  opts.num_threads = 2;
+  opts.start_drainer = false;  // drains driven explicitly, deterministic
+  SessionManager mgr(opts);
+
+  DbscanParams params = TestParams();
+  std::vector<uint64_t> ids;
+  std::vector<std::unique_ptr<DynamicClusterer>> solo;
+  std::vector<Rng> rngs;
+  for (int t = 0; t < kTenants; ++t) {
+    ErrorCode code;
+    std::string error;
+    const uint64_t id = mgr.CreateSession(2, params, 0.001, &code, &error);
+    ASSERT_NE(id, 0u) << error;
+    ids.push_back(id);
+    DynamicClustererOptions dyn;
+    dyn.rho = 0.001;
+    solo.push_back(std::make_unique<DynamicClusterer>(2, params, dyn));
+    rngs.emplace_back(1000 + t);
+  }
+
+  std::vector<std::vector<uint32_t>> alive(kTenants);
+  for (int round = 0; round < kRounds; ++round) {
+    for (int t = 0; t < kTenants; ++t) {
+      const std::vector<double> coords = MakeBatch(rngs[t], 2, kBatch);
+      std::vector<uint32_t> removes;
+      if (!alive[t].empty()) {
+        for (size_t i = 0; i < kBatch / 4; ++i) {
+          const size_t pick = rngs[t].NextBounded(alive[t].size());
+          removes.push_back(alive[t][pick]);
+          alive[t][pick] = alive[t].back();
+          alive[t].pop_back();
+        }
+      }
+      uint32_t first_id = 0;
+      uint64_t pending = 0;
+      ErrorCode code;
+      std::string error;
+      ASSERT_TRUE(mgr.Ingest(ids[t], coords, 2, removes, &first_id,
+                             &pending, &code, &error))
+          << error;
+      // Predicted dense id assignment.
+      EXPECT_EQ(first_id, solo[t]->num_points());
+      solo[t]->Insert(Dataset(2, coords));
+      if (!removes.empty()) solo[t]->Remove(removes);
+      for (size_t i = 0; i < kBatch; ++i) {
+        alive[t].push_back(first_id + static_cast<uint32_t>(i));
+      }
+    }
+    // Drain mid-stream every other round so sessions are at different
+    // epochs; correctness must not depend on drain timing.
+    if (round % 2 == 0) mgr.DrainDirtySessions();
+  }
+
+  for (int t = 0; t < kTenants; ++t) {
+    ErrorCode code;
+    std::string error;
+    uint64_t epoch = 0, applied = 0;
+    ASSERT_TRUE(mgr.Flush(ids[t], &epoch, &applied, &code, &error)) << error;
+    EXPECT_GT(epoch, 0u);
+    const Clustering& want = solo[t]->Labels();
+    std::shared_ptr<const ServeSnapshot> snap = mgr.Read(ids[t]);
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->applied_updates, applied);
+    EXPECT_EQ(snap->num_points, solo[t]->num_points());
+    EXPECT_EQ(snap->num_alive, solo[t]->num_alive());
+    EXPECT_EQ(snap->labels.num_clusters, want.num_clusters);
+    EXPECT_EQ(snap->labels.label, want.label);
+    EXPECT_EQ(snap->labels.is_core, want.is_core);
+    EXPECT_EQ(snap->labels.extra_memberships, want.extra_memberships);
+  }
+}
+
+TEST(SessionManager, SnapshotsAreImmutableUnderLaterWrites) {
+  ServeOptions opts;
+  opts.start_drainer = false;
+  SessionManager mgr(opts);
+  ErrorCode code;
+  std::string error;
+  const uint64_t id = mgr.CreateSession(2, TestParams(), 0.001, &code, &error);
+  ASSERT_NE(id, 0u);
+
+  Rng rng(7);
+  ASSERT_TRUE(mgr.Ingest(id, MakeBatch(rng, 2, 100), 2, {}, nullptr,
+                         nullptr, &code, &error));
+  uint64_t epoch = 0, applied = 0;
+  ASSERT_TRUE(mgr.Flush(id, &epoch, &applied, &code, &error));
+  std::shared_ptr<const ServeSnapshot> before = mgr.Read(id);
+  ASSERT_NE(before, nullptr);
+  const Clustering copy = before->labels;  // deep copy to compare against
+
+  // Heavy later writes must not disturb the old snapshot object.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(mgr.Ingest(id, MakeBatch(rng, 2, 200), 2, {}, nullptr,
+                           nullptr, &code, &error));
+    ASSERT_TRUE(mgr.Flush(id, &epoch, &applied, &code, &error));
+  }
+  std::shared_ptr<const ServeSnapshot> after = mgr.Read(id);
+  ASSERT_NE(after, nullptr);
+  EXPECT_GT(after->epoch, before->epoch);
+  EXPECT_EQ(before->labels.label, copy.label);
+  EXPECT_EQ(before->labels.is_core, copy.is_core);
+  EXPECT_EQ(before->num_points, copy.label.size());
+}
+
+TEST(SessionManager, SnapshotReadsRaceWriterCleanly) {
+  // One writer ingesting + flushing, two readers spinning on Read() and
+  // scanning whatever snapshot they get. Under tsan this is the
+  // epoch-publication correctness proof; under plain builds it still
+  // checks internal consistency of every observed snapshot.
+  ServeOptions opts;
+  opts.num_threads = 2;
+  opts.drain_batch_ops = 64;  // background drainer takes part too
+  SessionManager mgr(opts);
+  ErrorCode code;
+  std::string error;
+  const uint64_t id = mgr.CreateSession(2, TestParams(), 0.001, &code, &error);
+  ASSERT_NE(id, 0u);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> max_epoch_seen{0};
+  auto reader = [&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::shared_ptr<const ServeSnapshot> snap = mgr.Read(id);
+      ASSERT_NE(snap, nullptr);
+      // Internal consistency of the immutable snapshot.
+      ASSERT_EQ(snap->labels.label.size(), snap->num_points);
+      ASSERT_EQ(snap->labels.is_core.size(), snap->num_points);
+      ASSERT_EQ(snap->alive.size(), snap->num_points);
+      size_t alive = 0;
+      for (size_t i = 0; i < snap->num_points; ++i) {
+        if (snap->alive[i]) {
+          ++alive;
+        } else {
+          ASSERT_EQ(snap->labels.label[i], kNoise);
+        }
+        ASSERT_LT(snap->labels.label[i], snap->labels.num_clusters);
+      }
+      ASSERT_EQ(alive, snap->num_alive);
+      uint64_t seen = max_epoch_seen.load(std::memory_order_relaxed);
+      while (snap->epoch > seen && !max_epoch_seen.compare_exchange_weak(
+                                       seen, snap->epoch,
+                                       std::memory_order_relaxed)) {
+      }
+    }
+  };
+  std::thread r1(reader), r2(reader);
+
+  Rng rng(99);
+  uint64_t last_epoch = 0;
+  for (int round = 0; round < 12; ++round) {
+    std::vector<uint32_t> removes;
+    if (round > 2) removes = {static_cast<uint32_t>(round)};
+    ASSERT_TRUE(mgr.Ingest(id, MakeBatch(rng, 2, 80), 2, removes, nullptr,
+                           nullptr, &code, &error))
+        << error;
+    if (round % 3 == 2) {
+      uint64_t applied = 0;
+      ASSERT_TRUE(mgr.Flush(id, &last_epoch, &applied, &code, &error));
+    }
+  }
+  uint64_t applied = 0;
+  ASSERT_TRUE(mgr.Flush(id, &last_epoch, &applied, &code, &error));
+  stop.store(true, std::memory_order_relaxed);
+  r1.join();
+  r2.join();
+  // Epochs only ever advance, and readers observed the progression.
+  EXPECT_LE(max_epoch_seen.load(), last_epoch);
+  EXPECT_EQ(mgr.Read(id)->epoch, last_epoch);
+}
+
+TEST(SessionManager, BackpressureRejectsAndRecovers) {
+  ServeOptions opts;
+  opts.start_drainer = false;  // nothing drains on its own
+  opts.max_pending_ops = 100;
+  SessionManager mgr(opts);
+  ErrorCode code;
+  std::string error;
+  const uint64_t id = mgr.CreateSession(2, TestParams(), 0.001, &code, &error);
+  ASSERT_NE(id, 0u);
+
+  Rng rng(3);
+  const std::vector<double> batch = MakeBatch(rng, 2, 40);  // 40 ops
+  uint64_t pending = 0;
+  ASSERT_TRUE(mgr.Ingest(id, batch, 2, {}, nullptr, &pending, &code, &error));
+  EXPECT_EQ(pending, 40u);
+  ASSERT_TRUE(mgr.Ingest(id, batch, 2, {}, nullptr, &pending, &code, &error));
+  EXPECT_EQ(pending, 80u);
+  // 80 + 40 > 100: rejected, queue unchanged.
+  ASSERT_FALSE(
+      mgr.Ingest(id, batch, 2, {}, nullptr, &pending, &code, &error));
+  EXPECT_EQ(code, ErrorCode::kBackpressure);
+  EXPECT_EQ(pending, 80u);
+  EXPECT_FALSE(error.empty());
+
+  // Draining frees the queue and the same ingest then succeeds.
+  uint64_t epoch = 0, applied = 0;
+  ASSERT_TRUE(mgr.Flush(id, &epoch, &applied, &code, &error));
+  EXPECT_EQ(applied, 80u);
+  ASSERT_TRUE(mgr.Ingest(id, batch, 2, {}, nullptr, &pending, &code, &error));
+  EXPECT_EQ(pending, 40u);
+}
+
+TEST(SessionManager, RejectsBadArgumentsWithoutSideEffects) {
+  ServeOptions opts;
+  opts.start_drainer = false;
+  opts.max_sessions = 2;
+  SessionManager mgr(opts);
+  ErrorCode code;
+  std::string error;
+
+  // Bad create parameters.
+  DbscanParams params = TestParams();
+  EXPECT_EQ(mgr.CreateSession(0, params, 0.001, &code, &error), 0u);
+  EXPECT_EQ(code, ErrorCode::kBadArgument);
+  EXPECT_EQ(mgr.CreateSession(2, DbscanParams{}, 0.001, &code, &error), 0u);
+  EXPECT_EQ(code, ErrorCode::kBadArgument);  // eps = 0
+  EXPECT_EQ(mgr.CreateSession(2, params, 0.0, &code, &error), 0u);
+  EXPECT_EQ(code, ErrorCode::kBadArgument);  // rho = 0
+
+  const uint64_t id = mgr.CreateSession(2, params, 0.001, &code, &error);
+  ASSERT_NE(id, 0u);
+
+  // Session cap.
+  ASSERT_NE(mgr.CreateSession(2, params, 0.001, &code, &error), 0u);
+  EXPECT_EQ(mgr.CreateSession(2, params, 0.001, &code, &error), 0u);
+  EXPECT_EQ(code, ErrorCode::kTooManySessions);
+
+  // Unknown session.
+  EXPECT_FALSE(mgr.Ingest(999, {1.0, 2.0}, 2, {}, nullptr, nullptr, &code,
+                          &error));
+  EXPECT_EQ(code, ErrorCode::kUnknownSession);
+  EXPECT_FALSE(mgr.Flush(999, nullptr, nullptr, &code, &error));
+  EXPECT_EQ(mgr.Read(999), nullptr);
+  EXPECT_FALSE(mgr.DropSession(999));
+
+  // Dim mismatch.
+  EXPECT_FALSE(mgr.Ingest(id, {1.0, 2.0, 3.0}, 3, {}, nullptr, nullptr,
+                          &code, &error));
+  EXPECT_EQ(code, ErrorCode::kBadArgument);
+
+  // Remove of a never-inserted id; then insert 2 points and remove one of
+  // them twice in one request (duplicate), then a clean remove of an id
+  // from the same request (allowed).
+  EXPECT_FALSE(
+      mgr.Ingest(id, {}, 0, {5}, nullptr, nullptr, &code, &error));
+  EXPECT_EQ(code, ErrorCode::kBadArgument);
+  EXPECT_FALSE(mgr.Ingest(id, {0.0, 0.0, 1.0, 1.0}, 2, {0, 0}, nullptr,
+                          nullptr, &code, &error));
+  EXPECT_EQ(code, ErrorCode::kBadArgument);
+  // The failed requests enqueued nothing: ids still start at 0.
+  uint32_t first_id = 123;
+  ASSERT_TRUE(mgr.Ingest(id, {0.0, 0.0, 1.0, 1.0}, 2, {0}, &first_id,
+                         nullptr, &code, &error))
+      << error;
+  EXPECT_EQ(first_id, 0u);
+  // Removing id 0 again in a later request is rejected at enqueue time.
+  EXPECT_FALSE(mgr.Ingest(id, {}, 0, {0}, nullptr, nullptr, &code, &error));
+  EXPECT_EQ(code, ErrorCode::kBadArgument);
+
+  uint64_t epoch = 0, applied = 0;
+  ASSERT_TRUE(mgr.Flush(id, &epoch, &applied, &code, &error));
+  EXPECT_EQ(applied, 3u);  // 2 inserts + 1 remove
+  std::shared_ptr<const ServeSnapshot> snap = mgr.Read(id);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->num_points, 2u);
+  EXPECT_EQ(snap->num_alive, 1u);
+
+  // Dropped sessions stop resolving, but a held snapshot stays valid.
+  ASSERT_TRUE(mgr.DropSession(id));
+  EXPECT_EQ(mgr.Read(id), nullptr);
+  EXPECT_EQ(snap->num_alive, 1u);
+}
+
+TEST(SessionManager, BackgroundDrainerAppliesWithoutFlush) {
+  ServeOptions opts;
+  opts.drain_batch_ops = 50;  // one 80-point batch crosses the trigger
+  SessionManager mgr(opts);
+  ErrorCode code;
+  std::string error;
+  const uint64_t id = mgr.CreateSession(2, TestParams(), 0.001, &code, &error);
+  ASSERT_NE(id, 0u);
+  Rng rng(11);
+  ASSERT_TRUE(mgr.Ingest(id, MakeBatch(rng, 2, 80), 2, {}, nullptr, nullptr,
+                         &code, &error));
+  // No Flush: the background drainer must pick the batch up on its own.
+  // Single-core boxes may schedule the drainer late; poll generously.
+  for (int i = 0; i < 2000; ++i) {
+    if (mgr.Read(id)->epoch > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::shared_ptr<const ServeSnapshot> snap = mgr.Read(id);
+  EXPECT_GT(snap->epoch, 0u);
+  EXPECT_EQ(snap->num_points, 80u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over a loopback socket
+
+TEST(WireServer, EndToEndOverLoopback) {
+  ServerOptions options;
+  options.serve.num_threads = 2;
+  WireServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_GT(server.port(), 0);
+
+  WireClient client;
+  ASSERT_TRUE(client.Connect(server.port(), &error)) << error;
+
+  CreateReq create;
+  create.dim = 2;
+  create.eps = 2.0;
+  create.min_pts = 4;
+  create.rho = 0.001;
+  uint64_t session = 0;
+  ErrorCode code;
+  ASSERT_TRUE(client.Create(create, &session, &code, &error)) << error;
+  ASSERT_NE(session, 0u);
+
+  DbscanParams params = TestParams();
+  DynamicClustererOptions dyn;
+  dyn.rho = 0.001;
+  DynamicClusterer local(2, params, dyn);
+
+  Rng rng(2024);
+  uint32_t next_id = 0;
+  for (int round = 0; round < 4; ++round) {
+    IngestReq ingest;
+    ingest.session = session;
+    ingest.dim = 2;
+    ingest.coords = MakeBatch(rng, 2, 70);
+    if (round > 0) ingest.removes = {static_cast<uint32_t>(round * 3)};
+    IngestResp ack;
+    ASSERT_TRUE(client.Ingest(ingest, &ack, &code, &error)) << error;
+    EXPECT_EQ(ack.first_id, next_id);
+    local.Insert(Dataset(2, ingest.coords));
+    if (!ingest.removes.empty()) local.Remove(ingest.removes);
+    next_id += 70;
+  }
+
+  FlushResp flushed;
+  ASSERT_TRUE(client.Flush(session, &flushed, &code, &error)) << error;
+  const Clustering& want = local.Labels();
+  EXPECT_EQ(flushed.applied_updates, next_id + 3);
+
+  std::vector<uint32_t> all_ids(next_id);
+  for (uint32_t i = 0; i < next_id; ++i) all_ids[i] = i;
+  QueryResp qresp;
+  ASSERT_TRUE(client.Query(session, all_ids, &qresp, &code, &error)) << error;
+  EXPECT_EQ(qresp.num_points, local.num_points());
+  EXPECT_EQ(qresp.num_alive, local.num_alive());
+  ASSERT_EQ(qresp.labels.size(), all_ids.size());
+  for (uint32_t i = 0; i < next_id; ++i) {
+    EXPECT_EQ(qresp.labels[i], want.label[i]);
+    EXPECT_EQ(qresp.is_core[i] != 0, want.is_core[i] != 0);
+  }
+
+  SnapshotResp sresp;
+  ASSERT_TRUE(client.Snapshot(session, &sresp, &code, &error)) << error;
+  EXPECT_EQ(sresp.ids.size(), local.num_alive());
+
+  // Application-level errors keep the connection usable...
+  IngestReq bad;
+  bad.session = session + 999;
+  bad.dim = 2;
+  bad.coords = {0.0, 0.0};
+  EXPECT_FALSE(client.Ingest(bad, nullptr, &code, &error));
+  EXPECT_EQ(code, ErrorCode::kUnknownSession);
+  ASSERT_TRUE(client.Drop(session, &code, &error)) << error;
+  EXPECT_FALSE(client.Drop(session, &code, &error));  // already gone
+  EXPECT_EQ(code, ErrorCode::kUnknownSession);
+
+  server.Stop();
+}
+
+TEST(WireServer, MultipleConnectionsShareTheManager) {
+  WireServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Client A creates and fills a session; client B reads it.
+  WireClient a, b;
+  ASSERT_TRUE(a.Connect(server.port(), &error)) << error;
+  ASSERT_TRUE(b.Connect(server.port(), &error)) << error;
+  CreateReq create;
+  create.dim = 2;
+  create.eps = 2.0;
+  create.min_pts = 3;
+  create.rho = 0.001;
+  uint64_t session = 0;
+  ErrorCode code;
+  ASSERT_TRUE(a.Create(create, &session, &code, &error)) << error;
+  IngestReq ingest;
+  ingest.session = session;
+  ingest.dim = 2;
+  Rng rng(5);
+  ingest.coords = MakeBatch(rng, 2, 50);
+  ASSERT_TRUE(a.Ingest(ingest, nullptr, &code, &error)) << error;
+  FlushResp flushed;
+  ASSERT_TRUE(a.Flush(session, &flushed, &code, &error)) << error;
+
+  QueryResp qresp;
+  ASSERT_TRUE(b.Query(session, {0, 1, 2}, &qresp, &code, &error)) << error;
+  EXPECT_EQ(qresp.num_points, 50u);
+  server.Stop();
+}
+
+TEST(WireServer, GarbageBytesGetErrorRespAndClose) {
+  WireServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const uint8_t garbage[] = {0xff, 0xff, 0xff, 0xff, 0xde, 0xad, 0xbe, 0xef};
+  ASSERT_EQ(::send(fd, garbage, sizeof(garbage), 0),
+            static_cast<ssize_t>(sizeof(garbage)));
+
+  // The server must answer with a well-formed ErrorResp{kBadFrame} frame
+  // and then close the connection.
+  FrameAssembler assembler;
+  uint8_t buf[4096];
+  bool got_error_resp = false, closed = false;
+  for (int i = 0; i < 100 && !closed; ++i) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      closed = true;
+      break;
+    }
+    assembler.Feed(buf, static_cast<size_t>(n));
+    Frame frame;
+    std::string frame_error;
+    while (assembler.Next(&frame, &frame_error) == FrameStatus::kFrame) {
+      ASSERT_EQ(frame.type, MsgType::kErrorResp);
+      ErrorResp resp;
+      ASSERT_TRUE(DecodeErrorResp(frame, &resp, &frame_error)) << frame_error;
+      EXPECT_EQ(resp.code, ErrorCode::kBadFrame);
+      got_error_resp = true;
+    }
+  }
+  EXPECT_TRUE(got_error_resp);
+  EXPECT_TRUE(closed);
+  ::close(fd);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace adbscan

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/flags.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -269,6 +270,84 @@ TEST(Flags, TryGetIntRejectsMalformedValues) {
   EXPECT_FALSE(parse_as_min_pts("1.5", &v));
   EXPECT_FALSE(parse_as_min_pts("ten", &v));
   EXPECT_FALSE(parse_as_min_pts("99999999999999999999", &v));  // overflow
+}
+
+// Restores (or clears) ADBSCAN_THREADS when the scope ends, so these tests
+// do not leak environment into the rest of the suite.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("ADBSCAN_THREADS");
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value == nullptr) {
+      unsetenv("ADBSCAN_THREADS");
+    } else {
+      setenv("ADBSCAN_THREADS", value, 1);
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_value_) {
+      setenv("ADBSCAN_THREADS", saved_.c_str(), 1);
+    } else {
+      unsetenv("ADBSCAN_THREADS");
+    }
+  }
+
+ private:
+  bool had_value_ = false;
+  std::string saved_;
+};
+
+// Regression test for the ValidateCommonFlags bypass: the CLI used to
+// validate only the --threads flag while ResolveNumThreads silently
+// swallowed a malformed ADBSCAN_THREADS (atoi half-parse), so flags
+// arriving via environment escaped validation. TryResolveNumThreads must
+// validate the merged view.
+TEST(Threads, TryResolveRejectsMalformedEnvironment) {
+  int threads = -1;
+  std::string error;
+  for (const char* bad : {"abc", "8x", "-3", "0", "", " 4", "1e2",
+                          "99999999999999999999"}) {
+    ScopedThreadsEnv env(bad);
+    error.clear();
+    EXPECT_FALSE(TryResolveNumThreads(0, &threads, &error))
+        << "env value \"" << bad << "\" must be rejected";
+    EXPECT_NE(error.find("ADBSCAN_THREADS"), std::string::npos) << error;
+    // A malformed environment is rejected even when an explicit flag value
+    // would shadow it — the merged view is validated as a whole.
+    EXPECT_FALSE(TryResolveNumThreads(3, &threads, &error));
+  }
+}
+
+TEST(Threads, TryResolveMergesFlagAndEnvironment) {
+  int threads = -1;
+  std::string error;
+  {
+    ScopedThreadsEnv env("8");
+    // Explicit positive flag wins over the environment.
+    ASSERT_TRUE(TryResolveNumThreads(3, &threads, &error)) << error;
+    EXPECT_EQ(threads, 3);
+    // Auto (<= 0) falls back to the validated environment value.
+    ASSERT_TRUE(TryResolveNumThreads(0, &threads, &error)) << error;
+    EXPECT_EQ(threads, 8);
+    ASSERT_TRUE(TryResolveNumThreads(-1, &threads, &error)) << error;
+    EXPECT_EQ(threads, 8);
+  }
+  {
+    // No environment: auto resolves to the hardware count.
+    ScopedThreadsEnv env(nullptr);
+    ASSERT_TRUE(TryResolveNumThreads(0, &threads, &error)) << error;
+    EXPECT_EQ(threads, HardwareThreads());
+  }
+  {
+    // Oversized-but-valid values cap at the pool's worker limit rather
+    // than failing, matching DefaultThreads().
+    ScopedThreadsEnv env("100000");
+    ASSERT_TRUE(TryResolveNumThreads(0, &threads, &error)) << error;
+    EXPECT_GE(threads, 1);
+    EXPECT_LE(threads, 256);
+  }
 }
 
 }  // namespace

@@ -91,7 +91,15 @@ bool ValidateCommonFlags(const Flags& flags, bool require_positive_eps,
     std::fprintf(stderr, "--threads must be a non-negative integer\n");
     return false;
   }
-  *threads = ResolveNumThreads(static_cast<int>(threads64));
+  // Validate the merged view (flag + ADBSCAN_THREADS environment) once,
+  // here, for every subcommand: ResolveNumThreads would silently fall back
+  // to the hardware count when the environment variable is malformed.
+  std::string threads_error;
+  if (!TryResolveNumThreads(static_cast<int>(threads64), threads,
+                            &threads_error)) {
+    std::fprintf(stderr, "%s\n", threads_error.c_str());
+    return false;
+  }
   return true;
 }
 

@@ -1,0 +1,271 @@
+// Command-line client of adbscan_server. Two modes:
+//
+//   --mode=smoke (default): full-protocol end-to-end check. Generates a
+//     deterministic point stream, drives create -> ingest (with removes) ->
+//     flush -> query -> snapshot -> drop against the server, and verifies
+//     the returned labels BIT-IDENTICAL to a local DynamicClusterer fed the
+//     same batches (the serving layer must add zero approximation on top of
+//     the Theorem 4 pipeline). Exit 0 on match, 1 on any mismatch or RPC
+//     failure — CI runs this against a freshly booted server.
+//
+//   --mode=ping: create + drop one session; checks the server is alive.
+//
+// The port comes from --port or --port_file (the file adbscan_server
+// --port_file writes; retried briefly so client and server can start
+// concurrently).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "stream/dynamic_clusterer.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace adbscan;
+
+int ReadPortFile(const std::string& path) {
+  // The server writes the file only after the listener is live, but give
+  // it a moment to appear when the two processes race at startup.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f != nullptr) {
+      int port = 0;
+      const int got = std::fscanf(f, "%d", &port);
+      std::fclose(f);
+      if (got == 1 && port > 0 && port <= 65535) return port;
+    }
+    struct timespec ts{};
+    ts.tv_sec = 0;
+    ts.tv_nsec = 100 * 1000 * 1000;
+    nanosleep(&ts, nullptr);
+  }
+  return 0;
+}
+
+bool Fail(const std::string& what, const std::string& error) {
+  std::fprintf(stderr, "adbscan_client: %s: %s\n", what.c_str(),
+               error.c_str());
+  return false;
+}
+
+// Drives one session through the server and mirrors every batch into a
+// local clusterer; returns false on the first divergence.
+bool RunSmoke(serve::WireClient& client, int dim, double eps, int min_pts,
+              double rho, size_t n, size_t batch_size, uint64_t seed) {
+  std::string error;
+  serve::ErrorCode code;
+
+  serve::CreateReq create;
+  create.dim = static_cast<uint32_t>(dim);
+  create.eps = eps;
+  create.min_pts = static_cast<uint32_t>(min_pts);
+  create.rho = rho;
+  uint64_t session = 0;
+  if (!client.Create(create, &session, &code, &error)) {
+    return Fail("create", error);
+  }
+
+  DbscanParams params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+  DynamicClustererOptions dyn;
+  dyn.rho = rho;
+  DynamicClusterer local(dim, params, dyn);
+
+  // Clustered stream: points land near a handful of centers so the run
+  // exercises real cluster structure, with a removal wave every batch.
+  Rng rng(seed);
+  std::vector<double> centers;
+  const int kCenters = 6;
+  for (int c = 0; c < kCenters * dim; ++c) {
+    centers.push_back(rng.NextDouble(0.0, 1000.0));
+  }
+  uint32_t next_id = 0;
+  std::vector<uint32_t> alive_ids;
+  size_t produced = 0;
+  while (produced < n) {
+    const size_t take = std::min(batch_size, n - produced);
+    std::vector<double> coords;
+    coords.reserve(take * dim);
+    for (size_t i = 0; i < take; ++i) {
+      const int c = static_cast<int>(rng.NextBounded(kCenters));
+      for (int d = 0; d < dim; ++d) {
+        coords.push_back(centers[c * dim + d] +
+                         rng.NextGaussian() * 2.0 * eps);
+      }
+    }
+    std::vector<uint32_t> removes;
+    const size_t n_remove = alive_ids.empty() ? 0 : take / 4;
+    for (size_t i = 0; i < n_remove; ++i) {
+      const size_t pick = rng.NextBounded(alive_ids.size());
+      removes.push_back(alive_ids[pick]);
+      alive_ids[pick] = alive_ids.back();
+      alive_ids.pop_back();
+    }
+
+    serve::IngestReq ingest;
+    ingest.session = session;
+    ingest.dim = static_cast<uint32_t>(dim);
+    ingest.coords = coords;
+    ingest.removes = removes;
+    serve::IngestResp ack;
+    if (!client.Ingest(ingest, &ack, &code, &error)) {
+      return Fail("ingest", error);
+    }
+    if (ack.first_id != next_id) {
+      std::fprintf(stderr,
+                   "adbscan_client: predicted first_id mismatch: server "
+                   "says %u, expected %u\n",
+                   ack.first_id, next_id);
+      return false;
+    }
+    // Mirror locally, same batch boundaries and order.
+    local.Insert(Dataset(dim, coords));
+    if (!removes.empty()) local.Remove(removes);
+    for (size_t i = 0; i < take; ++i) {
+      alive_ids.push_back(next_id + static_cast<uint32_t>(i));
+    }
+    next_id += static_cast<uint32_t>(take);
+    produced += take;
+  }
+
+  serve::FlushResp flush;
+  if (!client.Flush(session, &flush, &code, &error)) {
+    return Fail("flush", error);
+  }
+  const Clustering& want = local.Labels();
+
+  // Point queries over the full id space.
+  std::vector<uint32_t> all_ids(next_id);
+  for (uint32_t i = 0; i < next_id; ++i) all_ids[i] = i;
+  serve::QueryResp query;
+  if (!client.Query(session, all_ids, &query, &code, &error)) {
+    return Fail("query", error);
+  }
+  if (query.num_points != local.num_points() ||
+      query.num_alive != local.num_alive() ||
+      query.num_clusters != static_cast<uint32_t>(want.num_clusters)) {
+    std::fprintf(stderr,
+                 "adbscan_client: stats mismatch: server %llu/%llu/%u vs "
+                 "local %zu/%zu/%d\n",
+                 static_cast<unsigned long long>(query.num_points),
+                 static_cast<unsigned long long>(query.num_alive),
+                 query.num_clusters, local.num_points(), local.num_alive(),
+                 want.num_clusters);
+    return false;
+  }
+  for (uint32_t i = 0; i < next_id; ++i) {
+    if (query.labels[i] != want.label[i] ||
+        (query.is_core[i] != 0) != (want.is_core[i] != 0)) {
+      std::fprintf(stderr,
+                   "adbscan_client: label mismatch at id %u: server "
+                   "(%d, core=%d) vs local (%d, core=%d)\n",
+                   i, query.labels[i], static_cast<int>(query.is_core[i]),
+                   want.label[i], static_cast<int>(want.is_core[i]));
+      return false;
+    }
+  }
+
+  // Full snapshot dump: must list exactly the alive ids, same labels.
+  serve::SnapshotResp snap;
+  if (!client.Snapshot(session, &snap, &code, &error)) {
+    return Fail("snapshot", error);
+  }
+  size_t alive_seen = 0;
+  for (uint32_t id = 0; id < next_id; ++id) {
+    if (!local.alive(id)) continue;
+    if (alive_seen >= snap.ids.size() || snap.ids[alive_seen] != id ||
+        snap.labels[alive_seen] != want.label[id] ||
+        (snap.is_core[alive_seen] != 0) != (want.is_core[id] != 0)) {
+      std::fprintf(stderr, "adbscan_client: snapshot mismatch at id %u\n",
+                   id);
+      return false;
+    }
+    ++alive_seen;
+  }
+  if (alive_seen != snap.ids.size()) {
+    std::fprintf(stderr,
+                 "adbscan_client: snapshot has %zu rows, expected %zu\n",
+                 snap.ids.size(), alive_seen);
+    return false;
+  }
+
+  if (!client.Drop(session, &code, &error)) return Fail("drop", error);
+  std::printf(
+      "adbscan_client: smoke OK: %u points ingested, %llu alive, %d "
+      "clusters, epoch %llu — server matches local replay bit-for-bit\n",
+      next_id, static_cast<unsigned long long>(query.num_alive),
+      want.num_clusters, static_cast<unsigned long long>(query.epoch));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineString("mode", "smoke", "smoke | ping")
+      .DefineInt("port", 0, "server port on 127.0.0.1")
+      .DefineString("port_file", "",
+                    "read the port from this file (written by "
+                    "adbscan_server --port_file)")
+      .DefineInt("dim", 2, "smoke: dimensionality")
+      .DefineDouble("eps", 40.0, "smoke: DBSCAN epsilon")
+      .DefineInt("min_pts", 4, "smoke: DBSCAN MinPts")
+      .DefineDouble("rho", 0.001, "smoke: approximation parameter")
+      .DefineInt("n", 2000, "smoke: points to ingest")
+      .DefineInt("batch", 256, "smoke: ingest batch size")
+      .DefineInt("seed", 42, "smoke: stream seed");
+  flags.Parse(argc, argv);
+
+  int port = static_cast<int>(flags.GetInt("port"));
+  const std::string port_file = flags.GetString("port_file");
+  if (port == 0 && !port_file.empty()) port = ReadPortFile(port_file);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr,
+                 "adbscan_client: need --port or a readable --port_file\n");
+    return 2;
+  }
+
+  serve::WireClient client;
+  std::string error;
+  if (!client.Connect(port, &error)) {
+    std::fprintf(stderr, "adbscan_client: %s\n", error.c_str());
+    return 1;
+  }
+
+  const std::string mode = flags.GetString("mode");
+  if (mode == "ping") {
+    serve::CreateReq create;
+    create.dim = 2;
+    create.eps = 1.0;
+    create.min_pts = 1;
+    create.rho = 0.001;
+    uint64_t session = 0;
+    serve::ErrorCode code;
+    if (!client.Create(create, &session, &code, &error) ||
+        !client.Drop(session, &code, &error)) {
+      std::fprintf(stderr, "adbscan_client: ping failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::printf("adbscan_client: ping OK (port %d)\n", port);
+    return 0;
+  }
+  if (mode != "smoke") {
+    std::fprintf(stderr, "adbscan_client: unknown --mode '%s'\n",
+                 mode.c_str());
+    return 2;
+  }
+  const bool ok = RunSmoke(
+      client, static_cast<int>(flags.GetInt("dim")), flags.GetDouble("eps"),
+      static_cast<int>(flags.GetInt("min_pts")), flags.GetDouble("rho"),
+      static_cast<size_t>(flags.GetInt("n")),
+      static_cast<size_t>(flags.GetInt("batch")),
+      static_cast<uint64_t>(flags.GetInt("seed")));
+  return ok ? 0 : 1;
+}

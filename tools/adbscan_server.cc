@@ -1,0 +1,147 @@
+// Clustering-as-a-service daemon: boots a WireServer on 127.0.0.1 and runs
+// until SIGINT/SIGTERM. Multi-tenant — each client-created session owns an
+// independent DynamicClusterer; see src/serve/ and DESIGN.md "Serving
+// runtime".
+//
+//   adbscan_server --port=0 --port_file=out/port.txt --threads=0
+//
+// --port=0 picks a free port; --port_file publishes the bound port for
+// scripted callers (written after the listener is live, so waiting for the
+// file to appear is a reliable readiness probe). On shutdown the server
+// optionally appends one obs::RunRecord (--metrics_json) covering the whole
+// serving window and exports the trace timeline (--trace_json).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
+#include "serve/server.h"
+#include "util/flags.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adbscan;
+
+  Flags flags;
+  flags.DefineInt("port", 0, "TCP port on 127.0.0.1 (0 = pick a free port)")
+      .DefineString("port_file", "",
+                    "write the bound port here once the server is ready")
+      .DefineInt("threads", 0,
+                 "worker threads (0 = auto: ADBSCAN_THREADS env, else "
+                 "hardware count)")
+      .DefineInt("drain_batch_ops", 2048,
+                 "background drain trigger (pending ops per session)")
+      .DefineInt("max_pending_ops", 1 << 20,
+                 "per-session ingest queue cap (ops) before backpressure")
+      .DefineInt("max_sessions", 1024, "concurrent session cap")
+      .DefineString("metrics_json", "",
+                    "append one metrics RunRecord here on shutdown")
+      .DefineString("trace_json", "",
+                    "write a Chrome trace-event JSON timeline here "
+                    "(empty = ADBSCAN_TRACE env, else tracing off)");
+  flags.Parse(argc, argv);
+
+  int64_t port64 = 0;
+  int64_t threads64 = 0;
+  if (!flags.TryGetInt("port", &port64) || port64 < 0 || port64 > 65535) {
+    std::fprintf(stderr, "--port must be in [0, 65535]\n");
+    return 2;
+  }
+  if (!flags.TryGetInt("threads", &threads64) || threads64 > 1'000'000) {
+    std::fprintf(stderr, "--threads must be a reasonable integer\n");
+    return 2;
+  }
+  int threads = 0;
+  std::string threads_error;
+  if (!TryResolveNumThreads(static_cast<int>(threads64), &threads,
+                            &threads_error)) {
+    std::fprintf(stderr, "%s\n", threads_error.c_str());
+    return 2;
+  }
+
+  const std::string metrics_json = flags.GetString("metrics_json");
+  if (!metrics_json.empty()) obs::MetricsRegistry::SetEnabled(true);
+  const std::string trace_json =
+      obs::ResolveTracePath(flags.GetString("trace_json"));
+  if (!trace_json.empty()) obs::StartTracing();
+
+  serve::ServerOptions options;
+  options.port = static_cast<int>(port64);
+  options.serve.num_threads = threads;
+  options.serve.drain_batch_ops =
+      static_cast<size_t>(flags.GetInt("drain_batch_ops"));
+  options.serve.max_pending_ops =
+      static_cast<size_t>(flags.GetInt("max_pending_ops"));
+  options.serve.max_sessions =
+      static_cast<size_t>(flags.GetInt("max_sessions"));
+
+  serve::WireServer server(options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "adbscan_server: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "adbscan_server: listening on 127.0.0.1:%d (%d threads)\n",
+               server.port(), threads);
+
+  const std::string port_file = flags.GetString("port_file");
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "adbscan_server: cannot write --port_file %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%d\n", server.port());
+    std::fclose(f);
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  Timer up;
+  // sigsuspend-free wait: SIGINT/SIGTERM interrupt the sleep and the loop
+  // observes g_stop on the next iteration (100 ms worst-case latency).
+  while (!g_stop) {
+    struct timespec ts{};
+    ts.tv_sec = 0;
+    ts.tv_nsec = 100 * 1000 * 1000;
+    nanosleep(&ts, nullptr);
+  }
+  std::fprintf(stderr, "adbscan_server: shutting down\n");
+  server.Stop();
+
+  if (!metrics_json.empty()) {
+    obs::RunRecord rec;
+    rec.run = "adbscan_server";
+    rec.dataset = "serve";
+    rec.algo = "serve";
+    rec.params = {{"threads", std::to_string(threads)},
+                  {"port", std::to_string(server.port())}};
+    rec.total_ms = up.ElapsedMillis();
+    rec.metrics = obs::MetricsRegistry::Global().Snapshot();
+    if (!obs::AppendJsonLine(metrics_json, rec)) {
+      std::fprintf(stderr, "warning: cannot append metrics to %s\n",
+                   metrics_json.c_str());
+    }
+  }
+  if (!trace_json.empty() && !obs::ExportTrace(trace_json)) {
+    std::fprintf(stderr, "warning: trace export to %s failed\n",
+                 trace_json.c_str());
+  }
+  return 0;
+}

@@ -25,6 +25,17 @@ BASELINE_DIR="${BASELINE_DIR:-}"
 WORKDIR="$(mktemp -d "${TMPDIR:-/tmp}/bench_smoke.XXXXXX")"
 trap 'rm -rf "$WORKDIR"' EXIT
 
+# Fail fast on a broken invocation: a missing validator or comparator would
+# otherwise surface as one cryptic "command not found" per harness.
+for tool in "$VALIDATOR" "$COMPARE"; do
+  if [ ! -x "$tool" ]; then
+    echo "bench_smoke: required tool '$tool' is missing or not executable" \
+         "(build the 'metrics_validate' and 'bench_compare' targets, or" \
+         "set VALIDATOR/COMPARE)" >&2
+    exit 1
+  fi
+done
+
 failures=0
 
 run_one() {
@@ -33,6 +44,12 @@ run_one() {
   shift 2
   local json="$WORKDIR/$name.json"
   echo "=== $name ==="
+  if [ ! -x "$BENCH_DIR/$name" ]; then
+    echo "FAIL: harness binary '$BENCH_DIR/$name' is missing or not" \
+         "executable (build the '$name' target, or set BENCH_DIR)"
+    failures=$((failures + 1))
+    return
+  fi
   if ! "$BENCH_DIR/$name" "$@" --metrics_json="$json" \
       > "$WORKDIR/$name.out" 2>&1; then
     echo "FAIL: $name exited non-zero; last output lines:"
@@ -58,6 +75,8 @@ run_one fig12_vary_eps 8 --n=2000 --steps=2 --datasets=ss3d
 run_one fig13_vary_rho 2 --n=2000 --rhos=0.01,0.1 --datasets=ss3d
 run_one table1_parameters 6 --n=1500
 run_one micro_stream 4 --n=6000 --rounds=3 --out="$WORKDIR/BENCH_stream.json"
+run_one micro_serve 2 --sessions=8 --n=2000 --batch=256 \
+    --out="$WORKDIR/BENCH_serve.json"
 
 # The fig11 run above doubled as a tracing smoke: the trace must be
 # well-formed Chrome trace-event JSON (monotone per-tid timestamps etc.).
@@ -82,6 +101,25 @@ if [ -n "$BASELINE_DIR" ] && [ -f "$BASELINE_DIR/smoke/BENCH_stream.json" ]; the
   fi
 else
   echo "=== micro_stream regression gate skipped (no baseline) ==="
+fi
+
+# Serve gate: the serving layer's efficiency (solo-replay wall / serve
+# wall, higher is better) against the committed smoke baseline. The default
+# row key lacks the `sessions` column, so it is passed explicitly. 0.6 is
+# generous — at smoke sizes the fixed serving overhead (queues, snapshot
+# copies) is a visible fraction of the tiny clustering cost — and still
+# catches structural regressions like drains serializing behind reads.
+if [ -n "$BASELINE_DIR" ] && [ -f "$BASELINE_DIR/smoke/BENCH_serve.json" ]; then
+  echo "=== micro_serve regression gate ==="
+  if ! "$COMPARE" --current="$WORKDIR/BENCH_serve.json" \
+      --baseline="$BASELINE_DIR/smoke/BENCH_serve.json" \
+      --metrics=efficiency --key=dataset,dim,n,sessions \
+      --max_regression=0.6; then
+    echo "FAIL: micro_serve regressed vs $BASELINE_DIR/smoke/BENCH_serve.json"
+    failures=$((failures + 1))
+  fi
+else
+  echo "=== micro_serve regression gate skipped (no baseline) ==="
 fi
 
 if [ "$failures" -ne 0 ]; then
