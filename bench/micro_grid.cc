@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
         ops;
     ops.emplace_back("grid_build", [&](Grid::Layout layout) -> BenchFn {
       return [&, layout] {
-        Grid grid(data, side, layout);
+        Grid grid(data, side, layout, threads);
         return static_cast<double>(grid.NumCells());
       };
     });

@@ -1,0 +1,291 @@
+// Sharded-clustering benchmark + out-of-core demonstration.
+//
+// Bench mode (default): for each dataset, times the monolithic ApproxDbscan
+// run and ShardedApproxDbscan at each --shard_counts value, verifies every
+// sharded clustering bit-identical to the monolithic one, and writes
+// BENCH_shard.json with per-configuration wall times, the sharded/mono
+// ratio, and the halo/residency overheads the planner actually paid.
+//
+//   ./build/bench/micro_shard                            # defaults
+//   ./build/bench/micro_shard --datasets=ss3d --n=200000 --shard_counts=4,16
+//
+// OOM demo mode (--oom_demo): demonstrates the out-of-core claim of
+// DESIGN.md "Sharded clustering" — at a data-segment cap (RLIMIT_DATA,
+// --limit_mb) the in-RAM loader cannot even materialize the points, while
+// the sharded pipeline over an mmap-backed dataset completes, because its
+// resident set is one shard's working set rather than n. Three steps, run
+// as separate invocations so the generator is never under the cap:
+//
+//   ./build/bench/micro_shard --oom_demo=write   --n=2000000 ...
+//   ./build/bench/micro_shard --oom_demo=inram   --limit_mb=32   # exits 0
+//       iff the capped in-RAM load FAILS (the demonstrated behavior)
+//   ./build/bench/micro_shard --oom_demo=sharded --limit_mb=32   # exits 0
+//       iff the capped sharded+mmap run SUCCEEDS
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "io/dataset_io.h"
+#include "io/table.h"
+#include "obs/json.h"
+#include "shard/sharded_dbscan.h"
+#include "util/timer.h"
+
+namespace adbscan {
+namespace {
+
+struct Result {
+  std::string op;
+  std::string dataset;
+  int dim;
+  size_t n;
+  int shards;  // 1 = monolithic row
+  double ms;
+  double speedup_vs_mono;  // mono ms / this ms (1.0 for the mono row)
+  size_t halo_points;
+  size_t peak_points;  // largest owned+halo working set (n for mono)
+  size_t cross_edges;
+};
+
+void WriteJson(const std::string& path, const std::vector<Result>& results) {
+  bench::EnsureParentDir(path);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_shard\",\n  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"op\": \"%s\", \"dataset\": \"%s\", \"dim\": %d, \"n\": %zu, "
+        "\"shards\": %d, \"ms\": %s, \"speedup_vs_mono\": %s, "
+        "\"halo_points\": %zu, \"peak_points\": %zu, \"cross_edges\": %zu}%s\n",
+        r.op.c_str(), r.dataset.c_str(), r.dim, r.n, r.shards,
+        obs::JsonNumber(r.ms).c_str(),
+        obs::JsonNumber(r.speedup_vs_mono).c_str(), r.halo_points,
+        r.peak_points, r.cross_edges, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::printf("wrote %s\n", path.c_str());
+}
+
+bool SameClustering(const Clustering& a, const Clustering& b) {
+  return a.num_clusters == b.num_clusters && a.label == b.label &&
+         a.is_core == b.is_core &&
+         a.extra_memberships == b.extra_memberships;
+}
+
+// Caps the process data segment (heap + private writable mappings); the
+// read-only file-backed mapping of --oom_demo=sharded is exempt, which is
+// precisely the asymmetry the demo exploits.
+void CapDataSegment(size_t limit_mb) {
+  struct rlimit lim;
+  lim.rlim_cur = lim.rlim_max = static_cast<rlim_t>(limit_mb) << 20;
+  if (setrlimit(RLIMIT_DATA, &lim) != 0) {
+    std::perror("setrlimit(RLIMIT_DATA)");
+    std::exit(2);
+  }
+}
+
+int RunOomDemo(const std::string& mode, const std::string& demo_file,
+               const std::string& dataset, size_t n, size_t limit_mb,
+               int demo_shards, const DbscanParams& params, double rho) {
+  if (mode == "write") {
+    const Dataset data = bench::MakeBenchDataset(dataset, n, 1);
+    bench::EnsureParentDir(demo_file);
+    WriteBinary(data, demo_file);
+    std::printf("oom_demo: wrote %zu points in %dD (%zu MiB payload) to %s\n",
+                data.size(), data.dim(),
+                (data.size() * data.dim() * sizeof(double)) >> 20,
+                demo_file.c_str());
+    return 0;
+  }
+  if (mode == "inram") {
+    CapDataSegment(limit_mb);
+    std::string error;
+    bool loaded = false;
+    try {
+      std::optional<Dataset> data = TryReadBinary(demo_file, &error);
+      loaded = data.has_value();
+      if (!loaded) std::printf("oom_demo: in-RAM load error: %s\n",
+                               error.c_str());
+    } catch (const std::bad_alloc&) {
+      std::printf("oom_demo: in-RAM load threw bad_alloc under a %zu MiB "
+                  "data cap, as expected\n", limit_mb);
+    }
+    if (loaded) {
+      std::fprintf(stderr,
+                   "oom_demo: in-RAM load SUCCEEDED under the %zu MiB cap — "
+                   "raise --n or lower --limit_mb for a meaningful demo\n",
+                   limit_mb);
+      return 1;
+    }
+    return 0;
+  }
+  if (mode == "sharded") {
+    CapDataSegment(limit_mb);
+    std::string error;
+    std::optional<Dataset> data = TryMapBinary(demo_file, &error);
+    if (!data.has_value()) {
+      std::fprintf(stderr, "oom_demo: mmap load failed: %s\n", error.c_str());
+      return 1;
+    }
+    Timer timer;
+    ShardedRunStats stats;
+    const Clustering result =
+        ShardedApproxDbscan(*data, params, rho, demo_shards, {}, &stats);
+    std::printf(
+        "oom_demo: sharded run over %zu mmapped points finished under a "
+        "%zu MiB data cap: %d clusters, %d shards, peak resident %zu points "
+        "(%.1f%% of n), %.3fs\n",
+        data->size(), limit_mb, result.num_clusters, stats.num_shards,
+        stats.max_resident_points,
+        100.0 * double(stats.max_resident_points) / double(data->size()),
+        timer.ElapsedSeconds());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown --oom_demo '%s' (want write|inram|sharded)\n",
+               mode.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace adbscan
+
+int main(int argc, char** argv) {
+  using namespace adbscan;
+  Flags flags;
+  flags.DefineString("datasets", "ss3d,ss5d",
+                     "comma-separated dataset names (see bench_common.h)")
+      .DefineInt("n", 100000, "points per dataset")
+      .DefineDouble("eps", bench::kDefaultEps, "DBSCAN radius")
+      .DefineInt("min_pts", bench::kDefaultMinPts, "DBSCAN MinPts")
+      .DefineDouble("rho", bench::kDefaultRho, "approximation parameter")
+      .DefineString("shard_counts", "2,4,8",
+                    "comma-separated shard counts to benchmark")
+      .DefineString("out", "",
+                    "output JSON path (default out/BENCH_shard.json)")
+      .DefineString("metrics_json", "",
+                    "append one JSON metrics record per measured run "
+                    "(empty: off)")
+      .DefineString("oom_demo", "",
+                    "out-of-core demo step: write | inram | sharded "
+                    "(empty: bench mode)")
+      .DefineString("demo_file", "",
+                    "binary dataset path for the demo steps (default "
+                    "out/shard_demo.bin)")
+      .DefineInt("limit_mb", 64, "RLIMIT_DATA cap for the demo steps, MiB")
+      .DefineInt("demo_shards", 8, "shard count for --oom_demo=sharded");
+  bench::DefineThreadsFlag(flags);
+  bench::DefineKernelFlag(flags);
+  bench::DefineTraceFlag(flags);
+  flags.Parse(argc, argv);
+  const std::string trace_path = bench::ApplyTraceFlag(flags);
+  bench::ApplyKernelFlag(flags);
+  const size_t n = static_cast<size_t>(flags.GetInt("n"));
+  const double rho = flags.GetDouble("rho");
+  DbscanParams params{flags.GetDouble("eps"),
+                      static_cast<int>(flags.GetInt("min_pts")),
+                      bench::ThreadsFromFlags(flags)};
+
+  const std::string oom_demo = flags.GetString("oom_demo");
+  if (!oom_demo.empty()) {
+    std::string demo_file = flags.GetString("demo_file");
+    if (demo_file.empty()) demo_file = bench::OutPath("shard_demo.bin");
+    const std::string dataset =
+        bench::SplitNames(flags.GetString("datasets")).front();
+    return RunOomDemo(oom_demo, demo_file, dataset, n,
+                      static_cast<size_t>(flags.GetInt("limit_mb")),
+                      static_cast<int>(flags.GetInt("demo_shards")), params,
+                      rho);
+  }
+
+  std::vector<int> shard_counts;
+  for (const std::string& s :
+       bench::SplitNames(flags.GetString("shard_counts"))) {
+    const int k = std::atoi(s.c_str());
+    if (k < 2) {
+      std::fprintf(stderr, "--shard_counts entries must be >= 2 (got '%s')\n",
+                   s.c_str());
+      return 2;
+    }
+    shard_counts.push_back(k);
+  }
+  std::string out = flags.GetString("out");
+  if (out.empty()) out = bench::OutPath("BENCH_shard.json");
+  bench::MetricsLogger logger(flags.GetString("metrics_json"), "micro_shard");
+
+  std::vector<Result> results;
+  Table table({"dataset", "shards", "ms", "vs_mono", "halo_pts", "peak_pts"});
+
+  for (const std::string& name :
+       bench::SplitNames(flags.GetString("datasets"))) {
+    const Dataset data = bench::MakeBenchDataset(name, n, 1);
+    const int dim = data.dim();
+
+    // Warmup run (also primes the thread pool), then the measured mono run.
+    const Clustering reference = ApproxDbscan(data, params, rho);
+    logger.BeginRun();
+    Timer mono_timer;
+    const Clustering mono = ApproxDbscan(data, params, rho);
+    const double mono_ms = mono_timer.ElapsedSeconds() * 1000.0;
+    logger.EndRun(name, "mono",
+                  {{"n", std::to_string(n)},
+                   {"shards", "1"},
+                   {"min_pts", std::to_string(params.min_pts)},
+                   {"eps", bench::ParamNum(params.eps)},
+                   {"rho", bench::ParamNum(rho)}},
+                  mono_ms / 1000.0);
+    if (!SameClustering(reference, mono)) {
+      std::fprintf(stderr, "FATAL: monolithic run is not deterministic (%s)\n",
+                   name.c_str());
+      return 1;
+    }
+    results.push_back({"cluster", name, dim, n, 1, mono_ms, 1.0, 0, n, 0});
+    table.AddRow({name, "1", Table::Num(mono_ms, 2), Table::Num(1.0, 2),
+                  "0", std::to_string(n)});
+
+    for (int k : shard_counts) {
+      logger.BeginRun();
+      Timer timer;
+      ShardedRunStats stats;
+      const Clustering sharded =
+          ShardedApproxDbscan(data, params, rho, k, {}, &stats);
+      const double ms = timer.ElapsedSeconds() * 1000.0;
+      logger.EndRun(name, "sharded",
+                    {{"n", std::to_string(n)},
+                     {"shards", std::to_string(k)},
+                     {"min_pts", std::to_string(params.min_pts)},
+                     {"eps", bench::ParamNum(params.eps)},
+                     {"rho", bench::ParamNum(rho)}},
+                    ms / 1000.0);
+      if (!SameClustering(mono, sharded)) {
+        std::fprintf(stderr,
+                     "FATAL: sharded clustering diverged from monolithic "
+                     "(%s, %d shards)\n",
+                     name.c_str(), k);
+        return 1;
+      }
+      results.push_back({"cluster", name, dim, n, k, ms, mono_ms / ms,
+                         stats.halo_points, stats.max_resident_points,
+                         stats.cross_edges});
+      table.AddRow({name, std::to_string(k), Table::Num(ms, 2),
+                    Table::Num(mono_ms / ms, 2),
+                    std::to_string(stats.halo_points),
+                    std::to_string(stats.max_resident_points)});
+    }
+  }
+
+  table.Print();
+  WriteJson(out, results);
+  if (!trace_path.empty()) obs::ExportTrace(trace_path);
+  return 0;
+}

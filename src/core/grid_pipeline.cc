@@ -41,7 +41,8 @@ Clustering RunGridPipeline(const Dataset& data, const DbscanParams& params,
   std::optional<Grid> grid_storage;
   {
     ADB_PHASE("grid_build");
-    grid_storage.emplace(data, Grid::SideFor(params.eps, data.dim()));
+    grid_storage.emplace(data, Grid::SideFor(params.eps, data.dim()),
+                         Grid::DefaultLayout(), params.num_threads);
     if (params.num_threads > 1) {
       grid_storage->WarmNeighborCache(params.eps, params.num_threads);
     }

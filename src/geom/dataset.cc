@@ -1,6 +1,7 @@
 #include "geom/dataset.h"
 
 #include <mutex>
+#include <utility>
 
 #include "util/check.h"
 
@@ -16,17 +17,86 @@ std::mutex soa_build_mutex;
 
 Dataset::Dataset(int dim) : dim_(dim) {
   ADB_CHECK(dim >= 1 && dim <= kMaxDim);
+  base_ = coords_.data();
 }
 
 Dataset::Dataset(int dim, std::vector<double> coords)
     : dim_(dim), coords_(std::move(coords)) {
   ADB_CHECK(dim >= 1 && dim <= kMaxDim);
   ADB_CHECK(coords_.size() % dim_ == 0);
+  n_ = coords_.size() / dim_;
+  base_ = coords_.data();
+}
+
+Dataset::Dataset(int dim, const double* coords, size_t n,
+                 std::shared_ptr<const void> keepalive)
+    : dim_(dim), n_(n), base_(coords), keepalive_(std::move(keepalive)) {
+  ADB_CHECK(dim >= 1 && dim <= kMaxDim);
+  ADB_CHECK(n == 0 || coords != nullptr);
+  ADB_CHECK(keepalive_ != nullptr);
+}
+
+// Copies and moves must re-point base_ at the new instance's vector in owning
+// mode (the default member-wise copy would alias the source's storage).
+Dataset::Dataset(const Dataset& other)
+    : dim_(other.dim_),
+      n_(other.n_),
+      base_(other.base_),
+      coords_(other.coords_),
+      keepalive_(other.keepalive_),
+      soa_(other.soa_) {
+  if (keepalive_ == nullptr) base_ = coords_.data();
+}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this == &other) return *this;
+  dim_ = other.dim_;
+  n_ = other.n_;
+  coords_ = other.coords_;
+  keepalive_ = other.keepalive_;
+  soa_ = other.soa_;
+  base_ = keepalive_ != nullptr ? other.base_ : coords_.data();
+  return *this;
+}
+
+Dataset::Dataset(Dataset&& other) noexcept
+    : dim_(other.dim_),
+      n_(other.n_),
+      base_(other.base_),
+      coords_(std::move(other.coords_)),
+      keepalive_(std::move(other.keepalive_)),
+      soa_(std::move(other.soa_)) {
+  if (keepalive_ == nullptr) base_ = coords_.data();
+  other.n_ = 0;
+  other.base_ = other.coords_.data();
+}
+
+Dataset& Dataset::operator=(Dataset&& other) noexcept {
+  if (this == &other) return *this;
+  dim_ = other.dim_;
+  n_ = other.n_;
+  coords_ = std::move(other.coords_);
+  keepalive_ = std::move(other.keepalive_);
+  soa_ = std::move(other.soa_);
+  base_ = keepalive_ != nullptr ? other.base_ : coords_.data();
+  other.n_ = 0;
+  other.keepalive_.reset();
+  other.base_ = other.coords_.data();
+  return *this;
+}
+
+const std::vector<double>& Dataset::coords() const {
+  ADB_CHECK_MSG(!external(),
+                "Dataset::coords() on external storage; use raw()");
+  return coords_;
 }
 
 uint32_t Dataset::Add(const double* p) {
+  ADB_CHECK_MSG(!external(), "Dataset::Add on immutable external storage");
   const uint32_t id = static_cast<uint32_t>(size());
   coords_.insert(coords_.end(), p, p + dim_);
+  ++n_;
+  base_ = coords_.data();  // insert may reallocate
   soa_.reset();  // the cached SoA view no longer covers all points
   return id;
 }

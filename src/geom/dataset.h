@@ -18,6 +18,17 @@ namespace adbscan {
 //
 // Point ids are dense indices [0, size()). All algorithms report clusters in
 // terms of these ids.
+//
+// Two storage modes share the same read interface:
+//  - owning: a heap vector filled through Add() (the default);
+//  - external: a read-only view over caller-provided storage — typically a
+//    file mapping created by MapBinary (io/dataset_io.h) — kept alive by a
+//    shared keepalive token. External datasets are immutable (Add aborts)
+//    and copies share the mapping. Every algorithm works unchanged on either
+//    mode because all access goes through point()/size(); only the pages a
+//    pipeline actually touches are faulted in, which is what makes
+//    shard-at-a-time processing (src/shard) work on datasets larger than
+//    RAM.
 class Dataset {
  public:
   // An empty dataset of the given dimensionality; fill with Add().
@@ -27,22 +38,38 @@ class Dataset {
   // a multiple of dim.
   Dataset(int dim, std::vector<double> coords);
 
-  Dataset(const Dataset&) = default;
-  Dataset& operator=(const Dataset&) = default;
-  Dataset(Dataset&&) = default;
-  Dataset& operator=(Dataset&&) = default;
+  // External read-only storage: n points at `coords` (row-major, n * dim
+  // doubles). `keepalive` is held for the dataset's lifetime (and by every
+  // copy) so the backing storage — e.g. an mmap'ed file — stays valid.
+  Dataset(int dim, const double* coords, size_t n,
+          std::shared_ptr<const void> keepalive);
+
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&& other) noexcept;
+  Dataset& operator=(Dataset&& other) noexcept;
 
   int dim() const { return dim_; }
-  size_t size() const { return coords_.size() / dim_; }
-  bool empty() const { return coords_.empty(); }
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  // True when the coordinates live in external (e.g. file-backed) storage.
+  bool external() const { return keepalive_ != nullptr; }
 
   // Coordinates of point i.
-  const double* point(size_t i) const { return coords_.data() + i * dim_; }
-  const std::vector<double>& coords() const { return coords_; }
+  const double* point(size_t i) const { return base_ + i * dim_; }
+
+  // The flat coordinate array (size() * dim() doubles), either storage mode.
+  const double* raw() const { return base_; }
+
+  // Owning-mode only: the backing vector (external datasets abort — use
+  // raw()).
+  const std::vector<double>& coords() const;
 
   void Reserve(size_t n) { coords_.reserve(n * dim_); }
 
   // Appends a point; p must hold dim() coordinates. Returns its id.
+  // Owning-mode only: external datasets are immutable.
   uint32_t Add(const double* p);
   uint32_t Add(std::initializer_list<double> p);
   uint32_t Add(const std::vector<double>& p);
@@ -55,12 +82,17 @@ class Dataset {
   // Built lazily on first use and cached; Add() invalidates the cache, so
   // callers on hot paths should fetch it once after the dataset is final.
   // Thread-safe; the returned block is immutable and stays alive as long as
-  // any caller holds the shared_ptr, even across an Add().
+  // any caller holds the shared_ptr, even across an Add(). Note the block is
+  // an in-RAM copy even for external datasets — whole-dataset consumers that
+  // must stay out-of-core gather per-shard subsets instead (src/shard).
   std::shared_ptr<const simd::SoaBlock> Soa() const;
 
  private:
   int dim_;
+  size_t n_ = 0;                 // points
+  const double* base_ = nullptr;  // coords_.data() or the external array
   std::vector<double> coords_;
+  std::shared_ptr<const void> keepalive_;  // non-null iff external
   // Cache for Soa(). Copied datasets share the snapshot (it is immutable);
   // mutation through Add() drops only the mutating instance's reference.
   mutable std::shared_ptr<const simd::SoaBlock> soa_;

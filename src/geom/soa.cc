@@ -5,6 +5,7 @@
 
 #include "geom/dataset.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace adbscan {
 namespace simd {
@@ -13,10 +14,17 @@ void SoaBlock::AlignedFree::operator()(double* p) const {
   ::operator delete[](p, std::align_val_t(kSoaAlignment));
 }
 
-SoaBlock::SoaBlock(const Dataset& data) { Fill(data, nullptr, data.size()); }
+SoaBlock::SoaBlock(const Dataset& data) {
+  Fill(data, nullptr, data.size(), 1);
+}
 
 SoaBlock::SoaBlock(const Dataset& data, const uint32_t* ids, size_t count) {
-  Fill(data, ids, count);
+  Fill(data, ids, count, 1);
+}
+
+SoaBlock::SoaBlock(const Dataset& data, const uint32_t* ids, size_t count,
+                   int num_threads) {
+  Fill(data, ids, count, num_threads);
 }
 
 SoaBlock::SoaBlock(const SoaBlock& other)
@@ -33,7 +41,8 @@ SoaBlock& SoaBlock::operator=(const SoaBlock& other) {
   return *this;
 }
 
-void SoaBlock::Fill(const Dataset& data, const uint32_t* ids, size_t count) {
+void SoaBlock::Fill(const Dataset& data, const uint32_t* ids, size_t count,
+                    int num_threads) {
   dim_ = data.dim();
   count_ = count;
   stride_ = PaddedCount(count);
@@ -41,13 +50,15 @@ void SoaBlock::Fill(const Dataset& data, const uint32_t* ids, size_t count) {
   data_.reset(static_cast<double*>(::operator new[](
       static_cast<size_t>(dim_) * stride_ * sizeof(double),
       std::align_val_t(kSoaAlignment))));
-  for (size_t j = 0; j < stride_; ++j) {
-    // Padding slots replicate the last real point: finite values that keep
-    // full-width tail computations exception-free and overflow-safe.
-    const size_t src = j < count ? j : count - 1;
-    const double* p = data.point(ids == nullptr ? src : ids[src]);
-    for (int i = 0; i < dim_; ++i) data_[i * stride_ + j] = p[i];
-  }
+  ParallelFor(stride_, num_threads, [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      // Padding slots replicate the last real point: finite values that keep
+      // full-width tail computations exception-free and overflow-safe.
+      const size_t src = j < count ? j : count - 1;
+      const double* p = data.point(ids == nullptr ? src : ids[src]);
+      for (int i = 0; i < dim_; ++i) data_[i * stride_ + j] = p[i];
+    }
+  });
 }
 
 SoaSpan SoaBlock::span(size_t offset, size_t count) const {

@@ -50,6 +50,11 @@ class SoaBlock {
   // The points `ids[0..count)` of `data`, in that order.
   SoaBlock(const Dataset& data, const uint32_t* ids, size_t count);
 
+  // Same, gathering with up to num_threads workers (bit-identical result —
+  // the gather is a pure scatter-free copy over disjoint lane ranges).
+  SoaBlock(const Dataset& data, const uint32_t* ids, size_t count,
+           int num_threads);
+
   SoaBlock(const SoaBlock& other);
   SoaBlock& operator=(const SoaBlock& other);
   SoaBlock(SoaBlock&&) = default;
@@ -74,7 +79,8 @@ class SoaBlock {
   SoaSpan span(size_t offset, size_t count) const;
 
  private:
-  void Fill(const Dataset& data, const uint32_t* ids, size_t count);
+  void Fill(const Dataset& data, const uint32_t* ids, size_t count,
+            int num_threads);
 
   struct AlignedFree {
     void operator()(double* p) const;

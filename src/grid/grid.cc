@@ -47,13 +47,16 @@ void Grid::SetDefaultLayout(Layout layout) {
 }
 
 Grid::Grid(const Dataset& data, double side)
-    : Grid(data, side, DefaultLayout()) {}
+    : Grid(data, side, DefaultLayout(), 1) {}
 
 Grid::Grid(const Dataset& data, double side, Layout layout)
+    : Grid(data, side, layout, 1) {}
+
+Grid::Grid(const Dataset& data, double side, Layout layout, int num_threads)
     : data_(&data), side_(side), layout_(layout) {
   ADB_CHECK(side > 0.0);
   if (layout_ == Layout::kCsr) {
-    BuildCsr();
+    BuildCsr(num_threads);
   } else {
     BuildLegacy();
   }
@@ -78,40 +81,97 @@ void Grid::BuildLegacy() {
   }
 }
 
-void Grid::BuildCsr() {
+void Grid::BuildCsr(int num_threads) {
   ADB_PHASE("grid.csr.build");
   const size_t n = data_->size();
   point_cell_.resize(n);
 
-  // Pass 1: assign every point a provisional dense cell index through an
-  // open-addressing table sized so the load factor stays below 1/2 even if
-  // every point lands in its own cell (no rehash mid-build).
+  // Workers share the id space in T fixed, contiguous chunks (chunk t =
+  // [bounds[t], bounds[t+1])) rather than the dynamic ParallelFor partition:
+  // the counting fill below needs to know, per cell, how many ids each
+  // chunk contributes and in which chunk every id lies. T is capped so a
+  // chunk never gets trivially small.
+  constexpr size_t kMinChunk = 1 << 14;
+  const size_t max_chunks = std::max<size_t>(n / kMinChunk, 1);
+  const size_t T =
+      std::min<size_t>(std::max(num_threads, 1), max_chunks);
+  std::vector<size_t> bounds(T + 1);
+  for (size_t t = 0; t <= T; ++t) bounds[t] = n * t / T;
+
+  // Pass 1: assign every point a provisional dense cell index. Each chunk
+  // discovers its cells through a private open-addressing table sized so
+  // the load factor stays below 1/2 even if every point lands in its own
+  // cell (no rehash mid-build); a sequential merge then unifies the chunk
+  // tables into one provisional numbering. That numbering depends on T —
+  // deliberately harmless, since the Morton sort below replaces it with the
+  // unique Z-order rank before anything escapes the build.
   std::vector<CellCoord> prov_coords;
   std::vector<uint32_t> counts;
   const CellCoordHash hasher;
+  // Per chunk: coords in first-appearance order, matching counts, and the
+  // map from local index to the merged provisional index.
+  std::vector<std::vector<CellCoord>> local_coords(T);
+  std::vector<std::vector<uint32_t>> local_counts(T);
+  std::vector<std::vector<uint32_t>> local_to_prov(T);
   {
     ADB_PHASE("grid.csr.assign");
-    const size_t build_slots = NextPow2(2 * std::max<size_t>(n, 1));
+    ParallelFor(T, static_cast<int>(T), [&](size_t tb, size_t te) {
+      for (size_t t = tb; t < te; ++t) {
+        const size_t begin = bounds[t], end = bounds[t + 1];
+        const size_t build_slots = NextPow2(2 * std::max<size_t>(end - begin, 1));
+        const size_t build_mask = build_slots - 1;
+        std::vector<uint32_t> slots(build_slots, kNoCell);
+        std::vector<CellCoord>& my_coords = local_coords[t];
+        std::vector<uint32_t>& my_counts = local_counts[t];
+        for (size_t i = begin; i < end; ++i) {
+          const CellCoord cc =
+              CellCoord::Of(data_->point(i), data_->dim(), side_);
+          size_t h = hasher(cc) & build_mask;
+          uint32_t ci;
+          for (;;) {
+            ci = slots[h];
+            if (ci == kNoCell) {
+              ci = static_cast<uint32_t>(my_coords.size());
+              slots[h] = ci;
+              my_coords.push_back(cc);
+              my_counts.push_back(0);
+              break;
+            }
+            if (my_coords[ci] == cc) break;
+            h = (h + 1) & build_mask;
+          }
+          ++my_counts[ci];
+          point_cell_[i] = ci;  // chunk-local; remapped below
+        }
+      }
+    });
+    // Merge: one global table over the distinct cells of all chunks.
+    size_t distinct_upper = 0;
+    for (size_t t = 0; t < T; ++t) distinct_upper += local_coords[t].size();
+    const size_t build_slots = NextPow2(2 * std::max<size_t>(distinct_upper, 1));
     const size_t build_mask = build_slots - 1;
     std::vector<uint32_t> slots(build_slots, kNoCell);
-    for (size_t i = 0; i < n; ++i) {
-      const CellCoord cc = CellCoord::Of(data_->point(i), data_->dim(), side_);
-      size_t h = hasher(cc) & build_mask;
-      uint32_t ci;
-      for (;;) {
-        ci = slots[h];
-        if (ci == kNoCell) {
-          ci = static_cast<uint32_t>(prov_coords.size());
-          slots[h] = ci;
-          prov_coords.push_back(cc);
-          counts.push_back(0);
-          break;
+    for (size_t t = 0; t < T; ++t) {
+      local_to_prov[t].resize(local_coords[t].size());
+      for (size_t l = 0; l < local_coords[t].size(); ++l) {
+        const CellCoord& cc = local_coords[t][l];
+        size_t h = hasher(cc) & build_mask;
+        uint32_t ci;
+        for (;;) {
+          ci = slots[h];
+          if (ci == kNoCell) {
+            ci = static_cast<uint32_t>(prov_coords.size());
+            slots[h] = ci;
+            prov_coords.push_back(cc);
+            counts.push_back(0);
+            break;
+          }
+          if (prov_coords[ci] == cc) break;
+          h = (h + 1) & build_mask;
         }
-        if (prov_coords[ci] == cc) break;
-        h = (h + 1) & build_mask;
+        counts[ci] += local_counts[t][l];
+        local_to_prov[t][l] = ci;
       }
-      ++counts[ci];
-      point_cell_[i] = ci;  // provisional; remapped below
     }
   }
   const size_t num_cells = prov_coords.size();
@@ -138,16 +198,43 @@ void Grid::BuildCsr() {
       coords_[k] = prov_coords[order[k]];
       offsets_[k + 1] = offsets_[k] + counts[order[k]];
     }
-    for (size_t i = 0; i < n; ++i) point_cell_[i] = new_of_old[point_cell_[i]];
+    // Remap each chunk's local indices straight to the Morton rank.
+    ParallelFor(T, static_cast<int>(T), [&](size_t tb, size_t te) {
+      for (size_t t = tb; t < te; ++t) {
+        const std::vector<uint32_t>& to_prov = local_to_prov[t];
+        for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+          point_cell_[i] = new_of_old[to_prov[point_cell_[i]]];
+        }
+      }
+    });
 
     // Counting fill in ascending point id, so each cell's slice is
     // ascending — the same within-cell order the legacy per-cell vectors
-    // have.
+    // have. Parallel case: chunk t's ids land in the sub-slice of each
+    // cell that starts after every earlier chunk's contribution (cursors
+    // from an exclusive scan of the per-(cell, chunk) counts); chunks hold
+    // ascending, disjoint id ranges, so the concatenation per cell is the
+    // serial ascending order.
     point_ids_.resize(n);
-    std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
-    for (size_t i = 0; i < n; ++i) {
-      point_ids_[cursor[point_cell_[i]]++] = static_cast<uint32_t>(i);
+    std::vector<uint32_t> cursors(T * num_cells);
+    {
+      std::vector<uint32_t> running(offsets_.begin(), offsets_.end() - 1);
+      for (size_t t = 0; t < T; ++t) {
+        uint32_t* cursor = cursors.data() + t * num_cells;
+        std::copy(running.begin(), running.end(), cursor);
+        for (size_t l = 0; l < local_to_prov[t].size(); ++l) {
+          running[new_of_old[local_to_prov[t][l]]] += local_counts[t][l];
+        }
+      }
     }
+    ParallelFor(T, static_cast<int>(T), [&](size_t tb, size_t te) {
+      for (size_t t = tb; t < te; ++t) {
+        uint32_t* cursor = cursors.data() + t * num_cells;
+        for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+          point_ids_[cursor[point_cell_[i]]++] = static_cast<uint32_t>(i);
+        }
+      }
+    });
 
     // Final lookup table sized to the actual cell count; values are the
     // Morton-ranked indices.
@@ -166,21 +253,27 @@ void Grid::BuildCsr() {
   {
     ADB_PHASE("grid.csr.soa");
     soa_begin_.resize(num_cells);
-    std::vector<uint32_t> layout_ids;
-    layout_ids.reserve(simd::PaddedCount(n) + simd::kLaneWidth * num_cells);
+    uint32_t total = 0;
     for (uint32_t k = 0; k < num_cells; ++k) {
-      soa_begin_[k] = static_cast<uint32_t>(layout_ids.size());
-      const uint32_t begin = offsets_[k];
-      const uint32_t end = offsets_[k + 1];
-      for (uint32_t j = begin; j < end; ++j) {
-        layout_ids.push_back(point_ids_[j]);
-      }
-      const uint32_t last = point_ids_[end - 1];
-      for (size_t j = end - begin; j < simd::PaddedCount(end - begin); ++j) {
-        layout_ids.push_back(last);
-      }
+      soa_begin_[k] = total;
+      total += static_cast<uint32_t>(
+          simd::PaddedCount(offsets_[k + 1] - offsets_[k]));
     }
-    perm_soa_ = simd::SoaBlock(*data_, layout_ids.data(), layout_ids.size());
+    std::vector<uint32_t> layout_ids(total);
+    ParallelFor(num_cells, static_cast<int>(T), [&](size_t kb, size_t ke) {
+      for (size_t k = kb; k < ke; ++k) {
+        uint32_t* dst = layout_ids.data() + soa_begin_[k];
+        const uint32_t begin = offsets_[k];
+        const uint32_t end = offsets_[k + 1];
+        for (uint32_t j = begin; j < end; ++j) *dst++ = point_ids_[j];
+        const uint32_t last = point_ids_[end - 1];
+        for (size_t j = end - begin; j < simd::PaddedCount(end - begin); ++j) {
+          *dst++ = last;
+        }
+      }
+    });
+    perm_soa_ = simd::SoaBlock(*data_, layout_ids.data(), layout_ids.size(),
+                               static_cast<int>(T));
   }
 }
 

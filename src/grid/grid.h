@@ -69,6 +69,14 @@ class Grid {
   explicit Grid(const Dataset& data, double side);
   Grid(const Dataset& data, double side, Layout layout);
 
+  // As above, building the CSR structures with up to num_threads workers
+  // (<= 1, or the legacy layout, builds serially). The result is identical
+  // for every thread count: the parallel build only changes the provisional
+  // cell numbering, which the Morton sort erases, and the counting fill
+  // places each thread's contiguous, ascending id range into per-(cell,
+  // thread) sub-slices that concatenate to the serial ascending order.
+  Grid(const Dataset& data, double side, Layout layout, int num_threads);
+
   // Side length chosen by the paper's algorithms: ε/√d.
   static double SideFor(double eps, int dim);
 
@@ -148,7 +156,7 @@ class Grid {
   size_t CsrBytes() const;
 
  private:
-  void BuildCsr();
+  void BuildCsr(int num_threads);
   void BuildLegacy();
   void BuildCenters();
   void ComputeNeighborsInto(uint32_t ci, double eps,

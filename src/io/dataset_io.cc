@@ -1,5 +1,11 @@
 #include "io/dataset_io.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cctype>
 #include <cinttypes>
 #include <cmath>
@@ -157,8 +163,8 @@ void WriteBinary(const Dataset& data, const std::string& path) {
   ADB_CHECK(std::fwrite(&dim, sizeof(dim), 1, f) == 1);
   ADB_CHECK(std::fwrite(&n, sizeof(n), 1, f) == 1);
   if (n > 0) {
-    ADB_CHECK(std::fwrite(data.coords().data(), sizeof(double),
-                          data.coords().size(), f) == data.coords().size());
+    const size_t count = data.size() * static_cast<size_t>(data.dim());
+    ADB_CHECK(std::fwrite(data.raw(), sizeof(double), count, f) == count);
   }
   std::fclose(f);
 }
@@ -221,6 +227,90 @@ std::optional<Dataset> TryReadBinary(const std::string& path,
   }
   std::fclose(f);
   return Dataset(static_cast<int>(dim), std::move(coords));
+}
+
+std::optional<Dataset> TryMapBinary(const std::string& path,
+                                    std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    SetError(error, path + ": cannot open");
+    return std::nullopt;
+  }
+  auto fail = [&](const std::string& what) {
+    ::close(fd);
+    SetError(error, path + ": " + what);
+    return std::nullopt;
+  };
+  struct stat st;
+  if (::fstat(fd, &st) != 0) return fail("cannot determine file size");
+  if (!S_ISREG(st.st_mode)) return fail("not a regular file");
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  // Same header validation as TryReadBinary, reading from the fd so a file
+  // that is unreadable past open() still errors instead of crashing later.
+  struct Header {
+    uint32_t magic;
+    uint32_t dim;
+    uint64_t n;
+  } header = {};
+  static_assert(sizeof(Header) == 16, "payload must start at offset 16");
+  // Read whatever header bytes exist, then mirror TryReadBinary's
+  // interleaved truncation/value checks exactly (a short file with a bad
+  // magic reports the bad magic, not the truncation).
+  const size_t header_avail =
+      std::min<uint64_t>(file_size, sizeof(header));
+  size_t got = 0;
+  while (got < header_avail) {
+    const ssize_t r = ::read(fd, reinterpret_cast<char*>(&header) + got,
+                             header_avail - got);
+    if (r <= 0) return fail("cannot determine file size");
+    got += static_cast<size_t>(r);
+  }
+  if (file_size < sizeof(header.magic)) return fail("truncated header (magic)");
+  if (header.magic != kMagic) return fail("bad magic (not an adbscan dataset)");
+  if (file_size < sizeof(header.magic) + sizeof(header.dim)) {
+    return fail("truncated header (dim)");
+  }
+  if (header.dim < 1 || header.dim > static_cast<uint32_t>(kMaxDim)) {
+    return fail("dimensionality " + std::to_string(header.dim) +
+                " outside [1, " + std::to_string(kMaxDim) + "]");
+  }
+  if (file_size < sizeof(header)) return fail("truncated header (count)");
+  if (header.n > SIZE_MAX / sizeof(double) / header.dim) {
+    return fail("point count " + std::to_string(header.n) + " overflows");
+  }
+  const uint64_t payload_bytes = header.n * header.dim * sizeof(double);
+  const uint64_t actual_bytes = file_size - sizeof(header);
+  if (actual_bytes < payload_bytes) {
+    return fail("payload shorter than header count " +
+                std::to_string(header.n));
+  }
+  if (actual_bytes > payload_bytes) return fail("trailing bytes after payload");
+  const int dim = static_cast<int>(header.dim);
+  if (header.n == 0) {
+    ::close(fd);
+    return Dataset(dim);
+  }
+  void* map = ::mmap(nullptr, static_cast<size_t>(file_size), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+  if (map == MAP_FAILED) return fail("mmap failed");
+  ::close(fd);  // the mapping keeps the file open
+  const auto keepalive = std::shared_ptr<const void>(
+      map, [len = static_cast<size_t>(file_size)](const void* p) {
+        ::munmap(const_cast<void*>(p), len);
+      });
+  const double* coords = reinterpret_cast<const double*>(
+      static_cast<const char*>(map) + sizeof(header));
+  return Dataset(dim, coords, static_cast<size_t>(header.n), keepalive);
+}
+
+Dataset MapBinary(const std::string& path) {
+  std::string error;
+  std::optional<Dataset> data = TryMapBinary(path, &error);
+  if (!data.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    std::abort();
+  }
+  return *std::move(data);
 }
 
 Dataset ReadBinary(const std::string& path) {

@@ -45,6 +45,19 @@ std::optional<Dataset> TryReadCsv(const std::string& path, int dim,
 std::optional<Dataset> TryReadBinary(const std::string& path,
                                      std::string* error);
 
+// Maps a binary dataset file read-only instead of copying it into RAM: the
+// returned Dataset's coordinates point straight into the page cache (the
+// 16-byte header leaves the f64 payload 8-byte aligned at offset 16), and the
+// mapping is held alive by the dataset and all of its copies. Validation is
+// identical to TryReadBinary, so the two loaders accept exactly the same
+// files and yield bit-identical coordinates. Use for shard-at-a-time
+// processing (src/shard) of datasets that exceed RAM: pages are faulted in on
+// access and evictable, so resident memory tracks the working set rather
+// than n. n == 0 is valid and yields an empty dataset without a mapping.
+std::optional<Dataset> TryMapBinary(const std::string& path,
+                                    std::string* error);
+Dataset MapBinary(const std::string& path);
+
 // Clustering persistence (binary): num_clusters, labels, core flags, extra
 // memberships. Round-trips exactly.
 void WriteClustering(const Clustering& c, const std::string& path);

@@ -1,0 +1,122 @@
+#include "shard/boundary_merger.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/dbscan_types.h"
+#include "ds/union_find.h"
+#include "grid/morton.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace adbscan {
+
+BoundaryMerger::BoundaryMerger(int dim) : dim_(dim) {}
+
+void BoundaryMerger::AddShardResult(
+    std::vector<CellCoord> core_cells, std::vector<uint32_t> first_core_id,
+    std::vector<uint32_t> leader_index,
+    std::vector<std::pair<uint32_t, CellCoord>> cross_edges,
+    size_t cross_candidates) {
+  ADB_CHECK(core_cells.size() == first_core_id.size());
+  ADB_CHECK(core_cells.size() == leader_index.size());
+  const uint32_t base = static_cast<uint32_t>(cells_.size());
+  cells_.insert(cells_.end(), core_cells.begin(), core_cells.end());
+  first_core_id_.insert(first_core_id_.end(), first_core_id.begin(),
+                        first_core_id.end());
+  for (size_t i = 0; i < leader_index.size(); ++i) {
+    links_.emplace_back(base + static_cast<uint32_t>(i),
+                        base + leader_index[i]);
+  }
+  for (auto& [idx, cc] : cross_edges) {
+    cross_.emplace_back(base + idx, cc);
+  }
+  cross_candidates_ += cross_candidates;
+}
+
+int32_t BoundaryMerger::Result::LabelOf(const CellCoord& cc, int dim) const {
+  const auto it = std::lower_bound(
+      cells.begin(), cells.end(), cc, [dim](const CellCoord& a,
+                                            const CellCoord& b) {
+        return MortonLess(a.c.data(), b.c.data(), dim);
+      });
+  if (it == cells.end() || !(*it == cc)) return kNoise;
+  return cell_label[it - cells.begin()];
+}
+
+BoundaryMerger::Result BoundaryMerger::Merge() {
+  Result result;
+  const size_t m = cells_.size();
+
+  // Global core-cell order = Morton order, the same order the monolithic
+  // core-cell index enumerates (its cells are the grid's Morton-sorted
+  // cells filtered to core ones).
+  std::vector<uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return MortonLess(cells_[a].c.data(), cells_[b].c.data(), dim_);
+  });
+  std::vector<uint32_t> new_of_old(m);
+  for (uint32_t k = 0; k < m; ++k) new_of_old[order[k]] = k;
+  result.cells.resize(m);
+  std::vector<uint32_t> first_core(m);
+  for (uint32_t k = 0; k < m; ++k) {
+    result.cells[k] = cells_[order[k]];
+    first_core[k] = first_core_id_[order[k]];
+  }
+
+  auto rank_of = [&](const CellCoord& cc) -> uint32_t {
+    const auto it = std::lower_bound(
+        result.cells.begin(), result.cells.end(), cc,
+        [this](const CellCoord& a, const CellCoord& b) {
+          return MortonLess(a.c.data(), b.c.data(), dim_);
+        });
+    ADB_CHECK(it != result.cells.end() && *it == cc);
+    return static_cast<uint32_t>(it - result.cells.begin());
+  };
+
+  UnionFind uf(static_cast<uint32_t>(m));
+  // Intra-shard connectivity: one (cell, leader) link per cell flattens
+  // each shard's local components into the global structure.
+  for (const auto& [a, b] : links_) {
+    uf.Union(new_of_old[a], new_of_old[b]);
+  }
+  // Cross-shard edges were decided by the later-owner shard during pass 1
+  // (both endpoints core, same probe direction as the monolithic edge
+  // phase); each pair arrives exactly once, so unioning is all that is
+  // left. The endpoint lookup must succeed: a decided edge only exists
+  // between cells both shards emitted as core cells.
+  for (const auto& [idx, cc] : cross_) {
+    uf.Union(new_of_old[idx], rank_of(cc));
+  }
+  result.cross_candidates = cross_candidates_;
+  result.cross_edges = cross_.size();
+  ADB_COUNT("shard.cross_candidates", result.cross_candidates);
+  ADB_COUNT("shard.cross_edges", result.cross_edges);
+
+  // Monolithic numbering: clusters appear in ascending order of their first
+  // core point id, and a component's first core point is the minimum of its
+  // cells' per-cell minima.
+  std::vector<uint32_t> root_min(m, 0xffffffffu);
+  for (uint32_t k = 0; k < m; ++k) {
+    const uint32_t r = uf.Find(k);
+    root_min[r] = std::min(root_min[r], first_core[k]);
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> roots;  // (min core id, root)
+  for (uint32_t k = 0; k < m; ++k) {
+    if (uf.Find(k) == k) roots.emplace_back(root_min[k], k);
+  }
+  std::sort(roots.begin(), roots.end());
+  std::vector<int32_t> root_cluster(m, kNoise);
+  for (size_t c = 0; c < roots.size(); ++c) {
+    root_cluster[roots[c].second] = static_cast<int32_t>(c);
+  }
+  result.num_clusters = static_cast<int32_t>(roots.size());
+  result.cell_label.resize(m);
+  for (uint32_t k = 0; k < m; ++k) {
+    result.cell_label[k] = root_cluster[uf.Find(k)];
+  }
+  return result;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,86 @@
+#ifndef ADBSCAN_SHARD_BOUNDARY_MERGER_H_
+#define ADBSCAN_SHARD_BOUNDARY_MERGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "grid/cell.h"
+
+namespace adbscan {
+
+// Stitches per-shard clustering results into the monolithic numbering (see
+// DESIGN.md "Sharded clustering" for the determinism argument).
+//
+// Each shard contributes, for its OWNED core cells only:
+//  - the cell coordinates with the smallest core point id per cell (core
+//    point lists are ascending, so this is list.front());
+//  - its intra-shard connectivity as (cell, leader) pairs — the local
+//    union-find flattened to one link per cell;
+//  - its DECIDED cross-shard edges. Shards run in ascending Morton order,
+//    so by the time a shard reaches an ε-close pair (owned core cell, halo
+//    cell owned by an EARLIER shard), the earlier shard's exact core flags
+//    are already published in the global output and both cells' full point
+//    sets sit in this shard's halo-extended gather; the shard evaluates the
+//    same deterministic test the monolithic ρ-approximate edge phase applies
+//    — an approximate counter over the Morton-GREATER cell's core points
+//    probed by the Morton-lesser cell's core points, the c1 < c2 probe
+//    direction of the core-cell-index ordering — and emits only the edges
+//    that pass. Pairs whose halo side belongs to a LATER shard are left for
+//    that shard, which sees the mirrored pair (halos are recorded
+//    both-sided). Every cross-shard ε-close core-cell pair is therefore
+//    decided exactly once, and the merger never touches point data.
+//
+// Merge() unions the links and decided edges — edge outcomes are pure
+// functions of the two cells' coordinate sets, so any union order yields
+// the monolithic components — and numbers components by their minimum core
+// point id, reproducing the monolithic "first core point in id order"
+// cluster ids exactly. Peak merger state is O(global core cells), never
+// O(points): that is what keeps the out-of-core path's resident set
+// bounded by the largest single shard.
+class BoundaryMerger {
+ public:
+  explicit BoundaryMerger(int dim);
+
+  // Accumulates one shard's pass-1 emission; cells must be owned by exactly
+  // one shard across all calls. `cross_edges` are decided edges as (local
+  // cell index, other cell coordinate) with the other cell owned by an
+  // earlier shard; `cross_candidates` counts the ε-close core-core pairs
+  // this shard decided (edges plus rejections), for stats only.
+  void AddShardResult(std::vector<CellCoord> core_cells,
+                      std::vector<uint32_t> first_core_id,
+                      std::vector<uint32_t> leader_index,
+                      std::vector<std::pair<uint32_t, CellCoord>> cross_edges,
+                      size_t cross_candidates);
+
+  struct Result {
+    int32_t num_clusters = 0;
+    std::vector<CellCoord> cells;     // all global core cells, Morton order
+    std::vector<int32_t> cell_label;  // cluster id per cell, parallel
+    size_t cross_candidates = 0;      // unique decided core-core pairs
+    size_t cross_edges = 0;
+
+    // Cluster id of the core cell at cc (binary search), kNoise if cc is
+    // not a core cell.
+    int32_t LabelOf(const CellCoord& cc, int dim) const;
+  };
+
+  // Unions intra-shard links and decided cross-shard edges, then numbers
+  // the components. Call once, after every shard was added.
+  Result Merge();
+
+ private:
+  int dim_;
+
+  // Accumulated emissions, global-cell flavored.
+  std::vector<CellCoord> cells_;
+  std::vector<uint32_t> first_core_id_;
+  std::vector<std::pair<uint32_t, uint32_t>> links_;  // (cell, leader) indices
+  std::vector<std::pair<uint32_t, CellCoord>> cross_;  // decided edges
+  size_t cross_candidates_ = 0;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_SHARD_BOUNDARY_MERGER_H_

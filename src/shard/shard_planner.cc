@@ -1,0 +1,249 @@
+#include "shard/shard_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <numeric>
+
+#include "grid/grid.h"
+#include "grid/morton.h"
+#include "index/kdtree.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace adbscan {
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ShardPlanner::ShardPlanner(const Dataset& data, double eps, int num_shards,
+                           int num_threads)
+    : num_shards_(num_shards),
+      dim_(data.dim()),
+      eps_(eps),
+      side_(Grid::SideFor(eps, data.dim())),
+      num_points_(data.size()) {
+  ADB_CHECK(num_shards >= 1);
+  DiscoverCells(data, num_threads);
+  SelectSplits();
+  ComputeHalos(num_threads);
+}
+
+void ShardPlanner::DiscoverCells(const Dataset& data, int num_threads) {
+  ADB_PHASE("shard.plan.discover");
+  const size_t n = data.size();
+  // Chunked discovery, same structure as Grid::BuildCsr's assign pass but
+  // with no per-point output: each chunk finds its cells in a private table,
+  // a sequential merge unifies them, and the Morton sort erases the
+  // merge-order numbering — the plan is chunk- and thread-count-blind.
+  // Chunks are bounded above as well as below: the per-chunk table is sized
+  // by point count (2x slots), and the planner fronts the out-of-core path,
+  // so an O(n) table from one giant chunk would reintroduce exactly the
+  // peak-memory term sharding exists to avoid.
+  constexpr size_t kMinChunk = 1 << 14;
+  constexpr size_t kMaxChunk = 1 << 16;
+  const size_t T = std::max<size_t>(
+      std::min<size_t>(std::max(num_threads, 1),
+                       std::max<size_t>(n / kMinChunk, 1)),
+      (n + kMaxChunk - 1) / kMaxChunk);
+  std::vector<std::vector<CellCoord>> local_coords(T);
+  std::vector<std::vector<uint32_t>> local_counts(T);
+  const CellCoordHash hasher;
+  // T counts chunks, not workers: more chunks than threads just queue.
+  ParallelFor(T, std::max(num_threads, 1), [&](size_t tb, size_t te) {
+    for (size_t t = tb; t < te; ++t) {
+      const size_t begin = n * t / T, end = n * (t + 1) / T;
+      const size_t slots_n = NextPow2(2 * std::max<size_t>(end - begin, 1));
+      const size_t mask = slots_n - 1;
+      std::vector<uint32_t> slots(slots_n, kNoCell);
+      for (size_t i = begin; i < end; ++i) {
+        const CellCoord cc = CellCoord::Of(data.point(i), dim_, side_);
+        size_t h = hasher(cc) & mask;
+        uint32_t ci;
+        for (;;) {
+          ci = slots[h];
+          if (ci == kNoCell) {
+            ci = static_cast<uint32_t>(local_coords[t].size());
+            slots[h] = ci;
+            local_coords[t].push_back(cc);
+            local_counts[t].push_back(0);
+            break;
+          }
+          if (local_coords[t][ci] == cc) break;
+          h = (h + 1) & mask;
+        }
+        ++local_counts[t][ci];
+      }
+    }
+  });
+
+  size_t upper = 0;
+  for (size_t t = 0; t < T; ++t) upper += local_coords[t].size();
+  const size_t slots_n = NextPow2(2 * std::max<size_t>(upper, 1));
+  const size_t mask = slots_n - 1;
+  std::vector<uint32_t> slots(slots_n, kNoCell);
+  for (size_t t = 0; t < T; ++t) {
+    for (size_t l = 0; l < local_coords[t].size(); ++l) {
+      const CellCoord& cc = local_coords[t][l];
+      size_t h = hasher(cc) & mask;
+      uint32_t ci;
+      for (;;) {
+        ci = slots[h];
+        if (ci == kNoCell) {
+          ci = static_cast<uint32_t>(coords_.size());
+          slots[h] = ci;
+          coords_.push_back(cc);
+          counts_.push_back(0);
+          break;
+        }
+        if (coords_[ci] == cc) break;
+        h = (h + 1) & mask;
+      }
+      counts_[ci] += local_counts[t][l];
+    }
+  }
+
+  // Morton order, exactly as Grid::BuildCsr sorts — shard ranges are ranges
+  // of the same cell sequence every per-shard grid will lay out.
+  std::vector<uint32_t> order(coords_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return MortonLess(coords_[a].c.data(), coords_[b].c.data(), dim_);
+  });
+  std::vector<CellCoord> sorted_coords(coords_.size());
+  std::vector<uint32_t> sorted_counts(coords_.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    sorted_coords[k] = coords_[order[k]];
+    sorted_counts[k] = counts_[order[k]];
+  }
+  coords_ = std::move(sorted_coords);
+  counts_ = std::move(sorted_counts);
+
+  hash_slots_.assign(NextPow2(2 * std::max<size_t>(coords_.size(), 1)),
+                     kNoCell);
+  hash_mask_ = hash_slots_.size() - 1;
+  for (uint32_t k = 0; k < coords_.size(); ++k) {
+    size_t h = hasher(coords_[k]) & hash_mask_;
+    while (hash_slots_[h] != kNoCell) h = (h + 1) & hash_mask_;
+    hash_slots_[h] = k;
+  }
+}
+
+uint32_t ShardPlanner::RankOf(const CellCoord& cc) const {
+  if (coords_.empty()) return kNoCell;
+  size_t h = CellCoordHash{}(cc) & hash_mask_;
+  for (;;) {
+    const uint32_t ci = hash_slots_[h];
+    if (ci == kNoCell) return kNoCell;
+    if (coords_[ci] == cc) return ci;
+    h = (h + 1) & hash_mask_;
+  }
+}
+
+void ShardPlanner::SelectSplits() {
+  ADB_PHASE("shard.plan.split");
+  const size_t num_cells = coords_.size();
+  std::vector<size_t> prefix(num_cells + 1, 0);
+  for (size_t k = 0; k < num_cells; ++k) prefix[k + 1] = prefix[k] + counts_[k];
+  const size_t total = prefix[num_cells];
+
+  // The first cell whose inclusive prefix reaches the k-th balanced target
+  // becomes the last cell of shard k-1, so the cut lands just after it.
+  // Monotone by construction; a shard may come out empty when fewer cells
+  // than shards exist or counts are extremely skewed — the driver treats an
+  // empty shard as a no-op.
+  shard_begin_.assign(num_shards_ + 1, 0);
+  for (int s = 1; s < num_shards_; ++s) {
+    const size_t target =
+        (total * static_cast<size_t>(s) + num_shards_ - 1) /
+        static_cast<size_t>(num_shards_);
+    const auto it = std::lower_bound(prefix.begin() + 1, prefix.end(), target);
+    uint32_t b = static_cast<uint32_t>(it - prefix.begin());
+    b = std::max(b, shard_begin_[s - 1]);
+    shard_begin_[s] = std::min<uint32_t>(b, static_cast<uint32_t>(num_cells));
+  }
+  shard_begin_[num_shards_] = static_cast<uint32_t>(num_cells);
+
+  owned_points_.assign(num_shards_, 0);
+  for (int s = 0; s < num_shards_; ++s) {
+    owned_points_[s] = prefix[shard_begin_[s + 1]] - prefix[shard_begin_[s]];
+  }
+}
+
+int ShardPlanner::ShardOf(uint32_t rank) const {
+  ADB_DCHECK(rank < coords_.size());
+  const auto it = std::upper_bound(shard_begin_.begin() + 1,
+                                   shard_begin_.end(), rank);
+  return static_cast<int>(it - (shard_begin_.begin() + 1));
+}
+
+bool ShardPlanner::InHalo(int s, uint32_t rank) const {
+  const std::vector<uint32_t>& h = halo_[s];
+  return std::binary_search(h.begin(), h.end(), rank);
+}
+
+void ShardPlanner::ComputeHalos(int num_threads) {
+  ADB_PHASE("shard.plan.halo");
+  halo_.assign(num_shards_, {});
+  halo_points_.assign(num_shards_, 0);
+  const size_t num_cells = coords_.size();
+  if (num_cells == 0 || num_shards_ == 1) return;
+
+  // kd-tree over cell centers, the same enumeration trick Grid uses: the
+  // candidate radius covers every cell whose box can be within eps, the
+  // exact box-to-box distance then decides. For each ε-close cross-shard
+  // pair (a, b) this marks b as halo of shard(a) AND a as halo of shard(b)
+  // — the pair is seen from both sides, which is what lets the merger
+  // require both-sided candidate recordings.
+  Dataset centers(dim_);
+  centers.Reserve(num_cells);
+  double center[kMaxDim];
+  for (const CellCoord& cc : coords_) {
+    cc.Center(side_, center);
+    centers.Add(center);
+  }
+  const KdTree tree(centers);
+  const double diam = side_ * std::sqrt(static_cast<double>(dim_));
+  const double radius = eps_ + diam + 1e-9 * side_;
+  const double eps2 = eps_ * eps_;
+
+  std::mutex merge_mutex;
+  ParallelFor(num_cells, std::max(1, num_threads),
+              [&](size_t begin, size_t end) {
+    std::vector<std::vector<uint32_t>> mine(num_shards_);
+    for (size_t a = begin; a < end; ++a) {
+      const int sa = ShardOf(static_cast<uint32_t>(a));
+      const Box box_a = coords_[a].ToBox(side_);
+      for (uint32_t b : tree.RangeQuery(centers.point(a), radius)) {
+        if (b <= a) continue;  // each unordered pair handled once
+        const int sb = ShardOf(b);
+        if (sb == sa) continue;
+        if (box_a.MinSquaredDistToBox(coords_[b].ToBox(side_)) > eps2) {
+          continue;
+        }
+        mine[sa].push_back(b);
+        mine[sb].push_back(static_cast<uint32_t>(a));
+      }
+    }
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    for (int s = 0; s < num_shards_; ++s) {
+      halo_[s].insert(halo_[s].end(), mine[s].begin(), mine[s].end());
+    }
+  });
+  for (int s = 0; s < num_shards_; ++s) {
+    std::vector<uint32_t>& out = halo_[s];
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    for (uint32_t r : out) halo_points_[s] += counts_[r];
+  }
+}
+
+}  // namespace adbscan

@@ -1,0 +1,97 @@
+#ifndef ADBSCAN_SHARD_SHARD_PLANNER_H_
+#define ADBSCAN_SHARD_SHARD_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/dataset.h"
+#include "grid/cell.h"
+
+namespace adbscan {
+
+// Partitions space into K contiguous Morton-range shards for out-of-core
+// clustering (see DESIGN.md "Sharded clustering").
+//
+// The planner performs one streaming pass over the dataset at CELL
+// granularity: it discovers the non-empty cells of the ε/√d grid (the same
+// side the clustering pipeline uses, so shard cells and pipeline cells are
+// the same objects), sorts them along the exact Z-order curve with the same
+// MortonLess comparator Grid::BuildCsr sorts with, and cuts the sorted cell
+// sequence into K ranges of near-equal POINT count (cells are never split:
+// a cell belongs to exactly one shard, which is what makes per-shard core
+// labeling exact). Its memory footprint is O(#cells + K·halo), never O(n),
+// so it works over an mmap'ed dataset larger than RAM.
+//
+// Shard s owns the cells with Morton rank in [shard_begin(s),
+// shard_begin(s+1)). Its halo is every non-owned, non-empty cell whose
+// box-to-box distance to some owned cell is at most eps. The halo invariant:
+// every point within eps of a point in an owned cell lies in an owned or
+// halo cell — so core status computed over owned ∪ halo is exact for owned
+// points, and every cross-shard core-cell edge has both endpoints known to
+// the two owners (each sees the other's cell in its halo).
+class ShardPlanner {
+ public:
+  static constexpr uint32_t kNoCell = 0xffffffffu;
+
+  // Plans K shards over `data` for radius eps. num_threads parallelizes the
+  // discovery scan and the halo enumeration; the plan is identical for
+  // every thread count.
+  ShardPlanner(const Dataset& data, double eps, int num_shards,
+               int num_threads = 1);
+
+  int num_shards() const { return num_shards_; }
+  int dim() const { return dim_; }
+  double side() const { return side_; }
+  double eps() const { return eps_; }
+  size_t num_cells() const { return coords_.size(); }
+  size_t num_points() const { return num_points_; }
+
+  // Cell at the given global Morton rank.
+  const CellCoord& CellAt(uint32_t rank) const { return coords_[rank]; }
+  uint32_t CellCount(uint32_t rank) const { return counts_[rank]; }
+
+  // Global Morton rank of the cell with the given coordinates, or kNoCell
+  // when no point of the dataset falls in it.
+  uint32_t RankOf(const CellCoord& cc) const;
+
+  // First owned rank of shard s; shard_begin(num_shards()) == num_cells().
+  uint32_t shard_begin(int s) const { return shard_begin_[s]; }
+  int ShardOf(uint32_t rank) const;
+  bool Owns(int s, uint32_t rank) const {
+    return rank >= shard_begin_[s] && rank < shard_begin_[s + 1];
+  }
+
+  // Halo cell ranks of shard s, ascending.
+  const std::vector<uint32_t>& Halo(int s) const { return halo_[s]; }
+  bool InHalo(int s, uint32_t rank) const;
+
+  // Point counts: owned cells of s, and s's halo cells.
+  size_t OwnedPoints(int s) const { return owned_points_[s]; }
+  size_t HaloPoints(int s) const { return halo_points_[s]; }
+
+ private:
+  void DiscoverCells(const Dataset& data, int num_threads);
+  void SelectSplits();
+  void ComputeHalos(int num_threads);
+
+  int num_shards_;
+  int dim_;
+  double eps_;
+  double side_;
+  size_t num_points_ = 0;
+
+  std::vector<CellCoord> coords_;   // non-empty cells, Morton order
+  std::vector<uint32_t> counts_;    // points per cell, parallel to coords_
+  std::vector<uint32_t> shard_begin_;  // num_shards_ + 1 ranks
+  std::vector<std::vector<uint32_t>> halo_;  // per shard, sorted ranks
+  std::vector<size_t> owned_points_;
+  std::vector<size_t> halo_points_;
+
+  // Flat open-addressing coord -> rank table (same scheme as Grid's).
+  std::vector<uint32_t> hash_slots_;
+  size_t hash_mask_ = 0;
+};
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_SHARD_SHARD_PLANNER_H_

@@ -1,0 +1,350 @@
+#include "shard/sharded_dbscan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/border.h"
+#include "core/core_labeling.h"
+#include "ds/union_find.h"
+#include "grid/grid.h"
+#include "grid/morton.h"
+#include "obs/metrics.h"
+#include "rangecount/approx_range_counter.h"
+#include "shard/boundary_merger.h"
+#include "shard/shard_planner.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace adbscan {
+namespace {
+
+// One shard's owned ∪ halo working set: a compact dataset plus the map back
+// to global point ids (ascending, because the gather scans ids in order —
+// so local id order is the global id order restricted to the subset, and
+// "first core point in id order" agrees between the two framings).
+struct ShardSubset {
+  Dataset local;
+  std::vector<uint32_t> to_global;
+
+  explicit ShardSubset(int dim) : local(dim) {}
+};
+
+ShardSubset GatherShard(const Dataset& data, const ShardPlanner& plan,
+                        int s) {
+  ShardSubset subset(data.dim());
+  const int dim = data.dim();
+  const double side = plan.side();
+  const size_t expect = plan.OwnedPoints(s) + plan.HaloPoints(s);
+  subset.local.Reserve(expect);
+  subset.to_global.reserve(expect);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const CellCoord cc = CellCoord::Of(data.point(i), dim, side);
+    const uint32_t rank = plan.RankOf(cc);
+    ADB_DCHECK(rank != ShardPlanner::kNoCell);
+    if (!plan.Owns(s, rank) && !plan.InHalo(s, rank)) continue;
+    subset.local.Add(data.point(i));
+    subset.to_global.push_back(static_cast<uint32_t>(i));
+  }
+  return subset;
+}
+
+}  // namespace
+
+Clustering ShardedApproxDbscan(const Dataset& data, const DbscanParams& params,
+                               double rho, int num_shards,
+                               const ApproxDbscanOptions& options,
+                               ShardedRunStats* stats) {
+  ADB_CHECK(params.eps > 0.0);
+  ADB_CHECK(params.min_pts >= 1);
+  ADB_CHECK(rho > 0.0);
+  ADB_CHECK(num_shards >= 1);
+  // Journal-mode approximate core counting builds one counter over the
+  // WHOLE dataset — the global view shard-at-a-time execution exists to
+  // avoid. Exact core labeling (the conference-paper definition) shards
+  // losslessly; reject the incompatible mode loudly.
+  ADB_CHECK_MSG(!options.approximate_core_counting,
+                "sharded clustering requires exact core counting");
+
+  const size_t n = data.size();
+  const int dim = data.dim();
+  Clustering out;
+  out.label.assign(n, kNoise);
+  out.is_core.assign(n, 0);
+
+  ADB_COUNT("shard.shards", 0);
+  ADB_COUNT("shard.cells", 0);
+  ADB_COUNT("shard.halo_cells", 0);
+  ADB_COUNT("shard.halo_points", 0);
+  ADB_COUNT("shard.boundary_cells", 0);
+  ADB_COUNT("shard.cross_candidates", 0);
+  ADB_COUNT("shard.cross_edges", 0);
+  if (stats != nullptr) *stats = ShardedRunStats{};
+  if (n == 0) return out;
+
+  std::optional<ShardPlanner> plan_storage;
+  {
+    ADB_PHASE("shard.plan");
+    plan_storage.emplace(data, params.eps, num_shards, params.num_threads);
+  }
+  const ShardPlanner& plan = *plan_storage;
+  size_t halo_cells = 0, halo_points = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    halo_cells += plan.Halo(s).size();
+    halo_points += plan.HaloPoints(s);
+  }
+  ADB_COUNT("shard.shards", static_cast<size_t>(num_shards));
+  ADB_COUNT("shard.cells", plan.num_cells());
+  ADB_COUNT("shard.halo_cells", halo_cells);
+  ADB_COUNT("shard.halo_points", halo_points);
+  if (stats != nullptr) {
+    stats->num_shards = num_shards;
+    stats->num_cells = plan.num_cells();
+    stats->halo_cells = halo_cells;
+    stats->halo_points = halo_points;
+  }
+
+  BoundaryMerger merger(dim);
+  size_t boundary_cells_total = 0;
+  size_t max_resident = 0;
+
+  // Pass 1, shard at a time: exact core labeling for owned points, local
+  // core-cell graph over OWNED core cells (halo core status is
+  // unreliable-by-construction here and masked off; the halo exists so that
+  // owned points see every ε-neighbor), boundary emissions for the merger.
+  for (int s = 0; s < num_shards; ++s) {
+    ADB_PHASE("shard.cluster");
+    const ShardSubset subset = GatherShard(data, plan, s);
+    const size_t ln = subset.local.size();
+    max_resident = std::max(max_resident, ln);
+    if (ln == 0) continue;
+
+    const Grid grid(subset.local, plan.side(), Grid::DefaultLayout(),
+                    params.num_threads);
+    if (params.num_threads > 1) {
+      grid.WarmNeighborCache(params.eps, params.num_threads);
+    }
+    const std::vector<char> is_core =
+        LabelCorePoints(subset.local, grid, params);
+
+    // Owned/halo split at cell granularity (cells never straddle shards).
+    // Ranks are kept: the cross-edge routing below needs each halo cell's
+    // owning shard.
+    const size_t num_lcells = grid.NumCells();
+    std::vector<char> owned_cell(num_lcells);
+    std::vector<uint32_t> cell_rank(num_lcells);
+    for (uint32_t lc = 0; lc < num_lcells; ++lc) {
+      const uint32_t rank = plan.RankOf(grid.CellCoordOf(lc));
+      ADB_DCHECK(rank != ShardPlanner::kNoCell);
+      cell_rank[lc] = rank;
+      owned_cell[lc] = plan.Owns(s, rank) ? 1 : 0;
+    }
+    // Owned core flags are globally exact (the halo covers every cell
+    // within eps of an owned cell); publish them and mask halo points out
+    // of the local core-cell graph.
+    std::vector<char> masked = is_core;
+    for (size_t j = 0; j < ln; ++j) {
+      if (owned_cell[grid.CellOfPoint(static_cast<uint32_t>(j))]) {
+        out.is_core[subset.to_global[j]] = is_core[j];
+      } else {
+        masked[j] = 0;
+      }
+    }
+
+    const CoreCellIndex cci = BuildCoreCellIndex(grid, masked);
+    std::vector<std::unique_ptr<ApproxRangeCounter>> counters(cci.size());
+    ParallelFor(cci.size(), params.num_threads, [&](size_t begin,
+                                                    size_t end) {
+      for (size_t c = begin; c < end; ++c) {
+        counters[c] = std::make_unique<ApproxRangeCounter>(
+            subset.local, cci.core_points[c], params.eps, rho);
+      }
+    });
+    const auto edge_test = [&](uint32_t c1, uint32_t c2) {
+      const ApproxRangeCounter& counter = *counters[c2];
+      for (uint32_t p : cci.core_points[c1]) {
+        if (counter.QueryNonzero(subset.local.point(p))) return true;
+      }
+      return false;
+    };
+
+    // Intra-shard edge phase — the grid pipeline's edge loop over the
+    // masked core-cell index (see core/grid_pipeline.cc for why the
+    // connected-skip is sound under concurrency).
+    UnionFind uf(static_cast<uint32_t>(cci.size()));
+    if (params.num_threads > 1) {
+      ParallelFor(cci.size(), params.num_threads, [&](size_t begin,
+                                                      size_t end) {
+        for (uint32_t c1 = static_cast<uint32_t>(begin); c1 < end; ++c1) {
+          for (uint32_t gj :
+               grid.EpsNeighbors(cci.grid_cell[c1], params.eps)) {
+            const uint32_t c2 = cci.core_cell_of_grid_cell[gj];
+            if (c2 == CoreCellIndex::kNone || c2 <= c1) continue;
+            if (uf.FindConcurrent(c1) == uf.FindConcurrent(c2)) continue;
+            if (edge_test(c1, c2)) uf.UniteConcurrent(c1, c2);
+          }
+        }
+      });
+    } else {
+      for (uint32_t c1 = 0; c1 < cci.size(); ++c1) {
+        for (uint32_t gj : grid.EpsNeighbors(cci.grid_cell[c1], params.eps)) {
+          const uint32_t c2 = cci.core_cell_of_grid_cell[gj];
+          if (c2 == CoreCellIndex::kNone || c2 <= c1) continue;
+          if (uf.Connected(c1, c2)) continue;
+          if (edge_test(c1, c2)) uf.Union(c1, c2);
+        }
+      }
+    }
+
+    // Emission: owned core cells (all cci cells are owned under the mask),
+    // per-cell smallest core id, flattened local connectivity, and decided
+    // cross-shard edges. Shards run in ascending Morton order, so when an
+    // owned core cell is ε-close to a halo cell of an EARLIER shard, that
+    // shard's exact core flags are already published in out.is_core and
+    // both cells' full point sets sit in this gather — the edge is decided
+    // right here with the monolithic probe direction. Pairs whose halo side
+    // belongs to a LATER shard are skipped: halos are recorded both-sided,
+    // so that shard sees the mirrored pair and decides it. The merger thus
+    // keeps O(core cells) state and never needs point data, which is what
+    // bounds the out-of-core peak by the largest single shard.
+    std::vector<CellCoord> core_cells(cci.size());
+    std::vector<uint32_t> first_core(cci.size());
+    std::vector<uint32_t> leader(cci.size());
+    std::vector<std::pair<uint32_t, CellCoord>> cross_edges;
+    size_t cross_candidates = 0;
+    // Per halo cell, lazily: its core point list (ascending local id, the
+    // same order cci keeps) and a counter over it, shared by every owned
+    // cell probing that halo cell.
+    std::vector<char> halo_scanned(num_lcells, 0);
+    std::vector<std::vector<uint32_t>> halo_core(num_lcells);
+    std::vector<std::unique_ptr<ApproxRangeCounter>> halo_counter(num_lcells);
+    for (uint32_t c = 0; c < cci.size(); ++c) {
+      const uint32_t g1 = cci.grid_cell[c];
+      core_cells[c] = grid.CellCoordOf(g1);
+      first_core[c] = subset.to_global[cci.core_points[c].front()];
+      leader[c] = uf.Find(c);
+      bool boundary = false;
+      for (uint32_t gj : grid.EpsNeighbors(g1, params.eps)) {
+        if (owned_cell[gj]) continue;
+        boundary = true;
+        if (plan.ShardOf(cell_rank[gj]) > s) continue;  // mirrored pair later
+        if (!halo_scanned[gj]) {
+          halo_scanned[gj] = 1;
+          for (uint32_t p : grid.cell_points(gj)) {
+            if (out.is_core[subset.to_global[p]]) halo_core[gj].push_back(p);
+          }
+        }
+        if (halo_core[gj].empty()) continue;  // not a core cell: no edge
+        ++cross_candidates;
+        // Counter over the Morton-greater cell's core points probed by the
+        // Morton-lesser cell's — the monolithic c1 < c2 probe direction —
+        // so the outcome is the same pure function of the two coordinate
+        // sets the in-RAM edge phase evaluates.
+        const CellCoord& cc2 = grid.CellCoordOf(gj);
+        bool edge = false;
+        if (MortonLess(core_cells[c].c.data(), cc2.c.data(), dim)) {
+          if (halo_counter[gj] == nullptr) {
+            halo_counter[gj] = std::make_unique<ApproxRangeCounter>(
+                subset.local, halo_core[gj], params.eps, rho);
+          }
+          for (uint32_t p : cci.core_points[c]) {
+            if (halo_counter[gj]->QueryNonzero(subset.local.point(p))) {
+              edge = true;
+              break;
+            }
+          }
+        } else {
+          const ApproxRangeCounter& counter = *counters[c];
+          for (uint32_t p : halo_core[gj]) {
+            if (counter.QueryNonzero(subset.local.point(p))) {
+              edge = true;
+              break;
+            }
+          }
+        }
+        if (edge) cross_edges.emplace_back(c, cc2);
+      }
+      if (boundary) ++boundary_cells_total;
+    }
+    merger.AddShardResult(std::move(core_cells), std::move(first_core),
+                          std::move(leader), std::move(cross_edges),
+                          cross_candidates);
+  }
+  ADB_COUNT("shard.boundary_cells", boundary_cells_total);
+
+  BoundaryMerger::Result merged;
+  {
+    ADB_PHASE("shard.merge");
+    merged = merger.Merge();
+  }
+  out.num_clusters = merged.num_clusters;
+  if (stats != nullptr) {
+    stats->boundary_cells = boundary_cells_total;
+    stats->cross_candidates = merged.cross_candidates;
+    stats->cross_edges = merged.cross_edges;
+  }
+
+  // Pass 2, shard at a time: border assignment under the exact global core
+  // flags (complete after pass 1) and the merged cluster numbering. Halo
+  // core points now participate as label sources; only owned points' labels
+  // and extra memberships are copied out.
+  for (int s = 0; s < num_shards; ++s) {
+    ADB_PHASE("shard.border");
+    const ShardSubset subset = GatherShard(data, plan, s);
+    const size_t ln = subset.local.size();
+    if (ln == 0) continue;
+
+    const Grid grid(subset.local, plan.side(), Grid::DefaultLayout(),
+                    params.num_threads);
+    if (params.num_threads > 1) {
+      grid.WarmNeighborCache(params.eps, params.num_threads);
+    }
+    std::vector<char> is_core(ln);
+    for (size_t j = 0; j < ln; ++j) {
+      is_core[j] = out.is_core[subset.to_global[j]];
+    }
+    const size_t num_lcells = grid.NumCells();
+    std::vector<char> owned_cell(num_lcells);
+    std::vector<int32_t> cell_label(num_lcells, kNoise);
+    for (uint32_t lc = 0; lc < num_lcells; ++lc) {
+      const CellCoord cc = grid.CellCoordOf(lc);
+      const uint32_t rank = plan.RankOf(cc);
+      ADB_DCHECK(rank != ShardPlanner::kNoCell);
+      owned_cell[lc] = plan.Owns(s, rank) ? 1 : 0;
+      cell_label[lc] = merged.LabelOf(cc, dim);
+    }
+
+    Clustering local_out;
+    local_out.label.assign(ln, kNoise);
+    std::vector<int32_t> core_label(ln, kNoise);
+    for (size_t j = 0; j < ln; ++j) {
+      if (!is_core[j]) continue;
+      const int32_t label =
+          cell_label[grid.CellOfPoint(static_cast<uint32_t>(j))];
+      ADB_DCHECK(label != kNoise);
+      core_label[j] = label;
+      local_out.label[j] = label;
+    }
+    const CoreCellIndex cci = BuildCoreCellIndex(grid, is_core);
+    AssignBorderPoints(subset.local, grid, cci, is_core, core_label,
+                       params.eps, &local_out, params.num_threads);
+
+    for (size_t j = 0; j < ln; ++j) {
+      if (!owned_cell[grid.CellOfPoint(static_cast<uint32_t>(j))]) continue;
+      out.label[subset.to_global[j]] = local_out.label[j];
+    }
+    for (const auto& [lid, cluster] : local_out.extra_memberships) {
+      if (!owned_cell[grid.CellOfPoint(lid)]) continue;
+      out.extra_memberships.emplace_back(subset.to_global[lid], cluster);
+    }
+  }
+  std::sort(out.extra_memberships.begin(), out.extra_memberships.end());
+  if (stats != nullptr) stats->max_resident_points = max_resident;
+  ADB_COUNT("shard.max_resident_points", max_resident);
+  return out;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,57 @@
+#ifndef ADBSCAN_SHARD_SHARDED_DBSCAN_H_
+#define ADBSCAN_SHARD_SHARDED_DBSCAN_H_
+
+#include <cstddef>
+
+#include "core/approx_dbscan.h"
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// Aggregate observability of one sharded run (also exported as shard.*
+// metrics counters).
+struct ShardedRunStats {
+  int num_shards = 0;
+  size_t num_cells = 0;
+  size_t halo_cells = 0;      // summed over shards
+  size_t halo_points = 0;     // summed over shards
+  size_t boundary_cells = 0;  // owned core cells adjacent to a halo cell
+  size_t cross_candidates = 0;
+  size_t cross_edges = 0;
+  size_t max_resident_points = 0;  // largest owned+halo working set
+};
+
+// ρ-approximate DBSCAN over K contiguous Morton-range shards, bit-identical
+// to ApproxDbscan(data, params, rho) for every K, thread count and storage
+// mode (in-RAM or mmap-backed Dataset) — see DESIGN.md "Sharded clustering"
+// for the invariants behind that guarantee.
+//
+// Shard-at-a-time execution: the planner streams the dataset once at cell
+// granularity, then each shard gathers its owned ∪ halo points, clusters
+// them with the existing grid pipeline machinery, and emits core cells,
+// intra-shard connectivity and its decided cross-shard edges to the
+// BoundaryMerger (edges to earlier shards' cells are decided in-shard,
+// against core flags those shards already published); after the merge fixes
+// global cluster numbering, a second per-shard pass assigns border points
+// under exact global core flags. Peak memory is O(max shard working set +
+// #cells + output), never O(n · dim) — the point coordinates themselves are
+// only ever materialized per shard, which is the out-of-core path
+// micro_shard demonstrates under a capped address space.
+//
+// Parallelism (params.num_threads) applies WITHIN each shard (grid build,
+// labeling, edge phase, border assignment); the merge is a cheap serial
+// union over O(core cells) state, and shards run one at a time by design,
+// trading wall clock for bounded memory.
+//
+// options.approximate_core_counting is rejected (ADB_CHECK): the journal
+// relaxation counts against the whole dataset at once, which is exactly the
+// global view sharding exists to avoid.
+Clustering ShardedApproxDbscan(const Dataset& data, const DbscanParams& params,
+                               double rho, int num_shards,
+                               const ApproxDbscanOptions& options = {},
+                               ShardedRunStats* stats = nullptr);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_SHARD_SHARDED_DBSCAN_H_

@@ -5,6 +5,8 @@
 // overrun or UB in the parsers turns into a hard failure.
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <cstdint>
@@ -258,6 +260,133 @@ TEST(DatasetIoFuzz, BinaryRandomGarbage) {
     for (char& c : bytes) c = static_cast<char>(rng.NextBounded(256));
     WriteFile(path, bytes);
     ExpectCleanBinaryOutcome(path);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// TryMapBinary: the mmap loader must accept exactly the files TryReadBinary
+// accepts, yield bit-identical coordinates, and reject everything else with
+// a clean error through the non-aborting path — never a crash or a SIGBUS
+// waiting to happen.
+
+TEST(DatasetIoFuzz, MmapMatchesInRamRead) {
+  const std::string path = TempPath("mmap_roundtrip.bin");
+  for (int dim : {1, 3, 7}) {
+    const Dataset original = RandomDataset(dim, 61, -1e5, 1e5, 9300 + dim);
+    WriteBinary(original, path);
+    std::string map_error, read_error;
+    std::optional<Dataset> mapped = TryMapBinary(path, &map_error);
+    std::optional<Dataset> read = TryReadBinary(path, &read_error);
+    ASSERT_TRUE(mapped.has_value()) << map_error;
+    ASSERT_TRUE(read.has_value()) << read_error;
+    EXPECT_TRUE(mapped->external());
+    EXPECT_FALSE(read->external());
+    ASSERT_EQ(mapped->dim(), read->dim());
+    ASSERT_EQ(mapped->size(), read->size());
+    EXPECT_EQ(std::memcmp(mapped->raw(), read->raw(),
+                          mapped->size() * dim * sizeof(double)),
+              0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoFuzz, MmapTruncationSweepAgreesWithInRamRead) {
+  // Truncated and odd-length prefixes: both loaders must agree on every
+  // accept/reject decision (only the full file parses) and both must report
+  // failures through the non-aborting Try* path.
+  const std::string path = TempPath("mmap_trunc.bin");
+  const Dataset original = RandomDataset(2, 9, -4.0, 4.0, 9400);
+  WriteBinary(original, path);
+  const std::string full = ReadFile(path);
+  for (size_t keep = 0; keep <= full.size(); ++keep) {
+    WriteFile(path, full.substr(0, keep));
+    std::string map_error, read_error;
+    std::optional<Dataset> mapped = TryMapBinary(path, &map_error);
+    std::optional<Dataset> read = TryReadBinary(path, &read_error);
+    ASSERT_EQ(mapped.has_value(), read.has_value()) << "at " << keep;
+    if (!mapped.has_value()) {
+      EXPECT_FALSE(map_error.empty()) << "at " << keep;
+      EXPECT_EQ(map_error, read_error) << "at " << keep;
+    }
+  }
+  WriteFile(path, full + "zz");
+  std::string error;
+  EXPECT_FALSE(TryMapBinary(path, &error).has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoFuzz, MmapRandomGarbageAndCorruption) {
+  const std::string path = TempPath("mmap_garbage.bin");
+  Rng rng(20260808);
+  for (int round = 0; round < 200; ++round) {
+    const size_t len = rng.NextBounded(160);
+    std::string bytes(len, '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.NextBounded(256));
+    WriteFile(path, bytes);
+    std::string map_error, read_error;
+    std::optional<Dataset> mapped = TryMapBinary(path, &map_error);
+    std::optional<Dataset> read = TryReadBinary(path, &read_error);
+    ASSERT_EQ(mapped.has_value(), read.has_value()) << "round " << round;
+    if (mapped.has_value()) {
+      EXPECT_EQ(mapped->size(), read->size());
+    } else {
+      EXPECT_FALSE(map_error.empty());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoFuzz, MmapRejectsUnreadableInputs) {
+  std::string error;
+  // Nonexistent path.
+  EXPECT_FALSE(
+      TryMapBinary(TempPath("mmap_does_not_exist.bin"), &error).has_value());
+  EXPECT_FALSE(error.empty());
+  // A directory is not mappable dataset bytes.
+  error.clear();
+  EXPECT_FALSE(TryMapBinary(::testing::TempDir(), &error).has_value());
+  EXPECT_NE(error.find("not a regular file"), std::string::npos) << error;
+  // Permission-denied file (root bypasses mode bits, so only enforceable
+  // for unprivileged runs).
+  if (::geteuid() != 0) {
+    const std::string path = TempPath("mmap_unreadable.bin");
+    WriteFile(path, "x");
+    ASSERT_EQ(::chmod(path.c_str(), 0), 0);
+    error.clear();
+    EXPECT_FALSE(TryMapBinary(path, &error).has_value());
+    EXPECT_FALSE(error.empty());
+    ::chmod(path.c_str(), 0600);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(DatasetIoFuzz, MmapEmptyDatasetAndCopies) {
+  const std::string path = TempPath("mmap_empty.bin");
+  WriteBinary(Dataset(4), path);
+  std::string error;
+  std::optional<Dataset> empty = TryMapBinary(path, &error);
+  ASSERT_TRUE(empty.has_value()) << error;
+  EXPECT_EQ(empty->size(), 0u);
+  EXPECT_EQ(empty->dim(), 4);
+
+  // The mapping must outlive the Dataset that created it via copies/moves:
+  // copies share the keepalive, and dropping the original keeps pages valid.
+  const Dataset original = RandomDataset(3, 33, -1.0, 1.0, 9500);
+  WriteBinary(original, path);
+  std::optional<Dataset> mapped = TryMapBinary(path, &error);
+  ASSERT_TRUE(mapped.has_value()) << error;
+  Dataset copy = *mapped;
+  Dataset moved = std::move(*mapped);
+  mapped.reset();
+  ASSERT_EQ(copy.size(), original.size());
+  ASSERT_EQ(moved.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(copy.point(i)[j], original.point(i)[j]);
+      EXPECT_EQ(moved.point(i)[j], original.point(i)[j]);
+    }
   }
   std::remove(path.c_str());
 }

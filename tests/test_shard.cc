@@ -1,0 +1,393 @@
+// Sharded clustering must be a pure partitioning knob: for every shard
+// count, thread count, grid layout, and storage mode (in-RAM or mmap),
+// ShardedApproxDbscan returns the monolithic ApproxDbscan clustering
+// bit-identically — labels, core flags, numbering, and extra memberships.
+// Plus property tests for the ShardPlanner's halo invariant (sufficient and
+// minimal) and adversarial datasets with dense clusters straddling
+// Morton-range shard boundaries at distances around eps.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/adbscan.h"
+#include "geom/box.h"
+#include "grid/cell.h"
+#include "grid/grid.h"
+#include "io/dataset_io.h"
+#include "shard/boundary_merger.h"
+#include "shard/shard_planner.h"
+#include "shard/sharded_dbscan.h"
+#include "test_helpers.h"
+#include "util/parallel.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::MakeDataset;
+using testing_helpers::RandomDataset;
+
+void ExpectIdentical(const Clustering& mono, const Clustering& sharded,
+                     const std::string& what) {
+  EXPECT_EQ(mono.num_clusters, sharded.num_clusters) << what;
+  EXPECT_EQ(mono.label, sharded.label) << what;
+  EXPECT_EQ(mono.is_core, sharded.is_core) << what;
+  EXPECT_EQ(mono.extra_memberships, sharded.extra_memberships) << what;
+}
+
+// Restores the process-wide grid layout on scope exit.
+class LayoutGuard {
+ public:
+  LayoutGuard() : saved_(Grid::DefaultLayout()) {}
+  ~LayoutGuard() { Grid::SetDefaultLayout(saved_); }
+
+ private:
+  Grid::Layout saved_;
+};
+
+struct DiffCase {
+  std::string name;
+  int dim;
+  size_t n;
+  double eps;
+  int min_pts;
+  int distribution;  // 0 clustered, 1 uniform
+};
+
+Dataset MakeDiffData(const DiffCase& c, uint64_t seed) {
+  if (c.distribution == 0) {
+    return ClusteredDataset(c.dim, c.n, 5, 100.0, 4.0, seed);
+  }
+  return RandomDataset(c.dim, c.n, 0.0, 100.0, seed);
+}
+
+class ShardDifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+// The core differential sweep: K x layout x threads, all against the
+// serial monolithic run (which the LayoutDeterminism and parallel suites
+// already pin layout- and thread-invariant).
+TEST_P(ShardDifferentialTest, MatchesMonolithicEverywhere) {
+  const DiffCase c = GetParam();
+  const Dataset data = MakeDiffData(c, 3100 + c.dim * 13 + c.min_pts);
+  const double rho = 0.001;
+  LayoutGuard guard;
+  for (Grid::Layout layout : {Grid::Layout::kCsr, Grid::Layout::kLegacy}) {
+    Grid::SetDefaultLayout(layout);
+    const Clustering mono = ApproxDbscan(data, {c.eps, c.min_pts, 1}, rho);
+    for (int shards : {2, 3, 8}) {
+      for (int threads : {1, HardwareThreads()}) {
+        const DbscanParams params{c.eps, c.min_pts, threads};
+        ShardedRunStats stats;
+        const Clustering sharded =
+            ShardedApproxDbscan(data, params, rho, shards, {}, &stats);
+        ExpectIdentical(mono, sharded,
+                        c.name + " K=" + std::to_string(shards) +
+                            " threads=" + std::to_string(threads) +
+                            " layout=" +
+                            (layout == Grid::Layout::kCsr ? "csr" : "legacy"));
+        EXPECT_EQ(stats.num_shards, shards);
+        EXPECT_LE(stats.max_resident_points, data.size() + stats.halo_points);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShardDifferentialTest,
+    ::testing::Values(DiffCase{"clustered2d", 2, 2500, 6.0, 8, 0},
+                      DiffCase{"clustered3d", 3, 2500, 8.0, 8, 0},
+                      DiffCase{"clustered5d", 5, 2000, 15.0, 6, 0},
+                      DiffCase{"clustered7d", 7, 1500, 25.0, 5, 0},
+                      DiffCase{"uniform2d", 2, 1500, 5.0, 5, 1},
+                      DiffCase{"uniform3d", 3, 1500, 9.0, 5, 1}),
+    [](const ::testing::TestParamInfo<DiffCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ShardDegenerate, EmptyDataset) {
+  const Dataset data(3);
+  const Clustering sharded = ShardedApproxDbscan(data, {1.0, 5, 1}, 0.001, 4);
+  EXPECT_EQ(sharded.num_clusters, 0);
+  EXPECT_TRUE(sharded.label.empty());
+}
+
+TEST(ShardDegenerate, SingleShardIsMonolithic) {
+  const Dataset data = ClusteredDataset(3, 800, 4, 100.0, 4.0, 3301);
+  const DbscanParams params{8.0, 5, 1};
+  const Clustering mono = ApproxDbscan(data, params, 0.001);
+  const Clustering sharded = ShardedApproxDbscan(data, params, 0.001, 1);
+  ExpectIdentical(mono, sharded, "K=1");
+}
+
+TEST(ShardDegenerate, MoreShardsThanCellsLeavesEmptyShards) {
+  // All points coincide: one cell; every shard but one owns nothing.
+  Dataset data(2);
+  const double p[2] = {42.0, 17.0};
+  for (int i = 0; i < 50; ++i) data.Add(p);
+  const DbscanParams params{1.0, 10, 1};
+  const ShardPlanner plan(data, params.eps, 8);
+  ASSERT_EQ(plan.num_cells(), 1u);
+  int owners = 0;
+  for (int s = 0; s < plan.num_shards(); ++s) {
+    if (plan.shard_begin(s + 1) > plan.shard_begin(s)) ++owners;
+  }
+  EXPECT_EQ(owners, 1);
+  const Clustering mono = ApproxDbscan(data, params, 0.001);
+  const Clustering sharded = ShardedApproxDbscan(data, params, 0.001, 8);
+  ExpectIdentical(mono, sharded, "coincident K=8");
+  EXPECT_EQ(sharded.num_clusters, 1);
+}
+
+TEST(ShardDegenerate, MoreShardsThanPoints) {
+  const Dataset data = RandomDataset(2, 5, 0.0, 100.0, 3307);
+  const DbscanParams params{5.0, 2, 1};
+  const Clustering mono = ApproxDbscan(data, params, 0.001);
+  for (int shards : {7, 32}) {
+    const Clustering sharded =
+        ShardedApproxDbscan(data, params, 0.001, shards);
+    ExpectIdentical(mono, sharded, "n=5 K=" + std::to_string(shards));
+  }
+}
+
+TEST(ShardDegenerate, DuplicatePointsStraddlingShardBoundary) {
+  // Heavy duplication in the two cells around the K=2 Morton cut: the
+  // balanced split lands between them, so duplicated coordinates sit on
+  // both sides of the shard boundary within eps of each other.
+  const double eps = 1.0;
+  const double side = Grid::SideFor(eps, 2);
+  Dataset data(2);
+  for (int rep = 0; rep < 20; ++rep) {
+    const double a[2] = {0.5 * side, 0.5 * side};
+    const double b[2] = {1.5 * side, 0.5 * side};  // next cell, within eps
+    data.Add(a);
+    data.Add(b);
+  }
+  const DbscanParams params{eps, 5, 1};
+  const ShardPlanner plan(data, eps, 2);
+  ASSERT_EQ(plan.num_cells(), 2u);
+  EXPECT_NE(plan.ShardOf(0), plan.ShardOf(1));
+  const Clustering mono = ApproxDbscan(data, params, 0.001);
+  const Clustering sharded = ShardedApproxDbscan(data, params, 0.001, 2);
+  ExpectIdentical(mono, sharded, "duplicates on boundary");
+  EXPECT_EQ(sharded.num_clusters, 1);
+}
+
+// -------------------------------------------------------------------------
+// Halo-correctness property tests: two dense blobs forced into different
+// shards, separated by distances around eps. Within eps (and exactly at
+// eps) the rho-approximate guarantee demands one cluster; past eps(1+rho)
+// it forbids the merge. Each case also re-checks bit-identity with the
+// monolithic run, so the halo machinery is proven both sufficient (edges
+// found) and conservative (no spurious edges).
+
+// Two 8-point blobs of identical coordinates at `a` and `b`.
+Dataset TwoBlobs(const double* a, const double* b) {
+  Dataset data(2);
+  for (int i = 0; i < 8; ++i) data.Add(a);
+  for (int i = 0; i < 8; ++i) data.Add(b);
+  return data;
+}
+
+void CheckBlobPair(double separation_x, int expected_clusters,
+                   const std::string& what) {
+  const double eps = 1.0;
+  const double a[2] = {0.0, 0.0};
+  const double b[2] = {separation_x, 0.0};
+  const Dataset data = TwoBlobs(a, b);
+  const DbscanParams params{eps, 4, 1};
+  const ShardPlanner plan(data, eps, 2);
+  ASSERT_EQ(plan.num_cells(), 2u) << what;
+  // The balanced K=2 plan must cut between the blobs' cells, or the case
+  // would not exercise a shard boundary at all.
+  ASSERT_NE(plan.ShardOf(0), plan.ShardOf(1)) << what;
+  const Clustering mono = ApproxDbscan(data, params, 0.001);
+  const Clustering sharded = ShardedApproxDbscan(data, params, 0.001, 2);
+  ExpectIdentical(mono, sharded, what);
+  EXPECT_EQ(sharded.num_clusters, expected_clusters) << what;
+}
+
+TEST(ShardHalo, DenseBlobsWithinEpsAcrossBoundaryMerge) {
+  CheckBlobPair(0.9, 1, "within eps");
+}
+
+TEST(ShardHalo, DenseBlobsExactlyAtEpsAcrossBoundaryMerge) {
+  // dist == eps: inside the guaranteed range of the approximate counter.
+  CheckBlobPair(1.0, 1, "exactly at eps");
+}
+
+TEST(ShardHalo, DenseBlobsJustPastEpsStaySeparate) {
+  // dist = 1.2 eps > eps(1+rho): the counter must never see it.
+  CheckBlobPair(1.2, 2, "just past eps(1+rho)");
+}
+
+TEST(ShardHalo, NonAdjacentCellsWithinEpsAreStitched) {
+  // Blobs two cell columns apart with an EMPTY cell between them, yet
+  // point distance < eps: the halo must reach past immediate neighbors
+  // (radius is eps in box distance, not one ring).
+  const double eps = 1.0;
+  const double side = Grid::SideFor(eps, 2);  // eps/sqrt(2)
+  const double a[2] = {0.99 * side, 0.5 * side};       // cell (0, 0)
+  const double b[2] = {0.99 * side + 0.95, 0.5 * side};  // cell (2, 0)
+  const Dataset data = TwoBlobs(a, b);
+  const DbscanParams params{eps, 4, 1};
+  const ShardPlanner plan(data, eps, 2);
+  ASSERT_EQ(plan.num_cells(), 2u);
+  ASSERT_NE(plan.ShardOf(0), plan.ShardOf(1));
+  // Each shard's halo contains the other's (non-adjacent) cell.
+  EXPECT_TRUE(plan.InHalo(plan.ShardOf(1), 0));
+  EXPECT_TRUE(plan.InHalo(plan.ShardOf(0), 1));
+  const Clustering mono = ApproxDbscan(data, params, 0.001);
+  const Clustering sharded = ShardedApproxDbscan(data, params, 0.001, 2);
+  ExpectIdentical(mono, sharded, "non-adjacent stitch");
+  EXPECT_EQ(sharded.num_clusters, 1);
+}
+
+TEST(ShardHalo, CellsPastEpsAreNotInHalo) {
+  // Minimality: cells whose box distance exceeds eps never enter a halo —
+  // no point pair across them can be within eps, so hauling them into the
+  // shard working set would be pure waste.
+  const double eps = 1.0;
+  const double side = Grid::SideFor(eps, 2);
+  const double a[2] = {0.5 * side, 0.5 * side};  // cell (0, 0)
+  const double b[2] = {3.5 * side, 0.5 * side};  // cell (3, 0), gap 2*side
+  const Dataset data = TwoBlobs(a, b);
+  const ShardPlanner plan(data, eps, 2);
+  ASSERT_EQ(plan.num_cells(), 2u);
+  ASSERT_NE(plan.ShardOf(0), plan.ShardOf(1));
+  EXPECT_FALSE(plan.InHalo(plan.ShardOf(1), 0));
+  EXPECT_FALSE(plan.InHalo(plan.ShardOf(0), 1));
+  EXPECT_EQ(plan.HaloPoints(plan.ShardOf(0)), 0u);
+  EXPECT_EQ(plan.HaloPoints(plan.ShardOf(1)), 0u);
+}
+
+// -------------------------------------------------------------------------
+// Plan invariants, brute-force checked on moderate inputs.
+
+TEST(ShardPlan, InvariantsHoldOnRandomInputs) {
+  for (int dim : {2, 3, 5}) {
+    const Dataset data =
+        ClusteredDataset(dim, 1200, 4, 100.0, 4.0, 3400 + dim);
+    const double eps = 3.0 * dim;
+    const double eps2 = eps * eps;
+    for (int K : {2, 3, 8}) {
+      const ShardPlanner plan(data, eps, K, 4);
+      const std::string what =
+          "dim=" + std::to_string(dim) + " K=" + std::to_string(K);
+      // Contiguous, exhaustive, monotone Morton ranges.
+      ASSERT_EQ(plan.shard_begin(0), 0u) << what;
+      ASSERT_EQ(plan.shard_begin(K), plan.num_cells()) << what;
+      size_t owned_cells = 0, owned_points = 0, cell_points = 0;
+      for (int s = 0; s < K; ++s) {
+        ASSERT_LE(plan.shard_begin(s), plan.shard_begin(s + 1)) << what;
+        owned_cells += plan.shard_begin(s + 1) - plan.shard_begin(s);
+        owned_points += plan.OwnedPoints(s);
+      }
+      EXPECT_EQ(owned_cells, plan.num_cells()) << what;
+      EXPECT_EQ(owned_points, data.size()) << what;
+      for (uint32_t r = 0; r < plan.num_cells(); ++r) {
+        cell_points += plan.CellCount(r);
+        EXPECT_TRUE(plan.Owns(plan.ShardOf(r), r)) << what;
+        EXPECT_EQ(plan.RankOf(plan.CellAt(r)), r) << what;
+      }
+      EXPECT_EQ(cell_points, data.size()) << what;
+
+      // Halo sufficiency and minimality against the O(cells^2) definition:
+      // a non-owned cell is in shard s's halo iff its box is within eps of
+      // some owned cell's box.
+      const double side = plan.side();
+      for (int s = 0; s < K; ++s) {
+        for (uint32_t b = 0; b < plan.num_cells(); ++b) {
+          if (plan.Owns(s, b)) {
+            EXPECT_FALSE(plan.InHalo(s, b)) << what;
+            continue;
+          }
+          const Box box_b = plan.CellAt(b).ToBox(side);
+          bool close = false;
+          for (uint32_t a = plan.shard_begin(s);
+               a < plan.shard_begin(s + 1) && !close; ++a) {
+            close =
+                plan.CellAt(a).ToBox(side).MinSquaredDistToBox(box_b) <= eps2;
+          }
+          EXPECT_EQ(plan.InHalo(s, b), close)
+              << what << " cell rank " << b << " shard " << s;
+        }
+        // Reported halo point counts match the cell counts.
+        size_t halo_points = 0;
+        for (uint32_t r : plan.Halo(s)) halo_points += plan.CellCount(r);
+        EXPECT_EQ(plan.HaloPoints(s), halo_points) << what;
+      }
+    }
+  }
+}
+
+TEST(ShardPlan, IdenticalForEveryThreadCount) {
+  const Dataset data = ClusteredDataset(3, 3000, 5, 100.0, 4.0, 3501);
+  const ShardPlanner serial(data, 8.0, 4, 1);
+  for (int threads : {2, 8}) {
+    const ShardPlanner parallel(data, 8.0, 4, threads);
+    ASSERT_EQ(parallel.num_cells(), serial.num_cells());
+    for (uint32_t r = 0; r < serial.num_cells(); ++r) {
+      ASSERT_TRUE(parallel.CellAt(r) == serial.CellAt(r)) << r;
+      ASSERT_EQ(parallel.CellCount(r), serial.CellCount(r)) << r;
+    }
+    for (int s = 0; s <= 4; ++s) {
+      EXPECT_EQ(parallel.shard_begin(s), serial.shard_begin(s)) << s;
+    }
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(parallel.Halo(s), serial.Halo(s)) << s;
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
+// Storage-mode equivalence: an mmap-backed dataset must produce the same
+// bits as the in-RAM one, monolithic and sharded.
+
+TEST(ShardMmap, MmapBackedRunsAreBitIdentical) {
+  const std::string path = ::testing::TempDir() + "/shard_mmap.bin";
+  const Dataset data = ClusteredDataset(3, 2000, 5, 100.0, 4.0, 3601);
+  WriteBinary(data, path);
+  std::string error;
+  std::optional<Dataset> mapped = TryMapBinary(path, &error);
+  ASSERT_TRUE(mapped.has_value()) << error;
+  ASSERT_TRUE(mapped->external());
+  const DbscanParams params{8.0, 8, 2};
+  const Clustering mono = ApproxDbscan(data, params, 0.001);
+  const Clustering mono_mapped = ApproxDbscan(*mapped, params, 0.001);
+  ExpectIdentical(mono, mono_mapped, "monolithic over mmap");
+  for (int shards : {2, 8}) {
+    const Clustering sharded =
+        ShardedApproxDbscan(*mapped, params, 0.001, shards);
+    ExpectIdentical(mono, sharded,
+                    "sharded over mmap K=" + std::to_string(shards));
+  }
+  std::remove(path.c_str());
+}
+
+// Sharding composes with the parallel grid build: the 4-arg Grid ctor must
+// be thread-count-invariant, pinned here where the shard driver uses it.
+TEST(ShardGrid, ParallelCsrBuildMatchesSerial) {
+  const Dataset data = ClusteredDataset(3, 5000, 5, 100.0, 4.0, 3701);
+  const double side = Grid::SideFor(8.0, 3);
+  const Grid serial(data, side, Grid::Layout::kCsr, 1);
+  for (int threads : {2, 3, 8}) {
+    const Grid parallel(data, side, Grid::Layout::kCsr, threads);
+    ASSERT_EQ(parallel.NumCells(), serial.NumCells()) << threads;
+    for (uint32_t c = 0; c < serial.NumCells(); ++c) {
+      ASSERT_TRUE(parallel.CellCoordOf(c) == serial.CellCoordOf(c))
+          << "cell " << c << " threads " << threads;
+      const Grid::IdSpan sp = serial.cell_points(c);
+      const Grid::IdSpan pp = parallel.cell_points(c);
+      ASSERT_EQ(pp.size(), sp.size()) << "cell " << c;
+      for (size_t i = 0; i < sp.size(); ++i) {
+        ASSERT_EQ(pp[i], sp[i]) << "cell " << c << " slot " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -33,6 +33,7 @@
 
 #include "core/adbscan.h"
 #include "eval/kdist.h"
+#include "shard/sharded_dbscan.h"
 #include "eval/stats.h"
 #include "geom/kernels.h"
 #include "io/dataset_io.h"
@@ -316,6 +317,12 @@ int main(int argc, char** argv) {
       .DefineString("kernel", "auto",
                     "distance kernel: scalar | avx2 | neon | auto (best "
                     "supported)")
+      .DefineInt("shards", 1,
+                 "cluster shard-at-a-time over this many Morton-range "
+                 "shards (approx only; 1 = monolithic)")
+      .DefineBool("mmap", false,
+                  "map a .bin input read-only instead of loading it into "
+                  "RAM (pairs with --shards for out-of-core runs)")
       .DefineString("metrics_json", "",
                     "append one JSON metrics record for the clustering run "
                     "(empty: off)")
@@ -354,9 +361,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  int64_t shards64 = 0;
+  if (!flags.TryGetInt("shards", &shards64) || shards64 < 1 ||
+      shards64 > 0xffff) {
+    std::fprintf(stderr, "--shards must be an integer in [1, 65535]\n");
+    return 2;
+  }
+  const int num_shards = static_cast<int>(shards64);
+  const bool use_mmap = flags.GetBool("mmap");
+  if (use_mmap && !EndsWith(input, ".bin")) {
+    std::fprintf(stderr, "--mmap requires a .bin input\n");
+    return 2;
+  }
+
   Timer load_timer;
   std::string load_error;
   std::optional<Dataset> loaded = [&] {
+    if (use_mmap) return TryMapBinary(input, &load_error);
     if (EndsWith(input, ".bin")) return TryReadBinary(input, &load_error);
     const int dim = static_cast<int>(flags.GetInt("dim"));
     if (dim < 1) {
@@ -370,8 +391,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   Dataset data = std::move(*loaded);
-  std::printf("loaded %zu points in %dD from %s (%.3fs)\n", data.size(),
-              data.dim(), input.c_str(), load_timer.ElapsedSeconds());
+  std::printf("%s %zu points in %dD from %s (%.3fs)\n",
+              use_mmap ? "mapped" : "loaded", data.size(), data.dim(),
+              input.c_str(), load_timer.ElapsedSeconds());
   if (data.empty()) {
     std::fprintf(stderr, "empty dataset\n");
     return 1;
@@ -385,6 +407,10 @@ int main(int argc, char** argv) {
   }
 
   const std::string algo = flags.GetString("algo");
+  if (num_shards > 1 && algo != "approx") {
+    std::fprintf(stderr, "--shards requires --algo=approx\n");
+    return 2;
+  }
   const std::string metrics_json = flags.GetString("metrics_json");
   if (!metrics_json.empty()) {
     obs::MetricsRegistry::SetEnabled(true);
@@ -396,6 +422,19 @@ int main(int argc, char** argv) {
   Timer cluster_timer;
   Clustering result = [&] {
     if (algo == "approx") {
+      if (num_shards > 1) {
+        ShardedRunStats shard_stats;
+        Clustering sharded = ShardedApproxDbscan(data, params, rho,
+                                                 num_shards, {}, &shard_stats);
+        std::printf(
+            "sharded: %d shards, %zu cells, halo %zu cells / %zu points, "
+            "%zu cross edges from %zu candidates, peak resident %zu points\n",
+            shard_stats.num_shards, shard_stats.num_cells,
+            shard_stats.halo_cells, shard_stats.halo_points,
+            shard_stats.cross_edges, shard_stats.cross_candidates,
+            shard_stats.max_resident_points);
+        return sharded;
+      }
       return ApproxDbscan(data, params, rho);
     }
     if (algo == "exact") return ExactGridDbscan(data, params);
@@ -419,6 +458,9 @@ int main(int argc, char** argv) {
     if (algo == "approx") {
       std::snprintf(num, sizeof(num), "%.6g", rho);
       rec_params.emplace_back("rho", num);
+      if (num_shards > 1) {
+        rec_params.emplace_back("shards", std::to_string(num_shards));
+      }
     }
     EmitMetricsRecord(metrics_json, "adbscan_cli", input, algo,
                       std::move(rec_params), cluster_sec * 1000.0);

@@ -77,6 +77,8 @@ run_one table1_parameters 6 --n=1500
 run_one micro_stream 4 --n=6000 --rounds=3 --out="$WORKDIR/BENCH_stream.json"
 run_one micro_serve 2 --sessions=8 --n=2000 --batch=256 \
     --out="$WORKDIR/BENCH_serve.json"
+run_one micro_shard 3 --datasets=ss3d --n=8000 --shard_counts=2,3 \
+    --out="$WORKDIR/BENCH_shard.json"
 
 # The fig11 run above doubled as a tracing smoke: the trace must be
 # well-formed Chrome trace-event JSON (monotone per-tid timestamps etc.).
@@ -120,6 +122,27 @@ if [ -n "$BASELINE_DIR" ] && [ -f "$BASELINE_DIR/smoke/BENCH_serve.json" ]; then
   fi
 else
   echo "=== micro_serve regression gate skipped (no baseline) ==="
+fi
+
+# Shard gate: sharded-vs-monolithic wall ratio (higher is better; every
+# row is emitted only after the sharded clustering was verified
+# bit-identical to the monolithic one, so this only measures overhead).
+# Rows differ by the `shards` column, which the default key lacks. 0.5 is
+# generous — at smoke sizes the per-shard fixed costs (planning, halo
+# re-gather, second border pass) dominate the tiny clustering work — and
+# still catches structural regressions like the halo ballooning to the
+# whole dataset.
+if [ -n "$BASELINE_DIR" ] && [ -f "$BASELINE_DIR/smoke/BENCH_shard.json" ]; then
+  echo "=== micro_shard regression gate ==="
+  if ! "$COMPARE" --current="$WORKDIR/BENCH_shard.json" \
+      --baseline="$BASELINE_DIR/smoke/BENCH_shard.json" \
+      --metrics=speedup_vs_mono --key=op,dataset,dim,n,shards \
+      --max_regression=0.5; then
+    echo "FAIL: micro_shard regressed vs $BASELINE_DIR/smoke/BENCH_shard.json"
+    failures=$((failures + 1))
+  fi
+else
+  echo "=== micro_shard regression gate skipped (no baseline) ==="
 fi
 
 if [ "$failures" -ne 0 ]; then
