@@ -149,6 +149,31 @@ inline std::vector<std::string> SplitNames(const std::string& text) {
   return out;
 }
 
+// Calibrated repetition: runs fn until BOTH a minimum wall time and a
+// minimum rep count are consumed, after one untimed warm-up call (prime
+// caches, thread pool, lazy structures). Returns {reps, ms per call}.
+// The rep floor is what makes gate metrics trustworthy: a config whose
+// single call already exceeds min_ms would otherwise be measured at reps=1
+// and its recorded ms carry full run-to-run noise (the old
+// BENCH_grid_layout.json rows at reps 1-2 swung well past the gate
+// tolerances). The checksum accumulates fn's return value to defeat
+// dead-code elimination.
+inline constexpr uint64_t kMinMeasureReps = 3;
+
+template <typename Fn>
+std::pair<uint64_t, double> MeasureMs(double min_ms, double* checksum,
+                                      Fn&& fn) {
+  *checksum += fn();  // warm-up
+  uint64_t reps = 0;
+  Timer timer;
+  do {
+    *checksum += fn();
+    ++reps;
+  } while (reps < kMinMeasureReps ||
+           timer.ElapsedSeconds() * 1000.0 < min_ms);
+  return {reps, timer.ElapsedSeconds() * 1000.0 / static_cast<double>(reps)};
+}
+
 using AlgoFn = std::function<Clustering(const Dataset&, const DbscanParams&)>;
 
 // The four algorithms of Section 5.3, in the paper's naming.

@@ -1,9 +1,12 @@
-// Grid-layout benchmark: times the grid substrate and the grid-based
-// pipelines under both memory layouts (legacy per-cell vectors +
-// std::unordered_map vs the Morton-ordered CSR + permuted-SoA + flat-hash
-// layout, see DESIGN.md "Grid memory layout") and writes
-// BENCH_grid_layout.json with per-configuration wall times and the CSR
-// speedup over legacy.
+// Grid substrate benchmark: times the grid build, the warm ε-neighbor
+// enumeration, and the grid-based pipelines over the Morton-ordered CSR +
+// permuted-SoA + flat-hash layout (see DESIGN.md "Grid memory layout") and
+// writes BENCH_grid_layout.json with per-configuration wall times.
+//
+// The pre-CSR per-cell-vector layout was retired once CSR measured at
+// least as fast on every (op, dataset) row here; the closing dual-layout
+// measurement is frozen in bench/baselines/BENCH_grid_layout_final.json
+// and gated in CI (speedup_vs_legacy >= 1.0 on every row).
 //
 //   ./build/bench/micro_grid                              # defaults
 //   ./build/bench/micro_grid --datasets=ss3d --n=200000 --out=BENCH.json
@@ -22,34 +25,14 @@
 namespace adbscan {
 namespace {
 
-const char* LayoutName(Grid::Layout layout) {
-  return layout == Grid::Layout::kCsr ? "csr" : "legacy";
-}
-
 struct Result {
   std::string op;
   std::string dataset;
   int dim;
   size_t n;
-  std::string layout;
   double ms;
   uint64_t reps;
-  double speedup_vs_legacy;  // 1.0 for the legacy rows
 };
-
-// Runs fn repeatedly until it has consumed at least min_ms of wall clock,
-// returning (reps, ms per call). The checksum defeats dead-code elimination.
-template <typename Fn>
-std::pair<uint64_t, double> Measure(double min_ms, double* checksum, Fn&& fn) {
-  *checksum += fn();  // warm-up call primes caches and thread pool
-  uint64_t reps = 0;
-  Timer timer;
-  do {
-    *checksum += fn();
-    ++reps;
-  } while (timer.ElapsedSeconds() * 1000.0 < min_ms);
-  return {reps, timer.ElapsedSeconds() * 1000.0 / static_cast<double>(reps)};
-}
 
 void WriteJson(const std::string& path, const std::vector<Result>& results) {
   bench::EnsureParentDir(path);
@@ -64,11 +47,9 @@ void WriteJson(const std::string& path, const std::vector<Result>& results) {
     std::fprintf(
         f,
         "    {\"op\": \"%s\", \"dataset\": \"%s\", \"dim\": %d, \"n\": %zu, "
-        "\"layout\": \"%s\", \"ms\": %s, \"reps\": %llu, "
-        "\"speedup_vs_legacy\": %s}%s\n",
-        r.op.c_str(), r.dataset.c_str(), r.dim, r.n, r.layout.c_str(),
+        "\"layout\": \"csr\", \"ms\": %s, \"reps\": %llu}%s\n",
+        r.op.c_str(), r.dataset.c_str(), r.dim, r.n,
         obs::JsonNumber(r.ms).c_str(), static_cast<unsigned long long>(r.reps),
-        obs::JsonNumber(r.speedup_vs_legacy).c_str(),
         i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -105,11 +86,8 @@ int main(int argc, char** argv) {
   std::string out = flags.GetString("out");
   if (out.empty()) out = bench::OutPath("BENCH_grid_layout.json");
 
-  const Grid::Layout saved_layout = Grid::DefaultLayout();
-  const std::vector<Grid::Layout> layouts = {Grid::Layout::kLegacy,
-                                             Grid::Layout::kCsr};
   std::vector<Result> results;
-  Table table({"op", "dataset", "layout", "ms", "speedup"});
+  Table table({"op", "dataset", "ms", "reps"});
   double checksum = 0.0;
 
   for (const std::string& name : bench::SplitNames(flags.GetString("datasets"))) {
@@ -118,62 +96,36 @@ int main(int argc, char** argv) {
     const double side = Grid::SideFor(eps, dim);
     const DbscanParams params{eps, min_pts, threads};
 
-    // Substrate ops take the layout explicitly; pipelines read the
-    // process-wide default, so each end-to-end measurement brackets its run
-    // with SetDefaultLayout.
     using BenchFn = std::function<double()>;
-    std::vector<std::pair<std::string, std::function<BenchFn(Grid::Layout)>>>
-        ops;
-    ops.emplace_back("grid_build", [&](Grid::Layout layout) -> BenchFn {
-      return [&, layout] {
-        Grid grid(data, side, layout, threads);
-        return static_cast<double>(grid.NumCells());
-      };
+    std::vector<std::pair<std::string, BenchFn>> ops;
+    ops.emplace_back("grid_build", [&] {
+      Grid grid(data, side, threads);
+      return static_cast<double>(grid.NumCells());
     });
-    ops.emplace_back("warm_neighbors", [&](Grid::Layout layout) -> BenchFn {
-      return [&, layout] {
-        Grid grid(data, side, layout);
-        grid.WarmNeighborCache(eps, threads);
-        return static_cast<double>(grid.EpsNeighbors(0, eps).size());
-      };
+    ops.emplace_back("warm_neighbors", [&] {
+      Grid grid(data, side);
+      grid.WarmNeighborCache(eps, threads);
+      return static_cast<double>(grid.EpsNeighbors(0, eps).size());
     });
-    ops.emplace_back("exact_grid", [&](Grid::Layout layout) -> BenchFn {
-      return [&, layout] {
-        Grid::SetDefaultLayout(layout);
-        return static_cast<double>(ExactGridDbscan(data, params).num_clusters);
-      };
+    ops.emplace_back("exact_grid", [&] {
+      return static_cast<double>(ExactGridDbscan(data, params).num_clusters);
     });
-    ops.emplace_back("approx", [&](Grid::Layout layout) -> BenchFn {
-      return [&, layout] {
-        Grid::SetDefaultLayout(layout);
-        return static_cast<double>(
-            ApproxDbscan(data, params, rho).num_clusters);
-      };
+    ops.emplace_back("approx", [&] {
+      return static_cast<double>(ApproxDbscan(data, params, rho).num_clusters);
     });
     if (dim == 2) {
-      ops.emplace_back("gunawan2d", [&](Grid::Layout layout) -> BenchFn {
-        return [&, layout] {
-          Grid::SetDefaultLayout(layout);
-          return static_cast<double>(
-              Gunawan2dDbscan(data, params).num_clusters);
-        };
+      ops.emplace_back("gunawan2d", [&] {
+        return static_cast<double>(Gunawan2dDbscan(data, params).num_clusters);
       });
     }
 
-    for (const auto& [op, make_fn] : ops) {
-      double legacy_ms = 0.0;
-      for (Grid::Layout layout : layouts) {
-        auto [reps, ms] = Measure(min_ms, &checksum, make_fn(layout));
-        if (layout == Grid::Layout::kLegacy) legacy_ms = ms;
-        const double speedup = legacy_ms / ms;
-        results.push_back(
-            {op, name, dim, n, LayoutName(layout), ms, reps, speedup});
-        table.AddRow({op, name, LayoutName(layout), Table::Num(ms),
-                      Table::Num(speedup)});
-      }
+    for (const auto& [op, fn] : ops) {
+      auto [reps, ms] = bench::MeasureMs(min_ms, &checksum, fn);
+      results.push_back({op, name, dim, n, ms, reps});
+      table.AddRow({op, name, Table::Num(ms),
+                    std::to_string(static_cast<unsigned long long>(reps))});
     }
   }
-  Grid::SetDefaultLayout(saved_layout);
 
   table.Print(stdout);
   std::printf("(checksum %.3g)\n", checksum);

@@ -59,24 +59,14 @@ struct Result {
   double speedup_vs_scalar;  // 1.0 for the scalar rows
 };
 
-// Runs fn repeatedly until it has consumed at least min_ms of wall clock,
-// returning (reps, ns per inner distance). `dists_per_call` is how many
-// distances one fn() computes. The checksum defeats dead-code elimination.
+// Calibrated measurement via bench::MeasureMs, converted to ns per inner
+// distance. `dists_per_call` is how many distances one fn() computes.
 template <typename Fn>
 std::pair<uint64_t, double> Measure(double min_ms, size_t dists_per_call,
                                     double* checksum, Fn&& fn) {
-  // Warm-up: one call primes caches and the dispatch pointer.
-  *checksum += fn();
-  uint64_t reps = 0;
-  Timer timer;
-  do {
-    *checksum += fn();
-    ++reps;
-  } while (timer.ElapsedSeconds() * 1000.0 < min_ms);
-  const double ns =
-      timer.ElapsedSeconds() * 1e9 / (static_cast<double>(reps) *
-                                      static_cast<double>(dists_per_call));
-  return {reps, ns};
+  auto [reps, ms] =
+      bench::MeasureMs(min_ms, checksum, static_cast<Fn&&>(fn));
+  return {reps, ms * 1e6 / static_cast<double>(dists_per_call)};
 }
 
 void WriteJson(const std::string& path, const std::vector<Result>& results) {

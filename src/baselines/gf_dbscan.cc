@@ -25,19 +25,9 @@ std::vector<uint32_t> ApproxNeighborhood(const Dataset& data,
   std::vector<uint32_t> out(own.begin(), own.end());  // no distance check
   const double eps2 = eps * eps;
   const double* p = data.point(id);
-  const bool use_blocks = grid.layout() == Grid::Layout::kCsr;
   for (uint32_t cj : grid.EpsNeighbors(ci, eps)) {
     const Grid::IdSpan others = grid.cell_points(cj);
-    if (use_blocks) {
-      simd::CollectWithin(p, grid.CellBlock(cj, nullptr), eps2, others.ptr,
-                          &out);
-      continue;
-    }
-    for (uint32_t other : others) {
-      if (SquaredDistance(p, data.point(other), data.dim()) <= eps2) {
-        out.push_back(other);
-      }
-    }
+    simd::CollectWithin(p, grid.CellBlock(cj), eps2, others.ptr, &out);
   }
   return out;
 }

@@ -1,10 +1,14 @@
 #include "core/approx_dbscan.h"
 
+#include <algorithm>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
+#include "bcp/bcp.h"
 #include "core/grid_pipeline.h"
+#include "geom/kernels.h"
 #include "obs/metrics.h"
 #include "rangecount/approx_range_counter.h"
 #include "util/check.h"
@@ -20,26 +24,58 @@ Clustering ApproxDbscan(const Dataset& data, const DbscanParams& params,
   ADB_COUNT("rangecount.structures", 0);
   ADB_COUNT("rangecount.probes", 0);
   ADB_COUNT("rangecount.nodes_visited", 0);
+  const Grid* grid_ptr = nullptr;
   const CoreCellIndex* cells = nullptr;
-  // One Lemma 5 structure per core cell, over that cell's core points.
+  // One Lemma 5 structure per core cell, over that cell's core points —
+  // built on first use: the direct-probe short circuit below decides most
+  // edge tests on dense data without ever consulting a counter, so a cell
+  // touched only by probe-positive tests never pays the build.
   std::vector<std::unique_ptr<ApproxRangeCounter>> counters;
+  std::unique_ptr<std::once_flag[]> counter_once;
 
   GridPipelineHooks hooks;
-  hooks.prepare_cells = [&](const Grid&, const CoreCellIndex& cci) {
+  hooks.prepare_cells = [&](const Grid& grid, const CoreCellIndex& cci) {
+    grid_ptr = &grid;
     cells = &cci;
     counters.resize(cci.size());
-    ParallelFor(cci.size(), params.num_threads,
-                [&](size_t begin, size_t end) {
-                  for (size_t c = begin; c < end; ++c) {
-                    counters[c] = std::make_unique<ApproxRangeCounter>(
-                        data, cci.core_points[c], params.eps, rho);
-                  }
-                });
+    counter_once = std::make_unique<std::once_flag[]>(cci.size());
+  };
+  auto counter_for = [&](uint32_t c) -> const ApproxRangeCounter& {
+    // Edge tests may run concurrently; call_once serializes the build and
+    // the slot never moves, so the returned reference stays valid.
+    std::call_once(counter_once[c], [&] {
+      counters[c] = std::make_unique<ApproxRangeCounter>(
+          data, cells->core_points[c], params.eps, rho);
+    });
+    return *counters[c];
   };
   hooks.edge_test = [&](uint32_t c1, uint32_t c2) {
+    // Short circuit: a pair within ε certifies the edge under the exact
+    // rule, and the counter — whose answer is never below the exact
+    // ε-count — would necessarily agree, so probing the CSR block first
+    // cannot change the result, only skip the counter. The probe budget is
+    // bounded; adjacent dense cells nearly always connect within it. The
+    // block stands in for the cell's core points only when the whole cell
+    // is core (same condition as the exact pipeline's fast path).
+    {
+      const std::vector<uint32_t>& a = cells->core_points[c1];
+      const std::vector<uint32_t>& b = cells->core_points[c2];
+      const bool a_smaller = a.size() <= b.size();
+      const std::vector<uint32_t>& probe = a_smaller ? a : b;
+      const uint32_t big = a_smaller ? c2 : c1;
+      if (cells->all_core[big]) {
+        const simd::SoaSpan block = grid_ptr->CellBlock(cells->grid_cell[big]);
+        const double eps2 = params.eps * params.eps;
+        const size_t budget = std::max<size_t>(
+            kBcpBruteForceThreshold / std::max<size_t>(block.count, 1), 4);
+        for (size_t i = 0; i < probe.size() && i < budget; ++i) {
+          if (simd::AnyWithin(data.point(probe[i]), block, eps2)) return true;
+        }
+      }
+    }
     // Probe c2's structure with every core point of c1; the first non-zero
     // answer certifies a pair within ε(1+ρ) and adds the edge.
-    const ApproxRangeCounter& counter = *counters[c2];
+    const ApproxRangeCounter& counter = counter_for(c2);
     for (uint32_t p : cells->core_points[c1]) {
       if (counter.QueryNonzero(data.point(p))) return true;
     }

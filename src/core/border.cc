@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
+#include "util/scratch_arena.h"
 
 namespace adbscan {
 
@@ -19,15 +20,11 @@ void AssignBorderPoints(const Dataset& data, const Grid& grid,
                         const std::vector<int32_t>& core_label, double eps,
                         Clustering* out, int num_threads) {
   const double eps2 = eps * eps;
-  const int dim = data.dim();
   if (num_threads > 1) grid.WarmNeighborCache(eps, num_threads);
   std::mutex extras_mutex;
-  // CSR layout: the "any core point within ε?" scan runs through the batch
-  // kernels over per-cell SoA views — zero-copy for fully-core cells, one
-  // gather per (cell, candidate) otherwise. The legacy layout keeps the
-  // scalar early-exit loop (the pre-CSR cost model the bench compares
-  // against); both orders of IEEE operations decide each point identically.
-  const bool use_blocks = grid.layout() == Grid::Layout::kCsr;
+  // The "any core point within ε?" scan runs through the batch kernels
+  // over per-cell SoA views — zero-copy for fully-core cells, one gather
+  // per (cell, candidate) otherwise.
 
   // All core points of one cell belong to one cluster (Lemma 1: the cell is
   // a vertex of G, its core points follow its connected component). So for
@@ -57,14 +54,22 @@ void AssignBorderPoints(const Dataset& data, const Grid& grid,
     }
     if (!has_non_core) continue;
 
-    // Candidate core cells: the cell itself plus its ε-neighbors.
+    // Candidate core cells: the cell itself plus its ε-neighbors. All the
+    // per-cell buffers live in the worker arena, so a warmed pass over many
+    // cells reuses their capacity instead of reallocating.
     const Grid::IdSpan eps_neighbors = grid.EpsNeighbors(ci, eps);
-    std::vector<uint32_t> candidate_cells(eps_neighbors.begin(),
-                                          eps_neighbors.end());
+    std::vector<uint32_t>& candidate_cells =
+        WorkerScratch<uint32_t>(scratch::kBorderCandidateCells);
+    candidate_cells.assign(eps_neighbors.begin(), eps_neighbors.end());
     candidate_cells.push_back(ci);
-    std::vector<uint32_t> core_cells;
-    std::vector<Box> core_boxes;
-    std::vector<uint32_t> core_grid_cells;
+    std::vector<uint32_t>& core_cells =
+        WorkerScratch<uint32_t>(scratch::kBorderCoreCells);
+    core_cells.clear();
+    std::vector<Box>& core_boxes = WorkerScratch<Box>(scratch::kBorderCoreBoxes);
+    core_boxes.clear();
+    std::vector<uint32_t>& core_grid_cells =
+        WorkerScratch<uint32_t>(scratch::kBorderGridCells);
+    core_grid_cells.clear();
     for (uint32_t cj : candidate_cells) {
       const uint32_t cc = cci.core_cell_of_grid_cell[cj];
       if (cc == CoreCellIndex::kNone) continue;
@@ -74,12 +79,13 @@ void AssignBorderPoints(const Dataset& data, const Grid& grid,
     }
     // Per-candidate SoA views, built on first use and shared by every
     // border point of this cell.
-    std::vector<simd::SoaSpan> core_spans;
-    std::vector<simd::SoaBlock> core_scratch;
-    if (use_blocks) {
-      core_spans.assign(core_cells.size(), simd::SoaSpan{});
-      core_scratch.resize(core_cells.size());
-    }
+    std::vector<simd::SoaSpan>& core_spans =
+        WorkerScratch<simd::SoaSpan>(scratch::kBorderCoreViews);
+    std::vector<simd::SoaBlock>& core_scratch =
+        WorkerScratch<simd::SoaBlock>(scratch::kBorderCoreViews);
+    core_spans.assign(core_cells.size(), simd::SoaSpan{});
+    core_scratch.clear();
+    core_scratch.resize(core_cells.size());
 
     for (uint32_t id : cell_pts) {
       if (is_core[id]) continue;
@@ -95,11 +101,10 @@ void AssignBorderPoints(const Dataset& data, const Grid& grid,
         }
         if (core_boxes[k].MinSquaredDistToPoint(q) > eps2) continue;
         bool hit = core_boxes[k].MaxSquaredDistToPoint(q) <= eps2;
-        if (!hit && use_blocks) {
+        if (!hit) {
           if (core_spans[k].base == nullptr) {
             if (cci.all_core[cc]) {
-              core_spans[k] =
-                  grid.CellBlock(core_grid_cells[k], &core_scratch[k]);
+              core_spans[k] = grid.CellBlock(core_grid_cells[k]);
             } else {
               core_scratch[k] = simd::SoaBlock(data,
                                                cci.core_points[cc].data(),
@@ -109,14 +114,6 @@ void AssignBorderPoints(const Dataset& data, const Grid& grid,
           }
           dist_evals += cci.core_points[cc].size();
           hit = simd::AnyWithin(q, core_spans[k], eps2);
-        } else if (!hit) {
-          for (uint32_t core_id : cci.core_points[cc]) {
-            ++dist_evals;
-            if (SquaredDistance(q, data.point(core_id), dim) <= eps2) {
-              hit = true;
-              break;
-            }
-          }
         }
         if (hit) memberships.push_back(cluster);
       }

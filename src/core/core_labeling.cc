@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
+#include "util/scratch_arena.h"
 
 namespace adbscan {
 
@@ -40,15 +41,19 @@ std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
     // contributes its whole count, a box outside contributes nothing, and
     // only the boundary shell needs per-point distances.
     const Grid::IdSpan neighbors = grid.EpsNeighbors(ci, params.eps);
-    std::vector<Box> neighbor_boxes;
+    std::vector<Box>& neighbor_boxes =
+        WorkerScratch<Box>(scratch::kCoreNeighborBoxes);
+    neighbor_boxes.clear();
     neighbor_boxes.reserve(neighbors.size());
     for (uint32_t cj : neighbors) neighbor_boxes.push_back(grid.CellBoxOf(cj));
     // Boundary-shell cells go through the batch kernels. A neighbor cell's
     // SoA view is fetched on first use and shared by every point of this
-    // cell: in the CSR layout it is a zero-copy span into the permuted SoA,
-    // in the legacy layout a gather whose cost amortizes over the cell.
-    std::vector<simd::SoaBlock> neighbor_scratch(neighbors.size());
-    std::vector<simd::SoaSpan> neighbor_span(neighbors.size());
+    // cell — a zero-copy span into the grid's permuted SoA. The
+    // worker-scratch vectors keep their capacity across cells, so a warmed
+    // pass allocates nothing here.
+    std::vector<simd::SoaSpan>& neighbor_span =
+        WorkerScratch<simd::SoaSpan>(scratch::kCoreNeighborViews);
+    neighbor_span.assign(neighbors.size(), simd::SoaSpan{});
     size_t dist_evals = 0;  // batched into the counter once per cell
     for (uint32_t id : pts) {
       const double* p = data.point(id);
@@ -62,8 +67,7 @@ std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
             count += others;
           } else {
             if (neighbor_span[k].base == nullptr) {
-              neighbor_span[k] =
-                  grid.CellBlock(neighbors[k], &neighbor_scratch[k]);
+              neighbor_span[k] = grid.CellBlock(neighbors[k]);
             }
             dist_evals += others;
             // stop_at caps the count exactly like the scalar early-exit

@@ -1,7 +1,10 @@
 #include "core/exact_grid.h"
 
+#include <algorithm>
+
 #include "bcp/bcp.h"
 #include "core/grid_pipeline.h"
+#include "geom/kernels.h"
 #include "obs/metrics.h"
 
 namespace adbscan {
@@ -24,18 +27,34 @@ Clustering ExactGridDbscan(const Dataset& data, const DbscanParams& params) {
     ADB_COUNT("exact.edge_bcp_tests", 1);
     const std::vector<uint32_t>& a = cells->core_points[c1];
     const std::vector<uint32_t>& b = cells->core_points[c2];
-    // Gather-free fast path: in the CSR layout a fully-core cell's SoA
-    // block IS its core-point set, so the brute decision can probe the
-    // grid's permuted SoA directly. Probing the larger side keeps the
-    // orientation of ExistsPairWithin's brute branch.
-    if (grid_ptr->layout() == Grid::Layout::kCsr &&
-        a.size() * b.size() <= kBcpBruteForceThreshold) {
+    // Gather-free fast path: a fully-core cell's SoA block IS its
+    // core-point set, so the brute decision can probe the grid's permuted
+    // SoA directly — no gather, and no per-pair kd build. Small pairs are
+    // decided outright. For large pairs a bounded probe budget runs first:
+    // adjacent dense cells nearly always connect on the first few probes,
+    // so the positive answer usually lands before the kd fallback (whose
+    // build cost dwarfs one batched scan) is needed.
+    {
       const bool a_smaller = a.size() <= b.size();
+      const std::vector<uint32_t>& probe = a_smaller ? a : b;
       const uint32_t big = a_smaller ? c2 : c1;
       if (cells->all_core[big]) {
-        return ExistsPairWithinBlock(
-            data, a_smaller ? a : b,
-            grid_ptr->CellBlock(cells->grid_cell[big], nullptr), params.eps);
+        const simd::SoaSpan block = grid_ptr->CellBlock(cells->grid_cell[big]);
+        if (probe.size() * block.count <= kBcpBruteForceThreshold) {
+          return ExistsPairWithinBlock(data, probe, block, params.eps);
+        }
+        const double eps2 = params.eps * params.eps;
+        const size_t budget = std::max<size_t>(
+            kBcpBruteForceThreshold / std::max<size_t>(block.count, 1), 4);
+        size_t dist_evals = 0;
+        for (size_t i = 0; i < probe.size() && i < budget; ++i) {
+          dist_evals += block.count;
+          if (simd::AnyWithin(data.point(probe[i]), block, eps2)) {
+            ADB_COUNT("dist_evals.bcp", dist_evals);
+            return true;
+          }
+        }
+        ADB_COUNT("dist_evals.bcp", dist_evals);
       }
     }
     return ExistsPairWithin(data, a, b, params.eps);

@@ -42,7 +42,7 @@ Clustering RunGridPipeline(const Dataset& data, const DbscanParams& params,
   {
     ADB_PHASE("grid_build");
     grid_storage.emplace(data, Grid::SideFor(params.eps, data.dim()),
-                         Grid::DefaultLayout(), params.num_threads);
+                         params.num_threads);
     if (params.num_threads > 1) {
       grid_storage->WarmNeighborCache(params.eps, params.num_threads);
     }

@@ -56,7 +56,6 @@ Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
                     }
                   });
     } else {
-      const bool zero_copy = grid.layout() == Grid::Layout::kCsr;
       kd.resize(cci.size());
       blocks.resize(cci.size());
       spans.assign(cci.size(), simd::SoaSpan{});
@@ -66,8 +65,8 @@ Clustering Gunawan2dDbscan(const Dataset& data, const DbscanParams& params,
                       const std::vector<uint32_t>& pts = cci.core_points[c];
                       if (pts.size() > kBlockScanThreshold) {
                         kd[c] = std::make_unique<KdTree>(data, pts);
-                      } else if (zero_copy && cci.all_core[c]) {
-                        spans[c] = grid.CellBlock(cci.grid_cell[c], nullptr);
+                      } else if (cci.all_core[c]) {
+                        spans[c] = grid.CellBlock(cci.grid_cell[c]);
                       } else {
                         blocks[c] = std::make_unique<simd::SoaBlock>(
                             data, pts.data(), pts.size());

@@ -3,20 +3,20 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <cstdlib>
-#include <cstring>
 #include <numeric>
 
 #include "grid/morton.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
+#include "util/scratch_arena.h"
 
 namespace adbscan {
 namespace {
 
-// Process-wide default layout: -1 = read ADBSCAN_GRID_LAYOUT on first use.
-std::atomic<int> g_default_layout{-1};
+// Test override for the ε-neighbor engine choice: 0 = auto, 1 = stencil,
+// 2 = scan.
+std::atomic<int> g_forced_path{0};
 
 size_t NextPow2(size_t n) {
   size_t p = 16;
@@ -26,59 +26,24 @@ size_t NextPow2(size_t n) {
 
 }  // namespace
 
+void Grid::ForceNeighborPathForTest(NeighborPath path) {
+  g_forced_path.store(path == NeighborPath::kAuto     ? 0
+                      : path == NeighborPath::kStencil ? 1
+                                                       : 2,
+                      std::memory_order_relaxed);
+}
+
 double Grid::SideFor(double eps, int dim) {
   ADB_CHECK(eps > 0.0);
   return eps / std::sqrt(static_cast<double>(dim));
 }
 
-Grid::Layout Grid::DefaultLayout() {
-  int v = g_default_layout.load(std::memory_order_relaxed);
-  if (v < 0) {
-    const char* env = std::getenv("ADBSCAN_GRID_LAYOUT");
-    v = (env != nullptr && std::strcmp(env, "legacy") == 0) ? 1 : 0;
-    g_default_layout.store(v, std::memory_order_relaxed);
-  }
-  return v == 1 ? Layout::kLegacy : Layout::kCsr;
-}
+Grid::Grid(const Dataset& data, double side) : Grid(data, side, 1) {}
 
-void Grid::SetDefaultLayout(Layout layout) {
-  g_default_layout.store(layout == Layout::kLegacy ? 1 : 0,
-                         std::memory_order_relaxed);
-}
-
-Grid::Grid(const Dataset& data, double side)
-    : Grid(data, side, DefaultLayout(), 1) {}
-
-Grid::Grid(const Dataset& data, double side, Layout layout)
-    : Grid(data, side, layout, 1) {}
-
-Grid::Grid(const Dataset& data, double side, Layout layout, int num_threads)
-    : data_(&data), side_(side), layout_(layout) {
+Grid::Grid(const Dataset& data, double side, int num_threads)
+    : data_(&data), side_(side) {
   ADB_CHECK(side > 0.0);
-  if (layout_ == Layout::kCsr) {
-    BuildCsr(num_threads);
-  } else {
-    BuildLegacy();
-  }
-  BuildCenters();
-}
-
-void Grid::BuildLegacy() {
-  ADB_PHASE("grid.legacy.build");
-  const size_t n = data_->size();
-  point_cell_.resize(n);
-  coord_to_cell_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    const CellCoord cc = CellCoord::Of(data_->point(i), data_->dim(), side_);
-    auto [it, inserted] =
-        coord_to_cell_.try_emplace(cc, static_cast<uint32_t>(coords_.size()));
-    if (inserted) {
-      coords_.push_back(cc);
-      legacy_points_.emplace_back();
-    }
-    legacy_points_[it->second].push_back(static_cast<uint32_t>(i));
-    point_cell_[i] = it->second;
-  }
+  BuildCsr(num_threads);
 }
 
 void Grid::BuildCsr(int num_threads) {
@@ -120,25 +85,43 @@ void Grid::BuildCsr(int num_threads) {
         const size_t begin = bounds[t], end = bounds[t + 1];
         const size_t build_slots = NextPow2(2 * std::max<size_t>(end - begin, 1));
         const size_t build_mask = build_slots - 1;
-        std::vector<uint32_t> slots(build_slots, kNoCell);
+        // Pooled per worker: this table is n-proportional (the one large
+        // build-time temporary), so a fresh vector each build costs an
+        // mmap + page-fault walk. assign() on the pooled buffer reuses the
+        // pages at memset speed.
+        std::vector<uint32_t>& slots =
+            WorkerScratch<uint32_t>(scratch::kGridBuildSlots);
+        slots.assign(build_slots, kNoCell);
         std::vector<CellCoord>& my_coords = local_coords[t];
         std::vector<uint32_t>& my_counts = local_counts[t];
+        // Consecutive points usually land in the same cell (data arrives in
+        // spatially coherent order: generator walks, scan order, sensor
+        // streams), so one cached (coord, index) pair short-circuits the
+        // hash probe for the common case at the cost of a d-lane compare.
+        CellCoord last_cc;
+        uint32_t last_ci = kNoCell;
         for (size_t i = begin; i < end; ++i) {
           const CellCoord cc =
               CellCoord::Of(data_->point(i), data_->dim(), side_);
-          size_t h = hasher(cc) & build_mask;
           uint32_t ci;
-          for (;;) {
-            ci = slots[h];
-            if (ci == kNoCell) {
-              ci = static_cast<uint32_t>(my_coords.size());
-              slots[h] = ci;
-              my_coords.push_back(cc);
-              my_counts.push_back(0);
-              break;
+          if (last_ci != kNoCell && cc == last_cc) {
+            ci = last_ci;
+          } else {
+            size_t h = hasher(cc) & build_mask;
+            for (;;) {
+              ci = slots[h];
+              if (ci == kNoCell) {
+                ci = static_cast<uint32_t>(my_coords.size());
+                slots[h] = ci;
+                my_coords.push_back(cc);
+                my_counts.push_back(0);
+                break;
+              }
+              if (my_coords[ci] == cc) break;
+              h = (h + 1) & build_mask;
             }
-            if (my_coords[ci] == cc) break;
-            h = (h + 1) & build_mask;
+            last_cc = cc;
+            last_ci = ci;
           }
           ++my_counts[ci];
           point_cell_[i] = ci;  // chunk-local; remapped below
@@ -150,7 +133,10 @@ void Grid::BuildCsr(int num_threads) {
     for (size_t t = 0; t < T; ++t) distinct_upper += local_coords[t].size();
     const size_t build_slots = NextPow2(2 * std::max<size_t>(distinct_upper, 1));
     const size_t build_mask = build_slots - 1;
-    std::vector<uint32_t> slots(build_slots, kNoCell);
+    // The workers above are done with the slot; sequential reuse is safe.
+    std::vector<uint32_t>& slots =
+        WorkerScratch<uint32_t>(scratch::kGridBuildSlots);
+    slots.assign(build_slots, kNoCell);
     for (size_t t = 0; t < T; ++t) {
       local_to_prov[t].resize(local_coords[t].size());
       for (size_t l = 0; l < local_coords[t].size(); ++l) {
@@ -209,8 +195,7 @@ void Grid::BuildCsr(int num_threads) {
     });
 
     // Counting fill in ascending point id, so each cell's slice is
-    // ascending — the same within-cell order the legacy per-cell vectors
-    // have. Parallel case: chunk t's ids land in the sub-slice of each
+    // ascending. Parallel case: chunk t's ids land in the sub-slice of each
     // cell that starts after every earlier chunk's contribution (cursors
     // from an exclusive scan of the per-(cell, chunk) counts); chunks hold
     // ascending, disjoint id ranges, so the concatenation per cell is the
@@ -247,65 +232,66 @@ void Grid::BuildCsr(int num_threads) {
     }
   }
 
+  // The permuted SoA is NOT gathered here: EnsureSoa() builds it on the
+  // first CellBlock call, so pipelines that never touch blocks skip the
+  // n-proportional gather.
+
+  // Axis-0 projection for the scan engine: cells ordered by c[0] (ties by
+  // Morton rank, keeping the order a pure function of the cell set). Built
+  // eagerly — it is eps-independent and a single O(cells log cells) sort.
+  {
+    ADB_PHASE("grid.csr.proj0");
+    proj0_order_.resize(num_cells);
+    std::iota(proj0_order_.begin(), proj0_order_.end(), 0u);
+    std::sort(proj0_order_.begin(), proj0_order_.end(),
+              [&](uint32_t a, uint32_t b) {
+                if (coords_[a].c[0] != coords_[b].c[0]) {
+                  return coords_[a].c[0] < coords_[b].c[0];
+                }
+                return a < b;
+              });
+    proj0_key_.resize(num_cells);
+    for (size_t k = 0; k < num_cells; ++k) {
+      proj0_key_[k] = coords_[proj0_order_[k]].c[0];
+    }
+  }
+}
+
+void Grid::EnsureSoa() const {
   // Permuted SoA: each cell a lane-aligned block, padding lanes replicating
   // the cell's last point so kernels can run full-width tails (the SoaBlock
-  // gather implements exactly that for the id list we hand it).
-  {
-    ADB_PHASE("grid.csr.soa");
-    soa_begin_.resize(num_cells);
-    uint32_t total = 0;
-    for (uint32_t k = 0; k < num_cells; ++k) {
-      soa_begin_[k] = total;
-      total += static_cast<uint32_t>(
-          simd::PaddedCount(offsets_[k + 1] - offsets_[k]));
+  // gather implements exactly that for the id list we hand it). Serial —
+  // the first caller may already be a ParallelFor worker.
+  ADB_PHASE("grid.csr.soa");
+  const size_t num_cells = coords_.size();
+  soa_begin_.resize(num_cells);
+  uint32_t total = 0;
+  for (uint32_t k = 0; k < num_cells; ++k) {
+    soa_begin_[k] = total;
+    total += static_cast<uint32_t>(
+        simd::PaddedCount(offsets_[k + 1] - offsets_[k]));
+  }
+  std::vector<uint32_t> layout_ids(total);
+  for (size_t k = 0; k < num_cells; ++k) {
+    uint32_t* dst = layout_ids.data() + soa_begin_[k];
+    const uint32_t begin = offsets_[k];
+    const uint32_t end = offsets_[k + 1];
+    for (uint32_t j = begin; j < end; ++j) *dst++ = point_ids_[j];
+    const uint32_t last = point_ids_[end - 1];
+    for (size_t j = end - begin; j < simd::PaddedCount(end - begin); ++j) {
+      *dst++ = last;
     }
-    std::vector<uint32_t> layout_ids(total);
-    ParallelFor(num_cells, static_cast<int>(T), [&](size_t kb, size_t ke) {
-      for (size_t k = kb; k < ke; ++k) {
-        uint32_t* dst = layout_ids.data() + soa_begin_[k];
-        const uint32_t begin = offsets_[k];
-        const uint32_t end = offsets_[k + 1];
-        for (uint32_t j = begin; j < end; ++j) *dst++ = point_ids_[j];
-        const uint32_t last = point_ids_[end - 1];
-        for (size_t j = end - begin; j < simd::PaddedCount(end - begin); ++j) {
-          *dst++ = last;
-        }
-      }
-    });
-    perm_soa_ = simd::SoaBlock(*data_, layout_ids.data(), layout_ids.size(),
-                               static_cast<int>(T));
   }
+  perm_soa_ = simd::SoaBlock(*data_, layout_ids.data(), layout_ids.size(), 1);
 }
 
-void Grid::BuildCenters() {
-  centers_ = std::make_unique<Dataset>(data_->dim());
-  centers_->Reserve(coords_.size());
-  double center[kMaxDim];
-  for (const CellCoord& cc : coords_) {
-    cc.Center(side_, center);
-    centers_->Add(center);
-  }
-  if (!coords_.empty()) {
-    center_tree_ = std::make_unique<KdTree>(*centers_);
-  }
-}
-
-simd::SoaSpan Grid::CellBlock(uint32_t ci, simd::SoaBlock* scratch) const {
+simd::SoaSpan Grid::CellBlock(uint32_t ci) const {
   ADB_COUNT("grid.block_kernel_calls", 1);
-  if (layout_ == Layout::kCsr) {
-    return perm_soa_.span(soa_begin_[ci], offsets_[ci + 1] - offsets_[ci]);
-  }
-  ADB_DCHECK(scratch != nullptr);
-  const std::vector<uint32_t>& pts = legacy_points_[ci];
-  *scratch = simd::SoaBlock(*data_, pts.data(), pts.size());
-  return scratch->span();
+  std::call_once(soa_once_, [this] { EnsureSoa(); });
+  return perm_soa_.span(soa_begin_[ci], offsets_[ci + 1] - offsets_[ci]);
 }
 
 uint32_t Grid::FindCell(const CellCoord& cc) const {
-  if (layout_ == Layout::kLegacy) {
-    const auto it = coord_to_cell_.find(cc);
-    return it == coord_to_cell_.end() ? kNoCell : it->second;
-  }
   if (hash_slots_.empty()) return kNoCell;
   size_t h = CellCoordHash{}(cc) & hash_mask_;
   size_t probes = 1;
@@ -325,7 +311,6 @@ uint32_t Grid::FindCell(const CellCoord& cc) const {
 }
 
 size_t Grid::CsrBytes() const {
-  if (layout_ != Layout::kCsr) return 0;
   return offsets_.size() * sizeof(uint32_t) +
          point_ids_.size() * sizeof(uint32_t) +
          soa_begin_.size() * sizeof(uint32_t) +
@@ -334,27 +319,159 @@ size_t Grid::CsrBytes() const {
              sizeof(double);
 }
 
+uint32_t Grid::FindCellRaw(const int64_t* c) const {
+  // CellCoordHash over raw coordinates, skipping the CellCoord copy the
+  // public FindCell pays — this probe sits inside the stencil walk, the
+  // hottest loop of the grid.
+  const int d = dim();
+  uint64_t h64 = 0x9e3779b97f4a7c15ull ^ static_cast<uint64_t>(d);
+  for (int i = 0; i < d; ++i) {
+    uint64_t z = h64 + static_cast<uint64_t>(c[i]) + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    h64 = z ^ (z >> 31);
+  }
+  size_t h = static_cast<size_t>(h64) & hash_mask_;
+  for (;;) {
+    const uint32_t ci = hash_slots_[h];
+    if (ci == kNoCell) return kNoCell;
+    const int64_t* have = coords_[ci].c.data();
+    bool eq = true;
+    for (int i = 0; i < d; ++i) {
+      if (have[i] != c[i]) {
+        eq = false;
+        break;
+      }
+    }
+    if (eq) return ci;
+    h = (h + 1) & hash_mask_;
+  }
+}
+
+const Grid::StencilSlot& Grid::ResolveStencil(double eps) const {
+  const StencilSlot* hint = stencil_hint_.load(std::memory_order_acquire);
+  if (hint != nullptr && hint->eps == eps) return *hint;
+  const std::lock_guard<std::mutex> lock(stencil_mutex_);
+  for (const auto& slot : stencil_slots_) {
+    if (slot->eps == eps) {
+      stencil_hint_.store(slot.get(), std::memory_order_release);
+      return *slot;
+    }
+  }
+  auto slot = std::make_unique<StencilSlot>();
+  slot->eps = eps;
+  slot->eps2 = eps * eps;
+  // Engine choice, fixed per (grid, eps): walking the stencil costs one
+  // hash probe per entry regardless of occupancy, while the axis-0 window
+  // scan is bounded by the materialized cell count — so the stencil pays
+  // off only while it is no bigger than the cell set. Every stencil
+  // contains at least the 3^dim unit shell, so when that floor already
+  // exceeds the cell count the (possibly expensive) build is skipped
+  // outright — e.g. a near-one-point-per-cell d=7 grid would otherwise
+  // build 257k entries just to discard them.
+  size_t unit_shell = 1;
+  for (int i = 0; i < dim(); ++i) unit_shell *= 3;
+  // A test forcing the stencil path needs the stencil built regardless
+  // (and must force before the first query for this eps — slots are
+  // created once).
+  if (unit_shell <= NumCells() ||
+      g_forced_path.load(std::memory_order_relaxed) == 1) {
+    slot->stencil = StencilFor(dim(), eps, side_);
+  }
+  slot->max_abs =
+      slot->stencil != nullptr
+          ? slot->stencil->max_abs
+          : MaxAbsDeltaFor(side_, slot->eps2 * (1.0 + kCandidateSlack));
+  slot->use_stencil =
+      slot->stencil != nullptr && slot->stencil->size() <= NumCells();
+  stencil_slots_.push_back(std::move(slot));
+  const StencilSlot* raw = stencil_slots_.back().get();
+  stencil_hint_.store(raw, std::memory_order_release);
+  return *raw;
+}
+
+void Grid::StencilNeighborsInto(uint32_t ci, const StencilSlot& slot,
+                                std::vector<uint32_t>* out) const {
+  const NeighborStencil& st = *slot.stencil;
+  const int d = dim();
+  const int64_t* a = coords_[ci].c.data();
+  int64_t target[kMaxDim];
+  // Appends to *out (the warm build concatenates many cells into one
+  // buffer). Walk one equal-distance group at a time: entries are ascending
+  // by corner distance, and sorting each group's hits puts ties in
+  // ascending cell index — the same (dist2, cj) order the scan engine's
+  // full sort produces. The zero delta resolves to ci itself and is
+  // dropped; every other delta is distinct, so no other entry can.
+  size_t begin = 0;
+  for (uint32_t end : st.group_end) {
+    if (begin >= st.num_neighbor) break;
+    const size_t found_begin = out->size();
+    for (size_t k = begin; k < end; ++k) {
+      const int32_t* delta = st.delta(k);
+      for (int i = 0; i < d; ++i) target[i] = a[i] + delta[i];
+      const uint32_t cj = FindCellRaw(target);
+      if (cj != kNoCell && cj != ci) out->push_back(cj);
+    }
+    std::sort(out->begin() + found_begin, out->end());
+    begin = end;
+  }
+}
+
+void Grid::ScanNeighborsInto(uint32_t ci, const StencilSlot& slot,
+                             std::vector<uint32_t>* out) const {
+  const int d = dim();
+  const int64_t* a = coords_[ci].c.data();
+  std::vector<std::pair<double, uint32_t>>& keys =
+      WorkerScratch<std::pair<double, uint32_t>>(scratch::kGridDistKeys);
+  keys.clear();
+  const size_t lo = static_cast<size_t>(
+      std::lower_bound(proj0_key_.begin(), proj0_key_.end(),
+                       a[0] - slot.max_abs) -
+      proj0_key_.begin());
+  const size_t hi = static_cast<size_t>(
+      std::upper_bound(proj0_key_.begin(), proj0_key_.end(),
+                       a[0] + slot.max_abs) -
+      proj0_key_.begin());
+  for (size_t k = lo; k < hi; ++k) {
+    const uint32_t cj = proj0_order_[k];
+    if (cj == ci) continue;
+    double d2;
+    if (CellPairDist2Within(a, coords_[cj].c.data(), d, side_, slot.eps2,
+                            &d2)) {
+      keys.emplace_back(d2, cj);
+    }
+  }
+  // Appends to *out. Bitwise-equal corner distances compare equal, so the
+  // pair sort breaks ties by cell index — matching the stencil engine
+  // bit-for-bit.
+  std::sort(keys.begin(), keys.end());
+  out->reserve(out->size() + keys.size());
+  for (const auto& [d2, cj] : keys) out->push_back(cj);
+}
+
+bool Grid::UseStencil(const StencilSlot& slot) {
+  const int forced = g_forced_path.load(std::memory_order_relaxed);
+  if (forced != 0) {
+    ADB_CHECK_MSG(forced == 2 || slot.stencil != nullptr,
+                  "stencil path forced but stencil exceeds entry cap");
+    return forced == 1;
+  }
+  return slot.use_stencil;
+}
+
+void Grid::AppendNeighbors(uint32_t ci, const StencilSlot& slot,
+                           std::vector<uint32_t>* out) const {
+  if (UseStencil(slot)) {
+    StencilNeighborsInto(ci, slot, out);
+  } else {
+    ScanNeighborsInto(ci, slot, out);
+  }
+}
+
 void Grid::ComputeNeighborsInto(uint32_t ci, double eps,
                                 std::vector<uint32_t>* out) const {
-  // Centers of ε-neighbor cells lie within eps + √d·side of ci's center
-  // (eps between the boxes plus half a cell diameter on each side).
-  const double diam = side_ * std::sqrt(static_cast<double>(dim()));
-  const double radius = eps + diam + 1e-9 * side_;
-  std::vector<uint32_t> candidates =
-      center_tree_->RangeQuery(centers_->point(ci), radius);
-  const Box my_box = CellBoxOf(ci);
-  std::vector<std::pair<double, uint32_t>> by_dist;
-  by_dist.reserve(candidates.size());
-  const double eps2 = eps * eps;
-  for (uint32_t cj : candidates) {
-    if (cj == ci) continue;
-    const double d2 = my_box.MinSquaredDistToBox(CellBoxOf(cj));
-    if (d2 <= eps2) by_dist.emplace_back(d2, cj);
-  }
-  std::sort(by_dist.begin(), by_dist.end());
   out->clear();
-  out->reserve(by_dist.size());
-  for (const auto& [d2, cj] : by_dist) out->push_back(cj);
+  AppendNeighbors(ci, ResolveStencil(eps), out);
 }
 
 void Grid::ResetCacheFor(double eps) const {
@@ -390,25 +507,44 @@ void Grid::WarmNeighborCache(double eps, int num_threads) const {
   if (warmed_ && cache_eps_ == eps) return;
   ResetCacheFor(eps);
   const size_t num_cells = NumCells();
-  ParallelFor(num_cells, num_threads, [&](size_t begin, size_t end) {
-    for (size_t ci = begin; ci < end; ++ci) {
-      if (cache_valid_[ci]) continue;
-      ComputeNeighborsInto(static_cast<uint32_t>(ci), eps,
-                           &neighbor_cache_[ci]);
-      cache_valid_[ci] = 1;
+  {
+    ADB_PHASE("grid.warm");
+    // Single enumeration pass straight into per-chunk buffers — no
+    // per-cell vectors. Cells are split into T fixed contiguous chunks;
+    // chunk t appends its cells' neighbor lists (each already in final
+    // order) to one buffer and records per-cell counts into warm_offsets_
+    // (disjoint slots, no races). Because per-cell content is independent
+    // of the chunking and chunks cover ascending cell ranges, the stitched
+    // arrays are identical for every thread count.
+    const StencilSlot& slot = ResolveStencil(eps);
+    constexpr size_t kMinCellChunk = 64;
+    const size_t max_chunks = std::max<size_t>(num_cells / kMinCellChunk, 1);
+    const size_t T =
+        std::min<size_t>(std::max(num_threads, 1), max_chunks);
+    std::vector<size_t> bounds(T + 1);
+    for (size_t t = 0; t <= T; ++t) bounds[t] = num_cells * t / T;
+    std::vector<std::vector<uint32_t>> chunk_ids(T);
+    warm_offsets_.assign(num_cells + 1, 0);
+    ParallelFor(T, static_cast<int>(T), [&](size_t tb, size_t te) {
+      for (size_t t = tb; t < te; ++t) {
+        std::vector<uint32_t>& ids = chunk_ids[t];
+        for (size_t ci = bounds[t]; ci < bounds[t + 1]; ++ci) {
+          const size_t before = ids.size();
+          AppendNeighbors(static_cast<uint32_t>(ci), slot, &ids);
+          warm_offsets_[ci + 1] = static_cast<uint32_t>(ids.size() - before);
+        }
+      }
+    });
+    for (size_t ci = 0; ci < num_cells; ++ci) {
+      warm_offsets_[ci + 1] += warm_offsets_[ci];
     }
-  });
-  // Flatten to CSR and free the per-cell vectors; EpsNeighbors now serves
-  // reads out of two contiguous arrays.
-  warm_offsets_.assign(num_cells + 1, 0);
-  for (size_t ci = 0; ci < num_cells; ++ci) {
-    warm_offsets_[ci + 1] =
-        warm_offsets_[ci] + static_cast<uint32_t>(neighbor_cache_[ci].size());
-  }
-  warm_ids_.resize(warm_offsets_[num_cells]);
-  for (size_t ci = 0; ci < num_cells; ++ci) {
-    std::copy(neighbor_cache_[ci].begin(), neighbor_cache_[ci].end(),
-              warm_ids_.begin() + warm_offsets_[ci]);
+    warm_ids_.resize(warm_offsets_[num_cells]);
+    ParallelFor(T, static_cast<int>(T), [&](size_t tb, size_t te) {
+      for (size_t t = tb; t < te; ++t) {
+        std::copy(chunk_ids[t].begin(), chunk_ids[t].end(),
+                  warm_ids_.begin() + warm_offsets_[bounds[t]]);
+      }
+    });
   }
   neighbor_cache_.clear();
   neighbor_cache_.shrink_to_fit();
@@ -420,36 +556,108 @@ void Grid::WarmNeighborCache(double eps, int num_threads) const {
 std::vector<uint32_t> Grid::CellsNearCoord(const CellCoord& cc,
                                            double eps) const {
   std::vector<uint32_t> out;
-  if (coords_.empty()) return out;
-  // Same candidate radius as ComputeNeighborsInto: centers of ε-neighbor
-  // cells lie within eps plus a full cell diameter of cc's center.
-  const double diam = side_ * std::sqrt(static_cast<double>(dim()));
-  const double radius = eps + diam + 1e-9 * side_;
-  double center[kMaxDim];
-  cc.Center(side_, center);
-  std::vector<uint32_t> candidates = center_tree_->RangeQuery(center, radius);
-  const Box my_box = cc.ToBox(side_);
-  out.reserve(candidates.size());
-  const double eps2 = eps * eps;
-  for (uint32_t cj : candidates) {
-    if (my_box.MinSquaredDistToBox(CellBoxOf(cj)) <= eps2) out.push_back(cj);
-  }
+  CellsNearCoord(cc, eps, &out);
   return out;
+}
+
+void Grid::CellsNearCoord(const CellCoord& cc, double eps,
+                          std::vector<uint32_t>* out) const {
+  out->clear();
+  if (coords_.empty()) return;
+  {
+    const StencilSlot& slot = ResolveStencil(eps);
+    const int d = dim();
+    const int64_t* a = cc.c.data();
+    if (UseStencil(slot)) {
+      // Neighbor prefix of the stencil anchored at cc — unlike
+      // StencilNeighborsInto, the zero delta stays (cc's own cell, if
+      // materialized, is within distance 0).
+      const NeighborStencil& st = *slot.stencil;
+      int64_t target[kMaxDim];
+      for (size_t k = 0; k < st.num_neighbor; ++k) {
+        const int32_t* delta = st.delta(k);
+        for (int i = 0; i < d; ++i) target[i] = a[i] + delta[i];
+        const uint32_t cj = FindCellRaw(target);
+        if (cj != kNoCell) out->push_back(cj);
+      }
+    } else {
+      const size_t lo = static_cast<size_t>(
+          std::lower_bound(proj0_key_.begin(), proj0_key_.end(),
+                           a[0] - slot.max_abs) -
+          proj0_key_.begin());
+      const size_t hi = static_cast<size_t>(
+          std::upper_bound(proj0_key_.begin(), proj0_key_.end(),
+                           a[0] + slot.max_abs) -
+          proj0_key_.begin());
+      double d2;
+      for (size_t k = lo; k < hi; ++k) {
+        const uint32_t cj = proj0_order_[k];
+        if (CellPairDist2Within(a, coords_[cj].c.data(), d, side_, slot.eps2,
+                                &d2)) {
+          out->push_back(cj);
+        }
+      }
+    }
+    // Canonical output order, independent of the engine chosen.
+    std::sort(out->begin(), out->end());
+  }
 }
 
 std::vector<uint32_t> Grid::CellsTouchingBall(const double* q,
                                               double eps) const {
   std::vector<uint32_t> out;
-  if (coords_.empty()) return out;
-  const double diam = side_ * std::sqrt(static_cast<double>(dim()));
-  const double radius = eps + 0.5 * diam + 1e-9 * side_;
-  std::vector<uint32_t> candidates = center_tree_->RangeQuery(q, radius);
-  out.reserve(candidates.size());
-  const double eps2 = eps * eps;
-  for (uint32_t cj : candidates) {
-    if (CellBoxOf(cj).MinSquaredDistToPoint(q) <= eps2) out.push_back(cj);
-  }
+  CellsTouchingBall(q, eps, &out);
   return out;
+}
+
+void Grid::CellsTouchingBall(const double* q, double eps,
+                             std::vector<uint32_t>* out) const {
+  out->clear();
+  if (coords_.empty()) return;
+  const double eps2 = eps * eps;
+  {
+    const StencilSlot& slot = ResolveStencil(eps);
+    const int d = dim();
+    const CellCoord cq = CellCoord::Of(q, d, side_);
+    const int64_t* a = cq.c.data();
+    if (UseStencil(slot)) {
+      // Candidate superset: every cell touching B(q, eps) has corner
+      // distance to cq at most eps² in exact arithmetic (q lies in cq's
+      // box), hence at most limit2 = eps²·(1 + slack) in the canonical FP
+      // formula — the full stencil, slack entries included. The emitted
+      // set is decided by the exact point-to-box predicate alone.
+      const NeighborStencil& st = *slot.stencil;
+      int64_t target[kMaxDim];
+      const size_t total = st.size();
+      for (size_t k = 0; k < total; ++k) {
+        const int32_t* delta = st.delta(k);
+        for (int i = 0; i < d; ++i) target[i] = a[i] + delta[i];
+        const uint32_t cj = FindCellRaw(target);
+        if (cj != kNoCell &&
+            CellBoxOf(cj).MinSquaredDistToPoint(q) <= eps2) {
+          out->push_back(cj);
+        }
+      }
+    } else {
+      // The axis-0 window bounds the same superset; the exact predicate
+      // runs directly on the window cells.
+      const size_t lo = static_cast<size_t>(
+          std::lower_bound(proj0_key_.begin(), proj0_key_.end(),
+                           a[0] - slot.max_abs) -
+          proj0_key_.begin());
+      const size_t hi = static_cast<size_t>(
+          std::upper_bound(proj0_key_.begin(), proj0_key_.end(),
+                           a[0] + slot.max_abs) -
+          proj0_key_.begin());
+      for (size_t k = lo; k < hi; ++k) {
+        const uint32_t cj = proj0_order_[k];
+        if (CellBoxOf(cj).MinSquaredDistToPoint(q) <= eps2) {
+          out->push_back(cj);
+        }
+      }
+    }
+    std::sort(out->begin(), out->end());
+  }
 }
 
 }  // namespace adbscan

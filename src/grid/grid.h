@@ -1,15 +1,16 @@
 #ifndef ADBSCAN_GRID_GRID_H_
 #define ADBSCAN_GRID_GRID_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <mutex>
 #include <vector>
 
 #include "geom/dataset.h"
 #include "geom/soa.h"
 #include "grid/cell.h"
-#include "index/kdtree.h"
+#include "grid/stencil.h"
 
 namespace adbscan {
 
@@ -18,35 +19,30 @@ namespace adbscan {
 // the same cell are within distance ε. Only non-empty cells are
 // materialized.
 //
-// Memory layout (Layout::kCsr, the default): non-empty cells are sorted by
-// the Morton (Z-order) code of their integer coordinates, membership is one
-// CSR structure (offsets + point_ids, ids ascending within a cell), and the
-// whole dataset is re-materialized at build time as a permuted SoA in cell
-// order — every cell is a contiguous, lane-aligned block that the batch
-// kernels (geom/kernels.h) consume with zero gather. Coordinate lookup is a
-// flat open-addressing table (linear probing over SplitMix64-mixed keys)
-// instead of std::unordered_map. All public ids are ORIGINAL dataset ids;
-// the permutation is internal to the SoA.
+// Memory layout: non-empty cells are sorted by the Morton (Z-order) code
+// of their integer coordinates, membership is one CSR structure (offsets +
+// point_ids, ids ascending within a cell), and the whole dataset is
+// re-materialized (lazily, on first CellBlock call) as a permuted SoA in
+// cell order — every cell is a contiguous, lane-aligned block that the
+// batch kernels (geom/kernels.h) consume with zero gather. Coordinate
+// lookup is a flat open-addressing table (linear probing over
+// SplitMix64-mixed keys). All public ids are ORIGINAL dataset ids; the
+// permutation is internal to the SoA. (The pre-CSR per-cell-vector layout
+// and its kd-tree-over-cell-centers enumeration were retired once the CSR
+// layout measured at least as fast on every micro_grid op — see
+// bench/baselines/BENCH_grid_layout_final.json for the closing dual-layout
+// measurement.)
 //
-// Layout::kLegacy reproduces the pre-CSR representation (per-cell heap
-// vectors, unordered_map lookup, per-call SoA gather in CellBlock) and
-// exists as the measured baseline for bench/micro_grid and as the reference
-// side of the layout-equivalence tests. Both layouts produce bit-identical
-// clusterings: cell enumeration order never reaches the output (core counts
-// are order-independent, components are renumbered by first core point in
-// id order, border memberships are sorted), and within-cell point order is
-// ascending id in both.
-//
-// Two cells are ε-neighbors when the minimum distance between their extents
-// is at most ε. Rather than probing all integer offsets within range — their
-// number grows like (2⌈√d⌉+3)^d, ~257k for d = 7 — neighbor enumeration
-// queries a kd-tree built over the non-empty cells' centers and then filters
-// by the exact box-to-box distance. This visits only non-empty cells, which
-// is what the O(1)-neighbors-per-cell accounting of the paper refers to.
+// Two cells are ε-neighbors when the canonical corner distance between
+// their integer coordinates (CellPairDist2 in grid/stencil.h) is at most
+// ε². Enumeration walks a precomputed offset stencil shared by every cell
+// — the (2⌈√d⌉+3)^d shell pruned exactly by corner distance — against the
+// open-addressing cell hash, or, when the stencil would exceed the number
+// of materialized cells, scans an axis-0-sorted window of cells with the
+// same early-exit corner sum. Both engines produce bit-identical output
+// (ascending corner distance, ties by ascending cell index).
 class Grid {
  public:
-  enum class Layout { kCsr, kLegacy };
-
   // A non-owning view over a list of ids (cell membership, ε-neighbor
   // lists). Valid for the lifetime of the grid, except lazily computed
   // neighbor lists, which are invalidated by a cache reset (see
@@ -67,26 +63,18 @@ class Grid {
 
   // Builds the grid over all points of `data` (which must outlive the grid).
   explicit Grid(const Dataset& data, double side);
-  Grid(const Dataset& data, double side, Layout layout);
 
   // As above, building the CSR structures with up to num_threads workers
-  // (<= 1, or the legacy layout, builds serially). The result is identical
-  // for every thread count: the parallel build only changes the provisional
-  // cell numbering, which the Morton sort erases, and the counting fill
-  // places each thread's contiguous, ascending id range into per-(cell,
-  // thread) sub-slices that concatenate to the serial ascending order.
-  Grid(const Dataset& data, double side, Layout layout, int num_threads);
+  // (<= 1 builds serially). The result is identical for every thread
+  // count: the parallel build only changes the provisional cell numbering,
+  // which the Morton sort erases, and the counting fill places each
+  // thread's contiguous, ascending id range into per-(cell, thread)
+  // sub-slices that concatenate to the serial ascending order.
+  Grid(const Dataset& data, double side, int num_threads);
 
   // Side length chosen by the paper's algorithms: ε/√d.
   static double SideFor(double eps, int dim);
 
-  // Layout used when the two-argument constructor runs: ADBSCAN_GRID_LAYOUT
-  // ("csr" | "legacy", default csr), overridable per process for tests and
-  // benches. Not thread-safe against concurrent grid construction.
-  static Layout DefaultLayout();
-  static void SetDefaultLayout(Layout layout);
-
-  Layout layout() const { return layout_; }
   int dim() const { return data_->dim(); }
   double side() const { return side_; }
   const Dataset& data() const { return *data_; }
@@ -97,20 +85,14 @@ class Grid {
 
   // Ids of the points in cell ci, ascending.
   IdSpan cell_points(uint32_t ci) const {
-    if (layout_ == Layout::kCsr) {
-      return {point_ids_.data() + offsets_[ci], offsets_[ci + 1] - offsets_[ci]};
-    }
-    return {legacy_points_[ci].data(), legacy_points_[ci].size()};
+    return {point_ids_.data() + offsets_[ci], offsets_[ci + 1] - offsets_[ci]};
   }
   size_t CellSize(uint32_t ci) const { return cell_points(ci).size(); }
 
   // Lane-aligned SoA view of cell ci's points, in cell_points(ci) order
-  // (lane j holds point cell_points(ci)[j]). CSR layout: a zero-copy span
-  // into the build-time permuted SoA; `scratch` is ignored and may be null.
-  // Legacy layout: gathered into *scratch on every call (the pre-CSR cost
-  // model), so the span is valid until the next CellBlock on the same
-  // scratch. Thread-safe in CSR layout.
-  simd::SoaSpan CellBlock(uint32_t ci, simd::SoaBlock* scratch) const;
+  // (lane j holds point cell_points(ci)[j]): a zero-copy span into the
+  // permuted SoA, gathered once on the first call. Thread-safe.
+  simd::SoaSpan CellBlock(uint32_t ci) const;
 
   // Index of the cell containing point id (always valid).
   uint32_t CellOfPoint(uint32_t id) const { return point_cell_[id]; }
@@ -118,9 +100,10 @@ class Grid {
   // Index of the non-empty cell at the given coordinates, or kNoCell.
   uint32_t FindCell(const CellCoord& cc) const;
 
-  // All non-empty cells c' != ci with min-dist(box(ci), box(c')) <= eps,
-  // i.e. the ε-neighbors of ci, ordered by ascending box-to-box distance
-  // (so MinPts-style early exits touch the closest cells first).
+  // All non-empty cells c' != ci with corner distance
+  // CellPairDist2(coord(ci), coord(c')) <= eps², i.e. the ε-neighbors of
+  // ci, ordered by ascending corner distance with ties by ascending cell
+  // index (so MinPts-style early exits touch the closest cells first).
   //
   // Lists are computed once per cell and cached: the labeling process, the
   // edge generation, and the border assignment all walk the same lists.
@@ -139,51 +122,101 @@ class Grid {
   // call concurrently. Idempotent for the same eps.
   void WarmNeighborCache(double eps, int num_threads) const;
 
-  // All non-empty cells whose extent intersects the closed ball B(q, eps).
-  // Superset-free: exactly the cells that could contain points within eps
-  // of q.
+  // All non-empty cells whose extent intersects the closed ball B(q, eps)
+  // (exact FP predicate: CellBoxOf(c).MinSquaredDistToPoint(q) <= eps²),
+  // ascending cell index. Superset-free: exactly the cells that could
+  // contain points within eps of q. The out-param form clears and refills
+  // *out and is allocation-free in steady state (a warmed caller reusing
+  // one buffer never touches the heap); thread-safe.
   std::vector<uint32_t> CellsTouchingBall(const double* q, double eps) const;
+  void CellsTouchingBall(const double* q, double eps,
+                         std::vector<uint32_t>* out) const;
 
-  // All non-empty cells whose extent is within eps (exact box-to-box
-  // distance) of the hyper-square at coordinates cc — the ε-neighbor set of
-  // a cell that need not be materialized in this grid. If cc itself is a
-  // cell of the grid, it is included (distance 0); callers filter it. Used
-  // by the dynamic clusterer to relate overlay cells to snapshot cells.
+  // All non-empty cells whose corner distance to the hyper-square at
+  // coordinates cc is at most eps² — the ε-neighbor set of a cell that need
+  // not be materialized in this grid, ascending cell index. If cc itself is
+  // a cell of the grid, it is included (distance 0); callers filter it.
+  // Used by the dynamic clusterer to relate overlay cells to snapshot
+  // cells; the predicate is the same CellPairDist2 that EpsNeighbors uses,
+  // so overlay and snapshot decisions always agree.
   std::vector<uint32_t> CellsNearCoord(const CellCoord& cc, double eps) const;
+  void CellsNearCoord(const CellCoord& cc, double eps,
+                      std::vector<uint32_t>* out) const;
+
+  // Test hook: force ε-neighbor enumeration onto one engine (kStencil =
+  // stencil hash-walk, kScan = axis-0 window scan) instead of the automatic
+  // size-based choice, to differentially cover both. kAuto restores the
+  // default. Process-wide; not for concurrent use with grid queries.
+  enum class NeighborPath { kAuto, kStencil, kScan };
+  static void ForceNeighborPathForTest(NeighborPath path);
 
   // Bytes held by the CSR representation (offsets, point ids, SoA begins,
-  // hash slots, permuted SoA). 0 in legacy layout.
+  // hash slots, permuted SoA).
   size_t CsrBytes() const;
 
  private:
+  // One resolved stencil lookup per eps queried on this grid: the shared
+  // table (null when over kMaxStencilEntries → scan engine), the per-axis
+  // window bound for the scan engine, and the engine choice, fixed once per
+  // (grid, eps) so every query of that eps takes the same path.
+  struct StencilSlot {
+    double eps = 0.0;
+    double eps2 = 0.0;
+    int64_t max_abs = 0;
+    bool use_stencil = false;
+    std::shared_ptr<const NeighborStencil> stencil;
+  };
+
   void BuildCsr(int num_threads);
-  void BuildLegacy();
-  void BuildCenters();
+  // Gathers the permuted SoA (see soa_once_); serial, since the first call
+  // may already be inside a ParallelFor worker.
+  void EnsureSoa() const;
+  // Lock-free on the hot path via an atomic hint; slots are never moved or
+  // freed while the grid lives, so concurrent readers (CellsTouchingBall
+  // inside ParallelFor) can hold references across the mutex.
+  const StencilSlot& ResolveStencil(double eps) const;
+  static bool UseStencil(const StencilSlot& slot);
+  uint32_t FindCellRaw(const int64_t* c) const;
   void ComputeNeighborsInto(uint32_t ci, double eps,
                             std::vector<uint32_t>* out) const;
+  // The two engines and their dispatcher all APPEND to *out.
+  void AppendNeighbors(uint32_t ci, const StencilSlot& slot,
+                       std::vector<uint32_t>* out) const;
+  void StencilNeighborsInto(uint32_t ci, const StencilSlot& slot,
+                            std::vector<uint32_t>* out) const;
+  void ScanNeighborsInto(uint32_t ci, const StencilSlot& slot,
+                         std::vector<uint32_t>* out) const;
   void ResetCacheFor(double eps) const;
 
   const Dataset* data_;
   double side_;
-  Layout layout_;
-  std::vector<CellCoord> coords_;       // per cell, Morton order under kCsr
+  std::vector<CellCoord> coords_;       // per cell, Morton order
   std::vector<uint32_t> point_cell_;    // per point
 
-  // kCsr: membership CSR + permuted SoA + flat open-addressing hash.
+  // Membership CSR + permuted SoA + flat open-addressing hash.
   std::vector<uint32_t> offsets_;    // NumCells() + 1
   std::vector<uint32_t> point_ids_;  // n ids, ascending within each cell
-  std::vector<uint32_t> soa_begin_;  // lane-aligned start of each cell's block
-  simd::SoaBlock perm_soa_;          // dataset permuted into cell order
+  // Permuted SoA, gathered lazily on the first CellBlock call: pipelines
+  // that never touch blocks (e.g. an all-core approximate run, where the
+  // border phase has nothing to assign) skip the n-proportional gather
+  // entirely. Guarded by soa_once_ so concurrent first callers are safe.
+  mutable std::vector<uint32_t> soa_begin_;  // lane-aligned block starts
+  mutable simd::SoaBlock perm_soa_;          // dataset permuted into cell order
+  mutable std::once_flag soa_once_;
   std::vector<uint32_t> hash_slots_; // power-of-two, kNoCell = empty
   size_t hash_mask_ = 0;
 
-  // kLegacy: the pre-CSR representation.
-  std::vector<std::vector<uint32_t>> legacy_points_;
-  std::unordered_map<CellCoord, uint32_t, CellCoordHash> coord_to_cell_;
+  // Scan-engine support: cells ordered by coordinate c[0] with the keys
+  // alongside, so a per-axis window is two binary searches. Built eagerly
+  // (eps-independent) in BuildCsr.
+  std::vector<uint32_t> proj0_order_;
+  std::vector<int64_t> proj0_key_;
 
-  // Cell centers as a dataset + kd-tree for neighbor enumeration.
-  std::unique_ptr<Dataset> centers_;
-  std::unique_ptr<KdTree> center_tree_;
+  // Stencils resolved for this grid, pinned for its lifetime (slots behind
+  // unique_ptr so the hint stays valid as the vector grows).
+  mutable std::mutex stencil_mutex_;
+  mutable std::vector<std::unique_ptr<StencilSlot>> stencil_slots_;
+  mutable std::atomic<const StencilSlot*> stencil_hint_{nullptr};
 
   // ε-neighbor cache for the eps in cache_eps_: lazy per-cell vectors until
   // WarmNeighborCache flattens them into warm_offsets_/warm_ids_.

@@ -1,0 +1,153 @@
+#include "grid/stencil.h"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace adbscan {
+namespace {
+
+// Hard per-axis bound: beyond this the stencil volume is astronomically
+// over kMaxStencilEntries anyway, so the probe loop below stops early
+// rather than counting toward a huge ratio one step at a time.
+constexpr int64_t kMaxAbsCap = 1 << 16;
+
+// Single-axis corner term for |Δ| = v, in the canonical rounding of
+// CellPairDist2: ((v−1)·side)², each operation rounded once.
+double AxisTerm(int64_t v, double side) {
+  if (v <= 1) return 0.0;
+  const double gap = static_cast<double>(v - 1) * side;
+  return gap * gap;
+}
+
+// Depth-first enumeration of every delta with canonical corner distance
+// <= limit2, accumulating the sum axis-by-axis exactly as CellPairDist2
+// does (axis 0 outermost), so the recorded dist2 values are bit-identical
+// to what a per-pair evaluation computes. Subtrees whose partial sum
+// already exceeds limit2 are pruned — monotonicity of nonnegative IEEE
+// sums makes the prune exact, giving output-sensitive cost instead of the
+// full (2·max_abs+1)^dim sweep. Returns false when the entry cap trips.
+bool Enumerate(int axis, int dim, int64_t max_abs, double side, double limit2,
+               double sum, int32_t* delta, std::vector<int32_t>* deltas,
+               std::vector<double>* dist2) {
+  if (axis == dim) {
+    if (dist2->size() >= kMaxStencilEntries) return false;
+    deltas->insert(deltas->end(), delta, delta + dim);
+    dist2->push_back(sum);
+    return true;
+  }
+  for (int64_t v = -max_abs; v <= max_abs; ++v) {
+    const double s = sum + AxisTerm(v < 0 ? -v : v, side);
+    if (s > limit2) continue;
+    delta[axis] = static_cast<int32_t>(v);
+    if (!Enumerate(axis + 1, dim, max_abs, side, limit2, s, delta, deltas,
+                   dist2)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<const NeighborStencil> Build(int dim, double eps,
+                                             double side) {
+  ADB_CHECK(dim >= 1 && dim <= kMaxDim);
+  ADB_CHECK(eps > 0.0 && side > 0.0);
+  auto st = std::make_shared<NeighborStencil>();
+  st->dim = dim;
+  st->eps = eps;
+  st->side = side;
+  st->eps2 = eps * eps;
+  st->limit2 = st->eps2 * (1.0 + kCandidateSlack);
+  st->max_abs = MaxAbsDeltaFor(side, st->limit2);
+  if (st->max_abs >= kMaxAbsCap) return nullptr;
+
+  // Enumerate in lexicographic delta order (the tie order the sort below
+  // preserves), bailing out to the scan fallback past the cap.
+  std::vector<int32_t> lex_deltas;
+  std::vector<double> lex_dist2;
+  int32_t delta[kMaxDim] = {0};
+  if (!Enumerate(0, dim, st->max_abs, side, st->limit2, 0.0, delta,
+                 &lex_deltas, &lex_dist2)) {
+    return nullptr;
+  }
+  const size_t n = lex_dist2.size();
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return lex_dist2[a] < lex_dist2[b];
+  });
+
+  st->deltas.resize(n * static_cast<size_t>(dim));
+  st->dist2.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    st->dist2[k] = lex_dist2[order[k]];
+    const int32_t* src = lex_deltas.data() + order[k] * static_cast<size_t>(dim);
+    std::copy(src, src + dim, st->deltas.data() + k * static_cast<size_t>(dim));
+  }
+  for (size_t k = 0; k < n; ++k) {
+    if (k + 1 == n || st->dist2[k + 1] != st->dist2[k]) {
+      st->group_end.push_back(static_cast<uint32_t>(k + 1));
+    }
+  }
+  st->num_neighbor = static_cast<size_t>(
+      std::upper_bound(st->dist2.begin(), st->dist2.end(), st->eps2) -
+      st->dist2.begin());
+  ADB_COUNT("grid.stencil_builds", 1);
+  ADB_COUNT("grid.stencil_entries", n);
+  return st;
+}
+
+struct CacheEntry {
+  int dim;
+  double eps;
+  double side;
+  std::shared_ptr<const NeighborStencil> stencil;  // null = over the cap
+};
+
+// Small process-wide cache. Keyed on the exact (dim, eps, side) triple —
+// the dist2 values depend on the absolute side, not just the eps/side
+// ratio. Bounded FIFO: a parameter sweep touching many eps values cycles
+// through, everything steady-state hits its one entry. Grids pin their
+// stencil via shared_ptr, so eviction never invalidates a live user.
+constexpr size_t kCacheCap = 8;
+std::mutex g_cache_mutex;
+std::vector<CacheEntry>& Cache() {
+  static std::vector<CacheEntry>* cache = new std::vector<CacheEntry>();
+  return *cache;
+}
+
+}  // namespace
+
+int64_t MaxAbsDeltaFor(double side, double limit2) {
+  int64_t v = 1;
+  while (v < kMaxAbsCap && AxisTerm(v + 1, side) <= limit2) ++v;
+  return v;
+}
+
+std::shared_ptr<const NeighborStencil> StencilFor(int dim, double eps,
+                                                  double side) {
+  {
+    const std::lock_guard<std::mutex> lock(g_cache_mutex);
+    for (const CacheEntry& e : Cache()) {
+      if (e.dim == dim && e.eps == eps && e.side == side) return e.stencil;
+    }
+  }
+  // Built outside the lock: enumeration can take milliseconds at d = 7 and
+  // must not serialize unrelated lookups. Two racing builders do redundant
+  // work once; the second insert below wins and both results are
+  // equivalent (the build is deterministic).
+  std::shared_ptr<const NeighborStencil> built = Build(dim, eps, side);
+  const std::lock_guard<std::mutex> lock(g_cache_mutex);
+  for (const CacheEntry& e : Cache()) {
+    if (e.dim == dim && e.eps == eps && e.side == side) return e.stencil;
+  }
+  if (Cache().size() >= kCacheCap) Cache().erase(Cache().begin());
+  Cache().push_back(CacheEntry{dim, eps, side, built});
+  return built;
+}
+
+}  // namespace adbscan

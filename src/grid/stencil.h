@@ -1,0 +1,130 @@
+#ifndef ADBSCAN_GRID_STENCIL_H_
+#define ADBSCAN_GRID_STENCIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "grid/cell.h"
+
+namespace adbscan {
+
+// The ε-neighbor offset stencil of a cell lattice: every integer coordinate
+// delta Δ whose box-to-box ("corner") distance can be within ε. The corner
+// distance between two cells at delta Δ is position-independent —
+//
+//   dist²(Δ) = Σ_i (max(|Δ_i| − 1, 0) · side)²
+//
+// — so the set of candidate deltas, their exact distances, and the
+// ascending-distance enumeration order are all computable once per
+// (dim, eps, side) and shared by every cell of every grid with that
+// geometry. This replaces the kd-tree over cell centers the grid used to
+// query per cell: neighbor enumeration becomes a walk of the open-
+// addressing cell hash over a precomputed, distance-sorted delta list.
+//
+// Entries are kept up to the *candidate* limit eps²·(1 + kCandidateSlack):
+// the slack prefix [num_neighbor, size) exists so ball queries (point-to-
+// box predicates, computed with different FP roundings than the corner
+// formula) can use the stencil as a provable candidate superset. The
+// neighbor relation itself is the exact prefix [0, num_neighbor):
+// dist2[k] ≤ eps², bit-for-bit the same predicate as CellPairDist2 below.
+struct NeighborStencil {
+  int dim = 0;
+  double eps = 0.0;
+  double side = 0.0;
+  double eps2 = 0.0;    // inclusive neighbor limit (eps·eps)
+  double limit2 = 0.0;  // candidate limit: eps2 · (1 + kCandidateSlack)
+  int64_t max_abs = 0;  // per-axis |Δ_i| bound over all entries
+
+  // Entry k occupies deltas[k·dim, (k+1)·dim) with corner distance
+  // dist2[k]. Entries ascend by dist2, ties in lexicographic delta order;
+  // entry 0 is the zero delta (distance 0). group_end delimits the runs of
+  // bitwise-equal dist2: group g is [group_end[g-1], group_end[g]).
+  std::vector<int32_t> deltas;
+  std::vector<double> dist2;
+  std::vector<uint32_t> group_end;
+
+  // Number of leading entries with dist2[k] <= eps2 (the ε-neighbor
+  // prefix); always a whole number of groups.
+  size_t num_neighbor = 0;
+
+  size_t size() const { return dist2.size(); }
+  const int32_t* delta(size_t k) const { return deltas.data() + k * dim; }
+};
+
+// Relative slack of the candidate limit over eps². Wide enough to absorb
+// any plausible rounding discrepancy between the corner formula and the
+// box-coordinate predicates (Box::MinSquaredDistToPoint over lattice
+// boxes), narrow enough that it only ever admits deltas sitting within
+// ulps of the ε boundary.
+inline constexpr double kCandidateSlack = 1e-9;
+
+// Entry-count cap above which StencilFor refuses to build (returns null)
+// and callers fall back to scanning materialized cells. ~257k entries
+// cover d = 7 at the pipelines' side = ε/√d; the cap leaves headroom for
+// coarser ratios without letting adversarial (eps, side) pairs allocate
+// unbounded tables.
+inline constexpr size_t kMaxStencilEntries = size_t{1} << 20;
+
+// The canonical corner distance between two lattice cells, and THE cell-
+// pair ε predicate of the whole tree (grid neighbor enumeration, shard
+// halo planning, the dynamic clusterer's overlay filters, and the test
+// reference sweeps all compute exactly this): per axis i ascending from 0,
+// gap = (|a_i − b_i| − 1) · side when |a_i − b_i| > 1 else 0, accumulated
+// as sum = sum + gap·gap. Being a pure function of the integer delta, it
+// is position-independent — unlike the retired box-coordinate formula,
+// whose per-cell roundings could order equal deltas differently.
+inline double CellPairDist2(const int64_t* a, const int64_t* b, int dim,
+                            double side) {
+  double sum = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    const int64_t d = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+    if (d > 1) {
+      const double gap = static_cast<double>(d - 1) * side;
+      sum += gap * gap;
+    }
+  }
+  return sum;
+}
+
+inline double CellPairDist2(const CellCoord& a, const CellCoord& b,
+                            double side) {
+  return CellPairDist2(a.c.data(), b.c.data(), a.dim, side);
+}
+
+// Early-exit form: false as soon as the partial sum exceeds `limit`
+// (sound — the terms are nonnegative and IEEE addition of nonnegatives is
+// monotone, so the full sum could only be larger); on true, *d2 holds the
+// full canonical sum, bit-identical to CellPairDist2.
+inline bool CellPairDist2Within(const int64_t* a, const int64_t* b, int dim,
+                                double side, double limit, double* d2) {
+  double sum = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    const int64_t d = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+    if (d > 1) {
+      const double gap = static_cast<double>(d - 1) * side;
+      sum += gap * gap;
+      if (sum > limit) return false;
+    }
+  }
+  *d2 = sum;
+  return true;
+}
+
+// Largest per-axis |Δ_i| whose single-axis corner distance fits under
+// `limit2`; every stencil entry satisfies |Δ_i| <= this bound, so it also
+// bounds the scan-path candidate window. Capped (see stencil.cc) so a
+// degenerate (eps, side) ratio cannot spin.
+int64_t MaxAbsDeltaFor(double side, double limit2);
+
+// The shared stencil for (dim, eps, side), or nullptr when it would exceed
+// kMaxStencilEntries (callers then scan materialized cells instead).
+// Thread-safe; a small process-wide cache makes repeated lookups cheap and
+// keeps the table shared across grids (every pipeline over the same
+// (dim, eps) hits one entry, since side is a function of eps and dim).
+std::shared_ptr<const NeighborStencil> StencilFor(int dim, double eps,
+                                                  double side);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_GRID_STENCIL_H_

@@ -103,29 +103,38 @@ void KdTree::CollectSubtree(uint32_t node_idx,
 std::vector<uint32_t> KdTree::RangeQuery(const double* q,
                                          double radius) const {
   std::vector<uint32_t> out;
-  if (empty()) return out;
+  std::vector<uint32_t> stack;
+  RangeQueryInto(q, radius, &out, &stack);
+  return out;
+}
+
+void KdTree::RangeQueryInto(const double* q, double radius,
+                            std::vector<uint32_t>* out,
+                            std::vector<uint32_t>* stack) const {
+  out->clear();
+  stack->clear();
+  if (empty()) return;
   const double r2 = radius * radius;
   // Iterative DFS with an explicit stack; prune by node box distance and
   // short-circuit whole subtrees that lie inside the ball.
-  std::vector<uint32_t> stack{root_};
-  while (!stack.empty()) {
-    const uint32_t node_idx = stack.back();
-    stack.pop_back();
+  stack->push_back(root_);
+  while (!stack->empty()) {
+    const uint32_t node_idx = stack->back();
+    stack->pop_back();
     const Node& node = nodes_[node_idx];
     if (node.box.MinSquaredDistToPoint(q) > r2) continue;
     if (node.box.MaxSquaredDistToPoint(q) <= r2) {
-      CollectSubtree(node_idx, &out);
+      CollectSubtree(node_idx, out);
       continue;
     }
     if (node.IsLeaf()) {
       simd::CollectWithin(q, LeafSpan(node), r2, ids_.data() + node.begin,
-                          &out);
+                          out);
       continue;
     }
-    stack.push_back(node.left);
-    stack.push_back(node.right);
+    stack->push_back(node.left);
+    stack->push_back(node.right);
   }
-  return out;
 }
 
 size_t KdTree::CountInBall(const double* q, double radius,

@@ -40,6 +40,14 @@ class KdTree : public SpatialIndex {
 
   std::vector<uint32_t> RangeQuery(const double* q,
                                    double radius) const override;
+
+  // RangeQuery into caller-owned buffers: appends the hits to *out (cleared
+  // first) and uses *stack as the DFS worklist. With reused buffers the
+  // query is allocation-free once their capacities have grown to the
+  // query's footprint — the form the ρ-approximate range-counter prefilter
+  // calls per probe.
+  void RangeQueryInto(const double* q, double radius, std::vector<uint32_t>* out,
+                      std::vector<uint32_t>* stack) const;
   size_t CountInBall(const double* q, double radius,
                      size_t stop_at) const override;
   bool AnyWithin(const double* q, double radius) const override;

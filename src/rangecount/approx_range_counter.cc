@@ -2,23 +2,52 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <utility>
 
 #include "geom/kernels.h"
 #include "geom/point.h"
 #include "obs/metrics.h"
 #include "util/check.h"
+#include "util/scratch_arena.h"
 
 namespace adbscan {
+
+// Build-time scratch: a scatter buffer and per-position slot array sized to
+// the id count, one open-addressing table for the root grouping, and one
+// (child coord, count/cursor) table per level shared by every node at that
+// level. Thread-local and capacity-preserving, so the ρ-approximate
+// pipeline — which constructs one counter per core cell inside ParallelFor
+// — partitions without per-node heap traffic once a worker's buffers have
+// grown to the largest cell it has seen.
+struct ApproxRangeCounter::BuildScratch {
+  std::vector<uint32_t> tmp;      // counting-scatter target
+  std::vector<uint32_t> slot_of;  // per position: index into the live table
+  std::vector<uint32_t> hash;     // root grouping: open-addressing slots
+  std::vector<std::vector<std::pair<CellCoord, uint32_t>>> tables;
+};
+
 namespace {
 
 // Above this many level-0 cells, root lookup goes through a kd-tree.
 constexpr size_t kRootScanThreshold = 32;
 
+constexpr uint32_t kNoSlot = 0xffffffffu;
+
 int LevelsFor(double rho) {
   ADB_CHECK(rho > 0.0);
   if (rho >= 1.0) return 1;
   return 1 + static_cast<int>(std::ceil(std::log2(1.0 / rho)));
+}
+
+size_t NextPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+ApproxRangeCounter::BuildScratch& TlsBuildScratch() {
+  thread_local ApproxRangeCounter::BuildScratch scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -37,21 +66,65 @@ ApproxRangeCounter::ApproxRangeCounter(const Dataset& data,
   ADB_COUNT("rangecount.structures", 1);
   if (scratch_.empty()) return;
 
-  // Group points by level-0 cell, then build each root subtree over its
-  // contiguous scratch range.
-  std::unordered_map<CellCoord, std::vector<uint32_t>, CellCoordHash> groups;
-  groups.reserve(scratch_.size());
-  for (uint32_t id : scratch_) {
-    groups[CellCoord::Of(data.point(id), data.dim(), level0_side_)]
-        .push_back(id);
+  // Group points by level-0 cell with an open-addressing table plus a
+  // last-cell memo (spatially coherent id order hits the memo most of the
+  // time), then counting-scatter the ids so each root's members form one
+  // contiguous, input-ordered scratch range. Roots keep first-appearance
+  // order — the query layer only ever sums over them, so any fixed order
+  // is equivalent.
+  BuildScratch& bs = TlsBuildScratch();
+  const size_t n_ids = scratch_.size();
+  const CellCoordHash hasher;
+  std::vector<std::pair<CellCoord, uint32_t>> roots_table;
+  bs.hash.assign(NextPow2(2 * n_ids), kNoSlot);
+  const size_t mask = bs.hash.size() - 1;
+  if (bs.slot_of.size() < n_ids) bs.slot_of.resize(n_ids);
+  if (bs.tmp.size() < n_ids) bs.tmp.resize(n_ids);
+  CellCoord last_cc;
+  uint32_t last_slot = kNoSlot;
+  for (size_t i = 0; i < n_ids; ++i) {
+    const CellCoord cc =
+        CellCoord::Of(data.point(scratch_[i]), data.dim(), level0_side_);
+    if (last_slot == kNoSlot || !(cc == last_cc)) {
+      size_t h = hasher(cc) & mask;
+      for (;;) {
+        const uint32_t s = bs.hash[h];
+        if (s == kNoSlot) {
+          last_slot = static_cast<uint32_t>(roots_table.size());
+          bs.hash[h] = last_slot;
+          roots_table.emplace_back(cc, 0u);
+          break;
+        }
+        if (roots_table[s].first == cc) {
+          last_slot = s;
+          break;
+        }
+        h = (h + 1) & mask;
+      }
+      last_cc = cc;
+    }
+    ++roots_table[last_slot].second;
+    bs.slot_of[i] = last_slot;
   }
-  scratch_.clear();
+  uint32_t run = 0;
+  for (auto& [coord, count] : roots_table) {
+    const uint32_t c = count;
+    count = run;  // becomes the scatter cursor
+    run += c;
+  }
+  for (size_t i = 0; i < n_ids; ++i) {
+    bs.tmp[roots_table[bs.slot_of[i]].second++] = scratch_[i];
+  }
+  std::copy(bs.tmp.begin(), bs.tmp.begin() + n_ids, scratch_.begin());
+
   nodes_.reserve(2 * ids.size());
-  for (auto& [coord, members] : groups) {
-    const uint32_t begin = static_cast<uint32_t>(scratch_.size());
-    scratch_.insert(scratch_.end(), members.begin(), members.end());
-    const uint32_t end = static_cast<uint32_t>(scratch_.size());
-    roots_.push_back(BuildNode(0, coord, begin, end));
+  if (bs.tables.size() < static_cast<size_t>(num_levels_)) {
+    bs.tables.resize(num_levels_);
+  }
+  uint32_t begin = 0;
+  for (auto& [coord, end] : roots_table) {  // .second is now the range end
+    roots_.push_back(BuildNode(0, coord, begin, end, &bs));
+    begin = end;
   }
 
   // Roots that B(q, ε) can reach have cell centers within
@@ -73,7 +146,8 @@ ApproxRangeCounter::ApproxRangeCounter(const Dataset& data,
 }
 
 uint32_t ApproxRangeCounter::BuildNode(int level, const CellCoord& coord,
-                                       uint32_t begin, uint32_t end) {
+                                       uint32_t begin, uint32_t end,
+                                       BuildScratch* bs) {
   ADB_DCHECK(begin < end);
   const uint32_t node_idx = static_cast<uint32_t>(nodes_.size());
   nodes_.emplace_back();
@@ -85,39 +159,72 @@ uint32_t ApproxRangeCounter::BuildNode(int level, const CellCoord& coord,
   }
   if (level + 1 >= num_levels_) return node_idx;  // leaf
 
-  // Partition scratch_[begin, end) by child cell (2^d possible children).
-  const double child_side = SideAtLevel(level + 1);
-  std::unordered_map<CellCoord, std::vector<uint32_t>, CellCoordHash> buckets;
-  for (uint32_t i = begin; i < end; ++i) {
-    const uint32_t id = scratch_[i];
-    buckets[CellCoord::Of(data_->point(id), data_->dim(), child_side)]
-        .push_back(id);
+  // Path-compress singleton chains: a 1-point node subdivides into a chain
+  // of 1-point nodes all the way down, so jump straight to the deepest
+  // level. The deeper box only tightens both query rules (smaller max-dist
+  // for take-whole, larger min-dist for pruning), and the leaf-diameter
+  // soundness argument applies verbatim. Roots are exempt — the root
+  // lookup structures assume level-0 coordinates.
+  if (end - begin == 1 && level > 0) {
+    Node& node = nodes_[node_idx];
+    node.level = static_cast<int16_t>(num_levels_ - 1);
+    node.coord = CellCoord::Of(data_->point(scratch_[begin]), data_->dim(),
+                               SideAtLevel(num_levels_ - 1));
+    return node_idx;
   }
-  uint32_t cursor = begin;
-  std::vector<std::pair<CellCoord, std::pair<uint32_t, uint32_t>>> ranges;
-  ranges.reserve(buckets.size());
-  for (auto& [child_coord, members] : buckets) {
-    const uint32_t b = cursor;
-    for (uint32_t id : members) scratch_[cursor++] = id;
-    ranges.emplace_back(child_coord, std::make_pair(b, cursor));
-  }
-  ADB_DCHECK(cursor == end);
 
-  // Children are built depth-first, so their node indices are not
-  // contiguous; collect them and append to the shared child_pool_.
-  std::vector<uint32_t> child_indices;
-  child_indices.reserve(ranges.size());
-  for (const auto& [child_coord, range] : ranges) {
-    child_indices.push_back(
-        BuildNode(level + 1, child_coord, range.first, range.second));
+  // Partition scratch_[begin, end) by child cell (about 2^d children, so a
+  // memo-assisted linear table probe beats any hashing) with a stable
+  // counting scatter. The per-level tables are safe under recursion: this
+  // frame only touches tables[level], descendants only deeper levels, and
+  // siblings run strictly after this subtree returns. tmp/slot_of are
+  // shared across frames but fully consumed before the recursion below.
+  const double child_side = SideAtLevel(level + 1);
+  std::vector<std::pair<CellCoord, uint32_t>>& table = bs->tables[level];
+  table.clear();
+  CellCoord last_cc;
+  uint32_t last_slot = kNoSlot;
+  for (uint32_t i = begin; i < end; ++i) {
+    const CellCoord cc =
+        CellCoord::Of(data_->point(scratch_[i]), data_->dim(), child_side);
+    if (last_slot == kNoSlot || !(cc == last_cc)) {
+      uint32_t s = 0;
+      const uint32_t table_size = static_cast<uint32_t>(table.size());
+      while (s < table_size && !(table[s].first == cc)) ++s;
+      if (s == table_size) table.emplace_back(cc, 0u);
+      last_cc = cc;
+      last_slot = s;
+    }
+    ++table[last_slot].second;
+    bs->slot_of[i] = last_slot;
   }
-  // Append the child index list into the shared child_index_ pool.
+  uint32_t run = begin;
+  for (auto& [child_coord, count] : table) {
+    const uint32_t c = count;
+    count = run;  // becomes the scatter cursor
+    run += c;
+  }
+  ADB_DCHECK(run == end);
+  for (uint32_t i = begin; i < end; ++i) {
+    bs->tmp[table[bs->slot_of[i]].second++] = scratch_[i];
+  }
+  std::copy(bs->tmp.begin() + begin, bs->tmp.begin() + end,
+            scratch_.begin() + begin);
+
+  // The child count is known before recursing, so this node's slots in the
+  // shared child_pool_ are reserved up front and filled by index as each
+  // depth-first child returns (descendants append their own slots after).
   const uint32_t pool_begin = static_cast<uint32_t>(child_pool_.size());
-  child_pool_.insert(child_pool_.end(), child_indices.begin(),
-                     child_indices.end());
+  child_pool_.resize(pool_begin + table.size());
+  uint32_t child_begin = begin;
+  for (size_t k = 0; k < table.size(); ++k) {
+    child_pool_[pool_begin + k] =
+        BuildNode(level + 1, table[k].first, child_begin, table[k].second, bs);
+    child_begin = table[k].second;
+  }
   Node& node = nodes_[node_idx];
   node.child_begin = pool_begin;
-  node.child_end = static_cast<uint32_t>(child_pool_.size());
+  node.child_end = pool_begin + static_cast<uint32_t>(table.size());
   return node_idx;
 }
 
@@ -162,7 +269,13 @@ size_t ApproxRangeCounter::Query(const double* q) const {
     }
     return ans;
   }
-  for (uint32_t root_pos : root_tree_->RangeQuery(q, root_radius_)) {
+  // Worker-local buffers keep the per-probe root lookup allocation-free in
+  // steady state (these probes run once per point inside ParallelFor).
+  std::vector<uint32_t>& hits = WorkerScratch<uint32_t>(scratch::kRangeCountRoots);
+  std::vector<uint32_t>& stack =
+      WorkerScratch<uint32_t>(scratch::kRangeCountStack);
+  root_tree_->RangeQueryInto(q, root_radius_, &hits, &stack);
+  for (uint32_t root_pos : hits) {
     QueryNode(roots_[root_pos], q, &ans, SIZE_MAX);
   }
   return ans;
@@ -186,7 +299,11 @@ bool ApproxRangeCounter::QueryAtLeast(const double* q,
     }
     return false;
   }
-  for (uint32_t root_pos : root_tree_->RangeQuery(q, root_radius_)) {
+  std::vector<uint32_t>& hits = WorkerScratch<uint32_t>(scratch::kRangeCountRoots);
+  std::vector<uint32_t>& stack =
+      WorkerScratch<uint32_t>(scratch::kRangeCountStack);
+  root_tree_->RangeQueryInto(q, root_radius_, &hits, &stack);
+  for (uint32_t root_pos : hits) {
     QueryNode(roots_[root_pos], q, &ans, threshold);
     if (ans >= threshold) return true;
   }

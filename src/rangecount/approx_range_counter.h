@@ -58,6 +58,12 @@ class ApproxRangeCounter {
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_points() const { return num_points_; }
 
+  // Reusable build-time buffers (scatter target, per-position child slots,
+  // one child table per level); defined and owned thread-locally by the
+  // .cc so a worker constructing many counters in a row allocates only
+  // while the buffers still grow.
+  struct BuildScratch;
+
  private:
   struct Node {
     CellCoord coord;       // at this node's level resolution
@@ -75,7 +81,7 @@ class ApproxRangeCounter {
   // Recursively materializes the node for (level, coord) covering
   // scratch[begin, end); returns its index in nodes_.
   uint32_t BuildNode(int level, const CellCoord& coord, uint32_t begin,
-                     uint32_t end);
+                     uint32_t end, BuildScratch* bs);
 
   // Walks one root subtree, accumulating into *ans; stops descending once
   // *ans reaches stop_at (pass SIZE_MAX for a full count).

@@ -138,7 +138,6 @@ uint64_t SessionManager::CreateSession(int dim, const DbscanParams& params,
   p.num_threads = options_.num_threads;
   DynamicClustererOptions dyn;
   dyn.rho = rho;
-  dyn.layout = options_.layout;
 
   std::lock_guard<std::mutex> lk(sessions_mu_);
   if (sessions_.size() >= options_.max_sessions) {

@@ -79,9 +79,6 @@ struct ServeOptions {
   // Tests drive drains deterministically by disabling the background
   // drainer and calling Flush()/DrainDirtySessions() themselves.
   bool start_drainer = true;
-
-  // Forwarded to every session's DynamicClusterer.
-  Grid::Layout layout = Grid::Layout::kCsr;
 };
 
 // Immutable label snapshot of one session at one epoch. Published by value

@@ -8,6 +8,7 @@
 
 #include "grid/grid.h"
 #include "grid/morton.h"
+#include "grid/stencil.h"
 #include "index/kdtree.h"
 #include "obs/metrics.h"
 #include "util/check.h"
@@ -221,12 +222,11 @@ void ShardPlanner::ComputeHalos(int num_threads) {
     std::vector<std::vector<uint32_t>> mine(num_shards_);
     for (size_t a = begin; a < end; ++a) {
       const int sa = ShardOf(static_cast<uint32_t>(a));
-      const Box box_a = coords_[a].ToBox(side_);
       for (uint32_t b : tree.RangeQuery(centers.point(a), radius)) {
         if (b <= a) continue;  // each unordered pair handled once
         const int sb = ShardOf(b);
         if (sb == sa) continue;
-        if (box_a.MinSquaredDistToBox(coords_[b].ToBox(side_)) > eps2) {
+        if (CellPairDist2(coords_[a], coords_[b], side_) > eps2) {
           continue;
         }
         mine[sa].push_back(b);

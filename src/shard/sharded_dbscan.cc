@@ -122,7 +122,7 @@ Clustering ShardedApproxDbscan(const Dataset& data, const DbscanParams& params,
     max_resident = std::max(max_resident, ln);
     if (ln == 0) continue;
 
-    const Grid grid(subset.local, plan.side(), Grid::DefaultLayout(),
+    const Grid grid(subset.local, plan.side(),
                     params.num_threads);
     if (params.num_threads > 1) {
       grid.WarmNeighborCache(params.eps, params.num_threads);
@@ -297,7 +297,7 @@ Clustering ShardedApproxDbscan(const Dataset& data, const DbscanParams& params,
     const size_t ln = subset.local.size();
     if (ln == 0) continue;
 
-    const Grid grid(subset.local, plan.side(), Grid::DefaultLayout(),
+    const Grid grid(subset.local, plan.side(),
                     params.num_threads);
     if (params.num_threads > 1) {
       grid.WarmNeighborCache(params.eps, params.num_threads);

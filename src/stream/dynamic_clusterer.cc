@@ -11,6 +11,7 @@
 #include "geom/point.h"
 #include "geom/soa.h"
 #include "grid/morton.h"
+#include "grid/stencil.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -139,10 +140,12 @@ void DynamicClusterer::NeighborCells(uint32_t ci,
       }
     }
   }
-  const Box my_box = cell.coord.ToBox(side_);
+  // Overlay cells are filtered by the same canonical corner-distance
+  // predicate the snapshot grid's EpsNeighbors uses, so overlay and
+  // snapshot decisions always agree.
   auto consider = [&](uint32_t dc) {
     if (dc == ci || cells_[dc].members.empty()) return;
-    if (my_box.MinSquaredDistToBox(cells_[dc].coord.ToBox(side_)) <= eps2_) {
+    if (CellPairDist2(cell.coord, cells_[dc].coord, side_) <= eps2_) {
       out->push_back(dc);
     }
   };
@@ -161,15 +164,7 @@ void DynamicClusterer::NeighborCells(uint32_t ci,
 }
 
 bool DynamicClusterer::CellPrecedes(uint32_t a, uint32_t b) const {
-  if (opts_.layout == Grid::Layout::kCsr) {
-    return MortonLess(cells_[a].coord.c.data(), cells_[b].coord.c.data(),
-                      dim_);
-  }
-  // Legacy grids enumerate cells in first-encounter order over ascending
-  // point ids, i.e. by minimum surviving member id. Global ids are assigned
-  // in ascending order, so the order is preserved by compaction.
-  ADB_DCHECK(!cells_[a].members.empty() && !cells_[b].members.empty());
-  return cells_[a].members.front() < cells_[b].members.front();
+  return MortonLess(cells_[a].coord.c.data(), cells_[b].coord.c.data(), dim_);
 }
 
 void DynamicClusterer::EnsureCounter(uint32_t ci) {
@@ -255,7 +250,7 @@ void DynamicClusterer::Compact() {
   for (uint32_t id = 0; id < points_.size(); ++id) {
     if (alive_[id]) data->Add(points_.point(id));
   }
-  auto grid = std::make_unique<Grid>(*data, side_, opts_.layout);
+  auto grid = std::make_unique<Grid>(*data, side_);
   snap_to_dyn_.assign(grid->NumCells(), 0);
   for (uint32_t sc = 0; sc < static_cast<uint32_t>(grid->NumCells()); ++sc) {
     auto it = cell_ids_.find(grid->CellCoordOf(sc));
@@ -391,7 +386,7 @@ uint32_t DynamicClusterer::Insert(const Dataset& batch) {
   std::sort(touched.begin(), touched.end());
 
   ops_since_snapshot_ += bn;
-  Refresh(std::move(touched), {}, {});
+  Refresh(std::move(touched), {});
   MaybeRebuildOverlayIndex();
   return first;
 }
@@ -406,19 +401,12 @@ void DynamicClusterer::Remove(const std::vector<uint32_t>& ids) {
   labels_valid_ = false;
 
   std::vector<uint32_t> forced_core_dirty;
-  std::vector<uint32_t> order_dirty;
   std::vector<uint32_t> removal_cells;
   for (uint32_t id : ids) {
     ADB_CHECK(id < points_.size());
     ADB_CHECK_MSG(alive_[id] != 0, "Remove: id is dead or duplicated");
     const uint32_t dc = cell_of_[id];
     Cell& cell = cells_[dc];
-    if (opts_.layout == Grid::Layout::kLegacy && cell.members.front() == id &&
-        cell.members.size() > 1) {
-      // The cell's first-encounter order key changes, which can flip the
-      // edge-probe direction of its pairs under the legacy layout.
-      order_dirty.push_back(dc);
-    }
     EraseSorted(&cell.members, id);
     alive_[id] = 0;
     count_[id] = 0;
@@ -510,13 +498,12 @@ void DynamicClusterer::Remove(const std::vector<uint32_t>& ids) {
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
 
   ops_since_snapshot_ += bn;
-  Refresh(std::move(touched), forced_core_dirty, order_dirty);
+  Refresh(std::move(touched), forced_core_dirty);
   MaybeRebuildOverlayIndex();
 }
 
 void DynamicClusterer::Refresh(std::vector<uint32_t> touched,
-                               const std::vector<uint32_t>& forced_core_dirty,
-                               const std::vector<uint32_t>& order_dirty) {
+                               const std::vector<uint32_t>& forced_core_dirty) {
   ADB_PHASE("stream.refresh");
 
   // Core flag flips. Each work item writes only its own cell's members'
@@ -561,8 +548,7 @@ void DynamicClusterer::Refresh(std::vector<uint32_t> touched,
   });
 
   // The edge-dirty set: cells whose core set changed (their pairs must be
-  // re-certified) plus cells whose legacy order key changed (their pairs'
-  // probe direction may have flipped).
+  // re-certified).
   std::vector<uint32_t> dirty;
   std::vector<char> dirty_was_core;
   for (size_t k = 0; k < candidates.size(); ++k) {
@@ -573,12 +559,6 @@ void DynamicClusterer::Refresh(std::vector<uint32_t> touched,
     cell.core = std::move(new_core[k]);
     ++cell.core_version;
   }
-  for (uint32_t dc : order_dirty) {
-    if (std::find(dirty.begin(), dirty.end(), dc) != dirty.end()) continue;
-    dirty.push_back(dc);
-    dirty_was_core.push_back(cells_[dc].core.empty() ? 0 : 1);
-  }
-
   uf_->Grow(static_cast<uint32_t>(cells_.size()));
   if (dirty.empty()) return;
 

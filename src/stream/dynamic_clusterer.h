@@ -25,12 +25,6 @@ struct DynamicClustererOptions {
   // of ApproxDbscan.
   double rho = 0.001;
 
-  // Grid layout of the compacted snapshot. Also selects the edge-probe
-  // direction convention so that Labels() is bit-identical to a from-scratch
-  // ApproxDbscan run under the same layout: kCsr orders cells by Morton
-  // code, kLegacy by first-encounter (= minimum surviving member id).
-  Grid::Layout layout = Grid::Layout::kCsr;
-
   // Snapshot rebuild threshold: when the number of applied updates since the
   // last compaction exceeds this fraction of the surviving points, the next
   // batch first compacts the overlay into a fresh Morton/CSR snapshot
@@ -55,7 +49,7 @@ struct DynamicClustererOptions {
 // therefore Snapshot().clustering — is IDENTICAL (bit-for-bit: labels,
 // core flags, extra memberships, cluster numbering) to a from-scratch
 // ApproxDbscan run over the surviving points with the same eps / MinPts /
-// rho / layout, for every thread count. This works because every quantity
+// rho, for every thread count. This works because every quantity
 // the pipeline derives is a deterministic function of the surviving
 // coordinate multiset:
 //
@@ -66,8 +60,8 @@ struct DynamicClustererOptions {
 //  - The Lemma 5 range-count structures depend only on coordinates (cells
 //    are origin-aligned), so an edge probe gives the same answer whether the
 //    structure was built over global or compacted ids. Probe direction (the
-//    lower-ordered cell probes its core points against the higher-ordered
-//    cell's structure) is replicated per layout.
+//    Morton-lower cell probes its core points against the Morton-higher
+//    cell's structure) depends only on coordinates.
 //  - Connected components of the certified edge relation, cluster numbering
 //    by first core point in ascending id order, and the border predicates
 //    are all id-order preserving under tombstone compaction.
@@ -142,7 +136,7 @@ class DynamicClusterer {
 
   // The surviving points compacted to dense ids (ascending global order)
   // plus the clustering re-indexed to match — directly comparable to
-  // ApproxDbscan(points, params, rho) on the same layout.
+  // ApproxDbscan(points, params, rho).
   struct SnapshotView {
     std::vector<uint32_t> ids;  // surviving global ids, ascending
     Dataset points;             // row i = point(ids[i])
@@ -175,9 +169,8 @@ class DynamicClusterer {
   // Non-empty cells other than ci whose extent is within eps of ci's
   // extent (the ε-neighbor cells a from-scratch grid would enumerate).
   void NeighborCells(uint32_t ci, std::vector<uint32_t>* out) const;
-  // True when cell a precedes cell b in the order the selected grid layout
-  // would enumerate them (Morton for kCsr, min member id for kLegacy) —
-  // which fixes the edge-probe direction.
+  // True when cell a precedes cell b in the grid's Morton enumeration
+  // order — which fixes the edge-probe direction.
   bool CellPrecedes(uint32_t a, uint32_t b) const;
   // Rebuilds ci's counter if its core set changed since the last build.
   void EnsureCounter(uint32_t ci);
@@ -200,11 +193,9 @@ class DynamicClusterer {
   // Re-derives core flags, core sets, counters, adjacency, and components
   // after a batch touched `touched_cells` (cells whose members' counts may
   // have changed). `forced_core_dirty` cells rebuild their core vector even
-  // without a flag flip (a core member was tombstoned); `order_dirty` cells
-  // re-probe their pairs because their legacy order key changed.
+  // without a flag flip (a core member was tombstoned).
   void Refresh(std::vector<uint32_t> touched_cells,
-               const std::vector<uint32_t>& forced_core_dirty,
-               const std::vector<uint32_t>& order_dirty);
+               const std::vector<uint32_t>& forced_core_dirty);
 
   int dim_;
   DbscanParams params_;

@@ -1,0 +1,66 @@
+#ifndef ADBSCAN_UTIL_SCRATCH_ARENA_H_
+#define ADBSCAN_UTIL_SCRATCH_ARENA_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace adbscan {
+
+// Reusable per-worker scratch buffers for hot loops that would otherwise
+// heap-allocate per cell or per probe. Each (element type, slot) pair names
+// one thread-local std::vector that keeps its capacity across calls, so a
+// loop that clears and refills it runs allocation-free once warm — the
+// property the steady-state tests in tests/test_grid.cc assert for the
+// warmed grid paths.
+//
+// Slot discipline: a call site owns its slot for as long as the reference
+// it took is live. Two buffers of the same element type that are live at
+// the same time (including across a call into another subsystem) must use
+// different slots; the named constants below partition the slot space so
+// call sites cannot collide by accident. Taking the same (type, slot) from
+// two call frames of the same thread aliases one buffer — that is the bug
+// this registry exists to prevent.
+//
+// Thread-compatibility: the buffers are thread-local, so concurrent workers
+// (e.g. ParallelFor chunks) never share one. References must not escape
+// the thread that obtained them.
+namespace scratch {
+
+// std::vector<uint32_t> slots.
+inline constexpr int kRangeCountRoots = 0;      // ApproxRangeCounter: root hits
+inline constexpr int kRangeCountStack = 1;      // ApproxRangeCounter: kd DFS
+inline constexpr int kBorderCandidateCells = 2; // border: candidate grid cells
+inline constexpr int kBorderCoreCells = 3;      // border: core-cell ids
+inline constexpr int kBorderGridCells = 4;      // border: grid-cell ids
+inline constexpr int kGridBuildSlots = 5;       // Grid build: probe tables
+
+// std::vector<std::pair<double, uint32_t>> slots.
+inline constexpr int kGridDistKeys = 0;  // Grid: (corner dist, cell) sort keys
+
+// std::vector<Box> slots.
+inline constexpr int kCoreNeighborBoxes = 0;  // core labeling: neighbor boxes
+inline constexpr int kBorderCoreBoxes = 1;    // border: candidate core boxes
+
+// std::vector<simd::SoaSpan> / std::vector<simd::SoaBlock> slots.
+inline constexpr int kCoreNeighborViews = 0;  // core labeling: per-cell views
+inline constexpr int kBorderCoreViews = 1;    // border: per-candidate views
+
+}  // namespace scratch
+
+// Ceiling on slots per element type. Fixed so the pool vector NEVER grows:
+// growing would move the inner vectors and dangle every reference handed
+// out earlier on this thread (call sites routinely hold two slots at once).
+inline constexpr int kMaxScratchSlots = 8;
+
+// The slot'th reusable buffer of element type T for the calling thread.
+// Never cleared by the arena itself: callers clear() (keeping capacity)
+// before refilling.
+template <typename T>
+inline std::vector<T>& WorkerScratch(int slot = 0) {
+  thread_local std::vector<std::vector<T>> pools(kMaxScratchSlots);
+  return pools[static_cast<size_t>(slot)];
+}
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_UTIL_SCRATCH_ARENA_H_

@@ -78,9 +78,11 @@ TEST(MaxLegalRho, SmallNearAMergeBoundary) {
   // Below 0.05 the guarantee forbids merging (gap > eps(1+rho)), so the
   // bisection must reach at least ~0.05; in the don't-care band the merge
   // kicks in once a counting cell straddles the eps boundary, which happens
-  // by rho ~ 0.08 for this geometry.
+  // by rho ~ 0.15 for this geometry (singleton-path compression places the
+  // isolated block points in deepest-level cells, so the straddle starts a
+  // little later than the pre-compression ~0.08).
   EXPECT_GE(max_rho, 0.0495);
-  EXPECT_LE(max_rho, 0.08);
+  EXPECT_LE(max_rho, 0.15);
   // The returned value must itself be legal.
   const Clustering exact = ExactGridDbscan(data, params);
   EXPECT_TRUE(SameClusters(exact, ApproxDbscan(data, params, max_rho)));

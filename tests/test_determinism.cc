@@ -90,46 +90,6 @@ TEST(ThreadDeterminism, AllPipelinesIdenticalAcrossThreadCounts) {
   }
 }
 
-TEST(LayoutDeterminism, AllPipelinesIdenticalAcrossGridLayouts) {
-  // The Morton/CSR grid layout must be invisible in the output: raw
-  // clusterings (not just canonical forms) match the legacy per-cell-vector
-  // layout for every pipeline, serial and parallel.
-  SeedSpreaderParams p;
-  p.dim = 2;  // 2D so Gunawan2dDbscan participates
-  p.n = 4000;
-  p.forced_restart_every = p.n / 4;
-  const Dataset data = GenerateSeedSpreader(p, 7002);
-  const double eps = 5000.0;
-  const int min_pts = 20;
-
-  using Runner = std::function<Clustering(const DbscanParams&)>;
-  const std::vector<std::pair<std::string, Runner>> pipelines = {
-      {"KDD96",
-       [&](const DbscanParams& dp) { return Kdd96Dbscan(data, dp); }},
-      {"GriDBSCAN",
-       [&](const DbscanParams& dp) { return GridbscanDbscan(data, dp); }},
-      {"ExactGrid",
-       [&](const DbscanParams& dp) { return ExactGridDbscan(data, dp); }},
-      {"Approx(rho=0.01)",
-       [&](const DbscanParams& dp) { return ApproxDbscan(data, dp, 0.01); }},
-      {"Gunawan2D",
-       [&](const DbscanParams& dp) { return Gunawan2dDbscan(data, dp); }},
-  };
-
-  const Grid::Layout saved = Grid::DefaultLayout();
-  for (const auto& [name, run] : pipelines) {
-    for (int threads : {1, HardwareThreads()}) {
-      Grid::SetDefaultLayout(Grid::Layout::kCsr);
-      const Clustering csr = run(DbscanParams{eps, min_pts, threads});
-      Grid::SetDefaultLayout(Grid::Layout::kLegacy);
-      const Clustering legacy = run(DbscanParams{eps, min_pts, threads});
-      ExpectIdentical(csr, legacy,
-                      name + " threads=" + std::to_string(threads));
-    }
-  }
-  Grid::SetDefaultLayout(saved);
-}
-
 TEST(ThreadDeterminism, RepeatedParallelRunsAreStable) {
   // Same thread count, repeated runs: scheduling differences between runs
   // must not leak into the output either.

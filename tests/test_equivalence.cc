@@ -208,7 +208,6 @@ TEST(ExactEquivalence, PaperFigure2StyleExample) {
 // --kernel=auto, at any thread count.
 TEST(KernelEquivalence, ScalarAndAutoProduceIdenticalClusterings) {
   const simd::KernelKind saved = simd::ActiveKernel();
-  const Grid::Layout saved_layout = Grid::DefaultLayout();
   using Runner = std::function<Clustering(const Dataset&, const DbscanParams&)>;
   const std::vector<std::pair<std::string, Runner>> pipelines = {
       {"KDD96",
@@ -242,37 +241,30 @@ TEST(KernelEquivalence, ScalarAndAutoProduceIdenticalClusterings) {
       const DbscanParams params{5000.0, 20, threads};
       for (const auto& [name, run] : pipelines) {
         if (name == "Gunawan2D" && dim != 2) continue;
-        // Baseline: scalar kernel on the CSR grid layout. Every other
-        // (kernel, layout) combination must reproduce it bit-identically.
-        Grid::SetDefaultLayout(Grid::Layout::kCsr);
+        // Baseline: the scalar kernel. Every other kernel choice must
+        // reproduce it bit-identically.
         ASSERT_TRUE(simd::SetKernel(simd::KernelKind::kScalar));
         const Clustering base = run(data, params);
         EXPECT_GT(base.num_clusters, 0)
             << name << " dim=" << dim << " (vacuous input)";
-        for (Grid::Layout layout :
-             {Grid::Layout::kCsr, Grid::Layout::kLegacy}) {
-          for (simd::KernelKind kind :
-               {simd::KernelKind::kScalar, simd::KernelKind::kAuto}) {
-            Grid::SetDefaultLayout(layout);
-            ASSERT_TRUE(simd::SetKernel(kind));
-            const Clustering other = run(data, params);
-            const std::string context =
-                name + " dim=" + std::to_string(dim) +
-                " threads=" + std::to_string(threads) +
-                " layout=" + (layout == Grid::Layout::kCsr ? "csr" : "legacy") +
-                " kernel=" + simd::KernelName(kind);
-            EXPECT_EQ(base.num_clusters, other.num_clusters) << context;
-            EXPECT_EQ(base.label, other.label) << context;
-            EXPECT_EQ(base.is_core, other.is_core) << context;
-            EXPECT_EQ(base.extra_memberships, other.extra_memberships)
-                << context;
-            EXPECT_TRUE(SameClusters(base, other)) << context;
-          }
+        for (simd::KernelKind kind :
+             {simd::KernelKind::kScalar, simd::KernelKind::kAuto}) {
+          ASSERT_TRUE(simd::SetKernel(kind));
+          const Clustering other = run(data, params);
+          const std::string context =
+              name + " dim=" + std::to_string(dim) +
+              " threads=" + std::to_string(threads) +
+              " kernel=" + simd::KernelName(kind);
+          EXPECT_EQ(base.num_clusters, other.num_clusters) << context;
+          EXPECT_EQ(base.label, other.label) << context;
+          EXPECT_EQ(base.is_core, other.is_core) << context;
+          EXPECT_EQ(base.extra_memberships, other.extra_memberships)
+              << context;
+          EXPECT_TRUE(SameClusters(base, other)) << context;
         }
       }
     }
   }
-  Grid::SetDefaultLayout(saved_layout);
   simd::SetKernel(saved);
 }
 

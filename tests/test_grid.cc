@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <map>
+#include <new>
 #include <set>
 #include <vector>
 
@@ -10,7 +13,53 @@
 #include "geom/soa.h"
 #include "grid/grid.h"
 #include "grid/morton.h"
+#include "grid/stencil.h"
 #include "test_helpers.h"
+
+// Counting allocator hook for the steady-state no-allocation test: every
+// global operator new (plain, array, aligned) bumps the counter while
+// g_count_allocs is set. Defined at global scope in this TU only (each
+// test file is its own binary).
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<size_t> g_alloc_calls{0};
+void NoteAlloc() {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+}  // namespace
+
+void* operator new(std::size_t n) {
+  NoteAlloc();
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  NoteAlloc();
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(a), n != 0 ? n : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return ::operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace adbscan {
 namespace {
@@ -82,13 +131,15 @@ TEST(Grid, SameCellPointsWithinEps) {
   }
 }
 
-// Reference ε-neighbor computation: all pairs of cells, box-to-box distance.
+// Reference ε-neighbor computation: all pairs of cells, the canonical
+// corner-distance predicate (CellPairDist2) every enumeration engine
+// evaluates bit-for-bit.
 std::vector<std::set<uint32_t>> BruteNeighbors(const Grid& grid, double eps) {
   std::vector<std::set<uint32_t>> out(grid.NumCells());
   for (uint32_t a = 0; a < grid.NumCells(); ++a) {
     for (uint32_t b = a + 1; b < grid.NumCells(); ++b) {
-      if (grid.CellBoxOf(a).MinSquaredDistToBox(grid.CellBoxOf(b)) <=
-          eps * eps) {
+      if (CellPairDist2(grid.CellCoordOf(a), grid.CellCoordOf(b),
+                        grid.side()) <= eps * eps) {
         out[a].insert(b);
         out[b].insert(a);
       }
@@ -231,7 +282,7 @@ TEST(Grid, FindCellLocatesExistingCells) {
 
 TEST(Grid, CsrCellsAreMortonSorted) {
   const Dataset data = RandomDataset(3, 600, -80.0, 80.0, 13);
-  const Grid grid(data, 6.0, Grid::Layout::kCsr);
+  const Grid grid(data, 6.0);
   for (uint32_t ci = 1; ci < grid.NumCells(); ++ci) {
     EXPECT_TRUE(MortonLess(grid.CellCoordOf(ci - 1).c.data(),
                            grid.CellCoordOf(ci).c.data(), 3))
@@ -240,44 +291,11 @@ TEST(Grid, CsrCellsAreMortonSorted) {
 }
 
 TEST(Grid, CellPointsAscendWithinEachCell) {
-  for (Grid::Layout layout : {Grid::Layout::kCsr, Grid::Layout::kLegacy}) {
-    const Dataset data = RandomDataset(3, 500, 0.0, 50.0, 14);
-    const Grid grid(data, 4.0, layout);
-    for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
-      const std::vector<uint32_t> pts = ToVec(grid.cell_points(ci));
-      EXPECT_TRUE(std::is_sorted(pts.begin(), pts.end()));
-    }
-  }
-}
-
-// Both layouts must expose the same grid: same coord -> members mapping,
-// same point -> cell assignment, same neighbor sets.
-TEST(Grid, CsrAndLegacyLayoutsAgree) {
-  const double eps = 8.0;
-  const Dataset data = RandomDataset(3, 500, -60.0, 60.0, 15);
-  const Grid csr(data, Grid::SideFor(eps, 3), Grid::Layout::kCsr);
-  const Grid legacy(data, Grid::SideFor(eps, 3), Grid::Layout::kLegacy);
-  ASSERT_EQ(csr.NumCells(), legacy.NumCells());
-  for (uint32_t ci = 0; ci < csr.NumCells(); ++ci) {
-    const uint32_t lj = legacy.FindCell(csr.CellCoordOf(ci));
-    ASSERT_NE(lj, Grid::kNoCell);
-    EXPECT_EQ(ToVec(csr.cell_points(ci)), ToVec(legacy.cell_points(lj)));
-    // Neighbor sets agree after mapping cell indices through coordinates.
-    std::set<std::vector<int64_t>> csr_neighbors, legacy_neighbors;
-    const auto key = [](const CellCoord& cc) {
-      return std::vector<int64_t>(cc.c.begin(), cc.c.begin() + cc.dim);
-    };
-    for (uint32_t cj : csr.EpsNeighbors(ci, eps)) {
-      csr_neighbors.insert(key(csr.CellCoordOf(cj)));
-    }
-    for (uint32_t cj : legacy.EpsNeighbors(lj, eps)) {
-      legacy_neighbors.insert(key(legacy.CellCoordOf(cj)));
-    }
-    EXPECT_EQ(csr_neighbors, legacy_neighbors);
-  }
-  for (uint32_t id = 0; id < data.size(); ++id) {
-    EXPECT_EQ(csr.CellCoordOf(csr.CellOfPoint(id)),
-              legacy.CellCoordOf(legacy.CellOfPoint(id)));
+  const Dataset data = RandomDataset(3, 500, 0.0, 50.0, 14);
+  const Grid grid(data, 4.0);
+  for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+    const std::vector<uint32_t> pts = ToVec(grid.cell_points(ci));
+    EXPECT_TRUE(std::is_sorted(pts.begin(), pts.end()));
   }
 }
 
@@ -285,29 +303,26 @@ TEST(Grid, CsrAndLegacyLayoutsAgree) {
 // points in cell_points order, and the CSR span starts lane-aligned inside
 // the shared permuted SoA.
 TEST(Grid, CellBlockMatchesCellPoints) {
-  for (Grid::Layout layout : {Grid::Layout::kCsr, Grid::Layout::kLegacy}) {
-    const Dataset data = RandomDataset(5, 400, 0.0, 70.0, 16);
-    const Grid grid(data, 6.0, layout);
-    simd::SoaBlock scratch;
-    for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
-      const Grid::IdSpan pts = grid.cell_points(ci);
-      const simd::SoaSpan span = grid.CellBlock(ci, &scratch);
-      ASSERT_EQ(span.count, pts.size());
-      EXPECT_EQ(span.dim, 5);
-      EXPECT_EQ(reinterpret_cast<uintptr_t>(span.base) %
-                    (simd::kLaneWidth * sizeof(double)),
-                0u);
-      for (size_t j = 0; j < span.count; ++j) {
-        for (int i = 0; i < span.dim; ++i) {
-          EXPECT_EQ(span.base[i * span.stride + j], data.point(pts[j])[i]);
-        }
+  const Dataset data = RandomDataset(5, 400, 0.0, 70.0, 16);
+  const Grid grid(data, 6.0);
+  for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+    const Grid::IdSpan pts = grid.cell_points(ci);
+    const simd::SoaSpan span = grid.CellBlock(ci);
+    ASSERT_EQ(span.count, pts.size());
+    EXPECT_EQ(span.dim, 5);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(span.base) %
+                  (simd::kLaneWidth * sizeof(double)),
+              0u);
+    for (size_t j = 0; j < span.count; ++j) {
+      for (int i = 0; i < span.dim; ++i) {
+        EXPECT_EQ(span.base[i * span.stride + j], data.point(pts[j])[i]);
       }
-      // Padding lanes replicate the last point (finite, same cell).
-      for (size_t j = span.count; j < simd::PaddedCount(span.count); ++j) {
-        for (int i = 0; i < span.dim; ++i) {
-          EXPECT_EQ(span.base[i * span.stride + j],
-                    data.point(pts[pts.size() - 1])[i]);
-        }
+    }
+    // Padding lanes replicate the last point (finite, same cell).
+    for (size_t j = span.count; j < simd::PaddedCount(span.count); ++j) {
+      for (int i = 0; i < span.dim; ++i) {
+        EXPECT_EQ(span.base[i * span.stride + j],
+                  data.point(pts[pts.size() - 1])[i]);
       }
     }
   }
@@ -326,17 +341,21 @@ TEST(Grid, WarmCacheMatchesLazyEnumeration) {
   }
 }
 
-TEST(Grid, NeighborListsSortedByBoxDistance) {
+TEST(Grid, NeighborListsSortedByCornerDistance) {
   const double eps = 9.0;
   const Dataset data = RandomDataset(2, 500, 0.0, 90.0, 11);
   const Grid grid(data, Grid::SideFor(eps, 2));
   for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
-    const Box my_box = grid.CellBoxOf(ci);
-    double prev = -1.0;
+    double prev_d2 = -1.0;
+    uint32_t prev_cj = 0;
     for (uint32_t cj : grid.EpsNeighbors(ci, eps)) {
-      const double d2 = my_box.MinSquaredDistToBox(grid.CellBoxOf(cj));
-      EXPECT_GE(d2, prev);
-      prev = d2;
+      const double d2 =
+          CellPairDist2(grid.CellCoordOf(ci), grid.CellCoordOf(cj),
+                        grid.side());
+      EXPECT_GE(d2, prev_d2);
+      if (d2 == prev_d2) EXPECT_GT(cj, prev_cj) << "ties ascend by index";
+      prev_d2 = d2;
+      prev_cj = cj;
     }
   }
 }
@@ -369,23 +388,100 @@ TEST(Grid, CoincidentPointsShareOneCell) {
   EXPECT_EQ(grid.CellSize(0), 10u);
 }
 
-TEST(Grid, CsrBytesNonZeroOnlyForCsr) {
+TEST(Grid, CsrBytesNonZero) {
   const Dataset data = RandomDataset(2, 200, 0.0, 40.0, 17);
-  const Grid csr(data, 4.0, Grid::Layout::kCsr);
-  const Grid legacy(data, 4.0, Grid::Layout::kLegacy);
-  EXPECT_GT(csr.CsrBytes(), 0u);
-  EXPECT_EQ(legacy.CsrBytes(), 0u);
+  const Grid grid(data, 4.0);
+  EXPECT_GT(grid.CsrBytes(), 0u);
 }
 
-TEST(Grid, DefaultLayoutOverride) {
-  const Grid::Layout saved = Grid::DefaultLayout();
-  Grid::SetDefaultLayout(Grid::Layout::kLegacy);
-  {
-    const Dataset data = RandomDataset(2, 50, 0.0, 10.0, 18);
-    const Grid grid(data, 2.0);
-    EXPECT_EQ(grid.layout(), Grid::Layout::kLegacy);
+// Differential sweep of the two ε-neighbor engines (stencil hash-walk vs
+// axis-0 window scan) against the brute O(cells²) reference, in
+// d ∈ {2,3,5,7}, with boundary-straddling points (coordinates snapped to
+// half a cell side) and eps placed at and just past the corner-distance
+// thresholds where whole diagonal rings of the stencil shell flip between
+// included and pruned. Both engines must produce bit-identical sequences
+// (ascending corner distance, ties by ascending index), equal as sets to
+// the reference.
+class NeighborEngineDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(NeighborEngineDifferential, EnginesMatchEachOtherAndBruteForce) {
+  const int dim = GetParam();
+  const double side = 4.0;
+  const Dataset data =
+      SnappedDataset(dim, 350, -40.0, 40.0, side / 2, 500 + dim);
+  // CellPairDist2 thresholds: a delta-2 gap on one axis contributes side²,
+  // on all axes dim·side². eps exactly AT a threshold keeps the ring
+  // (closed predicate); a hair below drops it.
+  const double corner = side * std::sqrt(static_cast<double>(dim));
+  const std::vector<double> eps_values = {
+      side,
+      side * (1.0 - 1e-12),
+      corner,
+      corner * (1.0 + 1e-12),
+      2.5 * side,
+  };
+  for (double eps : eps_values) {
+    std::vector<std::vector<uint32_t>> lists[2];
+    for (int e = 0; e < 2; ++e) {
+      // Force BEFORE the first query for this eps: the engine choice is
+      // fixed per (grid, eps) when its stencil slot is resolved.
+      Grid::ForceNeighborPathForTest(e == 0 ? Grid::NeighborPath::kStencil
+                                            : Grid::NeighborPath::kScan);
+      const Grid grid(data, side);
+      lists[e].resize(grid.NumCells());
+      for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+        lists[e][ci] = ToVec(grid.EpsNeighbors(ci, eps));
+      }
+    }
+    Grid::ForceNeighborPathForTest(Grid::NeighborPath::kAuto);
+    // Cell numbering is a pure function of (data, side) — Morton order —
+    // so indices are comparable across the two grids.
+    ASSERT_EQ(lists[0].size(), lists[1].size());
+    const Grid grid(data, side);
+    const auto expected = BruteNeighbors(grid, eps);
+    ASSERT_EQ(lists[0].size(), expected.size());
+    for (uint32_t ci = 0; ci < expected.size(); ++ci) {
+      EXPECT_EQ(lists[0][ci], lists[1][ci])
+          << "engines disagree, dim " << dim << " eps " << eps << " cell "
+          << ci;
+      EXPECT_EQ(std::set<uint32_t>(lists[0][ci].begin(), lists[0][ci].end()),
+                expected[ci])
+          << "dim " << dim << " eps " << eps << " cell " << ci;
+    }
   }
-  Grid::SetDefaultLayout(saved);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, NeighborEngineDifferential,
+                         ::testing::Values(2, 3, 5, 7));
+
+// Steady state allocates nothing: once the neighbor cache is warm, the
+// lazy SoA is gathered, and the worker-scratch buffers have seen one warm
+// pass, repeated EpsNeighbors / CellBlock / CellsTouchingBall queries must
+// never touch the heap (counted by the global operator new hook above).
+TEST(Grid, SteadyStateQueriesAllocationFree) {
+  const double eps = 10.0;
+  const Dataset data = RandomDataset(3, 2000, 0.0, 100.0, 21);
+  const Grid grid(data, Grid::SideFor(eps, 3));
+  grid.WarmNeighborCache(eps, 1);
+  std::vector<uint32_t> touching;
+  double checksum = 0.0;
+  auto pass = [&] {
+    for (uint32_t ci = 0; ci < grid.NumCells(); ++ci) {
+      const Grid::IdSpan nbrs = grid.EpsNeighbors(ci, eps);
+      checksum += static_cast<double>(nbrs.size());
+      checksum += grid.CellBlock(ci).count;
+    }
+    for (uint32_t id = 0; id < 64; ++id) {
+      grid.CellsTouchingBall(data.point(id * 31), eps, &touching);
+      checksum += static_cast<double>(touching.size());
+    }
+  };
+  pass();  // warm pass: gathers the SoA, sizes every scratch buffer
+  g_alloc_calls.store(0);
+  g_count_allocs.store(true);
+  for (int trial = 0; trial < 3; ++trial) pass();
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_alloc_calls.load(), 0u) << "(checksum " << checksum << ")";
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 // Sharded clustering must be a pure partitioning knob: for every shard
-// count, thread count, grid layout, and storage mode (in-RAM or mmap),
+// count, thread count, and storage mode (in-RAM or mmap),
 // ShardedApproxDbscan returns the monolithic ApproxDbscan clustering
 // bit-identically — labels, core flags, numbering, and extra memberships.
 // Plus property tests for the ShardPlanner's halo invariant (sufficient and
@@ -16,6 +16,7 @@
 #include "geom/box.h"
 #include "grid/cell.h"
 #include "grid/grid.h"
+#include "grid/stencil.h"
 #include "io/dataset_io.h"
 #include "shard/boundary_merger.h"
 #include "shard/shard_planner.h"
@@ -38,16 +39,6 @@ void ExpectIdentical(const Clustering& mono, const Clustering& sharded,
   EXPECT_EQ(mono.extra_memberships, sharded.extra_memberships) << what;
 }
 
-// Restores the process-wide grid layout on scope exit.
-class LayoutGuard {
- public:
-  LayoutGuard() : saved_(Grid::DefaultLayout()) {}
-  ~LayoutGuard() { Grid::SetDefaultLayout(saved_); }
-
- private:
-  Grid::Layout saved_;
-};
-
 struct DiffCase {
   std::string name;
   int dim;
@@ -66,16 +57,14 @@ Dataset MakeDiffData(const DiffCase& c, uint64_t seed) {
 
 class ShardDifferentialTest : public ::testing::TestWithParam<DiffCase> {};
 
-// The core differential sweep: K x layout x threads, all against the
-// serial monolithic run (which the LayoutDeterminism and parallel suites
-// already pin layout- and thread-invariant).
+// The core differential sweep: K x threads, all against the serial
+// monolithic run (which the determinism and parallel suites already pin
+// thread-invariant).
 TEST_P(ShardDifferentialTest, MatchesMonolithicEverywhere) {
   const DiffCase c = GetParam();
   const Dataset data = MakeDiffData(c, 3100 + c.dim * 13 + c.min_pts);
   const double rho = 0.001;
-  LayoutGuard guard;
-  for (Grid::Layout layout : {Grid::Layout::kCsr, Grid::Layout::kLegacy}) {
-    Grid::SetDefaultLayout(layout);
+  {
     const Clustering mono = ApproxDbscan(data, {c.eps, c.min_pts, 1}, rho);
     for (int shards : {2, 3, 8}) {
       for (int threads : {1, HardwareThreads()}) {
@@ -85,9 +74,7 @@ TEST_P(ShardDifferentialTest, MatchesMonolithicEverywhere) {
             ShardedApproxDbscan(data, params, rho, shards, {}, &stats);
         ExpectIdentical(mono, sharded,
                         c.name + " K=" + std::to_string(shards) +
-                            " threads=" + std::to_string(threads) +
-                            " layout=" +
-                            (layout == Grid::Layout::kCsr ? "csr" : "legacy"));
+                            " threads=" + std::to_string(threads));
         EXPECT_EQ(stats.num_shards, shards);
         EXPECT_LE(stats.max_resident_points, data.size() + stats.halo_points);
       }
@@ -295,8 +282,9 @@ TEST(ShardPlan, InvariantsHoldOnRandomInputs) {
       EXPECT_EQ(cell_points, data.size()) << what;
 
       // Halo sufficiency and minimality against the O(cells^2) definition:
-      // a non-owned cell is in shard s's halo iff its box is within eps of
-      // some owned cell's box.
+      // a non-owned cell is in shard s's halo iff its corner distance
+      // (CellPairDist2 — the same canonical predicate the grid's
+      // ε-neighbor enumeration uses) to some owned cell is within eps.
       const double side = plan.side();
       for (int s = 0; s < K; ++s) {
         for (uint32_t b = 0; b < plan.num_cells(); ++b) {
@@ -304,12 +292,10 @@ TEST(ShardPlan, InvariantsHoldOnRandomInputs) {
             EXPECT_FALSE(plan.InHalo(s, b)) << what;
             continue;
           }
-          const Box box_b = plan.CellAt(b).ToBox(side);
           bool close = false;
           for (uint32_t a = plan.shard_begin(s);
                a < plan.shard_begin(s + 1) && !close; ++a) {
-            close =
-                plan.CellAt(a).ToBox(side).MinSquaredDistToBox(box_b) <= eps2;
+            close = CellPairDist2(plan.CellAt(a), plan.CellAt(b), side) <= eps2;
           }
           EXPECT_EQ(plan.InHalo(s, b), close)
               << what << " cell rank " << b << " shard " << s;
@@ -367,14 +353,14 @@ TEST(ShardMmap, MmapBackedRunsAreBitIdentical) {
   std::remove(path.c_str());
 }
 
-// Sharding composes with the parallel grid build: the 4-arg Grid ctor must
+// Sharding composes with the parallel grid build: the 3-arg Grid ctor must
 // be thread-count-invariant, pinned here where the shard driver uses it.
 TEST(ShardGrid, ParallelCsrBuildMatchesSerial) {
   const Dataset data = ClusteredDataset(3, 5000, 5, 100.0, 4.0, 3701);
   const double side = Grid::SideFor(8.0, 3);
-  const Grid serial(data, side, Grid::Layout::kCsr, 1);
+  const Grid serial(data, side, 1);
   for (int threads : {2, 3, 8}) {
-    const Grid parallel(data, side, Grid::Layout::kCsr, threads);
+    const Grid parallel(data, side, threads);
     ASSERT_EQ(parallel.NumCells(), serial.NumCells()) << threads;
     for (uint32_t c = 0; c < serial.NumCells(); ++c) {
       ASSERT_TRUE(parallel.CellCoordOf(c) == serial.CellCoordOf(c))

@@ -2,9 +2,9 @@
 // random interleaving of Insert/Remove batches, DynamicClusterer::Snapshot()
 // must be IDENTICAL — raw labels, core flags, extra memberships, cluster
 // numbering — to a from-scratch ApproxDbscan run over the surviving points
-// with the same eps / MinPts / rho / layout / thread count.
+// with the same eps / MinPts / rho / thread count.
 //
-// The sequence count per (threads, layout) block is tunable through the
+// The sequence count per threads block is tunable through the
 // STREAM_DIFF_SEQUENCES environment variable (default 50, giving the
 // documented 200 interleavings per dimension across the four blocks);
 // sanitizer CI jobs set it lower.
@@ -65,23 +65,18 @@ void ExpectIdentical(const Clustering& want, const Clustering& got,
   ASSERT_EQ(want.extra_memberships, got.extra_memberships) << context;
 }
 
-void RunDifferentialBlock(Grid::Layout layout, int threads) {
-  const Grid::Layout saved = Grid::DefaultLayout();
-  Grid::SetDefaultLayout(layout);
+void RunDifferentialBlock(int threads) {
   const int sequences = SequencesPerBlock();
-  const char* layout_name = layout == Grid::Layout::kCsr ? "csr" : "legacy";
   for (int dim : {2, 3, 5, 7}) {
     for (int seq = 0; seq < sequences; ++seq) {
       Rng rng(0x5eedull * 1000003 + static_cast<uint64_t>(dim) * 7919 +
               static_cast<uint64_t>(seq) * 31 +
-              (layout == Grid::Layout::kCsr ? 0 : 1) +
               static_cast<uint64_t>(threads) * 2);
       DbscanParams params;
       params.eps = rng.NextDouble(0.08, 0.25);
       params.min_pts = 2 + static_cast<int>(rng.NextBounded(6));
       params.num_threads = threads;
       DynamicClustererOptions opts;
-      opts.layout = layout;
       // Randomize the reorganization knobs so compaction, the overlay
       // index, the localized recompute, and its full-rebuild fallback all
       // fire across the block.
@@ -121,15 +116,12 @@ void RunDifferentialBlock(Grid::Layout layout, int threads) {
         const Clustering scratch = ApproxDbscan(snap.points, params, opts.rho);
         char context[160];
         std::snprintf(context, sizeof(context),
-                      "layout=%s threads=%d dim=%d seq=%d step=%d n=%zu "
+                      "threads=%d dim=%d seq=%d step=%d n=%zu "
                       "eps=%.6g min_pts=%d",
-                      layout_name, threads, dim, seq, step,
-                      snap.points.size(), params.eps, params.min_pts);
+                      threads, dim, seq, step, snap.points.size(), params.eps,
+                      params.min_pts);
         ExpectIdentical(scratch, snap.clustering, context);
-        if (::testing::Test::HasFatalFailure()) {
-          Grid::SetDefaultLayout(saved);
-          return;
-        }
+        if (::testing::Test::HasFatalFailure()) return;
 
         // The global-id view agrees with the compacted one: dead points are
         // noise and never core, survivors carry the compacted labels.
@@ -149,24 +141,11 @@ void RunDifferentialBlock(Grid::Layout layout, int threads) {
       }
     }
   }
-  Grid::SetDefaultLayout(saved);
 }
 
-TEST(StreamDifferential, CsrSingleThread) {
-  RunDifferentialBlock(Grid::Layout::kCsr, 1);
-}
+TEST(StreamDifferential, SingleThread) { RunDifferentialBlock(1); }
 
-TEST(StreamDifferential, CsrParallel) {
-  RunDifferentialBlock(Grid::Layout::kCsr, HardwareThreads());
-}
-
-TEST(StreamDifferential, LegacySingleThread) {
-  RunDifferentialBlock(Grid::Layout::kLegacy, 1);
-}
-
-TEST(StreamDifferential, LegacyParallel) {
-  RunDifferentialBlock(Grid::Layout::kLegacy, HardwareThreads());
-}
+TEST(StreamDifferential, Parallel) { RunDifferentialBlock(HardwareThreads()); }
 
 TEST(DynamicClusterer, EmptyAndFullDrain) {
   DbscanParams params;

@@ -129,7 +129,6 @@ int RunStream(int argc, char** argv) {
       .DefineDouble("eps", 0.0, "radius (must be positive)")
       .DefineInt("min_pts", 100, "MinPts")
       .DefineDouble("rho", 0.001, "approximation ratio, in (0, 1]")
-      .DefineString("layout", "csr", "grid layout: csr | legacy")
       .DefineInt("batch", 0,
                  "auto-flush after this many buffered ops (0 = only at 'f' "
                  "lines and end of log)")
@@ -186,18 +185,6 @@ int RunStream(int argc, char** argv) {
       opts.recompute_frontier_limit < 0.0) {
     std::fprintf(stderr, "--frontier_limit must be a non-negative number\n");
     return 2;
-  }
-  {
-    const std::string layout = flags.GetString("layout");
-    if (layout == "csr") {
-      opts.layout = Grid::Layout::kCsr;
-    } else if (layout == "legacy") {
-      opts.layout = Grid::Layout::kLegacy;
-    } else {
-      std::fprintf(stderr, "unknown --layout '%s' (want csr|legacy)\n",
-                   layout.c_str());
-      return 2;
-    }
   }
 
   std::string error;

@@ -19,12 +19,19 @@
 // whose field equals the value (e.g. --filter=round=-1 to skip the
 // summary rows micro_stream emits).
 //
+// --min_value adds absolute floors: "metric:threshold" fails the gate for
+// any current row whose metric falls below the threshold, independent of
+// the baseline ratio (e.g. --min_value=speedup_vs_legacy:1.0 asserts a
+// recorded speedup never dips under parity). Used to gate frozen
+// measurement artifacts (pass the same file as --current and --baseline).
+//
 // Exit codes: 0 = within tolerance, 1 = regression detected, 2 = usage or
 // parse error. Baseline rows missing from current (or vice versa) warn but
 // do not fail, so bench config drift does not hard-break CI.
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -117,6 +124,10 @@ int main(int argc, char** argv) {
       .DefineString("filter", "",
                     "drop rows where field=value (e.g. round=-1), comma "
                     "list")
+      .DefineString("min_value", "",
+                    "comma list of metric:threshold absolute floors checked "
+                    "on every current row carrying the metric (e.g. "
+                    "speedup_vs_legacy:1.0)")
       .DefineDouble("max_regression", 0.3,
                     "fail when a metric worsens by more than this fraction "
                     "vs baseline");
@@ -144,6 +155,23 @@ int main(int argc, char** argv) {
       return 2;
     }
     filters.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+  }
+
+  std::vector<std::pair<std::string, double>> floors;
+  for (const std::string& item : SplitList(flags.GetString("min_value"))) {
+    const size_t colon = item.find(':');
+    char* end = nullptr;
+    const double threshold =
+        colon == std::string::npos
+            ? 0.0
+            : std::strtod(item.c_str() + colon + 1, &end);
+    if (colon == std::string::npos || end == nullptr || *end != '\0') {
+      std::fprintf(stderr,
+                   "bad --min_value item '%s' (want metric:threshold)\n",
+                   item.c_str());
+      return 2;
+    }
+    floors.emplace_back(item.substr(0, colon), threshold);
   }
 
   std::string current_bench;
@@ -186,6 +214,20 @@ int main(int argc, char** argv) {
   for (const obs::JsonValue& row : *current) {
     if (!row.IsObject() || !keep(row)) continue;
     const std::string key = key_of(row);
+    // Absolute floors: checked on every current row, matched or not.
+    for (const auto& [metric, threshold] : floors) {
+      const obs::JsonValue* v = row.Find(metric);
+      if (v == nullptr || !v->IsNumber()) continue;
+      ++compared;
+      const bool below = v->number < threshold;
+      if (below) ++regressions;
+      if (below || v->number < threshold * 1.05) {
+        table.AddRow({key, metric + " (floor)", Table::Num(threshold),
+                      Table::Num(v->number),
+                      Table::Num(v->number / threshold),
+                      below ? "BELOW MIN" : "ok"});
+      }
+    }
     const auto base_it = baseline_rows.find(key);
     if (base_it == baseline_rows.end()) {
       std::fprintf(stderr, "warning: no baseline row for %s\n", key.c_str());
