@@ -1,0 +1,264 @@
+// Sampled-tier benchmark: exact vs ρ-approximate vs sampled-core DBSCAN++
+// across sample rates and draw strategies.
+//
+// For each dataset the harness times one exact run (the reference), one
+// ρ-approximate run, and the sampled pipeline at every --rates ×
+// --strategies combination, reporting wall time, speedup over exact, ARI of
+// the primary labeling vs exact, and cluster counts, then writes
+// BENCH_sampling.json. Two built-in checks back the numbers:
+//  - every uniform rate=1.0 row is verified cluster-set equivalent to the
+//    exact reference before it is emitted (the degenerate envelope);
+//  - the sampled uniform rate=0.1 row carries gate_speedup_vs_exact, the
+//    machine-independent column CI floors at 5x via bench_compare
+//    --min_value (the headline claim of the sampled tier).
+// Greedy k-center costs O(n·m) distance work in the draw itself, so its
+// sweep is capped at --kcenter_max_rate (higher rates would benchmark the
+// draw, not the pipeline).
+//
+//   ./build/bench/fig_sampling                          # defaults, n=1e5
+//   ./build/bench/fig_sampling --n=4000 --rates=0.1,1.0 # smoke config
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/compare.h"
+#include "io/table.h"
+#include "obs/json.h"
+#include "sample/sampled_dbscan.h"
+#include "util/timer.h"
+
+namespace adbscan {
+namespace {
+
+struct Result {
+  std::string dataset;
+  int dim;
+  size_t n;
+  std::string pipeline;  // exact | approx | sampled
+  std::string strategy;  // uniform | kcenter | "-" for non-sampled rows
+  double rate;           // 1.0 for non-sampled rows
+  double ms;
+  double speedup_vs_exact;  // exact ms / this ms (1.0 for the exact row)
+  double ari_vs_exact;      // AdjustedRandIndex vs the exact reference
+  int32_t clusters;
+  size_t noise;
+  double gate_speedup_vs_exact;  // < 0: absent; the CI-floored gate column
+};
+
+void WriteJson(const std::string& path, const std::vector<Result>& results) {
+  bench::EnsureParentDir(path);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig_sampling\",\n  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::string gate;
+    if (r.gate_speedup_vs_exact >= 0.0) {
+      gate = ", \"gate_speedup_vs_exact\": " +
+             obs::JsonNumber(r.gate_speedup_vs_exact);
+    }
+    std::fprintf(
+        f,
+        "    {\"dataset\": \"%s\", \"dim\": %d, \"n\": %zu, "
+        "\"pipeline\": \"%s\", \"strategy\": \"%s\", \"rate\": %s, "
+        "\"ms\": %s, \"speedup_vs_exact\": %s, \"ari_vs_exact\": %s, "
+        "\"clusters\": %d, \"noise\": %zu%s}%s\n",
+        r.dataset.c_str(), r.dim, r.n, r.pipeline.c_str(), r.strategy.c_str(),
+        obs::JsonNumber(r.rate).c_str(), obs::JsonNumber(r.ms).c_str(),
+        obs::JsonNumber(r.speedup_vs_exact).c_str(),
+        obs::JsonNumber(r.ari_vs_exact).c_str(), r.clusters, r.noise,
+        gate.c_str(), i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace adbscan
+
+int main(int argc, char** argv) {
+  using namespace adbscan;
+  Flags flags;
+  flags
+      // The defaults are the headline configuration: ss7d at eps=2000 is
+      // the regime where the exact edge phase dominates (high dimension,
+      // cells sparse enough to defeat the dense shortcuts) and the sampled
+      // tier's 10x-fewer-cores edge graph pays off. At the paper-default
+      // eps=5000 the exact pipeline is nearly free and sampling cannot win.
+      .DefineString("datasets", "ss7d",
+                    "comma-separated dataset names (see bench_common.h)")
+      .DefineInt("n", 100000, "points per dataset")
+      .DefineDouble("eps", 2000.0, "DBSCAN radius")
+      .DefineInt("min_pts", bench::kDefaultMinPts, "DBSCAN MinPts")
+      .DefineDouble("rho", bench::kDefaultRho,
+                    "approximation parameter of the rho-approx row")
+      .DefineString("rates", "0.05,0.1,0.25,0.5,1.0",
+                    "comma-separated sample rates in (0, 1]")
+      .DefineString("strategies", "uniform,kcenter",
+                    "comma-separated draw strategies to sweep")
+      .DefineDouble("kcenter_max_rate", 0.25,
+                    "skip kcenter rows above this rate (the O(n*m) draw "
+                    "would dominate the measurement)")
+      .DefineInt("seed", 1, "master seed for the sample draws")
+      .DefineString("out", "",
+                    "output JSON path (default out/BENCH_sampling.json)")
+      .DefineString("metrics_json", "",
+                    "append one JSON metrics record per measured run "
+                    "(empty: off)");
+  bench::DefineThreadsFlag(flags);
+  bench::DefineKernelFlag(flags);
+  bench::DefineTraceFlag(flags);
+  flags.Parse(argc, argv);
+  const std::string trace_path = bench::ApplyTraceFlag(flags);
+  bench::ApplyKernelFlag(flags);
+  const size_t n = static_cast<size_t>(flags.GetInt("n"));
+  const double rho = flags.GetDouble("rho");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const double kcenter_max_rate = flags.GetDouble("kcenter_max_rate");
+  DbscanParams params{flags.GetDouble("eps"),
+                      static_cast<int>(flags.GetInt("min_pts")),
+                      bench::ThreadsFromFlags(flags)};
+
+  std::vector<double> rates;
+  for (const std::string& s : bench::SplitNames(flags.GetString("rates"))) {
+    const double r = std::atof(s.c_str());
+    if (!(r > 0.0) || r > 1.0) {
+      std::fprintf(stderr, "--rates entries must be in (0, 1] (got '%s')\n",
+                   s.c_str());
+      return 2;
+    }
+    rates.push_back(r);
+  }
+  std::vector<SampleStrategy> strategies;
+  for (const std::string& s :
+       bench::SplitNames(flags.GetString("strategies"))) {
+    SampleStrategy strategy;
+    if (!ParseSampleStrategy(s, &strategy)) {
+      std::fprintf(stderr, "unknown strategy '%s' (want uniform|kcenter)\n",
+                   s.c_str());
+      return 2;
+    }
+    strategies.push_back(strategy);
+  }
+  std::string out = flags.GetString("out");
+  if (out.empty()) out = bench::OutPath("BENCH_sampling.json");
+  bench::MetricsLogger logger(flags.GetString("metrics_json"),
+                              "fig_sampling");
+
+  std::vector<Result> results;
+  Table table(
+      {"dataset", "pipeline", "strategy", "rate", "ms", "vs_exact", "ari",
+       "clusters"});
+
+  for (const std::string& name :
+       bench::SplitNames(flags.GetString("datasets"))) {
+    const Dataset data = bench::MakeBenchDataset(name, n, 1);
+    const int dim = data.dim();
+    const auto common_params = [&](std::vector<std::pair<
+                                       std::string, std::string>> extra) {
+      std::vector<std::pair<std::string, std::string>> p = {
+          {"n", std::to_string(n)},
+          {"min_pts", std::to_string(params.min_pts)},
+          {"eps", bench::ParamNum(params.eps)}};
+      p.insert(p.end(), extra.begin(), extra.end());
+      return p;
+    };
+
+    // Warmup (primes the thread pool and the SoA cache), then the timed
+    // exact reference every other row is scored against.
+    const Clustering warmup = ExactGridDbscan(data, params);
+    logger.BeginRun();
+    Timer exact_timer;
+    const Clustering exact = ExactGridDbscan(data, params);
+    const double exact_ms = exact_timer.ElapsedSeconds() * 1000.0;
+    logger.EndRun(name, "exact", common_params({}), exact_ms / 1000.0);
+    if (!SameClusters(warmup, exact)) {
+      std::fprintf(stderr, "FATAL: exact run is not deterministic (%s)\n",
+                   name.c_str());
+      return 1;
+    }
+    results.push_back({name, dim, n, "exact", "-", 1.0, exact_ms, 1.0, 1.0,
+                       exact.num_clusters, exact.NumNoisePoints(), -1.0});
+    table.AddRow({name, "exact", "-", "1", Table::Num(exact_ms, 2),
+                  Table::Num(1.0, 2), Table::Num(1.0, 3),
+                  std::to_string(exact.num_clusters)});
+
+    logger.BeginRun();
+    Timer approx_timer;
+    const Clustering approx = ApproxDbscan(data, params, rho);
+    const double approx_ms = approx_timer.ElapsedSeconds() * 1000.0;
+    logger.EndRun(name, "approx", common_params({{"rho", bench::ParamNum(rho)}}),
+                  approx_ms / 1000.0);
+    const double approx_ari = AdjustedRandIndex(exact, approx);
+    results.push_back({name, dim, n, "approx", "-", 1.0, approx_ms,
+                       exact_ms / approx_ms, approx_ari, approx.num_clusters,
+                       approx.NumNoisePoints(), -1.0});
+    table.AddRow({name, "approx", "-", "1", Table::Num(approx_ms, 2),
+                  Table::Num(exact_ms / approx_ms, 2),
+                  Table::Num(approx_ari, 3),
+                  std::to_string(approx.num_clusters)});
+
+    for (SampleStrategy strategy : strategies) {
+      for (double rate : rates) {
+        if (strategy == SampleStrategy::kKCenter &&
+            rate > kcenter_max_rate) {
+          std::printf("skip: kcenter at rate %.4g (> --kcenter_max_rate "
+                      "%.4g)\n",
+                      rate, kcenter_max_rate);
+          continue;
+        }
+        SampledDbscanOptions options;
+        options.sample_rate = rate;
+        options.strategy = strategy;
+        options.seed = seed;
+        SampledRunStats stats;
+        logger.BeginRun();
+        Timer timer;
+        const Clustering sampled =
+            SampledDbscan(data, params, options, &stats);
+        const double ms = timer.ElapsedSeconds() * 1000.0;
+        logger.EndRun(name, std::string("sampled:") + SampleStrategyName(strategy),
+                      common_params({{"rate", bench::ParamNum(rate)},
+                                     {"strategy", SampleStrategyName(strategy)},
+                                     {"seed", std::to_string(seed)},
+                                     {"m", std::to_string(stats.sample_size)}}),
+                      ms / 1000.0);
+        // Degenerate envelope: rate = 1.0 with a uniform draw samples the
+        // whole dataset and must reproduce the exact clustering.
+        if (strategy == SampleStrategy::kUniform && rate == 1.0 &&
+            !SameClusters(exact, sampled)) {
+          std::fprintf(stderr,
+                       "FATAL: sampled rate=1.0 diverged from exact (%s)\n",
+                       name.c_str());
+          return 1;
+        }
+        const double speedup = exact_ms / ms;
+        const double ari = AdjustedRandIndex(exact, sampled);
+        // The CI gate column rides only on the headline configuration.
+        const bool gated = strategy == SampleStrategy::kUniform &&
+                           std::fabs(rate - 0.1) < 1e-9;
+        results.push_back({name, dim, n, "sampled",
+                           SampleStrategyName(strategy), rate, ms, speedup,
+                           ari, sampled.num_clusters,
+                           sampled.NumNoisePoints(),
+                           gated ? speedup : -1.0});
+        table.AddRow({name, "sampled", SampleStrategyName(strategy),
+                      bench::ParamNum(rate), Table::Num(ms, 2),
+                      Table::Num(speedup, 2), Table::Num(ari, 3),
+                      std::to_string(sampled.num_clusters)});
+      }
+    }
+  }
+
+  table.Print();
+  WriteJson(out, results);
+  if (!trace_path.empty()) obs::ExportTrace(trace_path);
+  return 0;
+}

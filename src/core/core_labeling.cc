@@ -11,6 +11,74 @@
 #include "util/scratch_arena.h"
 
 namespace adbscan {
+namespace {
+
+// Decides core status for the candidate ids `cands` (all residents of cell
+// ci), counting ε-neighborhoods against the full dataset. Shared by the
+// full labeler (cands = the whole cell) and the sampled-tier subset labeler
+// (cands = the sampled residents). Accumulates kernel-path distance
+// evaluations into *dist_evals; the caller batches them into the counter.
+void LabelCandidatesOfCell(const Dataset& data, const Grid& grid, double eps,
+                           size_t min_pts, uint32_t ci, const uint32_t* cands,
+                           size_t num_cands, std::vector<char>* is_core,
+                           size_t* dist_evals) {
+  const Grid::IdSpan pts = grid.cell_points(ci);
+  if (pts.size() >= min_pts) {
+    // Dense cell: everything inside is core (any two points of a cell are
+    // within ε because the side is ε/√d).
+    for (size_t j = 0; j < num_cands; ++j) (*is_core)[cands[j]] = 1;
+    return;
+  }
+  const double eps2 = eps * eps;
+  // Sparse cell: count each candidate's ε-neighborhood over the neighbor
+  // cells, with early exit at MinPts. The neighbor list is shared by all
+  // candidates of the cell. Cell-box tests keep the scan near O(MinPts)
+  // even when neighbor cells hold many points: a box fully inside B(p, ε)
+  // contributes its whole count, a box outside contributes nothing, and
+  // only the boundary shell needs per-point distances.
+  const Grid::IdSpan neighbors = grid.EpsNeighbors(ci, eps);
+  std::vector<Box>& neighbor_boxes =
+      WorkerScratch<Box>(scratch::kCoreNeighborBoxes);
+  neighbor_boxes.clear();
+  neighbor_boxes.reserve(neighbors.size());
+  for (uint32_t cj : neighbors) neighbor_boxes.push_back(grid.CellBoxOf(cj));
+  // Boundary-shell cells go through the batch kernels. A neighbor cell's
+  // SoA view is fetched on first use and shared by every candidate of this
+  // cell — a zero-copy span into the grid's permuted SoA. The
+  // worker-scratch vectors keep their capacity across cells, so a warmed
+  // pass allocates nothing here.
+  std::vector<simd::SoaSpan>& neighbor_span =
+      WorkerScratch<simd::SoaSpan>(scratch::kCoreNeighborViews);
+  neighbor_span.assign(neighbors.size(), simd::SoaSpan{});
+  for (size_t j = 0; j < num_cands; ++j) {
+    const uint32_t id = cands[j];
+    const double* p = data.point(id);
+    size_t count = pts.size();  // own cell: all within ε
+    if (count < min_pts) {
+      for (size_t k = 0; k < neighbors.size(); ++k) {
+        const Box& box = neighbor_boxes[k];
+        if (box.MinSquaredDistToPoint(p) > eps2) continue;
+        const size_t others = grid.CellSize(neighbors[k]);
+        if (box.MaxSquaredDistToPoint(p) <= eps2) {
+          count += others;
+        } else {
+          if (neighbor_span[k].base == nullptr) {
+            neighbor_span[k] = grid.CellBlock(neighbors[k]);
+          }
+          *dist_evals += others;
+          // stop_at caps the count exactly like the scalar early-exit
+          // loop (scan in index order, stop on reaching min_pts).
+          count += simd::CountWithin(p, neighbor_span[k], eps2,
+                                     min_pts - count);
+        }
+        if (count >= min_pts) break;
+      }
+    }
+    if (count >= min_pts) (*is_core)[id] = 1;
+  }
+}
+
+}  // namespace
 
 std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
                                   const DbscanParams& params) {
@@ -18,7 +86,6 @@ std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
   const size_t n = data.size();
   std::vector<char> is_core(n, 0);
   const size_t min_pts = static_cast<size_t>(params.min_pts);
-  const double eps2 = params.eps * params.eps;
 
   // Cells are independent (each writes only its own points' flags), so the
   // loop parallelizes directly once the shared neighbor cache is warm.
@@ -29,57 +96,51 @@ std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
                                                        size_t end) {
   for (uint32_t ci = static_cast<uint32_t>(begin); ci < end; ++ci) {
     const Grid::IdSpan pts = grid.cell_points(ci);
-    if (pts.size() >= min_pts) {
-      // Dense cell: everything inside is core.
-      for (uint32_t id : pts) is_core[id] = 1;
-      continue;
-    }
-    // Sparse cell: count each point's ε-neighborhood over the neighbor
-    // cells, with early exit at MinPts. The neighbor list is shared by all
-    // points of the cell. Cell-box tests keep the scan near O(MinPts) even
-    // when neighbor cells hold many points: a box fully inside B(p, ε)
-    // contributes its whole count, a box outside contributes nothing, and
-    // only the boundary shell needs per-point distances.
-    const Grid::IdSpan neighbors = grid.EpsNeighbors(ci, params.eps);
-    std::vector<Box>& neighbor_boxes =
-        WorkerScratch<Box>(scratch::kCoreNeighborBoxes);
-    neighbor_boxes.clear();
-    neighbor_boxes.reserve(neighbors.size());
-    for (uint32_t cj : neighbors) neighbor_boxes.push_back(grid.CellBoxOf(cj));
-    // Boundary-shell cells go through the batch kernels. A neighbor cell's
-    // SoA view is fetched on first use and shared by every point of this
-    // cell — a zero-copy span into the grid's permuted SoA. The
-    // worker-scratch vectors keep their capacity across cells, so a warmed
-    // pass allocates nothing here.
-    std::vector<simd::SoaSpan>& neighbor_span =
-        WorkerScratch<simd::SoaSpan>(scratch::kCoreNeighborViews);
-    neighbor_span.assign(neighbors.size(), simd::SoaSpan{});
     size_t dist_evals = 0;  // batched into the counter once per cell
-    for (uint32_t id : pts) {
-      const double* p = data.point(id);
-      size_t count = pts.size();  // own cell: all within ε
-      if (count < min_pts) {
-        for (size_t k = 0; k < neighbors.size(); ++k) {
-          const Box& box = neighbor_boxes[k];
-          if (box.MinSquaredDistToPoint(p) > eps2) continue;
-          const size_t others = grid.CellSize(neighbors[k]);
-          if (box.MaxSquaredDistToPoint(p) <= eps2) {
-            count += others;
-          } else {
-            if (neighbor_span[k].base == nullptr) {
-              neighbor_span[k] = grid.CellBlock(neighbors[k]);
-            }
-            dist_evals += others;
-            // stop_at caps the count exactly like the scalar early-exit
-            // loop (scan in index order, stop on reaching min_pts).
-            count += simd::CountWithin(p, neighbor_span[k], eps2,
-                                       min_pts - count);
-          }
-          if (count >= min_pts) break;
-        }
-      }
-      if (count >= min_pts) is_core[id] = 1;
-    }
+    LabelCandidatesOfCell(data, grid, params.eps, min_pts, ci, pts.begin(),
+                          pts.size(), &is_core, &dist_evals);
+    ADB_COUNT("dist_evals.core_labeling", dist_evals);
+  }
+  });
+  return is_core;
+}
+
+std::vector<char> LabelCorePointsAmong(
+    const Dataset& data, const Grid& grid, const DbscanParams& params,
+    const std::vector<uint32_t>& candidates) {
+  ADB_CHECK(params.min_pts >= 1);
+  const size_t n = data.size();
+  std::vector<char> is_core(n, 0);
+  const size_t min_pts = static_cast<size_t>(params.min_pts);
+
+  // Group candidates by cell (counting-sort CSR) so the neighbor list, cell
+  // boxes, and SoA views are shared per cell exactly as in LabelCorePoints.
+  const size_t num_cells = grid.NumCells();
+  std::vector<uint32_t> offsets(num_cells + 1, 0);
+  for (uint32_t id : candidates) ++offsets[grid.CellOfPoint(id) + 1];
+  for (size_t c = 0; c < num_cells; ++c) offsets[c + 1] += offsets[c];
+  std::vector<uint32_t> grouped(candidates.size());
+  {
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (uint32_t id : candidates) grouped[cursor[grid.CellOfPoint(id)]++] = id;
+  }
+  std::vector<uint32_t> active;  // cells holding at least one candidate
+  for (uint32_t ci = 0; ci < num_cells; ++ci) {
+    if (offsets[ci + 1] > offsets[ci]) active.push_back(ci);
+  }
+
+  if (params.num_threads > 1) {
+    grid.WarmNeighborCache(params.eps, params.num_threads);
+  }
+  ParallelFor(active.size(), params.num_threads, [&](size_t begin,
+                                                     size_t end) {
+  for (size_t k = begin; k < end; ++k) {
+    const uint32_t ci = active[k];
+    size_t dist_evals = 0;
+    LabelCandidatesOfCell(data, grid, params.eps, min_pts, ci,
+                          grouped.data() + offsets[ci],
+                          offsets[ci + 1] - offsets[ci], &is_core,
+                          &dist_evals);
     ADB_COUNT("dist_evals.core_labeling", dist_evals);
   }
   });

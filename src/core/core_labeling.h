@@ -23,6 +23,16 @@ namespace adbscan {
 std::vector<char> LabelCorePoints(const Dataset& data, const Grid& grid,
                                   const DbscanParams& params);
 
+// Subset variant for the sampled tier (DBSCAN++): decides core status for
+// the points listed in `candidates` only — every other point's flag stays 0
+// — while ε-ball counts are still taken against the FULL dataset through
+// the same cell-box shortcuts and batch kernels as LabelCorePoints. With
+// candidates = [0, n) the result is bit-identical to LabelCorePoints.
+// `candidates` need not be sorted; duplicates are harmless.
+std::vector<char> LabelCorePointsAmong(const Dataset& data, const Grid& grid,
+                                       const DbscanParams& params,
+                                       const std::vector<uint32_t>& candidates);
+
 // The core cells of a grid (cells covering at least one core point) and
 // their core-point lists — the vertex set of the graph G in Sections
 // 2.2/3.2/4.4.

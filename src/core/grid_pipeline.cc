@@ -1,5 +1,6 @@
 #include "core/grid_pipeline.h"
 
+#include <algorithm>
 #include <atomic>
 #include <optional>
 
@@ -160,8 +161,14 @@ Clustering RunGridPipeline(const Dataset& data, const DbscanParams& params,
 
   {
     ADB_PHASE("border_assign");
-    AssignBorderPoints(data, grid, cci, out.is_core, core_label, params.eps,
-                       &out, params.num_threads);
+    if (hooks.assign_border) {
+      hooks.assign_border(data, grid, cci, out.is_core, core_label, &out);
+      // AssignBorderPoints sorts its own extras; hooks only append.
+      std::sort(out.extra_memberships.begin(), out.extra_memberships.end());
+    } else {
+      AssignBorderPoints(data, grid, cci, out.is_core, core_label, params.eps,
+                         &out, params.num_threads);
+    }
   }
   return out;
 }

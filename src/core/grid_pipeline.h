@@ -33,6 +33,17 @@ struct GridPipelineHooks {
   std::function<std::vector<char>(const Dataset&, const Grid&,
                                   const DbscanParams&)>
       label_core;
+  // Optional override of step 6; defaults to the exact AssignBorderPoints.
+  // Receives the final core flags and per-core-point cluster labels; must
+  // fill out->label (preset to the core labels, kNoise elsewhere) and may
+  // append out->extra_memberships (sorted by the pipeline afterwards). The
+  // sampled tier uses this to route non-sampled points through its
+  // nearest-core kd-tree lookup instead of the candidate-cell scan.
+  std::function<void(const Dataset&, const Grid&, const CoreCellIndex&,
+                     const std::vector<char>& is_core,
+                     const std::vector<int32_t>& core_label,
+                     Clustering* out)>
+      assign_border;
   // When true AND params.num_threads > 1, candidate cell pairs are
   // evaluated concurrently (the tests must be pure functions of the pair).
   // The result is identical to the serial path: the extra tests a serial

@@ -1,0 +1,208 @@
+#include "sample/assign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/kernels.h"
+#include "geom/soa.h"
+#include "obs/metrics.h"
+#include "util/parallel.h"
+#include "util/scratch_arena.h"
+
+namespace adbscan {
+
+void AssignToNearestCore(const Dataset& data, const Grid& grid,
+                         const CoreCellIndex& cci,
+                         const std::vector<char>& is_core,
+                         const std::vector<int32_t>& core_label, double eps,
+                         int num_threads, Clustering* out) {
+  const size_t n = data.size();
+  const double eps2 = eps * eps;
+  bool any_core = false;
+  for (uint32_t id = 0; id < n && !any_core; ++id) any_core = is_core[id];
+  if (!any_core) return;  // everything stays noise
+  // Cores at distance exactly ε are assignable (DBSCAN's ball is closed)
+  // and the nearest scan tracks strict <, so start one ulp past ε².
+  const double bound_sq =
+      std::nextafter(eps2, std::numeric_limits<double>::infinity());
+
+  // All core points of a core cell share one cluster (Lemma 1), so cell
+  // answers stand in for core answers everywhere below.
+  std::vector<int32_t> cell_cluster(cci.size());
+  for (uint32_t cc = 0; cc < cci.size(); ++cc) {
+    cell_cluster[cc] = core_label[cci.core_points[cc].front()];
+  }
+
+  if (num_threads > 1) grid.WarmNeighborCache(eps, num_threads);
+  std::mutex extras_mutex;
+  // Cell by cell so the candidate core cells are gathered once per cell.
+  // When every candidate belongs to one cluster — the overwhelmingly common
+  // case — the nearest core's cluster IS that cluster, so mere existence of
+  // a core within ε decides each resident: box shortcuts + early-exit
+  // AnyWithin, usually zero distance evaluations (a core cell's diagonal is
+  // ≤ ε, so its own residents hit the box-max test). Only multi-cluster
+  // neighborhoods need the true nearest, found with NearestInBlock over the
+  // candidates in increasing cell-to-cell lower-bound order.
+  ParallelFor(grid.NumCells(), num_threads, [&](size_t begin, size_t end) {
+  std::vector<int32_t> memberships;
+  std::vector<std::pair<uint32_t, int32_t>> local_extras;
+  std::vector<double> cell_lb;    // box-to-box lower bound per candidate
+  std::vector<uint32_t> order;    // candidate indices, cell_lb ascending
+  size_t queries = 0, assigned = 0, dist_evals = 0;
+  for (uint32_t ci = static_cast<uint32_t>(begin); ci < end; ++ci) {
+    const Grid::IdSpan cell_pts = grid.cell_points(ci);
+    bool has_non_core = false;
+    for (uint32_t id : cell_pts) {
+      if (!is_core[id]) {
+        has_non_core = true;
+        break;
+      }
+    }
+    if (!has_non_core) continue;
+
+    // Candidate core cells: the cell itself plus its ε-neighbors. Any core
+    // within ε of a resident lies in one of them.
+    std::vector<uint32_t>& core_cells =
+        WorkerScratch<uint32_t>(scratch::kSampleCoreCells);
+    core_cells.clear();
+    std::vector<uint32_t>& core_grid_cells =
+        WorkerScratch<uint32_t>(scratch::kSampleGridCells);
+    core_grid_cells.clear();
+    std::vector<Box>& core_boxes =
+        WorkerScratch<Box>(scratch::kSampleCoreBoxes);
+    core_boxes.clear();
+    bool multi_cluster = false;
+    auto consider = [&](uint32_t cj) {
+      const uint32_t cc = cci.core_cell_of_grid_cell[cj];
+      if (cc == CoreCellIndex::kNone) return;
+      if (!core_cells.empty() &&
+          cell_cluster[cc] != cell_cluster[core_cells.front()]) {
+        multi_cluster = true;
+      }
+      core_cells.push_back(cc);
+      core_grid_cells.push_back(cj);
+      core_boxes.push_back(grid.CellBoxOf(cj));
+    };
+    consider(ci);
+    for (uint32_t cj : grid.EpsNeighbors(ci, eps)) consider(cj);
+    if (core_cells.empty()) continue;  // residents stay noise
+
+    // Per-candidate SoA views, built on first use.
+    std::vector<simd::SoaSpan>& core_spans =
+        WorkerScratch<simd::SoaSpan>(scratch::kSampleCoreViews);
+    std::vector<simd::SoaBlock>& core_scratch =
+        WorkerScratch<simd::SoaBlock>(scratch::kSampleCoreViews);
+    core_spans.assign(core_cells.size(), simd::SoaSpan{});
+    core_scratch.clear();
+    core_scratch.resize(core_cells.size());
+    auto span_of = [&](size_t k) -> const simd::SoaSpan& {
+      if (core_spans[k].base == nullptr) {
+        const uint32_t cc = core_cells[k];
+        if (cci.all_core[cc]) {
+          core_spans[k] = grid.CellBlock(core_grid_cells[k]);
+        } else {
+          core_scratch[k] = simd::SoaBlock(data, cci.core_points[cc].data(),
+                                           cci.core_points[cc].size());
+          core_spans[k] = core_scratch[k].span();
+        }
+      }
+      return core_spans[k];
+    };
+
+    if (multi_cluster) {
+      // dist²(q, cell k) ≥ box-to-box bound for every resident q, so a
+      // cell_lb-ascending scan can stop as soon as the bound passes the
+      // best distance found.
+      const Box resident_box = grid.CellBoxOf(ci);
+      cell_lb.resize(core_cells.size());
+      for (size_t k = 0; k < core_cells.size(); ++k) {
+        cell_lb[k] = resident_box.MinSquaredDistToBox(core_boxes[k]);
+      }
+      order.resize(core_cells.size());
+      std::iota(order.begin(), order.end(), 0u);
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return cell_lb[a] < cell_lb[b];
+      });
+    }
+
+    const int32_t lone_cluster = cell_cluster[core_cells.front()];
+    for (uint32_t id : cell_pts) {
+      if (is_core[id]) continue;
+      const double* q = data.point(id);
+      ++queries;
+
+      if (!multi_cluster) {
+        bool hit = false;
+        for (size_t k = 0; k < core_cells.size() && !hit; ++k) {
+          if (core_boxes[k].MinSquaredDistToPoint(q) > eps2) continue;
+          hit = core_boxes[k].MaxSquaredDistToPoint(q) <= eps2;
+          if (!hit) {
+            const simd::SoaSpan& span = span_of(k);
+            dist_evals += span.count;
+            hit = simd::AnyWithin(q, span, eps2);
+          }
+        }
+        if (hit) {
+          out->label[id] = lone_cluster;
+          ++assigned;
+        }
+        continue;
+      }
+
+      double best = bound_sq;
+      int32_t primary = kNoise;
+      for (uint32_t k : order) {
+        if (cell_lb[k] >= best) break;
+        if (core_boxes[k].MinSquaredDistToPoint(q) >= best) continue;
+        const simd::SoaSpan& span = span_of(k);
+        dist_evals += span.count;
+        const simd::BlockNearest nb = simd::NearestInBlock(q, span);
+        if (nb.squared_dist < best) {
+          best = nb.squared_dist;
+          primary = cell_cluster[core_cells[k]];
+        }
+      }
+      if (primary == kNoise) continue;  // no core within ε: noise
+      out->label[id] = primary;
+      ++assigned;
+      // Other clusters with a core within ε become extra memberships.
+      memberships.clear();
+      memberships.push_back(primary);
+      for (size_t k = 0; k < core_cells.size(); ++k) {
+        const int32_t cluster = cell_cluster[core_cells[k]];
+        if (std::find(memberships.begin(), memberships.end(), cluster) !=
+            memberships.end()) {
+          continue;
+        }
+        if (core_boxes[k].MinSquaredDistToPoint(q) > eps2) continue;
+        bool hit = core_boxes[k].MaxSquaredDistToPoint(q) <= eps2;
+        if (!hit) {
+          const simd::SoaSpan& span = span_of(k);
+          dist_evals += span.count;
+          hit = simd::AnyWithin(q, span, eps2);
+        }
+        if (hit) memberships.push_back(cluster);
+      }
+      for (size_t k = 1; k < memberships.size(); ++k) {
+        local_extras.emplace_back(id, memberships[k]);
+      }
+    }
+  }
+  ADB_COUNT("sample.assign_queries", queries);
+  ADB_COUNT("sample.assigned", assigned);
+  ADB_COUNT("dist_evals.sample_assign", dist_evals);
+  if (!local_extras.empty()) {
+    ADB_COUNT("sample.extra_memberships", local_extras.size());
+    const std::lock_guard<std::mutex> lock(extras_mutex);
+    out->extra_memberships.insert(out->extra_memberships.end(),
+                                  local_extras.begin(), local_extras.end());
+  }
+  });
+}
+
+}  // namespace adbscan

@@ -1,0 +1,34 @@
+#ifndef ADBSCAN_SAMPLE_ASSIGN_H_
+#define ADBSCAN_SAMPLE_ASSIGN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/core_labeling.h"
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+#include "grid/grid.h"
+
+namespace adbscan {
+
+// Assignment phase of the sampled tier (DBSCAN++ step 3): every point that
+// is not a sampled core joins the cluster of its NEAREST sampled core,
+// provided that core lies within ε; otherwise it is noise. The nearest-core
+// query runs on a kd-tree over the sampled cores (NearestInBlock leaf
+// scans); when several clusters have cores within ε the extra clusters are
+// recorded as extra_memberships via the grid's candidate-cell scan, so the
+// rate = 1.0 envelope carries the same multi-membership information as
+// AssignBorderPoints.
+//
+// Matches the assign_border hook contract of GridPipelineHooks: labels of
+// core points are already final in *out, everything else is kNoise, and
+// appended extras are sorted by the caller.
+void AssignToNearestCore(const Dataset& data, const Grid& grid,
+                         const CoreCellIndex& cci,
+                         const std::vector<char>& is_core,
+                         const std::vector<int32_t>& core_label, double eps,
+                         int num_threads, Clustering* out);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_SAMPLE_ASSIGN_H_

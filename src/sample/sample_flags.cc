@@ -1,0 +1,59 @@
+#include "sample/sample_flags.h"
+
+#include <cstdint>
+
+namespace adbscan {
+
+void DefineSampleFlags(Flags* flags) {
+  flags
+      ->DefineString("pipeline", "batch",
+                     "batch (run --algo on all points) | sampled "
+                     "(DBSCAN++ sampled-core tier)")
+      .DefineDouble("sample_rate", 0.1,
+                    "sampled pipeline: subsample fraction m/n, in (0, 1]")
+      .DefineString("sample_strategy", "uniform",
+                    "sampled pipeline: uniform | kcenter")
+      .DefineInt("seed", 1,
+                 "sampled pipeline: master RNG seed (runs are bit-for-bit "
+                 "reproducible per seed at any thread count)");
+}
+
+bool ValidateSampleFlags(const Flags& flags, int num_shards,
+                         const std::string& algo, SampleFlagSettings* out,
+                         std::string* error) {
+  *out = SampleFlagSettings{};
+  const std::string& pipeline = flags.GetString("pipeline");
+  if (pipeline != "batch" && pipeline != "sampled") {
+    *error = "unknown --pipeline '" + pipeline + "' (want batch|sampled)";
+    return false;
+  }
+  out->sampled = pipeline == "sampled";
+  if (!flags.TryGetDouble("sample_rate", &out->options.sample_rate) ||
+      out->options.sample_rate <= 0.0 || out->options.sample_rate > 1.0) {
+    *error = "--sample_rate must be a number in (0, 1]";
+    return false;
+  }
+  const std::string& strategy = flags.GetString("sample_strategy");
+  if (!ParseSampleStrategy(strategy, &out->options.strategy)) {
+    *error = "unknown --sample_strategy '" + strategy +
+             "' (want uniform|kcenter)";
+    return false;
+  }
+  int64_t seed = 0;
+  if (!flags.TryGetInt("seed", &seed) || seed < 0) {
+    *error = "--seed must be a non-negative integer";
+    return false;
+  }
+  out->options.seed = static_cast<uint64_t>(seed);
+  if (out->sampled && num_shards > 1) {
+    *error = "--pipeline=sampled cannot be combined with --shards";
+    return false;
+  }
+  if (out->sampled && algo != "approx") {
+    *error = "--pipeline=sampled replaces --algo; leave --algo unset";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,35 @@
+#ifndef ADBSCAN_SAMPLE_SAMPLE_FLAGS_H_
+#define ADBSCAN_SAMPLE_SAMPLE_FLAGS_H_
+
+#include <string>
+
+#include "sample/sampled_dbscan.h"
+#include "util/flags.h"
+
+namespace adbscan {
+
+// Parsed + validated view of the sampled-tier command-line knobs.
+struct SampleFlagSettings {
+  bool sampled = false;  // --pipeline=sampled selected
+  SampledDbscanOptions options;
+};
+
+// Defines --pipeline / --sample_rate / --sample_strategy / --seed on
+// `flags`. Call before Flags::Parse.
+void DefineSampleFlags(Flags* flags);
+
+// Strict validation of the sampled-tier knobs, in the spirit of the CLI's
+// ValidateCommonFlags: every value is range-checked even when
+// --pipeline=batch leaves it unused, so a malformed knob can never
+// half-parse into a plausible run. Cross-flag rules when
+// --pipeline=sampled: --shards must stay 1 (the sampled tier is not
+// sharded) and --algo must stay at its "approx" default (the pipeline
+// replaces the algorithm choice). On failure fills *error and returns
+// false; on success fills *out.
+bool ValidateSampleFlags(const Flags& flags, int num_shards,
+                         const std::string& algo, SampleFlagSettings* out,
+                         std::string* error);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_SAMPLE_SAMPLE_FLAGS_H_

@@ -1,0 +1,81 @@
+#include "sample/sampled_dbscan.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "bcp/bcp.h"
+#include "core/core_labeling.h"
+#include "core/grid_pipeline.h"
+#include "obs/metrics.h"
+#include "sample/assign.h"
+#include "util/check.h"
+
+namespace adbscan {
+
+Clustering SampledDbscan(const Dataset& data, const DbscanParams& params,
+                         const SampledDbscanOptions& options,
+                         SampledRunStats* stats) {
+  ADB_CHECK(options.sample_rate > 0.0 && options.sample_rate <= 1.0);
+  // Register the tier's counters upfront for a stable export schema.
+  ADB_COUNT("sample.size", 0);
+  ADB_COUNT("sample.cores", 0);
+  ADB_COUNT("sample.draw_dist_evals", 0);
+  ADB_COUNT("sample.assign_queries", 0);
+  ADB_COUNT("sample.assigned", 0);
+  ADB_COUNT("sample.extra_memberships", 0);
+  ADB_COUNT("dist_evals.sample_assign", 0);
+  ADB_COUNT("bcp.pair_tests", 0);
+  ADB_COUNT("bcp.tree_probes", 0);
+  ADB_COUNT("dist_evals.bcp", 0);
+
+  std::vector<uint32_t> sample;
+  {
+    ADB_PHASE("sample_draw");
+    sample = DrawSample(data, options.sample_rate, options.strategy,
+                        options.seed, params.num_threads);
+  }
+  ADB_COUNT("sample.size", sample.size());
+
+  const CoreCellIndex* cells = nullptr;
+  GridPipelineHooks hooks;
+  hooks.label_core = [&](const Dataset& d, const Grid& grid,
+                         const DbscanParams& p) {
+    return LabelCorePointsAmong(d, grid, p, sample);
+  };
+  hooks.prepare_cells = [&](const Grid&, const CoreCellIndex& cci) {
+    cells = &cci;
+  };
+  // Exact BCP decision between sampled-core sets: the sampled tier
+  // approximates by dropping points from the core computation, never by
+  // weakening the connectivity predicate — so rate = 1.0 reproduces the
+  // exact pipeline's components.
+  hooks.edge_test = [&](uint32_t c1, uint32_t c2) {
+    return ExistsPairWithin(data, cells->core_points[c1],
+                            cells->core_points[c2], params.eps);
+  };
+  hooks.edge_test_thread_safe = true;  // pure function of the pair
+  hooks.assign_border = [&](const Dataset& d, const Grid& grid,
+                            const CoreCellIndex& cci,
+                            const std::vector<char>& is_core,
+                            const std::vector<int32_t>& core_label,
+                            Clustering* out) {
+    AssignToNearestCore(d, grid, cci, is_core, core_label, params.eps,
+                        params.num_threads, out);
+  };
+  Clustering out = RunGridPipeline(data, params, hooks);
+
+  size_t cores = 0;
+  for (char c : out.is_core) cores += c != 0;
+  ADB_COUNT("sample.cores", cores);
+  if (stats != nullptr) {
+    stats->sample_size = sample.size();
+    stats->num_core = cores;
+    size_t labeled = 0;
+    for (int32_t label : out.label) labeled += label != kNoise;
+    stats->num_assigned = labeled - cores;
+    stats->num_noise = data.size() - labeled;
+  }
+  return out;
+}
+
+}  // namespace adbscan

@@ -1,0 +1,50 @@
+#ifndef ADBSCAN_SAMPLE_SAMPLED_DBSCAN_H_
+#define ADBSCAN_SAMPLE_SAMPLED_DBSCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/dbscan_types.h"
+#include "geom/dataset.h"
+#include "sample/sampler.h"
+
+namespace adbscan {
+
+// The massive-n approximation tier: sampled-core DBSCAN per Jang & Jiang,
+// *DBSCAN++*. Core points are computed among an m = ceil(rate·n) subsample
+// only — with ε-ball counts still taken against the full dataset — sampled
+// cores are clustered by the shared grid pipeline (exact BCP edge probes),
+// and every remaining point joins its nearest sampled core within ε (noise
+// otherwise). Runtime is dominated by O(m) core counting + O(n log m)
+// nearest-core lookups instead of O(n) core counting, trading recall of
+// sparse clusters for a sample_rate knob that caps per-run cost.
+//
+// Determinism contract: the output is a pure function of (data, params,
+// options) — bit-for-bit identical across thread counts and repeated runs.
+// At sample_rate = 1.0 the sample is the whole dataset and the result is
+// cluster-set equivalent to ExactGridDbscan (core flags and cluster sets
+// match; only the choice of primary label among a border point's multiple
+// memberships may differ — the nearest core's cluster here vs the smallest
+// cluster id there).
+struct SampledDbscanOptions {
+  double sample_rate = 0.1;  // in (0, 1]
+  SampleStrategy strategy = SampleStrategy::kUniform;
+  uint64_t seed = 1;  // master seed; streams derived via DeriveSeed
+};
+
+// Post-run tallies for CLI/bench reporting (the sample.* counters carry the
+// same numbers through the metrics registry).
+struct SampledRunStats {
+  size_t sample_size = 0;   // m, points drawn
+  size_t num_core = 0;      // sampled cores
+  size_t num_assigned = 0;  // non-core points given a cluster
+  size_t num_noise = 0;     // points left unlabeled
+};
+
+Clustering SampledDbscan(const Dataset& data, const DbscanParams& params,
+                         const SampledDbscanOptions& options = {},
+                         SampledRunStats* stats = nullptr);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_SAMPLE_SAMPLED_DBSCAN_H_

@@ -1,0 +1,159 @@
+#include "sample/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "geom/kernels.h"
+#include "geom/soa.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/scratch_arena.h"
+
+namespace adbscan {
+namespace {
+
+// Seed streams: the uniform draw and the k-center start point consume
+// independent child seeds of the run's master seed so switching strategies
+// never perturbs unrelated draws.
+constexpr uint64_t kUniformStream = 0;
+constexpr uint64_t kKCenterStream = 1;
+
+// Fixed reduction block for the k-center farthest-point argmax: each block
+// owns one slot of the (max, argmax) table regardless of how ParallelFor
+// slices the blocks across workers, so the chosen center — including the
+// smallest-id tie-break — is a pure function of the data and the previous
+// centers. A multiple of simd::kLaneWidth, as SoaBlock::span requires
+// lane-aligned offsets.
+constexpr size_t kKCenterBlock = 4096;
+
+std::vector<uint32_t> DrawUniform(size_t n, size_t m, uint64_t seed) {
+  std::vector<uint32_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(i);
+  Rng rng(DeriveSeed(seed, kUniformStream));
+  // Partial Fisher–Yates: after i swaps the prefix [0, i) is a uniform
+  // i-subset, so only m rounds are needed.
+  for (size_t i = 0; i < m; ++i) {
+    const size_t j = i + static_cast<size_t>(rng.NextBounded(n - i));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(m);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<uint32_t> DrawKCenter(const Dataset& data, size_t m,
+                                  uint64_t seed, int num_threads) {
+  const size_t n = data.size();
+  const std::shared_ptr<const simd::SoaBlock> soa = data.Soa();
+  // min over chosen centers of dist²(i, center); -1 marks chosen points so
+  // duplicates of a center (distance 0) can still be picked before any
+  // already-chosen id would be revisited.
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+  const size_t num_blocks = (n + kKCenterBlock - 1) / kKCenterBlock;
+  std::vector<double> block_max(num_blocks);
+  std::vector<uint32_t> block_arg(num_blocks);
+
+  std::vector<uint32_t> chosen;
+  chosen.reserve(m);
+  Rng rng(DeriveSeed(seed, kKCenterStream));
+  uint32_t last = static_cast<uint32_t>(rng.NextBounded(n));
+  chosen.push_back(last);
+  dist2[last] = -1.0;
+
+  while (chosen.size() < m) {
+    const double* center = data.point(last);
+    ParallelFor(num_blocks, num_threads, [&](size_t begin, size_t end) {
+      std::vector<double>& lane_dists =
+          WorkerScratch<double>(scratch::kSampleDistLanes);
+      for (size_t b = begin; b < end; ++b) {
+        const size_t offset = b * kKCenterBlock;
+        const size_t count = std::min(kKCenterBlock, n - offset);
+        const simd::SoaSpan span = soa->span(offset, count);
+        lane_dists.resize(simd::PaddedCount(count));
+        simd::SquaredDists(center, span, lane_dists.data());
+        // Update the running minima and reduce this block's farthest
+        // point. Strict > keeps the first (smallest-id) maximum.
+        double best = -1.0;
+        uint32_t best_id = static_cast<uint32_t>(offset);
+        for (size_t j = 0; j < count; ++j) {
+          const size_t i = offset + j;
+          if (lane_dists[j] < dist2[i]) dist2[i] = lane_dists[j];
+          if (dist2[i] > best) {
+            best = dist2[i];
+            best_id = static_cast<uint32_t>(i);
+          }
+        }
+        block_max[b] = best;
+        block_arg[b] = best_id;
+      }
+    });
+    ADB_COUNT("sample.draw_dist_evals", n);
+    // Serial reduce over the fixed blocks, ascending, strict > — ties go to
+    // the smallest id independent of thread count.
+    double best = -1.0;
+    uint32_t best_id = 0;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      if (block_max[b] > best) {
+        best = block_max[b];
+        best_id = block_arg[b];
+      }
+    }
+    ADB_DCHECK(dist2[best_id] >= 0.0);  // never re-pick a chosen point
+    last = best_id;
+    chosen.push_back(last);
+    dist2[last] = -1.0;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace
+
+bool ParseSampleStrategy(const std::string& name, SampleStrategy* out) {
+  if (name == "uniform") {
+    *out = SampleStrategy::kUniform;
+    return true;
+  }
+  if (name == "kcenter") {
+    *out = SampleStrategy::kKCenter;
+    return true;
+  }
+  return false;
+}
+
+const char* SampleStrategyName(SampleStrategy strategy) {
+  return strategy == SampleStrategy::kUniform ? "uniform" : "kcenter";
+}
+
+size_t SampleSizeFor(size_t n, double rate) {
+  if (n == 0) return 0;
+  const size_t m =
+      static_cast<size_t>(std::ceil(rate * static_cast<double>(n)));
+  return std::min(n, std::max<size_t>(1, m));
+}
+
+std::vector<uint32_t> DrawSample(const Dataset& data, double rate,
+                                 SampleStrategy strategy, uint64_t seed,
+                                 int num_threads) {
+  ADB_CHECK(rate > 0.0 && rate <= 1.0);
+  const size_t n = data.size();
+  const size_t m = SampleSizeFor(n, rate);
+  if (m == 0) return {};
+  if (m == n) {
+    // Degenerate envelope: the sample is the whole dataset for either
+    // strategy (a full farthest-point traversal visits every id), so skip
+    // the draw — this is what makes rate = 1.0 match the exact pipeline.
+    std::vector<uint32_t> ids(n);
+    for (size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(i);
+    return ids;
+  }
+  return strategy == SampleStrategy::kUniform
+             ? DrawUniform(n, m, seed)
+             : DrawKCenter(data, m, seed, num_threads);
+}
+
+}  // namespace adbscan

@@ -1,0 +1,43 @@
+#ifndef ADBSCAN_SAMPLE_SAMPLER_H_
+#define ADBSCAN_SAMPLE_SAMPLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/dataset.h"
+
+namespace adbscan {
+
+// Subsample selection for the sampled-core tier (DBSCAN++, Jang & Jiang).
+// Both strategies are deterministic functions of (data, rate, seed): the
+// draw never depends on thread count or interleaving, so a --seed
+// reproduces the whole sampled pipeline bit-for-bit.
+enum class SampleStrategy {
+  // m ids drawn uniformly without replacement (partial Fisher–Yates over a
+  // seeded Rng). The DBSCAN++ default; zero extra distance work.
+  kUniform,
+  // Greedy k-center (farthest-point traversal) from a seeded start: each
+  // round adds the point farthest from the chosen set. Covers low-density
+  // regions a uniform draw can miss, at O(n·m) distance cost.
+  kKCenter,
+};
+
+// "uniform" / "kcenter" <-> enum. Parse returns false on unknown names.
+bool ParseSampleStrategy(const std::string& name, SampleStrategy* out);
+const char* SampleStrategyName(SampleStrategy strategy);
+
+// Sample size for a rate in (0, 1]: ceil(rate * n) clamped to [1, n]
+// (0 when n == 0).
+size_t SampleSizeFor(size_t n, double rate);
+
+// Draws the subsample: SampleSizeFor(n, rate) distinct point ids, sorted
+// ascending. num_threads parallelizes the k-center distance passes only;
+// the result is identical for every thread count.
+std::vector<uint32_t> DrawSample(const Dataset& data, double rate,
+                                 SampleStrategy strategy, uint64_t seed,
+                                 int num_threads);
+
+}  // namespace adbscan
+
+#endif  // ADBSCAN_SAMPLE_SAMPLER_H_

@@ -7,6 +7,10 @@
 namespace adbscan {
 namespace {
 
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
 uint64_t SplitMix64(uint64_t* state) {
   uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -14,9 +18,15 @@ uint64_t SplitMix64(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  // Mix the stream id through one step, fold the master seed in, and mix
+  // again: both inputs pass through the full avalanche so (seed, stream)
+  // and (seed, stream + 1) are decorrelated.
+  uint64_t state = stream;
+  uint64_t mixed = SplitMix64(&state);
+  state = mixed ^ seed;
+  return SplitMix64(&state);
+}
 
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;

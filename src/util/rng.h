@@ -5,6 +5,22 @@
 
 namespace adbscan {
 
+// One SplitMix64 step: advances *state and returns the next 64-bit output.
+// The common seed-expansion primitive behind Rng and DeriveSeed.
+uint64_t SplitMix64(uint64_t* state);
+
+// Derives a decorrelated child seed for logical stream `stream` of a master
+// `seed` (two SplitMix64 steps over the concatenated pair, so nearby seeds
+// and nearby stream ids yield unrelated streams). This is how a run with a
+// single --seed hands out independent generators to its components — the
+// sampler, per-dataset harness draws, per-round perturbations — keyed by
+// *logical* indices only, never by thread id or worker count, so results
+// are bit-for-bit reproducible at any thread count:
+//
+//   Rng sampler(DeriveSeed(seed, 0));
+//   Rng jitter(DeriveSeed(seed, dataset_index));
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream);
+
 // Deterministic, fast pseudo-random generator (xoshiro256** seeded via
 // SplitMix64). All data generation and randomized algorithms in this
 // repository draw from Rng so that every experiment is reproducible from a

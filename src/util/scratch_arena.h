@@ -33,17 +33,24 @@ inline constexpr int kBorderCandidateCells = 2; // border: candidate grid cells
 inline constexpr int kBorderCoreCells = 3;      // border: core-cell ids
 inline constexpr int kBorderGridCells = 4;      // border: grid-cell ids
 inline constexpr int kGridBuildSlots = 5;       // Grid build: probe tables
+inline constexpr int kSampleCoreCells = 6;      // sample assign: core-cell ids
+inline constexpr int kSampleGridCells = 7;      // sample assign: grid-cell ids
 
 // std::vector<std::pair<double, uint32_t>> slots.
 inline constexpr int kGridDistKeys = 0;  // Grid: (corner dist, cell) sort keys
 
+// std::vector<double> slots.
+inline constexpr int kSampleDistLanes = 0;  // k-center draw: per-block dists
+
 // std::vector<Box> slots.
 inline constexpr int kCoreNeighborBoxes = 0;  // core labeling: neighbor boxes
 inline constexpr int kBorderCoreBoxes = 1;    // border: candidate core boxes
+inline constexpr int kSampleCoreBoxes = 2;    // sample assign: core-cell boxes
 
 // std::vector<simd::SoaSpan> / std::vector<simd::SoaBlock> slots.
 inline constexpr int kCoreNeighborViews = 0;  // core labeling: per-cell views
 inline constexpr int kBorderCoreViews = 1;    // border: per-candidate views
+inline constexpr int kSampleCoreViews = 2;    // sample assign: per-candidate views
 
 }  // namespace scratch
 

@@ -1,0 +1,401 @@
+// Sampled-core tier (src/sample) tests.
+//
+// The load-bearing guarantees, in order:
+//  1. Degenerate envelope: sample_rate = 1.0 makes SampledDbscan
+//     cluster-set equivalent to ExactGridDbscan with identical core flags,
+//     for either strategy, across dimensions and thread counts.
+//  2. Determinism: for any (rate, strategy, seed) the output is bit-for-bit
+//     identical across thread counts and repeated runs.
+//  3. Semantics at any rate: the pipeline matches a brute-force DBSCAN++
+//     reference (cores counted against the full dataset, exact core
+//     connectivity, nearest-core-within-ε assignment, full membership
+//     sets), on clustered, all-noise, tiny-n, and duplicate-heavy inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dbscan_types.h"
+#include "core/exact_grid.h"
+#include "eval/compare.h"
+#include "sample/sampled_dbscan.h"
+#include "sample/sampler.h"
+#include "test_helpers.h"
+#include "util/parallel.h"
+
+namespace adbscan {
+namespace {
+
+using testing_helpers::ClusteredDataset;
+using testing_helpers::MakeDataset;
+using testing_helpers::RandomDataset;
+
+Clustering RunSampled(const Dataset& data, double eps, int min_pts,
+                      double rate, SampleStrategy strategy, uint64_t seed,
+                      int threads, SampledRunStats* stats = nullptr) {
+  DbscanParams params;
+  params.eps = eps;
+  params.min_pts = min_pts;
+  params.num_threads = threads;
+  SampledDbscanOptions options;
+  options.sample_rate = rate;
+  options.strategy = strategy;
+  options.seed = seed;
+  return SampledDbscan(data, params, options, stats);
+}
+
+void ExpectBitIdentical(const Clustering& a, const Clustering& b,
+                        const std::string& context) {
+  EXPECT_EQ(a.num_clusters, b.num_clusters) << context;
+  EXPECT_EQ(a.is_core, b.is_core) << context;
+  EXPECT_EQ(a.label, b.label) << context;
+  EXPECT_EQ(a.extra_memberships, b.extra_memberships) << context;
+}
+
+double SquaredDist(const Dataset& data, uint32_t a, uint32_t b) {
+  const double* pa = data.point(a);
+  const double* pb = data.point(b);
+  double sum = 0.0;
+  for (int j = 0; j < data.dim(); ++j) {
+    const double d = pa[j] - pb[j];
+    sum += d * d;
+  }
+  return sum;
+}
+
+// Brute-force DBSCAN++ reference over an explicit sample: core points by
+// full-data ε-counts, single-linkage components over cores within ε,
+// clusters numbered by first core in id order, non-cores assigned to the
+// nearest core within ε. Returns primary labels + is_core; *memberships
+// gets, per point, the full set of clusters owning a core within ε.
+Clustering BruteSampledReference(const Dataset& data, double eps, int min_pts,
+                                 const std::vector<uint32_t>& sample,
+                                 std::vector<std::set<int32_t>>* memberships) {
+  const size_t n = data.size();
+  const double eps2 = eps * eps;
+  Clustering out;
+  out.label.assign(n, kNoise);
+  out.is_core.assign(n, 0);
+  std::vector<uint32_t> cores;
+  for (uint32_t s : sample) {
+    size_t count = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (SquaredDist(data, s, i) <= eps2) ++count;
+    }
+    if (count >= static_cast<size_t>(min_pts)) {
+      out.is_core[s] = 1;
+      cores.push_back(s);
+    }
+  }
+  std::sort(cores.begin(), cores.end());
+  // Single-linkage components over the cores (brute union-find).
+  std::vector<size_t> parent(cores.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    return parent[x] == x ? x : parent[x] = find(parent[x]);
+  };
+  for (size_t i = 0; i < cores.size(); ++i) {
+    for (size_t j = i + 1; j < cores.size(); ++j) {
+      if (SquaredDist(data, cores[i], cores[j]) <= eps2) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+  std::vector<int32_t> component_cluster(cores.size(), kNoise);
+  int32_t next = 0;
+  std::vector<int32_t> core_cluster(cores.size());
+  for (size_t i = 0; i < cores.size(); ++i) {  // cores ascend by id
+    int32_t& slot = component_cluster[find(i)];
+    if (slot == kNoise) slot = next++;
+    core_cluster[i] = slot;
+    out.label[cores[i]] = slot;
+  }
+  out.num_clusters = next;
+  memberships->assign(n, {});
+  for (uint32_t id = 0; id < n; ++id) {
+    if (out.is_core[id]) {
+      (*memberships)[id] = {out.label[id]};
+      continue;
+    }
+    double best = eps2;
+    int32_t best_cluster = kNoise;
+    for (size_t i = 0; i < cores.size(); ++i) {
+      const double d2 = SquaredDist(data, id, cores[i]);
+      if (d2 <= eps2) (*memberships)[id].insert(core_cluster[i]);
+      if (d2 <= best && (best_cluster == kNoise || d2 < best)) {
+        best = d2;
+        best_cluster = core_cluster[i];
+      }
+    }
+    out.label[id] = best_cluster;
+  }
+  return out;
+}
+
+// Full membership set of each point as reported by the pipeline: primary
+// label + extra memberships.
+std::vector<std::set<int32_t>> MembershipSets(const Clustering& c) {
+  std::vector<std::set<int32_t>> sets(c.label.size());
+  for (size_t i = 0; i < c.label.size(); ++i) {
+    if (c.label[i] != kNoise) sets[i].insert(c.label[i]);
+  }
+  for (const auto& [id, cluster] : c.extra_memberships) {
+    sets[id].insert(cluster);
+  }
+  return sets;
+}
+
+TEST(SampledDbscan, RateOneMatchesExactPipeline) {
+  for (int dim : {2, 3, 5, 7}) {
+    const Dataset data = ClusteredDataset(dim, 1500, 4, 100.0, 2.0,
+                                          900 + static_cast<uint64_t>(dim));
+    const double eps = 4.0;
+    const int min_pts = 10;
+    DbscanParams params;
+    params.eps = eps;
+    params.min_pts = min_pts;
+    params.num_threads = 1;
+    const Clustering exact = ExactGridDbscan(data, params);
+    for (SampleStrategy strategy :
+         {SampleStrategy::kUniform, SampleStrategy::kKCenter}) {
+      for (int threads : {1, HardwareThreads()}) {
+        const Clustering sampled = RunSampled(data, eps, min_pts, 1.0,
+                                              strategy, 1, threads);
+        const std::string context = std::string("dim=") +
+                                    std::to_string(dim) + " strategy=" +
+                                    SampleStrategyName(strategy) +
+                                    " threads=" + std::to_string(threads);
+        // Identical cores and cluster numbering (both pipelines number by
+        // first core point in id order over the same exact edge relation).
+        EXPECT_EQ(sampled.is_core, exact.is_core) << context;
+        EXPECT_EQ(sampled.num_clusters, exact.num_clusters) << context;
+        // The full partition is equivalent as cluster sets: only the choice
+        // of primary label among a multi-member border point's clusters may
+        // differ (nearest core here, smallest cluster id there).
+        EXPECT_TRUE(SameClusters(exact, sampled)) << context;
+        EXPECT_EQ(MembershipSets(exact), MembershipSets(sampled)) << context;
+      }
+    }
+  }
+}
+
+TEST(SampledDbscan, BitIdenticalAcrossThreadCountsAndRuns) {
+  const int hw = HardwareThreads();
+  for (int dim : {2, 5}) {
+    const Dataset data = ClusteredDataset(dim, 1200, 3, 80.0, 2.0,
+                                          40 + static_cast<uint64_t>(dim));
+    for (SampleStrategy strategy :
+         {SampleStrategy::kUniform, SampleStrategy::kKCenter}) {
+      for (double rate : {0.15, 0.5, 1.0}) {
+        const Clustering base =
+            RunSampled(data, 4.0, 8, rate, strategy, 77, 1);
+        const Clustering repeat =
+            RunSampled(data, 4.0, 8, rate, strategy, 77, 1);
+        const Clustering parallel =
+            RunSampled(data, 4.0, 8, rate, strategy, 77, hw);
+        const std::string context = std::string("dim=") +
+                                    std::to_string(dim) + " strategy=" +
+                                    SampleStrategyName(strategy) +
+                                    " rate=" + std::to_string(rate);
+        ExpectBitIdentical(base, repeat, context + " (repeat)");
+        ExpectBitIdentical(base, parallel, context + " (threads)");
+      }
+    }
+  }
+}
+
+TEST(SampledDbscan, MatchesBruteReferenceAtPartialRates) {
+  for (int dim : {2, 3, 5, 7}) {
+    const Dataset data = ClusteredDataset(dim, 400, 3, 60.0, 2.0,
+                                          7000 + static_cast<uint64_t>(dim));
+    const double eps = 4.0;
+    const int min_pts = 8;
+    const double rate = 0.25;
+    for (SampleStrategy strategy :
+         {SampleStrategy::kUniform, SampleStrategy::kKCenter}) {
+      // The pipeline's draw is deterministic, so the reference can re-draw
+      // the identical sample.
+      const std::vector<uint32_t> sample =
+          DrawSample(data, rate, strategy, 5, 1);
+      std::vector<std::set<int32_t>> want_memberships;
+      const Clustering want = BruteSampledReference(data, eps, min_pts, sample,
+                                                    &want_memberships);
+      for (int threads : {1, HardwareThreads()}) {
+        const Clustering got =
+            RunSampled(data, eps, min_pts, rate, strategy, 5, threads);
+        const std::string context = std::string("dim=") +
+                                    std::to_string(dim) + " strategy=" +
+                                    SampleStrategyName(strategy) +
+                                    " threads=" + std::to_string(threads);
+        EXPECT_EQ(got.is_core, want.is_core) << context;
+        EXPECT_EQ(got.num_clusters, want.num_clusters) << context;
+        EXPECT_EQ(got.label, want.label) << context;
+        EXPECT_EQ(MembershipSets(got), want_memberships) << context;
+      }
+    }
+  }
+}
+
+TEST(SampledDbscan, TinySampleBelowMinPtsStillFindsDenseCluster) {
+  // n = 40 points inside a radius-0.1 ball; rate 0.1 draws m = 4 < MinPts =
+  // 20 samples, yet each sampled point counts all 40 full-data neighbors,
+  // so the cluster survives sampling and every point is assigned.
+  Dataset data(3);
+  Rng rng(123);
+  for (int i = 0; i < 40; ++i) {
+    double p[3];
+    for (double& x : p) x = rng.NextDouble(-0.1, 0.1);
+    data.Add(p);
+  }
+  for (SampleStrategy strategy :
+       {SampleStrategy::kUniform, SampleStrategy::kKCenter}) {
+    SampledRunStats stats;
+    const Clustering c =
+        RunSampled(data, 1.0, 20, 0.1, strategy, 3, 1, &stats);
+    EXPECT_EQ(stats.sample_size, 4u);
+    EXPECT_EQ(stats.num_core, 4u);
+    EXPECT_EQ(c.num_clusters, 1);
+    EXPECT_EQ(stats.num_noise, 0u);
+    for (int32_t label : c.label) EXPECT_EQ(label, 0);
+  }
+}
+
+TEST(SampledDbscan, TinyNFewerPointsThanMinPtsIsAllNoise) {
+  const Dataset data = MakeDataset({{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}});
+  for (SampleStrategy strategy :
+       {SampleStrategy::kUniform, SampleStrategy::kKCenter}) {
+    const Clustering c = RunSampled(data, 1.0, 10, 1.0, strategy, 1, 1);
+    EXPECT_EQ(c.num_clusters, 0);
+    for (int32_t label : c.label) EXPECT_EQ(label, kNoise);
+    for (char core : c.is_core) EXPECT_EQ(core, 0);
+  }
+}
+
+TEST(SampledDbscan, AllNoiseWhenNoNeighborhoodsReachMinPts) {
+  const Dataset data = RandomDataset(3, 300, 0.0, 1000.0, 99);
+  for (SampleStrategy strategy :
+       {SampleStrategy::kUniform, SampleStrategy::kKCenter}) {
+    for (double rate : {0.2, 1.0}) {
+      SampledRunStats stats;
+      const Clustering c =
+          RunSampled(data, 0.001, 2, rate, strategy, 9, 1, &stats);
+      EXPECT_EQ(c.num_clusters, 0);
+      EXPECT_EQ(stats.num_core, 0u);
+      EXPECT_EQ(stats.num_noise, data.size());
+      for (int32_t label : c.label) EXPECT_EQ(label, kNoise);
+    }
+  }
+}
+
+TEST(SampledDbscan, DuplicatePointsClusterAndStayDeterministic) {
+  // Two blobs of identical points: exercises the k-center draw once every
+  // distinct location is exhausted (all remaining distances are zero) and
+  // the duplicate-heavy grid/assignment paths.
+  Dataset data(2);
+  for (int i = 0; i < 30; ++i) data.Add({0.0, 0.0});
+  for (int i = 0; i < 30; ++i) data.Add({5.0, 5.0});
+  const int hw = HardwareThreads();
+  for (SampleStrategy strategy :
+       {SampleStrategy::kUniform, SampleStrategy::kKCenter}) {
+    for (double rate : {0.4, 1.0}) {
+      SampledRunStats stats;
+      const Clustering c =
+          RunSampled(data, 1.0, 10, rate, strategy, 21, 1, &stats);
+      const std::string context = std::string("strategy=") +
+                                  SampleStrategyName(strategy) +
+                                  " rate=" + std::to_string(rate);
+      EXPECT_EQ(c.num_clusters, 2) << context;
+      EXPECT_EQ(stats.num_noise, 0u) << context;
+      for (size_t i = 0; i < data.size(); ++i) {
+        EXPECT_EQ(c.label[i], i < 30 ? 0 : 1) << context << " i=" << i;
+      }
+      ExpectBitIdentical(
+          c, RunSampled(data, 1.0, 10, rate, strategy, 21, hw), context);
+    }
+  }
+  // Degenerate envelope holds on duplicate-heavy data too.
+  DbscanParams params;
+  params.eps = 1.0;
+  params.min_pts = 10;
+  params.num_threads = 1;
+  const Clustering exact = ExactGridDbscan(data, params);
+  const Clustering sampled =
+      RunSampled(data, 1.0, 10, 1.0, SampleStrategy::kUniform, 21, 1);
+  EXPECT_TRUE(SameClusters(exact, sampled));
+  EXPECT_EQ(exact.is_core, sampled.is_core);
+}
+
+TEST(SampledDbscan, AssignsToNearestCoreNotSmallestCluster) {
+  // Cluster 0: ten points at x = 0.0..0.9; cluster 1: ten at x = 2.7..3.6
+  // (gap 1.8 > eps keeps them apart). The probe at x = 1.82 reaches one
+  // core of each cluster — cluster 0's x=0.9 at distance 0.92, cluster 1's
+  // x=2.7 at 0.88 — and has only 4 points within eps, so it is never core.
+  // Its primary label must follow the NEAREST core (cluster 1), with
+  // cluster 0 retained as an extra membership.
+  Dataset data(2);
+  for (int i = 0; i < 10; ++i) data.Add({0.1 * i, 0.0});
+  for (int i = 0; i < 10; ++i) data.Add({2.7 + 0.1 * i, 0.0});
+  data.Add({1.82, 0.0});
+  const uint32_t probe = 20;
+  for (SampleStrategy strategy :
+       {SampleStrategy::kUniform, SampleStrategy::kKCenter}) {
+    const Clustering c = RunSampled(data, 1.0, 10, 1.0, strategy, 1, 1);
+    ASSERT_EQ(c.num_clusters, 2);
+    EXPECT_EQ(c.is_core[probe], 0);
+    EXPECT_EQ(c.label[probe], 1);
+    const std::vector<std::pair<uint32_t, int32_t>> want_extras = {
+        {probe, 0}};
+    EXPECT_EQ(c.extra_memberships, want_extras);
+  }
+}
+
+TEST(DrawSample, SortedDistinctAndSeedReproducible) {
+  const Dataset data = RandomDataset(3, 500, 0.0, 100.0, 17);
+  for (SampleStrategy strategy :
+       {SampleStrategy::kUniform, SampleStrategy::kKCenter}) {
+    for (double rate : {0.01, 0.3, 1.0}) {
+      const std::vector<uint32_t> a = DrawSample(data, rate, strategy, 7, 1);
+      EXPECT_EQ(a.size(), SampleSizeFor(data.size(), rate));
+      EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+      EXPECT_EQ(std::adjacent_find(a.begin(), a.end()), a.end());
+      for (uint32_t id : a) EXPECT_LT(id, data.size());
+      // Same seed reproduces the draw at any thread count; the strategies'
+      // seed streams are independent, so this holds per strategy.
+      EXPECT_EQ(a, DrawSample(data, rate, strategy, 7, 1));
+      EXPECT_EQ(a, DrawSample(data, rate, strategy, 7, HardwareThreads()));
+    }
+    // Rate 1.0 is the identity permutation for either strategy.
+    const std::vector<uint32_t> all = DrawSample(data, 1.0, strategy, 3, 1);
+    for (uint32_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+  }
+  // Different seeds actually move the uniform draw.
+  EXPECT_NE(DrawSample(data, 0.3, SampleStrategy::kUniform, 1, 1),
+            DrawSample(data, 0.3, SampleStrategy::kUniform, 2, 1));
+}
+
+TEST(DrawSample, KCenterSpreadsFartherThanUniform) {
+  // Farthest-point traversal must cover the domain: on two widely separated
+  // blobs plus far-flung outliers, a small k-center draw hits both blobs
+  // and the outliers even when a uniform draw of the same size may not.
+  Dataset data(2);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    data.Add({rng.NextDouble(0.0, 1.0), rng.NextDouble(0.0, 1.0)});
+  }
+  data.Add({1000.0, 1000.0});
+  data.Add({-1000.0, 500.0});
+  const std::vector<uint32_t> picks =
+      DrawSample(data, 0.05, SampleStrategy::kKCenter, 11, 1);
+  EXPECT_TRUE(std::find(picks.begin(), picks.end(), 200u) != picks.end());
+  EXPECT_TRUE(std::find(picks.begin(), picks.end(), 201u) != picks.end());
+}
+
+}  // namespace
+}  // namespace adbscan

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "sample/sample_flags.h"
+#include "sample/sampler.h"
 #include "util/flags.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -76,6 +78,128 @@ TEST(Rng, BernoulliFrequency) {
   const int n = 100000;
   for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3);
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, DeriveSeedIsDeterministic) {
+  // A pure function of (seed, stream): the foundation of the sampled tier's
+  // bit-for-bit reproducibility contract.
+  EXPECT_EQ(DeriveSeed(42, 0), DeriveSeed(42, 0));
+  EXPECT_EQ(DeriveSeed(0, 7), DeriveSeed(0, 7));
+}
+
+TEST(Rng, DeriveSeedSeparatesStreamsAndSeeds) {
+  std::set<uint64_t> seen;
+  for (uint64_t seed : {0ull, 1ull, 2ull, 42ull}) {
+    for (uint64_t stream : {0ull, 1ull, 2ull, 3ull}) {
+      seen.insert(DeriveSeed(seed, stream));
+    }
+  }
+  // Nearby seeds and nearby streams must all land on distinct children.
+  EXPECT_EQ(seen.size(), 16u);
+  // Child generators of adjacent streams diverge immediately.
+  Rng a(DeriveSeed(9, 0)), b(DeriveSeed(9, 1));
+  int differs = 0;
+  for (int i = 0; i < 10; ++i) differs += (a.Next() != b.Next());
+  EXPECT_GT(differs, 0);
+}
+
+TEST(Rng, SplitMix64MatchesReferenceVectors) {
+  // Reference outputs of the standard SplitMix64 for state = 0 (the
+  // published test vector), guarding the constant against typos — Rng
+  // seeding, DeriveSeed, and the sampler all build on it.
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(&state), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(SplitMix64(&state), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(SplitMix64(&state), 0x06c45d188009454full);
+}
+
+// Builds a Flags instance carrying the sampled-tier knobs, parses the given
+// command line, and validates it with the given cross-flag context.
+bool ValidateSampleArgs(std::vector<std::string> args, int num_shards,
+                        const std::string& algo, SampleFlagSettings* out,
+                        std::string* error) {
+  Flags flags;
+  DefineSampleFlags(&flags);
+  std::vector<std::vector<char>> storage;
+  std::vector<char*> argv;
+  storage.emplace_back(std::vector<char>{'p', 'r', 'o', 'g', '\0'});
+  for (const std::string& arg : args) {
+    storage.emplace_back(arg.begin(), arg.end());
+    storage.back().push_back('\0');
+  }
+  for (auto& buf : storage) argv.push_back(buf.data());
+  flags.Parse(static_cast<int>(argv.size()), argv.data());
+  return ValidateSampleFlags(flags, num_shards, algo, out, error);
+}
+
+TEST(SampleFlags, AcceptsDefaultsAndSampledSelection) {
+  SampleFlagSettings s;
+  std::string error;
+  ASSERT_TRUE(ValidateSampleArgs({}, 1, "approx", &s, &error)) << error;
+  EXPECT_FALSE(s.sampled);
+  ASSERT_TRUE(ValidateSampleArgs({"--pipeline=sampled", "--sample_rate=0.25",
+                                  "--sample_strategy=kcenter", "--seed=9"},
+                                 1, "approx", &s, &error))
+      << error;
+  EXPECT_TRUE(s.sampled);
+  EXPECT_DOUBLE_EQ(s.options.sample_rate, 0.25);
+  EXPECT_EQ(s.options.strategy, SampleStrategy::kKCenter);
+  EXPECT_EQ(s.options.seed, 9u);
+}
+
+TEST(SampleFlags, RejectsRateOutsideUnitInterval) {
+  SampleFlagSettings s;
+  std::string error;
+  for (const char* rate : {"0", "-0.1", "1.5", "2", "nan", "0.5x"}) {
+    error.clear();
+    EXPECT_FALSE(ValidateSampleArgs(
+        {std::string("--sample_rate=") + rate}, 1, "approx", &s, &error))
+        << rate;
+    EXPECT_NE(error.find("sample_rate"), std::string::npos) << error;
+  }
+  // Boundary: exactly 1.0 is legal (the degenerate full-sample envelope).
+  EXPECT_TRUE(ValidateSampleArgs({"--sample_rate=1.0"}, 1, "approx", &s,
+                                 &error))
+      << error;
+}
+
+TEST(SampleFlags, RejectsUnknownStrategyAndPipeline) {
+  SampleFlagSettings s;
+  std::string error;
+  EXPECT_FALSE(ValidateSampleArgs({"--sample_strategy=random"}, 1, "approx",
+                                  &s, &error));
+  EXPECT_NE(error.find("sample_strategy"), std::string::npos) << error;
+  EXPECT_FALSE(
+      ValidateSampleArgs({"--pipeline=streamed"}, 1, "approx", &s, &error));
+  EXPECT_NE(error.find("pipeline"), std::string::npos) << error;
+  // Knobs are validated even when --pipeline=batch leaves them unused.
+  EXPECT_FALSE(ValidateSampleArgs(
+      {"--pipeline=batch", "--sample_rate=7"}, 1, "approx", &s, &error));
+}
+
+TEST(SampleFlags, RejectsNegativeOrMalformedSeed) {
+  SampleFlagSettings s;
+  std::string error;
+  for (const char* seed : {"-1", "1.5", "x"}) {
+    EXPECT_FALSE(ValidateSampleArgs({std::string("--seed=") + seed}, 1,
+                                    "approx", &s, &error))
+        << seed;
+    EXPECT_NE(error.find("seed"), std::string::npos) << error;
+  }
+}
+
+TEST(SampleFlags, RejectsIncompatibleCombinations) {
+  SampleFlagSettings s;
+  std::string error;
+  // Sharded runs and explicit --algo choices conflict with the sampled
+  // pipeline; both are fine when --pipeline stays batch.
+  EXPECT_FALSE(
+      ValidateSampleArgs({"--pipeline=sampled"}, 4, "approx", &s, &error));
+  EXPECT_NE(error.find("shards"), std::string::npos) << error;
+  EXPECT_FALSE(
+      ValidateSampleArgs({"--pipeline=sampled"}, 1, "exact", &s, &error));
+  EXPECT_NE(error.find("algo"), std::string::npos) << error;
+  EXPECT_TRUE(ValidateSampleArgs({}, 4, "exact", &s, &error)) << error;
 }
 
 TEST(Timer, ElapsedIsNonNegativeAndMonotonic) {

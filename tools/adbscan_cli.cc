@@ -21,6 +21,13 @@
 // Algorithms: approx (Theorem 4, default), exact (Theorem 2), kdd96,
 // gridbscan (CIT'08), gunawan2d (2D inputs only).
 //
+// For massive n, --pipeline=sampled switches to the DBSCAN++ sampled-core
+// tier (core points computed on a seeded subsample, everything else
+// assigned to its nearest core within eps):
+//   adbscan_cli --input points.bin --eps 5000 --min_pts 100
+//               --pipeline=sampled --sample_rate 0.1
+//               --sample_strategy uniform --seed 7
+//
 // The stream subcommand replays a textual update log ("a x1..xd" insert,
 // "r id" remove, "f" batch boundary — see src/stream/update_log.h) through
 // DynamicClusterer and reports the final clustering.
@@ -40,6 +47,8 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace_export.h"
+#include "sample/sample_flags.h"
+#include "sample/sampled_dbscan.h"
 #include "stream/dynamic_clusterer.h"
 #include "stream/update_log.h"
 #include "util/flags.h"
@@ -317,6 +326,7 @@ int main(int argc, char** argv) {
                     "write a Chrome trace-event JSON timeline here "
                     "(Perfetto-loadable; empty = ADBSCAN_TRACE env, else "
                     "tracing off)");
+  DefineSampleFlags(&flags);
   flags.Parse(argc, argv);
 
   const std::string input = flags.GetString("input");
@@ -355,6 +365,20 @@ int main(int argc, char** argv) {
     return 2;
   }
   const int num_shards = static_cast<int>(shards64);
+  const std::string algo = flags.GetString("algo");
+  if (num_shards > 1 && algo != "approx") {
+    std::fprintf(stderr, "--shards requires --algo=approx\n");
+    return 2;
+  }
+  SampleFlagSettings sample_settings;
+  {
+    std::string sample_error;
+    if (!ValidateSampleFlags(flags, num_shards, algo, &sample_settings,
+                             &sample_error)) {
+      std::fprintf(stderr, "%s\n", sample_error.c_str());
+      return 2;
+    }
+  }
   const bool use_mmap = flags.GetBool("mmap");
   if (use_mmap && !EndsWith(input, ".bin")) {
     std::fprintf(stderr, "--mmap requires a .bin input\n");
@@ -393,11 +417,6 @@ int main(int argc, char** argv) {
                 params.min_pts, params.eps, kdist_timer.ElapsedSeconds());
   }
 
-  const std::string algo = flags.GetString("algo");
-  if (num_shards > 1 && algo != "approx") {
-    std::fprintf(stderr, "--shards requires --algo=approx\n");
-    return 2;
-  }
   const std::string metrics_json = flags.GetString("metrics_json");
   if (!metrics_json.empty()) {
     obs::MetricsRegistry::SetEnabled(true);
@@ -407,7 +426,22 @@ int main(int argc, char** argv) {
       obs::ResolveTracePath(flags.GetString("trace_json"));
   if (!trace_json.empty()) obs::StartTracing();
   Timer cluster_timer;
+  SampledRunStats sample_stats;
   Clustering result = [&] {
+    if (sample_settings.sampled) {
+      Clustering sampled =
+          SampledDbscan(data, params, sample_settings.options, &sample_stats);
+      std::printf(
+          "sampled: m=%zu (%s, rate=%.4g, seed=%llu) -> %zu cores, %zu "
+          "assigned, %zu noise\n",
+          sample_stats.sample_size,
+          SampleStrategyName(sample_settings.options.strategy),
+          sample_settings.options.sample_rate,
+          static_cast<unsigned long long>(sample_settings.options.seed),
+          sample_stats.num_core, sample_stats.num_assigned,
+          sample_stats.num_noise);
+      return sampled;
+    }
     if (algo == "approx") {
       if (num_shards > 1) {
         ShardedRunStats shard_stats;
@@ -432,9 +466,10 @@ int main(int argc, char** argv) {
     std::exit(2);
   }();
   const double cluster_sec = cluster_timer.ElapsedSeconds();
+  const std::string algo_label = sample_settings.sampled ? "sampled" : algo;
   std::printf("%s: eps=%.6g MinPts=%d -> %d clusters in %.3fs\n\n",
-              algo.c_str(), params.eps, params.min_pts, result.num_clusters,
-              cluster_sec);
+              algo_label.c_str(), params.eps, params.min_pts,
+              result.num_clusters, cluster_sec);
   if (!metrics_json.empty()) {
     char num[32];
     std::vector<std::pair<std::string, std::string>> rec_params = {
@@ -442,14 +477,24 @@ int main(int argc, char** argv) {
         {"min_pts", std::to_string(params.min_pts)}};
     std::snprintf(num, sizeof(num), "%.6g", params.eps);
     rec_params.emplace_back("eps", num);
-    if (algo == "approx") {
+    if (sample_settings.sampled) {
+      std::snprintf(num, sizeof(num), "%.6g",
+                    sample_settings.options.sample_rate);
+      rec_params.emplace_back("sample_rate", num);
+      rec_params.emplace_back(
+          "sample_strategy",
+          SampleStrategyName(sample_settings.options.strategy));
+      rec_params.emplace_back(
+          "seed", std::to_string(sample_settings.options.seed));
+      rec_params.emplace_back("m", std::to_string(sample_stats.sample_size));
+    } else if (algo == "approx") {
       std::snprintf(num, sizeof(num), "%.6g", rho);
       rec_params.emplace_back("rho", num);
       if (num_shards > 1) {
         rec_params.emplace_back("shards", std::to_string(num_shards));
       }
     }
-    EmitMetricsRecord(metrics_json, "adbscan_cli", input, algo,
+    EmitMetricsRecord(metrics_json, "adbscan_cli", input, algo_label,
                       std::move(rec_params), cluster_sec * 1000.0);
   }
   if (!trace_json.empty()) obs::ExportTrace(trace_json);

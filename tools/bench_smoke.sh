@@ -79,6 +79,8 @@ run_one micro_serve 2 --sessions=8 --n=2000 --batch=256 \
     --out="$WORKDIR/BENCH_serve.json"
 run_one micro_shard 3 --datasets=ss3d --n=8000 --shard_counts=2,3 \
     --out="$WORKDIR/BENCH_shard.json"
+run_one fig_sampling 5 --n=4000 --min_pts=10 --rates=0.1,1.0 \
+    --out="$WORKDIR/BENCH_sampling.json"
 
 # The fig11 run above doubled as a tracing smoke: the trace must be
 # well-formed Chrome trace-event JSON (monotone per-tid timestamps etc.).
@@ -143,6 +145,25 @@ if [ -n "$BASELINE_DIR" ] && [ -f "$BASELINE_DIR/smoke/BENCH_shard.json" ]; then
   fi
 else
   echo "=== micro_shard regression gate skipped (no baseline) ==="
+fi
+
+# Sampling gate: the sampled tier's clustering quality (ARI of the primary
+# labeling vs the exact reference) floored at 0.9 on every row of the smoke
+# sweep. The draw is seeded and the pipelines deterministic, so ARI is
+# machine-independent — unlike the smoke-size wall-time ratios, which are
+# sub-millisecond noise and gated at full size in CI's bench-gate job
+# instead.
+if [ -n "$BASELINE_DIR" ] && [ -f "$BASELINE_DIR/smoke/BENCH_sampling.json" ]; then
+  echo "=== fig_sampling quality gate ==="
+  if ! "$COMPARE" --current="$WORKDIR/BENCH_sampling.json" \
+      --baseline="$BASELINE_DIR/smoke/BENCH_sampling.json" \
+      --metrics= --key=dataset,dim,n,pipeline,strategy,rate \
+      --min_value=ari_vs_exact:0.9; then
+    echo "FAIL: fig_sampling quality vs $BASELINE_DIR/smoke/BENCH_sampling.json"
+    failures=$((failures + 1))
+  fi
+else
+  echo "=== fig_sampling quality gate skipped (no baseline) ==="
 fi
 
 if [ "$failures" -ne 0 ]; then
